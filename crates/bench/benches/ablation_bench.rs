@@ -1,0 +1,82 @@
+//! Ablation timings: the wall-clock cost of one HeterBO search with each
+//! of the paper's mechanisms toggled off in turn (the *quality* side of
+//! these ablations — probe spend, constraint compliance — is reported by
+//! `figures`-style experiments and EXPERIMENTS.md; this bench answers
+//! "does the mechanism itself cost anything to compute?").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcd::deployment::{Deployment, SearchSpace};
+use mlcd::env::SyntheticEnv;
+use mlcd::prelude::*;
+use mlcd::search::{BoConfig, InitStrategy};
+use std::hint::black_box;
+
+fn speed(d: &Deployment) -> f64 {
+    let base = match d.itype {
+        InstanceType::C54xlarge => 1.0,
+        InstanceType::C5Xlarge => 0.4,
+        InstanceType::P2Xlarge => 0.5,
+        _ => 0.3,
+    };
+    base * (500.0 - 0.9 * (d.n as f64 - 20.0).powi(2)).max(20.0)
+}
+
+fn make_env() -> SyntheticEnv<fn(&Deployment) -> f64> {
+    let job = TrainingJob::resnet_cifar10();
+    let space = SearchSpace::new(
+        &[InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge],
+        50,
+        &job,
+        &ThroughputModel::default(),
+    );
+    SyntheticEnv::new(space, 5e6, speed as fn(&Deployment) -> f64)
+}
+
+fn heterbo_config() -> BoConfig {
+    BoConfig {
+        init: InitStrategy::TypeSweep,
+        ei_rel_threshold: 0.05,
+        ci_stop: true,
+        cost_penalty: true,
+        constraint_aware: true,
+        reserve_protection: true,
+        concave_prior: true,
+        max_steps: 16,
+        min_obs_before_stop: 6,
+        account_sunk: true,
+        parallel_init: false,
+        acquisition: mlcd::acquisition::AcquisitionKind::ExpectedImprovement,
+        gp_refit_every: 1,
+        seed: 1,
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heterbo_ablations");
+    g.sample_size(10);
+    let scenario = Scenario::FastestWithBudget(Money::from_dollars(150.0));
+
+    let variants: Vec<(&str, BoConfig)> = vec![
+        ("full", heterbo_config()),
+        ("no_concave_prior", BoConfig { concave_prior: false, ..heterbo_config() }),
+        ("no_cost_penalty", BoConfig { cost_penalty: false, ..heterbo_config() }),
+        (
+            "random_init",
+            BoConfig { init: InitStrategy::RandomPoints(3), ..heterbo_config() },
+        ),
+        ("no_reserve", BoConfig { reserve_protection: false, ..heterbo_config() }),
+    ];
+    for (name, cfg) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let core = mlcd::search::bo::BoCore::new("ablation", cfg.clone());
+                let mut env = make_env();
+                black_box(mlcd::search::Searcher::search(&core, &mut env, &scenario))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

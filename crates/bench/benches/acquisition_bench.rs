@@ -1,0 +1,59 @@
+//! Acquisition-sweep benchmarks: scoring every candidate in the grid is
+//! the per-step inner loop of every BO searcher. Includes the serial vs
+//! rayon comparison the hpc-parallel guides motivate — the grid is small
+//! enough that the parallel win is modest, which is worth knowing before
+//! reaching for threads in the search loop itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcd::acquisition::expected_improvement;
+use mlcd_gp::{FitOptions, GpModel, KernelFamily, Prediction};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::hint::black_box;
+
+fn setup(n_obs: usize, grid: usize) -> (GpModel, Vec<Vec<f64>>) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let xs: Vec<Vec<f64>> =
+        (0..n_obs).map(|_| (0..5).map(|_| rng.gen::<f64>()).collect()).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 4.0).sin() + x[4]).collect();
+    let gp = GpModel::fit(&xs, &ys, KernelFamily::Matern52, &FitOptions::default()).unwrap();
+    let pts: Vec<Vec<f64>> =
+        (0..grid).map(|_| (0..5).map(|_| rng.gen::<f64>()).collect()).collect();
+    (gp, pts)
+}
+
+fn bench_ei_grid(c: &mut Criterion) {
+    let (gp, grid) = setup(20, 950);
+    let best = 1.2;
+
+    c.bench_function("ei_grid_950_serial", |b| {
+        b.iter(|| {
+            let best_candidate = grid
+                .iter()
+                .map(|x| expected_improvement(&gp.predict(x), best, 0.0))
+                .fold(0.0_f64, f64::max);
+            black_box(best_candidate)
+        })
+    });
+
+    c.bench_function("ei_grid_950_rayon", |b| {
+        b.iter(|| {
+            let best_candidate = grid
+                .par_iter()
+                .map(|x| expected_improvement(&gp.predict(x), best, 0.0))
+                .reduce(|| 0.0_f64, f64::max);
+            black_box(best_candidate)
+        })
+    });
+}
+
+fn bench_ei_scalar(c: &mut Criterion) {
+    let pred = Prediction { mean: 1.0, var: 0.25, var_with_noise: 0.3 };
+    c.bench_function("ei_single_eval", |b| {
+        b.iter(|| black_box(expected_improvement(black_box(&pred), 1.1, 0.0)))
+    });
+}
+
+criterion_group!(benches, bench_ei_grid, bench_ei_scalar);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! GP machinery micro-benchmarks: hyperparameter fitting and posterior
+//! prediction as the observation count grows (a BO run refits after every
+//! probe, so fit cost × probes is the searcher's own compute bill).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcd_gp::{FitOptions, GpModel, KernelFamily};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn dataset(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect()).collect();
+    let ys: Vec<f64> =
+        xs.iter().map(|x| (x[0] * 6.0).sin() + x.iter().sum::<f64>() * 0.3).collect();
+    (xs, ys)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp_fit");
+    g.sample_size(10);
+    for n in [5usize, 10, 20, 40] {
+        let (xs, ys) = dataset(n, 5, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                GpModel::fit(
+                    black_box(&xs),
+                    black_box(&ys),
+                    KernelFamily::Matern52,
+                    &FitOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp_predict_950_candidates");
+    for n in [10usize, 40] {
+        let (xs, ys) = dataset(n, 5, 7);
+        let gp = GpModel::fit(&xs, &ys, KernelFamily::Matern52, &FitOptions::default()).unwrap();
+        let (grid, _) = dataset(950, 5, 9);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let preds = gp.predict_batch(black_box(&grid));
+                black_box(preds.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental_vs_refit(c: &mut Criterion) {
+    // The BO loop adds one observation per step: compare extending the
+    // posterior (O(n²), fixed hyperparameters) against a full
+    // marginal-likelihood refit (multi-start O(n³)).
+    let mut g = c.benchmark_group("gp_add_one_observation");
+    g.sample_size(10);
+    for n in [10usize, 30] {
+        let (xs, ys) = dataset(n, 5, 11);
+        let gp = GpModel::fit(&xs, &ys, KernelFamily::Matern52, &FitOptions::default()).unwrap();
+        let (new_x, new_y) = {
+            let (mut nx, ny) = dataset(1, 5, 99);
+            (nx.pop().unwrap(), ny[0])
+        };
+        g.bench_with_input(BenchmarkId::new("extend", n), &n, |b, _| {
+            b.iter(|| black_box(gp.extend(new_x.clone(), new_y).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("full_refit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut xs2 = xs.clone();
+                xs2.push(new_x.clone());
+                let mut ys2 = ys.clone();
+                ys2.push(new_y);
+                black_box(
+                    GpModel::fit(&xs2, &ys2, KernelFamily::Matern52, &FitOptions::default())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict, bench_incremental_vs_refit);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! End-to-end searcher benchmarks on a synthetic response surface: the
+//! wall-clock cost of the search *algorithms* themselves (GP refits +
+//! acquisition sweeps), with the profiling environment free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcd::deployment::{Deployment, SearchSpace};
+use mlcd::env::SyntheticEnv;
+use mlcd::prelude::*;
+use mlcd::search::{CherryPick, ConvBo, RandomSearch};
+use std::hint::black_box;
+
+fn speed(d: &Deployment) -> f64 {
+    let base = match d.itype {
+        InstanceType::C54xlarge => 1.0,
+        InstanceType::C5Xlarge => 0.4,
+        InstanceType::P2Xlarge => 0.5,
+        _ => 0.3,
+    };
+    base * (500.0 - 0.9 * (d.n as f64 - 20.0).powi(2)).max(20.0)
+}
+
+fn make_env() -> SyntheticEnv<fn(&Deployment) -> f64> {
+    let job = TrainingJob::resnet_cifar10();
+    let space = SearchSpace::new(
+        &[InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge],
+        50,
+        &job,
+        &ThroughputModel::default(),
+    );
+    SyntheticEnv::new(space, 5e6, speed as fn(&Deployment) -> f64)
+}
+
+fn bench_searchers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search_end_to_end");
+    g.sample_size(10);
+    let scenario = Scenario::FastestWithBudget(Money::from_dollars(150.0));
+
+    g.bench_function("heterbo", |b| {
+        b.iter(|| {
+            let mut env = make_env();
+            black_box(HeterBo::seeded(1).search(&mut env, &scenario))
+        })
+    });
+    g.bench_function("convbo", |b| {
+        b.iter(|| {
+            let mut env = make_env();
+            black_box(ConvBo::seeded(1).search(&mut env, &scenario))
+        })
+    });
+    g.bench_function("cherrypick", |b| {
+        b.iter(|| {
+            let mut env = make_env();
+            black_box(CherryPick::seeded(1).search(&mut env, &scenario))
+        })
+    });
+    g.bench_function("random_k12", |b| {
+        b.iter(|| {
+            let mut env = make_env();
+            black_box(RandomSearch::new(12, 1).search(&mut env, &scenario))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_searchers);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ground-truth performance-model benchmarks: one full-space sweep is
+//! what `ExperimentRunner::optimum` and the exhaustive baseline pay per
+//! call, and the simulator must keep it trivially cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcd_cloudsim::InstanceType;
+use mlcd_perfmodel::{PaleoEstimator, ThroughputModel, TrainingJob};
+use std::hint::black_box;
+
+fn bench_throughput_sweep(c: &mut Criterion) {
+    let model = ThroughputModel::default();
+    let jobs = [
+        ("resnet", TrainingJob::resnet_cifar10()),
+        ("bert", TrainingJob::bert_tensorflow()),
+    ];
+    for (name, job) in jobs {
+        c.bench_function(&format!("throughput_full_space_{name}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for t in InstanceType::all() {
+                    for n in 1..=50u32 {
+                        if let Ok(s) = model.throughput(black_box(&job), t, n) {
+                            acc += s;
+                        }
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+}
+
+fn bench_paleo_sweep(c: &mut Criterion) {
+    let paleo = PaleoEstimator::default();
+    let job = TrainingJob::resnet_cifar10();
+    c.bench_function("paleo_full_space_resnet", |b| {
+        b.iter(|| {
+            let candidates: Vec<(InstanceType, u32)> = InstanceType::all()
+                .flat_map(|t| (1..=50u32).map(move |n| (t, n)))
+                .collect();
+            black_box(paleo.pick_fastest(black_box(&job), &candidates))
+        })
+    });
+}
+
+criterion_group!(benches, bench_throughput_sweep, bench_paleo_sweep);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! cargo run -p mlcd-bench --bin figures --release -- all
+//! cargo run -p mlcd-bench --bin figures --release -- fig18 fig19
+//! cargo run -p mlcd-bench --bin figures --release -- --seed 7 fig9
+//! cargo run -p mlcd-bench --bin figures --release -- --json all   # JSON to stdout
+//! ```
+
+use mlcd_bench::figures;
+use mlcd_bench::DEFAULT_SEED;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = DEFAULT_SEED;
+    let mut json = false;
+
+    // Tiny hand-rolled flag parsing: --seed N, --json, then figure ids.
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(arg) = args.first().cloned() {
+        args.remove(0);
+        match arg.as_str() {
+            "--seed" => {
+                if args.is_empty() {
+                    usage("missing value after --seed");
+                }
+                seed = args.remove(0).parse().unwrap_or_else(|_| usage("--seed takes an integer"));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage(""),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage("no figure ids given");
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = figures::ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut failures = 0usize;
+    let mut reports = Vec::new();
+    for id in &ids {
+        match figures::run(id, seed) {
+            Some(report) => {
+                if json {
+                    reports.push(serde_json::to_value(&report).expect("serialisable"));
+                } else {
+                    println!("{}", report.render());
+                }
+                if !report.all_claims_hold() {
+                    failures += 1;
+                }
+            }
+            None => {
+                eprintln!("unknown figure id: {id} (known: {:?})", figures::ALL_IDS);
+                std::process::exit(2);
+            }
+        }
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&reports).expect("serialisable"));
+    }
+    if failures > 0 {
+        eprintln!("{failures} figure(s) had failing shape checks");
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: figures [--seed N] [--json] <id>... | all\n  ids: {:?}",
+        figures::ALL_IDS
+    );
+    std::process::exit(2);
+}

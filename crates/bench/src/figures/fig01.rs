@@ -1,0 +1,88 @@
+//! Fig 1 — the motivation figure.
+//!
+//! (a) Normalised hourly cost of EC2 instances (c5.xlarge = 1); the paper
+//! highlights p2.8xlarge at 42.5×.
+//! (b) Char-RNN training time at ~equal hourly cost on 40 × c5.xlarge,
+//! 10 × c5.4xlarge and 9 × p2.xlarge; the mid-size CPU cluster wins ≈3×.
+
+use crate::report::{fmt_h, FigReport};
+use mlcd::prelude::*;
+use serde_json::json;
+
+/// Fig 1(a): the price catalog, normalised.
+pub fn run_a() -> FigReport {
+    let mut r = FigReport::new("fig1a", "normalised hourly cost of EC2 instance types");
+    let mut rows: Vec<(String, f64)> = InstanceType::all()
+        .map(|t| (t.name().to_string(), t.normalized_cost()))
+        .collect();
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for (name, norm) in &rows {
+        r.line(format!("{name:<14} {norm:>7.2}×"));
+    }
+    let p28 = InstanceType::P28xlarge.normalized_cost();
+    r.claim(
+        format!("p2.8xlarge is ≈42.5× c5.xlarge (got {p28:.1}×)"),
+        (p28 - 42.5).abs() < 1.0,
+    );
+    let spread = rows.last().unwrap().1 / rows.first().unwrap().1;
+    r.claim(format!("price spread across catalog > 30× (got {spread:.0}×)"), spread > 30.0);
+    r.data = json!(rows);
+    r
+}
+
+/// Fig 1(b): equal-hourly-cost Char-RNN comparison.
+pub fn run_b() -> FigReport {
+    let mut r = FigReport::new(
+        "fig1b",
+        "Char-RNN training time at equal hourly cost: 40×c5.xlarge vs 10×c5.4xlarge vs 9×p2.xlarge",
+    );
+    let job = TrainingJob::char_rnn();
+    let truth = ThroughputModel::default();
+    let configs = [
+        (InstanceType::C5Xlarge, 40u32),
+        (InstanceType::C54xlarge, 10),
+        (InstanceType::P2Xlarge, 9),
+    ];
+    let mut rows = Vec::new();
+    for (t, n) in configs {
+        let speed = truth.throughput(&job, t, n).expect("feasible");
+        let hours = job.total_samples() / speed / 3600.0;
+        let hourly = t.hourly_usd() * n as f64;
+        r.line(format!(
+            "{:>2} × {:<12} {:>8.0} samples/s   train {:>9}   cluster ${:.2}/h",
+            n,
+            t.name(),
+            speed,
+            fmt_h(hours),
+            hourly
+        ));
+        rows.push(json!({"type": t.name(), "n": n, "speed": speed, "hours": hours, "hourly": hourly}));
+    }
+    let t40 = job.total_samples() / truth.throughput(&job, InstanceType::C5Xlarge, 40).unwrap();
+    let t10 = job.total_samples() / truth.throughput(&job, InstanceType::C54xlarge, 10).unwrap();
+    let t9 = job.total_samples() / truth.throughput(&job, InstanceType::P2Xlarge, 9).unwrap();
+    r.claim("10×c5.4xlarge is the fastest of the three", t10 < t40 && t10 < t9);
+    let ratio = t40.max(t9) / t10;
+    r.claim(format!("best ≈3× the worst (got {ratio:.2}×)"), (1.5..=6.0).contains(&ratio));
+    r.data = json!(rows);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_claims_hold() {
+        let r = run_a();
+        assert!(r.all_claims_hold(), "{}", r.render());
+        assert!(r.lines.len() >= 19);
+    }
+
+    #[test]
+    fn fig1b_claims_hold() {
+        let r = run_b();
+        assert!(r.all_claims_hold(), "{}", r.render());
+        assert_eq!(r.lines.len(), 3);
+    }
+}

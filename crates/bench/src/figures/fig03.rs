@@ -1,0 +1,75 @@
+//! Fig 3 — Char-RNN training speed under scale-up and scale-out.
+//!
+//! (a) Scale-up: single-node speed across instance sizes within the c5
+//! family plus the GPU types — non-linear growth.
+//! (b) Scale-out: speed vs node count on c5.xlarge — the concave curve
+//! whose shape HeterBO's prior exploits.
+
+use crate::report::FigReport;
+use mlcd::prelude::*;
+use serde_json::json;
+
+/// Run both panels.
+pub fn run() -> FigReport {
+    let mut r = FigReport::new("fig3", "Char-RNN speed under scale-up (a) and scale-out (b)");
+    let job = TrainingJob::char_rnn();
+    let truth = ThroughputModel::default();
+
+    r.line("(a) scale-up (single node):");
+    let scale_up = [
+        InstanceType::C5Large,
+        InstanceType::C5Xlarge,
+        InstanceType::C52xlarge,
+        InstanceType::C54xlarge,
+        InstanceType::C59xlarge,
+        InstanceType::P2Xlarge,
+        InstanceType::P32xlarge,
+    ];
+    let mut up_rows = Vec::new();
+    for t in scale_up {
+        let s = truth.throughput(&job, t, 1).expect("feasible");
+        r.line(format!("  {:<13} {:>8.0} samples/s", t.name(), s));
+        up_rows.push(json!({"type": t.name(), "speed": s}));
+    }
+
+    r.line("(b) scale-out (c5.xlarge × n):");
+    let mut out_rows = Vec::new();
+    let mut speeds = Vec::new();
+    for n in [1u32, 2, 4, 8, 12, 16, 20, 26, 32, 40, 50] {
+        let s = truth.throughput(&job, InstanceType::C5Xlarge, n).expect("feasible");
+        r.line(format!("  n={n:<3} {s:>8.0} samples/s"));
+        out_rows.push(json!({"n": n, "speed": s}));
+        speeds.push((n, s));
+    }
+
+    // Shape checks.
+    let up_speeds: Vec<f64> = scale_up
+        .iter()
+        .map(|t| truth.throughput(&job, *t, 1).unwrap())
+        .collect();
+    r.claim(
+        "scale-up within c5 is monotone but sub-linear (9xlarge < 18× large)",
+        up_speeds[4] > up_speeds[0] && up_speeds[4] < up_speeds[0] * 18.0,
+    );
+    let peak = speeds.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+    r.claim(
+        format!("scale-out speedup is concave with an interior peak (peak at n={})", peak.0),
+        peak.0 > 1 && peak.0 < 50,
+    );
+    let last = speeds.last().unwrap().1;
+    r.claim(
+        format!("speed declines past the peak ({:.0} at n=50 vs {:.0} at peak)", last, peak.1),
+        last < peak.1,
+    );
+    r.data = json!({"scale_up": up_rows, "scale_out": out_rows});
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig3_claims_hold() {
+        let r = super::run();
+        assert!(r.all_claims_hold(), "{}", r.render());
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig 5 — ConvBO's per-step cost-saving/speedup oscillation.
+//!
+//! AlexNet/CIFAR-10 with ConvBO: after every profiling step, evaluate the
+//! *projected* total cost (profiling so far + training at the current best)
+//! and total time, and report the change each step brought. The paper's
+//! point: "most profiling steps do not bring benefits and can lead to lower
+//! performance" — several deltas are negative because the probe's own cost
+//! outweighed what it taught.
+
+use crate::report::FigReport;
+use mlcd::prelude::*;
+use mlcd::search::ConvBo;
+use serde_json::json;
+
+/// Run ConvBO and trace per-step deltas.
+pub fn run(seed: u64) -> FigReport {
+    let mut r = FigReport::new(
+        "fig5",
+        "per-step cost-saving and speedup of ConvBO on AlexNet/CIFAR-10 (negative = the step hurt)",
+    );
+    let job = TrainingJob::alexnet_cifar10();
+    let runner = ExperimentRunner::new(seed);
+    let out = runner.run(&ConvBo::seeded(seed), &job, &Scenario::FastestUnlimited);
+    let samples = job.total_samples();
+
+    // Projected totals after each prefix of the trace.
+    let mut prev: Option<(f64, f64)> = None; // (total_h, total_usd)
+    let mut best_speed = 0.0f64;
+    let mut best_d: Option<mlcd::deployment::Deployment> = None;
+    let mut rows = Vec::new();
+    let mut deltas = Vec::new();
+    r.line(format!("{:>4} {:>16} {:>10} | {:>12} {:>14}", "step", "probe", "speed", "Δtime(h)", "Δcost($)"));
+    for step in &out.search.steps {
+        let obs = step.observation;
+        if obs.speed > best_speed {
+            best_speed = obs.speed;
+            best_d = Some(obs.deployment);
+        }
+        let d = best_d.expect("have a best");
+        let train_h = samples / best_speed / 3600.0;
+        let train_usd = d.hourly_cost().dollars() * train_h;
+        let total_h = step.cum_profile_time.as_hours() + train_h;
+        let total_usd = step.cum_profile_cost.dollars() + train_usd;
+        let (dt, dc) = match prev {
+            // Positive = improvement (time/cost went down).
+            Some((ph, pc)) => (ph - total_h, pc - total_usd),
+            None => (0.0, 0.0),
+        };
+        if prev.is_some() {
+            deltas.push((dt, dc));
+        }
+        r.line(format!(
+            "{:>4} {:>16} {:>10.0} | {:>12.3} {:>14.3}",
+            step.index,
+            obs.deployment.to_string(),
+            obs.speed,
+            dt,
+            dc
+        ));
+        rows.push(json!({
+            "step": step.index, "probe": obs.deployment.to_string(),
+            "speedup_h": dt, "saving_usd": dc,
+        }));
+        prev = Some((total_h, total_usd));
+    }
+
+    let negative = deltas.iter().filter(|(dt, dc)| *dt < 0.0 || *dc < 0.0).count();
+    r.claim(
+        format!(
+            "a substantial share of ConvBO steps bring no benefit or hurt ({negative}/{} steps)",
+            deltas.len()
+        ),
+        deltas.len() >= 4 && negative * 2 >= deltas.len(),
+    );
+    r.claim(
+        "at least one step strictly hurt both time and cost",
+        deltas.iter().any(|(dt, dc)| *dt < 0.0 && *dc < 0.0),
+    );
+    r.data = json!(rows);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig5_claims_hold() {
+        let r = super::run(2020);
+        assert!(r.all_claims_hold(), "{}", r.render());
+    }
+}

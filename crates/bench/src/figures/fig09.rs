@@ -1,0 +1,89 @@
+//! Fig 9 — Scenario-1 (fastest, unlimited budget).
+//!
+//! As in the paper, the scale-up dimension is fixed to c5.4xlarge ("we
+//! already found the optimal scale-up is c5.4xlarge") and the search runs
+//! over scale-out only. Panel (a): HeterBO's probe-by-probe trace. Panel
+//! (b): total time, broken into profiling + training, vs ConvBO — the
+//! paper reports HeterBO needing only ~16 % of ConvBO's profiling.
+
+use crate::report::{BreakdownRow, FigReport};
+use mlcd::prelude::*;
+use mlcd::search::ConvBo;
+use serde_json::json;
+
+/// Shared setup for Figs 9–12: ResNet/CIFAR-10 over c5.4xlarge scale-out.
+pub fn scale_out_runner(seed: u64) -> ExperimentRunner {
+    ExperimentRunner::new(seed).with_types(vec![InstanceType::C54xlarge])
+}
+
+/// Run the Scenario-1 comparison.
+pub fn run(seed: u64) -> FigReport {
+    let mut r = FigReport::new(
+        "fig9",
+        "Scenario-1 on ResNet/CIFAR-10 (c5.4xlarge scale-out): HeterBO trace + total-time breakdown vs ConvBO",
+    );
+    let job = TrainingJob::resnet_cifar10();
+    let scenario = Scenario::FastestUnlimited;
+    let runner = scale_out_runner(seed);
+
+    let h = runner.run(&HeterBo::seeded(seed), &job, &scenario);
+    let c = runner.run(&ConvBo::seeded(seed), &job, &scenario);
+
+    r.line("(a) HeterBO search process:");
+    for step in &h.search.steps {
+        r.line(format!(
+            "  step {:>2}: probe {:>16} → {:>7.0} samples/s",
+            step.index,
+            step.observation.deployment.to_string(),
+            step.observation.speed
+        ));
+    }
+    r.line(format!("  stop: {:?}", h.search.stop_reason));
+
+    r.line("(b) total time breakdown:");
+    r.line(BreakdownRow::header());
+    let rows: Vec<BreakdownRow> = [&h, &c].iter().map(|o| BreakdownRow::from_outcome(o)).collect();
+    for row in &rows {
+        r.line(row.render());
+    }
+
+    let frac = rows[0].profile_h / rows[1].profile_h.max(1e-9);
+    r.claim(
+        format!("HeterBO profiles for a fraction of ConvBO's time ({:.0} %)", frac * 100.0),
+        frac < 0.8,
+    );
+    r.claim(
+        "HeterBO's pick trains at least as fast as ConvBO's (within 15 %)",
+        rows[0].train_h <= rows[1].train_h * 1.15,
+    );
+    let opt = runner.optimum(&job, &scenario).expect("optimum exists");
+    r.line(format!(
+        "  Opt: {} at {:.0} samples/s, train {:.2} h",
+        opt.deployment,
+        opt.speed,
+        opt.train_time.as_hours()
+    ));
+    r.claim(
+        "HeterBO lands within 20 % of the true optimal training time",
+        rows[0].train_h <= opt.train_time.as_hours() * 1.20,
+    );
+    r.data = json!({
+        "trace": h.search.steps.iter().map(|s| json!({
+            "step": s.index,
+            "deployment": s.observation.deployment.to_string(),
+            "speed": s.observation.speed,
+        })).collect::<Vec<_>>(),
+        "rows": rows,
+        "opt_train_h": opt.train_time.as_hours(),
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig9_claims_hold() {
+        let r = super::run(2020);
+        assert!(r.all_claims_hold(), "{}", r.render());
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig 11 — Scenario-3: fastest deployment within a $100 total budget,
+//! ResNet/CIFAR-10 over c5.4xlarge scale-out.
+//!
+//! Paper result: HeterBO finishes at $96 — under budget — with ~21 % of
+//! ConvBO's profiling time, while ConvBO spends $225 total.
+
+use crate::figures::fig09::scale_out_runner;
+use crate::report::{BreakdownRow, FigReport};
+use mlcd::prelude::*;
+use mlcd::search::ConvBo;
+use serde_json::json;
+
+/// Run the Scenario-3 comparison.
+pub fn run(seed: u64) -> FigReport {
+    let mut r = FigReport::new(
+        "fig11",
+        "Scenario-3 (≤$100 total) on ResNet/CIFAR-10: total-time breakdown, HeterBO vs ConvBO",
+    );
+    let job = TrainingJob::resnet_cifar10();
+    let budget = Money::from_dollars(100.0);
+    let scenario = Scenario::FastestWithBudget(budget);
+    let runner = scale_out_runner(seed);
+
+    let h = runner.run(&HeterBo::seeded(seed), &job, &scenario);
+    let c = runner.run(&ConvBo::seeded(seed), &job, &scenario);
+
+    r.line("(a) HeterBO search process:");
+    for step in &h.search.steps {
+        r.line(format!(
+            "  step {:>2}: probe {:>16} → {:>7.0} samples/s",
+            step.index,
+            step.observation.deployment.to_string(),
+            step.observation.speed
+        ));
+    }
+    r.line("(b) total time breakdown:");
+    r.line(BreakdownRow::header());
+    let rows: Vec<BreakdownRow> = [&h, &c].iter().map(|o| BreakdownRow::from_outcome(o)).collect();
+    for row in &rows {
+        r.line(row.render());
+    }
+
+    r.claim(
+        format!("HeterBO stays under the $100 budget (total ${:.2})", rows[0].total_usd),
+        h.satisfied,
+    );
+    r.claim(
+        format!("ConvBO blows the budget (total ${:.2})", rows[1].total_usd),
+        rows[1].total_usd > 100.0,
+    );
+    let frac = rows[0].profile_h / rows[1].profile_h.max(1e-9);
+    r.claim(
+        format!("HeterBO's profiling time is a fraction of ConvBO's ({:.0} %)", frac * 100.0),
+        frac < 0.8,
+    );
+    r.data = json!({"rows": rows, "budget_usd": 100.0});
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig11_claims_hold() {
+        let r = super::run(2020);
+        assert!(r.all_claims_hold(), "{}", r.render());
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig 12 — random search vs HeterBO, statistically.
+//!
+//! For each probe count k, run random search across many seeds and report
+//! the distribution (whisker-plot quartiles) of the *total* time
+//! (profiling + training). HeterBO's mean total is the reference line.
+//! The paper's points: small k → huge variance; large k → profiling cost
+//! inflates the total; HeterBO beats random at every k.
+
+use crate::report::FigReport;
+use mlcd::prelude::*;
+use mlcd::search::RandomSearch;
+use mlcd_linalg::stats::quartiles;
+use serde_json::json;
+
+/// Probe counts to sweep (the paper's x-axis, abbreviated).
+pub const KS: [usize; 8] = [1, 6, 9, 12, 15, 18, 27, 36];
+/// Seeds per probe count.
+const REPS: u64 = 12;
+
+/// Fig 12's space: both scaling dimensions (random search over a
+/// single-type scale-out line would be too easy — the paper's point needs
+/// the full heterogeneous space where random probes land on expensive GPU
+/// clusters).
+fn runner(seed: u64) -> ExperimentRunner {
+    ExperimentRunner::new(seed).with_types(vec![
+        InstanceType::C5Xlarge,
+        InstanceType::C54xlarge,
+        InstanceType::C5n4xlarge,
+        InstanceType::P2Xlarge,
+    ])
+}
+
+/// Run the sweep.
+pub fn run(seed: u64) -> FigReport {
+    let mut r = FigReport::new(
+        "fig12",
+        "total time of random search (distribution over seeds) vs HeterBO mean, ResNet/CIFAR-10",
+    );
+    let job = TrainingJob::resnet_cifar10();
+    let scenario = Scenario::FastestUnlimited;
+
+    // HeterBO reference mean over a few seeds.
+    let h_totals: Vec<f64> = (0..4)
+        .map(|i| {
+            runner(seed + i).run(&HeterBo::seeded(seed + i), &job, &scenario).total_hours()
+        })
+        .collect();
+    let h_mean = h_totals.iter().sum::<f64>() / h_totals.len() as f64;
+    r.line(format!("HeterBO mean total: {:.2} h", h_mean));
+    r.line(format!(
+        "{:>4} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "k", "min", "q1", "median", "q3", "max"
+    ));
+
+    let mut rows = Vec::new();
+    let mut medians = Vec::new();
+    for k in KS {
+        let totals: Vec<f64> = (0..REPS)
+            .map(|i| {
+                let s = seed.wrapping_mul(31).wrapping_add(i * 977 + k as u64);
+                runner(s).run(&RandomSearch::new(k, s), &job, &scenario).total_hours()
+            })
+            .collect();
+        let q = quartiles(&totals);
+        r.line(format!(
+            "{:>4} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            k, q.min, q.q1, q.median, q.q3, q.max
+        ));
+        rows.push(json!({"k": k, "min": q.min, "q1": q.q1, "median": q.median, "q3": q.q3, "max": q.max}));
+        medians.push((k, q.median, q.max - q.min));
+    }
+
+    let small_spread = medians.first().unwrap().2;
+    let large_spread = medians.last().unwrap().2;
+    r.claim(
+        format!(
+            "variance shrinks with more probes (spread {:.2} h at k={} vs {:.2} h at k={})",
+            small_spread,
+            KS[0],
+            large_spread,
+            KS[KS.len() - 1]
+        ),
+        small_spread > large_spread,
+    );
+    // The paper's practical point: no single k works — tiny k gambles,
+    // large k drowns in profiling — and the sweet spot is unknowable in
+    // advance, while HeterBO needs no such tuning. We check HeterBO wins
+    // clearly at both extremes and stays competitive with the (oracle)
+    // sweet spot. (Our trimmed 4-type space is kinder to random search
+    // than the paper's 3,100-point space; see EXPERIMENTS.md.)
+    let first_median = medians.first().unwrap().1;
+    let last_median = medians.last().unwrap().1;
+    r.claim(
+        format!(
+            "HeterBO ({h_mean:.2} h) beats random at the extremes (k={}: {first_median:.2} h, k={}: {last_median:.2} h)",
+            KS[0],
+            KS[KS.len() - 1]
+        ),
+        h_mean < first_median && h_mean < last_median,
+    );
+    let best_median = medians.iter().map(|m| m.1).fold(f64::INFINITY, f64::min);
+    r.claim(
+        format!(
+            "HeterBO stays within 50 % of random's oracle-tuned best median ({h_mean:.2} h vs {best_median:.2} h) without needing k tuned"
+        ),
+        h_mean <= best_median * 1.5,
+    );
+    // Large k gets dragged up by profiling cost relative to the sweet spot.
+    let mid_median = medians[3].1;
+    r.claim(
+        format!(
+            "large probe counts pay for themselves in profiling time (median {last_median:.2} h at k=36 vs {mid_median:.2} h at k=12)"
+        ),
+        last_median > mid_median,
+    );
+    r.data = json!({"heterbo_mean_h": h_mean, "rows": rows});
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig12_claims_hold() {
+        let r = super::run(2020);
+        assert!(r.all_claims_hold(), "{}", r.render());
+    }
+}

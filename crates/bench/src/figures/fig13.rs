@@ -1,0 +1,98 @@
+//! Fig 13 — HeterBO vs Paleo (analytical modeling) vs ConvBO under an $80
+//! budget, Inception-v3 on ImageNet, TensorFlow.
+//!
+//! Paleo pays no profiling at all but, because its analytical model
+//! idealises communication, it picks an over-scaled deployment and misses
+//! the optimum; HeterBO finds a near-optimal configuration while keeping
+//! the total under budget.
+
+use crate::report::{BreakdownRow, FigReport};
+use mlcd::prelude::*;
+use mlcd::search::ConvBo;
+use serde_json::json;
+
+/// Types the Inception experiment searches over (CPU + both GPU families).
+fn types() -> Vec<InstanceType> {
+    vec![
+        InstanceType::C54xlarge,
+        InstanceType::C5n4xlarge,
+        InstanceType::P2Xlarge,
+        InstanceType::P32xlarge,
+    ]
+}
+
+/// Run the three-way comparison plus the oracle.
+pub fn run(seed: u64) -> FigReport {
+    let mut r = FigReport::new(
+        "fig13",
+        "ConvBO vs Paleo vs HeterBO vs Opt under $80 budget, Inception-v3/ImageNet",
+    );
+    let job = TrainingJob::inception_imagenet();
+    let budget = Money::from_dollars(80.0);
+    let scenario = Scenario::FastestWithBudget(budget);
+    let runner = ExperimentRunner::new(seed).with_types(types());
+
+    let c = runner.run(&ConvBo::seeded(seed), &job, &scenario);
+    let p = runner.run_paleo(&job, &scenario);
+    let h = runner.run(&HeterBo::seeded(seed), &job, &scenario);
+    let opt = runner.optimum(&job, &scenario).expect("a feasible optimum exists");
+
+    r.line(BreakdownRow::header());
+    let rows: Vec<BreakdownRow> =
+        [&c, &p, &h].iter().map(|o| BreakdownRow::from_outcome(o)).collect();
+    for row in &rows {
+        r.line(row.render());
+    }
+    r.line(format!(
+        "{:<11} {:>16} | {:>9} {:>9} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | yes",
+        "Opt",
+        opt.deployment.to_string(),
+        "-",
+        "-",
+        opt.train_time.as_hours(),
+        opt.train_cost.dollars(),
+        opt.train_time.as_hours(),
+        opt.train_cost.dollars()
+    ));
+
+    r.claim("Paleo pays zero profiling", rows[1].profile_usd == 0.0);
+    r.claim(
+        format!(
+            "Paleo fails the scenario: its idealised comm model picks an over-scaled cluster \
+             that busts the budget (${:.2} vs $80) and still trains slower than Opt",
+            rows[1].total_usd
+        ),
+        rows[1].total_usd > budget.dollars() && rows[1].train_h >= opt.train_time.as_hours(),
+    );
+    r.claim(
+        format!("HeterBO keeps the total under budget (${:.2})", rows[2].total_usd),
+        h.satisfied,
+    );
+    r.claim(
+        format!(
+            "HeterBO's pick is near-optimal (train {:.2} h vs opt {:.2} h)",
+            rows[2].train_h,
+            opt.train_time.as_hours()
+        ),
+        rows[2].train_h <= opt.train_time.as_hours() * 1.35,
+    );
+    r.claim(
+        format!("ConvBO busts the budget (${:.2})", rows[0].total_usd),
+        rows[0].total_usd > budget.dollars(),
+    );
+    r.data = json!({"rows": rows, "opt": {
+        "deployment": opt.deployment.to_string(),
+        "train_h": opt.train_time.as_hours(),
+        "train_usd": opt.train_cost.dollars(),
+    }});
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig13_claims_hold() {
+        let r = super::run(2020);
+        assert!(r.all_claims_hold(), "{}", r.render());
+    }
+}

@@ -1,0 +1,128 @@
+//! Fig 15 — HeterBO's search trajectory for Char-RNN over both scaling
+//! dimensions: {c5.xlarge, c5.4xlarge, p2.xlarge} × n ≤ 50, budget $120.
+//!
+//! The paper narrates: first a single-node probe of each type (steps 1–3),
+//! then interval-finding exploration (4–6), then exploitation inside the
+//! best interval (7–9). We print the true per-type speed curves (what the
+//! figure's dots sit on) and the numbered probe sequence.
+
+use crate::report::FigReport;
+use mlcd::prelude::*;
+use serde_json::json;
+
+/// Shared trajectory harness for Figs 15–17.
+pub fn trajectory_report(
+    id: &'static str,
+    title: &'static str,
+    job: &TrainingJob,
+    types: Vec<InstanceType>,
+    max_nodes: u32,
+    budget_usd: f64,
+    seed: u64,
+) -> FigReport {
+    let mut r = FigReport::new(id, title);
+    let scenario = Scenario::FastestWithBudget(Money::from_dollars(budget_usd));
+    let runner = ExperimentRunner::new(seed).with_types(types.clone()).with_max_nodes(max_nodes);
+    let truth = ThroughputModel::default();
+
+    // Ground-truth curves the trajectory walks on.
+    let grid: Vec<u32> = (1..=max_nodes).filter(|n| n % (max_nodes / 10).max(1) == 0 || *n == 1).collect();
+    let mut curves = Vec::new();
+    for t in &types {
+        let pts: Vec<(u32, f64)> = grid
+            .iter()
+            .filter_map(|&n| truth.throughput(job, *t, n).ok().map(|s| (n, s)))
+            .collect();
+        let rendered: Vec<String> = pts.iter().map(|(n, s)| format!("({n},{s:.0})")).collect();
+        r.line(format!("curve {:<13} {}", t.name(), rendered.join(" ")));
+        curves.push(json!({"type": t.name(), "points": pts}));
+    }
+
+    let out = runner.run(&HeterBo::seeded(seed), job, &scenario);
+    r.line("HeterBO trajectory:");
+    let mut steps = Vec::new();
+    for step in &out.search.steps {
+        let o = step.observation;
+        r.line(format!(
+            "  step {:>2}: {:>16} → {:>7.0} samples/s  (cum ${:.2})",
+            step.index,
+            o.deployment.to_string(),
+            o.speed,
+            step.cum_profile_cost.dollars()
+        ));
+        steps.push(json!({
+            "step": step.index, "type": o.deployment.itype.name(), "n": o.deployment.n,
+            "speed": o.speed,
+        }));
+    }
+    let pick = out.plan.map(|p| p.deployment.to_string()).unwrap_or_default();
+    r.line(format!(
+        "pick: {}  | total {:.2} h ${:.2} (budget ${budget_usd})",
+        pick,
+        out.total_hours(),
+        out.total_cost.dollars()
+    ));
+
+    // Shape checks shared by every trajectory figure.
+    let n_types = types.len();
+    let first_are_singles = out
+        .search
+        .steps
+        .iter()
+        .take(n_types)
+        .all(|s| {
+            // "Single node of each type": the smallest feasible n for the
+            // type (1 for everything in these figures).
+            s.observation.deployment.n
+                == runner
+                    .space(job)
+                    .candidates()
+                    .iter()
+                    .filter(|d| d.itype == s.observation.deployment.itype)
+                    .map(|d| d.n)
+                    .min()
+                    .unwrap()
+        });
+    r.claim("first probes are one minimal node of each type", first_are_singles);
+    let distinct_types: std::collections::HashSet<_> = out
+        .search
+        .steps
+        .iter()
+        .take(n_types)
+        .map(|s| s.observation.deployment.itype)
+        .collect();
+    r.claim("the init sweep covers every instance type", distinct_types.len() == n_types);
+    r.claim(
+        format!("stays within the ${budget_usd} budget (${:.2})", out.total_cost.dollars()),
+        out.satisfied,
+    );
+    r.claim(
+        format!("finishes in few probes ({} ≤ 16)", out.search.n_probes()),
+        out.search.n_probes() <= 16,
+    );
+    r.data = json!({"curves": curves, "steps": steps, "budget": budget_usd,
+        "total_usd": out.total_cost.dollars(), "pick": pick});
+    r
+}
+
+/// Run Fig 15.
+pub fn run(seed: u64) -> FigReport {
+    trajectory_report(
+        "fig15",
+        "HeterBO trajectory: Char-RNN/TensorFlow over {c5.xlarge, c5.4xlarge, p2.xlarge} × ≤50, budget $120",
+        &TrainingJob::char_rnn(),
+        vec![InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge],
+        50,
+        120.0,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig15_claims_hold() {
+        let r = super::run(2020);
+        assert!(r.all_claims_hold(), "{}", r.render());
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig 16 — HeterBO trajectory for BERT on TensorFlow with ring
+//! all-reduce: {c5n.xlarge, c5n.4xlarge, p2.xlarge} × n ≤ 20, budget $100.
+//!
+//! Demonstrates robustness on a 340 M-parameter model and a different
+//! communication topology: the same explore-then-exploit trajectory shape
+//! appears, with the GPU type dominating (large matmuls) and the
+//! network-enhanced c5n types ordered by bandwidth.
+
+use crate::report::FigReport;
+use mlcd::prelude::*;
+
+/// Run Fig 16.
+pub fn run(seed: u64) -> FigReport {
+    let mut r = super::fig15::trajectory_report(
+        "fig16",
+        "HeterBO trajectory: BERT/TensorFlow (ring all-reduce) over {c5n.xlarge, c5n.4xlarge, p2.xlarge} × ≤20, budget $100",
+        &TrainingJob::bert_tensorflow(),
+        vec![InstanceType::C5nXlarge, InstanceType::C5n4xlarge, InstanceType::P2Xlarge],
+        20,
+        100.0,
+        seed,
+    );
+    // BERT-specific shape check: the accelerator wins for transformers.
+    let truth = ThroughputModel::default();
+    let job = TrainingJob::bert_tensorflow();
+    let best = |t: InstanceType| {
+        (1..=20)
+            .filter_map(|n| truth.throughput(&job, t, n).ok())
+            .fold(0.0_f64, f64::max)
+    };
+    let p2 = best(InstanceType::P2Xlarge);
+    let c5n4 = best(InstanceType::C5n4xlarge);
+    let c5n1 = best(InstanceType::C5nXlarge);
+    r.claim(
+        format!("p2.xlarge dominates for BERT ({p2:.0} vs c5n.4xlarge {c5n4:.0} samples/s)"),
+        p2 > c5n4,
+    );
+    r.claim(
+        format!("within c5n, more bandwidth+compute wins ({c5n4:.1} vs {c5n1:.1})"),
+        c5n4 > c5n1,
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig16_claims_hold() {
+        let r = super::run(2020);
+        assert!(r.all_claims_hold(), "{}", r.render());
+    }
+}

@@ -1,0 +1,193 @@
+//! Fig 19 — scalability with model size: HeterBO's total-time speedup and
+//! total-cost saving over ConvBO for models from 6.4 M (AlexNet) to 20 B
+//! (ZeRO) parameters.
+//!
+//! The paper reports the speedup growing 1.3×→6.5× and the saving
+//! 69 %→92 %, and attributes it to "larger model size results in larger
+//! deployment search space": bigger models both *need* bigger clusters
+//! (memory sharding) and pay far more per probe (cluster price × the
+//! state-distribution warm-up), so cost-blind exploration bleeds time and
+//! money ever faster. We reproduce the setup accordingly — each rung of
+//! the ladder searches the space that model realistically deploys on, and
+//! ZeRO runs are simulated on a short benchmark slice exactly as the paper
+//! does.
+
+use crate::report::FigReport;
+use mlcd::prelude::*;
+use mlcd::search::ConvBo;
+use serde_json::json;
+
+struct Rung {
+    job: TrainingJob,
+    label: &'static str,
+    params: f64,
+    types: Vec<InstanceType>,
+    max_nodes: u32,
+}
+
+/// The model-size ladder with its per-size deployment spaces.
+fn ladder() -> Vec<Rung> {
+    vec![
+        Rung {
+            job: TrainingJob::alexnet_cifar10(),
+            label: "6.4M",
+            params: 6.4e6,
+            types: vec![InstanceType::C5Large, InstanceType::C5Xlarge, InstanceType::C54xlarge],
+            max_nodes: 10,
+        },
+        Rung {
+            job: TrainingJob::resnet_cifar10(),
+            label: "60.3M",
+            params: 60.3e6,
+            types: vec![
+                InstanceType::C5Xlarge,
+                InstanceType::C54xlarge,
+                InstanceType::C5n4xlarge,
+                InstanceType::P2Xlarge,
+            ],
+            max_nodes: 25,
+        },
+        Rung {
+            job: TrainingJob::bert_tensorflow(),
+            label: "340M",
+            params: 340e6,
+            types: vec![
+                InstanceType::C5nXlarge,
+                InstanceType::C5n4xlarge,
+                InstanceType::P2Xlarge,
+                InstanceType::P32xlarge,
+            ],
+            max_nodes: 32,
+        },
+        Rung {
+            job: TrainingJob::zero_8b(),
+            label: "8B",
+            params: 8e9,
+            types: vec![
+                InstanceType::C5n9xlarge,
+                InstanceType::P28xlarge,
+                InstanceType::P32xlarge,
+                InstanceType::P38xlarge,
+            ],
+            max_nodes: 64,
+        },
+        Rung {
+            job: TrainingJob::zero_20b(),
+            label: "20B",
+            params: 20e9,
+            types: vec![
+                InstanceType::C5n9xlarge,
+                InstanceType::P28xlarge,
+                InstanceType::P32xlarge,
+                InstanceType::P38xlarge,
+            ],
+            max_nodes: 100,
+        },
+    ]
+}
+
+/// Run the ladder, averaging a couple of seeds per rung.
+pub fn run(seed: u64) -> FigReport {
+    let mut r = FigReport::new(
+        "fig19",
+        "HeterBO vs ConvBO total-time speedup and cost saving vs model size",
+    );
+    const REPS: u64 = 3;
+    r.line(format!(
+        "{:>7} {:>12} {:>12} {:>9} | {:>12} {:>12} {:>10}",
+        "size", "HeterBO(h)", "ConvBO(h)", "speedup", "HeterBO($)", "ConvBO($)", "saving"
+    ));
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut savings = Vec::new();
+    for rung in ladder() {
+        // A realistic user budget scaled to the job: twice the training
+        // cost of the time-optimal deployment (floored for the tiny jobs).
+        let probe_runner = ExperimentRunner::new(seed)
+            .with_types(rung.types.clone())
+            .with_max_nodes(rung.max_nodes);
+        let opt = probe_runner
+            .optimum(&rung.job, &Scenario::FastestUnlimited)
+            .expect("every rung has feasible deployments");
+        let budget = Money::from_dollars((2.0 * opt.train_cost.dollars()).max(40.0));
+        let scenario = Scenario::FastestWithBudget(budget);
+
+        let (mut ht, mut ct, mut hc, mut cc) = (0.0, 0.0, 0.0, 0.0);
+        let (mut h_sat, mut c_sat) = (0usize, 0usize);
+        for i in 0..REPS {
+            let s = seed + i * 7919;
+            let runner = ExperimentRunner::new(s)
+                .with_types(rung.types.clone())
+                .with_max_nodes(rung.max_nodes);
+            let h = runner.run(&HeterBo::seeded(s), &rung.job, &scenario);
+            let c = runner.run(&ConvBo::seeded(s), &rung.job, &scenario);
+            h_sat += usize::from(h.satisfied);
+            c_sat += usize::from(c.satisfied);
+            ht += h.total_hours();
+            ct += c.total_hours();
+            hc += h.total_cost.dollars();
+            cc += c.total_cost.dollars();
+        }
+        let (ht, ct, hc, cc) =
+            (ht / REPS as f64, ct / REPS as f64, hc / REPS as f64, cc / REPS as f64);
+        let speedup = ct / ht;
+        let saving = 1.0 - hc / cc;
+        r.line(format!(
+            "{:>7} {ht:>12.2} {ct:>12.2} {speedup:>8.2}× | {hc:>12.2} {cc:>12.2} {:>9.0}%",
+            rung.label,
+            saving * 100.0
+        ));
+        rows.push(json!({"size": rung.label, "params": rung.params, "heterbo_h": ht,
+            "convbo_h": ct, "speedup": speedup, "heterbo_usd": hc, "convbo_usd": cc,
+            "saving": saving, "heterbo_sat": h_sat, "convbo_sat": c_sat, "reps": REPS}));
+        speedups.push(speedup);
+        savings.push(saving);
+    }
+
+    // Shape checks. The paper reports the speedup growing 1.3→6.5×; in our
+    // substrate probe *duration* is nearly homogeneous across cluster
+    // sizes (the paper's 10-min rule + state warm-up), so HeterBO's
+    // advantage compounds in money rather than wall-clock — EXPERIMENTS.md
+    // discusses the deviation.
+    let (first_sv, last_sv) = (savings[0], *savings.last().unwrap());
+    r.claim(
+        format!(
+            "cost saving grows from the smallest to the largest model ({:.0}% → {:.0}%)",
+            first_sv * 100.0,
+            last_sv * 100.0
+        ),
+        last_sv > 0.3 && last_sv > first_sv,
+    );
+    let mean_s = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let last_s = *speedups.last().unwrap();
+    r.claim(
+        format!(
+            "HeterBO is faster on average and at the largest scale (mean {mean_s:.2}×, 20B {last_s:.2}×)"
+        ),
+        mean_s >= 1.0 && last_s >= 1.1,
+    );
+    let h_sat_big: u64 =
+        rows[3..].iter().map(|r| r["heterbo_sat"].as_u64().unwrap()).sum();
+    let c_sat_big: u64 =
+        rows[3..].iter().map(|r| r["convbo_sat"].as_u64().unwrap()).sum();
+    r.claim(
+        format!(
+            "at billion-parameter scale HeterBO keeps the scaled budget and ConvBO blows it (HeterBO {h_sat_big}/{}, ConvBO {c_sat_big}/{} compliant)",
+            2 * REPS,
+            2 * REPS
+        ),
+        h_sat_big > c_sat_big,
+    );
+    r.data = json!(rows);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "slow: twenty full searches — run with --ignored --release"]
+    fn fig19_claims_hold() {
+        let r = super::run(2020);
+        assert!(r.all_claims_hold(), "{}", r.render());
+    }
+}

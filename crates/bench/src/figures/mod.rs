@@ -1,0 +1,63 @@
+//! One module per paper figure. See DESIGN.md §4 for the experiment index.
+
+pub mod ablations;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig05;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+
+use crate::report::FigReport;
+
+/// All figure ids, in paper order, plus the ablation study.
+pub const ALL_IDS: [&str; 17] = [
+    "fig1a", "fig1b", "fig2", "fig3", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablations",
+];
+
+/// Run one figure by id. `None` for an unknown id.
+pub fn run(id: &str, seed: u64) -> Option<FigReport> {
+    Some(match id {
+        "fig1a" => fig01::run_a(),
+        "fig1b" => fig01::run_b(),
+        "fig2" => fig02::run(seed),
+        "fig3" => fig03::run(),
+        "fig5" => fig05::run(seed),
+        "fig9" => fig09::run(seed),
+        "fig10" => fig10::run(seed),
+        "fig11" => fig11::run(seed),
+        "fig12" => fig12::run(seed),
+        "fig13" => fig13::run(seed),
+        "fig14" => fig14::run(seed),
+        "fig15" => fig15::run(seed),
+        "fig16" => fig16::run(seed),
+        "fig17" => fig17::run(seed),
+        "fig18" => fig18::run(seed),
+        "fig19" => fig19::run(seed),
+        "ablations" => ablations::run(seed),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_ids() {
+        for id in ALL_IDS {
+            assert!(run(id, 1).is_some(), "missing figure {id}");
+        }
+        assert!(run("fig99", 1).is_none());
+    }
+}

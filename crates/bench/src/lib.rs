@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness regenerating every figure of the paper's evaluation.
+//!
+//! The paper's evaluation (§V) consists of Figures 1–3, 5 and 9–19 (it has
+//! no numbered tables). `cargo run -p mlcd-bench --bin figures --release --
+//! <id>|all` regenerates the rows/series each figure plots; the Criterion
+//! benches under `benches/` measure the computational cost of the machinery
+//! itself (GP fits, acquisition sweeps, search loops) plus the ablation
+//! timings.
+//!
+//! Each figure module returns a [`report::FigReport`] — a printable text
+//! block plus a machine-readable JSON value that EXPERIMENTS.md is built
+//! from.
+
+pub mod figures;
+pub mod report;
+
+pub use report::FigReport;
+
+/// Default seed used by the figure harness (override with `--seed`).
+pub const DEFAULT_SEED: u64 = 2020;

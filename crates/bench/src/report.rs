@@ -1,0 +1,195 @@
+//! Figure-report plumbing: text tables + JSON series.
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// One regenerated figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigReport {
+    /// Figure id, e.g. `"fig9"`.
+    pub id: &'static str,
+    /// One-line description of what the paper's figure shows.
+    pub title: &'static str,
+    /// Pre-formatted text lines (the "rows/series the paper reports").
+    pub lines: Vec<String>,
+    /// Machine-readable data behind the lines.
+    pub data: Value,
+    /// Shape checks: the qualitative claims the paper makes about this
+    /// figure, evaluated against our regenerated data.
+    pub claims: Vec<Claim>,
+}
+
+/// One qualitative claim and whether the regenerated data exhibits it.
+#[derive(Debug, Clone, Serialize)]
+pub struct Claim {
+    /// Statement of the claim.
+    pub statement: String,
+    /// Did the regenerated data show it?
+    pub holds: bool,
+}
+
+impl FigReport {
+    /// New empty report.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        FigReport { id, title, lines: Vec::new(), data: Value::Null, claims: Vec::new() }
+    }
+
+    /// Append a text line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Record a claim check.
+    pub fn claim(&mut self, statement: impl Into<String>, holds: bool) {
+        self.claims.push(Claim { statement: statement.into(), holds });
+    }
+
+    /// Whether every claim held.
+    pub fn all_claims_hold(&self) -> bool {
+        self.claims.iter().all(|c| c.holds)
+    }
+
+    /// Render the whole report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        if !self.claims.is_empty() {
+            out.push_str("-- shape checks --\n");
+            for c in &self.claims {
+                out.push_str(&format!("[{}] {}\n", if c.holds { "PASS" } else { "FAIL" }, c.statement));
+            }
+        }
+        out
+    }
+}
+
+/// Format an `f64` with thousands separators for sample counts.
+pub fn fmt_speed(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Format hours.
+pub fn fmt_h(h: f64) -> String {
+    format!("{h:.2} h")
+}
+
+/// Format dollars.
+pub fn fmt_usd(d: f64) -> String {
+    format!("${d:.2}")
+}
+
+/// A compact breakdown row used by several figures: searcher, profiling
+/// time/cost, training time/cost, totals, constraint satisfaction.
+#[derive(Debug, Clone, Serialize)]
+pub struct BreakdownRow {
+    /// Searcher name.
+    pub name: String,
+    /// Profiling hours.
+    pub profile_h: f64,
+    /// Profiling dollars.
+    pub profile_usd: f64,
+    /// Training hours.
+    pub train_h: f64,
+    /// Training dollars.
+    pub train_usd: f64,
+    /// Total hours.
+    pub total_h: f64,
+    /// Total dollars.
+    pub total_usd: f64,
+    /// Constraint satisfied?
+    pub satisfied: bool,
+    /// Chosen deployment, rendered.
+    pub pick: String,
+}
+
+impl BreakdownRow {
+    /// Build from an experiment outcome.
+    pub fn from_outcome(o: &mlcd::experiment::ExperimentOutcome) -> Self {
+        BreakdownRow {
+            name: o.searcher.to_string(),
+            profile_h: o.search.profile_time.as_hours(),
+            profile_usd: o.search.profile_cost.dollars(),
+            train_h: o.train_time.as_hours(),
+            train_usd: o.train_cost.dollars(),
+            total_h: o.total_time.as_hours(),
+            total_usd: o.total_cost.dollars(),
+            satisfied: o.satisfied,
+            pick: o.plan.map(|p| p.deployment.to_string()).unwrap_or_else(|| "-".into()),
+        }
+    }
+
+    /// Header matching [`Self::render`].
+    pub fn header() -> String {
+        format!(
+            "{:<11} {:>16} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {}",
+            "searcher", "pick", "prof(h)", "prof($)", "train(h)", "train($)", "total(h)",
+            "total($)", "ok"
+        )
+    }
+
+    /// One aligned text row.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<11} {:>16} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {}",
+            self.name,
+            self.pick,
+            self.profile_h,
+            self.profile_usd,
+            self.train_h,
+            self.train_usd,
+            self.total_h,
+            self.total_usd,
+            if self.satisfied { "yes" } else { "NO" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_lines_and_claims() {
+        let mut r = FigReport::new("figX", "test");
+        r.line("hello");
+        r.claim("the sky is blue", true);
+        r.claim("water is dry", false);
+        let s = r.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("hello"));
+        assert!(s.contains("[PASS] the sky is blue"));
+        assert!(s.contains("[FAIL] water is dry"));
+        assert!(!r.all_claims_hold());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_h(1.234), "1.23 h");
+        assert_eq!(fmt_usd(12.5), "$12.50");
+        assert_eq!(fmt_speed(1234.56), "1235");
+    }
+
+    #[test]
+    fn row_alignment_matches_header() {
+        let row = BreakdownRow {
+            name: "HeterBO".into(),
+            profile_h: 1.0,
+            profile_usd: 2.0,
+            train_h: 3.0,
+            train_usd: 4.0,
+            total_h: 4.0,
+            total_usd: 6.0,
+            satisfied: true,
+            pick: "10×c5.xlarge".into(),
+        };
+        // Header and row should produce the same number of '|' separators.
+        assert_eq!(
+            BreakdownRow::header().matches('|').count(),
+            row.render().matches('|').count()
+        );
+    }
+}

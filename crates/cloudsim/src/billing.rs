@@ -1,0 +1,253 @@
+//! Per-second billing with AWS's 60-second minimum.
+//!
+//! Every cluster run produces [`UsageRecord`]s; [`Billing`] accumulates
+//! them and answers cost queries. Money is a newtype over `f64` dollars —
+//! the amounts in this domain (profiling budgets of tens to hundreds of
+//! dollars) are far from `f64` precision hazards, but the type prevents
+//! accidentally mixing dollars with hours.
+
+use crate::catalog::InstanceType;
+use crate::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Sub};
+
+/// An amount of money in USD.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Money(f64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0.0);
+
+    /// Construct from dollars.
+    ///
+    /// # Panics
+    /// Panics on non-finite input (negative is allowed: budget arithmetic
+    /// produces deficits).
+    pub fn from_dollars(d: f64) -> Self {
+        assert!(d.is_finite(), "Money: non-finite amount {d}");
+        Money(d)
+    }
+
+    /// Amount in dollars.
+    pub fn dollars(&self) -> f64 {
+        self.0
+    }
+
+    /// Larger of two amounts.
+    pub fn max(self, other: Money) -> Money {
+        Money(self.0.max(other.0))
+    }
+
+    /// Scale by a factor.
+    pub fn scale(self, k: f64) -> Money {
+        Money::from_dollars(self.0 * k)
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, o: Money) -> Money {
+        Money(self.0 + o.0)
+    }
+}
+impl AddAssign for Money {
+    fn add_assign(&mut self, o: Money) {
+        self.0 += o.0;
+    }
+}
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, o: Money) -> Money {
+        Money(self.0 - o.0)
+    }
+}
+
+impl std::fmt::Display for Money {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "${:.2}", self.0)
+    }
+}
+
+impl std::iter::Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |a, b| a + b)
+    }
+}
+
+/// AWS bills Linux on-demand per second with a 60-second minimum.
+pub fn billed_duration(actual: SimDuration) -> SimDuration {
+    actual.max(SimDuration::from_secs(60.0))
+}
+
+/// One contiguous usage of `n` instances of a type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UsageRecord {
+    /// Instance type used.
+    pub itype: InstanceType,
+    /// Number of instances.
+    pub n: u32,
+    /// Launch time.
+    pub start: SimTime,
+    /// Termination time.
+    pub end: SimTime,
+    /// Hourly rate actually charged per instance; `None` means the
+    /// on-demand list price (spot launches record their locked-in spot
+    /// rate here).
+    pub hourly_usd: Option<f64>,
+}
+
+impl UsageRecord {
+    /// An on-demand usage record.
+    pub fn on_demand(itype: InstanceType, n: u32, start: SimTime, end: SimTime) -> Self {
+        UsageRecord { itype, n, start, end, hourly_usd: None }
+    }
+
+    /// Wall-clock duration of the usage.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+
+    /// The hourly rate charged per instance.
+    pub fn rate(&self) -> f64 {
+        self.hourly_usd.unwrap_or_else(|| self.itype.hourly_usd())
+    }
+
+    /// Billed cost: n × hourly rate × billed hours.
+    pub fn cost(&self) -> Money {
+        let hours = billed_duration(self.duration()).as_hours();
+        Money::from_dollars(self.rate() * self.n as f64 * hours)
+    }
+}
+
+/// Thread-safe accumulator of usage records.
+#[derive(Debug, Default)]
+pub struct Billing {
+    records: Mutex<Vec<UsageRecord>>,
+}
+
+impl Billing {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one usage record.
+    pub fn record(&self, r: UsageRecord) {
+        self.records.lock().push(r);
+    }
+
+    /// Total billed cost across all records.
+    pub fn total_cost(&self) -> Money {
+        self.records.lock().iter().map(|r| r.cost()).sum()
+    }
+
+    /// Number of records.
+    pub fn n_records(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Snapshot of the ledger.
+    pub fn records(&self) -> Vec<UsageRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Total instance-hours (Σ n × duration), a common cloud-cost metric.
+    pub fn instance_hours(&self) -> f64 {
+        self.records.lock().iter().map(|r| r.n as f64 * r.duration().as_hours()).sum()
+    }
+}
+
+/// Quote (without recording) the cost of running `n` × `itype` for `d`.
+pub fn quote(itype: InstanceType, n: u32, d: SimDuration) -> Money {
+    Money::from_dollars(itype.hourly_usd() * n as f64 * billed_duration(d).as_hours())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(itype: InstanceType, n: u32, start_s: f64, end_s: f64) -> UsageRecord {
+        UsageRecord::on_demand(
+            itype,
+            n,
+            SimTime::from_secs(start_s),
+            SimTime::from_secs(end_s),
+        )
+    }
+
+    #[test]
+    fn one_hour_of_one_instance() {
+        let r = rec(InstanceType::C5Xlarge, 1, 0.0, 3600.0);
+        assert!((r.cost().dollars() - 0.17).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_scales_with_count_and_time() {
+        let base = rec(InstanceType::C5Xlarge, 1, 0.0, 3600.0).cost().dollars();
+        assert!((rec(InstanceType::C5Xlarge, 10, 0.0, 3600.0).cost().dollars() - base * 10.0).abs() < 1e-9);
+        assert!((rec(InstanceType::C5Xlarge, 1, 0.0, 7200.0).cost().dollars() - base * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sixty_second_minimum_applies() {
+        let short = rec(InstanceType::P32xlarge, 1, 0.0, 5.0);
+        let sixty = rec(InstanceType::P32xlarge, 1, 0.0, 60.0);
+        assert_eq!(short.cost(), sixty.cost());
+        let bit_more = rec(InstanceType::P32xlarge, 1, 0.0, 61.0);
+        assert!(bit_more.cost() > sixty.cost());
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let b = Billing::new();
+        b.record(rec(InstanceType::C5Xlarge, 2, 0.0, 3600.0));
+        b.record(rec(InstanceType::P2Xlarge, 1, 0.0, 1800.0));
+        assert_eq!(b.n_records(), 2);
+        let want = 2.0 * 0.17 + 0.90 * 0.5;
+        assert!((b.total_cost().dollars() - want).abs() < 1e-9);
+        assert!((b.instance_hours() - (2.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quote_matches_record() {
+        let q = quote(InstanceType::C5n4xlarge, 7, SimDuration::from_mins(13.0));
+        let r = rec(InstanceType::C5n4xlarge, 7, 0.0, 13.0 * 60.0);
+        assert_eq!(q, r.cost());
+    }
+
+    #[test]
+    fn money_arithmetic_and_display() {
+        let a = Money::from_dollars(1.5);
+        let b = Money::from_dollars(2.25);
+        assert_eq!((a + b).dollars(), 3.75);
+        assert_eq!((b - a).dollars(), 0.75);
+        assert_eq!(a.scale(2.0).dollars(), 3.0);
+        assert_eq!(format!("{}", b), "$2.25");
+        let total: Money = [a, b].into_iter().sum();
+        assert_eq!(total.dollars(), 3.75);
+    }
+
+    #[test]
+    fn spot_rate_overrides_list_price() {
+        let mut r = rec(InstanceType::P32xlarge, 2, 0.0, 3600.0);
+        r.hourly_usd = Some(1.0);
+        assert!((r.cost().dollars() - 2.0).abs() < 1e-12);
+        assert_eq!(r.rate(), 1.0);
+        let od = rec(InstanceType::P32xlarge, 2, 0.0, 3600.0);
+        assert!((od.rate() - 3.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_money_allowed_for_deficits() {
+        let deficit = Money::from_dollars(10.0) - Money::from_dollars(25.0);
+        assert_eq!(deficit.dollars(), -15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_money_rejected() {
+        let _ = Money::from_dollars(f64::NAN);
+    }
+}

@@ -1,0 +1,262 @@
+//! Cluster lifecycle.
+//!
+//! A cluster moves Pending → Provisioning → Running → Terminated. The
+//! provisioning delay models instance boot + ML-stack setup + framework
+//! warm-up; the paper's profiler setup ("each profiling takes 10 minutes
+//! including initial setup and warm-up, plus 1 extra minute per 3 extra
+//! nodes") motivates the default latency model growing with cluster size.
+
+use crate::catalog::InstanceType;
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Opaque cluster identifier, unique within one `SimCloud`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClusterId(pub u64);
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cluster-{}", self.0)
+    }
+}
+
+/// Lifecycle state of a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterState {
+    /// Request accepted, not yet provisioning.
+    Pending,
+    /// Instances booting / stack warming up; becomes Running at the stored
+    /// ready time.
+    Provisioning,
+    /// Ready to run work.
+    Running,
+    /// Terminated; a terminal state.
+    Terminated,
+}
+
+/// Deterministic-plus-jitter model of how long provisioning takes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProvisioningModel {
+    /// Fixed boot + setup time for the first node.
+    pub base: SimDuration,
+    /// Additional time per 3 extra nodes (paper's profiler rule).
+    pub per_three_nodes: SimDuration,
+    /// Extra fixed time for GPU instances (driver / CUDA context setup).
+    pub gpu_extra: SimDuration,
+    /// Max multiplicative jitter: the sampled delay is
+    /// `deterministic × U[1, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for ProvisioningModel {
+    fn default() -> Self {
+        ProvisioningModel {
+            base: SimDuration::from_mins(2.0),
+            per_three_nodes: SimDuration::from_mins(1.0),
+            gpu_extra: SimDuration::from_mins(1.0),
+            jitter: 0.15,
+        }
+    }
+}
+
+impl ProvisioningModel {
+    /// Deterministic part of the delay for `n` instances of `itype`.
+    pub fn deterministic_delay(&self, itype: InstanceType, n: u32) -> SimDuration {
+        assert!(n >= 1, "cluster must have at least one node");
+        let extra_groups = ((n - 1) / 3) as f64;
+        let mut d = self.base + self.per_three_nodes * extra_groups;
+        if itype.spec().has_gpu() {
+            d += self.gpu_extra;
+        }
+        d
+    }
+
+    /// Sample the actual delay, applying jitter from `rng`.
+    pub fn sample_delay<R: Rng>(&self, itype: InstanceType, n: u32, rng: &mut R) -> SimDuration {
+        let det = self.deterministic_delay(itype, n);
+        if self.jitter <= 0.0 {
+            return det;
+        }
+        det * rng.gen_range(1.0..1.0 + self.jitter)
+    }
+}
+
+/// A simulated cluster: `n` instances of one type plus lifecycle
+/// bookkeeping. State transitions are driven by the provider.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterInner {
+    /// Identifier.
+    pub id: ClusterId,
+    /// Instance type of all nodes.
+    pub itype: InstanceType,
+    /// Node count.
+    pub n: u32,
+    /// Current state.
+    pub state: ClusterState,
+    /// When the launch request was made.
+    pub requested_at: SimTime,
+    /// When the cluster becomes/became Running.
+    pub ready_at: SimTime,
+    /// When it was terminated (meaningful only in Terminated).
+    pub terminated_at: Option<SimTime>,
+    /// Hourly rate per instance when launched on the spot market (`None`
+    /// = on-demand list price).
+    pub spot_hourly_usd: Option<f64>,
+    /// When the spot market will revoke this cluster, if ever.
+    pub revoke_at: Option<SimTime>,
+}
+
+impl ClusterInner {
+    /// Start the lifecycle at `now`, ready after `delay`.
+    pub fn new(id: ClusterId, itype: InstanceType, n: u32, now: SimTime, delay: SimDuration) -> Self {
+        ClusterInner {
+            id,
+            itype,
+            n,
+            state: ClusterState::Provisioning,
+            requested_at: now,
+            ready_at: now + delay,
+            terminated_at: None,
+            spot_hourly_usd: None,
+            revoke_at: None,
+        }
+    }
+
+    /// Advance the state machine to time `now`.
+    pub fn poll(&mut self, now: SimTime) {
+        if self.state == ClusterState::Provisioning && now >= self.ready_at {
+            self.state = ClusterState::Running;
+        }
+    }
+
+    /// Terminate at `now`.
+    ///
+    /// Terminating a cluster that is still provisioning is allowed (the
+    /// instances were launched, so they are billed from `requested_at`).
+    pub fn terminate(&mut self, now: SimTime) {
+        if self.state != ClusterState::Terminated {
+            self.state = ClusterState::Terminated;
+            self.terminated_at = Some(now);
+        }
+    }
+
+    /// Provisioning latency this cluster experienced.
+    pub fn provisioning_delay(&self) -> SimDuration {
+        self.ready_at.since(self.requested_at)
+    }
+}
+
+/// Handle to a cluster. Cheap to clone; state lives in the provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cluster {
+    /// Identifier to present back to the provider.
+    pub id: ClusterId,
+    /// Instance type (cached for convenience).
+    pub itype: InstanceType,
+    /// Node count (cached for convenience).
+    pub n: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn provisioning_grows_with_cluster_size() {
+        let m = ProvisioningModel::default();
+        let d1 = m.deterministic_delay(InstanceType::C5Xlarge, 1);
+        let d4 = m.deterministic_delay(InstanceType::C5Xlarge, 4);
+        let d10 = m.deterministic_delay(InstanceType::C5Xlarge, 10);
+        assert!(d4 > d1);
+        assert!(d10 > d4);
+        // 1 node: base. 4 nodes: one extra group. 10 nodes: three groups.
+        assert_eq!((d4 - d1).as_mins(), 1.0);
+        assert_eq!((d10 - d1).as_mins(), 3.0);
+    }
+
+    #[test]
+    fn gpu_setup_penalty() {
+        let m = ProvisioningModel::default();
+        let cpu = m.deterministic_delay(InstanceType::C5Xlarge, 1);
+        let gpu = m.deterministic_delay(InstanceType::P2Xlarge, 1);
+        assert_eq!((gpu - cpu).as_mins(), 1.0);
+    }
+
+    #[test]
+    fn jitter_bounded_and_seedable() {
+        let m = ProvisioningModel::default();
+        let det = m.deterministic_delay(InstanceType::C5Xlarge, 5);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let s = m.sample_delay(InstanceType::C5Xlarge, 5, &mut rng);
+            assert!(s >= det);
+            assert!(s.as_secs() <= det.as_secs() * (1.0 + m.jitter));
+        }
+        // Same seed → same sample.
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        assert_eq!(
+            m.sample_delay(InstanceType::P2Xlarge, 3, &mut a),
+            m.sample_delay(InstanceType::P2Xlarge, 3, &mut b)
+        );
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let m = ProvisioningModel { jitter: 0.0, ..Default::default() };
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(
+            m.sample_delay(InstanceType::C5Xlarge, 2, &mut rng),
+            m.deterministic_delay(InstanceType::C5Xlarge, 2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ProvisioningModel::default().deterministic_delay(InstanceType::C5Xlarge, 0);
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        let t0 = SimTime::from_secs(0.0);
+        let mut c = ClusterInner::new(
+            ClusterId(1),
+            InstanceType::C5Xlarge,
+            2,
+            t0,
+            SimDuration::from_secs(120.0),
+        );
+        assert_eq!(c.state, ClusterState::Provisioning);
+        c.poll(SimTime::from_secs(60.0));
+        assert_eq!(c.state, ClusterState::Provisioning);
+        c.poll(SimTime::from_secs(120.0));
+        assert_eq!(c.state, ClusterState::Running);
+        c.terminate(SimTime::from_secs(500.0));
+        assert_eq!(c.state, ClusterState::Terminated);
+        assert_eq!(c.terminated_at, Some(SimTime::from_secs(500.0)));
+        // Re-terminating keeps the first timestamp.
+        c.terminate(SimTime::from_secs(900.0));
+        assert_eq!(c.terminated_at, Some(SimTime::from_secs(500.0)));
+    }
+
+    #[test]
+    fn terminate_while_provisioning() {
+        let t0 = SimTime::from_secs(0.0);
+        let mut c = ClusterInner::new(
+            ClusterId(2),
+            InstanceType::P2Xlarge,
+            1,
+            t0,
+            SimDuration::from_mins(3.0),
+        );
+        c.terminate(SimTime::from_secs(30.0));
+        assert_eq!(c.state, ClusterState::Terminated);
+        // poll after termination must not resurrect it.
+        c.poll(SimTime::from_secs(600.0));
+        assert_eq!(c.state, ClusterState::Terminated);
+    }
+}

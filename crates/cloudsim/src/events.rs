@@ -1,0 +1,142 @@
+//! A minimal discrete-event queue.
+//!
+//! The provider schedules future state changes (cluster becomes Running,
+//! cluster auto-terminates) as events; draining the queue up to a target
+//! time advances the simulation deterministically. Ties are broken by
+//! insertion order so replays are reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time, carrying a payload.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest event pops first,
+        // with sequence number as the deterministic tie-breaker.
+        other
+            .at
+            .as_secs()
+            .total_cmp(&self.at.as_secs())
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of future events ordered by time, FIFO within a tick.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `payload` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the next event if it fires at or before `upto`.
+    pub fn pop_due(&mut self, upto: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek().is_some_and(|s| s.at <= upto) {
+            self.heap.pop().map(|s| (s.at, s.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30.0), "c");
+        q.schedule(t(10.0), "a");
+        q.schedule(t(20.0), "b");
+        assert_eq!(q.peek_time(), Some(t(10.0)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop_due(t(100.0)).map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_within_a_tick() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), 1);
+        q.schedule(t(5.0), 2);
+        q.schedule(t(5.0), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop_due(t(5.0)).map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_due_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(t(50.0), ());
+        assert!(q.pop_due(t(49.9)).is_none());
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_due(t(50.0)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        assert!(q.pop_due(t(1e9)).is_none());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! CloudWatch-style metric store.
+//!
+//! The MLCD Profiler publishes per-iteration training throughput here and
+//! queries window statistics to decide whether a probe has stabilised,
+//! mirroring how the paper's system reads CloudWatch and ML-platform
+//! counters.
+
+use crate::time::{SimDuration, SimTime};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Statistics over a metric window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricStat {
+    /// Number of datapoints in the window.
+    pub count: usize,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Sample standard deviation (0 with fewer than 2 points).
+    pub stddev: f64,
+}
+
+/// Named time-series store. Series are append-only and timestamped with
+/// virtual time.
+#[derive(Debug, Default)]
+pub struct MetricStore {
+    series: RwLock<HashMap<String, Vec<(SimTime, f64)>>>,
+}
+
+impl MetricStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one datapoint to a metric.
+    pub fn put(&self, metric: &str, at: SimTime, value: f64) {
+        self.series.write().entry(metric.to_owned()).or_default().push((at, value));
+    }
+
+    /// Names of all metrics with at least one datapoint.
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.series.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Full series for a metric (empty when unknown).
+    pub fn series(&self, metric: &str) -> Vec<(SimTime, f64)> {
+        self.series.read().get(metric).cloned().unwrap_or_default()
+    }
+
+    /// Datapoints within `[end - window, end]`.
+    pub fn window(&self, metric: &str, end: SimTime, window: SimDuration) -> Vec<(SimTime, f64)> {
+        let start = end.as_secs() - window.as_secs();
+        self.series
+            .read()
+            .get(metric)
+            .map(|s| {
+                s.iter()
+                    .filter(|(t, _)| t.as_secs() >= start && *t <= end)
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Statistics over a window; `None` when no datapoints fall inside.
+    pub fn stat(&self, metric: &str, end: SimTime, window: SimDuration) -> Option<MetricStat> {
+        let pts = self.window(metric, end, window);
+        if pts.is_empty() {
+            return None;
+        }
+        let n = pts.len();
+        let mean = pts.iter().map(|(_, v)| v).sum::<f64>() / n as f64;
+        let min = pts.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let max = pts.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            (pts.iter().map(|(_, v)| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        };
+        Some(MetricStat { count: n, mean, min, max, stddev })
+    }
+
+    /// Clear a single metric's datapoints.
+    pub fn clear(&self, metric: &str) {
+        self.series.write().remove(metric);
+    }
+
+    /// Percentile (0–100, linear interpolation) of the datapoints within
+    /// `[end − window, end]`; `None` when the window is empty.
+    ///
+    /// CloudWatch-style `p50`/`p99` queries — the Profiler uses the spread
+    /// between them as a robust instability signal that one straggler
+    /// window cannot fake.
+    pub fn percentile(
+        &self,
+        metric: &str,
+        end: SimTime,
+        window: SimDuration,
+        p: f64,
+    ) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile: p={p} out of [0,100]");
+        let mut vals: Vec<f64> = self.window(metric, end, window).iter().map(|(_, v)| *v).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(|a, b| a.total_cmp(b));
+        let idx = p / 100.0 * (vals.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        Some(vals[lo] * (1.0 - frac) + vals[hi] * frac)
+    }
+
+    /// Downsample a metric into fixed-width buckets of `step`, averaging
+    /// datapoints per bucket — what a dashboard fetches instead of raw
+    /// points. Buckets are labelled with their end time; empty buckets are
+    /// skipped.
+    pub fn downsample(&self, metric: &str, step: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(step.as_secs() > 0.0, "downsample: zero step");
+        let series = self.series(metric);
+        let mut out: Vec<(SimTime, f64)> = Vec::new();
+        let mut bucket: Option<(u64, f64, usize)> = None; // (index, sum, count)
+        for (t, v) in series {
+            let idx = (t.as_secs() / step.as_secs()).floor() as u64;
+            match &mut bucket {
+                Some((cur, sum, cnt)) if *cur == idx => {
+                    *sum += v;
+                    *cnt += 1;
+                }
+                _ => {
+                    if let Some((cur, sum, cnt)) = bucket.take() {
+                        out.push((
+                            SimTime::from_secs((cur + 1) as f64 * step.as_secs()),
+                            sum / cnt as f64,
+                        ));
+                    }
+                    bucket = Some((idx, v, 1));
+                }
+            }
+        }
+        if let Some((cur, sum, cnt)) = bucket {
+            out.push((SimTime::from_secs((cur + 1) as f64 * step.as_secs()), sum / cnt as f64));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn put_and_read_back() {
+        let m = MetricStore::new();
+        m.put("throughput", t(1.0), 100.0);
+        m.put("throughput", t(2.0), 110.0);
+        assert_eq!(m.series("throughput").len(), 2);
+        assert_eq!(m.metric_names(), vec!["throughput".to_string()]);
+        assert!(m.series("nope").is_empty());
+    }
+
+    #[test]
+    fn window_filters_by_time() {
+        let m = MetricStore::new();
+        for i in 0..10 {
+            m.put("x", t(i as f64 * 10.0), i as f64);
+        }
+        let w = m.window("x", t(90.0), SimDuration::from_secs(25.0));
+        // Times 65..=90 → 70, 80, 90.
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].1, 7.0);
+    }
+
+    #[test]
+    fn stats_over_window() {
+        let m = MetricStore::new();
+        m.put("x", t(1.0), 2.0);
+        m.put("x", t(2.0), 4.0);
+        m.put("x", t(3.0), 6.0);
+        let s = m.stat("x", t(3.0), SimDuration::from_secs(10.0)).unwrap();
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_none() {
+        let m = MetricStore::new();
+        m.put("x", t(100.0), 1.0);
+        assert!(m.stat("x", t(50.0), SimDuration::from_secs(10.0)).is_none());
+        assert!(m.stat("unknown", t(50.0), SimDuration::from_secs(10.0)).is_none());
+    }
+
+    #[test]
+    fn single_point_stat() {
+        let m = MetricStore::new();
+        m.put("x", t(5.0), 42.0);
+        let s = m.stat("x", t(5.0), SimDuration::from_secs(1.0)).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.mean, 42.0);
+    }
+
+    #[test]
+    fn percentiles_over_window() {
+        let m = MetricStore::new();
+        for i in 0..=100 {
+            m.put("x", t(i as f64), i as f64);
+        }
+        let w = SimDuration::from_secs(1000.0);
+        assert_eq!(m.percentile("x", t(100.0), w, 50.0), Some(50.0));
+        assert_eq!(m.percentile("x", t(100.0), w, 0.0), Some(0.0));
+        assert_eq!(m.percentile("x", t(100.0), w, 100.0), Some(100.0));
+        assert_eq!(m.percentile("x", t(100.0), w, 99.0), Some(99.0));
+        // Window restriction: only the last 11 points (90..=100).
+        let p = m.percentile("x", t(100.0), SimDuration::from_secs(10.0), 50.0).unwrap();
+        assert_eq!(p, 95.0);
+        assert_eq!(m.percentile("nope", t(100.0), w, 50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,100]")]
+    fn percentile_rejects_bad_p() {
+        let m = MetricStore::new();
+        let _ = m.percentile("x", t(0.0), SimDuration::from_secs(1.0), 101.0);
+    }
+
+    #[test]
+    fn downsampling_averages_buckets() {
+        let m = MetricStore::new();
+        // Two points in [0,10), one in [10,20), none in [20,30), one in [30,40).
+        m.put("x", t(1.0), 2.0);
+        m.put("x", t(9.0), 4.0);
+        m.put("x", t(12.0), 10.0);
+        m.put("x", t(31.0), 7.0);
+        let ds = m.downsample("x", SimDuration::from_secs(10.0));
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds[0], (t(10.0), 3.0));
+        assert_eq!(ds[1], (t(20.0), 10.0));
+        assert_eq!(ds[2], (t(40.0), 7.0));
+        assert!(m.downsample("nope", SimDuration::from_secs(5.0)).is_empty());
+    }
+
+    #[test]
+    fn clear_removes_series() {
+        let m = MetricStore::new();
+        m.put("x", t(1.0), 1.0);
+        m.clear("x");
+        assert!(m.series("x").is_empty());
+        assert!(m.metric_names().is_empty());
+    }
+}

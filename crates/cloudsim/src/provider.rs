@@ -1,0 +1,512 @@
+//! The simulated cloud provider.
+//!
+//! [`SimCloud`] is the façade the MLCD Cloud Interface drives: launch a
+//! cluster, wait for it to come up (advancing virtual time), run work on
+//! it, terminate it, and read the bill. It owns the clock, the billing
+//! ledger, the metric store, the event queue and a seeded RNG, so an
+//! entire experiment is reproducible from one seed.
+
+use crate::billing::{Billing, UsageRecord};
+use crate::catalog::InstanceType;
+use crate::cluster::{Cluster, ClusterId, ClusterInner, ClusterState, ProvisioningModel};
+use crate::events::EventQueue;
+use crate::metrics::MetricStore;
+use crate::spot::SpotMarket;
+use crate::time::{SimClock, SimDuration, SimTime};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Errors surfaced by the provider.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudError {
+    /// Unknown cluster handle.
+    UnknownCluster(ClusterId),
+    /// Operation requires a Running cluster.
+    NotRunning(ClusterId, ClusterState),
+    /// Request exceeded the per-type instance quota.
+    QuotaExceeded {
+        /// Requested type.
+        itype: InstanceType,
+        /// Requested node count.
+        requested: u32,
+        /// Configured quota.
+        quota: u32,
+    },
+    /// Zero-node launch requested.
+    EmptyCluster,
+    /// The spot market revoked the cluster mid-run.
+    SpotRevoked {
+        /// The cluster that was revoked.
+        cluster: ClusterId,
+        /// When the revocation hit.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudError::UnknownCluster(id) => write!(f, "unknown cluster {id}"),
+            CloudError::NotRunning(id, s) => write!(f, "cluster {id} is {s:?}, not Running"),
+            CloudError::QuotaExceeded { itype, requested, quota } => {
+                write!(f, "quota exceeded: requested {requested} × {itype}, quota {quota}")
+            }
+            CloudError::EmptyCluster => write!(f, "cannot launch a zero-node cluster"),
+            CloudError::SpotRevoked { cluster, at } => {
+                write!(f, "spot market revoked {cluster} at {:.0} s", at.as_secs())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// Internal scheduled happenings.
+#[derive(Debug, Clone, Copy)]
+enum CloudEvent {
+    ClusterReady(ClusterId),
+}
+
+struct State {
+    clusters: HashMap<ClusterId, ClusterInner>,
+    next_id: u64,
+    events: EventQueue<CloudEvent>,
+    rng: SmallRng,
+}
+
+/// The simulated cloud. Clone freely — clones share all state.
+#[derive(Clone)]
+pub struct SimCloud {
+    clock: SimClock,
+    billing: Arc<Billing>,
+    metrics: Arc<MetricStore>,
+    provisioning: ProvisioningModel,
+    /// Per-type instance quota, mirroring EC2 account limits. The paper
+    /// uses "up to 100 c5/c5n/c4 and 50 p2/p3".
+    cpu_quota: u32,
+    gpu_quota: u32,
+    /// The spot market this provider trades in.
+    spot: SpotMarket,
+    state: Arc<Mutex<State>>,
+}
+
+impl SimCloud {
+    /// New provider with the default provisioning model and the paper's
+    /// quotas (100 CPU / 50 GPU instances per type).
+    pub fn new(seed: u64) -> Self {
+        Self::with_provisioning(seed, ProvisioningModel::default())
+    }
+
+    /// New provider with a custom provisioning model.
+    pub fn with_provisioning(seed: u64, provisioning: ProvisioningModel) -> Self {
+        SimCloud {
+            clock: SimClock::new(),
+            billing: Arc::new(Billing::new()),
+            metrics: Arc::new(MetricStore::new()),
+            provisioning,
+            cpu_quota: 100,
+            gpu_quota: 50,
+            spot: SpotMarket::default(),
+            state: Arc::new(Mutex::new(State {
+                clusters: HashMap::new(),
+                next_id: 0,
+                events: EventQueue::new(),
+                rng: SmallRng::seed_from_u64(seed),
+            })),
+        }
+    }
+
+    /// Override the per-type quotas.
+    pub fn set_quotas(&mut self, cpu: u32, gpu: u32) {
+        self.cpu_quota = cpu;
+        self.gpu_quota = gpu;
+    }
+
+    /// Quota for a given type.
+    pub fn quota(&self, itype: InstanceType) -> u32 {
+        if itype.spec().has_gpu() {
+            self.gpu_quota
+        } else {
+            self.cpu_quota
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The billing ledger.
+    pub fn billing(&self) -> &Billing {
+        &self.billing
+    }
+
+    /// The metric store.
+    pub fn metrics(&self) -> &MetricStore {
+        &self.metrics
+    }
+
+    /// Request a cluster of `n` × `itype`. Returns immediately with the
+    /// handle; the cluster is Provisioning until its ready event fires.
+    pub fn launch(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
+        if n == 0 {
+            return Err(CloudError::EmptyCluster);
+        }
+        let quota = self.quota(itype);
+        if n > quota {
+            return Err(CloudError::QuotaExceeded { itype, requested: n, quota });
+        }
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        let id = ClusterId(st.next_id);
+        st.next_id += 1;
+        let delay = self.provisioning.sample_delay(itype, n, &mut st.rng);
+        let inner = ClusterInner::new(id, itype, n, now, delay);
+        let ready_at = inner.ready_at;
+        st.clusters.insert(id, inner);
+        st.events.schedule(ready_at, CloudEvent::ClusterReady(id));
+        Ok(Cluster { id, itype, n })
+    }
+
+    /// Request a cluster on the spot market: the same lifecycle as
+    /// [`launch`](Self::launch) but billed at the (deeply discounted)
+    /// current spot rate, and subject to revocation mid-run.
+    pub fn launch_spot(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
+        let handle = self.launch(itype, n)?;
+        let now = self.clock.now();
+        let rate = self.spot.hourly_usd(itype, now);
+        // Sample the cluster's fate up front (deterministic per cluster).
+        let revoke_at =
+            self.spot
+                .revocation_within(itype, n, now, SimDuration::from_hours(72.0), handle.id.0);
+        let mut st = self.state.lock();
+        let c = st.clusters.get_mut(&handle.id).expect("just launched");
+        c.spot_hourly_usd = Some(rate);
+        c.revoke_at = revoke_at;
+        Ok(handle)
+    }
+
+    /// The spot market (for price queries).
+    pub fn spot_market(&self) -> &SpotMarket {
+        &self.spot
+    }
+
+    /// Drain events due up to the current time.
+    fn drain_events(&self, st: &mut State) {
+        let now = self.clock.now();
+        while let Some((at, ev)) = st.events.pop_due(now) {
+            match ev {
+                CloudEvent::ClusterReady(id) => {
+                    if let Some(c) = st.clusters.get_mut(&id) {
+                        c.poll(at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current state of a cluster.
+    pub fn cluster_state(&self, cluster: &Cluster) -> Result<ClusterState, CloudError> {
+        let mut st = self.state.lock();
+        self.drain_events(&mut st);
+        st.clusters
+            .get(&cluster.id)
+            .map(|c| c.state)
+            .ok_or(CloudError::UnknownCluster(cluster.id))
+    }
+
+    /// Block (in virtual time) until the cluster is Running, advancing the
+    /// clock to its ready time. Returns the provisioning delay experienced.
+    pub fn wait_until_running(&self, cluster: &Cluster) -> SimDuration {
+        let st = self.state.lock();
+        let ready_at = st
+            .clusters
+            .get(&cluster.id)
+            .map(|c| c.ready_at)
+            .expect("wait_until_running: unknown cluster");
+        drop(st);
+        self.clock.advance_to(ready_at);
+        let mut st = self.state.lock();
+        self.drain_events(&mut st);
+        let c = st.clusters.get(&cluster.id).expect("cluster vanished");
+        c.provisioning_delay()
+    }
+
+    /// Run work on a Running cluster for `d` of virtual time, advancing the
+    /// clock. A spot cluster whose revocation falls inside the window is
+    /// terminated (and billed) at the revocation instant, the clock stops
+    /// there, and `SpotRevoked` is returned.
+    pub fn run_for(&self, cluster: &Cluster, d: SimDuration) -> Result<(), CloudError> {
+        let revoke_at = {
+            let mut st = self.state.lock();
+            self.drain_events(&mut st);
+            let c = st
+                .clusters
+                .get(&cluster.id)
+                .ok_or(CloudError::UnknownCluster(cluster.id))?;
+            if c.state != ClusterState::Running {
+                return Err(CloudError::NotRunning(cluster.id, c.state));
+            }
+            c.revoke_at
+        };
+        let end = self.clock.now() + d;
+        if let Some(at) = revoke_at {
+            if at <= end {
+                self.clock.advance_to(at);
+                self.terminate(cluster);
+                return Err(CloudError::SpotRevoked { cluster: cluster.id, at });
+            }
+        }
+        self.clock.advance(d);
+        Ok(())
+    }
+
+    /// Terminate a cluster, recording its usage in the bill. Idempotent.
+    pub fn terminate(&self, cluster: &Cluster) {
+        self.terminate_at(cluster, self.clock.now());
+    }
+
+    /// Terminate a cluster retroactively at `end` (which must not precede
+    /// its launch or exceed the current time). This is how concurrent
+    /// clusters are settled: the caller advances the shared clock to the
+    /// *latest* finisher and bills each cluster only for its own span.
+    ///
+    /// # Panics
+    /// Panics if `end` is before the cluster's launch or after `now`.
+    pub fn terminate_at(&self, cluster: &Cluster, end: SimTime) {
+        let now = self.clock.now();
+        assert!(end <= now, "terminate_at: end {end:?} is in the future (now {now:?})");
+        let mut st = self.state.lock();
+        self.drain_events(&mut st);
+        if let Some(c) = st.clusters.get_mut(&cluster.id) {
+            if c.state != ClusterState::Terminated {
+                assert!(
+                    end >= c.requested_at,
+                    "terminate_at: end precedes the cluster's launch"
+                );
+                c.terminate(end);
+                self.billing.record(UsageRecord {
+                    itype: c.itype,
+                    n: c.n,
+                    start: c.requested_at,
+                    end,
+                    hourly_usd: c.spot_hourly_usd,
+                });
+            }
+        }
+    }
+
+    /// Provisioning delay a cluster experiences (the simulator knows it at
+    /// launch time). `None` for unknown clusters.
+    pub fn provisioning_delay(&self, cluster: &Cluster) -> Option<SimDuration> {
+        let st = self.state.lock();
+        st.clusters.get(&cluster.id).map(|c| c.provisioning_delay())
+    }
+
+    /// Time of the simulation, convenience passthrough.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Number of clusters ever launched.
+    pub fn n_clusters(&self) -> usize {
+        self.state.lock().clusters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_wait_run_terminate_bills_correctly() {
+        let cloud = SimCloud::with_provisioning(
+            1,
+            ProvisioningModel { jitter: 0.0, ..Default::default() },
+        );
+        let c = cloud.launch(InstanceType::C5Xlarge, 4).unwrap();
+        assert_eq!(cloud.cluster_state(&c).unwrap(), ClusterState::Provisioning);
+        let setup = cloud.wait_until_running(&c);
+        assert_eq!(cloud.cluster_state(&c).unwrap(), ClusterState::Running);
+        // 4 nodes → base 2 min + 1 group × 1 min = 3 min.
+        assert_eq!(setup.as_mins(), 3.0);
+        cloud.run_for(&c, SimDuration::from_hours(1.0)).unwrap();
+        cloud.terminate(&c);
+        let want = 0.17 * 4.0 * (1.0 + 3.0 / 60.0);
+        assert!((cloud.billing().total_cost().dollars() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_before_ready_fails() {
+        let cloud = SimCloud::new(2);
+        let c = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
+        let err = cloud.run_for(&c, SimDuration::from_secs(10.0)).unwrap_err();
+        assert!(matches!(err, CloudError::NotRunning(_, ClusterState::Provisioning)));
+    }
+
+    #[test]
+    fn quota_enforced() {
+        let cloud = SimCloud::new(3);
+        assert!(cloud.launch(InstanceType::C5Xlarge, 100).is_ok());
+        let err = cloud.launch(InstanceType::C5Xlarge, 101).unwrap_err();
+        assert!(matches!(err, CloudError::QuotaExceeded { .. }));
+        let err = cloud.launch(InstanceType::P2Xlarge, 51).unwrap_err();
+        assert!(matches!(err, CloudError::QuotaExceeded { quota: 50, .. }));
+        assert!(matches!(
+            cloud.launch(InstanceType::C5Xlarge, 0),
+            Err(CloudError::EmptyCluster)
+        ));
+    }
+
+    #[test]
+    fn terminate_is_idempotent() {
+        let cloud = SimCloud::new(4);
+        let c = cloud.launch(InstanceType::P2Xlarge, 1).unwrap();
+        cloud.wait_until_running(&c);
+        cloud.run_for(&c, SimDuration::from_mins(10.0)).unwrap();
+        cloud.terminate(&c);
+        let bill1 = cloud.billing().total_cost();
+        cloud.terminate(&c);
+        assert_eq!(cloud.billing().total_cost(), bill1);
+        assert_eq!(cloud.billing().n_records(), 1);
+    }
+
+    #[test]
+    fn terminate_during_provisioning_still_bills() {
+        let cloud = SimCloud::new(5);
+        let c = cloud.launch(InstanceType::C5Xlarge, 10).unwrap();
+        cloud.clock().advance(SimDuration::from_secs(30.0));
+        cloud.terminate(&c);
+        // Billed the 60-second minimum even though only 30 s elapsed.
+        let want = 0.17 * 10.0 * (60.0 / 3600.0);
+        assert!((cloud.billing().total_cost().dollars() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let cloud = SimCloud::new(6);
+        let clone = cloud.clone();
+        let c = cloud.launch(InstanceType::C5Large, 2).unwrap();
+        clone.wait_until_running(&c);
+        assert_eq!(clone.cluster_state(&c).unwrap(), ClusterState::Running);
+        assert_eq!(cloud.n_clusters(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let run = |seed| {
+            let cloud = SimCloud::new(seed);
+            let c = cloud.launch(InstanceType::P32xlarge, 8).unwrap();
+            cloud.wait_until_running(&c).as_secs()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43)); // jitter differs across seeds
+    }
+
+    #[test]
+    fn terminate_at_bills_each_concurrent_cluster_its_own_span() {
+        let cloud = SimCloud::with_provisioning(
+            8,
+            ProvisioningModel { jitter: 0.0, ..Default::default() },
+        );
+        let t0 = cloud.now();
+        let a = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
+        let b = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
+        // Both run concurrently; a finishes after 1 h, b after 2 h.
+        cloud.clock().advance(SimDuration::from_hours(2.0));
+        cloud.terminate_at(&a, t0 + SimDuration::from_hours(1.0));
+        cloud.terminate_at(&b, t0 + SimDuration::from_hours(2.0));
+        // Billed 1 + 2 = 3 instance-hours, not 4.
+        assert!((cloud.billing().instance_hours() - 3.0).abs() < 1e-9);
+        let want = 0.17 * 3.0;
+        assert!((cloud.billing().total_cost().dollars() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn terminate_at_rejects_future_end() {
+        let cloud = SimCloud::new(9);
+        let c = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
+        let future = cloud.now() + SimDuration::from_hours(1.0);
+        cloud.terminate_at(&c, future);
+    }
+
+    #[test]
+    fn spot_billing_uses_locked_rate() {
+        let cloud = SimCloud::with_provisioning(
+            10,
+            ProvisioningModel { jitter: 0.0, ..Default::default() },
+        );
+        let c = cloud.launch_spot(InstanceType::P32xlarge, 2).unwrap();
+        cloud.wait_until_running(&c);
+        // Run in small slices so a revocation (if any) surfaces; tolerate it.
+        let mut ran = SimDuration::ZERO;
+        while ran.as_hours() < 1.0 {
+            match cloud.run_for(&c, SimDuration::from_mins(10.0)) {
+                Ok(()) => ran += SimDuration::from_mins(10.0),
+                Err(CloudError::SpotRevoked { .. }) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        cloud.terminate(&c);
+        let records = cloud.billing().records();
+        assert_eq!(records.len(), 1);
+        let rate = records[0].rate();
+        let od = InstanceType::P32xlarge.hourly_usd();
+        assert!(rate < od * 0.6, "spot rate {rate} should be well under on-demand {od}");
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn spot_revocation_interrupts_long_runs() {
+        // Across seeds, a multi-hour spot run on a big cluster should get
+        // revoked at least sometimes, and the equivalent on-demand run never.
+        let mut revoked_spot = 0;
+        for seed in 0..20u64 {
+            let cloud = SimCloud::new(seed);
+            let c = cloud.launch_spot(InstanceType::C5Xlarge, 32).unwrap();
+            cloud.wait_until_running(&c);
+            if let Err(CloudError::SpotRevoked { at, .. }) =
+                cloud.run_for(&c, SimDuration::from_hours(20.0))
+            {
+                revoked_spot += 1;
+                // The clock stopped at the revocation instant.
+                assert_eq!(cloud.now(), at);
+                // The cluster is gone and billed.
+                assert_eq!(cloud.cluster_state(&c).unwrap(), ClusterState::Terminated);
+                assert_eq!(cloud.billing().n_records(), 1);
+            }
+            let od = SimCloud::new(seed + 1000);
+            let c2 = od.launch(InstanceType::C5Xlarge, 32).unwrap();
+            od.wait_until_running(&c2);
+            assert!(od.run_for(&c2, SimDuration::from_hours(20.0)).is_ok());
+        }
+        assert!(revoked_spot >= 10, "expected frequent revocations on 32n x 20h: {revoked_spot}/20");
+    }
+
+    #[test]
+    fn short_spot_probes_usually_finish() {
+        let mut ok = 0;
+        for seed in 0..30u64 {
+            let cloud = SimCloud::new(seed);
+            let c = cloud.launch_spot(InstanceType::C54xlarge, 4).unwrap();
+            cloud.wait_until_running(&c);
+            if cloud.run_for(&c, SimDuration::from_mins(12.0)).is_ok() {
+                ok += 1;
+            }
+            cloud.terminate(&c);
+        }
+        assert!(ok >= 24, "short spot probes should mostly survive: {ok}/30");
+    }
+
+    #[test]
+    fn sequential_launches_get_distinct_ids() {
+        let cloud = SimCloud::new(7);
+        let a = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
+        let b = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
+        assert_ne!(a.id, b.id);
+    }
+}

@@ -1,0 +1,233 @@
+//! Spot-instance market.
+//!
+//! EC2 spot capacity trades at a deep, fluctuating discount and can be
+//! revoked with two minutes' notice. For deployment *search* this is an
+//! attractive substrate — a profiling probe is short and restartable — so
+//! the simulator models a per-type spot price process and revocations.
+//!
+//! Everything is a deterministic function of `(market seed, instance type,
+//! time)`, so experiments stay reproducible without shared mutable state.
+
+use crate::catalog::InstanceType;
+use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Parameters of the spot market.
+///
+/// ```
+/// use mlcd_cloudsim::{SpotMarket, InstanceType, SimTime};
+///
+/// let market = SpotMarket::default();
+/// let at = SimTime::from_secs(3_600.0);
+/// let spot = market.hourly_usd(InstanceType::P32xlarge, at);
+/// // Deep discount against the $3.06 on-demand rate, always positive.
+/// assert!(spot > 0.3 && spot < 1.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SpotMarket {
+    /// Seed of the market's price/revocation process.
+    pub seed: u64,
+    /// Mean spot price as a fraction of on-demand (EC2 hovers ~0.3).
+    pub mean_discount: f64,
+    /// Peak-to-peak amplitude of the price oscillation, as a fraction of
+    /// on-demand.
+    pub amplitude: f64,
+    /// Base revocation rate, events per instance-hour at the mean price.
+    /// Scales up when the price runs hot (capacity is scarce).
+    pub revocation_rate_per_hour: f64,
+}
+
+impl Default for SpotMarket {
+    fn default() -> Self {
+        SpotMarket {
+            seed: 0x5B07,
+            mean_discount: 0.32,
+            amplitude: 0.18,
+            revocation_rate_per_hour: 0.03,
+        }
+    }
+}
+
+/// Splitmix64 — cheap, high-quality 64-bit mixing for the deterministic
+/// price/revocation processes.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in [0, 1) from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Price process time bucket (spot prices reprice every ~5 minutes).
+const BUCKET_SECS: f64 = 300.0;
+
+impl SpotMarket {
+    /// Spot price multiplier (fraction of on-demand) for a type at a time.
+    /// Piecewise-constant per 5-minute bucket, bounded to
+    /// `mean ± amplitude/2`, and smoothed by averaging two bucket hashes so
+    /// adjacent buckets correlate.
+    pub fn price_multiplier(&self, itype: InstanceType, at: SimTime) -> f64 {
+        let bucket = (at.as_secs() / BUCKET_SECS) as u64;
+        let key = self.seed ^ (itype as u64).wrapping_mul(0x9E3779B1);
+        let a = unit(mix(key ^ bucket));
+        let b = unit(mix(key ^ (bucket + 1)));
+        let frac = (at.as_secs() / BUCKET_SECS).fract();
+        let u = a * (1.0 - frac) + b * frac;
+        self.mean_discount + self.amplitude * (u - 0.5)
+    }
+
+    /// Spot hourly price in USD for a type at a time.
+    pub fn hourly_usd(&self, itype: InstanceType, at: SimTime) -> f64 {
+        itype.hourly_usd() * self.price_multiplier(itype, at)
+    }
+
+    /// Instantaneous revocation rate (events per instance-hour) at a time:
+    /// the base rate scaled by how hot the price is running (capacity
+    /// scarcity shows up in both).
+    pub fn revocation_rate(&self, itype: InstanceType, at: SimTime) -> f64 {
+        let rel = self.price_multiplier(itype, at) / self.mean_discount;
+        self.revocation_rate_per_hour * rel * rel
+    }
+
+    /// Sample the revocation time of a cluster of `n` nodes launched at
+    /// `start` (any node loss kills a synchronous training cluster). The
+    /// draw is deterministic per `(market, type, n, start, salt)`.
+    /// `None` = survives at least `horizon`.
+    pub fn revocation_within(
+        &self,
+        itype: InstanceType,
+        n: u32,
+        start: SimTime,
+        horizon: SimDuration,
+        salt: u64,
+    ) -> Option<SimTime> {
+        assert!(n >= 1, "revocation_within: empty cluster");
+        // Exponential draw with the rate frozen at launch (rates drift
+        // slowly relative to probe durations): rate_cluster = n × rate.
+        let rate = self.revocation_rate(itype, start) * n as f64; // per hour
+        if rate <= 0.0 {
+            return None;
+        }
+        let key = self.seed
+            ^ mix((itype as u64) << 32 | n as u64)
+            ^ mix(start.as_secs().to_bits())
+            ^ mix(salt);
+        let u = unit(mix(key)).max(1e-12);
+        let hours = -u.ln() / rate;
+        let t = start + SimDuration::from_hours(hours);
+        if hours <= horizon.as_hours() {
+            Some(t)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn prices_bounded_and_deterministic() {
+        let m = SpotMarket::default();
+        for k in 0..500 {
+            let at = t(k as f64 * 137.0);
+            let p = m.price_multiplier(InstanceType::P2Xlarge, at);
+            assert!(p >= m.mean_discount - m.amplitude / 2.0 - 1e-12);
+            assert!(p <= m.mean_discount + m.amplitude / 2.0 + 1e-12);
+            assert_eq!(p, m.price_multiplier(InstanceType::P2Xlarge, at));
+        }
+    }
+
+    #[test]
+    fn prices_vary_over_time_and_type() {
+        let m = SpotMarket::default();
+        let p0 = m.price_multiplier(InstanceType::C5Xlarge, t(0.0));
+        let p1 = m.price_multiplier(InstanceType::C5Xlarge, t(7200.0));
+        assert_ne!(p0, p1);
+        let q0 = m.price_multiplier(InstanceType::P32xlarge, t(0.0));
+        assert_ne!(p0, q0);
+    }
+
+    #[test]
+    fn spot_is_a_deep_discount() {
+        let m = SpotMarket::default();
+        let od = InstanceType::P32xlarge.hourly_usd();
+        let spot = m.hourly_usd(InstanceType::P32xlarge, t(1234.0));
+        assert!(spot < od * 0.5, "spot {spot} vs on-demand {od}");
+        assert!(spot > od * 0.1);
+    }
+
+    #[test]
+    fn price_is_continuous_across_buckets() {
+        // The interpolation must not jump at bucket boundaries.
+        let m = SpotMarket::default();
+        let eps = 1e-3;
+        for k in 1..20 {
+            let edge = k as f64 * BUCKET_SECS;
+            let before = m.price_multiplier(InstanceType::C54xlarge, t(edge - eps));
+            let after = m.price_multiplier(InstanceType::C54xlarge, t(edge + eps));
+            assert!(
+                (before - after).abs() < 1e-3,
+                "jump at bucket {k}: {before} vs {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn revocations_deterministic_and_scale_with_cluster() {
+        let m = SpotMarket::default();
+        let horizon = SimDuration::from_hours(100.0);
+        let a = m.revocation_within(InstanceType::C5Xlarge, 1, t(0.0), horizon, 7);
+        let b = m.revocation_within(InstanceType::C5Xlarge, 1, t(0.0), horizon, 7);
+        assert_eq!(a, b);
+        // Bigger clusters die sooner in expectation: count survivals of a
+        // short window across salts.
+        let survives = |n: u32| {
+            (0..400u64)
+                .filter(|&s| {
+                    m.revocation_within(
+                        InstanceType::C5Xlarge,
+                        n,
+                        t(0.0),
+                        SimDuration::from_hours(1.0),
+                        s,
+                    )
+                    .is_none()
+                })
+                .count()
+        };
+        let s1 = survives(1);
+        let s16 = survives(16);
+        assert!(s1 > s16, "1-node survives more often: {s1} vs {s16}");
+    }
+
+    #[test]
+    fn short_probes_usually_survive() {
+        // A 15-minute probe on a small cluster should rarely be revoked.
+        let m = SpotMarket::default();
+        let revoked = (0..1000u64)
+            .filter(|&s| {
+                m.revocation_within(
+                    InstanceType::C54xlarge,
+                    4,
+                    t(0.0),
+                    SimDuration::from_mins(15.0),
+                    s,
+                )
+                .is_some()
+            })
+            .count();
+        // 4 nodes × ~0.03/h × 0.25 h ≈ 3 %; allow generous slack.
+        assert!(revoked < 250, "revoked {revoked}/1000");
+        assert!(revoked > 5, "revocations should exist: {revoked}/1000");
+    }
+}

@@ -1,0 +1,254 @@
+//! Virtual time for the simulator.
+//!
+//! All durations in the reproduction are simulated — a 20-hour training run
+//! costs microseconds of wall-clock. `SimTime` / `SimDuration` are thin
+//! newtypes over `f64` seconds so that times and durations cannot be mixed
+//! up, and `SimClock` is the shared monotone clock a `SimCloud` and all of
+//! its clusters observe.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+use std::sync::Arc;
+
+/// A point in virtual time (seconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+/// A span of virtual time in seconds. May not be negative.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimDuration(f64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds since the epoch.
+    pub fn from_secs(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "SimTime: bad seconds {s}");
+        SimTime(s)
+    }
+
+    /// Seconds since the epoch.
+    pub fn as_secs(&self) -> f64 {
+        self.0
+    }
+
+    /// Hours since the epoch.
+    pub fn as_hours(&self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics when `earlier` is later than `self`.
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration::from_secs(self.0 - earlier.0)
+    }
+}
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Construct from seconds.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_secs(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "SimDuration: bad seconds {s}");
+        SimDuration(s)
+    }
+
+    /// Construct from minutes.
+    pub fn from_mins(m: f64) -> Self {
+        Self::from_secs(m * 60.0)
+    }
+
+    /// Construct from hours.
+    pub fn from_hours(h: f64) -> Self {
+        Self::from_secs(h * 3600.0)
+    }
+
+    /// Seconds.
+    pub fn as_secs(&self) -> f64 {
+        self.0
+    }
+
+    /// Minutes.
+    pub fn as_mins(&self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// Hours.
+    pub fn as_hours(&self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, o: SimDuration) -> SimDuration {
+        SimDuration(self.0 + o.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, o: SimDuration) {
+        self.0 += o.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    /// Saturating at zero: durations cannot go negative.
+    fn sub(self, o: SimDuration) -> SimDuration {
+        SimDuration((self.0 - o.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 * k)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, k: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 / k)
+    }
+}
+
+/// Shared monotone virtual clock.
+///
+/// Cheap to clone (an `Arc`); every component holding a clone observes the
+/// same time. Time only moves forward via [`advance`](Self::advance) /
+/// [`advance_to`](Self::advance_to).
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Arc<Mutex<SimTime>>,
+}
+
+impl SimClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        *self.now.lock()
+    }
+
+    /// Advance by a duration, returning the new time.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let mut t = self.now.lock();
+        *t += d;
+        *t
+    }
+
+    /// Advance to an absolute time. Times in the past are a no-op (the
+    /// clock is monotone), which makes replaying already-elapsed events
+    /// harmless.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let mut now = self.now.lock();
+        if t > *now {
+            *now = t;
+        }
+        *now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        let d = SimDuration::from_hours(2.0);
+        assert_eq!(d.as_secs(), 7200.0);
+        assert_eq!(d.as_mins(), 120.0);
+        assert_eq!(d.as_hours(), 2.0);
+        assert_eq!(SimDuration::from_mins(1.5).as_secs(), 90.0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_secs(100.0) + SimDuration::from_secs(50.0);
+        assert_eq!(t.as_secs(), 150.0);
+        assert_eq!(t.since(SimTime::from_secs(100.0)).as_secs(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad seconds")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad seconds")]
+    fn since_earlier_panics() {
+        let _ = SimTime::from_secs(1.0).since(SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn duration_sub_saturates() {
+        let a = SimDuration::from_secs(1.0);
+        let b = SimDuration::from_secs(5.0);
+        assert_eq!((a - b).as_secs(), 0.0);
+        assert_eq!((b - a).as_secs(), 4.0);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!((SimDuration::from_secs(10.0) * 2.5).as_secs(), 25.0);
+        assert_eq!((SimDuration::from_secs(10.0) / 4.0).as_secs(), 2.5);
+    }
+
+    #[test]
+    fn clock_is_monotone_and_shared() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        c.advance(SimDuration::from_secs(10.0));
+        assert_eq!(c2.now().as_secs(), 10.0);
+        // advance_to backwards is a no-op
+        c2.advance_to(SimTime::from_secs(5.0));
+        assert_eq!(c.now().as_secs(), 10.0);
+        c2.advance_to(SimTime::from_secs(20.0));
+        assert_eq!(c.now().as_secs(), 20.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimDuration::from_secs(1.0);
+        let b = SimDuration::from_secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

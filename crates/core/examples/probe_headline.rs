@@ -1,0 +1,40 @@
+//! Developer diagnostic: run the headline searcher comparison across all
+//! three scenarios and a few seeds, printing full breakdowns. Useful when
+//! tuning the performance model or the searchers.
+//!
+//! ```text
+//! cargo run -p mlcd --example probe_headline --release
+//! ```
+
+use mlcd::prelude::*;
+use mlcd::search::{ConvBo, CherryPick};
+
+fn main() {
+    let job = TrainingJob::resnet_cifar10();
+    let types = vec![InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::C5n4xlarge, InstanceType::P2Xlarge];
+
+    for (name, scenario) in [
+        ("S1 unlimited", Scenario::FastestUnlimited),
+        ("S2 deadline6h", Scenario::CheapestWithDeadline(SimDuration::from_hours(6.0))),
+        ("S3 budget100", Scenario::FastestWithBudget(Money::from_dollars(100.0))),
+    ] {
+        println!("=== {name} ===");
+        for seed in [1u64, 2, 3] {
+            let runner = ExperimentRunner::new(seed).with_types(types.clone());
+            let h = runner.run(&HeterBo::seeded(seed), &job, &scenario);
+            let c = runner.run(&ConvBo::seeded(seed), &job, &scenario);
+            let cp = runner.run(&CherryPick::seeded(seed), &job, &scenario);
+            let opt = runner.optimum(&job, &scenario);
+            for o in [&h, &c, &cp] {
+                println!("  seed{seed} {:11} pick={:?} probes={:2} prof {:5.2}h ${:7.2} | train {:5.2}h ${:7.2} | total {:5.2}h ${:7.2} sat={} stop={:?}",
+                    o.searcher, o.plan.map(|p| p.deployment.to_string()), o.search.n_probes(),
+                    o.search.profile_time.as_hours(), o.search.profile_cost.dollars(),
+                    o.train_time.as_hours(), o.train_cost.dollars(),
+                    o.total_hours(), o.total_cost.dollars(), o.satisfied, o.search.stop_reason);
+            }
+            if let Some(opt) = opt {
+                println!("  seed{seed} Opt         {} speed {:.0} train {:.2}h ${:.2}", opt.deployment, opt.speed, opt.train_time.as_hours(), opt.train_cost.dollars());
+            }
+        }
+    }
+}

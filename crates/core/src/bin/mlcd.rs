@@ -1,0 +1,371 @@
+//! `mlcd` — command-line front end for the MLCD deployment system.
+//!
+//! ```text
+//! mlcd catalog                                   # the instance catalog
+//! mlcd jobs                                      # preset training jobs
+//! mlcd curves --job char-rnn --type c5.4xlarge   # ground-truth speed curve
+//! mlcd optimum --job resnet-cifar10 --budget 100 # the oracle's answer
+//! mlcd search --job resnet-cifar10 --budget 100 \
+//!      --searcher heterbo --seed 7 [--types c5.xlarge,c5.4xlarge] [--json]
+//! ```
+
+use mlcd::prelude::*;
+use mlcd::search::{CherryPick, ConvBo};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else { usage("missing command") };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => usage(&e),
+    };
+    match cmd.as_str() {
+        "catalog" => catalog(),
+        "jobs" => jobs(),
+        "curves" => curves(&opts),
+        "optimum" => optimum(&opts),
+        "search" => search(&opts),
+        "help" | "--help" | "-h" => usage(""),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+/// Parsed command-line options.
+#[derive(Default)]
+struct Opts {
+    job: Option<String>,
+    itype: Option<String>,
+    types: Option<Vec<String>>,
+    budget: Option<f64>,
+    deadline: Option<f64>,
+    searcher: Option<String>,
+    seed: u64,
+    max_nodes: u32,
+    json: bool,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut o = Opts { seed: 2020, max_nodes: 50, ..Default::default() };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = || -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("missing value after {a}"))
+            };
+            match a.as_str() {
+                "--job" => o.job = Some(take()?.clone()),
+                "--type" => o.itype = Some(take()?.clone()),
+                "--types" => {
+                    o.types = Some(take()?.split(',').map(|s| s.trim().to_string()).collect())
+                }
+                "--budget" => {
+                    o.budget = Some(take()?.parse().map_err(|_| "--budget takes dollars")?)
+                }
+                "--deadline" => {
+                    o.deadline = Some(take()?.parse().map_err(|_| "--deadline takes hours")?)
+                }
+                "--searcher" => o.searcher = Some(take()?.to_lowercase()),
+                "--seed" => o.seed = take()?.parse().map_err(|_| "--seed takes an integer")?,
+                "--max-nodes" => {
+                    o.max_nodes = take()?.parse().map_err(|_| "--max-nodes takes an integer")?
+                }
+                "--json" => o.json = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(o)
+    }
+
+    fn scenario(&self) -> Result<Scenario, String> {
+        match (self.deadline, self.budget) {
+            (Some(_), Some(_)) => Err("give --deadline or --budget, not both".into()),
+            (Some(h), None) => Ok(Scenario::CheapestWithDeadline(SimDuration::from_hours(h))),
+            (None, Some(d)) => Ok(Scenario::FastestWithBudget(Money::from_dollars(d))),
+            (None, None) => Ok(Scenario::FastestUnlimited),
+        }
+    }
+
+    fn training_job(&self) -> Result<TrainingJob, String> {
+        let name = self.job.as_deref().ok_or("--job is required")?;
+        job_by_name(name).ok_or_else(|| {
+            format!("unknown job `{name}`; run `mlcd jobs` for the presets")
+        })
+    }
+
+    fn runner(&self) -> Result<ExperimentRunner, String> {
+        let mut r = ExperimentRunner::new(self.seed).with_max_nodes(self.max_nodes);
+        if let Some(ts) = &self.types {
+            let mut parsed = Vec::new();
+            for t in ts {
+                parsed.push(
+                    InstanceType::from_name(t).ok_or_else(|| format!("unknown type `{t}`"))?,
+                );
+            }
+            r = r.with_types(parsed);
+        }
+        Ok(r)
+    }
+}
+
+/// Preset jobs by CLI name.
+fn job_by_name(name: &str) -> Option<TrainingJob> {
+    Some(match name {
+        "resnet-cifar10" => TrainingJob::resnet_cifar10(),
+        "alexnet-cifar10" => TrainingJob::alexnet_cifar10(),
+        "char-rnn" => TrainingJob::char_rnn(),
+        "inception-imagenet" => TrainingJob::inception_imagenet(),
+        "bert-tf" => TrainingJob::bert_tensorflow(),
+        "bert-mxnet" => TrainingJob::bert_mxnet(),
+        "zero-8b" => TrainingJob::zero_8b(),
+        "zero-20b" => TrainingJob::zero_20b(),
+        _ => return None,
+    })
+}
+
+const JOB_NAMES: [&str; 8] = [
+    "resnet-cifar10",
+    "alexnet-cifar10",
+    "char-rnn",
+    "inception-imagenet",
+    "bert-tf",
+    "bert-mxnet",
+    "zero-8b",
+    "zero-20b",
+];
+
+fn catalog() {
+    println!(
+        "{:<14} {:>6} {:>8} {:>6} {:>9} {:>9} {:>8}",
+        "type", "vcpus", "mem GiB", "gpus", "net Gbps", "$/hour", "vs c5.xl"
+    );
+    for t in InstanceType::all() {
+        let s = t.spec();
+        println!(
+            "{:<14} {:>6} {:>8.1} {:>6} {:>9.2} {:>9.3} {:>7.2}×",
+            s.name,
+            s.vcpus,
+            s.memory_gib,
+            s.accelerators.map_or(0, |(_, c)| c),
+            s.network_gbps,
+            s.hourly_usd,
+            t.normalized_cost()
+        );
+    }
+}
+
+fn jobs() {
+    println!("{:<20} {:>12} {:>14} {:>10} platform/topology", "name", "params", "samples", "batch");
+    for name in JOB_NAMES {
+        let j = job_by_name(name).expect("preset exists");
+        println!(
+            "{:<20} {:>12} {:>14} {:>10} {} / {}",
+            name,
+            format_params(j.model.params),
+            j.total_samples() as u64,
+            j.global_batch,
+            j.platform,
+            j.topology
+        );
+    }
+}
+
+fn format_params(p: f64) -> String {
+    if p >= 1e9 {
+        format!("{:.1}B", p / 1e9)
+    } else {
+        format!("{:.1}M", p / 1e6)
+    }
+}
+
+fn curves(opts: &Opts) {
+    let job = opts.training_job().unwrap_or_else(|e| usage(&e));
+    let tname = opts.itype.as_deref().unwrap_or_else(|| usage("--type is required for curves"));
+    let itype = InstanceType::from_name(tname)
+        .unwrap_or_else(|| usage(&format!("unknown type `{tname}`")));
+    let truth = ThroughputModel::default();
+    println!("# {} on {} — true training speed", job.model.name, itype);
+    println!("{:>5} {:>12} {:>12} {:>12}", "n", "samples/s", "train h", "train $");
+    for n in 1..=opts.max_nodes {
+        match truth.throughput(&job, itype, n) {
+            Ok(s) => {
+                let h = job.total_samples() / s / 3600.0;
+                println!(
+                    "{n:>5} {s:>12.1} {h:>12.2} {:>12.2}",
+                    h * itype.hourly_usd() * n as f64
+                );
+            }
+            Err(e) => println!("{n:>5} {:>12}", format!("({e})")),
+        }
+    }
+}
+
+fn optimum(opts: &Opts) {
+    let job = opts.training_job().unwrap_or_else(|e| usage(&e));
+    let scenario = opts.scenario().unwrap_or_else(|e| usage(&e));
+    let runner = opts.runner().unwrap_or_else(|e| usage(&e));
+    match runner.optimum(&job, &scenario) {
+        Some(opt) => {
+            println!("scenario : {scenario}");
+            println!("optimum  : {}", opt.deployment);
+            println!("speed    : {:.1} samples/s", opt.speed);
+            println!("training : {:.2} h, ${:.2}", opt.train_time.as_hours(), opt.train_cost.dollars());
+        }
+        None => {
+            eprintln!("no deployment can satisfy {scenario}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn search(opts: &Opts) {
+    let job = opts.training_job().unwrap_or_else(|e| usage(&e));
+    let scenario = opts.scenario().unwrap_or_else(|e| usage(&e));
+    let runner = opts.runner().unwrap_or_else(|e| usage(&e));
+    let seed = opts.seed;
+    let name = opts.searcher.as_deref().unwrap_or("heterbo");
+    let outcome = match name {
+        "heterbo" => runner.run(&HeterBo::seeded(seed), &job, &scenario),
+        "heterbo-parallel" => runner.run(&HeterBo::with_parallel_init(seed), &job, &scenario),
+        "convbo" => runner.run(&ConvBo::seeded(seed), &job, &scenario),
+        "cherrypick" => runner.run(&CherryPick::seeded(seed), &job, &scenario),
+        "random" => runner.run(&RandomSearch::new(9, seed), &job, &scenario),
+        "exhaustive" => runner.run(&ExhaustiveSearch::strided(10), &job, &scenario),
+        "paleo" => runner.run_paleo(&job, &scenario),
+        other => usage(&format!(
+            "unknown searcher `{other}` (heterbo, heterbo-parallel, convbo, cherrypick, random, exhaustive, paleo)"
+        )),
+    };
+
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&outcome).expect("serialisable"));
+        return;
+    }
+    println!("job      : {} on {}", job.model.name, job.dataset.name);
+    println!("scenario : {scenario}");
+    println!("searcher : {}", outcome.searcher);
+    println!();
+    for step in &outcome.search.steps {
+        println!(
+            "  probe {:>2}: {:>16} → {:>8.1} samples/s  ({:>7}, {:>5.1} min)",
+            step.index,
+            step.observation.deployment.to_string(),
+            step.observation.speed,
+            step.observation.profile_cost.to_string(),
+            step.observation.profile_time.as_mins()
+        );
+    }
+    println!();
+    match outcome.plan {
+        Some(p) => println!("deployment : {}", p.deployment),
+        None => println!("deployment : none found"),
+    }
+    println!("profiling  : {:>8.2} h  ${:>9.2}", outcome.search.profile_time.as_hours(), outcome.search.profile_cost.dollars());
+    println!("training   : {:>8.2} h  ${:>9.2}", outcome.train_time.as_hours(), outcome.train_cost.dollars());
+    println!("total      : {:>8.2} h  ${:>9.2}", outcome.total_hours(), outcome.total_cost.dollars());
+    println!("compliant  : {}", if outcome.satisfied { "yes" } else { "NO" });
+    if !outcome.satisfied {
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}\n");
+    }
+    eprintln!(
+        "mlcd — MLaaS training Cloud Deployment\n\
+         \n\
+         USAGE:\n\
+         \u{20}  mlcd catalog\n\
+         \u{20}  mlcd jobs\n\
+         \u{20}  mlcd curves  --job <name> --type <instance> [--max-nodes N]\n\
+         \u{20}  mlcd optimum --job <name> [--budget $ | --deadline h] [--types a,b] [--max-nodes N]\n\
+         \u{20}  mlcd search  --job <name> [--budget $ | --deadline h] [--searcher S]\n\
+         \u{20}               [--seed N] [--types a,b] [--max-nodes N] [--json]\n\
+         \n\
+         jobs: {}\n\
+         searchers: heterbo (default), heterbo-parallel, convbo, cherrypick, random, exhaustive, paleo",
+        JOB_NAMES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Opts::parse(&owned)
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let o = parse(&[
+            "--job",
+            "char-rnn",
+            "--budget",
+            "120",
+            "--searcher",
+            "HeterBO",
+            "--seed",
+            "7",
+            "--types",
+            "c5.xlarge, c5.4xlarge",
+            "--max-nodes",
+            "30",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(o.job.as_deref(), Some("char-rnn"));
+        assert_eq!(o.budget, Some(120.0));
+        assert_eq!(o.searcher.as_deref(), Some("heterbo"));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.max_nodes, 30);
+        assert!(o.json);
+        assert_eq!(
+            o.types,
+            Some(vec!["c5.xlarge".to_string(), "c5.4xlarge".to_string()])
+        );
+    }
+
+    #[test]
+    fn rejects_bad_flags_and_values() {
+        assert!(parse(&["--unknown"]).is_err());
+        assert!(parse(&["--budget"]).is_err());
+        assert!(parse(&["--budget", "lots"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+    }
+
+    #[test]
+    fn scenario_mapping() {
+        let o = parse(&["--budget", "50"]).unwrap();
+        assert!(matches!(o.scenario(), Ok(Scenario::FastestWithBudget(_))));
+        let o = parse(&["--deadline", "6"]).unwrap();
+        assert!(matches!(o.scenario(), Ok(Scenario::CheapestWithDeadline(_))));
+        let o = parse(&[]).unwrap();
+        assert!(matches!(o.scenario(), Ok(Scenario::FastestUnlimited)));
+        let o = parse(&["--budget", "50", "--deadline", "6"]).unwrap();
+        assert!(o.scenario().is_err());
+    }
+
+    #[test]
+    fn every_preset_job_resolves() {
+        for name in JOB_NAMES {
+            assert!(job_by_name(name).is_some(), "{name}");
+        }
+        assert!(job_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn runner_rejects_unknown_type() {
+        let o = parse(&["--types", "m5.humongous"]).unwrap();
+        assert!(o.runner().is_err());
+    }
+
+    #[test]
+    fn params_formatting() {
+        assert_eq!(format_params(6.4e6), "6.4M");
+        assert_eq!(format_params(20e9), "20.0B");
+    }
+}

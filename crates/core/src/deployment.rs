@@ -1,0 +1,266 @@
+//! Deployments `D(m, n)` and the search space.
+//!
+//! The paper formulates deployment as a pair of instance type `m`
+//! (scale-up) and node count `n` (scale-out), with "62 scale-up options and
+//! a rule of thumb for scale-out [of] 50, so there are in total 3,100
+//! deployment schemes". Our catalog has 19 types; experiments restrict the
+//! type set exactly as the paper's figures do (e.g. Fig 15 searches
+//! {c5.xlarge, c5.4xlarge, p2.xlarge} × n ≤ 50).
+
+use mlcd_cloudsim::{InstanceType, Money, SimDuration};
+use mlcd_perfmodel::{ThroughputModel, TrainingJob};
+use serde::Serialize;
+
+/// One deployment scheme: `n` nodes of instance type `itype`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct Deployment {
+    /// Instance type (scale-up dimension).
+    pub itype: InstanceType,
+    /// Node count (scale-out dimension).
+    pub n: u32,
+}
+
+impl Deployment {
+    /// Construct, requiring at least one node.
+    pub fn new(itype: InstanceType, n: u32) -> Self {
+        assert!(n >= 1, "Deployment: need at least one node");
+        Deployment { itype, n }
+    }
+
+    /// Cluster hourly price: n × per-instance price.
+    pub fn hourly_cost(&self) -> Money {
+        Money::from_dollars(self.itype.hourly_usd() * self.n as f64)
+    }
+
+    /// Cost of running this deployment for a duration.
+    pub fn cost_for(&self, d: SimDuration) -> Money {
+        self.hourly_cost().scale(d.as_hours())
+    }
+}
+
+impl std::fmt::Display for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}×{}", self.n, self.itype)
+    }
+}
+
+/// The set of candidate deployments for one search, plus the feature map
+/// the GP works in.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    types: Vec<InstanceType>,
+    max_nodes: u32,
+    candidates: Vec<Deployment>,
+}
+
+impl SearchSpace {
+    /// Build a search space over `types` × `1..=max_nodes`, keeping only
+    /// deployments that can run `job` at all (memory and batch
+    /// feasibility checked against the ground-truth rules — in the real
+    /// system the user knows their model's footprint).
+    pub fn new(
+        types: &[InstanceType],
+        max_nodes: u32,
+        job: &TrainingJob,
+        truth: &ThroughputModel,
+    ) -> Self {
+        assert!(!types.is_empty(), "SearchSpace: need at least one instance type");
+        assert!(max_nodes >= 1, "SearchSpace: need at least one node");
+        let mut candidates = Vec::new();
+        for &t in types {
+            for n in 1..=max_nodes {
+                if truth.feasible(job, t, n).is_ok() {
+                    candidates.push(Deployment::new(t, n));
+                }
+            }
+        }
+        SearchSpace { types: types.to_vec(), max_nodes, candidates }
+    }
+
+    /// The paper's full space: every catalog type, up to 50 nodes.
+    pub fn full(job: &TrainingJob, truth: &ThroughputModel) -> Self {
+        let types: Vec<InstanceType> = InstanceType::all().collect();
+        Self::new(&types, 50, job, truth)
+    }
+
+    /// Instance types in this space.
+    pub fn types(&self) -> &[InstanceType] {
+        &self.types
+    }
+
+    /// Maximum node count.
+    pub fn max_nodes(&self) -> u32 {
+        self.max_nodes
+    }
+
+    /// All feasible candidate deployments.
+    pub fn candidates(&self) -> &[Deployment] {
+        &self.candidates
+    }
+
+    /// Whether a deployment is in this space.
+    pub fn contains(&self, d: &Deployment) -> bool {
+        self.candidates.contains(d)
+    }
+
+    /// GP feature vector for a deployment. Dimensions:
+    /// `[log10 hourly price, log10 cpu GFLOPS, log10 (gpu GFLOPS + 1),
+    ///   log10 network Gbps, n]`.
+    ///
+    /// Resource features (as in CherryPick/PARIS) let the GP share
+    /// information across instance types instead of treating them as
+    /// unrelated categories.
+    pub fn features(&self, d: &Deployment) -> Vec<f64> {
+        let s = d.itype.spec();
+        vec![
+            s.hourly_usd.log10(),
+            s.cpu_peak_gflops.log10(),
+            (s.gpu_peak_gflops() + 1.0).log10(),
+            s.network_gbps.log10(),
+            d.n as f64,
+        ]
+    }
+
+    /// Feature-space bounds for input scaling, derived from the candidates.
+    pub fn feature_bounds(&self) -> Vec<(f64, f64)> {
+        let dim = 5;
+        let mut bounds = vec![(f64::INFINITY, f64::NEG_INFINITY); dim];
+        for d in &self.candidates {
+            for (b, v) in bounds.iter_mut().zip(self.features(d)) {
+                b.0 = b.0.min(v);
+                b.1 = b.1.max(v);
+            }
+        }
+        bounds
+    }
+
+    /// Restrict to a subset of types (CherryPick's "experience" trimming).
+    pub fn restricted_to(&self, types: &[InstanceType]) -> SearchSpace {
+        let kept: Vec<Deployment> = self
+            .candidates
+            .iter()
+            .filter(|d| types.contains(&d.itype))
+            .copied()
+            .collect();
+        assert!(!kept.is_empty(), "restricted_to: no candidates left");
+        SearchSpace { types: types.to_vec(), max_nodes: self.max_nodes, candidates: kept }
+    }
+
+    /// Coarsen the scale-out grid to the given node counts (CherryPick
+    /// samples a coarse grid rather than every n).
+    pub fn coarsened(&self, node_grid: &[u32]) -> SearchSpace {
+        let kept: Vec<Deployment> = self
+            .candidates
+            .iter()
+            .filter(|d| node_grid.contains(&d.n))
+            .copied()
+            .collect();
+        assert!(!kept.is_empty(), "coarsened: no candidates left");
+        SearchSpace { types: self.types.clone(), max_nodes: self.max_nodes, candidates: kept }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcd_perfmodel::TrainingJob;
+
+    fn space() -> SearchSpace {
+        let job = TrainingJob::resnet_cifar10();
+        SearchSpace::new(
+            &[InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge],
+            50,
+            &job,
+            &ThroughputModel::default(),
+        )
+    }
+
+    #[test]
+    fn full_space_size_is_paperlike() {
+        let job = TrainingJob::resnet_cifar10();
+        let s = SearchSpace::full(&job, &ThroughputModel::default());
+        // 19 types × 50 nodes, minus infeasible points — on the order of
+        // the paper's 3,100-point space.
+        assert!(s.candidates().len() > 700, "space too small: {}", s.candidates().len());
+        assert!(s.candidates().len() <= 19 * 50);
+    }
+
+    #[test]
+    fn deployment_costs() {
+        let d = Deployment::new(InstanceType::C5Xlarge, 10);
+        assert!((d.hourly_cost().dollars() - 1.7).abs() < 1e-12);
+        assert!((d.cost_for(SimDuration::from_hours(2.0)).dollars() - 3.4).abs() < 1e-12);
+        assert_eq!(d.to_string(), "10×c5.xlarge");
+    }
+
+    #[test]
+    fn contains_and_candidates() {
+        let s = space();
+        assert!(s.contains(&Deployment::new(InstanceType::C5Xlarge, 25)));
+        assert!(!s.contains(&Deployment::new(InstanceType::C5nXlarge, 2)));
+        assert_eq!(s.candidates().len(), 150);
+    }
+
+    #[test]
+    fn features_distinguish_types_and_sizes() {
+        let s = space();
+        let a = s.features(&Deployment::new(InstanceType::C5Xlarge, 4));
+        let b = s.features(&Deployment::new(InstanceType::P2Xlarge, 4));
+        let c = s.features(&Deployment::new(InstanceType::C5Xlarge, 5));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn feature_bounds_cover_candidates() {
+        let s = space();
+        let bounds = s.feature_bounds();
+        for d in s.candidates() {
+            for (v, (lo, hi)) in s.features(d).iter().zip(&bounds) {
+                assert!(v >= lo && v <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_and_coarsening() {
+        let s = space();
+        let r = s.restricted_to(&[InstanceType::C54xlarge]);
+        assert!(r.candidates().iter().all(|d| d.itype == InstanceType::C54xlarge));
+        assert_eq!(r.candidates().len(), 50);
+        let c = s.coarsened(&[1, 8, 32]);
+        assert_eq!(c.candidates().len(), 9);
+        assert!(c.candidates().iter().all(|d| [1, 8, 32].contains(&d.n)));
+    }
+
+    #[test]
+    fn infeasible_deployments_excluded() {
+        // ZeRO-20B on p3.8xlarge needs ≥5 nodes for memory.
+        use mlcd_perfmodel::{CommTopology, DatasetSpec, ModelSpec, Platform};
+        let job = TrainingJob {
+            model: ModelSpec::zero_20b(),
+            dataset: DatasetSpec::bert_corpus(),
+            epochs: 1,
+            global_batch: 2048,
+            platform: Platform::PyTorch,
+            topology: CommTopology::RingAllReduce,
+            grad_keep_frac: 1.0,
+            scaling: mlcd_perfmodel::ScalingMode::Strong,
+        };
+        let s = SearchSpace::new(
+            &[InstanceType::P38xlarge],
+            20,
+            &job,
+            &ThroughputModel::default(),
+        );
+        assert!(s.candidates().iter().all(|d| d.n >= 5));
+        assert!(!s.candidates().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_deployment_rejected() {
+        let _ = Deployment::new(InstanceType::C5Xlarge, 0);
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! **MLCD** — the fully automated MLaaS training Cloud Deployment system,
+//! driven by the **HeterBO** search method.
+//!
+//! This crate is the paper's primary contribution, reimplemented in full:
+//!
+//! * [`deployment`] — deployments `D(m, n)` and the search space (the
+//!   paper's 62 scale-up × 50 scale-out grid, here over the catalog in
+//!   `mlcd-cloudsim`).
+//! * [`scenario`] — the three user scenarios from §III-A: fastest with
+//!   unlimited budget, cheapest before a deadline, fastest within a budget.
+//! * [`observation`] — profiling observations and search traces.
+//! * [`acquisition`] — EI / UCB / POI and the paper's constraint-aware TEI
+//!   with heterogeneous profiling-cost penalties (§III-C).
+//! * [`env`] — the [`env::ProfilingEnv`] abstraction searchers probe
+//!   through; production impl is the MLCD Profiler, tests use synthetic
+//!   functions.
+//! * [`search`] — the searchers: [`search::HeterBo`] (the contribution),
+//!   [`search::ConvBo`], [`search::CherryPick`], their budget-aware
+//!   "improved" variants from Fig 18, [`search::RandomSearch`], and
+//!   [`search::ExhaustiveSearch`].
+//! * [`system`] — MLCD itself (Fig 8): Profiler, Scenario Analyzer,
+//!   HeterBO Deployment Engine, Cloud Interface, ML Platform Interface.
+//! * [`experiment`] — the harness that runs a searcher end-to-end
+//!   (profile → pick → train) and reports the profiling/training
+//!   time-and-cost breakdowns every figure plots.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mlcd::prelude::*;
+//!
+//! // "Train ResNet on CIFAR-10; I have $100; go as fast as possible."
+//! let job = TrainingJob::resnet_cifar10();
+//! let scenario = Scenario::FastestWithBudget(Money::from_dollars(100.0));
+//! let outcome = ExperimentRunner::new(42).run(&HeterBo::default(), &job, &scenario);
+//! let plan = outcome.plan.expect("found a deployment");
+//! assert!(outcome.total_cost.dollars() <= 100.0);
+//! assert!(plan.deployment.n >= 1);
+//! ```
+
+pub mod acquisition;
+pub mod deployment;
+pub mod env;
+pub mod experiment;
+pub mod observation;
+pub mod scenario;
+pub mod search;
+pub mod system;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::acquisition::{expected_improvement, prob_improvement, ucb};
+    pub use crate::deployment::{Deployment, SearchSpace};
+    pub use crate::env::{ProfileError, ProfilingEnv};
+    pub use crate::experiment::{ExperimentOutcome, ExperimentRunner, Optimum};
+    pub use crate::observation::{Observation, SearchOutcome, SearchStep, StopReason};
+    pub use crate::scenario::Scenario;
+    pub use crate::search::{
+        CherryPick, ConvBo, ExhaustiveSearch, HeterBo, RandomSearch, Searcher,
+    };
+    pub use crate::system::{DeploymentEngine, DeploymentPlan, Profiler, ScenarioAnalyzer};
+    pub use mlcd_cloudsim::{InstanceType, Money, SimDuration, SimTime};
+    pub use mlcd_perfmodel::{Platform, ThroughputModel, TrainingJob};
+}

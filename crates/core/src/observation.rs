@@ -1,0 +1,122 @@
+//! Profiling observations, search steps and search outcomes.
+
+use crate::deployment::Deployment;
+use mlcd_cloudsim::{Money, SimDuration};
+use serde::Serialize;
+
+/// One completed profiling probe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Observation {
+    /// The deployment that was probed.
+    pub deployment: Deployment,
+    /// Observed training speed, samples/second (noisy).
+    pub speed: f64,
+    /// Wall-clock the probe took (setup + warm-up + measurement,
+    /// including any stability extension).
+    pub profile_time: SimDuration,
+    /// What the probe cost.
+    pub profile_cost: Money,
+}
+
+/// Why a search stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum StopReason {
+    /// Expected improvement fell below the threshold.
+    Converged,
+    /// The protective mechanism: any further probe would eat into the
+    /// budget/deadline reserve needed to finish training on the incumbent.
+    ReserveProtection,
+    /// Every candidate was explored or pruned.
+    SpaceExhausted,
+    /// Hit the step cap.
+    MaxSteps,
+    /// The searcher never found any feasible deployment.
+    NothingFeasible,
+}
+
+/// One step of a search trace (for the paper's trajectory figures 9a, 15–17).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SearchStep {
+    /// 1-based step index.
+    pub index: usize,
+    /// The observation made at this step.
+    pub observation: Observation,
+    /// Cumulative profiling time after this step.
+    pub cum_profile_time: SimDuration,
+    /// Cumulative profiling cost after this step.
+    pub cum_profile_cost: Money,
+}
+
+/// The result of running a searcher.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchOutcome {
+    /// The deployment the searcher recommends, with its observed speed.
+    /// `None` when nothing feasible was found.
+    pub best: Option<Observation>,
+    /// Full probe-by-probe trace.
+    pub steps: Vec<SearchStep>,
+    /// Total profiling wall-clock.
+    pub profile_time: SimDuration,
+    /// Total profiling spend.
+    pub profile_cost: Money,
+    /// Why the search ended.
+    pub stop_reason: StopReason,
+}
+
+impl SearchOutcome {
+    /// Number of probes made.
+    pub fn n_probes(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// An empty outcome for searches that could not probe anything.
+    pub fn empty(reason: StopReason) -> Self {
+        SearchOutcome {
+            best: None,
+            steps: Vec::new(),
+            profile_time: SimDuration::ZERO,
+            profile_cost: Money::ZERO,
+            stop_reason: reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcd_cloudsim::InstanceType;
+
+    #[test]
+    fn empty_outcome() {
+        let o = SearchOutcome::empty(StopReason::NothingFeasible);
+        assert!(o.best.is_none());
+        assert_eq!(o.n_probes(), 0);
+        assert_eq!(o.stop_reason, StopReason::NothingFeasible);
+    }
+
+    #[test]
+    fn serialises_for_experiment_dumps() {
+        let obs = Observation {
+            deployment: Deployment::new(InstanceType::C5Xlarge, 3),
+            speed: 123.4,
+            profile_time: SimDuration::from_mins(10.0),
+            profile_cost: Money::from_dollars(0.08),
+        };
+        let step = SearchStep {
+            index: 1,
+            observation: obs,
+            cum_profile_time: SimDuration::from_mins(10.0),
+            cum_profile_cost: Money::from_dollars(0.08),
+        };
+        let outcome = SearchOutcome {
+            best: Some(obs),
+            steps: vec![step],
+            profile_time: SimDuration::from_mins(10.0),
+            profile_cost: Money::from_dollars(0.08),
+            stop_reason: StopReason::Converged,
+        };
+        let json = serde_json::to_string(&outcome).unwrap();
+        assert!(json.contains("C5Xlarge"));
+        assert!(json.contains("Converged"));
+    }
+}

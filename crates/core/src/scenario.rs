@@ -1,0 +1,187 @@
+//! The paper's three deployment scenarios (§III-A) and the budget/deadline
+//! arithmetic shared by searchers.
+//!
+//! * **Scenario-1** — finish as fast as possible, unlimited budget.
+//! * **Scenario-2** — finish before a deadline at the lowest cost.
+//! * **Scenario-3** — finish as fast as possible within a budget.
+//!
+//! Deadlines and budgets are *totals*: profiling spend counts against them
+//! (this is the crux of the paper — ConvBO/CherryPick overrun precisely
+//! because their profiling phase is oblivious to it).
+
+use crate::deployment::Deployment;
+use mlcd_cloudsim::{Money, SimDuration};
+use serde::Serialize;
+
+/// Base headroom factor applied to projected training time/cost wherever a
+/// projection feeds a *hard* constraint (reserve checks, TEI, feasibility
+/// filters). It covers what projections cannot see: per-second billing
+/// round-ups and residual observation noise in the measured speed.
+pub const PROJECTION_MARGIN: f64 = 1.05;
+
+/// Size-aware headroom: the final deployment also pays cluster
+/// provisioning (≈1 minute per 3 nodes plus base), which grows with the
+/// cluster while the projected training time does not — at 100 nodes it is
+/// a double-digit percentage of a short run. Adds ~0.15 % per node on top
+/// of [`PROJECTION_MARGIN`].
+pub fn projection_margin(n: u32) -> f64 {
+    PROJECTION_MARGIN + 0.0015 * n as f64
+}
+
+/// A user's deployment requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Scenario {
+    /// Scenario-1: minimise training time; money is no object.
+    FastestUnlimited,
+    /// Scenario-2: minimise total cost subject to finishing (profiling +
+    /// training) within the deadline.
+    CheapestWithDeadline(SimDuration),
+    /// Scenario-3: minimise training time subject to total cost
+    /// (profiling + training) within the budget.
+    FastestWithBudget(Money),
+}
+
+/// What the GP-modelled objective is optimising, derived from the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Objective {
+    /// Maximise training speed (Scenarios 1 and 3).
+    MaxSpeed,
+    /// Minimise total deployment cost (Scenario 2).
+    MinCost,
+}
+
+impl Scenario {
+    /// The optimisation objective this scenario induces.
+    pub fn objective(&self) -> Objective {
+        match self {
+            Scenario::FastestUnlimited | Scenario::FastestWithBudget(_) => Objective::MaxSpeed,
+            Scenario::CheapestWithDeadline(_) => Objective::MinCost,
+        }
+    }
+
+    /// Budget cap, if any.
+    pub fn budget(&self) -> Option<Money> {
+        match self {
+            Scenario::FastestWithBudget(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Deadline, if any.
+    pub fn deadline(&self) -> Option<SimDuration> {
+        match self {
+            Scenario::CheapestWithDeadline(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Whether a *finished run* (total time, total cost) satisfies the
+    /// scenario's constraints.
+    pub fn satisfied_by(&self, total_time: SimDuration, total_cost: Money) -> bool {
+        match self {
+            Scenario::FastestUnlimited => true,
+            Scenario::CheapestWithDeadline(t) => total_time.as_secs() <= t.as_secs() * (1.0 + 1e-9),
+            Scenario::FastestWithBudget(b) => total_cost.dollars() <= b.dollars() * (1.0 + 1e-9),
+        }
+    }
+
+    /// Training time a deployment implies, given total job samples and an
+    /// (observed or predicted) speed in samples/s.
+    pub fn training_time(total_samples: f64, speed: f64) -> SimDuration {
+        assert!(speed > 0.0, "training_time: non-positive speed");
+        SimDuration::from_secs(total_samples / speed)
+    }
+
+    /// Training cost a deployment implies at a given speed.
+    pub fn training_cost(d: &Deployment, total_samples: f64, speed: f64) -> Money {
+        d.cost_for(Self::training_time(total_samples, speed))
+    }
+
+    /// The scalar utility this scenario assigns to finishing deployment
+    /// `d` at `speed` — higher is better. Used to rank observed
+    /// deployments when picking the incumbent.
+    pub fn utility(&self, d: &Deployment, total_samples: f64, speed: f64) -> f64 {
+        match self.objective() {
+            Objective::MaxSpeed => speed,
+            Objective::MinCost => -Self::training_cost(d, total_samples, speed).dollars(),
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scenario::FastestUnlimited => write!(f, "fastest (unlimited budget)"),
+            Scenario::CheapestWithDeadline(t) => {
+                write!(f, "cheapest within {:.1} h", t.as_hours())
+            }
+            Scenario::FastestWithBudget(b) => write!(f, "fastest within {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcd_cloudsim::InstanceType;
+
+    #[test]
+    fn objectives_per_scenario() {
+        assert_eq!(Scenario::FastestUnlimited.objective(), Objective::MaxSpeed);
+        assert_eq!(
+            Scenario::CheapestWithDeadline(SimDuration::from_hours(6.0)).objective(),
+            Objective::MinCost
+        );
+        assert_eq!(
+            Scenario::FastestWithBudget(Money::from_dollars(100.0)).objective(),
+            Objective::MaxSpeed
+        );
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let s2 = Scenario::CheapestWithDeadline(SimDuration::from_hours(6.0));
+        assert!(s2.satisfied_by(SimDuration::from_hours(5.9), Money::from_dollars(1e6)));
+        assert!(!s2.satisfied_by(SimDuration::from_hours(6.1), Money::ZERO));
+        let s3 = Scenario::FastestWithBudget(Money::from_dollars(100.0));
+        assert!(s3.satisfied_by(SimDuration::from_hours(999.0), Money::from_dollars(100.0)));
+        assert!(!s3.satisfied_by(SimDuration::ZERO, Money::from_dollars(100.01)));
+        assert!(Scenario::FastestUnlimited
+            .satisfied_by(SimDuration::from_hours(1e6), Money::from_dollars(1e9)));
+    }
+
+    #[test]
+    fn training_time_and_cost() {
+        let d = Deployment::new(InstanceType::C5Xlarge, 10); // $1.7/h
+        let t = Scenario::training_time(36_000.0, 10.0); // 3600 s
+        assert_eq!(t.as_hours(), 1.0);
+        let c = Scenario::training_cost(&d, 36_000.0, 10.0);
+        assert!((c.dollars() - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_ranks_correctly() {
+        let fast = Scenario::FastestUnlimited;
+        let d_small = Deployment::new(InstanceType::C5Xlarge, 1);
+        let d_big = Deployment::new(InstanceType::C5Xlarge, 20);
+        // MaxSpeed: higher speed wins regardless of cost.
+        assert!(fast.utility(&d_big, 1e6, 200.0) > fast.utility(&d_small, 1e6, 100.0));
+        // MinCost: the cheaper finisher wins even if slower.
+        let cheap = Scenario::CheapestWithDeadline(SimDuration::from_hours(100.0));
+        let u_small = cheap.utility(&d_small, 1e6, 100.0); // 10000 s × $0.17/h
+        let u_big = cheap.utility(&d_big, 1e6, 200.0); // 5000 s × $3.4/h
+        assert!(u_small > u_big);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(
+            Scenario::FastestWithBudget(Money::from_dollars(100.0)).to_string(),
+            "fastest within $100.00"
+        );
+        assert_eq!(
+            Scenario::CheapestWithDeadline(SimDuration::from_hours(6.0)).to_string(),
+            "cheapest within 6.0 h"
+        );
+    }
+}

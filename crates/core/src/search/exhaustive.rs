@@ -1,0 +1,122 @@
+//! Exhaustive profiling baseline (paper Fig 2).
+//!
+//! Profiles every candidate (optionally a strided subset — the paper's
+//! Fig 2 profiles "180 deployment choices out of total 3,100") and
+//! recommends the best observed. Guaranteed to find the optimum of the
+//! sampled grid, at ruinous profiling cost — which is the figure's point.
+
+use crate::env::ProfilingEnv;
+use crate::observation::{SearchOutcome, SearchStep, StopReason};
+use crate::scenario::Scenario;
+use crate::search::{pick_incumbent, Searcher};
+
+/// Exhaustive (or strided) grid profiling.
+pub struct ExhaustiveSearch {
+    /// Probe every `stride`-th candidate (1 = truly exhaustive).
+    pub stride: usize,
+}
+
+impl ExhaustiveSearch {
+    /// Fully exhaustive.
+    pub fn full() -> Self {
+        ExhaustiveSearch { stride: 1 }
+    }
+
+    /// Strided subset, e.g. the paper's 180-of-3100 ≈ stride 17.
+    pub fn strided(stride: usize) -> Self {
+        assert!(stride >= 1, "ExhaustiveSearch: stride must be ≥ 1");
+        ExhaustiveSearch { stride }
+    }
+}
+
+impl Searcher for ExhaustiveSearch {
+    fn name(&self) -> &'static str {
+        "Exhaustive"
+    }
+
+    fn search(&self, env: &mut dyn ProfilingEnv, scenario: &Scenario) -> SearchOutcome {
+        let pool = env.space().candidates().to_vec();
+        let mut observations = Vec::new();
+        let mut steps = Vec::new();
+        for d in pool.iter().step_by(self.stride) {
+            if let Ok(obs) = env.profile(d) {
+                observations.push(obs);
+                steps.push(SearchStep {
+                    index: steps.len() + 1,
+                    observation: obs,
+                    cum_profile_time: env.elapsed(),
+                    cum_profile_cost: env.spent(),
+                });
+            }
+        }
+        let best = pick_incumbent(
+            &observations,
+            scenario,
+            env.total_samples(),
+            env.elapsed(),
+            env.spent(),
+            true,
+        )
+        .copied();
+        let stop_reason =
+            if best.is_none() { StopReason::NothingFeasible } else { StopReason::SpaceExhausted };
+        SearchOutcome {
+            best,
+            steps,
+            profile_time: env.elapsed(),
+            profile_cost: env.spent(),
+            stop_reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{Deployment, SearchSpace};
+    use crate::env::SyntheticEnv;
+    use mlcd_cloudsim::InstanceType;
+    use mlcd_perfmodel::{ThroughputModel, TrainingJob};
+
+    fn make_env() -> SyntheticEnv<fn(&Deployment) -> f64> {
+        let job = TrainingJob::resnet_cifar10();
+        let space = SearchSpace::new(
+            &[InstanceType::C5Xlarge],
+            20,
+            &job,
+            &ThroughputModel::default(),
+        );
+        fn f(d: &Deployment) -> f64 {
+            // Peak at n = 13.
+            200.0 - (d.n as f64 - 13.0).powi(2)
+        }
+        SyntheticEnv::new(space, 1e6, f)
+    }
+
+    #[test]
+    fn full_sweep_finds_exact_optimum() {
+        let mut env = make_env();
+        let out = ExhaustiveSearch::full().search(&mut env, &Scenario::FastestUnlimited);
+        assert_eq!(out.n_probes(), 20);
+        assert_eq!(out.best.unwrap().deployment.n, 13);
+        assert_eq!(out.stop_reason, StopReason::SpaceExhausted);
+    }
+
+    #[test]
+    fn stride_reduces_probes_but_may_miss_peak() {
+        let mut env = make_env();
+        let out = ExhaustiveSearch::strided(5).search(&mut env, &Scenario::FastestUnlimited);
+        assert_eq!(out.n_probes(), 4); // n = 1, 6, 11, 16
+        let best_n = out.best.unwrap().deployment.n;
+        assert!(best_n == 11 || best_n == 16);
+    }
+
+    #[test]
+    fn exhaustive_is_most_expensive() {
+        let mut env_full = make_env();
+        ExhaustiveSearch::full().search(&mut env_full, &Scenario::FastestUnlimited);
+        let mut env_strided = make_env();
+        ExhaustiveSearch::strided(5).search(&mut env_strided, &Scenario::FastestUnlimited);
+        assert!(env_full.spent().dollars() > env_strided.spent().dollars() * 3.0);
+    }
+}

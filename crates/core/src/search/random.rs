@@ -1,0 +1,145 @@
+//! Random profiling baseline (paper Fig 12).
+//!
+//! Probes `k` uniformly random deployments, then recommends the best
+//! observed one. The paper uses this to show HeterBO's statistical
+//! significance: random needs many probes to be reliable, and its probing
+//! cost then dwarfs the savings.
+
+use crate::env::ProfilingEnv;
+use crate::observation::{SearchOutcome, SearchStep, StopReason};
+use crate::scenario::Scenario;
+use crate::search::{pick_incumbent, Searcher};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniform random search with a fixed probe count.
+pub struct RandomSearch {
+    /// Number of probes.
+    pub k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomSearch {
+    /// `k` probes with the given seed.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "RandomSearch: need at least one probe");
+        RandomSearch { k, seed }
+    }
+}
+
+impl Searcher for RandomSearch {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn search(&self, env: &mut dyn ProfilingEnv, scenario: &Scenario) -> SearchOutcome {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut pool = env.space().candidates().to_vec();
+        pool.shuffle(&mut rng);
+        let mut observations = Vec::new();
+        let mut steps = Vec::new();
+        for d in pool.into_iter().take(self.k) {
+            if let Ok(obs) = env.profile(&d) {
+                observations.push(obs);
+                steps.push(SearchStep {
+                    index: steps.len() + 1,
+                    observation: obs,
+                    cum_profile_time: env.elapsed(),
+                    cum_profile_cost: env.spent(),
+                });
+            }
+        }
+        let best = pick_incumbent(
+            &observations,
+            scenario,
+            env.total_samples(),
+            env.elapsed(),
+            env.spent(),
+            true,
+        )
+        .copied();
+        let stop_reason =
+            if best.is_none() { StopReason::NothingFeasible } else { StopReason::MaxSteps };
+        SearchOutcome {
+            best,
+            steps,
+            profile_time: env.elapsed(),
+            profile_cost: env.spent(),
+            stop_reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{Deployment, SearchSpace};
+    use crate::env::SyntheticEnv;
+    use mlcd_cloudsim::InstanceType;
+    use mlcd_perfmodel::{ThroughputModel, TrainingJob};
+
+    fn make_env() -> SyntheticEnv<fn(&Deployment) -> f64> {
+        let job = TrainingJob::resnet_cifar10();
+        let space = SearchSpace::new(
+            &[InstanceType::C5Xlarge, InstanceType::C54xlarge],
+            30,
+            &job,
+            &ThroughputModel::default(),
+        );
+        fn f(d: &Deployment) -> f64 {
+            d.n as f64 * 10.0
+        }
+        SyntheticEnv::new(space, 1e6, f)
+    }
+
+    #[test]
+    fn probes_exactly_k() {
+        let mut env = make_env();
+        let out = RandomSearch::new(7, 1).search(&mut env, &Scenario::FastestUnlimited);
+        assert_eq!(out.n_probes(), 7);
+        assert!(out.best.is_some());
+    }
+
+    #[test]
+    fn best_is_max_of_probed() {
+        let mut env = make_env();
+        let out = RandomSearch::new(10, 2).search(&mut env, &Scenario::FastestUnlimited);
+        let max_probed =
+            out.steps.iter().map(|s| s.observation.speed).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(out.best.unwrap().speed, max_probed);
+    }
+
+    #[test]
+    fn different_seeds_probe_differently() {
+        let run = |seed| {
+            let mut env = make_env();
+            let out = RandomSearch::new(5, seed).search(&mut env, &Scenario::FastestUnlimited);
+            out.steps.iter().map(|s| s.observation.deployment).collect::<Vec<_>>()
+        };
+        assert_ne!(run(1), run(2));
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn variance_shrinks_with_more_probes() {
+        // Across seeds, the best-found speed varies much more at k=2 than
+        // at k=30 (the paper's Fig 12 point).
+        let best_at = |k: usize, seed: u64| {
+            let mut env = make_env();
+            RandomSearch::new(k, seed)
+                .search(&mut env, &Scenario::FastestUnlimited)
+                .best
+                .unwrap()
+                .speed
+        };
+        let spread = |k: usize| {
+            let xs: Vec<f64> = (0..20).map(|s| best_at(k, s)).collect();
+            let lo = xs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            let hi = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            hi - lo
+        };
+        assert!(spread(2) > spread(30), "spread(2)={} spread(30)={}", spread(2), spread(30));
+    }
+}

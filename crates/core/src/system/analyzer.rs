@@ -1,0 +1,122 @@
+//! The Scenario Analyzer: user requirements → search constraints.
+//!
+//! Paper §IV: "The Scenario Analyzer takes the training requirements from
+//! user (e.g., training deadline, budget) and forms them into the search
+//! constraints and feeds them into the HeterBO Deployment Engine."
+
+use crate::scenario::Scenario;
+use mlcd_cloudsim::{Money, SimDuration};
+
+/// Raw user inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UserRequirements {
+    /// "Finish within this long", if given.
+    pub deadline: Option<SimDuration>,
+    /// "Spend at most this much", if given.
+    pub budget: Option<Money>,
+}
+
+/// Why requirements could not be analysed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The paper's formulation supports one binding constraint at a time.
+    BothConstraints,
+    /// A non-positive deadline or budget can never be met.
+    Degenerate(&'static str),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::BothConstraints => {
+                write!(f, "specify a deadline or a budget, not both")
+            }
+            AnalyzeError::Degenerate(what) => write!(f, "degenerate requirement: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Maps requirements onto the paper's three scenarios.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioAnalyzer;
+
+impl ScenarioAnalyzer {
+    /// Analyse the user's requirements.
+    ///
+    /// * nothing given → Scenario-1 (fastest, unlimited);
+    /// * deadline given → Scenario-2 (cheapest within the deadline);
+    /// * budget given → Scenario-3 (fastest within the budget).
+    pub fn analyze(&self, req: &UserRequirements) -> Result<Scenario, AnalyzeError> {
+        match (req.deadline, req.budget) {
+            (Some(_), Some(_)) => Err(AnalyzeError::BothConstraints),
+            (Some(t), None) => {
+                if t.as_secs() <= 0.0 {
+                    Err(AnalyzeError::Degenerate("deadline must be positive"))
+                } else {
+                    Ok(Scenario::CheapestWithDeadline(t))
+                }
+            }
+            (None, Some(b)) => {
+                if b.dollars() <= 0.0 {
+                    Err(AnalyzeError::Degenerate("budget must be positive"))
+                } else {
+                    Ok(Scenario::FastestWithBudget(b))
+                }
+            }
+            (None, None) => Ok(Scenario::FastestUnlimited),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_to_the_three_scenarios() {
+        let a = ScenarioAnalyzer;
+        assert_eq!(a.analyze(&UserRequirements::default()), Ok(Scenario::FastestUnlimited));
+        assert_eq!(
+            a.analyze(&UserRequirements {
+                deadline: Some(SimDuration::from_hours(6.0)),
+                budget: None
+            }),
+            Ok(Scenario::CheapestWithDeadline(SimDuration::from_hours(6.0)))
+        );
+        assert_eq!(
+            a.analyze(&UserRequirements {
+                deadline: None,
+                budget: Some(Money::from_dollars(100.0))
+            }),
+            Ok(Scenario::FastestWithBudget(Money::from_dollars(100.0)))
+        );
+    }
+
+    #[test]
+    fn rejects_over_and_under_specification() {
+        let a = ScenarioAnalyzer;
+        assert_eq!(
+            a.analyze(&UserRequirements {
+                deadline: Some(SimDuration::from_hours(1.0)),
+                budget: Some(Money::from_dollars(10.0)),
+            }),
+            Err(AnalyzeError::BothConstraints)
+        );
+        assert!(matches!(
+            a.analyze(&UserRequirements {
+                deadline: Some(SimDuration::ZERO),
+                budget: None
+            }),
+            Err(AnalyzeError::Degenerate(_))
+        ));
+        assert!(matches!(
+            a.analyze(&UserRequirements {
+                deadline: None,
+                budget: Some(Money::from_dollars(-5.0))
+            }),
+            Err(AnalyzeError::Degenerate(_))
+        ));
+    }
+}

@@ -1,0 +1,153 @@
+//! The HeterBO Deployment Engine.
+//!
+//! Orchestrates one full MLCD session: drive a searcher through the
+//! Profiler to pick a deployment, then actually deploy it — launch the
+//! chosen cluster, run the training job to completion at its true
+//! sustained speed, and bill the whole thing.
+
+use crate::deployment::Deployment;
+use crate::observation::SearchOutcome;
+use crate::scenario::Scenario;
+use crate::search::Searcher;
+use crate::system::interfaces::{CloudInterface, MlPlatformInterface};
+use crate::system::profiler::Profiler;
+use mlcd_cloudsim::{Money, SimDuration};
+use serde::Serialize;
+
+/// The engine's recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DeploymentPlan {
+    /// The chosen deployment.
+    pub deployment: Deployment,
+    /// Speed observed during profiling (samples/s).
+    pub observed_speed: f64,
+}
+
+/// What actually happened when the plan was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TrainReport {
+    /// The deployment that trained.
+    pub deployment: Deployment,
+    /// True sustained speed during the run.
+    pub true_speed: f64,
+    /// Wall-clock of the run (provisioning + training).
+    pub train_time: SimDuration,
+    /// Billed cost of the run.
+    pub train_cost: Money,
+}
+
+/// Drives search then deployment.
+pub struct DeploymentEngine<S> {
+    searcher: S,
+}
+
+impl<S: Searcher> DeploymentEngine<S> {
+    /// Engine around a searcher.
+    pub fn new(searcher: S) -> Self {
+        DeploymentEngine { searcher }
+    }
+
+    /// The searcher's name.
+    pub fn searcher_name(&self) -> &'static str {
+        self.searcher.name()
+    }
+
+    /// Run the search phase. Returns the outcome and (if anything was
+    /// found) the plan.
+    pub fn plan<C: CloudInterface, P: MlPlatformInterface>(
+        &self,
+        profiler: &mut Profiler<C, P>,
+        scenario: &Scenario,
+    ) -> (SearchOutcome, Option<DeploymentPlan>) {
+        let outcome = self.searcher.search(profiler, scenario);
+        let plan = outcome
+            .best
+            .map(|obs| DeploymentPlan { deployment: obs.deployment, observed_speed: obs.speed });
+        (outcome, plan)
+    }
+
+    /// Execute a plan: launch the cluster, train the full job at the true
+    /// sustained speed, terminate, and report actuals.
+    pub fn execute<C: CloudInterface, P: MlPlatformInterface>(
+        &self,
+        cloud: &C,
+        platform: &P,
+        plan: &DeploymentPlan,
+    ) -> Result<TrainReport, String> {
+        let d = plan.deployment;
+        let true_speed = platform.true_speed(&d)?;
+        let t_start = cloud.now();
+        let c_start = cloud.total_spent();
+
+        let cluster = cloud.launch(d.itype, d.n).map_err(|e| e.to_string())?;
+        cloud.wait_until_running(&cluster);
+        let train = SimDuration::from_secs(platform.job().total_samples() / true_speed);
+        cloud.run_for(&cluster, train).map_err(|e| e.to_string())?;
+        cloud.terminate(&cluster);
+
+        Ok(TrainReport {
+            deployment: d,
+            true_speed,
+            train_time: cloud.now().since(t_start),
+            train_cost: cloud.total_spent() - c_start,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::SearchSpace;
+    use crate::search::HeterBo;
+    use crate::system::interfaces::SimMlPlatform;
+    use crate::system::profiler::ProfilerConfig;
+    use mlcd_cloudsim::{InstanceType, SimCloud};
+    use mlcd_perfmodel::{NoiseModel, ThroughputModel, TrainingJob};
+
+    fn session() -> (Profiler<SimCloud, SimMlPlatform>, Scenario) {
+        let job = TrainingJob::resnet_cifar10();
+        let truth = ThroughputModel::default();
+        let space = SearchSpace::new(
+            &[InstanceType::C5Xlarge, InstanceType::C54xlarge],
+            30,
+            &job,
+            &truth,
+        );
+        let cloud = SimCloud::new(21);
+        let platform = SimMlPlatform::new(job, truth, NoiseModel::noiseless(), 22);
+        (
+            Profiler::new(cloud, platform, space, ProfilerConfig::default()),
+            Scenario::FastestUnlimited,
+        )
+    }
+
+    #[test]
+    fn plan_then_execute_end_to_end() {
+        let (mut profiler, scenario) = session();
+        let engine = DeploymentEngine::new(HeterBo::seeded(1));
+        let (outcome, plan) = engine.plan(&mut profiler, &scenario);
+        let plan = plan.expect("found a plan");
+        assert!(outcome.n_probes() >= 2);
+
+        let (cloud, platform) = profiler.into_parts();
+        let report = engine.execute(&cloud, &platform, &plan).unwrap();
+        assert_eq!(report.deployment, plan.deployment);
+        assert!(report.train_time.as_hours() > 0.1);
+        assert!(report.train_cost.dollars() > 0.0);
+        // With a noiseless profiler, observed == true speed.
+        assert!((report.true_speed - plan.observed_speed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_costs_are_billed_costs() {
+        let (mut profiler, scenario) = session();
+        let engine = DeploymentEngine::new(HeterBo::seeded(2));
+        let (_, plan) = engine.plan(&mut profiler, &scenario);
+        let plan = plan.unwrap();
+        let (cloud, platform) = profiler.into_parts();
+        let before = cloud.billing().total_cost();
+        let report = engine.execute(&cloud, &platform, &plan).unwrap();
+        let after = cloud.billing().total_cost();
+        assert!(((after - before).dollars() - report.train_cost.dollars()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cloud Interface and ML Platform Interface.
+//!
+//! MLCD's portability claims rest on these two seams (paper §IV): the
+//! Cloud Interface wraps instance lifecycle + billing + metrics for one
+//! provider, the ML Platform Interface wraps "run this training job and
+//! tell me its throughput" for one framework. The simulator implements
+//! both; a production deployment would implement them with EC2/CloudWatch
+//! and TensorFlow/MXNet/PyTorch launchers.
+
+use crate::deployment::Deployment;
+use mlcd_cloudsim::{
+    Cluster, CloudError, InstanceType, MetricStore, Money, SimCloud, SimDuration, SimTime,
+};
+use mlcd_perfmodel::{Infeasible, NoiseModel, ThroughputModel, TrainingJob};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Provider-side operations MLCD needs.
+pub trait CloudInterface {
+    /// Launch `n` instances of a type as one cluster.
+    fn launch(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError>;
+    /// Block (in virtual time) until the cluster is ready; returns the
+    /// provisioning delay.
+    fn wait_until_running(&self, cluster: &Cluster) -> SimDuration;
+    /// Occupy the cluster with work for a duration.
+    fn run_for(&self, cluster: &Cluster, d: SimDuration) -> Result<(), CloudError>;
+    /// Terminate and bill.
+    fn terminate(&self, cluster: &Cluster);
+    /// Current (virtual) time.
+    fn now(&self) -> SimTime;
+    /// Cumulative billed spend.
+    fn total_spent(&self) -> Money;
+    /// Metric sink (CloudWatch-style).
+    fn metrics(&self) -> &MetricStore;
+
+    // --- concurrency capabilities (optional) -------------------------
+    // A provider that can answer these lets the Profiler run probes in
+    // parallel clusters and charge only the slowest one's wall-clock.
+
+    /// Provisioning delay of a launched cluster, if the provider can tell
+    /// without blocking. `None` (the default) makes batch probing fall
+    /// back to sequential.
+    fn provisioning_delay(&self, _cluster: &Cluster) -> Option<SimDuration> {
+        None
+    }
+
+    /// Terminate retroactively at `end ≤ now`, billing only that span.
+    /// The default ignores `end` and bills to now (sequential semantics).
+    fn terminate_at(&self, cluster: &Cluster, _end: SimTime) {
+        self.terminate(cluster);
+    }
+
+    /// Move time forward to `t` without occupying any particular cluster
+    /// (e.g. waiting for the slowest of several concurrent probes). The
+    /// default does nothing.
+    fn skip_to(&self, _t: SimTime) {}
+
+    /// Launch on the spot market when the provider has one; the default
+    /// quietly falls back to on-demand, so callers must treat the result's
+    /// billing as authoritative rather than assuming a discount.
+    fn launch_spot(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
+        self.launch(itype, n)
+    }
+}
+
+impl CloudInterface for SimCloud {
+    fn launch(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
+        SimCloud::launch(self, itype, n)
+    }
+    fn wait_until_running(&self, cluster: &Cluster) -> SimDuration {
+        SimCloud::wait_until_running(self, cluster)
+    }
+    fn run_for(&self, cluster: &Cluster, d: SimDuration) -> Result<(), CloudError> {
+        SimCloud::run_for(self, cluster, d)
+    }
+    fn terminate(&self, cluster: &Cluster) {
+        SimCloud::terminate(self, cluster)
+    }
+    fn now(&self) -> SimTime {
+        SimCloud::now(self)
+    }
+    fn total_spent(&self) -> Money {
+        self.billing().total_cost()
+    }
+    fn metrics(&self) -> &MetricStore {
+        SimCloud::metrics(self)
+    }
+    fn provisioning_delay(&self, cluster: &Cluster) -> Option<SimDuration> {
+        SimCloud::provisioning_delay(self, cluster)
+    }
+    fn terminate_at(&self, cluster: &Cluster, end: SimTime) {
+        SimCloud::terminate_at(self, cluster, end)
+    }
+    fn skip_to(&self, t: SimTime) {
+        self.clock().advance_to(t);
+    }
+    fn launch_spot(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
+        SimCloud::launch_spot(self, itype, n)
+    }
+}
+
+/// Framework-side operations MLCD needs.
+pub trait MlPlatformInterface {
+    /// The job being deployed.
+    fn job(&self) -> &TrainingJob;
+    /// Sample per-window training throughput on a (running) deployment —
+    /// each sample is one measurement window's noisy samples/second.
+    fn sample_throughput(&mut self, d: &Deployment, windows: usize) -> Result<Vec<f64>, String>;
+    /// The speed a full training run actually sustains (the profiler never
+    /// sees this; the engine's real deployment runs at it).
+    fn true_speed(&self, d: &Deployment) -> Result<f64, String>;
+}
+
+/// Simulated ML platform: ground truth from `mlcd-perfmodel`, observation
+/// noise from its noise model.
+pub struct SimMlPlatform {
+    job: TrainingJob,
+    truth: ThroughputModel,
+    noise: NoiseModel,
+    rng: SmallRng,
+}
+
+impl SimMlPlatform {
+    /// Build with a seed controlling observation noise.
+    pub fn new(job: TrainingJob, truth: ThroughputModel, noise: NoiseModel, seed: u64) -> Self {
+        SimMlPlatform { job, truth, noise, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    fn speed(&self, d: &Deployment) -> Result<f64, Infeasible> {
+        self.truth.throughput(&self.job, d.itype, d.n)
+    }
+}
+
+impl MlPlatformInterface for SimMlPlatform {
+    fn job(&self) -> &TrainingJob {
+        &self.job
+    }
+
+    fn sample_throughput(&mut self, d: &Deployment, windows: usize) -> Result<Vec<f64>, String> {
+        let speed = self.speed(d).map_err(|e| e.to_string())?;
+        Ok(self.noise.observe_n(speed, windows, &mut self.rng))
+    }
+
+    fn true_speed(&self, d: &Deployment) -> Result<f64, String> {
+        self.speed(d).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform(sigma: f64) -> SimMlPlatform {
+        SimMlPlatform::new(
+            TrainingJob::resnet_cifar10(),
+            ThroughputModel::default(),
+            NoiseModel { sigma, straggler_prob: 0.0, straggler_slowdown: 1.0 },
+            1,
+        )
+    }
+
+    #[test]
+    fn samples_scatter_around_truth() {
+        let mut p = platform(0.05);
+        let d = Deployment::new(InstanceType::C54xlarge, 8);
+        let truth = p.true_speed(&d).unwrap();
+        let samples = p.sample_throughput(&d, 200).unwrap();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean / truth - 1.0).abs() < 0.03, "mean {mean} vs truth {truth}");
+        assert!(samples.iter().any(|&s| (s - truth).abs() > 1e-9), "noise should perturb");
+    }
+
+    #[test]
+    fn noiseless_platform_reports_truth() {
+        let mut p = SimMlPlatform::new(
+            TrainingJob::resnet_cifar10(),
+            ThroughputModel::default(),
+            NoiseModel::noiseless(),
+            2,
+        );
+        let d = Deployment::new(InstanceType::C5Xlarge, 4);
+        let truth = p.true_speed(&d).unwrap();
+        let samples = p.sample_throughput(&d, 5).unwrap();
+        assert!(samples.iter().all(|&s| s == truth));
+    }
+
+    #[test]
+    fn infeasible_deployment_errors() {
+        use mlcd_perfmodel::{CommTopology, DatasetSpec, ModelSpec, Platform};
+        let job = TrainingJob {
+            model: ModelSpec::zero_20b(),
+            dataset: DatasetSpec::bert_corpus(),
+            epochs: 1,
+            global_batch: 2048,
+            platform: Platform::PyTorch,
+            topology: CommTopology::RingAllReduce,
+            grad_keep_frac: 1.0,
+            scaling: mlcd_perfmodel::ScalingMode::Strong,
+        };
+        let mut p =
+            SimMlPlatform::new(job, ThroughputModel::default(), NoiseModel::noiseless(), 3);
+        let d = Deployment::new(InstanceType::P38xlarge, 1);
+        assert!(p.true_speed(&d).is_err());
+        assert!(p.sample_throughput(&d, 3).is_err());
+    }
+
+    #[test]
+    fn sim_cloud_satisfies_cloud_interface() {
+        let cloud = SimCloud::new(7);
+        let c = CloudInterface::launch(&cloud, InstanceType::C5Xlarge, 2).unwrap();
+        CloudInterface::wait_until_running(&cloud, &c);
+        CloudInterface::run_for(&cloud, &c, SimDuration::from_mins(5.0)).unwrap();
+        CloudInterface::terminate(&cloud, &c);
+        assert!(cloud.total_spent().dollars() > 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! The MLCD system (paper Fig 8).
+//!
+//! * [`interfaces`] — the Cloud Interface and ML Platform Interface
+//!   traits, with simulated implementations (`mlcd-cloudsim` /
+//!   `mlcd-perfmodel` backed). A real AWS/GCE backend would implement the
+//!   same traits.
+//! * [`profiler`] — the Profiler: launches a candidate cluster, runs the
+//!   training job for a bounded measurement window, watches throughput
+//!   stability (extending unstable probes), and reports the observation
+//!   with its true time/money cost.
+//! * [`analyzer`] — the Scenario Analyzer: user requirements → search
+//!   constraints.
+//! * [`engine`] — the HeterBO Deployment Engine: drives a searcher
+//!   through the Profiler and then deploys the chosen configuration.
+
+pub mod analyzer;
+pub mod engine;
+pub mod interfaces;
+pub mod profiler;
+
+pub use analyzer::{ScenarioAnalyzer, UserRequirements};
+pub use engine::{DeploymentEngine, DeploymentPlan, TrainReport};
+pub use interfaces::{CloudInterface, MlPlatformInterface, SimMlPlatform};
+pub use profiler::{Profiler, ProfilerConfig};

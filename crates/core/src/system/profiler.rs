@@ -1,0 +1,561 @@
+//! The MLCD Profiler.
+//!
+//! For each candidate deployment the Profiler (paper §IV): launches the
+//! cluster through the Cloud Interface, waits through setup/warm-up, runs
+//! the training job for a bounded measurement window through the ML
+//! Platform Interface, monitors throughput stability across windows —
+//! extending the probe "when large discrepancy is observed" — publishes
+//! the series to the metric store, terminates the cluster, and reports the
+//! observation with the exact wall-clock and billed cost it consumed.
+//!
+//! It implements [`ProfilingEnv`], so any [`crate::search::Searcher`] can
+//! drive it directly.
+
+use crate::deployment::{Deployment, SearchSpace};
+use crate::env::{model_warmup, paper_probe_duration, ProfileError, ProfilingEnv};
+use crate::observation::Observation;
+use crate::system::interfaces::{CloudInterface, MlPlatformInterface};
+use mlcd_cloudsim::{Money, SimDuration};
+use mlcd_linalg::OnlineStats;
+
+/// Profiler tunables.
+#[derive(Debug, Clone)]
+pub struct ProfilerConfig {
+    /// Throughput samples (measurement windows) per probe.
+    pub windows: usize,
+    /// Coefficient-of-variation threshold above which the probe is
+    /// extended once.
+    pub cv_threshold: f64,
+    /// Extension length as a fraction of the base measurement time.
+    pub extension_frac: f64,
+    /// Probe on the spot market: probes are short and restartable, so the
+    /// ~3× discount usually wins. A probe revoked mid-measurement is
+    /// retried once on-demand (both launches are billed).
+    pub use_spot: bool,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig { windows: 10, cv_threshold: 0.08, extension_frac: 0.5, use_spot: false }
+    }
+}
+
+/// The Profiler: owns the cloud + platform handles for one search session.
+pub struct Profiler<C: CloudInterface, P: MlPlatformInterface> {
+    cloud: C,
+    platform: P,
+    space: SearchSpace,
+    cfg: ProfilerConfig,
+    elapsed: SimDuration,
+    spent: Money,
+    n_probes: usize,
+    n_extended: usize,
+    n_revoked: usize,
+}
+
+impl<C: CloudInterface, P: MlPlatformInterface> Profiler<C, P> {
+    /// Build a profiler session.
+    pub fn new(cloud: C, platform: P, space: SearchSpace, cfg: ProfilerConfig) -> Self {
+        Profiler {
+            cloud,
+            platform,
+            space,
+            cfg,
+            elapsed: SimDuration::ZERO,
+            spent: Money::ZERO,
+            n_probes: 0,
+            n_extended: 0,
+            n_revoked: 0,
+        }
+    }
+
+    /// Probes run so far.
+    pub fn n_probes(&self) -> usize {
+        self.n_probes
+    }
+
+    /// Probes that needed a stability extension.
+    pub fn n_extended(&self) -> usize {
+        self.n_extended
+    }
+
+    /// Spot probes that were revoked mid-measurement (and retried
+    /// on-demand).
+    pub fn n_revoked(&self) -> usize {
+        self.n_revoked
+    }
+
+    /// The cloud handle (for the engine to reuse for the real deployment).
+    pub fn cloud(&self) -> &C {
+        &self.cloud
+    }
+
+    /// The platform handle.
+    pub fn platform(&self) -> &P {
+        &self.platform
+    }
+
+    /// Consume the profiler, returning its parts.
+    pub fn into_parts(self) -> (C, P) {
+        (self.cloud, self.platform)
+    }
+
+    fn run_probe(&mut self, d: &Deployment) -> Result<Observation, ProfileError> {
+        match self.run_probe_attempt(d, self.cfg.use_spot) {
+            Err(ProfileError::Failed(msg)) if msg.contains("spot market revoked") => {
+                // A revoked spot probe is retried once on-demand. Both the
+                // interrupted spot cluster and the retry are billed and
+                // counted into this probe's totals.
+                self.n_revoked += 1;
+                self.run_probe_attempt(d, false)
+            }
+            other => other,
+        }
+    }
+
+    fn run_probe_attempt(
+        &mut self,
+        d: &Deployment,
+        spot: bool,
+    ) -> Result<Observation, ProfileError> {
+        let t_start = self.cloud.now();
+        let c_start = self.cloud.total_spent();
+
+        let cluster = if spot {
+            self.cloud.launch_spot(d.itype, d.n)
+        } else {
+            self.cloud.launch(d.itype, d.n)
+        }
+        .map_err(|e| ProfileError::Failed(e.to_string()))?;
+        let setup = self.cloud.wait_until_running(&cluster);
+
+        // The paper's probe-duration rule covers setup + warm-up +
+        // measurement; large models additionally pay state-distribution
+        // warm-up. Measure for whatever remains after setup, with a small
+        // floor so a slow provision still yields data.
+        let quoted =
+            paper_probe_duration(d.n) + model_warmup(self.platform.job().model.state_bytes());
+        let measure = (quoted - setup).max(SimDuration::from_mins(2.0));
+
+        let sample = |profiler: &mut Self,
+                      cluster: &mlcd_cloudsim::Cluster,
+                      dur: SimDuration,
+                      windows: usize|
+         -> Result<Vec<f64>, ProfileError> {
+            profiler
+                .cloud
+                .run_for(cluster, dur)
+                .map_err(|e| ProfileError::Failed(e.to_string()))?;
+            profiler
+                .platform
+                .sample_throughput(d, windows)
+                .map_err(ProfileError::Failed)
+        };
+
+        let result = (|| -> Result<f64, ProfileError> {
+            let mut stats = OnlineStats::new();
+            let samples = sample(self, &cluster, measure, self.cfg.windows)?;
+            for (i, s) in samples.iter().enumerate() {
+                stats.push(*s);
+                self.cloud.metrics().put(
+                    &format!("throughput/{}", d),
+                    self.cloud.now(),
+                    samples[i],
+                );
+            }
+            // Paper: "extends the profiling time when large discrepancy is
+            // observed" across iterations.
+            if stats.cv() > self.cfg.cv_threshold {
+                self.n_extended += 1;
+                let extra = sample(
+                    self,
+                    &cluster,
+                    measure * self.cfg.extension_frac,
+                    (self.cfg.windows / 2).max(1),
+                )?;
+                for s in extra {
+                    stats.push(s);
+                    self.cloud.metrics().put(&format!("throughput/{}", d), self.cloud.now(), s);
+                }
+            }
+            Ok(stats.mean())
+        })();
+
+        // Terminate no matter what happened — the instances were up and
+        // must be billed and released. Failed attempts (platform errors,
+        // spot revocations) still consumed time and money, so they are
+        // accounted before propagating the error.
+        self.cloud.terminate(&cluster);
+        let profile_time = self.cloud.now().since(t_start);
+        let profile_cost = self.cloud.total_spent() - c_start;
+        self.elapsed += profile_time;
+        self.spent += profile_cost;
+
+        let speed = result?;
+        self.n_probes += 1;
+        Ok(Observation { deployment: *d, speed, profile_time, profile_cost })
+    }
+}
+
+impl<C: CloudInterface, P: MlPlatformInterface> Profiler<C, P> {
+    /// Parallel batch probing: launch every cluster at once, let each run
+    /// its own probe duration, advance the clock only to the *slowest*
+    /// finisher, and bill each cluster its own span. Falls back to
+    /// sequential probing when the provider cannot report provisioning
+    /// delays without blocking.
+    fn run_batch(&mut self, ds: &[Deployment]) -> Vec<Result<Observation, ProfileError>> {
+        let t0 = self.cloud.now();
+        let c_start = self.cloud.total_spent();
+
+        // Launch phase: all clusters come up concurrently.
+        let mut launched: Vec<(usize, mlcd_cloudsim::Cluster, SimDuration)> = Vec::new();
+        let mut results: Vec<Option<Result<Observation, ProfileError>>> =
+            ds.iter().map(|_| None).collect();
+        for (i, d) in ds.iter().enumerate() {
+            if !self.space.contains(d) {
+                results[i] = Some(Err(ProfileError::NotInSpace(*d)));
+                continue;
+            }
+            match self.cloud.launch(d.itype, d.n) {
+                Ok(cluster) => match self.cloud.provisioning_delay(&cluster) {
+                    Some(setup) => launched.push((i, cluster, setup)),
+                    None => {
+                        // Provider can't run this concurrently: settle this
+                        // cluster and take the sequential path for the rest.
+                        self.cloud.terminate(&cluster);
+                        results[i] = Some(self.run_probe(d));
+                    }
+                },
+                Err(e) => results[i] = Some(Err(ProfileError::Failed(e.to_string()))),
+            }
+        }
+
+        // Measurement phase (virtual-time independent): work out each
+        // probe's duration and observation.
+        let warmup = model_warmup(self.platform.job().model.state_bytes());
+        let mut ends: Vec<(usize, mlcd_cloudsim::Cluster, mlcd_cloudsim::SimTime, f64)> =
+            Vec::new();
+        for (i, cluster, setup) in launched {
+            let d = ds[i];
+            let quoted = paper_probe_duration(d.n) + warmup;
+            let mut dur = setup + (quoted - setup).max(SimDuration::from_mins(2.0));
+            match self.platform.sample_throughput(&d, self.cfg.windows) {
+                Ok(samples) => {
+                    let mut stats = OnlineStats::new();
+                    for s in &samples {
+                        stats.push(*s);
+                    }
+                    if stats.cv() > self.cfg.cv_threshold {
+                        self.n_extended += 1;
+                        let extra_dur = (quoted - setup).max(SimDuration::from_mins(2.0))
+                            * self.cfg.extension_frac;
+                        dur += extra_dur;
+                        if let Ok(extra) = self
+                            .platform
+                            .sample_throughput(&d, (self.cfg.windows / 2).max(1))
+                        {
+                            for s in extra {
+                                stats.push(s);
+                            }
+                        }
+                    }
+                    ends.push((i, cluster, t0 + dur, stats.mean()));
+                }
+                Err(msg) => {
+                    ends.push((i, cluster, t0 + dur, f64::NAN));
+                    results[i] = Some(Err(ProfileError::Failed(msg)));
+                }
+            }
+        }
+
+        // Settlement phase: wait for the slowest, bill each its own span.
+        let latest = ends
+            .iter()
+            .map(|(_, _, end, _)| *end)
+            .fold(t0, |a, b| if b > a { b } else { a });
+        self.cloud.skip_to(latest);
+        for (i, cluster, end, speed) in ends {
+            self.cloud.terminate_at(&cluster, end);
+            if results[i].is_none() {
+                let d = ds[i];
+                let profile_time = end.since(t0);
+                let profile_cost = mlcd_cloudsim::billing::quote(d.itype, d.n, profile_time);
+                self.cloud.metrics().put(&format!("throughput/{}", d), end, speed);
+                self.n_probes += 1;
+                results[i] =
+                    Some(Ok(Observation { deployment: d, speed, profile_time, profile_cost }));
+            }
+        }
+
+        // The batch consumes wall-clock equal to its slowest member but
+        // money equal to the sum.
+        self.elapsed += latest.since(t0);
+        self.spent += self.cloud.total_spent() - c_start;
+        results.into_iter().map(|r| r.expect("every slot settled")).collect()
+    }
+}
+
+impl<C: CloudInterface, P: MlPlatformInterface> ProfilingEnv for Profiler<C, P> {
+    fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    fn total_samples(&self) -> f64 {
+        self.platform.job().total_samples()
+    }
+
+    fn quote(&self, d: &Deployment) -> (SimDuration, Money) {
+        let t = paper_probe_duration(d.n) + model_warmup(self.platform.job().model.state_bytes());
+        (t, d.cost_for(t))
+    }
+
+    fn profile(&mut self, d: &Deployment) -> Result<Observation, ProfileError> {
+        if !self.space.contains(d) {
+            return Err(ProfileError::NotInSpace(*d));
+        }
+        self.run_probe(d)
+    }
+
+    fn profile_batch(&mut self, ds: &[Deployment]) -> Vec<Result<Observation, ProfileError>> {
+        if ds.len() <= 1 {
+            return ds.iter().map(|d| self.profile(d)).collect();
+        }
+        self.run_batch(ds)
+    }
+
+    fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    fn spent(&self) -> Money {
+        self.spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::interfaces::SimMlPlatform;
+    use mlcd_cloudsim::{InstanceType, SimCloud};
+    use mlcd_perfmodel::{NoiseModel, ThroughputModel, TrainingJob};
+
+    fn make_profiler(noise: NoiseModel) -> Profiler<SimCloud, SimMlPlatform> {
+        let job = TrainingJob::resnet_cifar10();
+        let truth = ThroughputModel::default();
+        let space = SearchSpace::new(
+            &[InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge],
+            50,
+            &job,
+            &truth,
+        );
+        let cloud = SimCloud::new(11);
+        let platform = SimMlPlatform::new(job, truth, noise, 12);
+        Profiler::new(cloud, platform, space, ProfilerConfig::default())
+    }
+
+    #[test]
+    fn probe_time_close_to_paper_rule() {
+        let mut p = make_profiler(NoiseModel::noiseless());
+        let d = Deployment::new(InstanceType::C54xlarge, 10);
+        let obs = p.profile(&d).unwrap();
+        let quoted = paper_probe_duration(10);
+        // Provisioning jitter can stretch a little past the quote.
+        assert!(obs.profile_time.as_secs() >= quoted.as_secs() * 0.9);
+        assert!(obs.profile_time.as_secs() <= quoted.as_secs() * 1.6);
+    }
+
+    #[test]
+    fn cost_matches_billing() {
+        let mut p = make_profiler(NoiseModel::noiseless());
+        let d = Deployment::new(InstanceType::P2Xlarge, 4);
+        let before = p.cloud().total_spent();
+        let obs = p.profile(&d).unwrap();
+        let after = p.cloud().total_spent();
+        assert!((obs.profile_cost.dollars() - (after - before).dollars()).abs() < 1e-9);
+        assert!(obs.profile_cost.dollars() > 0.0);
+        assert_eq!(p.n_probes(), 1);
+    }
+
+    #[test]
+    fn noiseless_probe_recovers_truth() {
+        let mut p = make_profiler(NoiseModel::noiseless());
+        let d = Deployment::new(InstanceType::C54xlarge, 8);
+        let obs = p.profile(&d).unwrap();
+        let truth = ThroughputModel::default()
+            .throughput(&TrainingJob::resnet_cifar10(), InstanceType::C54xlarge, 8)
+            .unwrap();
+        assert!((obs.speed - truth).abs() < 1e-9);
+        assert_eq!(p.n_extended(), 0);
+    }
+
+    #[test]
+    fn unstable_throughput_triggers_extension() {
+        // Violent noise → CV above threshold → probe extended.
+        let noisy = NoiseModel { sigma: 0.4, straggler_prob: 0.3, straggler_slowdown: 0.5 };
+        let mut p = make_profiler(noisy);
+        let mut extended = 0;
+        for n in [2u32, 4, 6, 8, 10] {
+            let d = Deployment::new(InstanceType::C5Xlarge, n);
+            let _ = p.profile(&d).unwrap();
+            extended = p.n_extended();
+        }
+        assert!(extended >= 1, "expected at least one extension, got {extended}");
+        // Extensions cost extra money relative to the quote.
+    }
+
+    #[test]
+    fn gpu_probe_costs_more_than_cpu_probe() {
+        let mut p = make_profiler(NoiseModel::noiseless());
+        let cpu = p.profile(&Deployment::new(InstanceType::C5Xlarge, 1)).unwrap();
+        let gpu = p.profile(&Deployment::new(InstanceType::P2Xlarge, 8)).unwrap();
+        assert!(gpu.profile_cost.dollars() > cpu.profile_cost.dollars() * 10.0);
+        assert!(gpu.profile_time > cpu.profile_time);
+    }
+
+    #[test]
+    fn metrics_published() {
+        let mut p = make_profiler(NoiseModel::noiseless());
+        let d = Deployment::new(InstanceType::C5Xlarge, 2);
+        p.profile(&d).unwrap();
+        let series = p.cloud().metrics().series(&format!("throughput/{}", d));
+        assert_eq!(series.len(), ProfilerConfig::default().windows);
+    }
+
+    #[test]
+    fn rejects_out_of_space() {
+        let mut p = make_profiler(NoiseModel::noiseless());
+        let err = p.profile(&Deployment::new(InstanceType::C5n9xlarge, 2)).unwrap_err();
+        assert!(matches!(err, ProfileError::NotInSpace(_)));
+    }
+
+    #[test]
+    fn spot_probing_is_cheaper_in_expectation() {
+        // Same probe plan on-demand vs spot; spot must be substantially
+        // cheaper in aggregate despite occasional revocation retries.
+        let plan: Vec<Deployment> = [2u32, 5, 8, 12, 16, 20, 24, 30]
+            .iter()
+            .map(|&n| Deployment::new(InstanceType::C54xlarge, n))
+            .collect();
+        let run = |use_spot: bool| {
+            let job = TrainingJob::resnet_cifar10();
+            let truth = ThroughputModel::default();
+            let space =
+                SearchSpace::new(&[InstanceType::C54xlarge], 50, &job, &truth);
+            let cloud = SimCloud::new(5);
+            let platform = SimMlPlatform::new(job, truth, NoiseModel::noiseless(), 6);
+            let mut p = Profiler::new(
+                cloud,
+                platform,
+                space,
+                ProfilerConfig { use_spot, ..Default::default() },
+            );
+            for d in &plan {
+                p.profile(d).unwrap();
+            }
+            (p.spent().dollars(), p.n_revoked())
+        };
+        let (od_cost, od_revoked) = run(false);
+        let (spot_cost, _spot_revoked) = run(true);
+        assert_eq!(od_revoked, 0);
+        assert!(
+            spot_cost < od_cost * 0.7,
+            "spot ${spot_cost:.2} should be well under on-demand ${od_cost:.2}"
+        );
+    }
+
+    #[test]
+    fn revoked_spot_probe_retries_and_still_reports() {
+        // Find a seed where a revocation actually happens, then check the
+        // probe still returns a valid observation and the accounting holds.
+        for seed in 0..60u64 {
+            let job = TrainingJob::resnet_cifar10();
+            let truth = ThroughputModel::default();
+            let space =
+                SearchSpace::new(&[InstanceType::C54xlarge], 50, &job, &truth);
+            let cloud = SimCloud::new(seed);
+            let platform = SimMlPlatform::new(job, truth, NoiseModel::noiseless(), seed + 1);
+            let mut p = Profiler::new(
+                cloud,
+                platform,
+                space,
+                ProfilerConfig { use_spot: true, ..Default::default() },
+            );
+            // Large clusters probe longer (and more nodes) → more revocations.
+            for n in [30u32, 40, 50, 45, 35] {
+                let obs = p.profile(&Deployment::new(InstanceType::C54xlarge, n)).unwrap();
+                assert!(obs.speed > 0.0);
+            }
+            // Accounting must match the cloud's ledger exactly, including
+            // any revoked attempts.
+            let billed = p.cloud().billing().total_cost();
+            assert!(
+                (p.spent().dollars() - billed.dollars()).abs() < 1e-9,
+                "seed {seed}: profiler {} vs ledger {}",
+                p.spent(),
+                billed
+            );
+            if p.n_revoked() > 0 {
+                return; // exercised the retry path — done
+            }
+        }
+        panic!("no revocation in 60 seeds — retry path never exercised");
+    }
+
+    #[test]
+    fn batch_probing_charges_max_time_but_sum_of_money() {
+        let ds = [
+            Deployment::new(InstanceType::C5Xlarge, 1),
+            Deployment::new(InstanceType::C54xlarge, 10),
+            Deployment::new(InstanceType::P2Xlarge, 25),
+        ];
+        // Sequential reference.
+        let mut seq = make_profiler(NoiseModel::noiseless());
+        let seq_obs: Vec<_> = ds.iter().map(|d| seq.profile(d).unwrap()).collect();
+
+        // Parallel batch.
+        let mut par = make_profiler(NoiseModel::noiseless());
+        let par_obs: Vec<_> =
+            par.profile_batch(&ds).into_iter().map(|r| r.unwrap()).collect();
+
+        // Same speeds observed (noiseless ⇒ ground truth either way).
+        for (a, b) in seq_obs.iter().zip(&par_obs) {
+            assert_eq!(a.deployment, b.deployment);
+            assert!((a.speed - b.speed).abs() < 1e-9);
+        }
+        // Money: batch total ≈ sum of its own probes' costs, same order of
+        // magnitude as sequential.
+        let par_sum: f64 = par_obs.iter().map(|o| o.profile_cost.dollars()).sum();
+        assert!((par.spent().dollars() - par_sum).abs() < 1e-6);
+        // Wall-clock: batch elapsed == slowest member, strictly less than
+        // the sequential sum.
+        let slowest =
+            par_obs.iter().map(|o| o.profile_time.as_secs()).fold(0.0_f64, f64::max);
+        assert!((par.elapsed().as_secs() - slowest).abs() < 1e-6);
+        assert!(par.elapsed().as_secs() < seq.elapsed().as_secs() * 0.6);
+        assert_eq!(par.n_probes(), 3);
+    }
+
+    #[test]
+    fn batch_with_invalid_member_still_probes_the_rest() {
+        let mut p = make_profiler(NoiseModel::noiseless());
+        let ds = [
+            Deployment::new(InstanceType::C5Xlarge, 2),
+            Deployment::new(InstanceType::C5n9xlarge, 1), // not in the space
+            Deployment::new(InstanceType::C54xlarge, 4),
+        ];
+        let results = p.profile_batch(&ds);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ProfileError::NotInSpace(_))));
+        assert!(results[2].is_ok());
+        assert_eq!(p.n_probes(), 2);
+    }
+
+    #[test]
+    fn singleton_batch_is_just_a_probe() {
+        let mut p = make_profiler(NoiseModel::noiseless());
+        let d = Deployment::new(InstanceType::C5Xlarge, 4);
+        let batch = p.profile_batch(std::slice::from_ref(&d));
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].is_ok());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the search core: invariants over random response
+//! surfaces, budgets and seeds (the synthetic environment keeps these
+//! cheap — no cloud simulation, no observation noise).
+
+use mlcd::acquisition::AcquisitionKind;
+use mlcd::deployment::{Deployment, SearchSpace};
+use mlcd::env::SyntheticEnv;
+use mlcd::prelude::*;
+use mlcd_gp::Prediction;
+use proptest::prelude::*;
+
+fn space_3types() -> SearchSpace {
+    SearchSpace::new(
+        &[InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge],
+        50,
+        &TrainingJob::resnet_cifar10(),
+        &ThroughputModel::default(),
+    )
+}
+
+/// A randomly parameterised concave-per-type surface that satisfies the
+/// ML prior HeterBO assumes: speed *rises monotonically* from n = 1 to an
+/// interior peak, then declines (possibly flooring on the far side). A
+/// flat plateau before the peak — an isolated "speed island" — violates
+/// that assumption and coarse frontier probing can legitimately step over
+/// it; `curv_frac` parameterises curvature relative to what keeps f(1)
+/// positive and rising.
+fn surface(peak_n: f64, height: f64, curv_frac: f64) -> impl Fn(&Deployment) -> f64 {
+    let denom = (peak_n - 1.0).max(5.0).powi(2);
+    let curv = curv_frac * height / denom;
+    move |d: &Deployment| {
+        let base = match d.itype {
+            InstanceType::C54xlarge => 1.0,
+            InstanceType::C5Xlarge => 0.45,
+            InstanceType::P2Xlarge => 0.6,
+            _ => 0.3,
+        };
+        base * (height - curv * (d.n as f64 - peak_n).powi(2)).max(height * 0.04)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    /// On arbitrary concave surfaces, HeterBO's pick lands near the true
+    /// optimum of the space.
+    #[test]
+    fn heterbo_near_optimal_on_random_concave_surfaces(
+        peak_n in 5.0f64..45.0,
+        height in 200.0f64..900.0,
+        curv in 0.3f64..0.95,
+        seed in 0u64..500,
+    ) {
+        let f = surface(peak_n, height, curv);
+        let mut env = SyntheticEnv::new(space_3types(), 5e6, &f);
+        let out = HeterBo::seeded(seed).search(&mut env, &Scenario::FastestUnlimited);
+        let best = out.best.expect("always finds something unconstrained");
+        let true_best = space_3types()
+            .candidates()
+            .iter()
+            .map(&f)
+            .fold(0.0_f64, f64::max);
+        prop_assert!(
+            best.speed >= true_best * 0.80,
+            "found {:.1} at {} vs optimum {:.1} (peak_n {peak_n:.0}, curv {curv:.2})",
+            best.speed, best.deployment, true_best
+        );
+    }
+
+    /// The budget reserve holds on arbitrary surfaces and budgets: the
+    /// projected total (profiling + margin-padded training at the pick)
+    /// never exceeds the budget when the search reports success.
+    #[test]
+    fn heterbo_projected_total_within_budget(
+        peak_n in 5.0f64..45.0,
+        budget in 50.0f64..300.0,
+        seed in 0u64..500,
+    ) {
+        let f = surface(peak_n, 500.0, 0.8);
+        let mut env = SyntheticEnv::new(space_3types(), 5e6, &f);
+        let scenario = Scenario::FastestWithBudget(Money::from_dollars(budget));
+        let out = HeterBo::seeded(seed).search(&mut env, &scenario);
+        if let Some(best) = out.best {
+            let train = Scenario::training_cost(&best.deployment, 5e6, best.speed);
+            let total = out.profile_cost.dollars() + train.dollars();
+            prop_assert!(
+                total <= budget * 1.001,
+                "projected total ${total:.2} over ${budget:.2} (pick {})",
+                best.deployment
+            );
+        }
+    }
+
+    /// Every searcher only ever recommends a deployment it actually
+    /// probed, and its trace's cumulative totals are monotone.
+    #[test]
+    fn outcome_internally_consistent(seed in 0u64..1000, k in 3usize..10) {
+        let f = surface(20.0, 500.0, 0.8);
+        let mut env = SyntheticEnv::new(space_3types(), 5e6, &f);
+        let out = RandomSearch::new(k, seed).search(&mut env, &Scenario::FastestUnlimited);
+        let best = out.best.expect("random always finds something");
+        prop_assert!(out.steps.iter().any(|s| s.observation.deployment == best.deployment));
+        let mut prev_t = 0.0;
+        let mut prev_c = 0.0;
+        for s in &out.steps {
+            prop_assert!(s.cum_profile_time.as_secs() >= prev_t);
+            prop_assert!(s.cum_profile_cost.dollars() >= prev_c);
+            prev_t = s.cum_profile_time.as_secs();
+            prev_c = s.cum_profile_cost.dollars();
+        }
+        prop_assert!((prev_c - out.profile_cost.dollars()).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Acquisition scores: non-negative, and monotone in the predicted
+    /// mean for fixed σ and incumbent.
+    #[test]
+    fn acquisition_scores_monotone_in_mean(
+        mean in -10.0f64..10.0,
+        bump in 0.01f64..5.0,
+        sd in 0.01f64..3.0,
+        best in -5.0f64..5.0,
+    ) {
+        for kind in [
+            AcquisitionKind::ExpectedImprovement,
+            AcquisitionKind::UpperConfidenceBound { kappa: 2.0 },
+            AcquisitionKind::ProbabilityOfImprovement { margin_frac: 0.05 },
+        ] {
+            let lo = kind.score(&Prediction { mean, var: sd * sd, var_with_noise: sd * sd }, best);
+            let hi = kind.score(
+                &Prediction { mean: mean + bump, var: sd * sd, var_with_noise: sd * sd },
+                best,
+            );
+            prop_assert!(lo >= 0.0, "{kind:?} negative: {lo}");
+            prop_assert!(hi >= lo - 1e-12, "{kind:?} not monotone: {lo} vs {hi}");
+        }
+    }
+
+    /// The paper's probe-duration rule is monotone in cluster size and
+    /// matches its stated anchors.
+    #[test]
+    fn probe_duration_rule(n in 1u32..=100) {
+        let d = mlcd::env::paper_probe_duration(n);
+        prop_assert!(d.as_mins() >= 10.0);
+        prop_assert!((d.as_mins() - (10.0 + ((n - 1) / 3) as f64)).abs() < 1e-12);
+        if n > 1 {
+            prop_assert!(
+                mlcd::env::paper_probe_duration(n).as_secs()
+                    >= mlcd::env::paper_probe_duration(n - 1).as_secs()
+            );
+        }
+    }
+}

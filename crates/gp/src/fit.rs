@@ -1,0 +1,253 @@
+//! Marginal-likelihood hyperparameter fitting.
+//!
+//! Hyperparameters θ = (log σ_f², log ℓ₁…log ℓ_d, log σ_n²) are fitted by
+//! minimising the negative log marginal likelihood of the *standardised*
+//! targets with multi-start Nelder–Mead (starts drawn by Latin hypercube,
+//! local searches run in parallel by `mlcd-linalg`).
+//!
+//! Working in log-space keeps every parameter positive without constrained
+//! optimisation; the search ranges below assume inputs roughly in the unit
+//! cube and standardised targets, which [`crate::scale`] provides.
+
+use crate::kernel::{ArdKernel, KernelFamily};
+use crate::model::GpError;
+use crate::scale::OutputScaler;
+use mlcd_linalg::{multi_start_nelder_mead, Chol, Mat, NelderMeadOptions, SampleRange};
+
+/// Controls for the hyperparameter search.
+#[derive(Debug, Clone)]
+pub struct FitOptions {
+    /// Number of Latin-hypercube restarts.
+    pub n_starts: usize,
+    /// RNG seed for the restart sample (fits are deterministic given this).
+    pub seed: u64,
+    /// Per-restart Nelder–Mead budget.
+    pub nm: NelderMeadOptions,
+    /// Search range for log ℓ (applies to every dimension).
+    pub log_lengthscale: (f64, f64),
+    /// Search range for log σ_f².
+    pub log_signal_var: (f64, f64),
+    /// Search range for log σ_n². The lower bound acts as a noise floor,
+    /// which keeps kernel matrices well-conditioned.
+    pub log_noise_var: (f64, f64),
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            n_starts: 8,
+            seed: 0x5eed,
+            nm: NelderMeadOptions { max_evals: 250, ..Default::default() },
+            // Inputs in [0,1]: lengthscales from 1/50 of the cube to 20x it.
+            log_lengthscale: ((0.02f64).ln(), (20.0f64).ln()),
+            log_signal_var: ((0.05f64).ln(), (20.0f64).ln()),
+            log_noise_var: ((1e-6f64).ln(), (1.0f64).ln()),
+        }
+    }
+}
+
+/// The outcome of hyperparameter fitting.
+#[derive(Debug, Clone)]
+pub struct FittedHyperparams {
+    /// The kernel at the optimum.
+    pub kernel: ArdKernel,
+    /// Observation-noise variance (standardised target units).
+    pub noise_var: f64,
+    /// Negative log marginal likelihood at the optimum.
+    pub nlml: f64,
+}
+
+/// Negative log marginal likelihood of standardised targets `z` for the
+/// hyperparameter vector `theta = [log sf2, log l_1.., log sn2]`.
+///
+/// Returns `+inf` for hyperparameters outside sane bounds or that make the
+/// kernel matrix unfactorable — the optimiser treats those as walls.
+fn nlml(
+    theta: &[f64],
+    xs: &[Vec<f64>],
+    z: &[f64],
+    family: KernelFamily,
+    opts: &FitOptions,
+) -> f64 {
+    let d = xs[0].len();
+    debug_assert_eq!(theta.len(), d + 2);
+    // Allow the optimiser to wander a little past the start box (soft
+    // walls), but keep the box meaningful — callers rely on the bounds to
+    // regularise fits on very few points.
+    let margin = 0.7;
+    let (lo, hi) = opts.log_signal_var;
+    if theta[0] < lo - margin || theta[0] > hi + margin {
+        return f64::INFINITY;
+    }
+    let (lo, hi) = opts.log_lengthscale;
+    for &t in &theta[1..=d] {
+        if t < lo - margin || t > hi + margin {
+            return f64::INFINITY;
+        }
+    }
+    let (lo, hi) = opts.log_noise_var;
+    let t_noise = theta[d + 1];
+    if t_noise < lo - margin || t_noise > hi + margin {
+        return f64::INFINITY;
+    }
+
+    let sf2 = theta[0].exp();
+    let ls: Vec<f64> = theta[1..=d].iter().map(|t| t.exp()).collect();
+    let sn2 = t_noise.exp();
+    let kernel = ArdKernel::new(family, sf2, ls);
+
+    let n = xs.len();
+    let mut k = Mat::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
+    k.symmetrize();
+    k.add_diag(sn2);
+    let chol = match Chol::factor_with_jitter(&k, 1e-12, 6) {
+        Ok(c) => c,
+        Err(_) => return f64::INFINITY,
+    };
+    let alpha = chol.solve(z);
+    0.5 * mlcd_linalg::dot(z, &alpha)
+        + 0.5 * chol.log_det()
+        + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
+}
+
+/// Fit kernel hyperparameters and the noise variance for the given data.
+pub fn fit_hyperparams(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    family: KernelFamily,
+    opts: &FitOptions,
+) -> Result<FittedHyperparams, GpError> {
+    if xs.is_empty() {
+        return Err(GpError::BadTrainingData("no observations".into()));
+    }
+    if xs.len() != ys.len() {
+        return Err(GpError::BadTrainingData(format!(
+            "{} inputs vs {} targets",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    let d = xs[0].len();
+    if d == 0 {
+        return Err(GpError::BadTrainingData("zero-dimensional inputs".into()));
+    }
+    for (i, row) in xs.iter().enumerate() {
+        if row.len() != d {
+            return Err(GpError::BadTrainingData(format!("ragged input at row {i}")));
+        }
+    }
+
+    let scaler = OutputScaler::fit(ys);
+    let z: Vec<f64> = ys.iter().map(|&y| scaler.transform(y)).collect();
+
+    let mut ranges = Vec::with_capacity(d + 2);
+    ranges.push(SampleRange::new(opts.log_signal_var.0, opts.log_signal_var.1));
+    for _ in 0..d {
+        ranges.push(SampleRange::new(opts.log_lengthscale.0, opts.log_lengthscale.1));
+    }
+    ranges.push(SampleRange::new(opts.log_noise_var.0, opts.log_noise_var.1));
+
+    let obj = |theta: &[f64]| nlml(theta, xs, &z, family, opts);
+    let best = multi_start_nelder_mead(obj, &ranges, opts.n_starts, opts.seed, &opts.nm);
+
+    if !best.fx.is_finite() {
+        return Err(GpError::BadTrainingData(
+            "marginal likelihood not finite anywhere in the search box".into(),
+        ));
+    }
+
+    let sf2 = best.x[0].exp();
+    let ls: Vec<f64> = best.x[1..=d].iter().map(|t| t.exp()).collect();
+    let sn2 = best.x[d + 1].exp();
+    Ok(FittedHyperparams { kernel: ArdKernel::new(family, sf2, ls), noise_var: sn2, nlml: best.fx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Smooth 1-D function sampled on [0,1] with tiny noise.
+    fn smooth_data(n: usize, noise_sd: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (x[0] * 6.0).sin() + noise_sd * rng.gen_range(-1.0..1.0))
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_smooth_function_with_low_noise() {
+        let (xs, ys) = smooth_data(20, 0.01, 1);
+        let hp = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &FitOptions::default()).unwrap();
+        // One full sine period over the domain: lengthscale well under the
+        // domain width, noise close to the injected level.
+        assert!(hp.kernel.lengthscales()[0] < 2.0, "{hp:?}");
+        assert!(hp.noise_var < 0.05, "noise overestimated: {hp:?}");
+        assert!(hp.nlml.is_finite());
+    }
+
+    #[test]
+    fn noisy_data_yields_larger_noise_estimate() {
+        let (xs, ys_clean) = smooth_data(24, 0.01, 2);
+        let (_, ys_noisy) = smooth_data(24, 0.6, 3);
+        let opts = FitOptions::default();
+        let clean = fit_hyperparams(&xs, &ys_clean, KernelFamily::Matern52, &opts).unwrap();
+        let noisy = fit_hyperparams(&xs, &ys_noisy, KernelFamily::Matern52, &opts).unwrap();
+        assert!(
+            noisy.noise_var > clean.noise_var,
+            "clean {} vs noisy {}",
+            clean.noise_var,
+            noisy.noise_var
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (xs, ys) = smooth_data(12, 0.05, 4);
+        let opts = FitOptions::default();
+        let a = fit_hyperparams(&xs, &ys, KernelFamily::SquaredExp, &opts).unwrap();
+        let b = fit_hyperparams(&xs, &ys, KernelFamily::SquaredExp, &opts).unwrap();
+        assert_eq!(a.kernel, b.kernel);
+        assert_eq!(a.noise_var, b.noise_var);
+    }
+
+    #[test]
+    fn works_in_higher_dimension() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let xs: Vec<Vec<f64>> = (0..25).map(|_| vec![rng.gen(), rng.gen(), rng.gen()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 + (x[1] * 3.0).cos()).collect();
+        let hp = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &FitOptions::default()).unwrap();
+        assert_eq!(hp.kernel.lengthscales().len(), 3);
+        // x[2] is irrelevant: ARD should give it a comparatively long
+        // lengthscale (weak check — just not the shortest).
+        let ls = hp.kernel.lengthscales();
+        assert!(ls[2] > ls[0].min(ls[1]) * 0.5, "ARD lengthscales {ls:?}");
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let opts = FitOptions::default();
+        assert!(fit_hyperparams(&[], &[], KernelFamily::Matern52, &opts).is_err());
+        assert!(fit_hyperparams(&[vec![]], &[1.0], KernelFamily::Matern52, &opts).is_err());
+        assert!(fit_hyperparams(
+            &[vec![0.0], vec![1.0, 2.0]],
+            &[1.0, 2.0],
+            KernelFamily::Matern52,
+            &opts
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_observation_is_fittable() {
+        // Degenerate but must not crash: BO starts from very few points.
+        let hp =
+            fit_hyperparams(&[vec![0.5]], &[3.0], KernelFamily::Matern52, &FitOptions::default())
+                .unwrap();
+        assert!(hp.noise_var.is_finite());
+    }
+}

@@ -1,0 +1,208 @@
+//! Stationary covariance kernels with automatic-relevance-determination
+//! (per-dimension) lengthscales.
+
+/// Which stationary kernel family to use.
+///
+/// Matérn 5/2 is the default throughout the reproduction — it is CherryPick's
+/// choice and the standard for BO over system configurations, where the
+/// response is smooth but not infinitely differentiable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelFamily {
+    /// Squared-exponential (RBF): very smooth sample paths.
+    SquaredExp,
+    /// Matérn ν = 3/2: once-differentiable sample paths.
+    Matern32,
+    /// Matérn ν = 5/2: twice-differentiable sample paths.
+    Matern52,
+}
+
+impl KernelFamily {
+    /// All families, for sweeps and tests.
+    pub const ALL: [KernelFamily; 3] =
+        [KernelFamily::SquaredExp, KernelFamily::Matern32, KernelFamily::Matern52];
+
+    /// Correlation at scaled distance `r ≥ 0` (unit signal variance).
+    #[inline]
+    pub fn correlation(&self, r: f64) -> f64 {
+        debug_assert!(r >= 0.0);
+        match self {
+            KernelFamily::SquaredExp => (-0.5 * r * r).exp(),
+            KernelFamily::Matern32 => {
+                let s = 3.0_f64.sqrt() * r;
+                (1.0 + s) * (-s).exp()
+            }
+            KernelFamily::Matern52 => {
+                let s = 5.0_f64.sqrt() * r;
+                (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+        }
+    }
+}
+
+/// A stationary kernel `k(a, b) = σ_f² · ρ(r)` where
+/// `r² = Σ_d ((a_d − b_d) / ℓ_d)²` and ρ is the family correlation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArdKernel {
+    family: KernelFamily,
+    signal_var: f64,
+    lengthscales: Vec<f64>,
+}
+
+impl ArdKernel {
+    /// Build a kernel.
+    ///
+    /// # Panics
+    /// Panics when `signal_var` is not positive-finite or any lengthscale
+    /// is not positive-finite.
+    pub fn new(family: KernelFamily, signal_var: f64, lengthscales: Vec<f64>) -> Self {
+        assert!(
+            signal_var.is_finite() && signal_var > 0.0,
+            "ArdKernel: signal_var must be positive, got {signal_var}"
+        );
+        assert!(!lengthscales.is_empty(), "ArdKernel: need at least one lengthscale");
+        for (d, &l) in lengthscales.iter().enumerate() {
+            assert!(l.is_finite() && l > 0.0, "ArdKernel: lengthscale[{d}] = {l} must be positive");
+        }
+        ArdKernel { family, signal_var, lengthscales }
+    }
+
+    /// Isotropic convenience constructor: one shared lengthscale for `dim`
+    /// dimensions.
+    pub fn isotropic(family: KernelFamily, signal_var: f64, lengthscale: f64, dim: usize) -> Self {
+        Self::new(family, signal_var, vec![lengthscale; dim])
+    }
+
+    /// Kernel family.
+    pub fn family(&self) -> KernelFamily {
+        self.family
+    }
+
+    /// Signal variance σ_f².
+    pub fn signal_var(&self) -> f64 {
+        self.signal_var
+    }
+
+    /// Per-dimension lengthscales.
+    pub fn lengthscales(&self) -> &[f64] {
+        &self.lengthscales
+    }
+
+    /// Input dimensionality this kernel expects.
+    pub fn dim(&self) -> usize {
+        self.lengthscales.len()
+    }
+
+    /// Scaled distance between two points.
+    #[inline]
+    fn scaled_dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.dim(), "kernel input dim mismatch");
+        debug_assert_eq!(b.len(), self.dim(), "kernel input dim mismatch");
+        let mut r2 = 0.0;
+        for d in 0..self.dim() {
+            let z = (a[d] - b[d]) / self.lengthscales[d];
+            r2 += z * z;
+        }
+        r2.sqrt()
+    }
+
+    /// Evaluate `k(a, b)`.
+    #[inline]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.signal_var * self.family.correlation(self.scaled_dist(a, b))
+    }
+
+    /// `k(x, x)`, which for stationary kernels is just the signal variance.
+    #[inline]
+    pub fn diag(&self) -> f64 {
+        self.signal_var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_at_zero_is_one() {
+        for fam in KernelFamily::ALL {
+            assert!((fam.correlation(0.0) - 1.0).abs() < 1e-15, "{fam:?}");
+        }
+    }
+
+    #[test]
+    fn correlation_decreasing_and_bounded() {
+        for fam in KernelFamily::ALL {
+            let mut prev = 1.0;
+            let mut r = 0.0;
+            while r < 20.0 {
+                r += 0.05;
+                let c = fam.correlation(r);
+                assert!(c <= prev + 1e-15, "{fam:?} not decreasing at r={r}");
+                assert!((0.0..=1.0).contains(&c), "{fam:?} out of [0,1] at r={r}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn smoothness_ordering_at_small_r() {
+        // Near r=0 the smoother kernels decay more slowly:
+        // SE (1 - r²/2) vs Matérn-5/2 vs Matérn-3/2.
+        let r = 0.3;
+        let se = KernelFamily::SquaredExp.correlation(r);
+        let m52 = KernelFamily::Matern52.correlation(r);
+        let m32 = KernelFamily::Matern32.correlation(r);
+        assert!(se > m52, "SE {se} vs M52 {m52}");
+        assert!(m52 > m32, "M52 {m52} vs M32 {m32}");
+    }
+
+    #[test]
+    fn kernel_symmetry_and_diag() {
+        let k = ArdKernel::new(KernelFamily::Matern52, 2.5, vec![1.0, 0.3]);
+        let a = [0.1, 0.9];
+        let b = [0.7, 0.2];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+        assert_eq!(k.eval(&a, &a), 2.5);
+        assert_eq!(k.diag(), 2.5);
+    }
+
+    #[test]
+    fn ard_lengthscales_weight_dimensions() {
+        // Shrinking a dimension's lengthscale makes distance along it count more.
+        let wide = ArdKernel::new(KernelFamily::SquaredExp, 1.0, vec![10.0, 1.0]);
+        let a = [0.0, 0.0];
+        let moved_d0 = [1.0, 0.0];
+        let moved_d1 = [0.0, 1.0];
+        // d0 has long lengthscale: moving along it barely decorrelates.
+        assert!(wide.eval(&a, &moved_d0) > wide.eval(&a, &moved_d1));
+    }
+
+    #[test]
+    fn isotropic_matches_manual() {
+        let iso = ArdKernel::isotropic(KernelFamily::Matern32, 1.0, 0.5, 3);
+        let manual = ArdKernel::new(KernelFamily::Matern32, 1.0, vec![0.5, 0.5, 0.5]);
+        let a = [0.0, 0.1, 0.2];
+        let b = [0.3, 0.4, 0.5];
+        assert_eq!(iso.eval(&a, &b), manual.eval(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "signal_var")]
+    fn rejects_bad_signal_var() {
+        let _ = ArdKernel::new(KernelFamily::SquaredExp, 0.0, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengthscale[1]")]
+    fn rejects_bad_lengthscale() {
+        let _ = ArdKernel::new(KernelFamily::SquaredExp, 1.0, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn matern52_reference_value() {
+        // Hand-computed: r = 1, s = sqrt(5); (1 + s + 5/3) e^{-s}
+        let s = 5.0_f64.sqrt();
+        let want = (1.0 + s + 5.0 / 3.0) * (-s).exp();
+        assert!((KernelFamily::Matern52.correlation(1.0) - want).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,488 @@
+//! Exact GP posterior via the Cholesky identities.
+//!
+//! Given observations `(X, y)`, kernel `k`, and noise variance σ_n², the
+//! posterior at `x*` is
+//!
+//! ```text
+//! μ(x*) = k*ᵀ (K + σ_n² I)⁻¹ y
+//! σ²(x*) = k(x*, x*) − k*ᵀ (K + σ_n² I)⁻¹ k*
+//! ```
+//!
+//! computed through one Cholesky factorisation that is reused for every
+//! prediction (Rasmussen & Williams, Algorithm 2.1).
+
+use crate::fit::{self, FitOptions};
+use crate::kernel::{ArdKernel, KernelFamily};
+use crate::scale::OutputScaler;
+use mlcd_linalg::{Chol, CholError, Mat};
+
+/// Errors from building or using a GP model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// Fewer than one observation, or x/y length mismatch.
+    BadTrainingData(String),
+    /// The kernel matrix could not be factored even with jitter.
+    Numerical(CholError),
+}
+
+impl std::fmt::Display for GpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpError::BadTrainingData(msg) => write!(f, "gp: bad training data: {msg}"),
+            GpError::Numerical(e) => write!(f, "gp: numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+impl From<CholError> for GpError {
+    fn from(e: CholError) -> Self {
+        GpError::Numerical(e)
+    }
+}
+
+/// Posterior prediction at one point, in raw (unstandardised) target units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Posterior mean of the latent function.
+    pub mean: f64,
+    /// Posterior variance of the latent function (≥ 0).
+    pub var: f64,
+    /// Posterior variance of a new *observation* (latent + noise).
+    pub var_with_noise: f64,
+}
+
+impl Prediction {
+    /// Posterior standard deviation of the latent function.
+    pub fn stddev(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// Two-sided confidence interval half-width at confidence `c` (e.g.
+    /// 0.95), using the normal quantile.
+    pub fn ci_halfwidth(&self, c: f64) -> f64 {
+        assert!((0.0..1.0).contains(&c), "confidence must be in (0,1)");
+        mlcd_linalg::norm_quantile(0.5 + c / 2.0) * self.stddev()
+    }
+}
+
+/// A trained Gaussian-process regressor.
+#[derive(Debug, Clone)]
+pub struct GpModel {
+    xs: Vec<Vec<f64>>,
+    ys_raw: Vec<f64>,
+    kernel: ArdKernel,
+    noise_var: f64,
+    out_scaler: OutputScaler,
+    chol: Chol,
+    /// `(K + σ_n² I)⁻¹ z` where `z` is the standardised target vector.
+    alpha: Vec<f64>,
+    /// Log marginal likelihood of the standardised targets at the fitted
+    /// hyperparameters.
+    log_marginal: f64,
+}
+
+impl GpModel {
+    /// Build a GP with *fixed* hyperparameters (no fitting).
+    pub fn with_hyperparams(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        kernel: ArdKernel,
+        noise_var: f64,
+    ) -> Result<Self, GpError> {
+        if xs.is_empty() {
+            return Err(GpError::BadTrainingData("no observations".into()));
+        }
+        if xs.len() != ys.len() {
+            return Err(GpError::BadTrainingData(format!(
+                "{} inputs vs {} targets",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        let d = kernel.dim();
+        for (i, row) in xs.iter().enumerate() {
+            if row.len() != d {
+                return Err(GpError::BadTrainingData(format!(
+                    "row {i} has dim {} but kernel expects {d}",
+                    row.len()
+                )));
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(GpError::BadTrainingData(format!("row {i} has non-finite input")));
+            }
+        }
+        if ys.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::BadTrainingData("non-finite target".into()));
+        }
+        if !(noise_var.is_finite() && noise_var >= 0.0) {
+            return Err(GpError::BadTrainingData(format!("bad noise variance {noise_var}")));
+        }
+
+        let out_scaler = OutputScaler::fit(ys);
+        let z: Vec<f64> = ys.iter().map(|&y| out_scaler.transform(y)).collect();
+
+        let n = xs.len();
+        let mut k = Mat::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
+        k.symmetrize();
+        k.add_diag(noise_var);
+        let chol = Chol::factor_with_jitter(&k, 1e-10, 10)?;
+        let alpha = chol.solve(&z);
+
+        let log_marginal = -0.5 * mlcd_linalg::dot(&z, &alpha)
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(GpModel {
+            xs: xs.to_vec(),
+            ys_raw: ys.to_vec(),
+            kernel,
+            noise_var,
+            out_scaler,
+            chol,
+            alpha,
+            log_marginal,
+        })
+    }
+
+    /// Fit hyperparameters by maximising the log marginal likelihood and
+    /// return the trained model. See [`crate::fit`] for the search setup.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        family: KernelFamily,
+        opts: &FitOptions,
+    ) -> Result<Self, GpError> {
+        let hp = fit::fit_hyperparams(xs, ys, family, opts)?;
+        Self::with_hyperparams(xs, ys, hp.kernel, hp.noise_var)
+    }
+
+    /// Number of training observations.
+    pub fn n_obs(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.kernel.dim()
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &ArdKernel {
+        &self.kernel
+    }
+
+    /// Fitted / supplied observation-noise variance (standardised units).
+    pub fn noise_var(&self) -> f64 {
+        self.noise_var
+    }
+
+    /// Log marginal likelihood of the (standardised) training targets.
+    pub fn log_marginal(&self) -> f64 {
+        self.log_marginal
+    }
+
+    /// Training inputs.
+    pub fn train_inputs(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// Raw training targets.
+    pub fn train_targets(&self) -> &[f64] {
+        &self.ys_raw
+    }
+
+    /// Posterior prediction at `x`.
+    ///
+    /// # Panics
+    /// Panics when `x` has the wrong dimensionality.
+    pub fn predict(&self, x: &[f64]) -> Prediction {
+        assert_eq!(x.len(), self.dim(), "predict: dim mismatch");
+        let n = self.n_obs();
+        let kstar: Vec<f64> = (0..n).map(|i| self.kernel.eval(&self.xs[i], x)).collect();
+
+        let mean_z = mlcd_linalg::dot(&kstar, &self.alpha);
+        // v = L⁻¹ k*; latent var = k** − ‖v‖².
+        let v = self.chol.solve_lower(&kstar);
+        let var_z = (self.kernel.diag() - mlcd_linalg::dot(&v, &v)).max(0.0);
+
+        Prediction {
+            mean: self.out_scaler.inverse(mean_z),
+            var: self.out_scaler.inverse_var(var_z),
+            var_with_noise: self.out_scaler.inverse_var(var_z + self.noise_var),
+        }
+    }
+
+    /// Predict at many points.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Retrain with one extra observation, keeping the same hyperparameters.
+    ///
+    /// Rebuilds from scratch (`O(n³)`), including refitting the output
+    /// standardiser — use [`extend`](Self::extend) for the incremental
+    /// path.
+    pub fn with_observation(&self, x: Vec<f64>, y: f64) -> Result<Self, GpError> {
+        let mut xs = self.xs.clone();
+        let mut ys = self.ys_raw.clone();
+        xs.push(x);
+        ys.push(y);
+        Self::with_hyperparams(&xs, &ys, self.kernel.clone(), self.noise_var)
+    }
+
+    /// Incrementally add one observation in `O(n²)` via a rank-1 Cholesky
+    /// extension, keeping hyperparameters *and the output standardiser*
+    /// fixed (so posterior scales stay comparable across the update —
+    /// exactly what a BO loop wants between hyperparameter refits).
+    ///
+    /// Fails (`Numerical`) when the new point makes the kernel matrix
+    /// numerically non-SPD, e.g. an exact duplicate input with zero noise;
+    /// callers fall back to [`with_observation`].
+    pub fn extend(&self, x: Vec<f64>, y: f64) -> Result<Self, GpError> {
+        if x.len() != self.dim() {
+            return Err(GpError::BadTrainingData(format!(
+                "new point has dim {}, kernel expects {}",
+                x.len(),
+                self.dim()
+            )));
+        }
+        if x.iter().any(|v| !v.is_finite()) || !y.is_finite() {
+            return Err(GpError::BadTrainingData("non-finite new observation".into()));
+        }
+        let k: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, &x)).collect();
+        // Match the original factorisation's diagonal treatment (noise +
+        // whatever jitter rescued it).
+        let kappa = self.kernel.diag() + self.noise_var + self.chol.jitter();
+        let chol = self.chol.extend(&k, kappa)?;
+
+        let mut xs = self.xs.clone();
+        xs.push(x);
+        let mut ys = self.ys_raw.clone();
+        ys.push(y);
+        let z: Vec<f64> = ys.iter().map(|&v| self.out_scaler.transform(v)).collect();
+        let alpha = chol.solve(&z);
+        let n = xs.len();
+        let log_marginal = -0.5 * mlcd_linalg::dot(&z, &alpha)
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(GpModel {
+            xs,
+            ys_raw: ys,
+            kernel: self.kernel.clone(),
+            noise_var: self.noise_var,
+            out_scaler: self.out_scaler,
+            chol,
+            alpha,
+            log_marginal,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model(noise: f64) -> GpModel {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.7).sin() * 3.0 + 10.0).collect();
+        let k = ArdKernel::isotropic(KernelFamily::SquaredExp, 1.0, 1.5, 1);
+        GpModel::with_hyperparams(&xs, &ys, k, noise).unwrap()
+    }
+
+    #[test]
+    fn interpolates_training_points_with_tiny_noise() {
+        let gp = toy_model(1e-8);
+        for (x, &y) in gp.train_inputs().to_vec().iter().zip(gp.train_targets().to_vec().iter()) {
+            let p = gp.predict(x);
+            assert!((p.mean - y).abs() < 1e-3, "at {x:?}: {} vs {y}", p.mean);
+            assert!(p.var < 1e-4, "var at training point should shrink, got {}", p.var);
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let gp = toy_model(1e-6);
+        let near = gp.predict(&[3.5]).var;
+        let far = gp.predict(&[30.0]).var;
+        assert!(far > near * 10.0, "near {near}, far {far}");
+        // Far from data, the latent variance approaches the signal variance
+        // in raw units.
+        let prior_var = gp.predict(&[1e6]).var;
+        let expected = {
+            let ys = gp.train_targets();
+            let n = ys.len() as f64;
+            let m = ys.iter().sum::<f64>() / n;
+            ys.iter().map(|y| (y - m).powi(2)).sum::<f64>() / n
+        };
+        assert!((prior_var - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn mean_reverts_to_sample_mean_far_away() {
+        let gp = toy_model(1e-6);
+        let p = gp.predict(&[1e6]);
+        let ys = gp.train_targets();
+        let m = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert!((p.mean - m).abs() < 1e-6, "{} vs {m}", p.mean);
+    }
+
+    #[test]
+    fn noise_widens_observation_variance() {
+        let gp = toy_model(0.1);
+        let p = gp.predict(&[2.5]);
+        assert!(p.var_with_noise > p.var);
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let k = ArdKernel::isotropic(KernelFamily::SquaredExp, 1.0, 1.0, 1);
+        let err = GpModel::with_hyperparams(&[vec![0.0]], &[1.0, 2.0], k.clone(), 0.0);
+        assert!(matches!(err, Err(GpError::BadTrainingData(_))));
+        let err = GpModel::with_hyperparams(&[], &[], k.clone(), 0.0);
+        assert!(matches!(err, Err(GpError::BadTrainingData(_))));
+        let err = GpModel::with_hyperparams(&[vec![0.0, 1.0]], &[1.0], k, 0.0);
+        assert!(matches!(err, Err(GpError::BadTrainingData(_))));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let k = ArdKernel::isotropic(KernelFamily::SquaredExp, 1.0, 1.0, 1);
+        let err = GpModel::with_hyperparams(&[vec![f64::NAN]], &[1.0], k.clone(), 0.0);
+        assert!(matches!(err, Err(GpError::BadTrainingData(_))));
+        let err = GpModel::with_hyperparams(&[vec![0.0]], &[f64::INFINITY], k, 0.0);
+        assert!(matches!(err, Err(GpError::BadTrainingData(_))));
+    }
+
+    #[test]
+    fn duplicate_inputs_survive_via_jitter() {
+        let xs = vec![vec![1.0], vec![1.0], vec![2.0]];
+        let ys = vec![5.0, 5.2, 7.0];
+        let k = ArdKernel::isotropic(KernelFamily::Matern52, 1.0, 1.0, 1);
+        // Zero noise + duplicate rows → singular K; jitter must rescue it.
+        let gp = GpModel::with_hyperparams(&xs, &ys, k, 0.0).unwrap();
+        let p = gp.predict(&[1.0]);
+        assert!((p.mean - 5.1).abs() < 0.2, "should average duplicates, got {}", p.mean);
+    }
+
+    #[test]
+    fn with_observation_updates_posterior() {
+        let gp = toy_model(1e-6);
+        let before = gp.predict(&[20.0]);
+        let gp2 = gp.with_observation(vec![20.0], 42.0).unwrap();
+        let after = gp2.predict(&[20.0]);
+        assert!((after.mean - 42.0).abs() < 0.1);
+        assert!(after.var < before.var);
+        assert_eq!(gp2.n_obs(), gp.n_obs() + 1);
+    }
+
+    #[test]
+    fn extend_matches_posterior_of_fixed_scale_rebuild() {
+        // extend() keeps the output scaler; compare against a from-scratch
+        // model built with the same kernel matrix (same points) — their
+        // posteriors at arbitrary points must coincide because both solve
+        // the same linear system, just through different factorisations.
+        let gp = toy_model(0.05);
+        let x_new = vec![9.5];
+        let y_new = 11.0;
+        let inc = gp.extend(x_new.clone(), y_new).unwrap();
+
+        // Reference: same data, same hyperparams, but standardised with
+        // the *old* scaler — emulate by solving manually through a fresh
+        // factor of the extended kernel matrix.
+        let mut xs = gp.train_inputs().to_vec();
+        xs.push(x_new.clone());
+        let mut ys = gp.train_targets().to_vec();
+        ys.push(y_new);
+        // Posterior mean at a probe point must agree with a full rebuild
+        // that uses the identical (old) standardisation — which is what
+        // extend guarantees. Cross-check via the linear system directly:
+        let probe = vec![4.2];
+        let p_inc = inc.predict(&probe);
+        // Build K + σI from scratch and solve.
+        let n = xs.len();
+        let kmat = Mat::from_fn(n, n, |i, j| {
+            let mut v = inc.kernel().eval(&xs[i], &xs[j]);
+            if i == j {
+                v += inc.noise_var();
+            }
+            v
+        });
+        let chol = Chol::factor(&kmat).unwrap();
+        let scaler = OutputScaler::fit(gp.train_targets()); // the OLD scaler
+        let z: Vec<f64> = ys.iter().map(|&v| scaler.transform(v)).collect();
+        let alpha = chol.solve(&z);
+        let kstar: Vec<f64> = xs.iter().map(|xi| inc.kernel().eval(xi, &probe)).collect();
+        let want_mean = scaler.inverse(mlcd_linalg::dot(&kstar, &alpha));
+        assert!(
+            (p_inc.mean - want_mean).abs() < 1e-8,
+            "incremental {} vs direct {}",
+            p_inc.mean,
+            want_mean
+        );
+        assert_eq!(inc.n_obs(), gp.n_obs() + 1);
+    }
+
+    #[test]
+    fn extend_interpolates_the_new_point() {
+        let gp = toy_model(1e-8);
+        let inc = gp.extend(vec![20.0], 42.0).unwrap();
+        let p = inc.predict(&[20.0]);
+        assert!((p.mean - 42.0).abs() < 1e-3, "got {}", p.mean);
+    }
+
+    #[test]
+    fn extend_rejects_bad_input() {
+        let gp = toy_model(0.01);
+        assert!(matches!(
+            gp.extend(vec![1.0, 2.0], 1.0),
+            Err(GpError::BadTrainingData(_))
+        ));
+        assert!(matches!(gp.extend(vec![f64::NAN], 1.0), Err(GpError::BadTrainingData(_))));
+    }
+
+    #[test]
+    fn extend_duplicate_with_zero_noise_fails_numerically() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let ys = vec![5.0, 7.0];
+        let k = ArdKernel::isotropic(KernelFamily::SquaredExp, 1.0, 1.0, 1);
+        let gp = GpModel::with_hyperparams(&xs, &ys, k, 0.0).unwrap();
+        // Exact duplicate input with zero noise → singular extension.
+        assert!(matches!(gp.extend(vec![1.0], 5.0), Err(GpError::Numerical(_))));
+    }
+
+    #[test]
+    fn log_marginal_prefers_true_lengthscale() {
+        // Data drawn from a smooth function: a wildly-wrong lengthscale
+        // should score a worse marginal likelihood.
+        let xs: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 * 0.4]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin()).collect();
+        let good = GpModel::with_hyperparams(
+            &xs,
+            &ys,
+            ArdKernel::isotropic(KernelFamily::SquaredExp, 1.0, 1.5, 1),
+            1e-4,
+        )
+        .unwrap();
+        let bad = GpModel::with_hyperparams(
+            &xs,
+            &ys,
+            ArdKernel::isotropic(KernelFamily::SquaredExp, 1.0, 0.01, 1),
+            1e-4,
+        )
+        .unwrap();
+        assert!(good.log_marginal() > bad.log_marginal());
+    }
+
+    #[test]
+    fn ci_halfwidth_scales_with_confidence() {
+        let gp = toy_model(0.01);
+        let p = gp.predict(&[100.0]);
+        let w90 = p.ci_halfwidth(0.90);
+        let w99 = p.ci_halfwidth(0.99);
+        assert!(w99 > w90);
+        assert!((w90 / p.stddev() - 1.6448536269514722).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,201 @@
+//! Input/output scaling.
+//!
+//! GP hyperparameter priors (the lengthscale search ranges in
+//! [`crate::fit`]) assume inputs roughly in the unit cube and targets
+//! standardised to zero mean / unit variance. These helpers own that
+//! bookkeeping so the searcher layer never hand-rolls it.
+
+/// Affine map from a raw per-dimension range onto `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputScaler {
+    lo: Vec<f64>,
+    width: Vec<f64>,
+}
+
+impl InputScaler {
+    /// Build from explicit per-dimension `(lo, hi)` bounds. Zero-width
+    /// dimensions map to the constant 0.5.
+    ///
+    /// # Panics
+    /// Panics when a dimension has `hi < lo`.
+    pub fn from_bounds(bounds: &[(f64, f64)]) -> Self {
+        let mut lo = Vec::with_capacity(bounds.len());
+        let mut width = Vec::with_capacity(bounds.len());
+        for (d, &(l, h)) in bounds.iter().enumerate() {
+            assert!(h >= l, "InputScaler: dimension {d} has hi={h} < lo={l}");
+            lo.push(l);
+            width.push(h - l);
+        }
+        InputScaler { lo, width }
+    }
+
+    /// Infer bounds from data (per-dimension min/max).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or ragged rows.
+    pub fn from_data(xs: &[Vec<f64>]) -> Self {
+        assert!(!xs.is_empty(), "InputScaler::from_data: empty dataset");
+        let d = xs[0].len();
+        let mut bounds = vec![(f64::INFINITY, f64::NEG_INFINITY); d];
+        for row in xs {
+            assert_eq!(row.len(), d, "InputScaler::from_data: ragged rows");
+            for (b, &v) in bounds.iter_mut().zip(row) {
+                b.0 = b.0.min(v);
+                b.1 = b.1.max(v);
+            }
+        }
+        Self::from_bounds(&bounds)
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Map a raw point into the unit cube. Values outside the stored
+    /// bounds extrapolate linearly (they are not clamped), which keeps the
+    /// map invertible.
+    pub fn scale(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "InputScaler::scale: dim mismatch");
+        x.iter()
+            .zip(self.lo.iter().zip(&self.width))
+            .map(|(&v, (&l, &w))| if w == 0.0 { 0.5 } else { (v - l) / w })
+            .collect()
+    }
+
+    /// Inverse of [`scale`](Self::scale) (zero-width dimensions return the
+    /// stored constant).
+    pub fn unscale(&self, u: &[f64]) -> Vec<f64> {
+        assert_eq!(u.len(), self.dim(), "InputScaler::unscale: dim mismatch");
+        u.iter()
+            .zip(self.lo.iter().zip(&self.width))
+            .map(|(&v, (&l, &w))| if w == 0.0 { l } else { l + v * w })
+            .collect()
+    }
+}
+
+/// Standardises targets to zero mean / unit standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutputScaler {
+    mean: f64,
+    std: f64,
+}
+
+impl OutputScaler {
+    /// Fit to a sample. A constant (or single-element) sample gets unit
+    /// scale so the transform stays invertible.
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn fit(ys: &[f64]) -> Self {
+        assert!(!ys.is_empty(), "OutputScaler::fit: empty sample");
+        let n = ys.len() as f64;
+        let mean = ys.iter().sum::<f64>() / n;
+        let var = ys.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt();
+        OutputScaler { mean, std: if std > 1e-12 { std } else { 1.0 } }
+    }
+
+    /// Identity scaler.
+    pub fn identity() -> Self {
+        OutputScaler { mean: 0.0, std: 1.0 }
+    }
+
+    /// Training-sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Scale used (sample standard deviation, or 1 for degenerate samples).
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Raw target → standardised.
+    #[inline]
+    pub fn transform(&self, y: f64) -> f64 {
+        (y - self.mean) / self.std
+    }
+
+    /// Standardised → raw.
+    #[inline]
+    pub fn inverse(&self, z: f64) -> f64 {
+        z * self.std + self.mean
+    }
+
+    /// Map a variance from standardised space back to raw space.
+    #[inline]
+    pub fn inverse_var(&self, var: f64) -> f64 {
+        var * self.std * self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_round_trip() {
+        let s = InputScaler::from_bounds(&[(0.0, 10.0), (-5.0, 5.0)]);
+        let x = vec![2.5, 0.0];
+        let u = s.scale(&x);
+        assert_eq!(u, vec![0.25, 0.5]);
+        assert_eq!(s.unscale(&u), x);
+    }
+
+    #[test]
+    fn input_from_data_covers_extremes() {
+        let xs = vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![2.0, 15.0]];
+        let s = InputScaler::from_data(&xs);
+        assert_eq!(s.scale(&[1.0, 10.0]), vec![0.0, 0.0]);
+        assert_eq!(s.scale(&[3.0, 20.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_width_dimension_is_constant() {
+        let s = InputScaler::from_bounds(&[(4.0, 4.0)]);
+        assert_eq!(s.scale(&[4.0]), vec![0.5]);
+        assert_eq!(s.unscale(&[0.77]), vec![4.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_extrapolates() {
+        let s = InputScaler::from_bounds(&[(0.0, 10.0)]);
+        assert_eq!(s.scale(&[20.0]), vec![2.0]);
+        assert_eq!(s.unscale(&[2.0]), vec![20.0]);
+    }
+
+    #[test]
+    fn output_standardises() {
+        let ys = [10.0, 20.0, 30.0];
+        let s = OutputScaler::fit(&ys);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        let z: Vec<f64> = ys.iter().map(|&y| s.transform(y)).collect();
+        let zm = z.iter().sum::<f64>() / 3.0;
+        assert!(zm.abs() < 1e-12);
+        for &y in &ys {
+            assert!((s.inverse(s.transform(y)) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn output_constant_sample_safe() {
+        let s = OutputScaler::fit(&[7.0, 7.0, 7.0]);
+        assert_eq!(s.std(), 1.0);
+        assert_eq!(s.transform(7.0), 0.0);
+        assert_eq!(s.inverse(0.0), 7.0);
+    }
+
+    #[test]
+    fn output_variance_mapping() {
+        let s = OutputScaler::fit(&[0.0, 10.0]);
+        // std = 5, so unit standardised variance maps to 25.
+        assert!((s.inverse_var(1.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn output_empty_panics() {
+        let _ = OutputScaler::fit(&[]);
+    }
+}

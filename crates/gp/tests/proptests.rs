@@ -1,0 +1,99 @@
+//! Property-based tests for GP regression invariants.
+
+use mlcd_gp::{ArdKernel, GpModel, KernelFamily};
+use proptest::prelude::*;
+
+/// Strategy: n distinct 1-D inputs in [0, 10] with targets in [-5, 5].
+fn dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (3usize..12).prop_flat_map(|n| {
+        let xs = proptest::collection::vec(0.0f64..10.0, n);
+        let ys = proptest::collection::vec(-5.0f64..5.0, n);
+        (xs, ys).prop_map(|(mut xs, ys)| {
+            // Spread near-duplicates apart so we exercise the clean SPD
+            // path (closer than ~5 % of a lengthscale the kernel matrix is
+            // near-singular and the escalating jitter deliberately trades
+            // exact interpolation for stability; the duplicate path has
+            // its own unit test).
+            xs.sort_by(|a, b| a.total_cmp(b));
+            for i in 1..xs.len() {
+                if xs[i] - xs[i - 1] < 0.05 {
+                    xs[i] = xs[i - 1] + 0.05;
+                }
+            }
+            (xs.into_iter().map(|x| vec![x]).collect(), ys)
+        })
+    })
+}
+
+fn kernel_for(dim: usize) -> ArdKernel {
+    ArdKernel::isotropic(KernelFamily::Matern52, 1.0, 1.0, dim)
+}
+
+proptest! {
+    #[test]
+    fn posterior_variance_nonnegative_and_bounded((xs, ys) in dataset(), q in 0.0f64..10.0) {
+        let gp = GpModel::with_hyperparams(&xs, &ys, kernel_for(1), 0.1).unwrap();
+        let p = gp.predict(&[q]);
+        prop_assert!(p.var >= 0.0);
+        prop_assert!(p.var_with_noise >= p.var);
+        // Latent variance never exceeds the prior variance (in raw units).
+        let n = ys.len() as f64;
+        let m = ys.iter().sum::<f64>() / n;
+        let sample_var = ys.iter().map(|y| (y - m).powi(2)).sum::<f64>() / n;
+        let prior_raw = 1.0 * sample_var.max(1e-12).max(1.0); // signal_var * std², std floor 1
+        prop_assert!(p.var <= prior_raw * (1.0 + 1e-9) + 1e-9,
+            "var {} vs prior {}", p.var, prior_raw);
+    }
+
+    #[test]
+    fn adding_observation_shrinks_variance_there((xs, ys) in dataset()) {
+        let gp = GpModel::with_hyperparams(&xs, &ys, kernel_for(1), 0.05).unwrap();
+        let probe = vec![20.0]; // far outside the data
+        let before = gp.predict(&probe).var;
+        // Add a target at the sample mean: `with_observation` refits the
+        // output standardiser, so an *outlier* target would rescale the
+        // raw-space variance and mask the shrinkage we are testing.
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let gp2 = gp.with_observation(probe.clone(), mean_y).unwrap();
+        let after = gp2.predict(&probe).var;
+        prop_assert!(after <= before + 1e-9, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn predictions_finite((xs, ys) in dataset(), q in -50.0f64..50.0) {
+        let gp = GpModel::with_hyperparams(&xs, &ys, kernel_for(1), 0.1).unwrap();
+        let p = gp.predict(&[q]);
+        prop_assert!(p.mean.is_finite());
+        prop_assert!(p.var.is_finite());
+    }
+
+    #[test]
+    fn mean_interpolates_with_small_noise((xs, ys) in dataset()) {
+        let gp = GpModel::with_hyperparams(&xs, &ys, kernel_for(1), 1e-8).unwrap();
+        // Worst-case interpolation error at the training points stays small
+        // relative to the target scale.
+        let scale = ys.iter().fold(1.0f64, |m, y| m.max(y.abs()));
+        for (x, &y) in xs.iter().zip(&ys) {
+            let p = gp.predict(x);
+            prop_assert!((p.mean - y).abs() < 1e-2 * scale + 1e-3,
+                "at {:?}: {} vs {}", x, p.mean, y);
+        }
+    }
+
+    #[test]
+    fn kernel_matrix_psd_quadratic_form(
+        pts in proptest::collection::vec(0.0f64..5.0, 2..10),
+        ws in proptest::collection::vec(-1.0f64..1.0, 2..10),
+    ) {
+        // Σᵢⱼ wᵢ wⱼ k(xᵢ, xⱼ) ≥ 0 for any weights — PSD-ness of the kernel.
+        let k = kernel_for(1);
+        let n = pts.len().min(ws.len());
+        let mut q = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                q += ws[i] * ws[j] * k.eval(&[pts[i]], &[pts[j]]);
+            }
+        }
+        prop_assert!(q >= -1e-9, "quadratic form {q}");
+    }
+}

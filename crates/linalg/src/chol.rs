@@ -1,0 +1,402 @@
+//! Cholesky factorisation with jitter escalation, triangular solves and
+//! log-determinants.
+//!
+//! Kernel matrices assembled from nearly-duplicate inputs (common when a BO
+//! searcher re-probes neighbouring deployments) are numerically
+//! semi-definite. [`Chol::factor_with_jitter`] retries with exponentially
+//! growing diagonal jitter, which is the standard GP-library remedy.
+
+use crate::mat::Mat;
+
+/// Why a factorisation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CholError {
+    /// The input matrix is not square.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// A non-positive pivot was hit at the given index even after the
+    /// maximum jitter was applied.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot_index: usize,
+        /// Its (non-positive) value.
+        pivot_value: f64,
+    },
+    /// The input contained NaN or infinity.
+    NotFinite,
+}
+
+impl std::fmt::Display for CholError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholError::NotSquare { rows, cols } => {
+                write!(f, "cholesky: matrix is {rows}x{cols}, not square")
+            }
+            CholError::NotPositiveDefinite { pivot_index, pivot_value } => write!(
+                f,
+                "cholesky: non-positive pivot {pivot_value:e} at index {pivot_index}"
+            ),
+            CholError::NotFinite => write!(f, "cholesky: matrix contains non-finite entries"),
+        }
+    }
+}
+
+impl std::error::Error for CholError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Chol {
+    l: Mat,
+    /// Jitter that was actually added to the diagonal to make the
+    /// factorisation succeed (0.0 when none was needed).
+    jitter: f64,
+}
+
+impl Chol {
+    /// Factor an SPD matrix. Fails on the first non-positive pivot.
+    pub fn factor(a: &Mat) -> Result<Self, CholError> {
+        Self::factor_impl(a.clone(), 0.0)
+    }
+
+    /// Factor with escalating jitter: try `0, base, 10·base, …` added to the
+    /// diagonal until the factorisation succeeds or `max_tries` is exhausted.
+    ///
+    /// `base` is scaled by the mean diagonal magnitude so the jitter is
+    /// relative to the matrix's own scale.
+    pub fn factor_with_jitter(a: &Mat, base: f64, max_tries: usize) -> Result<Self, CholError> {
+        if !a.is_square() {
+            return Err(CholError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let diag_scale = if n == 0 {
+            1.0
+        } else {
+            (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64
+        };
+        let diag_scale = if diag_scale > 0.0 { diag_scale } else { 1.0 };
+
+        let mut last_err = CholError::NotPositiveDefinite { pivot_index: 0, pivot_value: 0.0 };
+        for attempt in 0..=max_tries {
+            let jitter = if attempt == 0 {
+                0.0
+            } else {
+                base * diag_scale * 10f64.powi(attempt as i32 - 1)
+            };
+            let mut m = a.clone();
+            if jitter > 0.0 {
+                m.add_diag(jitter);
+            }
+            match Self::factor_impl(m, jitter) {
+                Ok(c) => return Ok(c),
+                Err(e @ CholError::NotFinite) => return Err(e),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn factor_impl(mut a: Mat, jitter: f64) -> Result<Self, CholError> {
+        if !a.is_square() {
+            return Err(CholError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        if a.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(CholError::NotFinite);
+        }
+        let n = a.rows();
+        // Left-looking Cholesky, writing L into the lower triangle of `a`.
+        for j in 0..n {
+            for k in 0..j {
+                let ljk = a[(j, k)];
+                if ljk == 0.0 {
+                    continue;
+                }
+                for i in j..n {
+                    let lik = a[(i, k)];
+                    a[(i, j)] -= lik * ljk;
+                }
+            }
+            let pivot = a[(j, j)];
+            if pivot <= 0.0 || !pivot.is_finite() {
+                return Err(CholError::NotPositiveDefinite {
+                    pivot_index: j,
+                    pivot_value: pivot,
+                });
+            }
+            let root = pivot.sqrt();
+            for i in j..n {
+                a[(i, j)] /= root;
+            }
+        }
+        // Zero the strictly upper triangle so `l` really is lower-triangular.
+        for j in 1..n {
+            for i in 0..j {
+                a[(i, j)] = 0.0;
+            }
+        }
+        Ok(Chol { l: a, jitter })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Diagonal jitter that was added to make the factorisation succeed.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.order();
+        assert_eq!(b.len(), n, "solve_lower: dimension mismatch");
+        let mut y = b.to_vec();
+        for j in 0..n {
+            y[j] /= self.l[(j, j)];
+            let yj = y[j];
+            let col = self.l.col(j);
+            for i in (j + 1)..n {
+                y[i] -= col[i] * yj;
+            }
+        }
+        y
+    }
+
+    /// Solve `Lᵀ x = y` (back substitution).
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.order();
+        assert_eq!(y.len(), n, "solve_upper: dimension mismatch");
+        let mut x = y.to_vec();
+        for j in (0..n).rev() {
+            let col = self.l.col(j);
+            let mut s = x[j];
+            for i in (j + 1)..n {
+                s -= col[i] * x[i];
+            }
+            x[j] = s / col[j];
+        }
+        x
+    }
+
+    /// Solve `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.order()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Quadratic form `bᵀ A⁻¹ b` computed stably as `‖L⁻¹ b‖²`.
+    pub fn quad_form(&self, b: &[f64]) -> f64 {
+        let y = self.solve_lower(b);
+        crate::dot(&y, &y)
+    }
+
+    /// Extend the factorisation by one row/column in `O(n²)`: given
+    /// `A' = [[A, k], [kᵀ, κ]]`, the new factor row is `l = L⁻¹k` and the
+    /// new pivot `λ = √(κ − ‖l‖²)`.
+    ///
+    /// This is the fast path for Bayesian optimisation, where a kernel
+    /// matrix grows by exactly one observation per step — a full refactor
+    /// would cost `O(n³)`.
+    pub fn extend(&self, k: &[f64], kappa: f64) -> Result<Chol, CholError> {
+        let n = self.order();
+        assert_eq!(k.len(), n, "extend: cross-covariance has wrong length");
+        if k.iter().any(|v| !v.is_finite()) || !kappa.is_finite() {
+            return Err(CholError::NotFinite);
+        }
+        let l_new = self.solve_lower(k);
+        let pivot_sq = kappa - crate::dot(&l_new, &l_new);
+        if pivot_sq <= 0.0 || !pivot_sq.is_finite() {
+            return Err(CholError::NotPositiveDefinite { pivot_index: n, pivot_value: pivot_sq });
+        }
+        let lambda = pivot_sq.sqrt();
+        let mut l = Mat::zeros(n + 1, n + 1);
+        for j in 0..n {
+            for i in j..n {
+                l[(i, j)] = self.l[(i, j)];
+            }
+            l[(n, j)] = l_new[j];
+        }
+        l[(n, n)] = lambda;
+        Ok(Chol { l, jitter: self.jitter })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EPS;
+
+    fn spd3() -> Mat {
+        Mat::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let c = Chol::factor(&a).unwrap();
+        let recon = c.l().matmul(&c.l().transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let c = Chol::factor(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = c.solve(&b);
+        let back = a.matvec(&x);
+        for k in 0..3 {
+            assert!((back[k] - b[k]).abs() < 1e-10, "component {k}");
+        }
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det(diag(2, 3, 4) ) = 24
+        let a = Mat::from_rows(&[&[2.0, 0.0, 0.0], &[0.0, 3.0, 0.0], &[0.0, 0.0, 4.0]]);
+        let c = Chol::factor(&a).unwrap();
+        assert!((c.log_det() - 24f64.ln()).abs() < EPS);
+    }
+
+    #[test]
+    fn quad_form_identity() {
+        let c = Chol::factor(&Mat::eye(4)).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert!((c.quad_form(&b) - 30.0).abs() < EPS);
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        match Chol::factor(&a) {
+            Err(CholError::NotPositiveDefinite { pivot_index, .. }) => assert_eq!(pivot_index, 1),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(Chol::factor(&a), Err(CholError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut a = Mat::eye(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(matches!(Chol::factor(&a), Err(CholError::NotFinite)));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 Gram matrix: vvᵀ with v = (1, 1, 1) is PSD but singular.
+        let a = Mat::from_fn(3, 3, |_, _| 1.0);
+        assert!(Chol::factor(&a).is_err());
+        let c = Chol::factor_with_jitter(&a, 1e-10, 12).unwrap();
+        assert!(c.jitter() > 0.0);
+        // Factor must still approximately reconstruct A + jitter*I.
+        let recon = c.l().matmul(&c.l().transpose());
+        for i in 0..3 {
+            assert!((recon[(i, i)] - (1.0 + c.jitter())).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn jitter_zero_when_unneeded() {
+        let c = Chol::factor_with_jitter(&spd3(), 1e-10, 8).unwrap();
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn extend_matches_full_refactor() {
+        let a3 = spd3();
+        // Grow to a 4×4 SPD matrix by appending a compatible row/col.
+        let k = [0.5, -0.2, 0.9];
+        let kappa = 2.5;
+        let a4 = Mat::from_fn(4, 4, |i, j| match (i, j) {
+            (3, 3) => kappa,
+            (3, j2) => k[j2],
+            (i2, 3) => k[i2],
+            _ => a3[(i, j)],
+        });
+        let full = Chol::factor(&a4).unwrap();
+        let inc = Chol::factor(&a3).unwrap().extend(&k, kappa).unwrap();
+        for i in 0..4 {
+            for j in 0..=i {
+                assert!(
+                    (full.l()[(i, j)] - inc.l()[(i, j)]).abs() < 1e-12,
+                    "L[{i}][{j}]: {} vs {}",
+                    full.l()[(i, j)],
+                    inc.l()[(i, j)]
+                );
+            }
+        }
+        // Solves agree too.
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x_full = full.solve(&b);
+        let x_inc = inc.solve(&b);
+        for t in 0..4 {
+            assert!((x_full[t] - x_inc[t]).abs() < 1e-10);
+        }
+        assert!((full.log_det() - inc.log_det()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_rejects_breaking_spd() {
+        let c = Chol::factor(&Mat::eye(2)).unwrap();
+        // κ too small: the extended matrix is indefinite.
+        let err = c.extend(&[0.9, 0.9], 1.0).unwrap_err();
+        assert!(matches!(err, CholError::NotPositiveDefinite { pivot_index: 2, .. }));
+        assert!(matches!(c.extend(&[f64::NAN, 0.0], 1.0), Err(CholError::NotFinite)));
+    }
+
+    #[test]
+    fn extend_from_empty() {
+        let c = Chol::factor(&Mat::zeros(0, 0)).unwrap();
+        let c1 = c.extend(&[], 4.0).unwrap();
+        assert_eq!(c1.order(), 1);
+        assert!((c1.l()[(0, 0)] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let c = Chol::factor(&Mat::zeros(0, 0)).unwrap();
+        assert_eq!(c.log_det(), 0.0);
+        assert!(c.solve(&[]).is_empty());
+    }
+
+    #[test]
+    fn solve_lower_upper_are_inverses_of_l() {
+        let a = spd3();
+        let c = Chol::factor(&a).unwrap();
+        let b = [0.3, 1.0, -0.7];
+        let y = c.solve_lower(&b);
+        let back = c.l().matvec(&y);
+        for k in 0..3 {
+            assert!((back[k] - b[k]).abs() < 1e-12);
+        }
+        let x = c.solve_upper(&b);
+        let back = c.l().transpose().matvec(&x);
+        for k in 0..3 {
+            assert!((back[k] - b[k]).abs() < 1e-12);
+        }
+    }
+}

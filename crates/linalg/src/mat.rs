@@ -1,0 +1,309 @@
+//! A small dense, column-major matrix type.
+//!
+//! Kernel matrices in the GP are symmetric positive (semi-)definite and at
+//! most a few hundred rows, so this type favours clarity over blocking or
+//! SIMD. Column-major storage matches the access pattern of the Cholesky
+//! factorisation in [`crate::chol`].
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense column-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    /// Column-major: element (i, j) lives at `data[j * rows + i]`.
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from row slices. All rows must have equal length.
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Mat::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "from_rows: ragged input at row {i}");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Build an `n × n` matrix from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow column `j` as a contiguous slice (column-major payoff).
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutably borrow column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copy row `i` out into a new vector.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            let col = self.col(j);
+            for (yi, &cij) in y.iter_mut().zip(col) {
+                *yi += cij * xj;
+            }
+        }
+        y
+    }
+
+    /// Matrix–matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for j in 0..other.cols {
+            let y = self.matvec(other.col(j));
+            out.col_mut(j).copy_from_slice(&y);
+        }
+        out
+    }
+
+    /// `self + scale * I` in place; used to add jitter / noise variance to
+    /// kernel matrices.
+    ///
+    /// # Panics
+    /// Panics on non-square matrices.
+    pub fn add_diag(&mut self, scale: f64) {
+        assert!(self.is_square(), "add_diag: matrix must be square");
+        for i in 0..self.rows {
+            self[(i, i)] += scale;
+        }
+    }
+
+    /// Maximum absolute element; zero for empty matrices.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Symmetry defect `max |A - Aᵀ|`; zero for empty or perfectly
+    /// symmetric matrices.
+    pub fn asymmetry(&self) -> f64 {
+        if !self.is_square() {
+            return f64::INFINITY;
+        }
+        let mut worst = 0.0_f64;
+        for j in 0..self.cols {
+            for i in 0..j {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Force exact symmetry by averaging with the transpose. Cheap
+    /// insurance before factorising a kernel matrix assembled from
+    /// floating-point kernel evaluations.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize: matrix must be square");
+        for j in 0..self.cols {
+            for i in 0..j {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+
+    /// Flat data access (column-major), mostly for tests.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_eye_shapes() {
+        let z = Mat::zeros(2, 3);
+        assert_eq!((z.rows(), z.cols()), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Mat::eye(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+        // Column-major storage.
+        assert_eq!(m.as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_ragged_panics() {
+        let _ = Mat::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn matvec_identity_and_general() {
+        let i = Mat::eye(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn add_diag_and_symmetry() {
+        let mut m = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        m.add_diag(0.5);
+        assert_eq!(m[(0, 0)], 1.5);
+        assert_eq!(m[(1, 1)], 1.5);
+        assert_eq!(m.asymmetry(), 0.0);
+
+        let mut skew = Mat::from_rows(&[&[1.0, 2.0], &[2.2, 1.0]]);
+        assert!((skew.asymmetry() - 0.2).abs() < 1e-12);
+        skew.symmetrize();
+        assert_eq!(skew.asymmetry(), 0.0);
+        assert!((skew[(0, 1)] - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.row(0), vec![1.0, 2.0]);
+        assert_eq!(m.col(1), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_zero_shortcut_is_correct() {
+        let m = Mat::from_rows(&[&[1.0, 5.0], &[2.0, 6.0]]);
+        assert_eq!(m.matvec(&[0.0, 1.0]), vec![5.0, 6.0]);
+    }
+}

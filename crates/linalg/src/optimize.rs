@@ -1,0 +1,258 @@
+//! Derivative-free optimisation: Nelder–Mead simplex with restarts.
+//!
+//! The GP marginal likelihood is cheap (one Cholesky per evaluation, on a
+//! matrix with one row per profiling observation) but non-convex in the
+//! kernel hyperparameters, so we run Nelder–Mead from several Latin-
+//! hypercube starts in parallel and keep the best optimum.
+
+use crate::sampling::{latin_hypercube, SampleRange};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Tunables for one Nelder–Mead run. The defaults follow the classic
+/// (1, 2, 0.5, 0.5) reflection/expansion/contraction/shrink coefficients.
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Maximum number of function evaluations.
+    pub max_evals: usize,
+    /// Converged when the simplex's function-value spread falls below this.
+    pub f_tol: f64,
+    /// Converged when the simplex's largest vertex-to-best distance falls
+    /// below this.
+    pub x_tol: f64,
+    /// Initial simplex edge length, relative to each coordinate's magnitude
+    /// (absolute when the coordinate is zero).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions { max_evals: 400, f_tol: 1e-10, x_tol: 1e-7, initial_step: 0.1 }
+    }
+}
+
+/// Result of an optimisation run.
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+    /// Whether a tolerance-based convergence criterion fired (as opposed to
+    /// running out of evaluations).
+    pub converged: bool,
+}
+
+/// Minimise `f` starting from `x0` with the Nelder–Mead simplex method.
+///
+/// Objective values that are NaN are treated as `+inf`, so the simplex
+/// retreats from invalid regions (e.g. hyperparameters that make a kernel
+/// matrix unfactorable) instead of corrupting the ordering.
+pub fn nelder_mead(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> OptResult {
+    let n = x0.len();
+    assert!(n > 0, "nelder_mead: empty start point");
+    let clean = |v: f64| if v.is_nan() { f64::INFINITY } else { v };
+
+    let mut evals = 0usize;
+    let eval = |x: &[f64], evals: &mut usize| {
+        *evals += 1;
+        clean(f(x))
+    };
+
+    // Initial simplex: x0 plus a bump along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        let step = if xi[i] != 0.0 { opts.initial_step * xi[i].abs() } else { opts.initial_step };
+        xi[i] += step;
+        let fi = eval(&xi, &mut evals);
+        simplex.push((xi, fi));
+    }
+
+    let mut converged = false;
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let (best_f, worst_f) = (simplex[0].1, simplex[n].1);
+        let spread = (worst_f - best_f).abs();
+        let max_dist = simplex[1..]
+            .iter()
+            .map(|(x, _)| crate::norm2(&crate::sub(x, &simplex[0].0)))
+            .fold(0.0_f64, f64::max);
+        // Both criteria must hold: a symmetric simplex (two vertices
+        // straddling the optimum with equal values) has zero f-spread but
+        // has not collapsed yet.
+        if best_f.is_finite() && spread < opts.f_tol && max_dist < opts.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, &v) in centroid.iter_mut().zip(x) {
+                *c += v;
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+
+        let worst = simplex[n].0.clone();
+        let reflect = crate::axpy(&centroid, 1.0, &crate::sub(&centroid, &worst));
+        let f_r = eval(&reflect, &mut evals);
+
+        if f_r < simplex[0].1 {
+            // Try expanding further along the reflection direction.
+            let expand = crate::axpy(&centroid, 2.0, &crate::sub(&centroid, &worst));
+            let f_e = eval(&expand, &mut evals);
+            simplex[n] = if f_e < f_r { (expand, f_e) } else { (reflect, f_r) };
+        } else if f_r < simplex[n - 1].1 {
+            simplex[n] = (reflect, f_r);
+        } else {
+            // Contract toward the centroid, outside or inside.
+            let (contract, f_c) = if f_r < simplex[n].1 {
+                let c = crate::axpy(&centroid, 0.5, &crate::sub(&reflect, &centroid));
+                let fc = eval(&c, &mut evals);
+                (c, fc)
+            } else {
+                let c = crate::axpy(&centroid, 0.5, &crate::sub(&worst, &centroid));
+                let fc = eval(&c, &mut evals);
+                (c, fc)
+            };
+            if f_c < simplex[n].1.min(f_r) {
+                simplex[n] = (contract, f_c);
+            } else {
+                // Shrink everything toward the best vertex.
+                let best = simplex[0].0.clone();
+                for v in simplex.iter_mut().skip(1) {
+                    let shrunk = crate::axpy(&best, 0.5, &crate::sub(&v.0, &best));
+                    let fs = eval(&shrunk, &mut evals);
+                    *v = (shrunk, fs);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let (x, fx) = simplex.swap_remove(0);
+    OptResult { x, fx, evals, converged }
+}
+
+/// Minimise `f` from `n_starts` Latin-hypercube starting points within
+/// `ranges`, running the local searches in parallel and returning the best.
+///
+/// Deterministic for a fixed `seed`.
+pub fn multi_start_nelder_mead(
+    f: impl Fn(&[f64]) -> f64 + Sync,
+    ranges: &[SampleRange],
+    n_starts: usize,
+    seed: u64,
+    opts: &NelderMeadOptions,
+) -> OptResult {
+    assert!(n_starts > 0, "multi_start_nelder_mead: need at least one start");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let starts = latin_hypercube(ranges, n_starts, &mut rng);
+    starts
+        .par_iter()
+        .map(|x0| nelder_mead(&f, x0, opts))
+        .min_by(|a, b| a.fx.total_cmp(&b.fx))
+        .expect("at least one start")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let r = nelder_mead(f, &[0.0, 0.0], &NelderMeadOptions::default());
+        assert!(r.converged, "should converge: {r:?}");
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "x0 = {}", r.x[0]);
+        assert!((r.x[1] + 1.0).abs() < 1e-4, "x1 = {}", r.x[1]);
+        assert!(r.fx < 1e-7);
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let opts = NelderMeadOptions { max_evals: 4000, ..Default::default() };
+        let r = nelder_mead(f, &[-1.2, 1.0], &opts);
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{r:?}");
+        assert!((r.x[1] - 1.0).abs() < 1e-3, "{r:?}");
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let f = |x: &[f64]| (x[0] - 0.5).powi(2) + 7.0;
+        let r = nelder_mead(f, &[10.0], &NelderMeadOptions::default());
+        assert!((r.x[0] - 0.5).abs() < 1e-4);
+        assert!((r.fx - 7.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let opts = NelderMeadOptions { max_evals: 30, f_tol: 0.0, x_tol: 0.0, ..Default::default() };
+        let r = nelder_mead(f, &[5.0, 5.0, 5.0, 5.0], &opts);
+        // A full iteration can add a handful of evals past the check.
+        assert!(r.evals <= 40, "evals = {}", r.evals);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn nan_objective_is_retreated_from() {
+        // NaN in the half-plane x > 1: optimum at x = 1 boundary region.
+        let f = |x: &[f64]| {
+            if x[0] > 1.0 {
+                f64::NAN
+            } else {
+                (x[0] - 0.9).powi(2)
+            }
+        };
+        let r = nelder_mead(f, &[0.0], &NelderMeadOptions::default());
+        assert!(r.fx.is_finite());
+        assert!((r.x[0] - 0.9).abs() < 1e-3, "{r:?}");
+    }
+
+    #[test]
+    fn multi_start_escapes_local_minimum() {
+        // Double well: local min near x=2 (f=0.5), global near x=-2 (f=0).
+        let f = |x: &[f64]| {
+            let a = (x[0] - 2.0).powi(2) + 0.5;
+            let b = (x[0] + 2.0).powi(2);
+            a.min(b)
+        };
+        let ranges = [SampleRange { lo: -5.0, hi: 5.0 }];
+        let r = multi_start_nelder_mead(f, &ranges, 8, 42, &NelderMeadOptions::default());
+        assert!((r.x[0] + 2.0).abs() < 1e-3, "{r:?}");
+        assert!(r.fx < 1e-6);
+    }
+
+    #[test]
+    fn multi_start_deterministic_for_seed() {
+        let f = |x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] - 2.0).powi(2);
+        let ranges = [SampleRange { lo: -3.0, hi: 3.0 }, SampleRange { lo: -3.0, hi: 3.0 }];
+        let a = multi_start_nelder_mead(f, &ranges, 4, 7, &NelderMeadOptions::default());
+        let b = multi_start_nelder_mead(f, &ranges, 4, 7, &NelderMeadOptions::default());
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.fx, b.fx);
+    }
+
+    #[test]
+    fn zero_start_coordinate_gets_absolute_step() {
+        // Regression: a zero coordinate must still perturb the simplex.
+        let f = |x: &[f64]| (x[0] - 0.05).powi(2);
+        let r = nelder_mead(f, &[0.0], &NelderMeadOptions::default());
+        assert!((r.x[0] - 0.05).abs() < 1e-5);
+    }
+}

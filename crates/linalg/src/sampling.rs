@@ -1,0 +1,110 @@
+//! Space-filling sampling for optimiser restarts and BO initialisation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Inclusive-exclusive range `[lo, hi)` for one sampled dimension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleRange {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (exclusive; equal to `lo` yields a constant dimension).
+    pub hi: f64,
+}
+
+impl SampleRange {
+    /// Construct, asserting `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "SampleRange: lo={lo} > hi={hi}");
+        SampleRange { lo, hi }
+    }
+
+    /// Width of the range.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Latin-hypercube sample of `n` points over the given per-dimension
+/// ranges: each dimension is cut into `n` equal strata, each stratum is hit
+/// exactly once, and strata are matched across dimensions by independent
+/// random permutations.
+///
+/// Returns `n` points of dimension `ranges.len()`.
+pub fn latin_hypercube<R: Rng>(ranges: &[SampleRange], n: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    if n == 0 || ranges.is_empty() {
+        return vec![Vec::new(); n];
+    }
+    let d = ranges.len();
+    // One shuffled stratum order per dimension.
+    let mut strata: Vec<Vec<usize>> = Vec::with_capacity(d);
+    for _ in 0..d {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        strata.push(order);
+    }
+    (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| {
+                    let stratum = strata[j][i] as f64;
+                    let jitter: f64 = rng.gen::<f64>();
+                    let unit = (stratum + jitter) / n as f64;
+                    ranges[j].lo + unit * ranges[j].width()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn points_inside_ranges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ranges = [SampleRange::new(-1.0, 1.0), SampleRange::new(10.0, 20.0)];
+        let pts = latin_hypercube(&ranges, 50, &mut rng);
+        assert_eq!(pts.len(), 50);
+        for p in &pts {
+            assert_eq!(p.len(), 2);
+            assert!((-1.0..1.0).contains(&p[0]), "{p:?}");
+            assert!((10.0..20.0).contains(&p[1]), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn stratification_holds_per_dimension() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 20;
+        let ranges = [SampleRange::new(0.0, 1.0)];
+        let pts = latin_hypercube(&ranges, n, &mut rng);
+        // Exactly one point per stratum [k/n, (k+1)/n).
+        let mut seen = vec![false; n];
+        for p in &pts {
+            let k = (p[0] * n as f64).floor() as usize;
+            assert!(!seen[k], "stratum {k} hit twice");
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(latin_hypercube(&[], 5, &mut rng).iter().all(|p| p.is_empty()));
+        assert!(latin_hypercube(&[SampleRange::new(0.0, 1.0)], 0, &mut rng).is_empty());
+        // Zero-width range yields the constant.
+        let pts = latin_hypercube(&[SampleRange::new(2.0, 2.0)], 4, &mut rng);
+        assert!(pts.iter().all(|p| p[0] == 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo=")]
+    fn inverted_range_panics() {
+        let _ = SampleRange::new(1.0, 0.0);
+    }
+}

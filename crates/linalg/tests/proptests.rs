@@ -1,0 +1,108 @@
+//! Property-based tests for the numerical core.
+
+use mlcd_linalg::stats::quartiles as quartiles_of;
+use mlcd_linalg::{norm_cdf, norm_pdf, norm_quantile, Chol, Mat, OnlineStats};
+
+use proptest::prelude::*;
+
+/// Random SPD matrix via A = B Bᵀ + n·I with B entries in [-1, 1].
+fn spd_strategy(max_n: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |entries| {
+            let b = Mat::from_fn(n, n, |i, j| entries[i * n + j]);
+            let mut a = b.matmul(&b.transpose());
+            // Shift well away from singular so plain `factor` succeeds.
+            a.add_diag(n as f64);
+            a
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs(a in spd_strategy(8)) {
+        let c = Chol::factor(&a).unwrap();
+        let recon = c.l().matmul(&c.l().transpose());
+        let scale = a.max_abs().max(1.0);
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                prop_assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-9 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse(a in spd_strategy(8), seed in 0u64..1000) {
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 13) as f64 - 6.0).collect();
+        let c = Chol::factor(&a).unwrap();
+        let x = c.solve(&b);
+        let back = a.matvec(&x);
+        let scale = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for k in 0..n {
+            prop_assert!((back[k] - b[k]).abs() < 1e-7 * scale, "component {}", k);
+        }
+    }
+
+    #[test]
+    fn quad_form_nonnegative(a in spd_strategy(6), seed in 0u64..1000) {
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| ((seed * 7 + i as u64) % 11) as f64 - 5.0).collect();
+        let c = Chol::factor(&a).unwrap();
+        prop_assert!(c.quad_form(&b) >= -1e-12);
+    }
+
+    #[test]
+    fn cdf_pdf_relationship(x in -8.0f64..8.0) {
+        // Finite-difference derivative of the cdf matches the pdf.
+        let h = 1e-6;
+        let deriv = (norm_cdf(x + h) - norm_cdf(x - h)) / (2.0 * h);
+        prop_assert!((deriv - norm_pdf(x)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_complement(x in -10.0f64..10.0) {
+        prop_assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn quantile_is_cdf_inverse(p in 1e-8f64..=0.99999999) {
+        let x = norm_quantile(p);
+        prop_assert!((norm_cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_matches_batch(xs in proptest::collection::vec(-1e3f64..1e3, 2..64)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs { s.push(x); }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-8 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-6 * (1.0 + var));
+    }
+
+    #[test]
+    fn quartiles_ordered(xs in proptest::collection::vec(-1e3f64..1e3, 1..64)) {
+        let q = quartiles_of(&xs);
+        prop_assert!(q.min <= q.q1 + 1e-12);
+        prop_assert!(q.q1 <= q.median + 1e-12);
+        prop_assert!(q.median <= q.q3 + 1e-12);
+        prop_assert!(q.q3 <= q.max + 1e-12);
+    }
+
+    #[test]
+    fn matmul_associative_with_vector(
+        entries in proptest::collection::vec(-10.0f64..10.0, 9),
+        v in proptest::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        // (A B) v == A (B v) for 3x3.
+        let a = Mat::from_fn(3, 3, |i, j| entries[i * 3 + j]);
+        let b = Mat::from_fn(3, 3, |i, j| entries[(i * 3 + j + 4) % 9]);
+        let lhs = a.matmul(&b).matvec(&v);
+        let rhs = a.matvec(&b.matvec(&v));
+        for k in 0..3 {
+            prop_assert!((lhs[k] - rhs[k]).abs() < 1e-8 * (1.0 + lhs[k].abs()));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Calibrating the performance model against real measurements.
+//!
+//! The ground-truth constants in [`crate::comm::CommModel`] are calibration
+//! values for *our* simulated cloud. A user pointing MLCD at their own
+//! cloud (or a harder-to-model interconnect) can measure a handful of
+//! deployments and fit the communication constants so the analytical model
+//! tracks their reality — this is the same move Paleo-style models need,
+//! but data-driven instead of hand-derived.
+//!
+//! Fitting minimises the sum of squared *log*-throughput errors (relative
+//! error, so a 10 % miss at 30 samples/s weighs the same as one at 3 000)
+//! with multi-start Nelder–Mead in log-parameter space.
+
+use crate::comm::CommModel;
+use crate::models::TrainingJob;
+use crate::throughput::ThroughputModel;
+use mlcd_cloudsim::InstanceType;
+use mlcd_linalg::{multi_start_nelder_mead, NelderMeadOptions, SampleRange};
+use serde::Serialize;
+
+/// One measured deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CalibrationSample {
+    /// Instance type measured.
+    pub itype: InstanceType,
+    /// Node count measured.
+    pub n: u32,
+    /// Observed sustained training speed, samples/second.
+    pub speed: f64,
+}
+
+/// Why calibration failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibError {
+    /// Need at least this many usable samples to fit two constants.
+    TooFewSamples {
+        /// How many usable samples were supplied.
+        got: usize,
+        /// How many are needed.
+        need: usize,
+    },
+    /// A sample had a non-positive or non-finite speed.
+    BadSample(usize),
+    /// Every sample was infeasible for the job under the model (wrong job?).
+    NothingFeasible,
+}
+
+impl std::fmt::Display for CalibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibError::TooFewSamples { got, need } => {
+                write!(f, "calibration needs ≥{need} samples, got {got}")
+            }
+            CalibError::BadSample(i) => write!(f, "sample {i} has a bad speed"),
+            CalibError::NothingFeasible => {
+                write!(f, "no sample is feasible for this job under the model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibError {}
+
+/// A fitted model plus its goodness of fit.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Calibrated {
+    /// The throughput model with fitted communication constants.
+    pub model: ThroughputModel,
+    /// Root-mean-square relative throughput error over the samples.
+    pub rel_rmse: f64,
+}
+
+/// Fits [`CommModel`] constants to measurements of one training job.
+///
+/// ```
+/// use mlcd_perfmodel::{Calibrator, CalibrationSample, ThroughputModel, TrainingJob};
+/// use mlcd_cloudsim::InstanceType;
+///
+/// let job = TrainingJob::resnet_cifar10();
+/// // Measurements (here: generated from the default model itself).
+/// let truth = ThroughputModel::default();
+/// let samples: Vec<CalibrationSample> = [1u32, 4, 8, 16, 32]
+///     .iter()
+///     .map(|&n| CalibrationSample {
+///         itype: InstanceType::C54xlarge,
+///         n,
+///         speed: truth.throughput(&job, InstanceType::C54xlarge, n).unwrap(),
+///     })
+///     .collect();
+/// let fitted = Calibrator::new(job).fit(&samples).unwrap();
+/// assert!(fitted.rel_rmse < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    job: TrainingJob,
+    /// Nelder–Mead restarts.
+    pub n_starts: usize,
+    /// Fit seed (deterministic per seed).
+    pub seed: u64,
+}
+
+/// Minimum usable samples: two constants plus slack.
+const MIN_SAMPLES: usize = 4;
+
+impl Calibrator {
+    /// Calibrator for measurements of `job`.
+    pub fn new(job: TrainingJob) -> Self {
+        Calibrator { job, n_starts: 12, seed: 0xCA11B }
+    }
+
+    fn model_with(theta: &[f64]) -> ThroughputModel {
+        ThroughputModel {
+            comm: CommModel {
+                ps_incast_per_peer: theta[0].exp(),
+                ring_step_latency: theta[1].exp(),
+            },
+        }
+    }
+
+    fn loss(&self, theta: &[f64], samples: &[CalibrationSample]) -> f64 {
+        let model = Self::model_with(theta);
+        let mut sum = 0.0;
+        let mut used = 0usize;
+        for s in samples {
+            let Ok(pred) = model.throughput(&self.job, s.itype, s.n) else { continue };
+            let e = (pred.ln() - s.speed.ln()).powi(2);
+            sum += e;
+            used += 1;
+        }
+        if used == 0 {
+            f64::INFINITY
+        } else {
+            sum / used as f64
+        }
+    }
+
+    /// Fit the communication constants to the samples.
+    pub fn fit(&self, samples: &[CalibrationSample]) -> Result<Calibrated, CalibError> {
+        for (i, s) in samples.iter().enumerate() {
+            if !(s.speed.is_finite() && s.speed > 0.0) {
+                return Err(CalibError::BadSample(i));
+            }
+        }
+        let probe = ThroughputModel::default();
+        let usable = samples
+            .iter()
+            .filter(|s| probe.feasible(&self.job, s.itype, s.n).is_ok())
+            .count();
+        if usable < MIN_SAMPLES {
+            if usable == 0 && !samples.is_empty() {
+                return Err(CalibError::NothingFeasible);
+            }
+            return Err(CalibError::TooFewSamples { got: usable, need: MIN_SAMPLES });
+        }
+
+        // Latency constants live between 10 µs and 1 s.
+        let ranges =
+            [SampleRange::new((1e-5f64).ln(), (1.0f64).ln()), SampleRange::new((1e-5f64).ln(), (1.0f64).ln())];
+        let best = multi_start_nelder_mead(
+            |theta| self.loss(theta, samples),
+            &ranges,
+            self.n_starts,
+            self.seed,
+            &NelderMeadOptions { max_evals: 400, ..Default::default() },
+        );
+        let model = Self::model_with(&best.x);
+
+        // Goodness of fit in relative-RMSE terms.
+        let mut sq = 0.0;
+        let mut used = 0usize;
+        for s in samples {
+            if let Ok(pred) = model.throughput(&self.job, s.itype, s.n) {
+                sq += ((pred - s.speed) / s.speed).powi(2);
+                used += 1;
+            }
+        }
+        Ok(Calibrated { model, rel_rmse: (sq / used as f64).sqrt() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Generate noisy samples from a "foreign cloud" with different comm
+    /// constants than our defaults.
+    fn foreign_samples(
+        job: &TrainingJob,
+        comm: CommModel,
+        noise_sd: f64,
+        seed: u64,
+    ) -> Vec<CalibrationSample> {
+        let truth = ThroughputModel { comm };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for t in [InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge] {
+            for n in [1u32, 4, 8, 16, 24, 32, 48] {
+                if let Ok(s) = truth.throughput(job, t, n) {
+                    let noisy = s * (1.0 + noise_sd * rng.gen_range(-1.0..1.0));
+                    out.push(CalibrationSample { itype: t, n, speed: noisy });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_foreign_constants() {
+        let job = TrainingJob::resnet_cifar10();
+        // A cloud with 3× our default PS incast and 2× ring latency.
+        let foreign = CommModel { ps_incast_per_peer: 45e-3, ring_step_latency: 3e-3 };
+        let samples = foreign_samples(&job, foreign, 0.0, 1);
+        let fitted = Calibrator::new(job).fit(&samples).unwrap();
+        let got = fitted.model.comm.ps_incast_per_peer;
+        assert!(
+            (got / foreign.ps_incast_per_peer - 1.0).abs() < 0.15,
+            "incast: got {got}, want {}",
+            foreign.ps_incast_per_peer
+        );
+        assert!(fitted.rel_rmse < 0.02, "rmse {}", fitted.rel_rmse);
+    }
+
+    #[test]
+    fn tolerates_measurement_noise() {
+        let job = TrainingJob::resnet_cifar10();
+        let foreign = CommModel { ps_incast_per_peer: 30e-3, ring_step_latency: 1.5e-3 };
+        let samples = foreign_samples(&job, foreign, 0.05, 2);
+        let fitted = Calibrator::new(job).fit(&samples).unwrap();
+        // Fit should land in the right ballpark and explain the data well.
+        let got = fitted.model.comm.ps_incast_per_peer;
+        assert!((got / 30e-3).ln().abs() < 0.5, "incast off: {got}");
+        assert!(fitted.rel_rmse < 0.10, "rmse {}", fitted.rel_rmse);
+    }
+
+    #[test]
+    fn fitted_model_predicts_held_out_points() {
+        let job = TrainingJob::resnet_cifar10();
+        let foreign = CommModel { ps_incast_per_peer: 25e-3, ring_step_latency: 2e-3 };
+        let truth = ThroughputModel { comm: foreign };
+        let samples = foreign_samples(&job, foreign, 0.02, 3);
+        let fitted = Calibrator::new(job.clone()).fit(&samples).unwrap();
+        // Held-out point (n = 40, not in the training grid).
+        let held = truth.throughput(&job, InstanceType::C54xlarge, 40).unwrap();
+        let pred = fitted.model.throughput(&job, InstanceType::C54xlarge, 40).unwrap();
+        assert!(
+            (pred / held - 1.0).abs() < 0.10,
+            "held-out: pred {pred:.1} vs true {held:.1}"
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let job = TrainingJob::resnet_cifar10();
+        let cal = Calibrator::new(job);
+        assert!(matches!(
+            cal.fit(&[]),
+            Err(CalibError::TooFewSamples { got: 0, .. })
+        ));
+        let bad = [CalibrationSample { itype: InstanceType::C5Xlarge, n: 2, speed: -1.0 }];
+        assert!(matches!(cal.fit(&bad), Err(CalibError::BadSample(0))));
+        let few = [
+            CalibrationSample { itype: InstanceType::C5Xlarge, n: 2, speed: 100.0 },
+            CalibrationSample { itype: InstanceType::C5Xlarge, n: 4, speed: 180.0 },
+        ];
+        assert!(matches!(cal.fit(&few), Err(CalibError::TooFewSamples { got: 2, .. })));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let job = TrainingJob::resnet_cifar10();
+        let foreign = CommModel { ps_incast_per_peer: 20e-3, ring_step_latency: 1e-3 };
+        let samples = foreign_samples(&job, foreign, 0.03, 4);
+        let a = Calibrator::new(job.clone()).fit(&samples).unwrap();
+        let b = Calibrator::new(job).fit(&samples).unwrap();
+        assert_eq!(a.model.comm, b.model.comm);
+    }
+}

@@ -1,0 +1,251 @@
+//! Gradient-synchronisation time models.
+//!
+//! Both topologies share the classic bandwidth term `2G(n−1)/(n·B)` — the
+//! amount of gradient data any one node must move per step — and differ in
+//! the congestion/latency term that grows with cluster size:
+//!
+//! * **Parameter server** (sharded across workers, MXNet-kvstore style):
+//!   every node opens `n−1` simultaneous push/pull flows, and TCP incast at
+//!   the receiving shards adds a per-peer penalty. This term is what bends
+//!   the paper's scale-out curves downward (Fig 3b).
+//! * **Ring all-reduce**: `2(n−1)` pipelined steps, each paying a small
+//!   per-step latency. Grows more slowly than PS incast — which is why
+//!   large-model training (BERT) uses it.
+//!
+//! Constants are calibration values (DESIGN.md §2); the calibration tests
+//! in [`crate::throughput`] pin the qualitative facts that depend on them.
+
+use serde::Serialize;
+
+/// Gradient-synchronisation topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum CommTopology {
+    /// Parameter server sharded across the worker nodes.
+    ParameterServer,
+    /// Bandwidth-optimal ring all-reduce.
+    RingAllReduce,
+    /// Two-level hierarchical all-reduce: rings of `group` nodes reduce
+    /// locally, group leaders ring-reduce globally, then results broadcast
+    /// back down. Pays the bandwidth term twice but cuts the latency chain
+    /// from `2(n−1)` steps to `2((g−1) + (n/g−1))` — the standard remedy
+    /// when flat rings hit their latency wall at scale.
+    HierarchicalAllReduce {
+        /// Nodes per local ring (≥ 2).
+        group: u32,
+    },
+}
+
+impl CommTopology {
+    /// Human name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommTopology::ParameterServer => "parameter server",
+            CommTopology::RingAllReduce => "ring all-reduce",
+            CommTopology::HierarchicalAllReduce { .. } => "hierarchical all-reduce",
+        }
+    }
+}
+
+impl std::fmt::Display for CommTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tunable constants of the communication model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CommModel {
+    /// Per-peer incast penalty at the parameter-server shards, seconds per
+    /// `(n−1)` peers.
+    pub ps_incast_per_peer: f64,
+    /// Per-step latency of the ring pipeline, seconds per step (there are
+    /// `2(n−1)` steps).
+    pub ring_step_latency: f64,
+}
+
+impl Default for CommModel {
+    fn default() -> Self {
+        CommModel { ps_incast_per_peer: 15e-3, ring_step_latency: 1.5e-3 }
+    }
+}
+
+impl CommModel {
+    /// Per-iteration synchronisation time in seconds for `n` nodes moving
+    /// `grad_bytes` of gradient over per-node links of `network_gbps`.
+    ///
+    /// `n == 1` costs nothing — no synchronisation happens.
+    pub fn sync_time(
+        &self,
+        topology: CommTopology,
+        grad_bytes: f64,
+        n: u32,
+        network_gbps: f64,
+    ) -> f64 {
+        assert!(n >= 1, "sync_time: empty cluster");
+        assert!(grad_bytes >= 0.0 && network_gbps > 0.0, "sync_time: bad inputs");
+        if n == 1 {
+            return 0.0;
+        }
+        let bw_bytes_per_s = network_gbps * 1e9 / 8.0;
+        let n_f = n as f64;
+        let bandwidth_term = 2.0 * grad_bytes * (n_f - 1.0) / (n_f * bw_bytes_per_s);
+        match topology {
+            CommTopology::ParameterServer => {
+                bandwidth_term + self.ps_incast_per_peer * (n_f - 1.0)
+            }
+            CommTopology::RingAllReduce => {
+                bandwidth_term + self.ring_step_latency * 2.0 * (n_f - 1.0)
+            }
+            CommTopology::HierarchicalAllReduce { group } => {
+                let g = (group.max(2) as f64).min(n_f);
+                let k = (n_f / g).ceil().max(1.0);
+                // Local ring over g nodes, leader ring over k groups, then
+                // the broadcast back down rides the local ring again (its
+                // bandwidth is folded into the 2× of each ring term).
+                let local = 2.0 * grad_bytes * (g - 1.0) / (g * bw_bytes_per_s);
+                let global = if k > 1.0 {
+                    2.0 * grad_bytes * (k - 1.0) / (k * bw_bytes_per_s)
+                } else {
+                    0.0
+                };
+                let latency = self.ring_step_latency * 2.0 * ((g - 1.0) + (k - 1.0));
+                local + global + latency
+            }
+        }
+    }
+
+    /// The idealised (latency-free) bandwidth term alone.
+    pub fn ideal_bandwidth_time(grad_bytes: f64, n: u32, network_gbps: f64) -> f64 {
+        assert!(n >= 1, "ideal_bandwidth_time: empty cluster");
+        if n == 1 {
+            return 0.0;
+        }
+        let bw_bytes_per_s = network_gbps * 1e9 / 8.0;
+        let n_f = n as f64;
+        2.0 * grad_bytes * (n_f - 1.0) / (n_f * bw_bytes_per_s)
+    }
+
+    /// What a Paleo-style analytical model believes a perfectly sharded
+    /// parameter server / hierarchical reduction costs: each node moves
+    /// only its `1/n` shard, so synchronisation time *shrinks* with the
+    /// cluster. This is the idealisation whose gap from reality the paper
+    /// blames for Paleo's sub-optimal choices at scale.
+    pub fn ideal_sharded_time(grad_bytes: f64, n: u32, network_gbps: f64) -> f64 {
+        assert!(n >= 1, "ideal_sharded_time: empty cluster");
+        if n == 1 {
+            return 0.0;
+        }
+        let bw_bytes_per_s = network_gbps * 1e9 / 8.0;
+        2.0 * grad_bytes / (n as f64 * bw_bytes_per_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1e6;
+
+    #[test]
+    fn single_node_costs_nothing() {
+        let m = CommModel::default();
+        assert_eq!(m.sync_time(CommTopology::ParameterServer, 500.0 * MB, 1, 10.0), 0.0);
+        assert_eq!(m.sync_time(CommTopology::RingAllReduce, 500.0 * MB, 1, 10.0), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_term_hand_check() {
+        // 100 MB gradient, 2 nodes, 8 Gbps (=1 GB/s): 2·100MB·(1/2)/1GB/s = 0.1 s.
+        let t = CommModel::ideal_bandwidth_time(100.0 * MB, 2, 8.0);
+        assert!((t - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ps_grows_superlinearly_vs_ring_at_scale() {
+        // With a small gradient, the latency terms dominate: PS incast
+        // (15 ms/peer) outgrows ring steps (3 ms/step-pair).
+        let m = CommModel::default();
+        let g = 13.0 * MB; // Char-RNN-sized
+        let ps50 = m.sync_time(CommTopology::ParameterServer, g, 50, 5.0);
+        let ring50 = m.sync_time(CommTopology::RingAllReduce, g, 50, 5.0);
+        assert!(ps50 > ring50, "ps {ps50} vs ring {ring50}");
+    }
+
+    #[test]
+    fn sync_time_monotone_in_n() {
+        let m = CommModel::default();
+        for topo in [CommTopology::ParameterServer, CommTopology::RingAllReduce] {
+            let mut prev = 0.0;
+            for n in 1..=64 {
+                let t = m.sync_time(topo, 200.0 * MB, n, 10.0);
+                assert!(t >= prev, "{topo} not monotone at n={n}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn more_bandwidth_less_time() {
+        let m = CommModel::default();
+        let slow = m.sync_time(CommTopology::RingAllReduce, 680.0 * MB, 16, 1.25);
+        let fast = m.sync_time(CommTopology::RingAllReduce, 680.0 * MB, 16, 15.0);
+        assert!(fast < slow / 5.0, "bandwidth should dominate for BERT-sized gradients");
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_for_small_grads_at_scale() {
+        // Latency-bound regime (small gradient, many nodes): the two-level
+        // topology's shorter latency chain wins.
+        let m = CommModel::default();
+        let g = 13.0 * MB;
+        let flat = m.sync_time(CommTopology::RingAllReduce, g, 64, 10.0);
+        let hier =
+            m.sync_time(CommTopology::HierarchicalAllReduce { group: 8 }, g, 64, 10.0);
+        assert!(hier < flat, "hier {hier} vs flat {flat}");
+    }
+
+    #[test]
+    fn flat_ring_beats_hierarchical_for_big_grads() {
+        // Bandwidth-bound regime: hierarchical pays the bandwidth term
+        // twice and loses.
+        let m = CommModel::default();
+        let g = 680.0 * MB;
+        let flat = m.sync_time(CommTopology::RingAllReduce, g, 16, 10.0);
+        let hier =
+            m.sync_time(CommTopology::HierarchicalAllReduce { group: 4 }, g, 16, 10.0);
+        assert!(hier > flat, "hier {hier} vs flat {flat}");
+    }
+
+    #[test]
+    fn hierarchical_degenerates_gracefully() {
+        let m = CommModel::default();
+        // group ≥ n collapses to one local ring ≈ flat ring.
+        let flat = m.sync_time(CommTopology::RingAllReduce, 50.0 * MB, 6, 10.0);
+        let hier =
+            m.sync_time(CommTopology::HierarchicalAllReduce { group: 16 }, 50.0 * MB, 6, 10.0);
+        assert!((flat - hier).abs() < 1e-9, "flat {flat} vs degenerate hier {hier}");
+        // Single node still free.
+        assert_eq!(
+            m.sync_time(CommTopology::HierarchicalAllReduce { group: 8 }, MB, 1, 10.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ideal_is_a_lower_bound() {
+        let m = CommModel::default();
+        for n in [2u32, 4, 8, 16, 32] {
+            for topo in [CommTopology::ParameterServer, CommTopology::RingAllReduce] {
+                let real = m.sync_time(topo, 100.0 * MB, n, 10.0);
+                let ideal = CommModel::ideal_bandwidth_time(100.0 * MB, n, 10.0);
+                assert!(real >= ideal, "{topo} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn zero_nodes_rejected() {
+        let _ = CommModel::default().sync_time(CommTopology::RingAllReduce, MB, 0, 10.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-iteration compute time.
+//!
+//! Under strong scaling each of the `n` nodes processes `B/n` samples per
+//! iteration. Compute time is FLOPs over effective FLOPS, with two
+//! corrections that shape the scale-out curve:
+//!
+//! * **Batch efficiency** — a device needs a minimum per-device batch to
+//!   stay busy. GPUs need far more than CPUs, so deep scale-out starves
+//!   GPUs first. Modelled as the saturating factor `b/(b + b₅₀)`,
+//!   normalised to 1 at the reference batch.
+//! * **Straggler inflation** — synchronous SGD waits for the slowest of
+//!   `n` workers; for light-tailed per-node noise the expected maximum
+//!   grows like `√ln n`.
+
+use crate::models::ModelSpec;
+use crate::platform::Platform;
+use mlcd_cloudsim::InstanceSpec;
+
+/// Per-device batch at which efficiency is half of asymptotic, for GPU
+/// devices. GPUs starve quickly below tens of samples.
+const GPU_BATCH_B50: f64 = 8.0;
+/// Same for CPU devices — CPUs stay efficient down to tiny batches.
+const CPU_BATCH_B50: f64 = 1.0;
+/// Reference per-device batch at which the efficiency factor is defined to
+/// be 1 (so single-node full-batch runs are unpenalised).
+const REF_BATCH: f64 = 64.0;
+/// Intra-node multi-GPU aggregation overhead per extra accelerator.
+const MULTI_GPU_OVERHEAD: f64 = 0.04;
+/// Straggler coefficient κ: compute inflates by `1 + κ·√ln n`.
+pub const STRAGGLER_KAPPA: f64 = 0.08;
+
+/// Effective sustained GFLOPS of one instance for a given model+platform.
+///
+/// Chooses the better of the CPU path and (if present) the GPU path; a
+/// GPU instance training a GPU-hostile model still has its CPUs.
+pub fn effective_gflops(model: &ModelSpec, platform: Platform, spec: &InstanceSpec) -> f64 {
+    let pe = platform.compute_efficiency();
+    let cpu = spec.cpu_peak_gflops * model.cpu_util * pe;
+    let gpu = if spec.has_gpu() {
+        let raw = spec.gpu_peak_gflops() * model.gpu_util * pe;
+        let n_acc = spec.accelerators.map_or(0, |(_, c)| c) as f64;
+        raw / (1.0 + MULTI_GPU_OVERHEAD * (n_acc - 1.0))
+    } else {
+        0.0
+    };
+    cpu.max(gpu)
+}
+
+/// Batch-efficiency factor in (0, 1]: how busy the device stays at
+/// per-device batch `b`. Saturates (capped at 1) at the reference batch —
+/// a device cannot exceed its saturated throughput.
+pub fn batch_efficiency(b: f64, is_gpu: bool) -> f64 {
+    assert!(b > 0.0, "batch_efficiency: non-positive batch {b}");
+    let b50 = if is_gpu { GPU_BATCH_B50 } else { CPU_BATCH_B50 };
+    ((b / (b + b50)) / (REF_BATCH / (REF_BATCH + b50))).min(1.0)
+}
+
+/// Straggler inflation factor for `n` synchronised workers.
+pub fn straggler_factor(n: u32) -> f64 {
+    assert!(n >= 1, "straggler_factor: empty cluster");
+    if n == 1 {
+        1.0
+    } else {
+        1.0 + STRAGGLER_KAPPA * (n as f64).ln().sqrt()
+    }
+}
+
+/// Seconds of compute per iteration for one node processing `per_node_batch`
+/// samples.
+pub fn compute_time(
+    model: &ModelSpec,
+    platform: Platform,
+    spec: &InstanceSpec,
+    per_node_batch: f64,
+) -> f64 {
+    assert!(per_node_batch > 0.0, "compute_time: non-positive batch");
+    let gflops_needed = model.train_gflops_per_sample() * per_node_batch;
+    let device_is_gpu = spec.has_gpu()
+        && spec.gpu_peak_gflops() * model.gpu_util > spec.cpu_peak_gflops * model.cpu_util;
+    let eff = effective_gflops(model, platform, spec) * batch_efficiency(per_node_batch, device_is_gpu);
+    gflops_needed / eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcd_cloudsim::InstanceType;
+
+    #[test]
+    fn effective_gflops_picks_better_device() {
+        // Char-RNN on p2.xlarge: GPU path 4100×0.03 = 123 > CPU 56×0.45,
+        // so the GPU still wins on-node, but at a tiny fraction of peak —
+        // which is why it loses per dollar (paper Fig 1b).
+        let rnn = ModelSpec::char_rnn();
+        let p2 = InstanceType::P2Xlarge.spec();
+        let eff = effective_gflops(&rnn, Platform::TensorFlow, p2);
+        assert!(eff < 150.0, "RNN must not enjoy full GPU peak: {eff}");
+        assert!(eff > 80.0);
+    }
+
+    #[test]
+    fn inception_loves_v100() {
+        let m = ModelSpec::inception_v3();
+        let p3 = InstanceType::P32xlarge.spec();
+        let c5 = InstanceType::C54xlarge.spec();
+        let gpu = effective_gflops(&m, Platform::TensorFlow, p3);
+        let cpu = effective_gflops(&m, Platform::TensorFlow, c5);
+        assert!(gpu > 20.0 * cpu, "V100 should crush c5.4xlarge for Inception: {gpu} vs {cpu}");
+    }
+
+    #[test]
+    fn multi_gpu_scaling_subunit() {
+        let m = ModelSpec::inception_v3();
+        let p2_1 = InstanceType::P2Xlarge.spec();
+        let p2_8 = InstanceType::P28xlarge.spec();
+        let r = effective_gflops(&m, Platform::TensorFlow, p2_8)
+            / effective_gflops(&m, Platform::TensorFlow, p2_1);
+        assert!(r > 5.0 && r < 8.0, "8 GPUs should give 5–8×: {r}");
+    }
+
+    #[test]
+    fn batch_efficiency_saturates() {
+        // Reference point: eff(64) == 1 for both device kinds, and larger
+        // batches cannot exceed saturation.
+        assert!((batch_efficiency(REF_BATCH, true) - 1.0).abs() < 1e-12);
+        assert!((batch_efficiency(REF_BATCH, false) - 1.0).abs() < 1e-12);
+        assert_eq!(batch_efficiency(512.0, true), 1.0);
+        assert_eq!(batch_efficiency(512.0, false), 1.0);
+        // GPUs hurt much more at batch 2.
+        assert!(batch_efficiency(2.0, true) < 0.3);
+        assert!(batch_efficiency(2.0, false) > 0.6);
+        // Strictly increasing below saturation.
+        let mut prev = 0.0;
+        for b in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+            let e = batch_efficiency(b, true);
+            assert!(e > prev, "eff({b}) = {e} ≤ {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn straggler_grows_slowly() {
+        assert_eq!(straggler_factor(1), 1.0);
+        let f8 = straggler_factor(8);
+        let f64_ = straggler_factor(64);
+        assert!(f8 > 1.0 && f8 < 1.2);
+        assert!(f64_ > f8 && f64_ < 1.25);
+    }
+
+    #[test]
+    fn compute_time_scales_inversely_with_batch_at_saturation() {
+        let m = ModelSpec::resnet_cifar10();
+        let spec = InstanceType::C54xlarge.spec();
+        let t64 = compute_time(&m, Platform::TensorFlow, spec, 64.0);
+        let t128 = compute_time(&m, Platform::TensorFlow, spec, 128.0);
+        // At CPU-saturating batches, time is ~linear in batch.
+        let ratio = t128 / t64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn resnet_cifar_cpu_beats_equal_cost_gpu_per_node() {
+        // The paper's "optimal scale-up is c5.4xlarge" for ResNet/CIFAR-10:
+        // per dollar, c5.4xlarge beats p2.xlarge on this small-image model.
+        let m = ModelSpec::resnet_cifar10();
+        let c5 = InstanceType::C54xlarge.spec();
+        let p2 = InstanceType::P2Xlarge.spec();
+        let c5_per_dollar = effective_gflops(&m, Platform::TensorFlow, c5) / c5.hourly_usd;
+        let p2_per_dollar = effective_gflops(&m, Platform::TensorFlow, p2) / p2.hourly_usd;
+        assert!(
+            c5_per_dollar > p2_per_dollar,
+            "c5.4xlarge {c5_per_dollar} vs p2.xlarge {p2_per_dollar} GFLOPS/$"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive batch")]
+    fn zero_batch_rejected() {
+        let m = ModelSpec::alexnet();
+        let _ = compute_time(&m, Platform::TensorFlow, InstanceType::C5Xlarge.spec(), 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! Distributed-training performance substrate.
+//!
+//! The paper measures real training throughput on EC2. This crate replaces
+//! those measurements with a ground-truth performance model that reproduces
+//! the *empirical facts the search method depends on* (DESIGN.md §2):
+//!
+//! 1. **Concave scale-out speedup** (paper Fig 3b and the prior HeterBO
+//!    exploits): per-iteration compute shrinks as `1/n` under strong
+//!    scaling while synchronisation cost grows with `n` (parameter-server
+//!    incast, ring latency, straggler waits), so training speed rises to an
+//!    interior optimum and then falls.
+//! 2. **Model-dependent CPU/GPU crossover** (paper Fig 1b): each model
+//!    carries calibrated device-utilisation factors — a Char-RNN utilises a
+//!    K80 poorly while BERT's large matmuls love it — so whether scale-up
+//!    or scale-out wins depends on the model, exactly as the paper observes.
+//! 3. **Heteroscedastic measurement noise**: profiling observations are the
+//!    true speed perturbed by log-normal noise plus occasional stragglers.
+//!
+//! Module map:
+//!
+//! * [`models`] — the model zoo ([`models::ModelSpec`]) with the paper's
+//!   parameter counts (AlexNet 6.4 M … ZeRO 20 B) and dataset zoo.
+//! * [`platform`] — TensorFlow / MXNet / PyTorch efficiency coefficients.
+//! * [`comm`] — parameter-server and ring-all-reduce step-time models.
+//! * [`compute`] — per-iteration compute time and straggler inflation.
+//! * [`throughput`] — [`throughput::ThroughputModel`], the ground truth.
+//! * [`noise`] — the measurement-noise model used by the MLCD Profiler.
+//! * [`paleo`] — the Paleo-style analytical baseline: same compute model,
+//!   idealised communication, so it over-predicts large-cluster speed and
+//!   picks sub-optimal deployments (the failure mode the paper reports).
+//!
+//! ```
+//! use mlcd_perfmodel::{ThroughputModel, TrainingJob};
+//! use mlcd_cloudsim::InstanceType;
+//!
+//! let job = TrainingJob::resnet_cifar10();
+//! let model = ThroughputModel::default();
+//! let s10 = model.throughput(&job, InstanceType::C54xlarge, 10).unwrap();
+//! let s1 = model.throughput(&job, InstanceType::C54xlarge, 1).unwrap();
+//! assert!(s10 > s1); // scaling out from 1 node helps…
+//! // …but the speedup curve is concave with an interior optimum (see tests).
+//! ```
+
+pub mod calibrate;
+pub mod comm;
+pub mod compute;
+pub mod models;
+pub mod noise;
+pub mod paleo;
+pub mod platform;
+pub mod throughput;
+
+pub use calibrate::{Calibrated, CalibrationSample, Calibrator};
+pub use comm::{CommModel, CommTopology};
+pub use models::{ArchKind, DatasetSpec, ModelSpec, ScalingMode, TrainingJob};
+pub use noise::NoiseModel;
+pub use paleo::PaleoEstimator;
+pub use platform::Platform;
+pub use throughput::{Infeasible, IterationBreakdown, ThroughputModel};

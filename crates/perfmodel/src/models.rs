@@ -1,0 +1,549 @@
+//! The model and dataset zoo.
+//!
+//! Parameter counts follow the paper (Fig 19 lists 6.4 M AlexNet, 60.3 M
+//! ResNet, 340 M BERT, 8 B and 20 B ZeRO). Per-sample forward FLOPs and the
+//! per-device utilisation factors are calibration constants chosen so the
+//! ground-truth model reproduces the paper's observed winners (see
+//! DESIGN.md §2 and the calibration tests in `throughput`); they are in the
+//! right published ballpark but are not measurements.
+
+use crate::comm::CommTopology;
+use crate::platform::Platform;
+use serde::Serialize;
+
+/// How the batch is distributed as the cluster grows.
+///
+/// The paper uses strong scaling throughout ("we use strong-scaling to
+/// avoid the scale-out level impacting accuracy"); weak scaling is offered
+/// as an extension for what-if studies — it changes the effective global
+/// batch and therefore, on a real job, the converged accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+pub enum ScalingMode {
+    /// Fixed global batch; per-node batch shrinks as `B/n`.
+    #[default]
+    Strong,
+    /// Fixed per-node batch; the effective global batch grows as `B·n`.
+    Weak,
+}
+
+/// Coarse architecture category — documentation and default-choosing only;
+/// the quantitative knobs live on [`ModelSpec`] directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ArchKind {
+    /// Convolutional network (AlexNet, ResNet, Inception).
+    Cnn,
+    /// Recurrent network (Char-RNN): sequential cell updates underutilise
+    /// wide accelerators.
+    Rnn,
+    /// Transformer (BERT): large dense matmuls, accelerator-friendly.
+    Transformer,
+    /// ZeRO-style sharded transformer: optimizer state partitioned across
+    /// the cluster, so memory feasibility improves with scale-out.
+    ShardedTransformer,
+}
+
+/// Everything the performance model needs to know about one trainable model.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ModelSpec {
+    /// Human name, e.g. `"ResNet (CIFAR-10)"`.
+    pub name: &'static str,
+    /// Architecture category.
+    pub arch: ArchKind,
+    /// Trainable parameters.
+    pub params: f64,
+    /// Forward-pass GFLOPs per training sample. Training cost is modelled
+    /// as 3× this (forward + ~2× backward).
+    pub fwd_gflops_per_sample: f64,
+    /// Bytes exchanged per parameter per synchronisation (4 for fp32
+    /// gradients, 2 for mixed-precision).
+    pub grad_bytes_per_param: f64,
+    /// Fraction of peak GPU FLOPS this model sustains.
+    pub gpu_util: f64,
+    /// Fraction of peak CPU FLOPS this model sustains.
+    pub cpu_util: f64,
+    /// Whether optimizer/model state is sharded across nodes (ZeRO). When
+    /// true, per-node memory need shrinks with cluster size.
+    pub sharded: bool,
+    /// Default global (summed across nodes) batch size under strong
+    /// scaling.
+    pub default_global_batch: u32,
+}
+
+impl ModelSpec {
+    /// Gradient bytes exchanged per synchronisation step.
+    pub fn grad_bytes(&self) -> f64 {
+        self.params * self.grad_bytes_per_param
+    }
+
+    /// Training GFLOPs per sample (forward + backward).
+    pub fn train_gflops_per_sample(&self) -> f64 {
+        3.0 * self.fwd_gflops_per_sample
+    }
+
+    /// Bytes of model + optimizer state that must fit in device (or host)
+    /// memory. 16 bytes/param models mixed-precision Adam (fp16 weights +
+    /// fp16 grads + fp32 master + two fp32 moments).
+    pub fn state_bytes(&self) -> f64 {
+        self.params * 16.0
+    }
+
+    /// AlexNet at the paper's 6.4 M-parameter size, on CIFAR-10-scale
+    /// inputs.
+    pub fn alexnet() -> ModelSpec {
+        ModelSpec {
+            name: "AlexNet",
+            arch: ArchKind::Cnn,
+            params: 6.4e6,
+            fwd_gflops_per_sample: 0.30,
+            grad_bytes_per_param: 4.0,
+            gpu_util: 0.22,
+            cpu_util: 0.45,
+            sharded: false,
+            default_global_batch: 512,
+        }
+    }
+
+    /// The paper's ResNet (60.3 M parameters) trained on CIFAR-10. Small
+    /// input images keep GPU utilisation low, which is why the paper's
+    /// search finds a c5.4xlarge CPU deployment optimal for this job.
+    pub fn resnet_cifar10() -> ModelSpec {
+        ModelSpec {
+            name: "ResNet (CIFAR-10)",
+            arch: ArchKind::Cnn,
+            params: 60.3e6,
+            fwd_gflops_per_sample: 2.0,
+            grad_bytes_per_param: 4.0,
+            gpu_util: 0.05,
+            cpu_util: 0.50,
+            sharded: false,
+            default_global_batch: 512,
+        }
+    }
+
+    /// Network-in-Network — the third of the three models the paper notes
+    /// Paleo supports on AWS ("only 3 models (Inception-V3, AlexNet V2,
+    /// and NiN)").
+    pub fn nin() -> ModelSpec {
+        ModelSpec {
+            name: "NiN",
+            arch: ArchKind::Cnn,
+            params: 7.6e6,
+            fwd_gflops_per_sample: 1.1,
+            grad_bytes_per_param: 4.0,
+            gpu_util: 0.40,
+            cpu_util: 0.38,
+            sharded: false,
+            default_global_batch: 512,
+        }
+    }
+
+    /// VGG-16: enormous fully-connected layers make it gradient-heavy
+    /// (528 MB of fp32 gradients) relative to its compute — the classic
+    /// communication-bound CNN.
+    pub fn vgg16() -> ModelSpec {
+        ModelSpec {
+            name: "VGG-16",
+            arch: ArchKind::Cnn,
+            params: 138e6,
+            fwd_gflops_per_sample: 15.5,
+            grad_bytes_per_param: 4.0,
+            gpu_util: 0.55,
+            cpu_util: 0.30,
+            sharded: false,
+            default_global_batch: 256,
+        }
+    }
+
+    /// GPT-2 (124 M): a decoder-only transformer trained autoregressively.
+    pub fn gpt2_small() -> ModelSpec {
+        ModelSpec {
+            name: "GPT-2 small",
+            arch: ArchKind::Transformer,
+            params: 124e6,
+            fwd_gflops_per_sample: 18.0,
+            grad_bytes_per_param: 2.0,
+            gpu_util: 0.35,
+            cpu_util: 0.18,
+            sharded: false,
+            default_global_batch: 512,
+        }
+    }
+
+    /// Inception-v3 on ImageNet-scale inputs: large images and deep
+    /// convolutions sustain good accelerator utilisation.
+    pub fn inception_v3() -> ModelSpec {
+        ModelSpec {
+            name: "Inception-v3",
+            arch: ArchKind::Cnn,
+            params: 23.9e6,
+            fwd_gflops_per_sample: 5.7,
+            grad_bytes_per_param: 4.0,
+            gpu_util: 0.50,
+            cpu_util: 0.35,
+            sharded: false,
+            default_global_batch: 1024,
+        }
+    }
+
+    /// Character-level RNN language model. Sequential cell updates give
+    /// poor accelerator utilisation — the root of the paper's Fig 1b
+    /// "CPUs beat GPUs for this model at equal cost" observation.
+    pub fn char_rnn() -> ModelSpec {
+        ModelSpec {
+            name: "Char-RNN",
+            arch: ArchKind::Rnn,
+            params: 3.3e6,
+            fwd_gflops_per_sample: 0.07,
+            grad_bytes_per_param: 4.0,
+            // Tiny sequential cells leave wide accelerators almost idle —
+            // kernel-launch overhead dominates (the paper's Fig 1b story).
+            gpu_util: 0.03,
+            cpu_util: 0.45,
+            sharded: false,
+            default_global_batch: 1280,
+        }
+    }
+
+    /// BERT-Large (340 M parameters), mixed-precision gradients, trained
+    /// with ring all-reduce as in the paper's Figs 16–17.
+    pub fn bert_large() -> ModelSpec {
+        ModelSpec {
+            name: "BERT-Large",
+            arch: ArchKind::Transformer,
+            params: 340e6,
+            fwd_gflops_per_sample: 30.0,
+            grad_bytes_per_param: 2.0,
+            gpu_util: 0.30,
+            cpu_util: 0.20,
+            sharded: false,
+            default_global_batch: 2048,
+        }
+    }
+
+    /// ZeRO 8 B-parameter configuration (paper Fig 19; simulated there too).
+    pub fn zero_8b() -> ModelSpec {
+        ModelSpec {
+            name: "ZeRO-8B",
+            arch: ArchKind::ShardedTransformer,
+            params: 8e9,
+            fwd_gflops_per_sample: 700.0,
+            grad_bytes_per_param: 2.0,
+            gpu_util: 0.35,
+            cpu_util: 0.15,
+            sharded: true,
+            default_global_batch: 2048,
+        }
+    }
+
+    /// ZeRO 20 B-parameter configuration (paper Fig 19).
+    pub fn zero_20b() -> ModelSpec {
+        ModelSpec {
+            name: "ZeRO-20B",
+            arch: ArchKind::ShardedTransformer,
+            params: 20e9,
+            fwd_gflops_per_sample: 1750.0,
+            grad_bytes_per_param: 2.0,
+            gpu_util: 0.35,
+            cpu_util: 0.15,
+            sharded: true,
+            default_global_batch: 2048,
+        }
+    }
+
+    /// The whole zoo, in ascending parameter count (the paper's Fig 19
+    /// x-axis).
+    pub fn zoo() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::char_rnn(),
+            ModelSpec::alexnet(),
+            ModelSpec::nin(),
+            ModelSpec::inception_v3(),
+            ModelSpec::resnet_cifar10(),
+            ModelSpec::gpt2_small(),
+            ModelSpec::vgg16(),
+            ModelSpec::bert_large(),
+            ModelSpec::zero_8b(),
+            ModelSpec::zero_20b(),
+        ]
+    }
+}
+
+/// A training dataset: how many samples one epoch visits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DatasetSpec {
+    /// Human name.
+    pub name: &'static str,
+    /// Samples per epoch.
+    pub samples: u64,
+}
+
+impl DatasetSpec {
+    /// CIFAR-10 training split.
+    pub fn cifar10() -> DatasetSpec {
+        DatasetSpec { name: "CIFAR-10", samples: 50_000 }
+    }
+
+    /// ImageNet (ILSVRC-2012) training split.
+    pub fn imagenet() -> DatasetSpec {
+        DatasetSpec { name: "ImageNet", samples: 1_281_167 }
+    }
+
+    /// Character-LM corpus, counted in training sequences.
+    pub fn text_corpus() -> DatasetSpec {
+        DatasetSpec { name: "text corpus", samples: 10_000_000 }
+    }
+
+    /// BERT pre-training corpus slice, counted in sequences.
+    pub fn bert_corpus() -> DatasetSpec {
+        DatasetSpec { name: "BERT corpus", samples: 4_000_000 }
+    }
+
+    /// The short benchmark slice used for the ZeRO-scale simulated runs
+    /// (paper Fig 19 simulates these from published settings rather than
+    /// training to completion).
+    pub fn zero_benchmark_slice() -> DatasetSpec {
+        DatasetSpec { name: "ZeRO benchmark slice", samples: 500_000 }
+    }
+}
+
+/// A fully specified training job — the thing a user hands to MLCD.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrainingJob {
+    /// Model to train.
+    pub model: ModelSpec,
+    /// Dataset.
+    pub dataset: DatasetSpec,
+    /// Number of passes over the dataset.
+    pub epochs: u32,
+    /// Global batch size (strong scaling: fixed regardless of cluster
+    /// size, as the paper does "to avoid the scale-out level impacting
+    /// accuracy").
+    pub global_batch: u32,
+    /// Training platform.
+    pub platform: Platform,
+    /// Gradient-synchronisation topology.
+    pub topology: CommTopology,
+    /// Fraction of gradient bytes actually exchanged per step (1.0 = no
+    /// compression; Deep-Gradient-Compression-style sparsification sends
+    /// ~0.01 of them, trading accuracy risk for communication time).
+    pub grad_keep_frac: f64,
+    /// Strong (paper default) or weak scaling.
+    pub scaling: ScalingMode,
+}
+
+impl TrainingJob {
+    /// Total samples the job must process.
+    pub fn total_samples(&self) -> f64 {
+        self.dataset.samples as f64 * self.epochs as f64
+    }
+
+    /// Gradient bytes actually exchanged per synchronisation, after
+    /// compression.
+    pub fn effective_grad_bytes(&self) -> f64 {
+        self.model.grad_bytes() * self.grad_keep_frac
+    }
+
+    /// The same job under weak scaling (`global_batch` becomes the
+    /// *per-node* batch). Accuracy caveats apply on a real job.
+    pub fn weak_scaled(mut self) -> TrainingJob {
+        self.scaling = ScalingMode::Weak;
+        self
+    }
+
+    /// The same job with Deep-Gradient-Compression-style sparsification
+    /// keeping `frac` of the gradient.
+    ///
+    /// # Panics
+    /// Panics unless `0 < frac ≤ 1`.
+    pub fn with_compression(mut self, frac: f64) -> TrainingJob {
+        assert!(frac > 0.0 && frac <= 1.0, "compression fraction must be in (0, 1]");
+        self.grad_keep_frac = frac;
+        self
+    }
+
+    /// The paper's ResNet/CIFAR-10/TensorFlow workhorse job (Figs 2, 9–12,
+    /// 18).
+    pub fn resnet_cifar10() -> TrainingJob {
+        let model = ModelSpec::resnet_cifar10();
+        let global_batch = model.default_global_batch;
+        TrainingJob {
+            model,
+            dataset: DatasetSpec::cifar10(),
+            epochs: 100,
+            global_batch,
+            platform: Platform::TensorFlow,
+            topology: CommTopology::ParameterServer,
+            grad_keep_frac: 1.0,
+            scaling: ScalingMode::Strong,
+        }
+    }
+
+    /// AlexNet/CIFAR-10 (paper Fig 5).
+    pub fn alexnet_cifar10() -> TrainingJob {
+        let model = ModelSpec::alexnet();
+        let global_batch = model.default_global_batch;
+        TrainingJob {
+            model,
+            dataset: DatasetSpec::cifar10(),
+            epochs: 150,
+            global_batch,
+            platform: Platform::TensorFlow,
+            topology: CommTopology::ParameterServer,
+            grad_keep_frac: 1.0,
+            scaling: ScalingMode::Strong,
+        }
+    }
+
+    /// Char-RNN over the text corpus (paper Figs 1b, 3, 14, 15).
+    pub fn char_rnn() -> TrainingJob {
+        let model = ModelSpec::char_rnn();
+        let global_batch = model.default_global_batch;
+        TrainingJob {
+            model,
+            dataset: DatasetSpec::text_corpus(),
+            epochs: 20,
+            global_batch,
+            platform: Platform::TensorFlow,
+            topology: CommTopology::ParameterServer,
+            grad_keep_frac: 1.0,
+            scaling: ScalingMode::Strong,
+        }
+    }
+
+    /// Inception-v3 on ImageNet (paper Fig 13).
+    pub fn inception_imagenet() -> TrainingJob {
+        let model = ModelSpec::inception_v3();
+        let global_batch = model.default_global_batch;
+        TrainingJob {
+            model,
+            dataset: DatasetSpec::imagenet(),
+            epochs: 25,
+            global_batch,
+            platform: Platform::TensorFlow,
+            topology: CommTopology::ParameterServer,
+            grad_keep_frac: 1.0,
+            scaling: ScalingMode::Strong,
+        }
+    }
+
+    /// BERT with ring all-reduce on TensorFlow (paper Fig 16). One pass
+    /// over a 4 M-sequence corpus slice — sized so the paper's ~$100
+    /// search budgets are meaningful against the training cost.
+    pub fn bert_tensorflow() -> TrainingJob {
+        let model = ModelSpec::bert_large();
+        let global_batch = model.default_global_batch;
+        TrainingJob {
+            model,
+            dataset: DatasetSpec::bert_corpus(),
+            epochs: 1,
+            global_batch,
+            platform: Platform::TensorFlow,
+            topology: CommTopology::RingAllReduce,
+            grad_keep_frac: 1.0,
+            scaling: ScalingMode::Strong,
+        }
+    }
+
+    /// BERT with ring all-reduce on MXNet (paper Fig 17).
+    pub fn bert_mxnet() -> TrainingJob {
+        TrainingJob { platform: Platform::MxNet, ..TrainingJob::bert_tensorflow() }
+    }
+
+    /// ZeRO 8 B-parameter run (paper Fig 19; the paper simulates these
+    /// from published ZeRO settings, as do we).
+    pub fn zero_8b() -> TrainingJob {
+        let model = ModelSpec::zero_8b();
+        let global_batch = model.default_global_batch;
+        TrainingJob {
+            model,
+            dataset: DatasetSpec::zero_benchmark_slice(),
+            epochs: 1,
+            global_batch,
+            platform: Platform::PyTorch,
+            topology: CommTopology::RingAllReduce,
+            grad_keep_frac: 1.0,
+            scaling: ScalingMode::Strong,
+        }
+    }
+
+    /// ZeRO 20 B-parameter run (paper Fig 19).
+    pub fn zero_20b() -> TrainingJob {
+        TrainingJob { model: ModelSpec::zero_20b(), ..TrainingJob::zero_8b() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameter_counts() {
+        // Fig 19's x-axis: 6.4M, 60.3M, 340M, 8B, 20B.
+        assert_eq!(ModelSpec::alexnet().params, 6.4e6);
+        assert_eq!(ModelSpec::resnet_cifar10().params, 60.3e6);
+        assert_eq!(ModelSpec::bert_large().params, 340e6);
+        assert_eq!(ModelSpec::zero_8b().params, 8e9);
+        assert_eq!(ModelSpec::zero_20b().params, 20e9);
+    }
+
+    #[test]
+    fn zoo_sorted_by_params() {
+        let zoo = ModelSpec::zoo();
+        for w in zoo.windows(2) {
+            assert!(w[0].params <= w[1].params, "{} > {}", w[0].name, w[1].name);
+        }
+    }
+
+    #[test]
+    fn gradient_sizes() {
+        // fp32 ResNet: 60.3M × 4 B ≈ 241 MB.
+        let g = ModelSpec::resnet_cifar10().grad_bytes();
+        assert!((g - 241.2e6).abs() < 1e6);
+        // Mixed-precision BERT: 340M × 2 B = 680 MB.
+        let g = ModelSpec::bert_large().grad_bytes();
+        assert!((g - 680e6).abs() < 1e6);
+    }
+
+    #[test]
+    fn rnn_prefers_cpu_cnn_imagenet_prefers_gpu() {
+        // The calibrated utilisations encode the paper's Fig 1b insight.
+        let rnn = ModelSpec::char_rnn();
+        assert!(rnn.cpu_util > rnn.gpu_util);
+        let inception = ModelSpec::inception_v3();
+        assert!(inception.gpu_util > inception.cpu_util);
+    }
+
+    #[test]
+    fn training_flops_are_3x_forward() {
+        let m = ModelSpec::inception_v3();
+        assert!((m.train_gflops_per_sample() - 17.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_total_samples() {
+        let j = TrainingJob::resnet_cifar10();
+        assert_eq!(j.total_samples(), 5_000_000.0);
+        let j = TrainingJob::char_rnn();
+        assert_eq!(j.total_samples(), 200_000_000.0);
+    }
+
+    #[test]
+    fn bert_jobs_use_ring_allreduce() {
+        assert_eq!(TrainingJob::bert_tensorflow().topology, CommTopology::RingAllReduce);
+        assert_eq!(TrainingJob::bert_mxnet().topology, CommTopology::RingAllReduce);
+        assert_eq!(TrainingJob::bert_mxnet().platform, Platform::MxNet);
+    }
+
+    #[test]
+    fn sharded_models_flagged() {
+        assert!(ModelSpec::zero_8b().sharded);
+        assert!(!ModelSpec::bert_large().sharded);
+    }
+
+    #[test]
+    fn state_bytes_mixed_precision_adam() {
+        // BERT-Large: 340M × 16 B = 5.44 GB — fits a K80's 12 GiB.
+        let s = ModelSpec::bert_large().state_bytes();
+        assert!((s - 5.44e9).abs() < 1e7);
+    }
+}

@@ -1,0 +1,113 @@
+//! Measurement noise.
+//!
+//! A profiling probe observes the true training speed perturbed by
+//! multiplicative log-normal noise (co-tenant interference, clock
+//! variation) and, occasionally, a straggler-degraded run. The MLCD
+//! Profiler reacts to the latter by extending unstable probes, mirroring
+//! the paper's "extends the profiling time when large discrepancy is
+//! observed".
+
+use rand::Rng;
+use serde::Serialize;
+
+/// Parameters of the observation-noise model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NoiseModel {
+    /// Standard deviation of the log-normal multiplicative noise.
+    pub sigma: f64,
+    /// Probability a probe lands on a degraded (straggler-afflicted) run.
+    pub straggler_prob: f64,
+    /// Multiplicative slowdown of a degraded run (e.g. 0.8 → 20 % slower).
+    pub straggler_slowdown: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel { sigma: 0.03, straggler_prob: 0.05, straggler_slowdown: 0.8 }
+    }
+}
+
+impl NoiseModel {
+    /// A noise-free model, for deterministic tests.
+    pub fn noiseless() -> Self {
+        NoiseModel { sigma: 0.0, straggler_prob: 0.0, straggler_slowdown: 1.0 }
+    }
+
+    /// Observe a true speed once.
+    pub fn observe<R: Rng>(&self, true_speed: f64, rng: &mut R) -> f64 {
+        assert!(true_speed.is_finite() && true_speed > 0.0, "observe: bad speed {true_speed}");
+        let mut v = true_speed;
+        if self.sigma > 0.0 {
+            // Box–Muller standard normal.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            v *= (self.sigma * z).exp();
+        }
+        if self.straggler_prob > 0.0 && rng.gen_bool(self.straggler_prob) {
+            v *= self.straggler_slowdown;
+        }
+        v
+    }
+
+    /// Observe repeatedly and return all samples (one per probe iteration
+    /// window).
+    pub fn observe_n<R: Rng>(&self, true_speed: f64, n: usize, rng: &mut R) -> Vec<f64> {
+        (0..n).map(|_| self.observe(true_speed, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_is_identity() {
+        let m = NoiseModel::noiseless();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(m.observe(123.0, &mut rng), 123.0);
+    }
+
+    #[test]
+    fn noise_is_unbiased_ish_and_bounded() {
+        let m = NoiseModel::default();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let xs = m.observe_n(100.0, 20_000, &mut rng);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        // Mean is slightly below 100 because of stragglers (5 % × 0.8).
+        let expect = 100.0 * (0.95 + 0.05 * 0.8);
+        assert!((mean - expect).abs() < 1.0, "mean {mean}, expect {expect}");
+        for &x in &xs {
+            assert!(x > 50.0 && x < 160.0, "outlier {x}");
+        }
+    }
+
+    #[test]
+    fn stragglers_create_bimodality() {
+        let m = NoiseModel { sigma: 0.0, straggler_prob: 0.3, straggler_slowdown: 0.5 };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let xs = m.observe_n(100.0, 2_000, &mut rng);
+        let slow = xs.iter().filter(|&&x| (x - 50.0).abs() < 1e-9).count();
+        let fast = xs.iter().filter(|&&x| (x - 100.0).abs() < 1e-9).count();
+        assert_eq!(slow + fast, xs.len());
+        let frac = slow as f64 / xs.len() as f64;
+        assert!((frac - 0.3).abs() < 0.05, "straggler fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = NoiseModel::default();
+        let a = m.observe_n(77.0, 10, &mut SmallRng::seed_from_u64(9));
+        let b = m.observe_n(77.0, 10, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad speed")]
+    fn rejects_nonpositive_speed() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = NoiseModel::default().observe(0.0, &mut rng);
+    }
+}

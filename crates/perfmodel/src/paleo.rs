@@ -1,0 +1,165 @@
+//! Paleo-style analytical performance estimator (baseline).
+//!
+//! Paleo (Qi et al., ICLR'17) predicts distributed training time from
+//! model architecture and hardware specs with no profiling at all. The
+//! paper's finding (Fig 13): "as the cluster grows bigger, nuances like
+//! communication topology demonstrate bigger impacts … these nuances are
+//! particularly hard to capture by analytical modeling. Given Paleo does
+//! not consider these nuances, it fails to find the optimal configuration."
+//!
+//! We reproduce exactly that failure mode: this estimator shares the
+//! compute model with the ground truth (analytical FLOP counting is what
+//! Paleo is genuinely good at) but idealises everything the ground truth
+//! says hurts at scale — no incast, no per-step latency, no stragglers, no
+//! batch-starvation, full compute/comm overlap. Its predictions are
+//! therefore optimistic for large clusters, and a deployment chosen by
+//! minimising them over-scales-out.
+
+use crate::comm::CommModel;
+use crate::compute;
+use crate::models::TrainingJob;
+use crate::throughput::{Infeasible, ThroughputModel};
+use mlcd_cloudsim::{InstanceType, SimDuration};
+
+/// The analytical estimator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaleoEstimator {
+    /// Used only for feasibility checks (memory), which Paleo does model.
+    truth_for_feasibility: ThroughputModel,
+}
+
+impl PaleoEstimator {
+    /// Predicted training speed in samples/second (optimistic at scale).
+    pub fn predicted_throughput(
+        &self,
+        job: &TrainingJob,
+        itype: InstanceType,
+        n: u32,
+    ) -> Result<f64, Infeasible> {
+        self.truth_for_feasibility.feasible(job, itype, n)?;
+        let spec = itype.spec();
+        let per_node_batch = job.global_batch as f64 / n as f64;
+
+        // Compute: plain FLOPs over effective FLOPS. No straggler term and
+        // no batch-efficiency penalty (Paleo assumes perfectly saturated
+        // devices).
+        let gflops_needed = job.model.train_gflops_per_sample() * per_node_batch;
+        let compute_s = gflops_needed / compute::effective_gflops(&job.model, job.platform, spec);
+
+        // Communication: perfectly sharded aggregation (each node moves
+        // only its 1/n shard), fully overlapped with compute (take the max
+        // rather than the sum).
+        let comm_s =
+            CommModel::ideal_sharded_time(job.effective_grad_bytes(), n, spec.network_gbps);
+
+        let iteration_s = compute_s.max(comm_s);
+        Ok(job.global_batch as f64 / iteration_s)
+    }
+
+    /// Predicted time to finish the whole job.
+    pub fn predicted_time(
+        &self,
+        job: &TrainingJob,
+        itype: InstanceType,
+        n: u32,
+    ) -> Result<SimDuration, Infeasible> {
+        let s = self.predicted_throughput(job, itype, n)?;
+        Ok(SimDuration::from_secs(job.total_samples() / s))
+    }
+
+    /// Pick the deployment Paleo believes is fastest among `candidates`.
+    /// Returns `None` when every candidate is infeasible.
+    pub fn pick_fastest(
+        &self,
+        job: &TrainingJob,
+        candidates: &[(InstanceType, u32)],
+    ) -> Option<(InstanceType, u32)> {
+        candidates
+            .iter()
+            .filter_map(|&(t, n)| self.predicted_throughput(job, t, n).ok().map(|s| ((t, n), s)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(d, _)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::TrainingJob;
+    use crate::throughput::ThroughputModel;
+
+    #[test]
+    fn paleo_is_optimistic_and_increasingly_so_at_scale() {
+        let paleo = PaleoEstimator::default();
+        let truth = ThroughputModel::default();
+        let job = TrainingJob::resnet_cifar10();
+        let mut prev_gap = 0.0;
+        for n in [1u32, 5, 15, 30, 50] {
+            let p = paleo.predicted_throughput(&job, InstanceType::C54xlarge, n).unwrap();
+            let t = truth.throughput(&job, InstanceType::C54xlarge, n).unwrap();
+            let gap = p / t;
+            assert!(gap >= 0.99, "Paleo must never be pessimistic: n={n}, gap {gap}");
+            assert!(gap >= prev_gap, "optimism should grow with n: n={n}, {gap} vs {prev_gap}");
+            prev_gap = gap;
+        }
+        // At n=50 the gap must be substantial — this is the paper's point.
+        assert!(prev_gap > 1.5, "Paleo should be >1.5x optimistic at n=50, got {prev_gap}");
+    }
+
+    #[test]
+    fn paleo_overscales_the_deployment() {
+        // The deployment Paleo picks is larger than the true optimum, and
+        // truly slower than the true optimum.
+        let paleo = PaleoEstimator::default();
+        let truth = ThroughputModel::default();
+        let job = TrainingJob::resnet_cifar10();
+        let candidates: Vec<(InstanceType, u32)> =
+            (1..=50).map(|n| (InstanceType::C54xlarge, n)).collect();
+        let (pt, pn) = paleo.pick_fastest(&job, &candidates).unwrap();
+        let (tt, tn) = candidates
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                truth
+                    .throughput(&job, a.0, a.1)
+                    .unwrap()
+                    .total_cmp(&truth.throughput(&job, b.0, b.1).unwrap())
+            })
+            .unwrap();
+        assert_eq!(pt, tt);
+        assert!(pn > tn, "Paleo picked n={pn}, truth optimum n={tn}");
+        let s_paleo_choice = truth.throughput(&job, pt, pn).unwrap();
+        let s_true_best = truth.throughput(&job, tt, tn).unwrap();
+        assert!(s_paleo_choice < s_true_best);
+    }
+
+    #[test]
+    fn agrees_with_truth_on_single_node_compute_bound() {
+        // With no communication and saturated batches, the models coincide
+        // up to the straggler/batch corrections (absent at n=1, b=ref).
+        let paleo = PaleoEstimator::default();
+        let truth = ThroughputModel::default();
+        let mut job = TrainingJob::resnet_cifar10();
+        job.global_batch = 64; // the reference batch: batch_efficiency = 1
+        let p = paleo.predicted_throughput(&job, InstanceType::C54xlarge, 1).unwrap();
+        let t = truth.throughput(&job, InstanceType::C54xlarge, 1).unwrap();
+        assert!((p / t - 1.0).abs() < 0.05, "p={p} t={t}");
+    }
+
+    #[test]
+    fn respects_memory_feasibility() {
+        let paleo = PaleoEstimator::default();
+        let job = TrainingJob {
+            model: crate::models::ModelSpec::zero_20b(),
+            dataset: crate::models::DatasetSpec::bert_corpus(),
+            epochs: 1,
+            global_batch: 2048,
+            platform: crate::platform::Platform::PyTorch,
+            topology: crate::comm::CommTopology::RingAllReduce,
+            grad_keep_frac: 1.0,
+            scaling: crate::models::ScalingMode::Strong,
+        };
+        assert!(paleo.predicted_throughput(&job, InstanceType::P38xlarge, 1).is_err());
+        assert!(paleo.predicted_throughput(&job, InstanceType::P38xlarge, 8).is_ok());
+    }
+}

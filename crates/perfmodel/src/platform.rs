@@ -1,0 +1,95 @@
+//! Training-platform coefficients.
+//!
+//! The paper demonstrates platform independence by running BERT on both
+//! TensorFlow and MXNet (Figs 16–17). The platforms differ in achieved
+//! compute efficiency and synchronisation overhead, not in the shape of the
+//! scaling behaviour — which is exactly how we model them.
+
+use serde::Serialize;
+
+/// Supported ML training platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Platform {
+    /// TensorFlow 1.x-era graph execution.
+    TensorFlow,
+    /// MXNet with kvstore / horovod-style collectives.
+    MxNet,
+    /// PyTorch with DDP.
+    PyTorch,
+}
+
+impl Platform {
+    /// All platforms.
+    pub const ALL: [Platform; 3] = [Platform::TensorFlow, Platform::MxNet, Platform::PyTorch];
+
+    /// Fraction of device peak the platform's kernels sustain, on top of
+    /// the model's own utilisation factor.
+    pub fn compute_efficiency(&self) -> f64 {
+        match self {
+            Platform::TensorFlow => 0.92,
+            Platform::MxNet => 0.82,
+            Platform::PyTorch => 0.90,
+        }
+    }
+
+    /// Multiplier on communication time (collective implementation
+    /// quality).
+    pub fn comm_multiplier(&self) -> f64 {
+        match self {
+            Platform::TensorFlow => 1.00,
+            Platform::MxNet => 1.45,
+            Platform::PyTorch => 1.10,
+        }
+    }
+
+    /// Fraction of communication that can overlap with backprop compute.
+    pub fn overlap_fraction(&self) -> f64 {
+        match self {
+            Platform::TensorFlow => 0.30,
+            Platform::MxNet => 0.25,
+            Platform::PyTorch => 0.40,
+        }
+    }
+
+    /// Human name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::TensorFlow => "TensorFlow",
+            Platform::MxNet => "MXNet",
+            Platform::PyTorch => "PyTorch",
+        }
+    }
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_in_sane_ranges() {
+        for p in Platform::ALL {
+            assert!((0.5..=1.0).contains(&p.compute_efficiency()), "{p}");
+            assert!((1.0..=2.0).contains(&p.comm_multiplier()), "{p}");
+            assert!((0.0..=1.0).contains(&p.overlap_fraction()), "{p}");
+        }
+    }
+
+    #[test]
+    fn mxnet_slower_than_tensorflow() {
+        // Paper Fig 17 (BERT/MXNet) peaks visibly below Fig 16 (BERT/TF).
+        assert!(Platform::MxNet.compute_efficiency() < Platform::TensorFlow.compute_efficiency());
+        assert!(Platform::MxNet.comm_multiplier() > Platform::TensorFlow.comm_multiplier());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Platform::TensorFlow.to_string(), "TensorFlow");
+        assert_eq!(Platform::MxNet.to_string(), "MXNet");
+    }
+}

@@ -1,0 +1,399 @@
+//! The ground-truth throughput model.
+//!
+//! This is what "the cloud" actually delivers when a deployment trains a
+//! job — the function the paper measures on EC2 and that every searcher is
+//! trying to optimise without knowing.
+
+use crate::comm::CommModel;
+use crate::compute;
+use crate::models::TrainingJob;
+use mlcd_cloudsim::{InstanceType, SimDuration};
+use serde::Serialize;
+
+/// Why a deployment cannot run the job at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Infeasible {
+    /// Model + optimizer state does not fit in device/host memory.
+    OutOfMemory,
+    /// More nodes than samples in the global batch (strong scaling would
+    /// give nodes fractional sub-1 batches of zero).
+    BatchTooSmall,
+}
+
+impl std::fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Infeasible::OutOfMemory => write!(f, "model state does not fit in memory"),
+            Infeasible::BatchTooSmall => write!(f, "global batch smaller than cluster"),
+        }
+    }
+}
+
+/// Per-iteration timing decomposition, for figures and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct IterationBreakdown {
+    /// Seconds of (straggler-inflated) compute.
+    pub compute_s: f64,
+    /// Seconds of synchronisation before overlap.
+    pub comm_s: f64,
+    /// Seconds per iteration after overlapping comm under compute.
+    pub iteration_s: f64,
+    /// Samples per iteration (the global batch).
+    pub batch: f64,
+}
+
+impl IterationBreakdown {
+    /// Training speed in samples/second.
+    pub fn throughput(&self) -> f64 {
+        self.batch / self.iteration_s
+    }
+}
+
+/// Ground-truth performance model. One instance of this struct *is* the
+/// simulated cloud's physics; all searchers see it only through noisy
+/// profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Default)]
+pub struct ThroughputModel {
+    /// Communication constants.
+    pub comm: CommModel,
+}
+
+impl ThroughputModel {
+    /// Check memory feasibility of `n` × `itype` for the job.
+    pub fn feasible(&self, job: &TrainingJob, itype: InstanceType, n: u32) -> Result<(), Infeasible> {
+        assert!(n >= 1, "feasible: empty cluster");
+        let spec = itype.spec();
+        if job.scaling == crate::models::ScalingMode::Strong
+            && (job.global_batch as f64) < n as f64
+        {
+            return Err(Infeasible::BatchTooSmall);
+        }
+        // Memory available for model state on one node: GPU device memory
+        // when the GPU path is used, host memory otherwise.
+        let device_is_gpu = spec.has_gpu()
+            && spec.gpu_peak_gflops() * job.model.gpu_util
+                > spec.cpu_peak_gflops * job.model.cpu_util;
+        let per_node_capacity = if device_is_gpu {
+            spec.accelerators
+                .map(|(a, c)| a.memory_gib() * c as f64 * 1e9)
+                .unwrap_or(0.0)
+        } else {
+            spec.memory_gib * 1e9
+        };
+        let needed_per_node = if job.model.sharded {
+            job.model.state_bytes() / n as f64
+        } else {
+            job.model.state_bytes()
+        };
+        if needed_per_node > per_node_capacity {
+            return Err(Infeasible::OutOfMemory);
+        }
+        Ok(())
+    }
+
+    /// Full per-iteration breakdown for deployment `n` × `itype`.
+    pub fn breakdown(
+        &self,
+        job: &TrainingJob,
+        itype: InstanceType,
+        n: u32,
+    ) -> Result<IterationBreakdown, Infeasible> {
+        self.feasible(job, itype, n)?;
+        let spec = itype.spec();
+        let (per_node_batch, iteration_batch) = match job.scaling {
+            crate::models::ScalingMode::Strong => {
+                (job.global_batch as f64 / n as f64, job.global_batch as f64)
+            }
+            crate::models::ScalingMode::Weak => {
+                (job.global_batch as f64, job.global_batch as f64 * n as f64)
+            }
+        };
+
+        let raw_compute = compute::compute_time(&job.model, job.platform, spec, per_node_batch);
+        let compute_s = raw_compute * compute::straggler_factor(n);
+
+        let comm_s = self
+            .comm
+            .sync_time(job.topology, job.effective_grad_bytes(), n, spec.network_gbps)
+            * job.platform.comm_multiplier();
+
+        // A platform-dependent fraction of compute can hide communication.
+        let hidden = job.platform.overlap_fraction() * compute_s;
+        let iteration_s = compute_s + (comm_s - hidden).max(0.0);
+
+        Ok(IterationBreakdown { compute_s, comm_s, iteration_s, batch: iteration_batch })
+    }
+
+    /// True training speed in samples/second.
+    pub fn throughput(&self, job: &TrainingJob, itype: InstanceType, n: u32) -> Result<f64, Infeasible> {
+        Ok(self.breakdown(job, itype, n)?.throughput())
+    }
+
+    /// True time to train the whole job on this deployment.
+    pub fn training_time(
+        &self,
+        job: &TrainingJob,
+        itype: InstanceType,
+        n: u32,
+    ) -> Result<SimDuration, Infeasible> {
+        let speed = self.throughput(job, itype, n)?;
+        Ok(SimDuration::from_secs(job.total_samples() / speed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{ModelSpec, TrainingJob};
+
+    fn model() -> ThroughputModel {
+        ThroughputModel::default()
+    }
+
+    /// Peak-finding helper over scale-out for one type.
+    fn best_n(job: &TrainingJob, itype: InstanceType, max_n: u32) -> (u32, f64) {
+        let m = model();
+        (1..=max_n)
+            .filter_map(|n| m.throughput(job, itype, n).ok().map(|s| (n, s)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+    }
+
+    #[test]
+    fn scale_out_speedup_is_concave_with_interior_peak() {
+        // The paper's central prior (Fig 3b): speed rises then falls.
+        let job = TrainingJob::resnet_cifar10();
+        let m = model();
+        let speeds: Vec<f64> = (1..=50)
+            .map(|n| m.throughput(&job, InstanceType::C54xlarge, n).unwrap())
+            .collect();
+        let peak = speeds
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0
+            + 1;
+        assert!(
+            (5..=45).contains(&peak),
+            "peak should be interior, got n={peak}; speeds head {:?}",
+            &speeds[..8]
+        );
+        // Declining tail after the peak.
+        assert!(
+            speeds[49] < speeds[peak - 1] * 0.98,
+            "speed at n=50 ({}) should be below the peak ({})",
+            speeds[49],
+            speeds[peak - 1]
+        );
+        // Rising head before the peak.
+        assert!(speeds[0] < speeds[peak - 1]);
+    }
+
+    #[test]
+    fn char_rnn_equal_cost_comparison_matches_fig1b() {
+        // Paper Fig 1b: at ~equal hourly cost, 10 × c5.4xlarge beats both
+        // 40 × c5.xlarge and 9 × p2.xlarge, the best being ~3× the worst.
+        let job = TrainingJob::char_rnn();
+        let m = model();
+        let forty_small = m.throughput(&job, InstanceType::C5Xlarge, 40).unwrap();
+        let ten_mid = m.throughput(&job, InstanceType::C54xlarge, 10).unwrap();
+        let nine_gpu = m.throughput(&job, InstanceType::P2Xlarge, 9).unwrap();
+        assert!(
+            ten_mid > forty_small && ten_mid > nine_gpu,
+            "10×c5.4xlarge ({ten_mid:.0}) must beat 40×c5.xlarge ({forty_small:.0}) and 9×p2.xlarge ({nine_gpu:.0})"
+        );
+        let ratio = ten_mid / forty_small.min(nine_gpu);
+        assert!(
+            (1.5..=6.0).contains(&ratio),
+            "best/worst ratio should be paper-like (~3x), got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn bert_prefers_gpu_and_bandwidth() {
+        let job = TrainingJob::bert_tensorflow();
+        let (_, best_p2) = best_n(&job, InstanceType::P2Xlarge, 20);
+        let (_, best_c5n) = best_n(&job, InstanceType::C5nXlarge, 20);
+        assert!(best_p2 > best_c5n, "BERT: p2 {best_p2:.1} must beat c5n.xlarge {best_c5n:.1}");
+        // And among CPU options, the bandwidth-rich c5n.4xlarge beats
+        // c5n.xlarge (same family, more network and compute).
+        let (_, best_c5n4) = best_n(&job, InstanceType::C5n4xlarge, 20);
+        assert!(best_c5n4 > best_c5n);
+    }
+
+    #[test]
+    fn ring_scales_further_than_ps_for_large_gradients() {
+        // Same job, both topologies, GPU nodes: ring's peak node count
+        // should be at least PS's.
+        let mut ps_job = TrainingJob::bert_tensorflow();
+        ps_job.topology = crate::comm::CommTopology::ParameterServer;
+        let ring_job = TrainingJob::bert_tensorflow();
+        let (n_ps, s_ps) = best_n(&ps_job, InstanceType::P2Xlarge, 20);
+        let (n_ring, s_ring) = best_n(&ring_job, InstanceType::P2Xlarge, 20);
+        assert!(n_ring >= n_ps, "ring peak {n_ring} < ps peak {n_ps}");
+        assert!(s_ring >= s_ps, "ring speed {s_ring} < ps speed {s_ps}");
+    }
+
+    #[test]
+    fn memory_infeasibility() {
+        // ZeRO-20B: 320 GB of state. Does not fit one p3.8xlarge
+        // (4 × 16 GB), but shards across ≥ 5 of them.
+        let job = TrainingJob {
+            model: ModelSpec::zero_20b(),
+            dataset: crate::models::DatasetSpec::bert_corpus(),
+            epochs: 1,
+            global_batch: 2048,
+            platform: crate::platform::Platform::PyTorch,
+            topology: crate::comm::CommTopology::RingAllReduce,
+            grad_keep_frac: 1.0,
+            scaling: crate::models::ScalingMode::Strong,
+        };
+        let m = model();
+        assert_eq!(m.feasible(&job, InstanceType::P38xlarge, 1), Err(Infeasible::OutOfMemory));
+        assert_eq!(m.feasible(&job, InstanceType::P38xlarge, 5), Ok(()));
+        // Non-sharded BERT fits everywhere GPU-wise.
+        let bert = TrainingJob::bert_tensorflow();
+        assert_eq!(m.feasible(&bert, InstanceType::P2Xlarge, 1), Ok(()));
+    }
+
+    #[test]
+    fn batch_too_small_rejected() {
+        let mut job = TrainingJob::resnet_cifar10();
+        job.global_batch = 16;
+        let m = model();
+        assert_eq!(m.feasible(&job, InstanceType::C5Xlarge, 17), Err(Infeasible::BatchTooSmall));
+        assert!(m.feasible(&job, InstanceType::C5Xlarge, 16).is_ok());
+    }
+
+    #[test]
+    fn training_time_consistent_with_throughput() {
+        let job = TrainingJob::resnet_cifar10();
+        let m = model();
+        let s = m.throughput(&job, InstanceType::C54xlarge, 10).unwrap();
+        let t = m.training_time(&job, InstanceType::C54xlarge, 10).unwrap();
+        assert!((t.as_secs() * s - job.total_samples()).abs() < 1.0);
+    }
+
+    #[test]
+    fn resnet_training_times_in_papers_range() {
+        // The paper's Scenario-2 uses a 6-hour deadline for ResNet/CIFAR-10
+        // and the optimum comes in under it; sanity-check our scale.
+        let job = TrainingJob::resnet_cifar10();
+        let m = model();
+        let best = (1..=50)
+            .map(|n| m.training_time(&job, InstanceType::C54xlarge, n).unwrap().as_hours())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (1.0..6.0).contains(&best),
+            "optimal ResNet training should be a few hours, got {best:.2} h"
+        );
+    }
+
+    #[test]
+    fn breakdown_components_add_up() {
+        let job = TrainingJob::char_rnn();
+        let m = model();
+        let b = m.breakdown(&job, InstanceType::C54xlarge, 10).unwrap();
+        assert!(b.compute_s > 0.0 && b.comm_s > 0.0);
+        assert!(b.iteration_s >= b.compute_s);
+        assert!(b.iteration_s <= b.compute_s + b.comm_s + 1e-12);
+        assert!((b.throughput() - b.batch / b.iteration_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_compression_rescues_comm_bound_vgg() {
+        // VGG-16 drags 552 MB of fp32 gradients per step: on fast V100
+        // nodes with 2.5 Gbps links it is communication-bound; DGC-style
+        // 100× sparsification makes the same deployment compute-bound and
+        // much faster.
+        use crate::models::{DatasetSpec, ModelSpec};
+        let base = TrainingJob {
+            model: ModelSpec::vgg16(),
+            dataset: DatasetSpec::imagenet(),
+            epochs: 10,
+            global_batch: 256,
+            platform: crate::platform::Platform::TensorFlow,
+            topology: crate::comm::CommTopology::ParameterServer,
+            grad_keep_frac: 1.0,
+            scaling: crate::models::ScalingMode::Strong,
+        };
+        let compressed = base.clone().with_compression(0.01);
+        let m = model();
+        let b_plain = m.breakdown(&base, InstanceType::P32xlarge, 8).unwrap();
+        let b_comp = m.breakdown(&compressed, InstanceType::P32xlarge, 8).unwrap();
+        assert!(
+            b_plain.comm_s > b_plain.compute_s,
+            "plain VGG should be comm-bound: comm {} vs compute {}",
+            b_plain.comm_s,
+            b_plain.compute_s
+        );
+        assert!(b_comp.comm_s < b_plain.comm_s * 0.05);
+        assert!(b_comp.throughput() > b_plain.throughput() * 1.5);
+        // Compute is untouched by compression.
+        assert!((b_comp.compute_s - b_plain.compute_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weak_scaling_keeps_per_node_compute_flat() {
+        let strong = TrainingJob::resnet_cifar10();
+        let weak = TrainingJob::resnet_cifar10().weak_scaled();
+        let m = model();
+        let b_strong_1 = m.breakdown(&strong, InstanceType::C54xlarge, 1).unwrap();
+        let b_weak_1 = m.breakdown(&weak, InstanceType::C54xlarge, 1).unwrap();
+        let b_weak_16 = m.breakdown(&weak, InstanceType::C54xlarge, 16).unwrap();
+        // n=1: identical by construction.
+        assert!((b_strong_1.iteration_s - b_weak_1.iteration_s).abs() < 1e-12);
+        // Weak scaling: compute per iteration stays ~flat (up to the
+        // straggler factor) while the batch grows 16x.
+        let straggle = crate::compute::straggler_factor(16);
+        assert!(
+            (b_weak_16.compute_s / b_weak_1.compute_s - straggle).abs() < 1e-9,
+            "weak compute grew: {} vs {}",
+            b_weak_16.compute_s,
+            b_weak_1.compute_s
+        );
+        assert_eq!(b_weak_16.batch, b_weak_1.batch * 16.0);
+        // Throughput scales much closer to linearly than under strong
+        // scaling (no per-node batch starvation).
+        let s_weak = b_weak_16.throughput() / b_weak_1.throughput();
+        assert!(s_weak > 8.0, "weak speedup at 16 nodes only {s_weak:.1}x");
+    }
+
+    #[test]
+    fn weak_scaling_has_no_batch_too_small() {
+        let mut weak = TrainingJob::resnet_cifar10().weak_scaled();
+        weak.global_batch = 16; // per-node now
+        let m = model();
+        assert!(m.feasible(&weak, InstanceType::C5Xlarge, 50).is_ok());
+    }
+
+    #[test]
+    fn hierarchical_topology_usable_end_to_end() {
+        let mut job = TrainingJob::bert_tensorflow();
+        job.topology = crate::comm::CommTopology::HierarchicalAllReduce { group: 4 };
+        let m = model();
+        let s = m.throughput(&job, InstanceType::P2Xlarge, 16).unwrap();
+        assert!(s.is_finite() && s > 0.0);
+    }
+
+    #[test]
+    fn single_node_has_no_comm() {
+        let job = TrainingJob::resnet_cifar10();
+        let b = model().breakdown(&job, InstanceType::C54xlarge, 1).unwrap();
+        assert_eq!(b.comm_s, 0.0);
+        assert_eq!(b.iteration_s, b.compute_s);
+    }
+
+    #[test]
+    fn scale_up_within_family_helps_single_node() {
+        // Fig 3a: scale-up improves single-node speed monotonically for a
+        // compute-bound job.
+        let job = TrainingJob::char_rnn();
+        let m = model();
+        let small = m.throughput(&job, InstanceType::C5Xlarge, 1).unwrap();
+        let mid = m.throughput(&job, InstanceType::C52xlarge, 1).unwrap();
+        let big = m.throughput(&job, InstanceType::C54xlarge, 1).unwrap();
+        assert!(small < mid && mid < big);
+    }
+}

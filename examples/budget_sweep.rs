@@ -1,0 +1,44 @@
+//! Scenario-3 sensitivity: how the chosen deployment shifts as the budget
+//! grows (a miniature of the paper's Fig 18 sweep).
+//!
+//! ```text
+//! cargo run --example budget_sweep --release
+//! ```
+//!
+//! With $60 HeterBO must settle for a small cheap cluster; with $220 it can
+//! afford to both explore more and commit to a bigger, faster deployment —
+//! while never violating the cap.
+
+use mlcd::prelude::*;
+
+fn main() {
+    let job = TrainingJob::resnet_cifar10();
+    let types = vec![
+        InstanceType::C5Xlarge,
+        InstanceType::C54xlarge,
+        InstanceType::C5n4xlarge,
+        InstanceType::P2Xlarge,
+    ];
+
+    println!("{:>8} | {:>16} | {:>9} | {:>9} | {:>9} | ok", "budget", "pick", "train(h)", "total($)", "total(h)");
+    for budget in [60.0, 100.0, 140.0, 180.0, 220.0] {
+        let scenario = Scenario::FastestWithBudget(Money::from_dollars(budget));
+        let runner = ExperimentRunner::new(11).with_types(types.clone());
+        let outcome = runner.run(&HeterBo::seeded(11), &job, &scenario);
+        println!(
+            "{:>8} | {:>16} | {:>9.2} | {:>9.2} | {:>9.2} | {}",
+            format!("${budget:.0}"),
+            outcome.plan.map(|p| p.deployment.to_string()).unwrap_or_else(|| "-".into()),
+            outcome.train_time.as_hours(),
+            outcome.total_cost.dollars(),
+            outcome.total_hours(),
+            if outcome.satisfied { "yes" } else { "NO" }
+        );
+        assert!(
+            outcome.satisfied || outcome.plan.is_none(),
+            "HeterBO must never knowingly blow the budget"
+        );
+    }
+
+    println!("\nBigger budgets buy faster deployments; the cap is never violated.");
+}

@@ -1,0 +1,70 @@
+//! Extension walkthrough: calibrating the performance model against
+//! measurements.
+//!
+//! ```text
+//! cargo run --example calibrate_simulator --release
+//! ```
+//!
+//! The simulator's communication constants are calibration values. If your
+//! cloud behaves differently — a chattier parameter server, a slower ring —
+//! measure a handful of deployments and fit the constants, then run all
+//! the what-if analysis (optima, budget sweeps) on the fitted model.
+
+use mlcd::prelude::*;
+use mlcd_perfmodel::{CalibrationSample, Calibrator, CommModel};
+
+fn main() {
+    let job = TrainingJob::resnet_cifar10();
+
+    // Pretend this is your cloud: its PS incast is 2.3× our default.
+    let your_cloud = ThroughputModel {
+        comm: CommModel { ps_incast_per_peer: 35e-3, ring_step_latency: 2.0e-3 },
+    };
+
+    // "Measure" a grid of deployments on it (in reality: run the MLCD
+    // Profiler against your real cluster; see tests/calibration_pipeline.rs
+    // for that exact flow).
+    let mut samples = Vec::new();
+    for t in [InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge] {
+        for n in [1u32, 4, 8, 16, 32] {
+            if let Ok(speed) = your_cloud.throughput(&job, t, n) {
+                samples.push(CalibrationSample { itype: t, n, speed });
+            }
+        }
+    }
+    println!("measured {} deployments of {}", samples.len(), job.model.name);
+
+    let fitted = Calibrator::new(job.clone()).fit(&samples).expect("fit succeeds");
+    println!(
+        "fitted comm constants : incast {:.1} ms/peer (true 35.0), ring {:.2} ms/step (true 2.00)",
+        fitted.model.comm.ps_incast_per_peer * 1e3,
+        fitted.model.comm.ring_step_latency * 1e3,
+    );
+    println!("fit quality           : {:.1}% relative RMSE", fitted.rel_rmse * 100.0);
+
+    // Now ask deployment questions on the *fitted* model.
+    let runner = ExperimentRunner::new(1)
+        .with_types(vec![InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge])
+        .with_truth(fitted.model);
+    let opt = runner
+        .optimum(&job, &Scenario::FastestWithBudget(Money::from_dollars(100.0)))
+        .expect("a feasible optimum");
+    println!(
+        "\non your cloud, the $100-budget optimum is {} ({:.2} h training, {})",
+        opt.deployment,
+        opt.train_time.as_hours(),
+        opt.train_cost
+    );
+
+    // Sanity: the default (uncalibrated) model would have mispredicted.
+    let default_pred = ThroughputModel::default()
+        .throughput(&job, opt.deployment.itype, opt.deployment.n)
+        .unwrap();
+    let true_speed = your_cloud.throughput(&job, opt.deployment.itype, opt.deployment.n).unwrap();
+    let fitted_pred =
+        fitted.model.throughput(&job, opt.deployment.itype, opt.deployment.n).unwrap();
+    println!(
+        "at that deployment: true {true_speed:.0} samples/s | fitted model {fitted_pred:.0} | uncalibrated {default_pred:.0}"
+    );
+    assert!((fitted_pred / true_speed - 1.0).abs() < (default_pred / true_speed - 1.0).abs());
+}

@@ -1,0 +1,76 @@
+//! Head-to-head: every searcher in the crate on the same job and budget —
+//! HeterBO, ConvBO, CherryPick, their budget-aware variants, random,
+//! (strided) exhaustive, and the Paleo analytical baseline, against the
+//! oracle optimum.
+//!
+//! ```text
+//! cargo run --example compare_searchers --release
+//! ```
+
+use mlcd::prelude::*;
+use mlcd::search::{CherryPick, ConvBo};
+
+fn main() {
+    let job = TrainingJob::char_rnn();
+    let budget = Money::from_dollars(120.0);
+    let scenario = Scenario::FastestWithBudget(budget);
+    let types = vec![
+        InstanceType::C5Xlarge,
+        InstanceType::C54xlarge,
+        InstanceType::C5n4xlarge,
+        InstanceType::P2Xlarge,
+        InstanceType::P32xlarge,
+    ];
+    let seed = 3;
+    println!("job: {} | requirement: {scenario}\n", job.model.name);
+    println!(
+        "{:<11} {:>16} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9} | ok",
+        "searcher", "pick", "prof(h)", "prof($)", "train(h)", "train($)", "total(h)", "total($)"
+    );
+
+    let runner = ExperimentRunner::new(seed).with_types(types.clone());
+    let searchers: Vec<Box<dyn Searcher>> = vec![
+        Box::new(HeterBo::seeded(seed)),
+        Box::new(ConvBo::seeded(seed)),
+        Box::new(ConvBo::budget_aware(seed)),
+        Box::new(CherryPick::seeded(seed)),
+        Box::new(CherryPick::budget_aware(seed, None)),
+        Box::new(RandomSearch::new(9, seed)),
+        Box::new(ExhaustiveSearch::strided(10)),
+    ];
+    for s in &searchers {
+        let o = runner.run(s.as_ref(), &job, &scenario);
+        print_row(&o);
+    }
+    // Paleo needs no profiling environment at all.
+    print_row(&runner.run_paleo(&job, &scenario));
+
+    if let Some(opt) = runner.optimum(&job, &scenario) {
+        println!(
+            "{:<11} {:>16} | {:>8} {:>9} | {:>8.2} {:>9.2} | {:>8.2} {:>9.2} | yes",
+            "Opt",
+            opt.deployment.to_string(),
+            "-",
+            "-",
+            opt.train_time.as_hours(),
+            opt.train_cost.dollars(),
+            opt.train_time.as_hours(),
+            opt.train_cost.dollars()
+        );
+    }
+}
+
+fn print_row(o: &ExperimentOutcome) {
+    println!(
+        "{:<11} {:>16} | {:>8.2} {:>9.2} | {:>8.2} {:>9.2} | {:>8.2} {:>9.2} | {}",
+        o.searcher,
+        o.plan.map(|p| p.deployment.to_string()).unwrap_or_else(|| "-".into()),
+        o.search.profile_time.as_hours(),
+        o.search.profile_cost.dollars(),
+        o.train_time.as_hours(),
+        o.train_cost.dollars(),
+        o.total_hours(),
+        o.total_cost.dollars(),
+        if o.satisfied { "yes" } else { "NO" }
+    );
+}

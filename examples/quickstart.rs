@@ -1,0 +1,71 @@
+//! Quickstart: "I have $100 and a ResNet to train on CIFAR-10 — find me
+//! the best cloud deployment, fast."
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! This walks the whole MLCD pipeline exactly as a user would drive it:
+//! describe the job, state the requirement, let HeterBO profile a handful
+//! of deployments, then train on the winner and read the bill.
+
+use mlcd::prelude::*;
+
+fn main() {
+    // 1. The training job: model, dataset, platform, sync topology.
+    //    (Several presets exist; building a custom `TrainingJob` is just a
+    //    struct literal — see mlcd_perfmodel::TrainingJob.)
+    let job = TrainingJob::resnet_cifar10();
+    println!(
+        "job: {} on {} ({} epochs, global batch {}, {} via {})",
+        job.model.name, job.dataset.name, job.epochs, job.global_batch, job.platform, job.topology
+    );
+
+    // 2. The user requirement → scenario, via the Scenario Analyzer.
+    let analyzer = ScenarioAnalyzer;
+    let scenario = analyzer
+        .analyze(&mlcd::system::UserRequirements {
+            deadline: None,
+            budget: Some(Money::from_dollars(100.0)),
+        })
+        .expect("a single budget constraint is well-formed");
+    println!("requirement: {scenario}");
+
+    // 3. Run the experiment: HeterBO profiles deployments against the
+    //    simulated EC2 substrate, then the chosen deployment trains for
+    //    real (in virtual time).
+    let runner = ExperimentRunner::new(42);
+    let outcome = runner.run(&HeterBo::default(), &job, &scenario);
+
+    // 4. What happened.
+    println!("\nsearch trace:");
+    for step in &outcome.search.steps {
+        println!(
+            "  probe {:>2}: {:>16} → {:>6.0} samples/s  ({}, {:.0} min)",
+            step.index,
+            step.observation.deployment.to_string(),
+            step.observation.speed,
+            step.observation.profile_cost,
+            step.observation.profile_time.as_mins(),
+        );
+    }
+    let plan = outcome.plan.expect("HeterBO found a deployment");
+    println!("\nchosen deployment : {}", plan.deployment);
+    println!("profiling         : {:.2} h, {}", outcome.search.profile_time.as_hours(), outcome.search.profile_cost);
+    println!("training          : {:.2} h, {}", outcome.train_time.as_hours(), outcome.train_cost);
+    println!("total             : {:.2} h, {}", outcome.total_hours(), outcome.total_cost);
+    println!("within budget     : {}", if outcome.satisfied { "yes" } else { "NO" });
+
+    // 5. How good was it? Compare against the ground-truth optimum an
+    //    oracle would have picked for free.
+    if let Some(opt) = runner.optimum(&job, &scenario) {
+        println!(
+            "\noracle optimum    : {} ({:.2} h training, {})",
+            opt.deployment,
+            opt.train_time.as_hours(),
+            opt.train_cost
+        );
+    }
+
+    assert!(outcome.satisfied, "the quickstart should come in under budget");
+}

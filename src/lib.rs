@@ -1,0 +1,17 @@
+//! Workspace facade for the MLCD / HeterBO reproduction.
+//!
+//! Re-exports the public API of every crate in the workspace so examples
+//! and integration tests can use a single import root. See the individual
+//! crates for the real documentation:
+//!
+//! * [`mlcd`] — HeterBO search + the MLCD deployment system (the paper).
+//! * [`mlcd_gp`] — Gaussian-process regression.
+//! * [`mlcd_cloudsim`] — the EC2-style cloud substrate simulator.
+//! * [`mlcd_perfmodel`] — the distributed-training performance substrate.
+//! * [`mlcd_linalg`] — numerical primitives.
+
+pub use mlcd;
+pub use mlcd_cloudsim as cloudsim;
+pub use mlcd_gp as gp;
+pub use mlcd_linalg as linalg;
+pub use mlcd_perfmodel as perfmodel;

@@ -1,0 +1,83 @@
+//! Integration: calibrate the performance model from real Profiler
+//! observations, then verify the fitted model explains the cloud's
+//! behaviour — the workflow a user follows to point MLCD at their own
+//! infrastructure.
+
+use mlcd::deployment::{Deployment, SearchSpace};
+use mlcd::env::ProfilingEnv;
+use mlcd::prelude::*;
+use mlcd::system::{Profiler, ProfilerConfig, SimMlPlatform};
+use mlcd_cloudsim::SimCloud;
+use mlcd_perfmodel::{CalibrationSample, Calibrator, CommModel, NoiseModel};
+
+/// A "foreign cloud" whose comm constants differ from our defaults.
+fn foreign_truth() -> ThroughputModel {
+    ThroughputModel {
+        comm: CommModel { ps_incast_per_peer: 35e-3, ring_step_latency: 2.5e-3 },
+    }
+}
+
+#[test]
+fn calibrate_from_profiler_observations() {
+    let job = TrainingJob::resnet_cifar10();
+    let truth = foreign_truth();
+    let types = [InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge];
+    let space = SearchSpace::new(&types, 50, &job, &truth);
+
+    // Measure a grid through the actual Profiler (with realistic noise).
+    let cloud = SimCloud::new(51);
+    let platform = SimMlPlatform::new(job.clone(), truth, NoiseModel::default(), 52);
+    let mut profiler = Profiler::new(cloud, platform, space, ProfilerConfig::default());
+    let mut samples = Vec::new();
+    for t in types {
+        for n in [1u32, 4, 8, 16, 32] {
+            let obs = profiler.profile(&Deployment::new(t, n)).expect("probe runs");
+            samples.push(CalibrationSample { itype: t, n, speed: obs.speed });
+        }
+    }
+
+    // Fit and check the fit explains the measurements.
+    let fitted = Calibrator::new(job.clone()).fit(&samples).expect("calibration succeeds");
+    assert!(fitted.rel_rmse < 0.10, "poor fit: rel RMSE {}", fitted.rel_rmse);
+
+    // The fitted constants should be far closer to the foreign cloud's
+    // than the library defaults are.
+    let got = fitted.model.comm.ps_incast_per_peer;
+    let want = truth.comm.ps_incast_per_peer;
+    let default = CommModel::default().ps_incast_per_peer;
+    assert!(
+        (got / want).ln().abs() < (default / want).ln().abs(),
+        "fit {got} is no closer to {want} than the default {default}"
+    );
+
+    // Held-out prediction: a point the calibration never saw.
+    let held_speed = truth.throughput(&job, InstanceType::C54xlarge, 24).unwrap();
+    let pred = fitted.model.throughput(&job, InstanceType::C54xlarge, 24).unwrap();
+    assert!(
+        (pred / held_speed - 1.0).abs() < 0.10,
+        "held-out: predicted {pred:.1} vs true {held_speed:.1}"
+    );
+}
+
+#[test]
+fn searching_on_a_calibrated_world_stays_compliant() {
+    // End-to-end what-if: the world runs foreign physics; the runner is
+    // told so; HeterBO's guarantees must hold there too.
+    let job = TrainingJob::resnet_cifar10();
+    let truth = foreign_truth();
+    let budget = Money::from_dollars(120.0);
+    let runner = ExperimentRunner::new(9)
+        .with_types(vec![
+            InstanceType::C5Xlarge,
+            InstanceType::C54xlarge,
+            InstanceType::C5n4xlarge,
+        ])
+        .with_truth(truth);
+    let out = runner.run(&HeterBo::seeded(9), &job, &Scenario::FastestWithBudget(budget));
+    assert!(out.plan.is_some());
+    assert!(
+        out.total_cost.dollars() <= budget.dollars() * 1.01,
+        "blew the budget on the foreign cloud: {}",
+        out.total_cost
+    );
+}

@@ -1,0 +1,231 @@
+//! End-to-end integration tests: the full MLCD pipeline (scenario analysis
+//! → search → profiling against the simulated cloud → deployment) across
+//! crates, scenarios and searchers.
+
+use mlcd::prelude::*;
+use mlcd::search::{CherryPick, ConvBo};
+use mlcd_perfmodel::NoiseModel;
+
+fn standard_types() -> Vec<InstanceType> {
+    vec![
+        InstanceType::C5Xlarge,
+        InstanceType::C54xlarge,
+        InstanceType::C5n4xlarge,
+        InstanceType::P2Xlarge,
+    ]
+}
+
+#[test]
+fn every_searcher_completes_every_scenario() {
+    let job = TrainingJob::resnet_cifar10();
+    let scenarios = [
+        Scenario::FastestUnlimited,
+        Scenario::CheapestWithDeadline(SimDuration::from_hours(12.0)),
+        Scenario::FastestWithBudget(Money::from_dollars(150.0)),
+    ];
+    let searchers: Vec<Box<dyn Searcher>> = vec![
+        Box::new(HeterBo::seeded(1)),
+        Box::new(ConvBo::seeded(1)),
+        Box::new(CherryPick::seeded(1)),
+        Box::new(RandomSearch::new(6, 1)),
+        Box::new(ExhaustiveSearch::strided(25)),
+    ];
+    let runner = ExperimentRunner::new(1).with_types(standard_types());
+    for scenario in &scenarios {
+        for s in &searchers {
+            let out = runner.run(s.as_ref(), &job, scenario);
+            assert!(
+                out.plan.is_some(),
+                "{} found nothing under {scenario}",
+                s.name()
+            );
+            assert!(out.search.n_probes() >= 1);
+            assert!(out.total_cost.dollars() > 0.0);
+            // Breakdown must add up exactly.
+            assert!(
+                (out.total_cost.dollars()
+                    - out.search.profile_cost.dollars()
+                    - out.train_cost.dollars())
+                .abs()
+                    < 1e-9
+            );
+        }
+    }
+}
+
+#[test]
+fn heterbo_budget_guarantee_across_seeds() {
+    // The paper's core guarantee: HeterBO never busts the budget. Exercise
+    // it across seeds with realistic observation noise.
+    let job = TrainingJob::resnet_cifar10();
+    let budget = Money::from_dollars(120.0);
+    let scenario = Scenario::FastestWithBudget(budget);
+    for seed in 0..8 {
+        let runner = ExperimentRunner::new(seed).with_types(standard_types());
+        let out = runner.run(&HeterBo::seeded(seed), &job, &scenario);
+        assert!(
+            out.total_cost.dollars() <= budget.dollars() * 1.01,
+            "seed {seed}: HeterBO spent {} of {budget}",
+            out.total_cost
+        );
+    }
+}
+
+#[test]
+fn heterbo_deadline_guarantee_across_seeds() {
+    let job = TrainingJob::resnet_cifar10();
+    // A deadline with the paper-like ~60-75% opt-to-deadline tightness.
+    let deadline = SimDuration::from_hours(8.0);
+    let scenario = Scenario::CheapestWithDeadline(deadline);
+    for seed in 0..8 {
+        let runner = ExperimentRunner::new(seed).with_types(standard_types());
+        let out = runner.run(&HeterBo::seeded(seed), &job, &scenario);
+        assert!(
+            out.total_time.as_hours() <= deadline.as_hours() * 1.01,
+            "seed {seed}: HeterBO took {:.2} h of {:.1} h",
+            out.total_time.as_hours(),
+            deadline.as_hours()
+        );
+    }
+}
+
+#[test]
+fn searches_fully_deterministic_per_seed() {
+    let job = TrainingJob::char_rnn();
+    let scenario = Scenario::FastestWithBudget(Money::from_dollars(100.0));
+    let run = || {
+        let runner = ExperimentRunner::new(5).with_types(standard_types());
+        let out = runner.run(&HeterBo::seeded(5), &job, &scenario);
+        (
+            out.plan.map(|p| p.deployment),
+            out.search.n_probes(),
+            out.total_cost.dollars().to_bits(),
+            out.total_time.as_secs().to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn noiseless_profiling_recovers_ground_truth_speeds() {
+    let job = TrainingJob::resnet_cifar10();
+    let truth = ThroughputModel::default();
+    let runner = ExperimentRunner::new(9)
+        .with_types(standard_types())
+        .with_noise(NoiseModel::noiseless());
+    let out = runner.run(&HeterBo::seeded(9), &job, &Scenario::FastestUnlimited);
+    for step in &out.search.steps {
+        let o = step.observation;
+        let expect = truth.throughput(&job, o.deployment.itype, o.deployment.n).unwrap();
+        assert!(
+            (o.speed - expect).abs() < 1e-9,
+            "noiseless observation at {} should be exact",
+            o.deployment
+        );
+    }
+}
+
+#[test]
+fn heterbo_beats_convbo_on_cost_in_expectation() {
+    // Headline direction over a handful of seeds on the real pipeline.
+    let job = TrainingJob::resnet_cifar10();
+    let scenario = Scenario::FastestWithBudget(Money::from_dollars(150.0));
+    let (mut h_total, mut c_total) = (0.0, 0.0);
+    for seed in 0..4 {
+        let runner = ExperimentRunner::new(seed).with_types(standard_types());
+        h_total += runner.run(&HeterBo::seeded(seed), &job, &scenario).total_cost.dollars();
+        c_total += runner.run(&ConvBo::seeded(seed), &job, &scenario).total_cost.dollars();
+    }
+    assert!(
+        h_total < c_total,
+        "HeterBO mean total ${:.2} should undercut ConvBO's ${:.2}",
+        h_total / 4.0,
+        c_total / 4.0
+    );
+}
+
+#[test]
+fn engine_plan_and_execute_round_trip() {
+    use mlcd::system::{DeploymentEngine, Profiler, ProfilerConfig, SimMlPlatform};
+    use mlcd::deployment::SearchSpace;
+    use mlcd_cloudsim::SimCloud;
+
+    let job = TrainingJob::char_rnn();
+    let truth = ThroughputModel::default();
+    let space = SearchSpace::new(&standard_types(), 30, &job, &truth);
+    let cloud = SimCloud::new(33);
+    let platform = SimMlPlatform::new(job, truth, NoiseModel::default(), 34);
+    let mut profiler = Profiler::new(cloud, platform, space, ProfilerConfig::default());
+
+    let engine = DeploymentEngine::new(HeterBo::seeded(33));
+    let (outcome, plan) =
+        engine.plan(&mut profiler, &Scenario::FastestWithBudget(Money::from_dollars(150.0)));
+    let plan = plan.expect("found a plan");
+    assert!(outcome.n_probes() >= 4, "should at least sweep the types");
+
+    let (cloud, platform) = profiler.into_parts();
+    let report = engine.execute(&cloud, &platform, &plan).unwrap();
+    assert_eq!(report.deployment, plan.deployment);
+    // The bill covers both phases and is internally consistent.
+    let total_billed = cloud.billing().total_cost();
+    assert!(
+        total_billed.dollars() >= outcome.profile_cost.dollars() + report.train_cost.dollars() - 1e-6
+    );
+}
+
+#[test]
+fn parallel_init_sweep_saves_wall_clock() {
+    // Against the real simulated cloud (which supports concurrent
+    // clusters), running the type sweep as a batch cuts profiling
+    // wall-clock without changing the money math's integrity.
+    let job = TrainingJob::resnet_cifar10();
+    let scenario = Scenario::FastestUnlimited;
+    let seq = ExperimentRunner::new(3)
+        .with_types(standard_types())
+        .run(&HeterBo::seeded(3), &job, &scenario);
+    let par = ExperimentRunner::new(3)
+        .with_types(standard_types())
+        .run(&HeterBo::with_parallel_init(3), &job, &scenario);
+    // The sweep (4 probes ≈ 40+ min sequential) collapses to ~the slowest
+    // probe; total profiling wall-clock must drop measurably.
+    assert!(
+        par.search.profile_time.as_secs() < seq.search.profile_time.as_secs() - 15.0 * 60.0,
+        "parallel {:.2} h vs sequential {:.2} h",
+        par.search.profile_time.as_hours(),
+        seq.search.profile_time.as_hours()
+    );
+    // And the accounting still decomposes exactly.
+    assert!(
+        (par.total_cost.dollars()
+            - par.search.profile_cost.dollars()
+            - par.train_cost.dollars())
+        .abs()
+            < 1e-9
+    );
+}
+
+#[test]
+fn profiling_spend_matches_cloud_billing() {
+    use mlcd::env::ProfilingEnv;
+    use mlcd::system::{Profiler, ProfilerConfig, SimMlPlatform};
+    use mlcd::deployment::{Deployment, SearchSpace};
+    use mlcd_cloudsim::SimCloud;
+
+    let job = TrainingJob::resnet_cifar10();
+    let truth = ThroughputModel::default();
+    let space = SearchSpace::new(&standard_types(), 20, &job, &truth);
+    let cloud = SimCloud::new(77);
+    let platform = SimMlPlatform::new(job, truth, NoiseModel::default(), 78);
+    let mut profiler = Profiler::new(cloud, platform, space, ProfilerConfig::default());
+
+    for (t, n) in [(InstanceType::C5Xlarge, 3u32), (InstanceType::P2Xlarge, 5), (InstanceType::C54xlarge, 12)] {
+        profiler.profile(&Deployment::new(t, n)).unwrap();
+    }
+    let billed = profiler.cloud().billing().total_cost();
+    assert!(
+        (profiler.spent().dollars() - billed.dollars()).abs() < 1e-9,
+        "profiler accounting {} vs cloud billing {}",
+        profiler.spent(),
+        billed
+    );
+}

@@ -1,0 +1,100 @@
+//! Cross-crate property tests: the paper's guarantees and the substrate's
+//! invariants under randomly drawn scenarios, jobs and seeds.
+//!
+//! These are deliberately few-case (searches are not free) but each case
+//! runs the full pipeline.
+
+use mlcd::prelude::*;
+use proptest::prelude::*;
+
+fn types() -> Vec<InstanceType> {
+    vec![InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// HeterBO's budget guarantee holds for arbitrary budgets and seeds.
+    #[test]
+    fn heterbo_never_busts_a_random_budget(budget in 60.0f64..250.0, seed in 0u64..1000) {
+        let job = TrainingJob::resnet_cifar10();
+        let scenario = Scenario::FastestWithBudget(Money::from_dollars(budget));
+        let runner = ExperimentRunner::new(seed).with_types(types());
+        let out = runner.run(&HeterBo::seeded(seed), &job, &scenario);
+        prop_assert!(
+            out.total_cost.dollars() <= budget * 1.01,
+            "budget ${budget:.0}, seed {seed}: spent {}",
+            out.total_cost
+        );
+    }
+
+    /// Totals always decompose exactly into profiling + training.
+    #[test]
+    fn outcome_breakdown_always_adds_up(seed in 0u64..1000, k in 2usize..8) {
+        let job = TrainingJob::char_rnn();
+        let runner = ExperimentRunner::new(seed).with_types(types());
+        let out = runner.run(&RandomSearch::new(k, seed), &job, &Scenario::FastestUnlimited);
+        prop_assert!((out.total_cost.dollars()
+            - out.search.profile_cost.dollars() - out.train_cost.dollars()).abs() < 1e-9);
+        prop_assert!((out.total_time.as_secs()
+            - out.search.profile_time.as_secs() - out.train_time.as_secs()).abs() < 1e-6);
+        // Cumulative trace totals equal the outcome totals.
+        if let Some(last) = out.search.steps.last() {
+            prop_assert!((last.cum_profile_cost.dollars() - out.search.profile_cost.dollars()).abs() < 1e-9);
+        }
+    }
+
+    /// The oracle optimum truly dominates every candidate under its scenario.
+    #[test]
+    fn optimum_dominates_space(seed in 0u64..100, budget in 60.0f64..300.0) {
+        let job = TrainingJob::resnet_cifar10();
+        let scenario = Scenario::FastestWithBudget(Money::from_dollars(budget));
+        let runner = ExperimentRunner::new(seed).with_types(types());
+        let Some(opt) = runner.optimum(&job, &scenario) else { return Ok(()) };
+        let truth = ThroughputModel::default();
+        for d in runner.space(&job).candidates() {
+            if let Ok(speed) = truth.throughput(&job, d.itype, d.n) {
+                let t = Scenario::training_time(job.total_samples(), speed);
+                let c = d.cost_for(t);
+                if c.dollars() <= budget {
+                    prop_assert!(speed <= opt.speed + 1e-9,
+                        "{d} at {speed:.1} beats 'optimum' {:.1}", opt.speed);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// The ground-truth model is deterministic and positive over the whole
+    /// catalog, and feasibility agrees with throughput availability.
+    #[test]
+    fn truth_model_total_function(n in 1u32..=50) {
+        let truth = ThroughputModel::default();
+        for job in [TrainingJob::resnet_cifar10(), TrainingJob::bert_tensorflow()] {
+            for t in InstanceType::all() {
+                match truth.feasible(&job, t, n) {
+                    Ok(()) => {
+                        let s = truth.throughput(&job, t, n).unwrap();
+                        prop_assert!(s.is_finite() && s > 0.0, "{t} n={n}");
+                    }
+                    Err(_) => {
+                        prop_assert!(truth.throughput(&job, t, n).is_err());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Billing is additive: splitting a run into two clusters costs at
+    /// least as much as one (60-second minimums can only add).
+    #[test]
+    fn billing_is_superadditive_under_split(mins in 2.0f64..600.0) {
+        use mlcd_cloudsim::billing::quote;
+        let whole = quote(InstanceType::C54xlarge, 4, SimDuration::from_mins(mins));
+        let half = quote(InstanceType::C54xlarge, 4, SimDuration::from_mins(mins / 2.0));
+        prop_assert!(half.dollars() * 2.0 >= whole.dollars() - 1e-9);
+    }
+}
