@@ -60,10 +60,7 @@ fn bench_ablations(c: &mut Criterion) {
         ("full", heterbo_config()),
         ("no_concave_prior", BoConfig { concave_prior: false, ..heterbo_config() }),
         ("no_cost_penalty", BoConfig { cost_penalty: false, ..heterbo_config() }),
-        (
-            "random_init",
-            BoConfig { init: InitStrategy::RandomPoints(3), ..heterbo_config() },
-        ),
+        ("random_init", BoConfig { init: InitStrategy::RandomPoints(3), ..heterbo_config() }),
         ("no_reserve", BoConfig { reserve_protection: false, ..heterbo_config() }),
     ];
     for (name, cfg) in variants {

@@ -9,10 +9,8 @@ use std::hint::black_box;
 
 fn bench_throughput_sweep(c: &mut Criterion) {
     let model = ThroughputModel::default();
-    let jobs = [
-        ("resnet", TrainingJob::resnet_cifar10()),
-        ("bert", TrainingJob::bert_tensorflow()),
-    ];
+    let jobs =
+        [("resnet", TrainingJob::resnet_cifar10()), ("bert", TrainingJob::bert_tensorflow())];
     for (name, job) in jobs {
         c.bench_function(&format!("throughput_full_space_{name}"), |b| {
             b.iter(|| {
@@ -35,9 +33,8 @@ fn bench_paleo_sweep(c: &mut Criterion) {
     let job = TrainingJob::resnet_cifar10();
     c.bench_function("paleo_full_space_resnet", |b| {
         b.iter(|| {
-            let candidates: Vec<(InstanceType, u32)> = InstanceType::all()
-                .flat_map(|t| (1..=50u32).map(move |n| (t, n)))
-                .collect();
+            let candidates: Vec<(InstanceType, u32)> =
+                InstanceType::all().flat_map(|t| (1..=50u32).map(move |n| (t, n))).collect();
             black_box(paleo.pick_fastest(black_box(&job), &candidates))
         })
     });

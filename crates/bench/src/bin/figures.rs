@@ -38,24 +38,25 @@ fn main() {
         ids = figures::ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
 
+    // Reject unknown ids before paying for any figure.
+    if let Some(bad) = ids.iter().find(|i| !figures::ALL_IDS.contains(&i.as_str())) {
+        eprintln!("unknown figure id: {bad} (known: {:?})", figures::ALL_IDS);
+        std::process::exit(2);
+    }
+
+    // The figures are independent, self-seeded experiments: fan them out
+    // and print in request order (identical output to a sequential run).
     let mut failures = 0usize;
     let mut reports = Vec::new();
-    for id in &ids {
-        match figures::run(id, seed) {
-            Some(report) => {
-                if json {
-                    reports.push(serde_json::to_value(&report).expect("serialisable"));
-                } else {
-                    println!("{}", report.render());
-                }
-                if !report.all_claims_hold() {
-                    failures += 1;
-                }
-            }
-            None => {
-                eprintln!("unknown figure id: {id} (known: {:?})", figures::ALL_IDS);
-                std::process::exit(2);
-            }
+    for report in figures::run_many(&ids, seed) {
+        let report = report.expect("ids validated above");
+        if json {
+            reports.push(serde_json::to_value(&report).expect("serialisable"));
+        } else {
+            println!("{}", report.render());
+        }
+        if !report.all_claims_hold() {
+            failures += 1;
         }
     }
     if json {
@@ -71,9 +72,6 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!(
-        "usage: figures [--seed N] [--json] <id>... | all\n  ids: {:?}",
-        figures::ALL_IDS
-    );
+    eprintln!("usage: figures [--seed N] [--json] <id>... | all\n  ids: {:?}", figures::ALL_IDS);
     std::process::exit(2);
 }

@@ -58,43 +58,46 @@ fn run_at(seed: u64, budget_usd: f64, r: &mut FigReport) -> Vec<serde_json::Valu
         InstanceType::P2Xlarge,
     ];
 
+    // Variant × seed grid, fanned out across threads. Each cell derives
+    // its config and runner from its own seed, exactly as the old nested
+    // loop did, so the means are unchanged.
+    let mut grid = EvalGrid::new(job.clone());
+    for (name, _) in variants(seed) {
+        grid = grid.searcher(name, move |s| {
+            let cfg = variants(s).into_iter().find(|(n, _)| *n == name).unwrap().1;
+            Box::new(BoCore::new("ablation", cfg))
+        });
+    }
+    let report = grid
+        .scenario(scenario)
+        .seeds((0..SEEDS).map(|i| seed + i * 311))
+        .with_runner(move |s| ExperimentRunner::new(s).with_types(types.clone()))
+        .run();
+
     r.line(format!("budget ${budget_usd:.0}:"));
     r.line(format!(
         "  {:<12} {:>8} {:>10} {:>10} {:>10} {:>9} {:>8}",
         "variant", "probes", "prof($)", "train(h)", "total($)", "total(h)", "ok"
     ));
     let mut rows = Vec::new();
-    for (name, _) in variants(seed) {
-        let (mut probes, mut prof, mut train_h, mut total_usd, mut total_h, mut ok) =
-            (0.0, 0.0, 0.0, 0.0, 0.0, 0usize);
-        for i in 0..SEEDS {
-            let s = seed + i * 311;
-            let cfg = variants(s).into_iter().find(|(n, _)| *n == name).unwrap().1;
-            let core = BoCore::new("ablation", cfg);
-            let runner = ExperimentRunner::new(s).with_types(types.clone());
-            let out = runner.run(&core, &job, &scenario);
-            probes += out.search.n_probes() as f64;
-            prof += out.search.profile_cost.dollars();
-            train_h += out.train_time.as_hours();
-            total_usd += out.total_cost.dollars();
-            total_h += out.total_hours();
-            ok += usize::from(out.satisfied);
-        }
-        let n = SEEDS as f64;
+    for s in report.summaries() {
+        let cells = report.cells_for(&s.searcher, &scenario);
+        let train_h =
+            cells.iter().map(|c| c.outcome.train_time.as_hours()).sum::<f64>() / s.runs as f64;
         r.line(format!(
             "  {:<12} {:>8.1} {:>10.2} {:>10.2} {:>10.2} {:>9.2} {:>5}/{}",
-            name,
-            probes / n,
-            prof / n,
-            train_h / n,
-            total_usd / n,
-            total_h / n,
-            ok,
+            s.searcher,
+            s.mean_probes,
+            s.mean_profile_usd,
+            train_h,
+            s.mean_total_usd,
+            s.mean_total_h,
+            s.satisfied,
             SEEDS
         ));
-        rows.push(json!({"budget": budget_usd, "variant": name, "probes": probes / n,
-            "prof_usd": prof / n, "train_h": train_h / n, "total_usd": total_usd / n,
-            "total_h": total_h / n, "ok": ok}));
+        rows.push(json!({"budget": budget_usd, "variant": s.searcher, "probes": s.mean_probes,
+            "prof_usd": s.mean_profile_usd, "train_h": train_h, "total_usd": s.mean_total_usd,
+            "total_h": s.mean_total_h, "ok": s.satisfied}));
     }
     rows
 }

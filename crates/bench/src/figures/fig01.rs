@@ -12,18 +12,14 @@ use serde_json::json;
 /// Fig 1(a): the price catalog, normalised.
 pub fn run_a() -> FigReport {
     let mut r = FigReport::new("fig1a", "normalised hourly cost of EC2 instance types");
-    let mut rows: Vec<(String, f64)> = InstanceType::all()
-        .map(|t| (t.name().to_string(), t.normalized_cost()))
-        .collect();
+    let mut rows: Vec<(String, f64)> =
+        InstanceType::all().map(|t| (t.name().to_string(), t.normalized_cost())).collect();
     rows.sort_by(|a, b| a.1.total_cmp(&b.1));
     for (name, norm) in &rows {
         r.line(format!("{name:<14} {norm:>7.2}×"));
     }
     let p28 = InstanceType::P28xlarge.normalized_cost();
-    r.claim(
-        format!("p2.8xlarge is ≈42.5× c5.xlarge (got {p28:.1}×)"),
-        (p28 - 42.5).abs() < 1.0,
-    );
+    r.claim(format!("p2.8xlarge is ≈42.5× c5.xlarge (got {p28:.1}×)"), (p28 - 42.5).abs() < 1.0);
     let spread = rows.last().unwrap().1 / rows.first().unwrap().1;
     r.claim(format!("price spread across catalog > 30× (got {spread:.0}×)"), spread > 30.0);
     r.data = json!(rows);
@@ -56,7 +52,9 @@ pub fn run_b() -> FigReport {
             fmt_h(hours),
             hourly
         ));
-        rows.push(json!({"type": t.name(), "n": n, "speed": speed, "hours": hours, "hourly": hourly}));
+        rows.push(
+            json!({"type": t.name(), "n": n, "speed": speed, "hours": hours, "hourly": hourly}),
+        );
     }
     let t40 = job.total_samples() / truth.throughput(&job, InstanceType::C5Xlarge, 40).unwrap();
     let t10 = job.total_samples() / truth.throughput(&job, InstanceType::C54xlarge, 10).unwrap();

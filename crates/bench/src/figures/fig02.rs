@@ -22,11 +22,8 @@ pub fn run(seed: u64) -> FigReport {
     let space_len = runner.space(&job).candidates().len();
     let stride = (space_len / 180).max(1);
 
-    let exhaustive = runner.run(
-        &ExhaustiveSearch::strided(stride),
-        &job,
-        &Scenario::FastestUnlimited,
-    );
+    let exhaustive =
+        runner.run(&ExhaustiveSearch::strided(stride), &job, &Scenario::FastestUnlimited);
     let convbo = runner.run(&ConvBo::seeded(seed), &job, &Scenario::FastestUnlimited);
 
     r.line(format!("search space: {space_len} deployments; exhaustive stride {stride}"));

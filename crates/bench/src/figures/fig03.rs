@@ -43,10 +43,8 @@ pub fn run() -> FigReport {
     }
 
     // Shape checks.
-    let up_speeds: Vec<f64> = scale_up
-        .iter()
-        .map(|t| truth.throughput(&job, *t, 1).unwrap())
-        .collect();
+    let up_speeds: Vec<f64> =
+        scale_up.iter().map(|t| truth.throughput(&job, *t, 1).unwrap()).collect();
     r.claim(
         "scale-up within c5 is monotone but sub-linear (9xlarge < 18× large)",
         up_speeds[4] > up_speeds[0] && up_speeds[4] < up_speeds[0] * 18.0,

@@ -29,7 +29,10 @@ pub fn run(seed: u64) -> FigReport {
     let mut best_d: Option<mlcd::deployment::Deployment> = None;
     let mut rows = Vec::new();
     let mut deltas = Vec::new();
-    r.line(format!("{:>4} {:>16} {:>10} | {:>12} {:>14}", "step", "probe", "speed", "Δtime(h)", "Δcost($)"));
+    r.line(format!(
+        "{:>4} {:>16} {:>10} | {:>12} {:>14}",
+        "step", "probe", "speed", "Δtime(h)", "Δcost($)"
+    ));
     for step in &out.search.steps {
         let obs = step.observation;
         if obs.speed > best_speed {

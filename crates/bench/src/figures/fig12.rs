@@ -39,34 +39,38 @@ pub fn run(seed: u64) -> FigReport {
     let job = TrainingJob::resnet_cifar10();
     let scenario = Scenario::FastestUnlimited;
 
-    // HeterBO reference mean over a few seeds.
-    let h_totals: Vec<f64> = (0..4)
-        .map(|i| {
-            runner(seed + i).run(&HeterBo::seeded(seed + i), &job, &scenario).total_hours()
-        })
-        .collect();
-    let h_mean = h_totals.iter().sum::<f64>() / h_totals.len() as f64;
+    // HeterBO reference mean over a few seeds (threaded grid; per-cell
+    // seeding keeps the numbers identical to the old sequential loop).
+    let h_mean = EvalGrid::new(job.clone())
+        .searcher("HeterBO", |s| Box::new(HeterBo::seeded(s)))
+        .scenario(scenario)
+        .seeds(seed..seed + 4)
+        .with_runner(runner)
+        .run()
+        .summary_for("HeterBO", &scenario)
+        .expect("grid ran")
+        .mean_total_h;
     r.line(format!("HeterBO mean total: {:.2} h", h_mean));
-    r.line(format!(
-        "{:>4} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "k", "min", "q1", "median", "q3", "max"
-    ));
+    r.line(format!("{:>4} {:>9} {:>9} {:>9} {:>9} {:>9}", "k", "min", "q1", "median", "q3", "max"));
 
     let mut rows = Vec::new();
     let mut medians = Vec::new();
     for k in KS {
-        let totals: Vec<f64> = (0..REPS)
-            .map(|i| {
-                let s = seed.wrapping_mul(31).wrapping_add(i * 977 + k as u64);
-                runner(s).run(&RandomSearch::new(k, s), &job, &scenario).total_hours()
-            })
-            .collect();
+        let grid = EvalGrid::new(job.clone())
+            .searcher("Random", move |s| Box::new(RandomSearch::new(k, s)))
+            .scenario(scenario)
+            .seeds((0..REPS).map(|i| seed.wrapping_mul(31).wrapping_add(i * 977 + k as u64)))
+            .with_runner(runner)
+            .run();
+        let totals: Vec<f64> = grid.cells.iter().map(|c| c.outcome.total_hours()).collect();
         let q = quartiles(&totals);
         r.line(format!(
             "{:>4} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
             k, q.min, q.q1, q.median, q.q3, q.max
         ));
-        rows.push(json!({"k": k, "min": q.min, "q1": q.q1, "median": q.median, "q3": q.q3, "max": q.max}));
+        rows.push(
+            json!({"k": k, "min": q.min, "q1": q.q1, "median": q.median, "q3": q.q3, "max": q.max}),
+        );
         medians.push((k, q.median, q.max - q.min));
     }
 

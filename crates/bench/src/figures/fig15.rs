@@ -26,7 +26,8 @@ pub fn trajectory_report(
     let truth = ThroughputModel::default();
 
     // Ground-truth curves the trajectory walks on.
-    let grid: Vec<u32> = (1..=max_nodes).filter(|n| n % (max_nodes / 10).max(1) == 0 || *n == 1).collect();
+    let grid: Vec<u32> =
+        (1..=max_nodes).filter(|n| n % (max_nodes / 10).max(1) == 0 || *n == 1).collect();
     let mut curves = Vec::new();
     for t in &types {
         let pts: Vec<(u32, f64)> = grid
@@ -65,32 +66,22 @@ pub fn trajectory_report(
 
     // Shape checks shared by every trajectory figure.
     let n_types = types.len();
-    let first_are_singles = out
-        .search
-        .steps
-        .iter()
-        .take(n_types)
-        .all(|s| {
-            // "Single node of each type": the smallest feasible n for the
-            // type (1 for everything in these figures).
-            s.observation.deployment.n
-                == runner
-                    .space(job)
-                    .candidates()
-                    .iter()
-                    .filter(|d| d.itype == s.observation.deployment.itype)
-                    .map(|d| d.n)
-                    .min()
-                    .unwrap()
-        });
+    let first_are_singles = out.search.steps.iter().take(n_types).all(|s| {
+        // "Single node of each type": the smallest feasible n for the
+        // type (1 for everything in these figures).
+        s.observation.deployment.n
+            == runner
+                .space(job)
+                .candidates()
+                .iter()
+                .filter(|d| d.itype == s.observation.deployment.itype)
+                .map(|d| d.n)
+                .min()
+                .unwrap()
+    });
     r.claim("first probes are one minimal node of each type", first_are_singles);
-    let distinct_types: std::collections::HashSet<_> = out
-        .search
-        .steps
-        .iter()
-        .take(n_types)
-        .map(|s| s.observation.deployment.itype)
-        .collect();
+    let distinct_types: std::collections::HashSet<_> =
+        out.search.steps.iter().take(n_types).map(|s| s.observation.deployment.itype).collect();
     r.claim("the init sweep covers every instance type", distinct_types.len() == n_types);
     r.claim(
         format!("stays within the ${budget_usd} budget (${:.2})", out.total_cost.dollars()),

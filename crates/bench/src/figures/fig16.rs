@@ -24,9 +24,7 @@ pub fn run(seed: u64) -> FigReport {
     let truth = ThroughputModel::default();
     let job = TrainingJob::bert_tensorflow();
     let best = |t: InstanceType| {
-        (1..=20)
-            .filter_map(|n| truth.throughput(&job, t, n).ok())
-            .fold(0.0_f64, f64::max)
+        (1..=20).filter_map(|n| truth.throughput(&job, t, n).ok()).fold(0.0_f64, f64::max)
     };
     let p2 = best(InstanceType::P2Xlarge);
     let c5n4 = best(InstanceType::C5n4xlarge);

@@ -27,10 +27,7 @@ pub fn run(seed: u64) -> FigReport {
     };
     let tf = peak(&TrainingJob::bert_tensorflow());
     let mx = peak(&TrainingJob::bert_mxnet());
-    r.claim(
-        format!("MXNet peaks below TensorFlow ({mx:.0} vs {tf:.0} samples/s)"),
-        mx < tf,
-    );
+    r.claim(format!("MXNet peaks below TensorFlow ({mx:.0} vs {tf:.0} samples/s)"), mx < tf);
     r
 }
 

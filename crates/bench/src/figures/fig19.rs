@@ -166,10 +166,8 @@ pub fn run(seed: u64) -> FigReport {
         ),
         mean_s >= 1.0 && last_s >= 1.1,
     );
-    let h_sat_big: u64 =
-        rows[3..].iter().map(|r| r["heterbo_sat"].as_u64().unwrap()).sum();
-    let c_sat_big: u64 =
-        rows[3..].iter().map(|r| r["convbo_sat"].as_u64().unwrap()).sum();
+    let h_sat_big: u64 = rows[3..].iter().map(|r| r["heterbo_sat"].as_u64().unwrap()).sum();
+    let c_sat_big: u64 = rows[3..].iter().map(|r| r["convbo_sat"].as_u64().unwrap()).sum();
     r.claim(
         format!(
             "at billion-parameter scale HeterBO keeps the scaled budget and ConvBO blows it (HeterBO {h_sat_big}/{}, ConvBO {c_sat_big}/{} compliant)",

@@ -18,11 +18,27 @@ pub mod fig18;
 pub mod fig19;
 
 use crate::report::FigReport;
+use rayon::prelude::*;
 
 /// All figure ids, in paper order, plus the ablation study.
 pub const ALL_IDS: [&str; 17] = [
-    "fig1a", "fig1b", "fig2", "fig3", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablations",
+    "fig1a",
+    "fig1b",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "ablations",
 ];
 
 /// Run one figure by id. `None` for an unknown id.
@@ -49,6 +65,14 @@ pub fn run(id: &str, seed: u64) -> Option<FigReport> {
     })
 }
 
+/// Run several figures, fanned out across threads, results in input
+/// order. Every figure derives all randomness from the seed it is handed,
+/// so the reports are bit-identical to running [`run`] sequentially
+/// (`RAYON_NUM_THREADS=1` forces exactly that when bisecting).
+pub fn run_many<S: AsRef<str> + Sync>(ids: &[S], seed: u64) -> Vec<Option<FigReport>> {
+    ids.par_iter().map(|id| run(id.as_ref(), seed)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +83,23 @@ mod tests {
             assert!(run(id, 1).is_some(), "missing figure {id}");
         }
         assert!(run("fig99", 1).is_none());
+    }
+
+    #[test]
+    fn run_many_preserves_order_and_matches_sequential() {
+        let ids = ["fig1a", "fig3", "fig99", "fig1b"];
+        let many = run_many(&ids, 5);
+        assert_eq!(many.len(), ids.len());
+        assert!(many[2].is_none());
+        for (id, report) in ids.iter().zip(&many) {
+            match report {
+                None => assert_eq!(*id, "fig99"),
+                Some(r) => {
+                    let seq = run(id, 5).unwrap();
+                    assert_eq!(r.id, seq.id);
+                    assert_eq!(r.data, seq.data);
+                }
+            }
+        }
     }
 }

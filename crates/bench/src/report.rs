@@ -60,7 +60,11 @@ impl FigReport {
         if !self.claims.is_empty() {
             out.push_str("-- shape checks --\n");
             for c in &self.claims {
-                out.push_str(&format!("[{}] {}\n", if c.holds { "PASS" } else { "FAIL" }, c.statement));
+                out.push_str(&format!(
+                    "[{}] {}\n",
+                    if c.holds { "PASS" } else { "FAIL" },
+                    c.statement
+                ));
             }
         }
         out
@@ -126,8 +130,15 @@ impl BreakdownRow {
     pub fn header() -> String {
         format!(
             "{:<11} {:>16} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {}",
-            "searcher", "pick", "prof(h)", "prof($)", "train(h)", "train($)", "total(h)",
-            "total($)", "ok"
+            "searcher",
+            "pick",
+            "prof(h)",
+            "prof($)",
+            "train(h)",
+            "train($)",
+            "total(h)",
+            "total($)",
+            "ok"
         )
     }
 
@@ -187,9 +198,6 @@ mod tests {
             pick: "10×c5.xlarge".into(),
         };
         // Header and row should produce the same number of '|' separators.
-        assert_eq!(
-            BreakdownRow::header().matches('|').count(),
-            row.render().matches('|').count()
-        );
+        assert_eq!(BreakdownRow::header().matches('|').count(), row.render().matches('|').count());
     }
 }

@@ -169,12 +169,7 @@ mod tests {
     use super::*;
 
     fn rec(itype: InstanceType, n: u32, start_s: f64, end_s: f64) -> UsageRecord {
-        UsageRecord::on_demand(
-            itype,
-            n,
-            SimTime::from_secs(start_s),
-            SimTime::from_secs(end_s),
-        )
+        UsageRecord::on_demand(itype, n, SimTime::from_secs(start_s), SimTime::from_secs(end_s))
     }
 
     #[test]
@@ -186,8 +181,14 @@ mod tests {
     #[test]
     fn cost_scales_with_count_and_time() {
         let base = rec(InstanceType::C5Xlarge, 1, 0.0, 3600.0).cost().dollars();
-        assert!((rec(InstanceType::C5Xlarge, 10, 0.0, 3600.0).cost().dollars() - base * 10.0).abs() < 1e-9);
-        assert!((rec(InstanceType::C5Xlarge, 1, 0.0, 7200.0).cost().dollars() - base * 2.0).abs() < 1e-9);
+        assert!(
+            (rec(InstanceType::C5Xlarge, 10, 0.0, 3600.0).cost().dollars() - base * 10.0).abs()
+                < 1e-9
+        );
+        assert!(
+            (rec(InstanceType::C5Xlarge, 1, 0.0, 7200.0).cost().dollars() - base * 2.0).abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -184,10 +184,50 @@ pub const CATALOG: [InstanceSpec; 19] = [
     spec!(C5n2xlarge, C5n, "c5n.2xlarge", 8, 21.0, None, 10.0, 0.432, C5_GFLOPS_PER_VCPU),
     spec!(C5n4xlarge, C5n, "c5n.4xlarge", 16, 42.0, None, 15.0, 0.864, C5_GFLOPS_PER_VCPU),
     spec!(C5n9xlarge, C5n, "c5n.9xlarge", 36, 96.0, None, 50.0, 1.944, C5_GFLOPS_PER_VCPU),
-    spec!(P2Xlarge, P2, "p2.xlarge", 4, 61.0, Some((Accelerator::K80, 1)), 1.25, 0.900, P_GFLOPS_PER_VCPU),
-    spec!(P28xlarge, P2, "p2.8xlarge", 32, 488.0, Some((Accelerator::K80, 8)), 10.0, 7.200, P_GFLOPS_PER_VCPU),
-    spec!(P32xlarge, P3, "p3.2xlarge", 8, 61.0, Some((Accelerator::V100, 1)), 2.5, 3.060, P_GFLOPS_PER_VCPU),
-    spec!(P38xlarge, P3, "p3.8xlarge", 32, 244.0, Some((Accelerator::V100, 4)), 10.0, 12.240, P_GFLOPS_PER_VCPU),
+    spec!(
+        P2Xlarge,
+        P2,
+        "p2.xlarge",
+        4,
+        61.0,
+        Some((Accelerator::K80, 1)),
+        1.25,
+        0.900,
+        P_GFLOPS_PER_VCPU
+    ),
+    spec!(
+        P28xlarge,
+        P2,
+        "p2.8xlarge",
+        32,
+        488.0,
+        Some((Accelerator::K80, 8)),
+        10.0,
+        7.200,
+        P_GFLOPS_PER_VCPU
+    ),
+    spec!(
+        P32xlarge,
+        P3,
+        "p3.2xlarge",
+        8,
+        61.0,
+        Some((Accelerator::V100, 1)),
+        2.5,
+        3.060,
+        P_GFLOPS_PER_VCPU
+    ),
+    spec!(
+        P38xlarge,
+        P3,
+        "p3.8xlarge",
+        32,
+        244.0,
+        Some((Accelerator::V100, 4)),
+        10.0,
+        12.240,
+        P_GFLOPS_PER_VCPU
+    ),
 ];
 
 impl InstanceType {
@@ -198,10 +238,7 @@ impl InstanceType {
 
     /// The full spec for this type.
     pub fn spec(&self) -> &'static InstanceSpec {
-        CATALOG
-            .iter()
-            .find(|s| s.itype == *self)
-            .expect("every InstanceType has a catalog entry")
+        CATALOG.iter().find(|s| s.itype == *self).expect("every InstanceType has a catalog entry")
     }
 
     /// AWS API name, e.g. `"c5n.4xlarge"`.

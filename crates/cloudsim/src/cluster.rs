@@ -109,7 +109,13 @@ pub struct ClusterInner {
 
 impl ClusterInner {
     /// Start the lifecycle at `now`, ready after `delay`.
-    pub fn new(id: ClusterId, itype: InstanceType, n: u32, now: SimTime, delay: SimDuration) -> Self {
+    pub fn new(
+        id: ClusterId,
+        itype: InstanceType,
+        n: u32,
+        now: SimTime,
+        delay: SimDuration,
+    ) -> Self {
         ClusterInner {
             id,
             itype,

@@ -28,11 +28,7 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert so the earliest event pops first,
         // with sequence number as the deterministic tie-breaker.
-        other
-            .at
-            .as_secs()
-            .total_cmp(&self.at.as_secs())
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.as_secs().total_cmp(&self.at.as_secs()).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl<E> PartialOrd for Scheduled<E> {

@@ -60,12 +60,7 @@ impl MetricStore {
         self.series
             .read()
             .get(metric)
-            .map(|s| {
-                s.iter()
-                    .filter(|(t, _)| t.as_secs() >= start && *t <= end)
-                    .copied()
-                    .collect()
-            })
+            .map(|s| s.iter().filter(|(t, _)| t.as_secs() >= start && *t <= end).copied().collect())
             .unwrap_or_default()
     }
 

@@ -180,8 +180,7 @@ impl SimCloud {
         let rate = self.spot.hourly_usd(itype, now);
         // Sample the cluster's fate up front (deterministic per cluster).
         let revoke_at =
-            self.spot
-                .revocation_within(itype, n, now, SimDuration::from_hours(72.0), handle.id.0);
+            self.spot.revocation_within(itype, n, now, SimDuration::from_hours(72.0), handle.id.0);
         let mut st = self.state.lock();
         let c = st.clusters.get_mut(&handle.id).expect("just launched");
         c.spot_hourly_usd = Some(rate);
@@ -212,10 +211,7 @@ impl SimCloud {
     pub fn cluster_state(&self, cluster: &Cluster) -> Result<ClusterState, CloudError> {
         let mut st = self.state.lock();
         self.drain_events(&mut st);
-        st.clusters
-            .get(&cluster.id)
-            .map(|c| c.state)
-            .ok_or(CloudError::UnknownCluster(cluster.id))
+        st.clusters.get(&cluster.id).map(|c| c.state).ok_or(CloudError::UnknownCluster(cluster.id))
     }
 
     /// Block (in virtual time) until the cluster is Running, advancing the
@@ -243,10 +239,7 @@ impl SimCloud {
         let revoke_at = {
             let mut st = self.state.lock();
             self.drain_events(&mut st);
-            let c = st
-                .clusters
-                .get(&cluster.id)
-                .ok_or(CloudError::UnknownCluster(cluster.id))?;
+            let c = st.clusters.get(&cluster.id).ok_or(CloudError::UnknownCluster(cluster.id))?;
             if c.state != ClusterState::Running {
                 return Err(CloudError::NotRunning(cluster.id, c.state));
             }
@@ -283,10 +276,7 @@ impl SimCloud {
         self.drain_events(&mut st);
         if let Some(c) = st.clusters.get_mut(&cluster.id) {
             if c.state != ClusterState::Terminated {
-                assert!(
-                    end >= c.requested_at,
-                    "terminate_at: end precedes the cluster's launch"
-                );
+                assert!(end >= c.requested_at, "terminate_at: end precedes the cluster's launch");
                 c.terminate(end);
                 self.billing.record(UsageRecord {
                     itype: c.itype,
@@ -306,6 +296,18 @@ impl SimCloud {
         st.clusters.get(&cluster.id).map(|c| c.provisioning_delay())
     }
 
+    /// The instant at or before `t` when the spot market revokes this
+    /// cluster, if it does. `None` for on-demand clusters, unknown
+    /// clusters, and revocations that fall after `t`. This is the
+    /// non-blocking twin of the revocation surfaced by
+    /// [`run_for`](Self::run_for): concurrent (batch) probing settles
+    /// clusters retroactively and never occupies them with `run_for`, so
+    /// it has to ask for the market's verdict instead.
+    pub fn revocation_before(&self, cluster: &Cluster, t: SimTime) -> Option<SimTime> {
+        let st = self.state.lock();
+        st.clusters.get(&cluster.id).and_then(|c| c.revoke_at).filter(|&at| at <= t)
+    }
+
     /// Time of the simulation, convenience passthrough.
     pub fn now(&self) -> SimTime {
         self.clock.now()
@@ -323,10 +325,8 @@ mod tests {
 
     #[test]
     fn launch_wait_run_terminate_bills_correctly() {
-        let cloud = SimCloud::with_provisioning(
-            1,
-            ProvisioningModel { jitter: 0.0, ..Default::default() },
-        );
+        let cloud =
+            SimCloud::with_provisioning(1, ProvisioningModel { jitter: 0.0, ..Default::default() });
         let c = cloud.launch(InstanceType::C5Xlarge, 4).unwrap();
         assert_eq!(cloud.cluster_state(&c).unwrap(), ClusterState::Provisioning);
         let setup = cloud.wait_until_running(&c);
@@ -355,10 +355,7 @@ mod tests {
         assert!(matches!(err, CloudError::QuotaExceeded { .. }));
         let err = cloud.launch(InstanceType::P2Xlarge, 51).unwrap_err();
         assert!(matches!(err, CloudError::QuotaExceeded { quota: 50, .. }));
-        assert!(matches!(
-            cloud.launch(InstanceType::C5Xlarge, 0),
-            Err(CloudError::EmptyCluster)
-        ));
+        assert!(matches!(cloud.launch(InstanceType::C5Xlarge, 0), Err(CloudError::EmptyCluster)));
     }
 
     #[test]
@@ -408,10 +405,8 @@ mod tests {
 
     #[test]
     fn terminate_at_bills_each_concurrent_cluster_its_own_span() {
-        let cloud = SimCloud::with_provisioning(
-            8,
-            ProvisioningModel { jitter: 0.0, ..Default::default() },
-        );
+        let cloud =
+            SimCloud::with_provisioning(8, ProvisioningModel { jitter: 0.0, ..Default::default() });
         let t0 = cloud.now();
         let a = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
         let b = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
@@ -484,7 +479,10 @@ mod tests {
             od.wait_until_running(&c2);
             assert!(od.run_for(&c2, SimDuration::from_hours(20.0)).is_ok());
         }
-        assert!(revoked_spot >= 10, "expected frequent revocations on 32n x 20h: {revoked_spot}/20");
+        assert!(
+            revoked_spot >= 10,
+            "expected frequent revocations on 32n x 20h: {revoked_spot}/20"
+        );
     }
 
     #[test]

@@ -175,10 +175,7 @@ mod tests {
             let edge = k as f64 * BUCKET_SECS;
             let before = m.price_multiplier(InstanceType::C54xlarge, t(edge - eps));
             let after = m.price_multiplier(InstanceType::C54xlarge, t(edge + eps));
-            assert!(
-                (before - after).abs() < 1e-3,
-                "jump at bucket {k}: {before} vs {after}"
-            );
+            assert!((before - after).abs() < 1e-3, "jump at bucket {k}: {before} vs {after}");
         }
     }
 

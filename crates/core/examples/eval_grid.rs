@@ -1,0 +1,32 @@
+//! Developer diagnostic: sweep the headline searchers over all three
+//! scenarios and several seeds with the `mlcd::eval` grid harness, and
+//! print the aggregated summary table. The cells fan out across threads;
+//! set `RAYON_NUM_THREADS=1` to force a sequential run (the numbers are
+//! identical either way — every cell is self-seeded).
+//!
+//! ```text
+//! cargo run -p mlcd --example eval_grid --release
+//! ```
+
+use mlcd::prelude::*;
+use mlcd::search::{CherryPick, ConvBo};
+
+fn main() {
+    let types = vec![
+        InstanceType::C5Xlarge,
+        InstanceType::C54xlarge,
+        InstanceType::C5n4xlarge,
+        InstanceType::P2Xlarge,
+    ];
+    let report = EvalGrid::new(TrainingJob::resnet_cifar10())
+        .searcher("HeterBO", |s| Box::new(HeterBo::seeded(s)))
+        .searcher("ConvBO", |s| Box::new(ConvBo::seeded(s)))
+        .searcher("CherryPick", |s| Box::new(CherryPick::seeded(s)))
+        .scenario(Scenario::FastestUnlimited)
+        .scenario(Scenario::CheapestWithDeadline(SimDuration::from_hours(6.0)))
+        .scenario(Scenario::FastestWithBudget(Money::from_dollars(100.0)))
+        .seeds([1, 2, 3])
+        .with_runner(move |s| ExperimentRunner::new(s).with_types(types.clone()))
+        .run();
+    print!("{}", report.render());
+}

@@ -7,11 +7,16 @@
 //! ```
 
 use mlcd::prelude::*;
-use mlcd::search::{ConvBo, CherryPick};
+use mlcd::search::{CherryPick, ConvBo};
 
 fn main() {
     let job = TrainingJob::resnet_cifar10();
-    let types = vec![InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::C5n4xlarge, InstanceType::P2Xlarge];
+    let types = vec![
+        InstanceType::C5Xlarge,
+        InstanceType::C54xlarge,
+        InstanceType::C5n4xlarge,
+        InstanceType::P2Xlarge,
+    ];
 
     for (name, scenario) in [
         ("S1 unlimited", Scenario::FastestUnlimited),
@@ -33,7 +38,13 @@ fn main() {
                     o.total_hours(), o.total_cost.dollars(), o.satisfied, o.search.stop_reason);
             }
             if let Some(opt) = opt {
-                println!("  seed{seed} Opt         {} speed {:.0} train {:.2}h ${:.2}", opt.deployment, opt.speed, opt.train_time.as_hours(), opt.train_cost.dollars());
+                println!(
+                    "  seed{seed} Opt         {} speed {:.0} train {:.2}h ${:.2}",
+                    opt.deployment,
+                    opt.speed,
+                    opt.train_time.as_hours(),
+                    opt.train_cost.dollars()
+                );
             }
         }
     }

@@ -145,9 +145,7 @@ mod tests {
     #[test]
     fn xi_discourages_marginal_candidates() {
         let p = pred(2.05, 0.1);
-        assert!(
-            expected_improvement(&p, 2.0, 0.5) < expected_improvement(&p, 2.0, 0.0)
-        );
+        assert!(expected_improvement(&p, 2.0, 0.5) < expected_improvement(&p, 2.0, 0.0));
     }
 
     #[test]

@@ -87,9 +87,8 @@ impl Opts {
 
     fn training_job(&self) -> Result<TrainingJob, String> {
         let name = self.job.as_deref().ok_or("--job is required")?;
-        job_by_name(name).ok_or_else(|| {
-            format!("unknown job `{name}`; run `mlcd jobs` for the presets")
-        })
+        job_by_name(name)
+            .ok_or_else(|| format!("unknown job `{name}`; run `mlcd jobs` for the presets"))
     }
 
     fn runner(&self) -> Result<ExperimentRunner, String> {
@@ -97,9 +96,8 @@ impl Opts {
         if let Some(ts) = &self.types {
             let mut parsed = Vec::new();
             for t in ts {
-                parsed.push(
-                    InstanceType::from_name(t).ok_or_else(|| format!("unknown type `{t}`"))?,
-                );
+                parsed
+                    .push(InstanceType::from_name(t).ok_or_else(|| format!("unknown type `{t}`"))?);
             }
             r = r.with_types(parsed);
         }
@@ -180,8 +178,8 @@ fn format_params(p: f64) -> String {
 fn curves(opts: &Opts) {
     let job = opts.training_job().unwrap_or_else(|e| usage(&e));
     let tname = opts.itype.as_deref().unwrap_or_else(|| usage("--type is required for curves"));
-    let itype = InstanceType::from_name(tname)
-        .unwrap_or_else(|| usage(&format!("unknown type `{tname}`")));
+    let itype =
+        InstanceType::from_name(tname).unwrap_or_else(|| usage(&format!("unknown type `{tname}`")));
     let truth = ThroughputModel::default();
     println!("# {} on {} — true training speed", job.model.name, itype);
     println!("{:>5} {:>12} {:>12} {:>12}", "n", "samples/s", "train h", "train $");
@@ -189,10 +187,7 @@ fn curves(opts: &Opts) {
         match truth.throughput(&job, itype, n) {
             Ok(s) => {
                 let h = job.total_samples() / s / 3600.0;
-                println!(
-                    "{n:>5} {s:>12.1} {h:>12.2} {:>12.2}",
-                    h * itype.hourly_usd() * n as f64
-                );
+                println!("{n:>5} {s:>12.1} {h:>12.2} {:>12.2}", h * itype.hourly_usd() * n as f64);
             }
             Err(e) => println!("{n:>5} {:>12}", format!("({e})")),
         }
@@ -208,7 +203,11 @@ fn optimum(opts: &Opts) {
             println!("scenario : {scenario}");
             println!("optimum  : {}", opt.deployment);
             println!("speed    : {:.1} samples/s", opt.speed);
-            println!("training : {:.2} h, ${:.2}", opt.train_time.as_hours(), opt.train_cost.dollars());
+            println!(
+                "training : {:.2} h, ${:.2}",
+                opt.train_time.as_hours(),
+                opt.train_cost.dollars()
+            );
         }
         None => {
             eprintln!("no deployment can satisfy {scenario}");
@@ -259,9 +258,21 @@ fn search(opts: &Opts) {
         Some(p) => println!("deployment : {}", p.deployment),
         None => println!("deployment : none found"),
     }
-    println!("profiling  : {:>8.2} h  ${:>9.2}", outcome.search.profile_time.as_hours(), outcome.search.profile_cost.dollars());
-    println!("training   : {:>8.2} h  ${:>9.2}", outcome.train_time.as_hours(), outcome.train_cost.dollars());
-    println!("total      : {:>8.2} h  ${:>9.2}", outcome.total_hours(), outcome.total_cost.dollars());
+    println!(
+        "profiling  : {:>8.2} h  ${:>9.2}",
+        outcome.search.profile_time.as_hours(),
+        outcome.search.profile_cost.dollars()
+    );
+    println!(
+        "training   : {:>8.2} h  ${:>9.2}",
+        outcome.train_time.as_hours(),
+        outcome.train_cost.dollars()
+    );
+    println!(
+        "total      : {:>8.2} h  ${:>9.2}",
+        outcome.total_hours(),
+        outcome.total_cost.dollars()
+    );
     println!("compliant  : {}", if outcome.satisfied { "yes" } else { "NO" });
     if !outcome.satisfied {
         std::process::exit(1);
@@ -323,10 +334,7 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.max_nodes, 30);
         assert!(o.json);
-        assert_eq!(
-            o.types,
-            Some(vec!["c5.xlarge".to_string(), "c5.4xlarge".to_string()])
-        );
+        assert_eq!(o.types, Some(vec!["c5.xlarge".to_string(), "c5.4xlarge".to_string()]));
     }
 
     #[test]

@@ -136,12 +136,8 @@ impl SearchSpace {
 
     /// Restrict to a subset of types (CherryPick's "experience" trimming).
     pub fn restricted_to(&self, types: &[InstanceType]) -> SearchSpace {
-        let kept: Vec<Deployment> = self
-            .candidates
-            .iter()
-            .filter(|d| types.contains(&d.itype))
-            .copied()
-            .collect();
+        let kept: Vec<Deployment> =
+            self.candidates.iter().filter(|d| types.contains(&d.itype)).copied().collect();
         assert!(!kept.is_empty(), "restricted_to: no candidates left");
         SearchSpace { types: types.to_vec(), max_nodes: self.max_nodes, candidates: kept }
     }
@@ -149,12 +145,8 @@ impl SearchSpace {
     /// Coarsen the scale-out grid to the given node counts (CherryPick
     /// samples a coarse grid rather than every n).
     pub fn coarsened(&self, node_grid: &[u32]) -> SearchSpace {
-        let kept: Vec<Deployment> = self
-            .candidates
-            .iter()
-            .filter(|d| node_grid.contains(&d.n))
-            .copied()
-            .collect();
+        let kept: Vec<Deployment> =
+            self.candidates.iter().filter(|d| node_grid.contains(&d.n)).copied().collect();
         assert!(!kept.is_empty(), "coarsened: no candidates left");
         SearchSpace { types: self.types.clone(), max_nodes: self.max_nodes, candidates: kept }
     }
@@ -248,12 +240,7 @@ mod tests {
             grad_keep_frac: 1.0,
             scaling: mlcd_perfmodel::ScalingMode::Strong,
         };
-        let s = SearchSpace::new(
-            &[InstanceType::P38xlarge],
-            20,
-            &job,
-            &ThroughputModel::default(),
-        );
+        let s = SearchSpace::new(&[InstanceType::P38xlarge], 20, &job, &ThroughputModel::default());
         assert!(s.candidates().iter().all(|d| d.n >= 5));
         assert!(!s.candidates().is_empty());
     }

@@ -9,13 +9,23 @@
 
 use crate::deployment::{Deployment, SearchSpace};
 use crate::observation::Observation;
-use mlcd_cloudsim::{Money, SimDuration};
+use mlcd_cloudsim::{Money, SimDuration, SimTime};
 
 /// Why a probe failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProfileError {
     /// The deployment is not in the search space.
     NotInSpace(Deployment),
+    /// The spot market revoked the probe's cluster mid-measurement. The
+    /// interrupted attempt is billed; callers (the Profiler itself, for
+    /// its one on-demand retry) dispatch on this variant rather than on
+    /// the error text.
+    SpotRevoked {
+        /// The deployment whose probe was interrupted.
+        deployment: Deployment,
+        /// Virtual time at which the revocation hit.
+        at: SimTime,
+    },
     /// The cloud could not run it (quota, OOM discovered at run time…).
     Failed(String),
 }
@@ -24,6 +34,11 @@ impl std::fmt::Display for ProfileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProfileError::NotInSpace(d) => write!(f, "deployment {d} not in search space"),
+            ProfileError::SpotRevoked { deployment, at } => write!(
+                f,
+                "probe of {deployment} revoked by the spot market at {:.0} s",
+                at.as_secs()
+            ),
             ProfileError::Failed(msg) => write!(f, "profiling failed: {msg}"),
         }
     }
@@ -53,10 +68,7 @@ pub trait ProfilingEnv {
     /// concurrently (the simulated cloud can; so can EC2) charge only the
     /// *slowest* probe's duration against the wall-clock. The default
     /// implementation is sequential.
-    fn profile_batch(
-        &mut self,
-        ds: &[Deployment],
-    ) -> Vec<Result<Observation, ProfileError>> {
+    fn profile_batch(&mut self, ds: &[Deployment]) -> Vec<Result<Observation, ProfileError>> {
         ds.iter().map(|d| self.profile(d)).collect()
     }
 

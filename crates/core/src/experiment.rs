@@ -203,8 +203,7 @@ impl ExperimentRunner {
             let better = match (&pick, scenario) {
                 (None, _) => true,
                 (Some((prev, prev_speed)), Scenario::CheapestWithDeadline(_)) => {
-                    let prev_cost =
-                        prev.cost_for(Scenario::training_time(samples, *prev_speed));
+                    let prev_cost = prev.cost_for(Scenario::training_time(samples, *prev_speed));
                     pred_cost.dollars() < prev_cost.dollars()
                 }
                 (Some((_, prev_speed)), _) => pred_speed > *prev_speed,
@@ -216,8 +215,7 @@ impl ExperimentRunner {
 
         let cloud = SimCloud::new(self.seed);
         let platform = SimMlPlatform::new(job.clone(), self.truth, self.noise, self.seed ^ 0x50);
-        let plan = pick
-            .map(|(d, pred)| DeploymentPlan { deployment: d, observed_speed: pred });
+        let plan = pick.map(|(d, pred)| DeploymentPlan { deployment: d, observed_speed: pred });
         let (train_time, train_cost) = match &plan {
             Some(p) => {
                 let engine = DeploymentEngine::new(NullSearcher);
@@ -419,8 +417,10 @@ mod tests {
         let loose = ExperimentRunner::new(4)
             .with_types(vec![InstanceType::C54xlarge])
             .with_profiler(ProfilerConfig { cv_threshold: 1e9, ..Default::default() });
-        let a = strict.run(&crate::search::RandomSearch::new(4, 4), &job, &Scenario::FastestUnlimited);
-        let b = loose.run(&crate::search::RandomSearch::new(4, 4), &job, &Scenario::FastestUnlimited);
+        let a =
+            strict.run(&crate::search::RandomSearch::new(4, 4), &job, &Scenario::FastestUnlimited);
+        let b =
+            loose.run(&crate::search::RandomSearch::new(4, 4), &job, &Scenario::FastestUnlimited);
         // The extension lengthens only the measurement segment (setup and
         // warm-up are fixed), so expect a modest but clear increase.
         assert!(
@@ -435,10 +435,7 @@ mod tests {
     fn experiments_reproducible_per_seed() {
         let job = TrainingJob::resnet_cifar10();
         let run = || {
-            runner()
-                .run(&ConvBo::seeded(3), &job, &Scenario::FastestUnlimited)
-                .total_cost
-                .dollars()
+            runner().run(&ConvBo::seeded(3), &job, &Scenario::FastestUnlimited).total_cost.dollars()
         };
         assert_eq!(run(), run());
     }

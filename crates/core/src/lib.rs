@@ -25,6 +25,9 @@
 //! * [`experiment`] — the harness that runs a searcher end-to-end
 //!   (profile → pick → train) and reports the profiling/training
 //!   time-and-cost breakdowns every figure plots.
+//! * [`eval`] — searcher × scenario × seed sweeps over that harness,
+//!   fanned out across threads with per-cell seeding, aggregated into
+//!   summary tables (what the multi-seed figures and examples run on).
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@
 pub mod acquisition;
 pub mod deployment;
 pub mod env;
+pub mod eval;
 pub mod experiment;
 pub mod observation;
 pub mod scenario;
@@ -54,6 +58,7 @@ pub mod prelude {
     pub use crate::acquisition::{expected_improvement, prob_improvement, ucb};
     pub use crate::deployment::{Deployment, SearchSpace};
     pub use crate::env::{ProfileError, ProfilingEnv};
+    pub use crate::eval::{EvalCell, EvalGrid, EvalReport, EvalSummary};
     pub use crate::experiment::{ExperimentOutcome, ExperimentRunner, Optimum};
     pub use crate::observation::{Observation, SearchOutcome, SearchStep, StopReason};
     pub use crate::scenario::Scenario;

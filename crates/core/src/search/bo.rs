@@ -10,7 +10,7 @@
 
 use crate::acquisition::{cost_belief, prob_improvement, AcquisitionKind};
 use crate::deployment::Deployment;
-use crate::env::{ProfilingEnv, ProfileError};
+use crate::env::{ProfileError, ProfilingEnv};
 use crate::observation::{Observation, SearchOutcome, SearchStep, StopReason};
 use crate::scenario::{projection_margin, Objective, Scenario};
 use crate::search::surrogate::Surrogate;
@@ -191,8 +191,8 @@ impl BoCore {
             }
             Scenario::FastestWithBudget(cmax) => {
                 let m = projection_margin(incumbent.deployment.n);
-                let train = Scenario::training_cost(&incumbent.deployment, s, incumbent.speed)
-                    .scale(m);
+                let train =
+                    Scenario::training_cost(&incumbent.deployment, s, incumbent.speed).scale(m);
                 (env.spent() + train).dollars() <= cmax.dollars()
             }
         }
@@ -227,8 +227,8 @@ impl BoCore {
             }
             Scenario::FastestWithBudget(cmax) => {
                 let m = projection_margin(incumbent.deployment.n);
-                let train = Scenario::training_cost(&incumbent.deployment, s, incumbent.speed)
-                    .scale(m);
+                let train =
+                    Scenario::training_cost(&incumbent.deployment, s, incumbent.speed).scale(m);
                 (env.spent() + qc.scale(PROBE_COST_OVERRUN) + train).dollars() <= cmax.dollars()
             }
         }
@@ -330,9 +330,20 @@ impl BoCore {
     /// "Optimistic" is the larger of the GP's +2σ belief and the
     /// linear-scaling bound from the candidate's own type (a GP fitted on
     /// single-node probes cannot see that scale-out multiplies speed, and
-    /// pruning on that blindness would discard the true optimum). Applied
-    /// only once the surrogate rests on `min_obs_before_stop` observations;
-    /// before that, budget safety is entirely the reserve's job.
+    /// pruning on that blindness would discard the true optimum).
+    ///
+    /// Normally the filter waits until the surrogate rests on
+    /// `min_obs_before_stop` observations — budget safety is the reserve's
+    /// job and early pruning would only cost exploration. The exception is
+    /// `budget_rescue`: a budget incumbent is infeasible, so the search is
+    /// trying to buy feasibility back while every probe drains the very
+    /// dollars training needs. There the filter activates immediately — a
+    /// candidate whose own completion cannot fit even optimistically can
+    /// never restore feasibility, and probing it just digs deeper (the
+    /// failure mode of a random init landing on a deployment whose
+    /// training alone overruns the budget). Deadline infeasibility gets no
+    /// such early pruning: it is repaired by *finding speed*, which is the
+    /// chase-speed frontier's job.
     #[allow(clippy::too_many_arguments)]
     fn tei_feasible(
         &self,
@@ -342,8 +353,12 @@ impl BoCore {
         pred: &mlcd_gp::Prediction,
         n_obs: usize,
         rates: &HashMap<InstanceType, f64>,
+        budget_rescue: bool,
     ) -> bool {
-        if !self.cfg.constraint_aware || n_obs < self.cfg.min_obs_before_stop {
+        if !self.cfg.constraint_aware {
+            return true;
+        }
+        if n_obs < self.cfg.min_obs_before_stop && !budget_rescue {
             return true;
         }
         let gp_opt = pred.mean + TEI_SIGMAS * pred.stddev();
@@ -394,8 +409,9 @@ impl BoCore {
                     // Speed belief too uncertain for a cost belief: score
                     // by the speed acquisition scaled into cost units via
                     // the incumbent.
-                    None => kind.score(pred, incumbent.speed) * inc_cost
-                        / incumbent.speed.max(1e-9),
+                    None => {
+                        kind.score(pred, incumbent.speed) * inc_cost / incumbent.speed.max(1e-9)
+                    }
                 }
             }
         }
@@ -483,10 +499,10 @@ impl BoCore {
         let mut probed: Vec<Deployment> = Vec::new();
 
         let probe = |d: &Deployment,
-                         env: &mut dyn ProfilingEnv,
-                         observations: &mut Vec<Observation>,
-                         steps: &mut Vec<SearchStep>,
-                         probed: &mut Vec<Deployment>|
+                     env: &mut dyn ProfilingEnv,
+                     observations: &mut Vec<Observation>,
+                     steps: &mut Vec<SearchStep>,
+                     probed: &mut Vec<Deployment>|
          -> Result<(), ProfileError> {
             let obs = env.profile(d)?;
             observations.push(obs);
@@ -536,37 +552,35 @@ impl BoCore {
         };
 
         if self.cfg.parallel_init {
-            // Concurrent sweep: guard the batch as a whole (the raw
-            // constraint must absorb the *sum* of the quotes, since all
-            // clusters bill simultaneously), then fire it.
+            // Concurrent sweep: guard the batch as a whole. Money accrues
+            // across the batch — every cluster bills simultaneously — so
+            // the budget check runs against the accumulated sum of the
+            // quotes kept so far. Wall-clock of a concurrent batch is its
+            // *slowest member*, so each candidate is checked against the
+            // deadline on its own; admitting one never tightens the check
+            // for the next.
             let affordable: Vec<Deployment> = {
                 let mut kept = Vec::new();
-                let (mut acc_t, mut acc_c) = (env.elapsed(), env.spent());
+                let mut acc_c = env.spent();
                 for d in &init_points {
                     let (qt, qc) = env.quote(d);
                     let fits = match scenario {
                         Scenario::FastestUnlimited => true,
                         Scenario::CheapestWithDeadline(tmax) => {
-                            // Wall-clock of a batch is its slowest member.
-                            (env.elapsed() + qt * PROBE_TIME_OVERRUN).as_secs()
-                                <= tmax.as_secs()
+                            (env.elapsed() + qt * PROBE_TIME_OVERRUN).as_secs() <= tmax.as_secs()
                         }
                         Scenario::FastestWithBudget(cmax) => {
                             (acc_c + qc.scale(PROBE_COST_OVERRUN)).dollars() <= cmax.dollars()
                         }
                     };
                     if fits || !self.cfg.reserve_protection {
-                        acc_t += qt;
                         acc_c += qc.scale(PROBE_COST_OVERRUN);
                         kept.push(*d);
                     }
                 }
-                let _ = acc_t;
                 kept
             };
-            for (d, result) in
-                affordable.iter().zip(env.profile_batch(&affordable))
-            {
+            for (d, result) in affordable.iter().zip(env.profile_batch(&affordable)) {
                 if let Ok(obs) = result {
                     observations.push(obs);
                     probed.push(*d);
@@ -669,26 +683,49 @@ impl BoCore {
                 }
             };
 
+            // One batched GP posterior over the whole pool per step —
+            // shared by the acquisition scoring, the frontier filter and
+            // the CI-stop scan below, so each candidate costs exactly one
+            // prediction per step.
+            let preds = surrogate.predict_batch(env.space(), &unprobed);
+            let pred_of = |d: &Deployment| unprobed.iter().position(|u| u == d).map(|i| &preds[i]);
+            let incumbent_ok = Self::incumbent_feasible(env, scenario, &incumbent);
+            // Budget-rescue mode: see `tei_feasible` — an infeasible budget
+            // incumbent turns the TEI filter on regardless of how young the
+            // surrogate is.
+            let budget_rescue = !incumbent_ok && matches!(scenario, Scenario::FastestWithBudget(_));
+
             // Score every candidate.
             let mut any_reserve_blocked = false;
-            let mut best: Option<(Deployment, f64 /*score*/, f64 /*poi*/, f64 /*ei*/)> = None;
+            let mut best: Option<(
+                Deployment,
+                f64, /*score*/
+                f64, /*poi*/
+                f64, /*ei*/
+            )> = None;
             // Candidates that pass the reserve but fail TEI — kept around
             // for the cold-start exploration fallback below.
             let mut tei_blocked: Vec<(Deployment, f64 /*optimistic speed*/)> = Vec::new();
             let rates = Self::per_type_speed_rate(&observations);
-            for d in &unprobed {
-                let pred = surrogate.predict(env.space(), d);
+            for (d, pred) in unprobed.iter().zip(&preds) {
                 if !self.probe_respects_reserve(env, scenario, d, &incumbent) {
                     any_reserve_blocked = true;
                     continue;
                 }
-                if !self.tei_feasible(env, scenario, d, &pred, observations.len(), &rates) {
+                if !self.tei_feasible(
+                    env,
+                    scenario,
+                    d,
+                    pred,
+                    observations.len(),
+                    &rates,
+                    budget_rescue,
+                ) {
                     tei_blocked.push((*d, pred.mean + TEI_SIGMAS * pred.stddev()));
                     continue;
                 }
-                let ei = self.utility_ei(scenario, total_samples, d, &pred, &incumbent);
-                let poi =
-                    self.utility_poi(scenario, total_samples, d, &pred, &incumbent, threshold);
+                let ei = self.utility_ei(scenario, total_samples, d, pred, &incumbent);
+                let poi = self.utility_poi(scenario, total_samples, d, pred, &incumbent, threshold);
                 let score = ei / self.penalty(env, scenario, d);
                 if best.as_ref().is_none_or(|b| score > b.1) {
                     best = Some((*d, score, poi, ei));
@@ -701,7 +738,6 @@ impl BoCore {
             // raw speed (feasibility first); its bonus then lives in speed
             // units and must pre-empt the cost-unit EI comparison rather
             // than join it.
-            let incumbent_ok = Self::incumbent_feasible(env, scenario, &incumbent);
             let chase_speed = !incumbent_ok && scenario.objective() == Objective::MinCost;
             let frontier = self.frontier_candidates(
                 &unprobed,
@@ -718,6 +754,25 @@ impl BoCore {
                 if !self.probe_respects_reserve(env, scenario, d, &incumbent) {
                     any_reserve_blocked = true;
                     continue;
+                }
+                // While rescuing a busted budget, a frontier step whose own
+                // completion cannot fit is as useless as any other — apply
+                // the same TEI filter the scored candidates went through.
+                if budget_rescue {
+                    if let Some(pred) = pred_of(d) {
+                        if !self.tei_feasible(
+                            env,
+                            scenario,
+                            d,
+                            pred,
+                            observations.len(),
+                            &rates,
+                            budget_rescue,
+                        ) {
+                            tei_blocked.push((*d, pred.mean + TEI_SIGMAS * pred.stddev()));
+                            continue;
+                        }
+                    }
                 }
                 max_frontier_bonus = max_frontier_bonus.max(*bonus);
                 let score = bonus / self.penalty(env, scenario, d);
@@ -754,10 +809,7 @@ impl BoCore {
                         env.spent().dollars() < HATCH_FRACTION * cmax.dollars()
                     }
                 };
-                if hatch_open
-                    && !Self::incumbent_feasible(env, scenario, &incumbent)
-                    && !tei_blocked.is_empty()
-                {
+                if hatch_open && !incumbent_ok && !tei_blocked.is_empty() {
                     let (d_explore, _) = tei_blocked
                         .iter()
                         .max_by(|a, b| a.1.total_cmp(&b.1))
@@ -786,11 +838,13 @@ impl BoCore {
             } else if self.cfg.ci_stop {
                 // Stop when no candidate retains a real chance of a
                 // meaningful improvement.
+                // Reuse the batched posterior computed above — the pool has
+                // not changed within this step.
                 let max_poi = unprobed
                     .iter()
-                    .map(|d| {
-                        let pred = surrogate.predict(env.space(), d);
-                        self.utility_poi(scenario, total_samples, d, &pred, &incumbent, threshold)
+                    .zip(&preds)
+                    .map(|(d, pred)| {
+                        self.utility_poi(scenario, total_samples, d, pred, &incumbent, threshold)
                     })
                     .fold(0.0_f64, f64::max);
                 if max_poi < CI_ALPHA {
@@ -812,8 +866,7 @@ impl BoCore {
         };
 
         let (re, rs) = rank_totals(env);
-        let best =
-            pick_incumbent(&observations, scenario, total_samples, re, rs, true).copied();
+        let best = pick_incumbent(&observations, scenario, total_samples, re, rs, true).copied();
         SearchOutcome {
             best,
             steps,
@@ -1099,12 +1152,7 @@ mod tests {
         let best = out.best.expect("should find something");
         // True optimum: c5.4xlarge n=20 at 500 samples/s.
         assert_eq!(best.deployment.itype, InstanceType::C54xlarge);
-        assert!(
-            best.speed > 450.0,
-            "found {} at {}, want near 500",
-            best.speed,
-            best.deployment
-        );
+        assert!(best.speed > 450.0, "found {} at {}, want near 500", best.speed, best.deployment);
     }
 
     #[test]
@@ -1308,8 +1356,8 @@ mod tests {
     fn empty_space_yields_nothing_feasible() {
         // A pool emptied by type restriction.
         let mut env = make_env();
-        let core = BoCore::new("empty", ConvBo::base_config(0))
-            .with_types(vec![InstanceType::C5n9xlarge]);
+        let core =
+            BoCore::new("empty", ConvBo::base_config(0)).with_types(vec![InstanceType::C5n9xlarge]);
         let out = core.search(&mut env, &Scenario::FastestUnlimited);
         assert!(out.best.is_none());
         assert_eq!(out.stop_reason, StopReason::NothingFeasible);

@@ -80,12 +80,8 @@ mod tests {
 
     fn make_env() -> SyntheticEnv<fn(&Deployment) -> f64> {
         let job = TrainingJob::resnet_cifar10();
-        let space = SearchSpace::new(
-            &[InstanceType::C5Xlarge],
-            20,
-            &job,
-            &ThroughputModel::default(),
-        );
+        let space =
+            SearchSpace::new(&[InstanceType::C5Xlarge], 20, &job, &ThroughputModel::default());
         fn f(d: &Deployment) -> f64 {
             // Peak at n = 13.
             200.0 - (d.n as f64 - 13.0).powi(2)

@@ -66,9 +66,8 @@ pub fn pick_incumbent<'a>(
     if observations.is_empty() {
         return None;
     }
-    let by_utility = |obs: &&Observation| {
-        scenario.utility(&obs.deployment, total_samples, obs.speed)
-    };
+    let by_utility =
+        |obs: &&Observation| scenario.utility(&obs.deployment, total_samples, obs.speed);
     if !constraint_aware {
         return observations.iter().max_by(|a, b| by_utility(a).total_cmp(&by_utility(b)));
     }
@@ -84,9 +83,7 @@ pub fn pick_incumbent<'a>(
                 Scenario::CheapestWithDeadline(tmax) => {
                     (elapsed + train_t).as_secs() <= tmax.as_secs()
                 }
-                Scenario::FastestWithBudget(cmax) => {
-                    (spent + train_c).dollars() <= cmax.dollars()
-                }
+                Scenario::FastestWithBudget(cmax) => (spent + train_c).dollars() <= cmax.dollars(),
             }
         })
         .collect();
@@ -101,9 +98,9 @@ pub fn pick_incumbent<'a>(
             observations.iter().max_by(|a, b| a.speed.total_cmp(&b.speed))
         }
         _ => observations.iter().min_by(|a, b| {
-            Scenario::training_cost(&a.deployment, total_samples, a.speed)
-                .dollars()
-                .total_cmp(&Scenario::training_cost(&b.deployment, total_samples, b.speed).dollars())
+            Scenario::training_cost(&a.deployment, total_samples, a.speed).dollars().total_cmp(
+                &Scenario::training_cost(&b.deployment, total_samples, b.speed).dollars(),
+            )
         }),
     }
 }
@@ -146,13 +143,12 @@ mod tests {
     fn scenario2_prefers_cheap_feasible() {
         // 1e6 samples. Fast-but-pricey: 10×p2 at 500/s → 0.56 h × $9/h = $5.
         // Slow-but-cheap: 2×c5.xlarge at 100/s → 2.78 h × $0.34/h = $0.94.
-        let observations = vec![
-            obs(InstanceType::P2Xlarge, 10, 500.0),
-            obs(InstanceType::C5Xlarge, 2, 100.0),
-        ];
+        let observations =
+            vec![obs(InstanceType::P2Xlarge, 10, 500.0), obs(InstanceType::C5Xlarge, 2, 100.0)];
         let deadline = Scenario::CheapestWithDeadline(SimDuration::from_hours(4.0));
-        let best = pick_incumbent(&observations, &deadline, 1e6, SimDuration::ZERO, Money::ZERO, true)
-            .unwrap();
+        let best =
+            pick_incumbent(&observations, &deadline, 1e6, SimDuration::ZERO, Money::ZERO, true)
+                .unwrap();
         assert_eq!(best.deployment.itype, InstanceType::C5Xlarge);
         // Tighten the deadline below 2.78 h: only the GPU option finishes.
         let tight = Scenario::CheapestWithDeadline(SimDuration::from_hours(1.0));
@@ -166,8 +162,15 @@ mod tests {
         let observations = vec![obs(InstanceType::C5Xlarge, 2, 100.0)]; // 2.78 h to train
         let deadline = Scenario::CheapestWithDeadline(SimDuration::from_hours(3.0));
         // 0 h used: feasible.
-        assert!(pick_incumbent(&observations, &deadline, 1e6, SimDuration::ZERO, Money::ZERO, true)
-            .is_some());
+        assert!(pick_incumbent(
+            &observations,
+            &deadline,
+            1e6,
+            SimDuration::ZERO,
+            Money::ZERO,
+            true
+        )
+        .is_some());
         // 2.5 h of profiling used: 2.78 h no longer fits; falls back to the
         // fastest (same single observation) — still Some, but the caller can
         // see the constraint is blown via the experiment runner.
@@ -185,13 +188,12 @@ mod tests {
     #[test]
     fn scenario3_budget_filter() {
         // Training costs at 1e6 samples: 10×p2 (500/s): $5.0; 2×c5 (100/s): $0.94.
-        let observations = vec![
-            obs(InstanceType::P2Xlarge, 10, 500.0),
-            obs(InstanceType::C5Xlarge, 2, 100.0),
-        ];
+        let observations =
+            vec![obs(InstanceType::P2Xlarge, 10, 500.0), obs(InstanceType::C5Xlarge, 2, 100.0)];
         let budget = Scenario::FastestWithBudget(Money::from_dollars(2.0));
-        let best = pick_incumbent(&observations, &budget, 1e6, SimDuration::ZERO, Money::ZERO, true)
-            .unwrap();
+        let best =
+            pick_incumbent(&observations, &budget, 1e6, SimDuration::ZERO, Money::ZERO, true)
+                .unwrap();
         assert_eq!(best.deployment.itype, InstanceType::C5Xlarge);
         let rich = Scenario::FastestWithBudget(Money::from_dollars(50.0));
         let best = pick_incumbent(&observations, &rich, 1e6, SimDuration::ZERO, Money::ZERO, true)
@@ -201,15 +203,14 @@ mod tests {
 
     #[test]
     fn oblivious_ranking_ignores_constraints() {
-        let observations = vec![
-            obs(InstanceType::P2Xlarge, 10, 500.0),
-            obs(InstanceType::C5Xlarge, 2, 100.0),
-        ];
+        let observations =
+            vec![obs(InstanceType::P2Xlarge, 10, 500.0), obs(InstanceType::C5Xlarge, 2, 100.0)];
         let budget = Scenario::FastestWithBudget(Money::from_dollars(2.0));
         // Constraint-oblivious: picks the fast GPU even though it blows the
         // budget — the ConvBO failure mode.
-        let best = pick_incumbent(&observations, &budget, 1e6, SimDuration::ZERO, Money::ZERO, false)
-            .unwrap();
+        let best =
+            pick_incumbent(&observations, &budget, 1e6, SimDuration::ZERO, Money::ZERO, false)
+                .unwrap();
         assert_eq!(best.deployment.itype, InstanceType::P2Xlarge);
     }
 

@@ -24,10 +24,8 @@ impl Surrogate {
             return None;
         }
         let scaler = InputScaler::from_bounds(&space.feature_bounds());
-        let xs: Vec<Vec<f64>> = observations
-            .iter()
-            .map(|o| scaler.scale(&space.features(&o.deployment)))
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            observations.iter().map(|o| scaler.scale(&space.features(&o.deployment))).collect();
         let ys: Vec<f64> = observations.iter().map(|o| o.speed).collect();
         Self::fit_xy(scaler, &xs, &ys, seed)
     }
@@ -60,12 +58,7 @@ impl Surrogate {
         Self::fit(space, observations, seed)
     }
 
-    fn fit_xy(
-        scaler: InputScaler,
-        xs: &[Vec<f64>],
-        ys: &[f64],
-        seed: u64,
-    ) -> Option<Surrogate> {
+    fn fit_xy(scaler: InputScaler, xs: &[Vec<f64>], ys: &[f64], seed: u64) -> Option<Surrogate> {
         // Tighter hyperparameter bounds than the generic defaults: a BO
         // surrogate is fitted on very few points, where an unconstrained
         // marginal-likelihood fit happily picks a near-infinite lengthscale
@@ -80,14 +73,22 @@ impl Surrogate {
             log_noise_var: ((1e-6f64).ln(), (0.05f64).ln()),
             ..FitOptions::default()
         };
-        GpModel::fit(xs, ys, KernelFamily::Matern52, &opts)
-            .ok()
-            .map(|gp| Surrogate { gp, scaler })
+        GpModel::fit(xs, ys, KernelFamily::Matern52, &opts).ok().map(|gp| Surrogate { gp, scaler })
     }
 
     /// Posterior belief about the speed of a deployment.
     pub fn predict(&self, space: &SearchSpace, d: &Deployment) -> Prediction {
         self.gp.predict(&self.scaler.scale(&space.features(d)))
+    }
+
+    /// Posterior beliefs about every deployment in `ds`, in order, through
+    /// one blocked solve against the cached Cholesky factor. Bit-identical
+    /// to calling [`predict`](Self::predict) per deployment (see
+    /// [`GpModel::predict_batch`]), but a whole candidate pool costs one
+    /// traversal of the factor instead of one per candidate.
+    pub fn predict_batch(&self, space: &SearchSpace, ds: &[Deployment]) -> Vec<Prediction> {
+        let xs: Vec<Vec<f64>> = ds.iter().map(|d| self.scaler.scale(&space.features(d))).collect();
+        self.gp.predict_batch(&xs)
     }
 
     /// Number of observations the surrogate was fitted on.
@@ -147,6 +148,23 @@ mod tests {
     }
 
     #[test]
+    fn predict_batch_matches_per_point() {
+        let s = space();
+        let observations: Vec<Observation> =
+            [1u32, 8, 17, 29, 44].iter().map(|&n| obs(n, 50.0 + 4.0 * n as f64)).collect();
+        let sur = Surrogate::fit(&s, &observations, 11).unwrap();
+        let ds: Vec<Deployment> =
+            (1..=50).map(|n| Deployment::new(InstanceType::C54xlarge, n)).collect();
+        let batch = sur.predict_batch(&s, &ds);
+        assert_eq!(batch.len(), ds.len());
+        for (d, p) in ds.iter().zip(&batch) {
+            let single = sur.predict(&s, d);
+            assert_eq!(p.mean, single.mean, "at {d}");
+            assert_eq!(p.var, single.var, "at {d}");
+        }
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let s = space();
         let observations: Vec<Observation> =
@@ -178,10 +196,7 @@ mod tests {
         let d = Deployment::new(InstanceType::C54xlarge, 25);
         let a = sur.predict(&s, &d).mean;
         let b = fresh.predict(&s, &d).mean;
-        assert!(
-            (a - b).abs() < 0.15 * b.abs().max(1.0),
-            "incremental {a} vs fresh {b}"
-        );
+        assert!((a - b).abs() < 0.15 * b.abs().max(1.0), "incremental {a} vs fresh {b}");
         // And the incremental posterior interpolates the newest point.
         let p = sur.predict(&s, &Deployment::new(InstanceType::C54xlarge, 45));
         assert!((p.mean - (100.0 + 3.0 * 45.0)).abs() < 10.0, "got {}", p.mean);

@@ -105,10 +105,7 @@ mod tests {
             Err(AnalyzeError::BothConstraints)
         );
         assert!(matches!(
-            a.analyze(&UserRequirements {
-                deadline: Some(SimDuration::ZERO),
-                budget: None
-            }),
+            a.analyze(&UserRequirements { deadline: Some(SimDuration::ZERO), budget: None }),
             Err(AnalyzeError::Degenerate(_))
         ));
         assert!(matches!(

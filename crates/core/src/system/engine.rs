@@ -107,12 +107,8 @@ mod tests {
     fn session() -> (Profiler<SimCloud, SimMlPlatform>, Scenario) {
         let job = TrainingJob::resnet_cifar10();
         let truth = ThroughputModel::default();
-        let space = SearchSpace::new(
-            &[InstanceType::C5Xlarge, InstanceType::C54xlarge],
-            30,
-            &job,
-            &truth,
-        );
+        let space =
+            SearchSpace::new(&[InstanceType::C5Xlarge, InstanceType::C54xlarge], 30, &job, &truth);
         let cloud = SimCloud::new(21);
         let platform = SimMlPlatform::new(job, truth, NoiseModel::noiseless(), 22);
         (

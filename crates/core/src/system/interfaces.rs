@@ -9,7 +9,7 @@
 
 use crate::deployment::Deployment;
 use mlcd_cloudsim::{
-    Cluster, CloudError, InstanceType, MetricStore, Money, SimCloud, SimDuration, SimTime,
+    CloudError, Cluster, InstanceType, MetricStore, Money, SimCloud, SimDuration, SimTime,
 };
 use mlcd_perfmodel::{Infeasible, NoiseModel, ThroughputModel, TrainingJob};
 use rand::rngs::SmallRng;
@@ -61,6 +61,17 @@ pub trait CloudInterface {
     fn launch_spot(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
         self.launch(itype, n)
     }
+
+    /// The instant at or before `t` when the spot market revokes this
+    /// cluster, if it does. Concurrent probing settles clusters
+    /// retroactively (it never occupies them with [`run_for`]
+    /// (Self::run_for), which is where sequential probing learns about
+    /// revocations), so it asks for the market's verdict through this.
+    /// The default — matching the default [`launch_spot`]
+    /// (Self::launch_spot) on-demand fallback — is "never revoked".
+    fn revocation_before(&self, _cluster: &Cluster, _t: SimTime) -> Option<SimTime> {
+        None
+    }
 }
 
 impl CloudInterface for SimCloud {
@@ -96,6 +107,9 @@ impl CloudInterface for SimCloud {
     }
     fn launch_spot(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
         SimCloud::launch_spot(self, itype, n)
+    }
+    fn revocation_before(&self, cluster: &Cluster, t: SimTime) -> Option<SimTime> {
+        SimCloud::revocation_before(self, cluster, t)
     }
 }
 
@@ -197,8 +211,7 @@ mod tests {
             grad_keep_frac: 1.0,
             scaling: mlcd_perfmodel::ScalingMode::Strong,
         };
-        let mut p =
-            SimMlPlatform::new(job, ThroughputModel::default(), NoiseModel::noiseless(), 3);
+        let mut p = SimMlPlatform::new(job, ThroughputModel::default(), NoiseModel::noiseless(), 3);
         let d = Deployment::new(InstanceType::P38xlarge, 1);
         assert!(p.true_speed(&d).is_err());
         assert!(p.sample_throughput(&d, 3).is_err());

@@ -15,7 +15,7 @@ use crate::deployment::{Deployment, SearchSpace};
 use crate::env::{model_warmup, paper_probe_duration, ProfileError, ProfilingEnv};
 use crate::observation::Observation;
 use crate::system::interfaces::{CloudInterface, MlPlatformInterface};
-use mlcd_cloudsim::{Money, SimDuration};
+use mlcd_cloudsim::{CloudError, Money, SimDuration};
 use mlcd_linalg::OnlineStats;
 
 /// Profiler tunables.
@@ -102,7 +102,7 @@ impl<C: CloudInterface, P: MlPlatformInterface> Profiler<C, P> {
 
     fn run_probe(&mut self, d: &Deployment) -> Result<Observation, ProfileError> {
         match self.run_probe_attempt(d, self.cfg.use_spot) {
-            Err(ProfileError::Failed(msg)) if msg.contains("spot market revoked") => {
+            Err(ProfileError::SpotRevoked { .. }) => {
                 // A revoked spot probe is retried once on-demand. Both the
                 // interrupted spot cluster and the retry are billed and
                 // counted into this probe's totals.
@@ -142,14 +142,13 @@ impl<C: CloudInterface, P: MlPlatformInterface> Profiler<C, P> {
                       dur: SimDuration,
                       windows: usize|
          -> Result<Vec<f64>, ProfileError> {
-            profiler
-                .cloud
-                .run_for(cluster, dur)
-                .map_err(|e| ProfileError::Failed(e.to_string()))?;
-            profiler
-                .platform
-                .sample_throughput(d, windows)
-                .map_err(ProfileError::Failed)
+            profiler.cloud.run_for(cluster, dur).map_err(|e| match e {
+                CloudError::SpotRevoked { at, .. } => {
+                    ProfileError::SpotRevoked { deployment: *d, at }
+                }
+                other => ProfileError::Failed(other.to_string()),
+            })?;
+            profiler.platform.sample_throughput(d, windows).map_err(ProfileError::Failed)
         };
 
         let result = (|| -> Result<f64, ProfileError> {
@@ -200,23 +199,57 @@ impl<C: CloudInterface, P: MlPlatformInterface> Profiler<C, P> {
 impl<C: CloudInterface, P: MlPlatformInterface> Profiler<C, P> {
     /// Parallel batch probing: launch every cluster at once, let each run
     /// its own probe duration, advance the clock only to the *slowest*
-    /// finisher, and bill each cluster its own span. Falls back to
-    /// sequential probing when the provider cannot report provisioning
-    /// delays without blocking.
+    /// finisher, and bill each cluster its own span. Probes go to the spot
+    /// market when the config asks for it; members the market revokes
+    /// mid-wave are retried once on-demand in a second wave, mirroring the
+    /// sequential retry. Falls back to sequential probing when the
+    /// provider cannot report provisioning delays without blocking.
     fn run_batch(&mut self, ds: &[Deployment]) -> Vec<Result<Observation, ProfileError>> {
+        let mut results: Vec<Option<Result<Observation, ProfileError>>> =
+            ds.iter().map(|_| None).collect();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let revoked = self.run_batch_wave(ds, &all, self.cfg.use_spot, &mut results);
+        if !revoked.is_empty() {
+            self.n_revoked += revoked.len();
+            for &i in &revoked {
+                results[i] = None;
+            }
+            // On-demand clusters are never revoked, so the retry wave
+            // settles every remaining member.
+            self.run_batch_wave(ds, &revoked, false, &mut results);
+        }
+        results.into_iter().map(|r| r.expect("every slot settled")).collect()
+    }
+
+    /// One concurrent probing wave over the `idx` members of `ds`. Fills
+    /// `results` for every member that settles (with an observation or an
+    /// error) and returns the indices whose spot cluster the market
+    /// revoked mid-wave — those slots hold the `SpotRevoked` error until
+    /// the caller decides whether to retry them.
+    fn run_batch_wave(
+        &mut self,
+        ds: &[Deployment],
+        idx: &[usize],
+        spot: bool,
+        results: &mut [Option<Result<Observation, ProfileError>>],
+    ) -> Vec<usize> {
         let t0 = self.cloud.now();
         let c_start = self.cloud.total_spent();
 
         // Launch phase: all clusters come up concurrently.
         let mut launched: Vec<(usize, mlcd_cloudsim::Cluster, SimDuration)> = Vec::new();
-        let mut results: Vec<Option<Result<Observation, ProfileError>>> =
-            ds.iter().map(|_| None).collect();
-        for (i, d) in ds.iter().enumerate() {
+        for &i in idx {
+            let d = &ds[i];
             if !self.space.contains(d) {
                 results[i] = Some(Err(ProfileError::NotInSpace(*d)));
                 continue;
             }
-            match self.cloud.launch(d.itype, d.n) {
+            let handle = if spot {
+                self.cloud.launch_spot(d.itype, d.n)
+            } else {
+                self.cloud.launch(d.itype, d.n)
+            };
+            match handle {
                 Ok(cluster) => match self.cloud.provisioning_delay(&cluster) {
                     Some(setup) => launched.push((i, cluster, setup)),
                     None => {
@@ -231,14 +264,17 @@ impl<C: CloudInterface, P: MlPlatformInterface> Profiler<C, P> {
         }
 
         // Measurement phase (virtual-time independent): work out each
-        // probe's duration and observation.
+        // probe's duration and observation, and ask the market whether
+        // the cluster survives that long.
         let warmup = model_warmup(self.platform.job().model.state_bytes());
         let mut ends: Vec<(usize, mlcd_cloudsim::Cluster, mlcd_cloudsim::SimTime, f64)> =
             Vec::new();
+        let mut revoked: Vec<usize> = Vec::new();
         for (i, cluster, setup) in launched {
             let d = ds[i];
             let quoted = paper_probe_duration(d.n) + warmup;
             let mut dur = setup + (quoted - setup).max(SimDuration::from_mins(2.0));
+            let mut speed = f64::NAN;
             match self.platform.sample_throughput(&d, self.cfg.windows) {
                 Ok(samples) => {
                     let mut stats = OnlineStats::new();
@@ -250,36 +286,46 @@ impl<C: CloudInterface, P: MlPlatformInterface> Profiler<C, P> {
                         let extra_dur = (quoted - setup).max(SimDuration::from_mins(2.0))
                             * self.cfg.extension_frac;
                         dur += extra_dur;
-                        if let Ok(extra) = self
-                            .platform
-                            .sample_throughput(&d, (self.cfg.windows / 2).max(1))
+                        if let Ok(extra) =
+                            self.platform.sample_throughput(&d, (self.cfg.windows / 2).max(1))
                         {
                             for s in extra {
                                 stats.push(s);
                             }
                         }
                     }
-                    ends.push((i, cluster, t0 + dur, stats.mean()));
+                    speed = stats.mean();
                 }
-                Err(msg) => {
-                    ends.push((i, cluster, t0 + dur, f64::NAN));
-                    results[i] = Some(Err(ProfileError::Failed(msg)));
+                Err(msg) => results[i] = Some(Err(ProfileError::Failed(msg))),
+            }
+            match self.cloud.revocation_before(&cluster, t0 + dur) {
+                Some(at) => {
+                    // The market kills this member before its probe ends:
+                    // it is billed up to the revocation instant and its
+                    // measurements are lost.
+                    ends.push((i, cluster, at, f64::NAN));
+                    results[i] = Some(Err(ProfileError::SpotRevoked { deployment: d, at }));
+                    revoked.push(i);
                 }
+                None => ends.push((i, cluster, t0 + dur, speed)),
             }
         }
 
-        // Settlement phase: wait for the slowest, bill each its own span.
-        let latest = ends
-            .iter()
-            .map(|(_, _, end, _)| *end)
-            .fold(t0, |a, b| if b > a { b } else { a });
+        // Settlement phase: wait for the slowest, bill each its own span —
+        // from the provider's ledger, exactly as the sequential path does,
+        // so spot discounts, billing minimums and revoked partial spans
+        // all land in the observation rather than diverging from
+        // `spent()`.
+        let latest =
+            ends.iter().map(|(_, _, end, _)| *end).fold(t0, |a, b| if b > a { b } else { a });
         self.cloud.skip_to(latest);
         for (i, cluster, end, speed) in ends {
+            let before = self.cloud.total_spent();
             self.cloud.terminate_at(&cluster, end);
+            let profile_cost = self.cloud.total_spent() - before;
             if results[i].is_none() {
                 let d = ds[i];
                 let profile_time = end.since(t0);
-                let profile_cost = mlcd_cloudsim::billing::quote(d.itype, d.n, profile_time);
                 self.cloud.metrics().put(&format!("throughput/{}", d), end, speed);
                 self.n_probes += 1;
                 results[i] =
@@ -287,11 +333,11 @@ impl<C: CloudInterface, P: MlPlatformInterface> Profiler<C, P> {
             }
         }
 
-        // The batch consumes wall-clock equal to its slowest member but
+        // The wave consumes wall-clock equal to its slowest member but
         // money equal to the sum.
         self.elapsed += latest.since(t0);
         self.spent += self.cloud.total_spent() - c_start;
-        results.into_iter().map(|r| r.expect("every slot settled")).collect()
+        revoked
     }
 }
 
@@ -439,8 +485,7 @@ mod tests {
         let run = |use_spot: bool| {
             let job = TrainingJob::resnet_cifar10();
             let truth = ThroughputModel::default();
-            let space =
-                SearchSpace::new(&[InstanceType::C54xlarge], 50, &job, &truth);
+            let space = SearchSpace::new(&[InstanceType::C54xlarge], 50, &job, &truth);
             let cloud = SimCloud::new(5);
             let platform = SimMlPlatform::new(job, truth, NoiseModel::noiseless(), 6);
             let mut p = Profiler::new(
@@ -470,8 +515,7 @@ mod tests {
         for seed in 0..60u64 {
             let job = TrainingJob::resnet_cifar10();
             let truth = ThroughputModel::default();
-            let space =
-                SearchSpace::new(&[InstanceType::C54xlarge], 50, &job, &truth);
+            let space = SearchSpace::new(&[InstanceType::C54xlarge], 50, &job, &truth);
             let cloud = SimCloud::new(seed);
             let platform = SimMlPlatform::new(job, truth, NoiseModel::noiseless(), seed + 1);
             let mut p = Profiler::new(
@@ -514,8 +558,7 @@ mod tests {
 
         // Parallel batch.
         let mut par = make_profiler(NoiseModel::noiseless());
-        let par_obs: Vec<_> =
-            par.profile_batch(&ds).into_iter().map(|r| r.unwrap()).collect();
+        let par_obs: Vec<_> = par.profile_batch(&ds).into_iter().map(|r| r.unwrap()).collect();
 
         // Same speeds observed (noiseless ⇒ ground truth either way).
         for (a, b) in seq_obs.iter().zip(&par_obs) {
@@ -528,11 +571,116 @@ mod tests {
         assert!((par.spent().dollars() - par_sum).abs() < 1e-6);
         // Wall-clock: batch elapsed == slowest member, strictly less than
         // the sequential sum.
-        let slowest =
-            par_obs.iter().map(|o| o.profile_time.as_secs()).fold(0.0_f64, f64::max);
+        let slowest = par_obs.iter().map(|o| o.profile_time.as_secs()).fold(0.0_f64, f64::max);
         assert!((par.elapsed().as_secs() - slowest).abs() < 1e-6);
         assert!(par.elapsed().as_secs() < seq.elapsed().as_secs() * 0.6);
         assert_eq!(par.n_probes(), 3);
+    }
+
+    fn spot_profiler(seed: u64, itypes: &[InstanceType]) -> Profiler<SimCloud, SimMlPlatform> {
+        let job = TrainingJob::resnet_cifar10();
+        let truth = ThroughputModel::default();
+        let space = SearchSpace::new(itypes, 50, &job, &truth);
+        let cloud = SimCloud::new(seed);
+        let platform = SimMlPlatform::new(job, truth, NoiseModel::noiseless(), seed + 1);
+        Profiler::new(
+            cloud,
+            platform,
+            space,
+            ProfilerConfig { use_spot: true, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn batch_spot_observation_costs_sum_to_spent() {
+        // Regression: the batch settlement used to price observations with
+        // an on-demand quote while `spent()` tracked the cloud ledger, so
+        // under spot pricing the two diverged. Observations are now billed
+        // from the ledger like the sequential path.
+        let ds: Vec<Deployment> = [2u32, 6, 12, 20]
+            .iter()
+            .map(|&n| Deployment::new(InstanceType::C54xlarge, n))
+            .collect();
+        let mut checked = 0;
+        for seed in 0..20u64 {
+            let mut p = spot_profiler(seed, &[InstanceType::C54xlarge]);
+            let obs: Vec<Observation> =
+                p.profile_batch(&ds).into_iter().map(|r| r.unwrap()).collect();
+            // The profiler's running total must match the ledger always.
+            let ledger = p.cloud().billing().total_cost();
+            assert!(
+                (p.spent().dollars() - ledger.dollars()).abs() < 1e-9,
+                "seed {seed}: profiler {} vs ledger {}",
+                p.spent(),
+                ledger
+            );
+            if p.n_revoked() > 0 {
+                // A revoked first attempt is billed into `spent()` but
+                // belongs to no observation (same as the sequential path).
+                continue;
+            }
+            let sum: f64 = obs.iter().map(|o| o.profile_cost.dollars()).sum();
+            assert!(
+                (sum - p.spent().dollars()).abs() < 1e-9,
+                "seed {seed}: observations ${sum} vs spent {}",
+                p.spent()
+            );
+            // And the ledger rate really is the spot rate: an on-demand
+            // quote over the same spans would cost substantially more.
+            let quoted: f64 = obs
+                .iter()
+                .map(|o| {
+                    mlcd_cloudsim::billing::quote(
+                        o.deployment.itype,
+                        o.deployment.n,
+                        o.profile_time,
+                    )
+                    .dollars()
+                })
+                .sum();
+            assert!(
+                sum < quoted * 0.7,
+                "seed {seed}: spot batch ${sum:.2} should undercut quote ${quoted:.2}"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 10, "too few revocation-free seeds: {checked}/20");
+    }
+
+    #[test]
+    fn batch_revoked_spot_member_retried_on_demand() {
+        // Find a seed where the market revokes a batch member, then check
+        // the retry wave still settles every member and the accounting
+        // holds to the ledger.
+        for seed in 0..80u64 {
+            let mut p = spot_profiler(seed, &[InstanceType::C54xlarge]);
+            let ds: Vec<Deployment> = [30u32, 40, 50, 45, 35]
+                .iter()
+                .map(|&n| Deployment::new(InstanceType::C54xlarge, n))
+                .collect();
+            let results = p.profile_batch(&ds);
+            for r in &results {
+                let obs = r.as_ref().unwrap();
+                assert!(obs.speed > 0.0);
+            }
+            let ledger = p.cloud().billing().total_cost();
+            assert!(
+                (p.spent().dollars() - ledger.dollars()).abs() < 1e-9,
+                "seed {seed}: profiler {} vs ledger {}",
+                p.spent(),
+                ledger
+            );
+            if p.n_revoked() > 0 {
+                // Revoked first attempts cost money but yield no
+                // observation, so the sum is strictly below spent().
+                let sum: f64 =
+                    results.iter().map(|r| r.as_ref().unwrap().profile_cost.dollars()).sum();
+                assert!(sum < p.spent().dollars());
+                assert_eq!(p.n_probes(), ds.len());
+                return; // exercised the batch retry path — done
+            }
+        }
+        panic!("no revocation in 80 seeds — batch retry path never exercised");
     }
 
     #[test]

@@ -62,13 +62,7 @@ pub struct FittedHyperparams {
 ///
 /// Returns `+inf` for hyperparameters outside sane bounds or that make the
 /// kernel matrix unfactorable — the optimiser treats those as walls.
-fn nlml(
-    theta: &[f64],
-    xs: &[Vec<f64>],
-    z: &[f64],
-    family: KernelFamily,
-    opts: &FitOptions,
-) -> f64 {
+fn nlml(theta: &[f64], xs: &[Vec<f64>], z: &[f64], family: KernelFamily, opts: &FitOptions) -> f64 {
     let d = xs[0].len();
     debug_assert_eq!(theta.len(), d + 2);
     // Allow the optimiser to wander a little past the start box (soft
@@ -172,10 +166,8 @@ mod tests {
     fn smooth_data(n: usize, noise_sd: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
-        let ys: Vec<f64> = xs
-            .iter()
-            .map(|x| (x[0] * 6.0).sin() + noise_sd * rng.gen_range(-1.0..1.0))
-            .collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| (x[0] * 6.0).sin() + noise_sd * rng.gen_range(-1.0..1.0)).collect();
         (xs, ys)
     }
 

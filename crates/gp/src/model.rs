@@ -214,9 +214,43 @@ impl GpModel {
         }
     }
 
-    /// Predict at many points.
+    /// Posterior prediction at many points through one blocked solve.
+    ///
+    /// Assembles the n×m cross-covariance `K*` (one column per query),
+    /// runs a single blocked forward substitution `V = L⁻¹ K*` against the
+    /// cached factor, and reads each query's mean and variance off its
+    /// column. Results are bit-identical to calling
+    /// [`predict`](Self::predict) per point — the per-column arithmetic is
+    /// the same — but the factor is traversed once per pivot instead of
+    /// once per query, which is what makes scoring a whole candidate pool
+    /// per BO step cheap.
+    ///
+    /// # Panics
+    /// Panics when any query has the wrong dimensionality.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Prediction> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let m = xs.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        for (c, x) in xs.iter().enumerate() {
+            assert_eq!(x.len(), self.dim(), "predict_batch: dim mismatch at query {c}");
+        }
+        let n = self.n_obs();
+        let kstar = Mat::from_fn(n, m, |i, c| self.kernel.eval(&self.xs[i], &xs[c]));
+        let v = self.chol.solve_lower_multi(&kstar);
+        let k_diag = self.kernel.diag();
+        (0..m)
+            .map(|c| {
+                let mean_z = mlcd_linalg::dot(kstar.col(c), &self.alpha);
+                let vc = v.col(c);
+                let var_z = (k_diag - mlcd_linalg::dot(vc, vc)).max(0.0);
+                Prediction {
+                    mean: self.out_scaler.inverse(mean_z),
+                    var: self.out_scaler.inverse_var(var_z),
+                    var_with_noise: self.out_scaler.inverse_var(var_z + self.noise_var),
+                }
+            })
+            .collect()
     }
 
     /// Retrain with one extra observation, keeping the same hyperparameters.
@@ -436,10 +470,7 @@ mod tests {
     #[test]
     fn extend_rejects_bad_input() {
         let gp = toy_model(0.01);
-        assert!(matches!(
-            gp.extend(vec![1.0, 2.0], 1.0),
-            Err(GpError::BadTrainingData(_))
-        ));
+        assert!(matches!(gp.extend(vec![1.0, 2.0], 1.0), Err(GpError::BadTrainingData(_))));
         assert!(matches!(gp.extend(vec![f64::NAN], 1.0), Err(GpError::BadTrainingData(_))));
     }
 
@@ -451,6 +482,21 @@ mod tests {
         let gp = GpModel::with_hyperparams(&xs, &ys, k, 0.0).unwrap();
         // Exact duplicate input with zero noise → singular extension.
         assert!(matches!(gp.extend(vec![1.0], 5.0), Err(GpError::Numerical(_))));
+    }
+
+    #[test]
+    fn predict_batch_matches_per_point() {
+        let gp = toy_model(0.05);
+        let queries: Vec<Vec<f64>> = [-2.0, 0.3, 3.7, 7.9, 25.0].iter().map(|&x| vec![x]).collect();
+        let batch = gp.predict_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (q, p) in queries.iter().zip(&batch) {
+            let single = gp.predict(q);
+            assert_eq!(p.mean, single.mean, "mean at {q:?}");
+            assert_eq!(p.var, single.var, "var at {q:?}");
+            assert_eq!(p.var_with_noise, single.var_with_noise, "noisy var at {q:?}");
+        }
+        assert!(gp.predict_batch(&[]).is_empty());
     }
 
     #[test]

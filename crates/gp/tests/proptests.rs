@@ -81,6 +81,30 @@ proptest! {
     }
 
     #[test]
+    fn batch_prediction_matches_per_point(
+        (xs, ys) in dataset(),
+        qs in proptest::collection::vec(-10.0f64..20.0, 1..40),
+    ) {
+        // The blocked batch path must agree with the one-at-a-time path
+        // everywhere — inside the data, at the training points, and far
+        // outside — to 1e-9 (it is bit-identical by construction, but the
+        // contract we promise callers is the tolerance).
+        let gp = GpModel::with_hyperparams(&xs, &ys, kernel_for(1), 0.1).unwrap();
+        let queries: Vec<Vec<f64>> = qs.into_iter().map(|q| vec![q]).collect();
+        let batch = gp.predict_batch(&queries);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            let s = gp.predict(q);
+            prop_assert!((b.mean - s.mean).abs() <= 1e-9,
+                "mean at {:?}: {} vs {}", q, b.mean, s.mean);
+            prop_assert!((b.var - s.var).abs() <= 1e-9,
+                "var at {:?}: {} vs {}", q, b.var, s.var);
+            prop_assert!((b.var_with_noise - s.var_with_noise).abs() <= 1e-9,
+                "var_with_noise at {:?}: {} vs {}", q, b.var_with_noise, s.var_with_noise);
+        }
+    }
+
+    #[test]
     fn kernel_matrix_psd_quadratic_form(
         pts in proptest::collection::vec(0.0f64..5.0, 2..10),
         ws in proptest::collection::vec(-1.0f64..1.0, 2..10),

@@ -34,7 +34,7 @@ pub mod stats;
 
 pub use chol::{Chol, CholError};
 pub use mat::Mat;
-pub use optimize::{nelder_mead, multi_start_nelder_mead, NelderMeadOptions, OptResult};
+pub use optimize::{multi_start_nelder_mead, nelder_mead, NelderMeadOptions, OptResult};
 pub use sampling::{latin_hypercube, SampleRange};
 pub use stats::{norm_cdf, norm_pdf, norm_quantile, OnlineStats, Summary};
 

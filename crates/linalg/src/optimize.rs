@@ -51,11 +51,7 @@ pub struct OptResult {
 /// Objective values that are NaN are treated as `+inf`, so the simplex
 /// retreats from invalid regions (e.g. hyperparameters that make a kernel
 /// matrix unfactorable) instead of corrupting the ordering.
-pub fn nelder_mead(
-    f: impl Fn(&[f64]) -> f64,
-    x0: &[f64],
-    opts: &NelderMeadOptions,
-) -> OptResult {
+pub fn nelder_mead(f: impl Fn(&[f64]) -> f64, x0: &[f64], opts: &NelderMeadOptions) -> OptResult {
     let n = x0.len();
     assert!(n > 0, "nelder_mead: empty start point");
     let clean = |v: f64| if v.is_nan() { f64::INFINITY } else { v };
@@ -202,7 +198,8 @@ mod tests {
     #[test]
     fn respects_eval_budget() {
         let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
-        let opts = NelderMeadOptions { max_evals: 30, f_tol: 0.0, x_tol: 0.0, ..Default::default() };
+        let opts =
+            NelderMeadOptions { max_evals: 30, f_tol: 0.0, x_tol: 0.0, ..Default::default() };
         let r = nelder_mead(f, &[5.0, 5.0, 5.0, 5.0], &opts);
         // A full iteration can add a handful of evals past the check.
         assert!(r.evals <= 40, "evals = {}", r.evals);

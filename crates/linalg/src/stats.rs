@@ -356,8 +356,10 @@ mod tests {
         for &p in &[1e-10, 1e-6, 0.01, 0.025, 0.2, 0.5, 0.8, 0.975, 0.99, 1.0 - 1e-6] {
             let x = norm_quantile(p);
             let back = norm_cdf(x);
-            assert!((back - p).abs() < 1e-10 * (1.0 + 1.0 / p.min(1.0 - p)).min(1e4),
-                "quantile({p}) -> {x} -> cdf {back}");
+            assert!(
+                (back - p).abs() < 1e-10 * (1.0 + 1.0 / p.min(1.0 - p)).min(1e4),
+                "quantile({p}) -> {x} -> cdf {back}"
+            );
         }
         assert!((norm_quantile(0.975) - 1.959963984540054).abs() < 1e-9);
         assert_eq!(norm_quantile(0.5), 0.0);

@@ -6,8 +6,8 @@
 //! cargo run -p mlcd-perfmodel --example probe_landscape --release
 //! ```
 
-use mlcd_perfmodel::*;
 use mlcd_cloudsim::InstanceType;
+use mlcd_perfmodel::*;
 fn main() {
     let m = ThroughputModel::default();
     for (name, job) in [
@@ -22,16 +22,30 @@ fn main() {
         for t in InstanceType::all() {
             for n in 1..=50u32 {
                 if let Ok(s) = m.throughput(&job, t, n) {
-                    if s > best.2 { best = (t, n, s); }
+                    if s > best.2 {
+                        best = (t, n, s);
+                    }
                 }
             }
         }
         let time = job.total_samples() / best.2 / 3600.0;
         let cost = time * best.0.hourly_usd() * best.1 as f64;
-        println!("{name:10} best = {} x{:2}  speed {:8.1} samp/s  train {:6.2} h  cost ${:8.2}", best.0, best.1, best.2, time, cost);
+        println!(
+            "{name:10} best = {} x{:2}  speed {:8.1} samp/s  train {:6.2} h  cost ${:8.2}",
+            best.0, best.1, best.2, time, cost
+        );
         // per-type peak for a few types
-        for t in [InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::C5n4xlarge, InstanceType::P2Xlarge, InstanceType::P32xlarge] {
-            let (n, s) = (1..=50).filter_map(|n| m.throughput(&job, t, n).ok().map(|s| (n, s))).max_by(|a,b| a.1.total_cmp(&b.1)).unwrap_or((0,0.0));
+        for t in [
+            InstanceType::C5Xlarge,
+            InstanceType::C54xlarge,
+            InstanceType::C5n4xlarge,
+            InstanceType::P2Xlarge,
+            InstanceType::P32xlarge,
+        ] {
+            let (n, s) = (1..=50)
+                .filter_map(|n| m.throughput(&job, t, n).ok().map(|s| (n, s)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap_or((0, 0.0));
             let time = job.total_samples() / s / 3600.0;
             let cost = time * t.hourly_usd() * n as f64;
             println!("    {t:14} peak n={n:2} speed {s:8.1}  train {time:7.2} h cost ${cost:8.2}");

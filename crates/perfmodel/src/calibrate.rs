@@ -142,10 +142,8 @@ impl Calibrator {
             }
         }
         let probe = ThroughputModel::default();
-        let usable = samples
-            .iter()
-            .filter(|s| probe.feasible(&self.job, s.itype, s.n).is_ok())
-            .count();
+        let usable =
+            samples.iter().filter(|s| probe.feasible(&self.job, s.itype, s.n).is_ok()).count();
         if usable < MIN_SAMPLES {
             if usable == 0 && !samples.is_empty() {
                 return Err(CalibError::NothingFeasible);
@@ -154,8 +152,10 @@ impl Calibrator {
         }
 
         // Latency constants live between 10 µs and 1 s.
-        let ranges =
-            [SampleRange::new((1e-5f64).ln(), (1.0f64).ln()), SampleRange::new((1e-5f64).ln(), (1.0f64).ln())];
+        let ranges = [
+            SampleRange::new((1e-5f64).ln(), (1.0f64).ln()),
+            SampleRange::new((1e-5f64).ln(), (1.0f64).ln()),
+        ];
         let best = multi_start_nelder_mead(
             |theta| self.loss(theta, samples),
             &ranges,
@@ -244,20 +244,14 @@ mod tests {
         // Held-out point (n = 40, not in the training grid).
         let held = truth.throughput(&job, InstanceType::C54xlarge, 40).unwrap();
         let pred = fitted.model.throughput(&job, InstanceType::C54xlarge, 40).unwrap();
-        assert!(
-            (pred / held - 1.0).abs() < 0.10,
-            "held-out: pred {pred:.1} vs true {held:.1}"
-        );
+        assert!((pred / held - 1.0).abs() < 0.10, "held-out: pred {pred:.1} vs true {held:.1}");
     }
 
     #[test]
     fn input_validation() {
         let job = TrainingJob::resnet_cifar10();
         let cal = Calibrator::new(job);
-        assert!(matches!(
-            cal.fit(&[]),
-            Err(CalibError::TooFewSamples { got: 0, .. })
-        ));
+        assert!(matches!(cal.fit(&[]), Err(CalibError::TooFewSamples { got: 0, .. })));
         let bad = [CalibrationSample { itype: InstanceType::C5Xlarge, n: 2, speed: -1.0 }];
         assert!(matches!(cal.fit(&bad), Err(CalibError::BadSample(0))));
         let few = [

@@ -90,9 +90,7 @@ impl CommModel {
         let n_f = n as f64;
         let bandwidth_term = 2.0 * grad_bytes * (n_f - 1.0) / (n_f * bw_bytes_per_s);
         match topology {
-            CommTopology::ParameterServer => {
-                bandwidth_term + self.ps_incast_per_peer * (n_f - 1.0)
-            }
+            CommTopology::ParameterServer => bandwidth_term + self.ps_incast_per_peer * (n_f - 1.0),
             CommTopology::RingAllReduce => {
                 bandwidth_term + self.ring_step_latency * 2.0 * (n_f - 1.0)
             }
@@ -103,11 +101,8 @@ impl CommModel {
                 // the broadcast back down rides the local ring again (its
                 // bandwidth is folded into the 2× of each ring term).
                 let local = 2.0 * grad_bytes * (g - 1.0) / (g * bw_bytes_per_s);
-                let global = if k > 1.0 {
-                    2.0 * grad_bytes * (k - 1.0) / (k * bw_bytes_per_s)
-                } else {
-                    0.0
-                };
+                let global =
+                    if k > 1.0 { 2.0 * grad_bytes * (k - 1.0) / (k * bw_bytes_per_s) } else { 0.0 };
                 let latency = self.ring_step_latency * 2.0 * ((g - 1.0) + (k - 1.0));
                 local + global + latency
             }
@@ -199,8 +194,7 @@ mod tests {
         let m = CommModel::default();
         let g = 13.0 * MB;
         let flat = m.sync_time(CommTopology::RingAllReduce, g, 64, 10.0);
-        let hier =
-            m.sync_time(CommTopology::HierarchicalAllReduce { group: 8 }, g, 64, 10.0);
+        let hier = m.sync_time(CommTopology::HierarchicalAllReduce { group: 8 }, g, 64, 10.0);
         assert!(hier < flat, "hier {hier} vs flat {flat}");
     }
 
@@ -211,8 +205,7 @@ mod tests {
         let m = CommModel::default();
         let g = 680.0 * MB;
         let flat = m.sync_time(CommTopology::RingAllReduce, g, 16, 10.0);
-        let hier =
-            m.sync_time(CommTopology::HierarchicalAllReduce { group: 4 }, g, 16, 10.0);
+        let hier = m.sync_time(CommTopology::HierarchicalAllReduce { group: 4 }, g, 16, 10.0);
         assert!(hier > flat, "hier {hier} vs flat {flat}");
     }
 
@@ -225,10 +218,7 @@ mod tests {
             m.sync_time(CommTopology::HierarchicalAllReduce { group: 16 }, 50.0 * MB, 6, 10.0);
         assert!((flat - hier).abs() < 1e-9, "flat {flat} vs degenerate hier {hier}");
         // Single node still free.
-        assert_eq!(
-            m.sync_time(CommTopology::HierarchicalAllReduce { group: 8 }, MB, 1, 10.0),
-            0.0
-        );
+        assert_eq!(m.sync_time(CommTopology::HierarchicalAllReduce { group: 8 }, MB, 1, 10.0), 0.0);
     }
 
     #[test]

@@ -77,7 +77,8 @@ pub fn compute_time(
     let gflops_needed = model.train_gflops_per_sample() * per_node_batch;
     let device_is_gpu = spec.has_gpu()
         && spec.gpu_peak_gflops() * model.gpu_util > spec.cpu_peak_gflops * model.cpu_util;
-    let eff = effective_gflops(model, platform, spec) * batch_efficiency(per_node_batch, device_is_gpu);
+    let eff =
+        effective_gflops(model, platform, spec) * batch_efficiency(per_node_batch, device_is_gpu);
     gflops_needed / eff
 }
 

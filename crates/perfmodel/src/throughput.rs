@@ -60,11 +60,15 @@ pub struct ThroughputModel {
 
 impl ThroughputModel {
     /// Check memory feasibility of `n` × `itype` for the job.
-    pub fn feasible(&self, job: &TrainingJob, itype: InstanceType, n: u32) -> Result<(), Infeasible> {
+    pub fn feasible(
+        &self,
+        job: &TrainingJob,
+        itype: InstanceType,
+        n: u32,
+    ) -> Result<(), Infeasible> {
         assert!(n >= 1, "feasible: empty cluster");
         let spec = itype.spec();
-        if job.scaling == crate::models::ScalingMode::Strong
-            && (job.global_batch as f64) < n as f64
+        if job.scaling == crate::models::ScalingMode::Strong && (job.global_batch as f64) < n as f64
         {
             return Err(Infeasible::BatchTooSmall);
         }
@@ -74,9 +78,7 @@ impl ThroughputModel {
             && spec.gpu_peak_gflops() * job.model.gpu_util
                 > spec.cpu_peak_gflops * job.model.cpu_util;
         let per_node_capacity = if device_is_gpu {
-            spec.accelerators
-                .map(|(a, c)| a.memory_gib() * c as f64 * 1e9)
-                .unwrap_or(0.0)
+            spec.accelerators.map(|(a, c)| a.memory_gib() * c as f64 * 1e9).unwrap_or(0.0)
         } else {
             spec.memory_gib * 1e9
         };
@@ -112,10 +114,9 @@ impl ThroughputModel {
         let raw_compute = compute::compute_time(&job.model, job.platform, spec, per_node_batch);
         let compute_s = raw_compute * compute::straggler_factor(n);
 
-        let comm_s = self
-            .comm
-            .sync_time(job.topology, job.effective_grad_bytes(), n, spec.network_gbps)
-            * job.platform.comm_multiplier();
+        let comm_s =
+            self.comm.sync_time(job.topology, job.effective_grad_bytes(), n, spec.network_gbps)
+                * job.platform.comm_multiplier();
 
         // A platform-dependent fraction of compute can hide communication.
         let hidden = job.platform.overlap_fraction() * compute_s;
@@ -125,7 +126,12 @@ impl ThroughputModel {
     }
 
     /// True training speed in samples/second.
-    pub fn throughput(&self, job: &TrainingJob, itype: InstanceType, n: u32) -> Result<f64, Infeasible> {
+    pub fn throughput(
+        &self,
+        job: &TrainingJob,
+        itype: InstanceType,
+        n: u32,
+    ) -> Result<f64, Infeasible> {
         Ok(self.breakdown(job, itype, n)?.throughput())
     }
 
@@ -164,16 +170,9 @@ mod tests {
         // The paper's central prior (Fig 3b): speed rises then falls.
         let job = TrainingJob::resnet_cifar10();
         let m = model();
-        let speeds: Vec<f64> = (1..=50)
-            .map(|n| m.throughput(&job, InstanceType::C54xlarge, n).unwrap())
-            .collect();
-        let peak = speeds
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0
-            + 1;
+        let speeds: Vec<f64> =
+            (1..=50).map(|n| m.throughput(&job, InstanceType::C54xlarge, n).unwrap()).collect();
+        let peak = speeds.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0 + 1;
         assert!(
             (5..=45).contains(&peak),
             "peak should be interior, got n={peak}; speeds head {:?}",

@@ -20,7 +20,10 @@ fn main() {
         InstanceType::P2Xlarge,
     ];
 
-    println!("{:>8} | {:>16} | {:>9} | {:>9} | {:>9} | ok", "budget", "pick", "train(h)", "total($)", "total(h)");
+    println!(
+        "{:>8} | {:>16} | {:>9} | {:>9} | {:>9} | ok",
+        "budget", "pick", "train(h)", "total($)", "total(h)"
+    );
     for budget in [60.0, 100.0, 140.0, 180.0, 220.0] {
         let scenario = Scenario::FastestWithBudget(Money::from_dollars(budget));
         let runner = ExperimentRunner::new(11).with_types(types.clone());

@@ -51,7 +51,11 @@ fn main() {
     }
     let plan = outcome.plan.expect("HeterBO found a deployment");
     println!("\nchosen deployment : {}", plan.deployment);
-    println!("profiling         : {:.2} h, {}", outcome.search.profile_time.as_hours(), outcome.search.profile_cost);
+    println!(
+        "profiling         : {:.2} h, {}",
+        outcome.search.profile_time.as_hours(),
+        outcome.search.profile_cost
+    );
     println!("training          : {:.2} h, {}", outcome.train_time.as_hours(), outcome.train_cost);
     println!("total             : {:.2} h, {}", outcome.total_hours(), outcome.total_cost);
     println!("within budget     : {}", if outcome.satisfied { "yes" } else { "NO" });

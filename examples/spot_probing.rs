@@ -61,13 +61,8 @@ fn main() {
     println!("HeterBO (budget-aware — reserve reinvests spot savings):");
     for use_spot in [false, true] {
         let out = runner(use_spot).run(&HeterBo::seeded(17), &job, &scenario);
-        let biggest = out
-            .search
-            .steps
-            .iter()
-            .map(|s| s.observation.deployment.n)
-            .max()
-            .unwrap_or(0);
+        let biggest =
+            out.search.steps.iter().map(|s| s.observation.deployment.n).max().unwrap_or(0);
         println!(
             "  {:<10} probes {:>2} (largest cluster {:>3} nodes) | profiling {:>8} | pick {:>16} | total {:>8}",
             if use_spot { "spot" } else { "on-demand" },
@@ -79,6 +74,27 @@ fn main() {
         );
         assert!(out.satisfied, "both runs must respect the budget");
     }
+    // Effect 3: batch probing composes with spot. The parallel type-sweep
+    // launches every init cluster on the spot market at once; members the
+    // market revokes mid-probe are retried on-demand in a second wave, and
+    // every observation is billed from the cloud ledger (spot discounts,
+    // billing minimums and the revoked first attempts all land in the
+    // profiling bill).
+    println!("\nHeterBO with parallel init (whole type sweep probed at once, on spot):");
+    for use_spot in [false, true] {
+        let out = runner(use_spot).run(&HeterBo::with_parallel_init(17), &job, &scenario);
+        println!(
+            "  {:<10} probes {:>2} | profiling {:>8} over {:>5.2} h | pick {:>16} | total {:>8}",
+            if use_spot { "spot" } else { "on-demand" },
+            out.search.n_probes(),
+            out.search.profile_cost.to_string(),
+            out.search.profile_time.as_hours(),
+            out.plan.map(|p| p.deployment.to_string()).unwrap_or_default(),
+            out.total_cost.to_string()
+        );
+        assert!(out.satisfied, "both runs must respect the budget");
+    }
+
     println!(
         "\nThe training run itself stays on-demand — you don't gamble the long job\n\
          on the spot market, only the ten-minute probes."

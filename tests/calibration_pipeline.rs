@@ -12,9 +12,7 @@ use mlcd_perfmodel::{CalibrationSample, Calibrator, CommModel, NoiseModel};
 
 /// A "foreign cloud" whose comm constants differ from our defaults.
 fn foreign_truth() -> ThroughputModel {
-    ThroughputModel {
-        comm: CommModel { ps_incast_per_peer: 35e-3, ring_step_latency: 2.5e-3 },
-    }
+    ThroughputModel { comm: CommModel { ps_incast_per_peer: 35e-3, ring_step_latency: 2.5e-3 } }
 }
 
 #[test]
@@ -67,11 +65,7 @@ fn searching_on_a_calibrated_world_stays_compliant() {
     let truth = foreign_truth();
     let budget = Money::from_dollars(120.0);
     let runner = ExperimentRunner::new(9)
-        .with_types(vec![
-            InstanceType::C5Xlarge,
-            InstanceType::C54xlarge,
-            InstanceType::C5n4xlarge,
-        ])
+        .with_types(vec![InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::C5n4xlarge])
         .with_truth(truth);
     let out = runner.run(&HeterBo::seeded(9), &job, &Scenario::FastestWithBudget(budget));
     assert!(out.plan.is_some());

@@ -34,11 +34,7 @@ fn every_searcher_completes_every_scenario() {
     for scenario in &scenarios {
         for s in &searchers {
             let out = runner.run(s.as_ref(), &job, scenario);
-            assert!(
-                out.plan.is_some(),
-                "{} found nothing under {scenario}",
-                s.name()
-            );
+            assert!(out.plan.is_some(), "{} found nothing under {scenario}", s.name());
             assert!(out.search.n_probes() >= 1);
             assert!(out.total_cost.dollars() > 0.0);
             // Breakdown must add up exactly.
@@ -110,9 +106,8 @@ fn searches_fully_deterministic_per_seed() {
 fn noiseless_profiling_recovers_ground_truth_speeds() {
     let job = TrainingJob::resnet_cifar10();
     let truth = ThroughputModel::default();
-    let runner = ExperimentRunner::new(9)
-        .with_types(standard_types())
-        .with_noise(NoiseModel::noiseless());
+    let runner =
+        ExperimentRunner::new(9).with_types(standard_types()).with_noise(NoiseModel::noiseless());
     let out = runner.run(&HeterBo::seeded(9), &job, &Scenario::FastestUnlimited);
     for step in &out.search.steps {
         let o = step.observation;
@@ -146,8 +141,8 @@ fn heterbo_beats_convbo_on_cost_in_expectation() {
 
 #[test]
 fn engine_plan_and_execute_round_trip() {
-    use mlcd::system::{DeploymentEngine, Profiler, ProfilerConfig, SimMlPlatform};
     use mlcd::deployment::SearchSpace;
+    use mlcd::system::{DeploymentEngine, Profiler, ProfilerConfig, SimMlPlatform};
     use mlcd_cloudsim::SimCloud;
 
     let job = TrainingJob::char_rnn();
@@ -169,7 +164,8 @@ fn engine_plan_and_execute_round_trip() {
     // The bill covers both phases and is internally consistent.
     let total_billed = cloud.billing().total_cost();
     assert!(
-        total_billed.dollars() >= outcome.profile_cost.dollars() + report.train_cost.dollars() - 1e-6
+        total_billed.dollars()
+            >= outcome.profile_cost.dollars() + report.train_cost.dollars() - 1e-6
     );
 }
 
@@ -180,12 +176,16 @@ fn parallel_init_sweep_saves_wall_clock() {
     // wall-clock without changing the money math's integrity.
     let job = TrainingJob::resnet_cifar10();
     let scenario = Scenario::FastestUnlimited;
-    let seq = ExperimentRunner::new(3)
-        .with_types(standard_types())
-        .run(&HeterBo::seeded(3), &job, &scenario);
-    let par = ExperimentRunner::new(3)
-        .with_types(standard_types())
-        .run(&HeterBo::with_parallel_init(3), &job, &scenario);
+    let seq = ExperimentRunner::new(3).with_types(standard_types()).run(
+        &HeterBo::seeded(3),
+        &job,
+        &scenario,
+    );
+    let par = ExperimentRunner::new(3).with_types(standard_types()).run(
+        &HeterBo::with_parallel_init(3),
+        &job,
+        &scenario,
+    );
     // The sweep (4 probes ≈ 40+ min sequential) collapses to ~the slowest
     // probe; total profiling wall-clock must drop measurably.
     assert!(
@@ -196,19 +196,17 @@ fn parallel_init_sweep_saves_wall_clock() {
     );
     // And the accounting still decomposes exactly.
     assert!(
-        (par.total_cost.dollars()
-            - par.search.profile_cost.dollars()
-            - par.train_cost.dollars())
-        .abs()
+        (par.total_cost.dollars() - par.search.profile_cost.dollars() - par.train_cost.dollars())
+            .abs()
             < 1e-9
     );
 }
 
 #[test]
 fn profiling_spend_matches_cloud_billing() {
+    use mlcd::deployment::{Deployment, SearchSpace};
     use mlcd::env::ProfilingEnv;
     use mlcd::system::{Profiler, ProfilerConfig, SimMlPlatform};
-    use mlcd::deployment::{Deployment, SearchSpace};
     use mlcd_cloudsim::SimCloud;
 
     let job = TrainingJob::resnet_cifar10();
@@ -218,7 +216,9 @@ fn profiling_spend_matches_cloud_billing() {
     let platform = SimMlPlatform::new(job, truth, NoiseModel::default(), 78);
     let mut profiler = Profiler::new(cloud, platform, space, ProfilerConfig::default());
 
-    for (t, n) in [(InstanceType::C5Xlarge, 3u32), (InstanceType::P2Xlarge, 5), (InstanceType::C54xlarge, 12)] {
+    for (t, n) in
+        [(InstanceType::C5Xlarge, 3u32), (InstanceType::P2Xlarge, 5), (InstanceType::C54xlarge, 12)]
+    {
         profiler.profile(&Deployment::new(t, n)).unwrap();
     }
     let billed = profiler.cloud().billing().total_cost();

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Real timing, simplified statistics: each benchmark runs a short
+//! warm-up to estimate per-iteration cost, picks an iteration count that
+//! fills a fixed sampling window, takes `sample_size` samples, and
+//! prints min / median / max per iteration in criterion's familiar
+//! `time: [..]` shape. Supports `bench_function`, benchmark groups,
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. No plots, no baselines, no CLI filtering
+//! beyond a single optional substring argument.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const DEFAULT_SAMPLE_SIZE: usize = 50;
+/// Total measurement window split across samples.
+const MEASURE: Duration = Duration::from_millis(1500);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    /// `cargo bench` passes `--bench` to harness=false targets; `cargo
+    /// test` does not. Without it, run each routine once as a smoke
+    /// test, exactly like real criterion.
+    smoke_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First non-flag CLI argument acts as a substring filter, like
+        // `cargo bench -- <substring>`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let smoke_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion { filter, smoke_mode }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.filter.as_deref(), DEFAULT_SAMPLE_SIZE, self.smoke_mode, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            filter: self.filter.clone(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            smoke_mode: self.smoke_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    filter: Option<String>,
+    sample_size: usize,
+    smoke_mode: bool,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(&full, self.filter.as_deref(), self.sample_size, self.smoke_mode, f);
+        self
+    }
+
+    /// Run a benchmark that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(&full, self.filter.as_deref(), self.sample_size, self.smoke_mode, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (kept for API compatibility; groups have no state
+    /// to flush in this shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function/parameter` or just a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter, for groups benching one function at many
+    /// sizes.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId(s.clone())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` runs of the routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    smoke_mode: bool,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+
+    if smoke_mode {
+        // `cargo test` path: one iteration proves the bench runs.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{name}: smoke-tested (1 iter, {})", fmt_time(b.elapsed.as_secs_f64()));
+        return;
+    }
+
+    // Warm-up: run single iterations until the warm-up window elapses,
+    // tracking per-iteration cost.
+    let mut per_iter = Duration::from_nanos(1);
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1));
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+
+    // Pick iterations per sample so all samples fit the measure window.
+    let budget_per_sample = MEASURE / sample_size as u32;
+    let iters =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let median = samples[samples.len() / 2];
+
+    println!(
+        "{name:<40} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max),
+        sample_size,
+        iters,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_something() {
+        let mut c = Criterion { filter: None, smoke_mode: true };
+        // Keep this fast: tiny body, but the harness path is exercised.
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn full_timing_path_runs() {
+        // Exercise warm-up + sampling with a cheap body; the windows are
+        // constant so this stays ~2s worst case.
+        run_bench("timing", None, 2, false, |b| b.iter(|| black_box(17u64.wrapping_mul(31))));
+    }
+
+    #[test]
+    fn filter_skips_everything_quickly() {
+        let mut c = Criterion { filter: Some("no-such-bench".into()), smoke_mode: false };
+        let t = Instant::now();
+        c.bench_function("skipped", |b| b.iter(|| std::thread::sleep(Duration::from_secs(1))));
+        assert!(t.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("fit", 40).0, "fit/40");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] test
+//! macro (with optional `#![proptest_config(..)]`), [`Strategy`] with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], and the `prop_assert*` macros. Sampling is
+//! deterministic — each test derives its RNG seed from its full module
+//! path, so failures reproduce without persistence files. There is no
+//! shrinking: a failing case panics with the assert's own message.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration. Only `cases` is honoured; the remaining
+/// fields exist so `..ProptestConfig::default()` spreads keep working.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Failure value property bodies may return early with `Ok(())` /
+/// `Err(..)`; the macro harness panics on `Err`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic RNG driving strategy sampling (xoshiro256++ seeded via
+/// SplitMix64 from a test-name hash).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string — the `proptest!` macro passes the
+    /// test's `module_path!()::name` so every test gets a stable,
+    /// distinct stream.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 to fill the state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in [0, bound).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant for test sampling.
+        self.next_u64() % bound
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform sampled values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Sample a value, then sample from a strategy built from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+// ---- range strategies ----
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // 53-bit grid over the closed interval; endpoint-inclusive.
+        let t = rng.next_u64() >> 11;
+        lo + (t as f64 / ((1u64 << 53) - 1) as f64) * (hi - lo)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty range strategy");
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i64 - self.start as i64) as u64;
+                assert!(span > 0, "empty range strategy");
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i64, *self.end() as i64);
+                let span = (hi - lo) as u64;
+                (lo + rng.below(span.saturating_add(1)) as i64) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+/// A fixed value, sampled as itself every time.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($idx:tt : $t:ident),+) => {
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(0: A);
+tuple_strategy!(0: A, 1: B);
+tuple_strategy!(0: A, 1: B, 2: C);
+tuple_strategy!(0: A, 1: B, 2: C, 3: D);
+tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E);
+tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E, 5: F);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Anything usable as the `size` argument of [`vec`]: an exact
+    /// length or a (half-open / inclusive) range of lengths.
+    pub trait SizeRange {
+        /// Sample a concrete length.
+        fn sample(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            Strategy::generate(self, rng)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            Strategy::generate(self, rng)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `proptest::collection::vec(element_strategy, size)`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Assert inside a property; panics (fails the test) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` that samples `cases` inputs deterministically and
+/// runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let __strats = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                let ($($pat,)+) = $crate::Strategy::generate(&__strats, &mut __rng);
+                // The body runs inside a Result-returning closure so
+                // `return Ok(())` / `Err(..)` early exits type-check,
+                // matching real proptest's implicit `TestCaseResult`.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        Ok(())
+                    })();
+                if let Err(e) = __outcome {
+                    panic!("property failed: {e}");
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+}
+
+/// The usual glob import surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let f = Strategy::generate(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let u = Strategy::generate(&(5u64..9), &mut rng);
+            assert!((5..9).contains(&u));
+            let i = Strategy::generate(&(-4i32..=4), &mut rng);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        let mut c = TestRng::deterministic("different");
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = (1usize..=4)
+            .prop_flat_map(|n| collection::vec(0.0f64..1.0, n * 2).prop_map(move |v| (n, v)));
+        let mut rng = TestRng::deterministic("compose");
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n * 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_form_works(x in 0.0f64..1.0, (a, b) in (0u64..10, 0u64..10)) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(a < 10 && b < 10, "a {a} b {b}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_form_without_config(n in 1usize..5) {
+            prop_assert!((1..5).contains(&n));
+        }
+    }
+}

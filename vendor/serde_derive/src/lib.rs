@@ -1,0 +1,403 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the shimmed `serde::Serialize` / `serde::Deserialize`
+//! traits (JSON-value-tree based, see the local `vendor/serde`) for the
+//! item shapes this workspace actually contains:
+//!
+//! - named-field structs → JSON objects;
+//! - tuple structs: one field → the inner value (serde's newtype rule),
+//!   several → an array;
+//! - enums with unit variants → variant-name strings;
+//! - enums with tuple or struct variants → externally tagged
+//!   `{"Variant": …}`.
+//!
+//! Parsing is a hand-rolled walk over the `proc_macro` token stream (the
+//! container has no `syn`/`quote`). Generics and `#[serde(...)]`
+//! attributes are rejected loudly rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<(String, VariantKind)> },
+}
+
+/// Derive the shimmed `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Object(vec![{entries}])\n}}\n}}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let inner = if *arity == 1 {
+                "serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!("serde::Value::Array(vec![{items}])")
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ {inner} }}\n}}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+             serde::Value::Str(\"{name}\".to_string()) }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{v}(f0) => serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         serde::Serialize::to_value(f0))]),"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             serde::Value::Array(vec![{items}]))]),",
+                            binds.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             serde::Value::Object(vec![{entries}]))]),",
+                            fields.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 match self {{ {arms} }}\n}}\n}}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// Derive the shimmed `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(\
+                         v.get(\"{f}\").unwrap_or(&serde::Value::Null))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {{\n\
+                 match v {{\n\
+                 serde::Value::Object(_) => Ok({name} {{ {inits} }}),\n\
+                 other => Err(serde::DeError::expected(\"object for {name}\", other)),\n\
+                 }}\n}}\n}}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {{\n\
+                     Ok({name}(serde::Deserialize::from_value(v)?))\n}}\n}}"
+                )
+            } else {
+                let items: String = (0..*arity)
+                    .map(|i| format!("serde::Deserialize::from_value(&a[{i}])?,"))
+                    .collect();
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {{\n\
+                     match v {{\n\
+                     serde::Value::Array(a) if a.len() == {arity} => Ok({name}({items})),\n\
+                     other => Err(serde::DeError::expected(\"array[{arity}] for {name}\", other)),\n\
+                     }}\n}}\n}}"
+                )
+            }
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+             fn from_value(_v: &serde::Value) -> std::result::Result<Self, serde::DeError> {{\n\
+             Ok({name}) }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let str_arms: String = variants
+                .iter()
+                .filter(|(_, kind)| matches!(kind, VariantKind::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tag_arms: String = variants
+                .iter()
+                .filter_map(|(v, kind)| match kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(serde::Deserialize::from_value(val)?)),"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let items: String = (0..*arity)
+                            .map(|i| format!("serde::Deserialize::from_value(&a[{i}])?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => match val {{\n\
+                             serde::Value::Array(a) if a.len() == {arity} => Ok({name}::{v}({items})),\n\
+                             other => Err(serde::DeError::expected(\"array[{arity}] for {name}::{v}\", other)),\n\
+                             }},"
+                        ))
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(\
+                                     val.get(\"{f}\").unwrap_or(&serde::Value::Null))?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => Ok({name}::{v} {{ {inits} }}),"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {{\n\
+                 match v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n\
+                 {str_arms}\n\
+                 _ => Err(serde::DeError::expected(\"variant of {name}\", v)),\n\
+                 }},\n\
+                 serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, val) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {tag_arms}\n\
+                 _ => Err(serde::DeError::expected(\"variant of {name}\", v)),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(serde::DeError::expected(\"string or 1-entry object for {name}\", other)),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive shim: generated Deserialize impl must parse")
+}
+
+// ---- token-stream parsing ----
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct { name, arity: count_top_level_commas(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the bracket group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                } else {
+                    panic!("serde_derive shim: stray `#` without attribute brackets");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("serde_derive shim: expected field name, got {:?}", tokens.get(i));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field, got {other:?}"),
+        }
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Skip a type expression, stopping after the next top-level comma (or at
+/// end of stream). Tracks `<`/`>` nesting; `(..)`/`[..]` arrive as atomic
+/// groups.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body.
+fn count_top_level_commas(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0usize;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                // A trailing comma does not start a new field.
+                ',' if angle_depth == 0 && idx + 1 < tokens.len() => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// `(variant name, kind)` pairs of an enum body. Explicit discriminants
+/// are rejected.
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantKind)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("serde_derive shim: expected variant name, got {:?}", tokens.get(i));
+        };
+        let vname = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_commas(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push((vname, kind));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive shim: explicit discriminants are not supported");
+            }
+            other => panic!("serde_derive shim: expected `,` between variants, got {other:?}"),
+        }
+    }
+    variants
+}

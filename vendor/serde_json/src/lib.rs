@@ -1,0 +1,514 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Pairs with the shimmed `serde` (which defines the [`Value`] tree and
+//! the `to_value`/`from_value` traits): this crate adds JSON *text* —
+//! [`to_string`], [`to_string_pretty`], [`from_str`] — and the [`json!`]
+//! construction macro. Output conventions follow real serde_json where
+//! the workspace can observe them: struct field order is preserved,
+//! integral floats print with a trailing `.0`, non-finite floats print as
+//! `null`.
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Serialisation/deserialisation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.message)
+    }
+}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any `Serialize` into a [`Value`].
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Rebuild a `Deserialize` from a [`Value`].
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    Ok(T::from_value(&value)?)
+}
+
+/// Compact JSON text.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Human-indented JSON text (two spaces, serde_json style).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any `Deserialize`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_complete(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+// ---- rendering ----
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                out.push_str("null");
+            } else if f.fract() == 0.0 && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&f.to_string());
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parsing ----
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value_complete(s: &str) -> Result<Value> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            // Surrogate pairs are not produced by this
+                            // crate's own writer; map lone surrogates to
+                            // the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte position.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let s = std::str::from_utf8(&self.bytes[start..])
+                            .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                        let c = s.chars().next().expect("non-empty by construction");
+                        out.push(c);
+                        self.pos = start + c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+// ---- the json! macro ----
+
+/// Build a [`Value`] from JSON-looking syntax with interpolated
+/// expressions, like serde_json's macro of the same name.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_array_internal!(@acc [] $($tt)*)) };
+    ({ $($tt:tt)* }) => { $crate::Value::Object($crate::json_object_internal!(@acc [] $($tt)*)) };
+    ($other:expr) => { $crate::to_value(&$other).expect("infallible") };
+}
+
+/// Internal: accumulate array elements. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    (@acc [$($done:expr,)*]) => { vec![$($done,)*] };
+    (@acc [$($done:expr,)*] null , $($rest:tt)*) => {
+        $crate::json_array_internal!(@acc [$($done,)* $crate::Value::Null,] $($rest)*)
+    };
+    (@acc [$($done:expr,)*] null) => {
+        $crate::json_array_internal!(@acc [$($done,)* $crate::Value::Null,])
+    };
+    (@acc [$($done:expr,)*] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_array_internal!(@acc [$($done,)* $crate::json!({ $($inner)* }),] $($rest)*)
+    };
+    (@acc [$($done:expr,)*] { $($inner:tt)* }) => {
+        $crate::json_array_internal!(@acc [$($done,)* $crate::json!({ $($inner)* }),])
+    };
+    (@acc [$($done:expr,)*] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_array_internal!(@acc [$($done,)* $crate::json!([ $($inner)* ]),] $($rest)*)
+    };
+    (@acc [$($done:expr,)*] [ $($inner:tt)* ]) => {
+        $crate::json_array_internal!(@acc [$($done,)* $crate::json!([ $($inner)* ]),])
+    };
+    (@acc [$($done:expr,)*] $value:expr , $($rest:tt)*) => {
+        $crate::json_array_internal!(@acc [$($done,)* $crate::json!($value),] $($rest)*)
+    };
+    (@acc [$($done:expr,)*] $value:expr) => {
+        $crate::json_array_internal!(@acc [$($done,)* $crate::json!($value),])
+    };
+}
+
+/// Internal: accumulate object entries. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    (@acc [$($done:expr,)*]) => { vec![$($done,)*] };
+    (@acc [$($done:expr,)*] $key:literal : null , $($rest:tt)*) => {
+        $crate::json_object_internal!(
+            @acc [$($done,)* ($key.to_string(), $crate::Value::Null),] $($rest)*)
+    };
+    (@acc [$($done:expr,)*] $key:literal : null) => {
+        $crate::json_object_internal!(
+            @acc [$($done,)* ($key.to_string(), $crate::Value::Null),])
+    };
+    (@acc [$($done:expr,)*] $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object_internal!(
+            @acc [$($done,)* ($key.to_string(), $crate::json!({ $($inner)* })),] $($rest)*)
+    };
+    (@acc [$($done:expr,)*] $key:literal : { $($inner:tt)* }) => {
+        $crate::json_object_internal!(
+            @acc [$($done,)* ($key.to_string(), $crate::json!({ $($inner)* })),])
+    };
+    (@acc [$($done:expr,)*] $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object_internal!(
+            @acc [$($done,)* ($key.to_string(), $crate::json!([ $($inner)* ])),] $($rest)*)
+    };
+    (@acc [$($done:expr,)*] $key:literal : [ $($inner:tt)* ]) => {
+        $crate::json_object_internal!(
+            @acc [$($done,)* ($key.to_string(), $crate::json!([ $($inner)* ])),])
+    };
+    (@acc [$($done:expr,)*] $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json_object_internal!(
+            @acc [$($done,)* ($key.to_string(), $crate::json!($value)),] $($rest)*)
+    };
+    (@acc [$($done:expr,)*] $key:literal : $value:expr) => {
+        $crate::json_object_internal!(
+            @acc [$($done,)* ($key.to_string(), $crate::json!($value)),])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_and_pretty() {
+        let v = json!({"a": 1, "b": [true, null], "c": {"nested": 1.5}});
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null],"c":{"nested":1.5}}"#);
+        assert!(to_string_pretty(&v).unwrap().contains("\n  \"a\": 1"));
+    }
+
+    #[test]
+    fn parses_back() {
+        let text = r#"{"x": -3, "y": 2.25, "s": "he\"llo", "arr": [1, 2, 3], "n": null}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["x"].as_i64(), Some(-3));
+        assert_eq!(v["y"].as_f64(), Some(2.25));
+        assert_eq!(v["s"].as_str(), Some("he\"llo"));
+        assert_eq!(v["arr"].as_array().unwrap().len(), 3);
+        assert!(v["n"].is_null());
+    }
+
+    #[test]
+    fn round_trips_unicode_and_escapes() {
+        let v = json!({"s": "tab\there λ µ"});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integral_floats_keep_decimal_point() {
+        assert_eq!(to_string(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(2)).unwrap(), "2");
+    }
+
+    #[test]
+    fn json_macro_interpolates_expressions() {
+        struct T;
+        impl T {
+            fn name(&self) -> &'static str {
+                "t"
+            }
+        }
+        let q = (1.0, 2.0);
+        let v = json!({"type": T.name(), "min": q.0, "rows": [{"k": q.1}]});
+        assert_eq!(v["type"].as_str(), Some("t"));
+        assert_eq!(v["min"].as_f64(), Some(1.0));
+        assert_eq!(v["rows"][0]["k"].as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12x").is_err());
+    }
+}
