@@ -47,6 +47,9 @@ fn heterbo_config() -> BoConfig {
         parallel_init: false,
         acquisition: mlcd::acquisition::AcquisitionKind::ExpectedImprovement,
         gp_refit_every: 1,
+        gp_warm_start: false,
+        gp_warm_burnin: 8,
+        gp_warm_restarts: 3,
         seed: 1,
     }
 }

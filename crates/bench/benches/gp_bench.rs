@@ -17,9 +17,13 @@ fn dataset(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
 }
 
 fn bench_fit(c: &mut Criterion) {
+    // The fast path: cached distance workspace + allocation-free Cholesky
+    // (the `FitOptions` default). `gp_fit_naive` below is the same search
+    // through the entry-by-entry reference likelihood — the pre-fast-path
+    // behaviour — kept benchable for before/after comparisons.
     let mut g = c.benchmark_group("gp_fit");
     g.sample_size(10);
-    for n in [5usize, 10, 20, 40] {
+    for n in [8usize, 16, 32, 64] {
         let (xs, ys) = dataset(n, 5, 42);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -30,6 +34,41 @@ fn bench_fit(c: &mut Criterion) {
                     &FitOptions::default(),
                 )
                 .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("gp_fit_naive");
+    g.sample_size(10);
+    let naive = FitOptions { use_cached_nlml: false, ..FitOptions::default() };
+    for n in [8usize, 16, 32, 64] {
+        let (xs, ys) = dataset(n, 5, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                GpModel::fit(black_box(&xs), black_box(&ys), KernelFamily::Matern52, &naive)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_warm_refit(c: &mut Criterion) {
+    // A BO-loop refit: the previous step's optimum seeds the optimiser and
+    // (past the burn-in) the Latin-hypercube restart budget shrinks from 8
+    // to 3 — compare against the cold fit of the same data in `gp_fit`.
+    let mut g = c.benchmark_group("gp_refit_warm");
+    g.sample_size(10);
+    for n in [8usize, 16, 32, 64] {
+        let (xs, ys) = dataset(n, 5, 42);
+        let cold =
+            mlcd_gp::fit::fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &FitOptions::default())
+                .unwrap();
+        let warm = FitOptions { warm_start: Some(cold.theta), ..FitOptions::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                GpModel::fit(black_box(&xs), black_box(&ys), KernelFamily::Matern52, &warm).unwrap()
             })
         });
     }
@@ -84,5 +123,5 @@ fn bench_incremental_vs_refit(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fit, bench_predict, bench_incremental_vs_refit);
+criterion_group!(benches, bench_fit, bench_warm_refit, bench_predict, bench_incremental_vs_refit);
 criterion_main!(benches);

@@ -6,8 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mlcd::deployment::{Deployment, SearchSpace};
 use mlcd::env::SyntheticEnv;
 use mlcd::prelude::*;
+use mlcd::search::bo::BoCore;
 use mlcd::search::surrogate::Surrogate;
-use mlcd::search::{CherryPick, ConvBo, RandomSearch};
+use mlcd::search::{BoConfig, CherryPick, ConvBo, InitStrategy, RandomSearch};
 use std::hint::black_box;
 
 fn speed(d: &Deployment) -> f64 {
@@ -58,6 +59,50 @@ fn bench_searchers(c: &mut Criterion) {
         b.iter(|| {
             let mut env = make_env();
             black_box(RandomSearch::new(12, 1).search(&mut env, &scenario))
+        })
+    });
+    g.finish();
+}
+
+fn bench_warm_vs_cold_refits(c: &mut Criterion) {
+    // Whole-search effect of the warm-started refit policy: the same
+    // ConvBO-style long search (28 steps, refit every observation) with
+    // warm starts on (previous optimum seeds the optimiser, restart
+    // budget shrinks past the burn-in) versus off (every refit pays the
+    // full 8-restart multi-start from scratch).
+    let mut g = c.benchmark_group("search_gp_refits");
+    g.sample_size(10);
+    let scenario = Scenario::FastestWithBudget(Money::from_dollars(150.0));
+    let base = BoConfig {
+        init: InitStrategy::RandomPoints(2),
+        ei_rel_threshold: 0.001,
+        ci_stop: false,
+        cost_penalty: false,
+        constraint_aware: false,
+        reserve_protection: false,
+        concave_prior: false,
+        max_steps: 28,
+        min_obs_before_stop: 12,
+        account_sunk: false,
+        parallel_init: false,
+        acquisition: mlcd::acquisition::AcquisitionKind::ExpectedImprovement,
+        gp_refit_every: 1,
+        gp_warm_start: true,
+        gp_warm_burnin: 8,
+        gp_warm_restarts: 3,
+        seed: 1,
+    };
+    let cold = BoConfig { gp_warm_start: false, ..base.clone() };
+    g.bench_function("warm_refits", |b| {
+        b.iter(|| {
+            let mut env = make_env();
+            black_box(BoCore::new("warm", base.clone()).search(&mut env, &scenario))
+        })
+    });
+    g.bench_function("cold_refits", |b| {
+        b.iter(|| {
+            let mut env = make_env();
+            black_box(BoCore::new("cold", cold.clone()).search(&mut env, &scenario))
         })
     });
     g.finish();
@@ -127,5 +172,5 @@ fn bench_candidate_scoring(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_searchers, bench_candidate_scoring);
+criterion_group!(benches, bench_searchers, bench_warm_vs_cold_refits, bench_candidate_scoring);
 criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Convert the criterion shim's JSONL stream into a machine-readable
+//! benchmark report.
+//!
+//! The vendored criterion shim appends one JSON object per benchmark to
+//! the file named by the `CRITERION_JSON` env var. This bin folds that
+//! stream into a single report keyed by bench name, stamps it with the
+//! current git revision, and (for the `gp_fit` group) computes speedups
+//! against the recorded pre-fast-path baseline.
+//!
+//! ```text
+//! CRITERION_JSON=/tmp/gp.jsonl cargo bench -p mlcd-bench --bench gp_bench
+//! cargo run -p mlcd-bench --bin bench_report -- /tmp/gp.jsonl BENCH_gp.json
+//! ```
+//!
+//! If the same bench name appears multiple times in the stream (several
+//! runs appended to one file), the *median of medians* is reported and
+//! the run count is recorded, which is the right way to use this on a
+//! noisy machine: run the bench a few times, then fold once.
+
+use serde_json::{json, Value};
+use std::process::Command;
+
+/// Pre-PR `gp_fit` medians (nanoseconds), measured at rev `a83e1c9`
+/// before the cached-distance fast path landed. Kept here so the report
+/// always quotes baseline and current side by side.
+const PRE_PR_BASELINE: &[(&str, f64)] =
+    &[("gp_fit/8", 3.00e6), ("gp_fit/16", 9.76e6), ("gp_fit/32", 38.41e6), ("gp_fit/64", 150.18e6)];
+const PRE_PR_REV: &str = "a83e1c9";
+
+fn field_f64(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let input = args.next().unwrap_or_else(|| "criterion.jsonl".to_string());
+    let output = args.next().unwrap_or_else(|| "BENCH_gp.json".to_string());
+
+    let body = match std::fs::read_to_string(&input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_report: cannot read {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // name -> per-run records (a rerun appends, it does not overwrite).
+    let mut runs: Vec<(String, Value)> = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Value>(line) {
+            Ok(v) => match v.get("name").and_then(Value::as_str) {
+                Some(name) => runs.push((name.to_string(), v.clone())),
+                None => eprintln!("bench_report: line {} has no name, skipped", lineno + 1),
+            },
+            Err(e) => eprintln!("bench_report: bad JSON on line {}: {e:?}", lineno + 1),
+        }
+    }
+    if runs.is_empty() {
+        eprintln!("bench_report: no benchmark records in {input}");
+        std::process::exit(1);
+    }
+
+    let mut names: Vec<String> = runs.iter().map(|(n, _)| n.clone()).collect();
+    names.sort();
+    names.dedup();
+
+    let mut benches: Vec<(String, Value)> = Vec::new();
+    for name in &names {
+        let of_name: Vec<&Value> = runs.iter().filter(|(n, _)| n == name).map(|(_, v)| v).collect();
+        let mut medians: Vec<f64> =
+            of_name.iter().filter_map(|v| field_f64(v, "median_ns")).collect();
+        medians.sort_by(|a, b| a.total_cmp(b));
+        if medians.is_empty() {
+            continue;
+        }
+        let median_ns = medians[medians.len() / 2];
+        let min_ns =
+            of_name.iter().filter_map(|v| field_f64(v, "min_ns")).fold(f64::INFINITY, f64::min);
+        let max_ns =
+            of_name.iter().filter_map(|v| field_f64(v, "max_ns")).fold(f64::NEG_INFINITY, f64::max);
+        benches.push((
+            name.clone(),
+            json!({
+                "median_ns": median_ns,
+                "min_ns": min_ns,
+                "max_ns": max_ns,
+                "runs": medians.len(),
+            }),
+        ));
+    }
+
+    let median_of = |name: &str| -> Option<f64> {
+        benches.iter().find(|(n, _)| n == name).and_then(|(_, v)| field_f64(v, "median_ns"))
+    };
+
+    let mut baseline: Vec<(String, Value)> = Vec::new();
+    let mut speedups: Vec<(String, Value)> = Vec::new();
+    for &(name, base_ns) in PRE_PR_BASELINE {
+        baseline.push((name.to_string(), json!(base_ns)));
+        if let Some(cur) = median_of(name) {
+            speedups.push((name.to_string(), json!(round2(base_ns / cur))));
+        }
+    }
+
+    let report = json!({
+        "git_rev": git_rev(),
+        "source": input.clone(),
+        "times_are": "nanoseconds per iteration; median across runs of per-run medians",
+        "benches": Value::Object(benches),
+        "baseline_pre_pr": {
+            "rev": PRE_PR_REV,
+            "median_ns": Value::Object(baseline.clone()),
+        },
+        "speedup_vs_pre_pr": Value::Object(speedups.clone()),
+    });
+
+    let pretty = serde_json::to_string_pretty(&report).expect("report serialises");
+    if let Err(e) = std::fs::write(&output, pretty + "\n") {
+        eprintln!("bench_report: cannot write {output}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {output} ({} benches)", names.len());
+    for (name, s) in &speedups {
+        if let Some(x) = s.as_f64() {
+            println!("  {name}: {x}x vs pre-PR baseline");
+        }
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn git_rev() -> String {
+    let rev = Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let dirty = Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.is_empty())
+        .unwrap_or(false);
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
+}

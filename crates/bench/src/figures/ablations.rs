@@ -33,6 +33,9 @@ fn heterbo_config(seed: u64) -> BoConfig {
         parallel_init: false,
         acquisition: mlcd::acquisition::AcquisitionKind::ExpectedImprovement,
         gp_refit_every: 1,
+        gp_warm_start: false,
+        gp_warm_burnin: 8,
+        gp_warm_restarts: 3,
         seed,
     }
 }

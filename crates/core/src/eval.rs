@@ -321,6 +321,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_grid_matches_sequential_runner_calls() {
+        // The fan-out must be invisible in the numbers: every cell of a
+        // parallel grid run is bit-identical to the same experiment
+        // executed directly (sequentially), including the GP-backed
+        // searcher with its warm-started, workspace-cached fits.
+        let report = small_grid().run();
+        for cell in &report.cells {
+            let searcher: Box<dyn Searcher> = match cell.searcher.as_str() {
+                "HeterBO" => Box::new(HeterBo::seeded(cell.seed)),
+                _ => Box::new(RandomSearch::new(4, cell.seed)),
+            };
+            let direct = ExperimentRunner::new(cell.seed)
+                .with_types(vec![InstanceType::C5Xlarge, InstanceType::C54xlarge])
+                .with_noise(NoiseModel::noiseless())
+                .run(searcher.as_ref(), &TrainingJob::resnet_cifar10(), &cell.scenario);
+            assert_eq!(cell.outcome.total_cost, direct.total_cost, "{} cell", cell.searcher);
+            assert_eq!(cell.outcome.total_time, direct.total_time);
+            assert_eq!(cell.outcome.plan.map(|p| p.deployment), direct.plan.map(|p| p.deployment));
+            assert_eq!(cell.outcome.search.n_probes(), direct.search.n_probes());
+        }
+    }
+
+    #[test]
     fn summaries_aggregate_correctly() {
         let report = small_grid().run();
         let summaries = report.summaries();

@@ -13,7 +13,7 @@ use crate::deployment::Deployment;
 use crate::env::{ProfileError, ProfilingEnv};
 use crate::observation::{Observation, SearchOutcome, SearchStep, StopReason};
 use crate::scenario::{projection_margin, Objective, Scenario};
-use crate::search::surrogate::Surrogate;
+use crate::search::surrogate::{RefitPolicy, Surrogate};
 use crate::search::{pick_incumbent, Searcher};
 use mlcd_cloudsim::InstanceType;
 use rand::rngs::SmallRng;
@@ -84,6 +84,20 @@ pub struct BoConfig {
     /// posterior incrementally (`O(n²)`) in between. 1 = refit every step
     /// (the default; exact but `O(n³)` per step).
     pub gp_refit_every: usize,
+    /// Warm-start each GP refit from the previous step's fitted
+    /// hyperparameters (extra optimiser start; deterministic). See
+    /// [`RefitPolicy::warm_start`]. The paper-faithful constructors
+    /// leave this off: warm starts can land a (better) different
+    /// likelihood optimum, which perturbs search trajectories and the
+    /// seed-pinned figure reproductions. Flip it on for speed — the
+    /// `search_gp_refits` bench measures the whole-search effect.
+    pub gp_warm_start: bool,
+    /// Observation count from which warm-started refits shrink their
+    /// restart budget. See [`RefitPolicy::warm_burnin`].
+    pub gp_warm_burnin: usize,
+    /// Latin-hypercube restarts kept per refit past the burn-in. See
+    /// [`RefitPolicy::warm_restarts`].
+    pub gp_warm_restarts: usize,
     /// RNG seed (init points, tie-breaks, GP restarts).
     pub seed: u64,
 }
@@ -660,7 +674,12 @@ impl BoCore {
                 env.space(),
                 &observations,
                 self.cfg.seed,
-                self.cfg.gp_refit_every,
+                &RefitPolicy {
+                    refit_every: self.cfg.gp_refit_every,
+                    warm_start: self.cfg.gp_warm_start,
+                    warm_burnin: self.cfg.gp_warm_burnin,
+                    warm_restarts: self.cfg.gp_warm_restarts,
+                },
             );
             let Some(ref surrogate) = surrogate_state else {
                 // Not enough data for a model yet: explore a random
@@ -935,6 +954,9 @@ impl HeterBo {
                 parallel_init: false,
                 acquisition: AcquisitionKind::ExpectedImprovement,
                 gp_refit_every: 1,
+                gp_warm_start: false,
+                gp_warm_burnin: 8,
+                gp_warm_restarts: 3,
                 seed,
             },
         ))
@@ -998,6 +1020,9 @@ impl ConvBo {
             parallel_init: false,
             acquisition: AcquisitionKind::ExpectedImprovement,
             gp_refit_every: 1,
+            gp_warm_start: false,
+            gp_warm_burnin: 8,
+            gp_warm_restarts: 3,
             seed,
         }
     }
@@ -1076,6 +1101,9 @@ impl CherryPick {
             parallel_init: false,
             acquisition: AcquisitionKind::ExpectedImprovement,
             gp_refit_every: 1,
+            gp_warm_start: false,
+            gp_warm_burnin: 8,
+            gp_warm_restarts: 3,
             seed,
         }
     }
@@ -1350,6 +1378,52 @@ mod tests {
             (out.best.map(|b| b.deployment), out.steps.len())
         };
         assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn warm_started_searches_are_deterministic_at_every_burnin_boundary() {
+        // The warm-start restart shrink kicks in when the observation count
+        // crosses `gp_warm_burnin` mid-search. Wherever that boundary
+        // lands — never (large burn-in), immediately (0), or mid-loop —
+        // two runs with the same seed must produce identical trajectories,
+        // step for step and observation for observation.
+        for burnin in [0usize, 4, 6, 100] {
+            let run = || {
+                let mut h = HeterBo::seeded(17);
+                h.0.cfg.gp_warm_start = true;
+                h.0.cfg.gp_warm_burnin = burnin;
+                let mut env = make_env();
+                h.search(&mut env, &Scenario::FastestUnlimited)
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a.steps.len(), b.steps.len(), "burnin {burnin}");
+            for (x, y) in a.steps.iter().zip(&b.steps) {
+                assert_eq!(x.observation.deployment, y.observation.deployment);
+                assert_eq!(x.observation.speed, y.observation.speed);
+                assert_eq!(x.observation.profile_cost, y.observation.profile_cost);
+            }
+            assert_eq!(
+                a.best.map(|o| o.deployment),
+                b.best.map(|o| o.deployment),
+                "burnin {burnin}"
+            );
+            assert_eq!(a.profile_cost, b.profile_cost);
+            assert_eq!(a.profile_time, b.profile_time);
+        }
+    }
+
+    #[test]
+    fn warm_start_on_is_still_deterministic_and_finds_the_optimum() {
+        let run = || {
+            let mut h = HeterBo::seeded(19);
+            h.0.cfg.gp_warm_start = true;
+            let mut env = make_env();
+            h.search(&mut env, &Scenario::FastestUnlimited)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best.as_ref().unwrap().deployment, b.best.as_ref().unwrap().deployment);
+        assert_eq!(a.steps.len(), b.steps.len());
+        assert!(a.best.unwrap().speed > 430.0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod surrogate;
 pub use bo::{BoConfig, CherryPick, ConvBo, HeterBo, InitStrategy};
 pub use exhaustive::ExhaustiveSearch;
 pub use random::RandomSearch;
+pub use surrogate::{RefitPolicy, Surrogate};
 
 use crate::env::ProfilingEnv;
 use crate::observation::{Observation, SearchOutcome};

@@ -12,7 +12,13 @@
 use crate::kernel::{ArdKernel, KernelFamily};
 use crate::model::GpError;
 use crate::scale::OutputScaler;
-use mlcd_linalg::{multi_start_nelder_mead, Chol, Mat, NelderMeadOptions, SampleRange};
+use crate::workspace::DistanceWorkspace;
+use mlcd_linalg::{
+    multi_start_nelder_mead_with, Chol, CholWorkspace, Mat, NelderMeadOptions, SampleRange,
+};
+
+/// Jitter escalation used by every likelihood evaluation.
+const NLML_JITTER: (f64, usize) = (1e-12, 6);
 
 /// Controls for the hyperparameter search.
 #[derive(Debug, Clone)]
@@ -30,6 +36,23 @@ pub struct FitOptions {
     /// Search range for log σ_n². The lower bound acts as a noise floor,
     /// which keeps kernel matrices well-conditioned.
     pub log_noise_var: (f64, f64),
+    /// Evaluate the likelihood through the cached distance workspace
+    /// ([`CachedNlml`], the default) instead of the entry-by-entry
+    /// reference path ([`nlml_naive`]). The two agree to rounding
+    /// (≲1e-12 relative), not bitwise.
+    pub use_cached_nlml: bool,
+    /// Optional warm start appended to the restarts: the log-space θ of a
+    /// previous fit (length d+2). Invalid values (wrong length or
+    /// non-finite) are ignored. The Latin-hypercube draw is unaffected,
+    /// so adding a warm start can only improve the optimum.
+    pub warm_start: Option<Vec<f64>>,
+    /// Observation count at which a warm-started fit stops paying for the
+    /// full `n_starts` restarts: with `n ≥ warm_burnin` observations and a
+    /// valid warm start, only `warm_restarts` LHC starts run (plus the
+    /// warm start itself).
+    pub warm_burnin: usize,
+    /// LHC restarts used once warm-started past the burn-in.
+    pub warm_restarts: usize,
 }
 
 impl Default for FitOptions {
@@ -42,6 +65,10 @@ impl Default for FitOptions {
             log_lengthscale: ((0.02f64).ln(), (20.0f64).ln()),
             log_signal_var: ((0.05f64).ln(), (20.0f64).ln()),
             log_noise_var: ((1e-6f64).ln(), (1.0f64).ln()),
+            use_cached_nlml: true,
+            warm_start: None,
+            warm_burnin: 8,
+            warm_restarts: 3,
         }
     }
 }
@@ -55,46 +82,65 @@ pub struct FittedHyperparams {
     pub noise_var: f64,
     /// Negative log marginal likelihood at the optimum.
     pub nlml: f64,
+    /// The optimum in log space, `[log σ_f², log ℓ₁…log ℓ_d, log σ_n²]` —
+    /// feed it to [`FitOptions::warm_start`] to warm-start the next refit.
+    pub theta: Vec<f64>,
 }
 
-/// Negative log marginal likelihood of standardised targets `z` for the
-/// hyperparameter vector `theta = [log sf2, log l_1.., log sn2]`.
-///
-/// Returns `+inf` for hyperparameters outside sane bounds or that make the
-/// kernel matrix unfactorable — the optimiser treats those as walls.
-fn nlml(theta: &[f64], xs: &[Vec<f64>], z: &[f64], family: KernelFamily, opts: &FitOptions) -> f64 {
-    let d = xs[0].len();
-    debug_assert_eq!(theta.len(), d + 2);
+/// Soft-wall check shared by both likelihood paths: `true` when θ is
+/// within `margin` of the search box on every coordinate.
+fn theta_in_bounds(theta: &[f64], d: usize, opts: &FitOptions) -> bool {
     // Allow the optimiser to wander a little past the start box (soft
     // walls), but keep the box meaningful — callers rely on the bounds to
     // regularise fits on very few points.
     let margin = 0.7;
     let (lo, hi) = opts.log_signal_var;
     if theta[0] < lo - margin || theta[0] > hi + margin {
-        return f64::INFINITY;
+        return false;
     }
     let (lo, hi) = opts.log_lengthscale;
     for &t in &theta[1..=d] {
         if t < lo - margin || t > hi + margin {
-            return f64::INFINITY;
+            return false;
         }
     }
     let (lo, hi) = opts.log_noise_var;
     let t_noise = theta[d + 1];
-    if t_noise < lo - margin || t_noise > hi + margin {
+    t_noise >= lo - margin && t_noise <= hi + margin
+}
+
+/// Negative log marginal likelihood of standardised targets `z` for the
+/// hyperparameter vector `theta = [log sf2, log l_1.., log sn2]` —
+/// reference implementation that rebuilds the kernel matrix entry by
+/// entry and allocates per call.
+///
+/// Returns `+inf` for hyperparameters outside sane bounds or that make the
+/// kernel matrix unfactorable — the optimiser treats those as walls.
+/// [`CachedNlml`] is the fast path; this function is kept public as the
+/// ground truth the property tests and benchmarks compare it against.
+pub fn nlml_naive(
+    theta: &[f64],
+    xs: &[Vec<f64>],
+    z: &[f64],
+    family: KernelFamily,
+    opts: &FitOptions,
+) -> f64 {
+    let d = xs[0].len();
+    debug_assert_eq!(theta.len(), d + 2);
+    if !theta_in_bounds(theta, d, opts) {
         return f64::INFINITY;
     }
 
     let sf2 = theta[0].exp();
     let ls: Vec<f64> = theta[1..=d].iter().map(|t| t.exp()).collect();
-    let sn2 = t_noise.exp();
+    let sn2 = theta[d + 1].exp();
     let kernel = ArdKernel::new(family, sf2, ls);
 
     let n = xs.len();
     let mut k = Mat::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
     k.symmetrize();
     k.add_diag(sn2);
-    let chol = match Chol::factor_with_jitter(&k, 1e-12, 6) {
+    let chol = match Chol::factor_with_jitter(&k, NLML_JITTER.0, NLML_JITTER.1) {
         Ok(c) => c,
         Err(_) => return f64::INFINITY,
     };
@@ -102,6 +148,85 @@ fn nlml(theta: &[f64], xs: &[Vec<f64>], z: &[f64], family: KernelFamily, opts: &
     0.5 * mlcd_linalg::dot(z, &alpha)
         + 0.5 * chol.log_det()
         + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
+}
+
+/// Workspace-backed likelihood evaluator: the fit fast path.
+///
+/// Borrows a [`DistanceWorkspace`] (pairwise squared differences, computed
+/// once per fit) and owns every scratch buffer an evaluation needs — the
+/// kernel matrix, the r² accumulator, the Cholesky workspace and the solve
+/// vector — so after the first call an evaluation performs no heap
+/// allocation at all. Semantics match [`nlml_naive`] (same soft walls,
+/// same jitter policy, same formula) to rounding; see
+/// [`DistanceWorkspace::fill_kernel`] for why not bitwise.
+pub struct CachedNlml<'w> {
+    dist: &'w DistanceWorkspace,
+    ls: Vec<f64>,
+    r2: Vec<f64>,
+    k: Mat,
+    alpha: Vec<f64>,
+    chol: CholWorkspace,
+}
+
+impl<'w> CachedNlml<'w> {
+    /// A fresh evaluator over `dist`; buffers grow on first use.
+    pub fn new(dist: &'w DistanceWorkspace) -> Self {
+        CachedNlml {
+            dist,
+            ls: Vec::new(),
+            r2: Vec::new(),
+            k: Mat::zeros(0, 0),
+            alpha: Vec::new(),
+            chol: CholWorkspace::new(),
+        }
+    }
+
+    /// Negative log marginal likelihood at `theta` for standardised
+    /// targets `z` (`z.len()` must equal the workspace's `n`).
+    pub fn eval(
+        &mut self,
+        theta: &[f64],
+        z: &[f64],
+        family: KernelFamily,
+        opts: &FitOptions,
+    ) -> f64 {
+        let d = self.dist.dim();
+        let n = self.dist.n();
+        debug_assert_eq!(theta.len(), d + 2);
+        debug_assert_eq!(z.len(), n);
+        if !theta_in_bounds(theta, d, opts) {
+            return f64::INFINITY;
+        }
+
+        let sf2 = theta[0].exp();
+        self.ls.clear();
+        self.ls.extend(theta[1..=d].iter().map(|t| t.exp()));
+        let sn2 = theta[d + 1].exp();
+
+        // Only K's lower triangle is maintained (stale upper entries from
+        // the previous evaluation are never read): the factorisation
+        // consumes the lower triangle alone. The upfront finiteness scan
+        // is skipped too — θ passed the walls so entries are finite for
+        // any sane input, and a non-finite entry (conceivable only for
+        // astronomically large xs) still fails factorisation through the
+        // pivot checks, landing on the same +inf wall the naive path hits.
+        self.dist.fill_kernel_lower(family, sf2, &self.ls, &mut self.r2, &mut self.k);
+        self.k.add_diag(sn2);
+        if self
+            .chol
+            .factor_with_jitter_assume_finite(&self.k, NLML_JITTER.0, NLML_JITTER.1)
+            .is_err()
+        {
+            return f64::INFINITY;
+        }
+        self.alpha.clear();
+        self.alpha.extend_from_slice(z);
+        // `zᵀK⁻¹z` as the squared norm of the forward solve: half the
+        // substitution work of the naive path's solve-then-dot, equal to
+        // it up to rounding.
+        let quad = self.chol.quad_form_in_place(&mut self.alpha);
+        0.5 * quad + 0.5 * self.chol.log_det() + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
+    }
 }
 
 /// Fit kernel hyperparameters and the noise variance for the given data.
@@ -141,8 +266,43 @@ pub fn fit_hyperparams(
     }
     ranges.push(SampleRange::new(opts.log_noise_var.0, opts.log_noise_var.1));
 
-    let obj = |theta: &[f64]| nlml(theta, xs, &z, family, opts);
-    let best = multi_start_nelder_mead(obj, &ranges, opts.n_starts, opts.seed, &opts.nm);
+    // Warm-start policy: a valid previous optimum always joins the start
+    // list; once enough observations are in (burn-in passed), it also
+    // replaces most of the LHC restarts — the surface changes little
+    // between consecutive refits, so the carried-over optimum plus a few
+    // fresh starts explore enough.
+    let warm: Option<&[f64]> =
+        opts.warm_start.as_deref().filter(|w| w.len() == d + 2 && w.iter().all(|v| v.is_finite()));
+    let n_lhc = match warm {
+        Some(_) if xs.len() >= opts.warm_burnin => opts.warm_restarts,
+        _ => opts.n_starts,
+    };
+    let extra: Vec<Vec<f64>> = warm.map(|w| w.to_vec()).into_iter().collect();
+
+    let best = if opts.use_cached_nlml {
+        let dist = DistanceWorkspace::new(xs);
+        let z = &z;
+        multi_start_nelder_mead_with(
+            || {
+                let mut cache = CachedNlml::new(&dist);
+                move |theta: &[f64]| cache.eval(theta, z, family, opts)
+            },
+            &ranges,
+            n_lhc,
+            &extra,
+            opts.seed,
+            &opts.nm,
+        )
+    } else {
+        multi_start_nelder_mead_with(
+            || |theta: &[f64]| nlml_naive(theta, xs, &z, family, opts),
+            &ranges,
+            n_lhc,
+            &extra,
+            opts.seed,
+            &opts.nm,
+        )
+    };
 
     if !best.fx.is_finite() {
         return Err(GpError::BadTrainingData(
@@ -153,7 +313,12 @@ pub fn fit_hyperparams(
     let sf2 = best.x[0].exp();
     let ls: Vec<f64> = best.x[1..=d].iter().map(|t| t.exp()).collect();
     let sn2 = best.x[d + 1].exp();
-    Ok(FittedHyperparams { kernel: ArdKernel::new(family, sf2, ls), noise_var: sn2, nlml: best.fx })
+    Ok(FittedHyperparams {
+        kernel: ArdKernel::new(family, sf2, ls),
+        noise_var: sn2,
+        nlml: best.fx,
+        theta: best.x,
+    })
 }
 
 #[cfg(test)]
@@ -218,6 +383,82 @@ mod tests {
         // lengthscale (weak check — just not the shortest).
         let ls = hp.kernel.lengthscales();
         assert!(ls[2] > ls[0].min(ls[1]) * 0.5, "ARD lengthscales {ls:?}");
+    }
+
+    #[test]
+    fn warm_start_never_worse_and_deterministic() {
+        let (xs, ys) = smooth_data(16, 0.05, 6);
+        let cold_opts = FitOptions::default();
+        let cold = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &cold_opts).unwrap();
+        // Past the burn-in the warm fit runs only warm_restarts LHC starts
+        // plus the carried-over optimum; Nelder–Mead from that optimum can
+        // only go downhill, so the refit is never worse than the cold one.
+        let warm_opts =
+            FitOptions { warm_start: Some(cold.theta.clone()), ..FitOptions::default() };
+        let warm = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &warm_opts).unwrap();
+        assert!(warm.nlml <= cold.nlml + 1e-9, "warm {} vs cold {}", warm.nlml, cold.nlml);
+        let warm2 = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &warm_opts).unwrap();
+        assert_eq!(warm.theta, warm2.theta);
+        assert_eq!(warm.nlml, warm2.nlml);
+    }
+
+    #[test]
+    fn invalid_warm_start_is_ignored() {
+        let (xs, ys) = smooth_data(10, 0.05, 8);
+        let cold = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &FitOptions::default());
+        for bad in [vec![0.0; 2], vec![f64::NAN, 0.0, 0.0], vec![]] {
+            let opts = FitOptions { warm_start: Some(bad), ..FitOptions::default() };
+            let got = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &opts).unwrap();
+            // A rejected warm start leaves the start list and the restart
+            // count untouched, so the fit is bit-identical to a cold one.
+            assert_eq!(got.theta, cold.as_ref().unwrap().theta);
+        }
+    }
+
+    #[test]
+    fn burnin_gates_the_restart_shrink() {
+        // Below the burn-in a warm start is appended but the full restart
+        // budget still runs, so the result can only improve on cold; at or
+        // past the burn-in only warm_restarts LHC starts run. Both paths
+        // must stay deterministic and finite.
+        let (xs, ys) = smooth_data(6, 0.05, 9);
+        let cold =
+            fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &FitOptions::default()).unwrap();
+        let below = FitOptions {
+            warm_start: Some(cold.theta.clone()),
+            warm_burnin: 100, // n=6 < 100: full budget
+            ..FitOptions::default()
+        };
+        let past = FitOptions {
+            warm_start: Some(cold.theta.clone()),
+            warm_burnin: 2, // n=6 ≥ 2: shrunk budget
+            ..FitOptions::default()
+        };
+        let a = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &below).unwrap();
+        let b = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &past).unwrap();
+        assert!(a.nlml <= cold.nlml + 1e-9);
+        assert!(b.nlml <= cold.nlml + 1e-9);
+        assert!(a.nlml.is_finite() && b.nlml.is_finite());
+    }
+
+    #[test]
+    fn cached_and_naive_paths_agree_on_the_optimum() {
+        let (xs, ys) = smooth_data(14, 0.05, 10);
+        let cached = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &FitOptions::default());
+        let naive_opts = FitOptions { use_cached_nlml: false, ..FitOptions::default() };
+        let naive = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &naive_opts);
+        let (c, n) = (cached.unwrap(), naive.unwrap());
+        // Same starts, same optimiser; the likelihood surfaces differ by
+        // rounding only, but an ulp-level difference can tip a simplex
+        // comparison and let the two descents take slightly different
+        // final steps — agreement is therefore bounded by the optimiser's
+        // own convergence tolerance (x_tol = 1e-7), not by rounding.
+        for (a, b) in c.theta.iter().zip(&n.theta) {
+            assert!((a - b).abs() <= 1e-5, "theta {:?} vs {:?}", c.theta, n.theta);
+        }
+        // At the shared optimum the surface is flat, so the nlml values
+        // agree far more tightly than the coordinates do.
+        assert!((c.nlml - n.nlml).abs() <= 1e-9 * c.nlml.abs().max(1.0));
     }
 
     #[test]

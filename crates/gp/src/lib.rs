@@ -38,8 +38,10 @@ pub mod fit;
 pub mod kernel;
 pub mod model;
 pub mod scale;
+pub mod workspace;
 
-pub use fit::{FitOptions, FittedHyperparams};
+pub use fit::{CachedNlml, FitOptions, FittedHyperparams};
 pub use kernel::{ArdKernel, KernelFamily};
 pub use model::{GpError, GpModel, Prediction};
 pub use scale::{InputScaler, OutputScaler};
+pub use workspace::DistanceWorkspace;

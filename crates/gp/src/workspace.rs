@@ -1,0 +1,235 @@
+//! Per-fit distance workspace: the data-dependent part of a stationary
+//! kernel matrix, computed once per fit instead of once per likelihood
+//! evaluation.
+//!
+//! Every ARD kernel in [`crate::kernel`] is a function of the scaled
+//! distance `r² = Σ_d (a_d − b_d)² / ℓ_d²`. During hyperparameter fitting
+//! the inputs are fixed while θ varies, so the pairwise squared
+//! differences `(a_d − b_d)²` can be cached per dimension; each likelihood
+//! evaluation then assembles K with one multiply-add per (pair, dimension)
+//! plus one correlation evaluation per pair, instead of O(n²·d) full
+//! `kernel.eval` calls over both triangles.
+
+use crate::kernel::KernelFamily;
+use mlcd_linalg::Mat;
+
+/// Cached per-dimension pairwise squared differences for a fixed input
+/// set.
+///
+/// Layout: dimension-major, strict lower triangle in column order — entry
+/// `d * n(n−1)/2 + p` holds `(xs[i][d] − xs[j][d])²` where `p` runs over
+/// the pairs `(i, j)` with `j = 0..n`, `i = j+1..n`. That pair order makes
+/// [`fill_kernel`](Self::fill_kernel)'s writes into each column of K
+/// contiguous.
+#[derive(Debug, Clone)]
+pub struct DistanceWorkspace {
+    n: usize,
+    dim: usize,
+    sq: Vec<f64>,
+}
+
+impl DistanceWorkspace {
+    /// Precompute the pairwise squared differences for `xs` (one row per
+    /// observation, all rows the same length).
+    ///
+    /// # Panics
+    /// Panics on ragged or zero-dimensional input.
+    pub fn new(xs: &[Vec<f64>]) -> Self {
+        let n = xs.len();
+        let dim = xs.first().map_or(0, |r| r.len());
+        assert!(n == 0 || dim > 0, "DistanceWorkspace: zero-dimensional inputs");
+        assert!(xs.iter().all(|r| r.len() == dim), "DistanceWorkspace: ragged input rows");
+        let np = if n < 2 { 0 } else { n * (n - 1) / 2 };
+        let mut sq = Vec::with_capacity(dim * np);
+        for d in 0..dim {
+            for j in 0..n {
+                let xj = xs[j][d];
+                for row in &xs[j + 1..] {
+                    let diff = row[d] - xj;
+                    sq.push(diff * diff);
+                }
+            }
+        }
+        DistanceWorkspace { n, dim, sq }
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Assemble the kernel matrix `K_ij = sf2 · ρ(r_ij)` for the given
+    /// hyperparameters into `k`, resizing `k` and the `r2` scratch buffer
+    /// as needed (allocation-free once warm).
+    ///
+    /// The diagonal is exactly `sf2` (as `ArdKernel::diag` returns) and
+    /// both triangles are written, so `k` is exactly symmetric — no
+    /// `symmetrize` pass is needed. Distances are accumulated as
+    /// `(a_d − b_d)² · ℓ_d⁻²`, which matches the naive
+    /// `((a_d − b_d)/ℓ_d)²` only to rounding; callers compare results
+    /// against the entry-by-entry path with a tolerance, not bitwise.
+    pub fn fill_kernel(
+        &self,
+        family: KernelFamily,
+        sf2: f64,
+        lengthscales: &[f64],
+        r2: &mut Vec<f64>,
+        k: &mut Mat,
+    ) {
+        self.fill(family, sf2, lengthscales, r2, k, true);
+    }
+
+    /// Like [`fill_kernel`](Self::fill_kernel) but writes only the lower
+    /// triangle and the diagonal, leaving the strict upper triangle
+    /// untouched (stale). This is all a Cholesky factorisation reads, so
+    /// the likelihood hot loop skips the mirror pass.
+    pub fn fill_kernel_lower(
+        &self,
+        family: KernelFamily,
+        sf2: f64,
+        lengthscales: &[f64],
+        r2: &mut Vec<f64>,
+        k: &mut Mat,
+    ) {
+        self.fill(family, sf2, lengthscales, r2, k, false);
+    }
+
+    fn fill(
+        &self,
+        family: KernelFamily,
+        sf2: f64,
+        lengthscales: &[f64],
+        r2: &mut Vec<f64>,
+        k: &mut Mat,
+        mirror: bool,
+    ) {
+        let (n, dim) = (self.n, self.dim);
+        assert_eq!(lengthscales.len(), dim, "fill_kernel: lengthscale count mismatch");
+        let np = self.sq.len() / dim.max(1);
+        r2.clear();
+        r2.resize(np, 0.0);
+        for (d, &l) in lengthscales.iter().enumerate() {
+            let inv_l2 = 1.0 / (l * l);
+            let sq_d = &self.sq[d * np..(d + 1) * np];
+            for (acc, &s) in r2.iter_mut().zip(sq_d) {
+                *acc += s * inv_l2;
+            }
+        }
+        if k.rows() != n || k.cols() != n {
+            *k = Mat::zeros(n, n);
+        }
+        // Correlations into the strict lower triangle (contiguous per
+        // column thanks to the pair order), diagonal = sf2.
+        let mut p = 0;
+        for j in 0..n {
+            let col = k.col_mut(j);
+            col[j] = sf2;
+            let below = &mut col[j + 1..];
+            let r2_col = &r2[p..p + below.len()];
+            match family {
+                // For the squared exponential ρ(r) = exp(−½·r²), so the
+                // cached r² feeds exp directly — no square root needed.
+                KernelFamily::SquaredExp => {
+                    for (x, &r2v) in below.iter_mut().zip(r2_col) {
+                        *x = sf2 * (-0.5 * r2v).exp();
+                    }
+                }
+                _ => {
+                    for (x, &r2v) in below.iter_mut().zip(r2_col) {
+                        *x = sf2 * family.correlation(r2v.sqrt());
+                    }
+                }
+            }
+            p += below.len();
+        }
+        if mirror {
+            // Mirror to the upper triangle: K stays exactly symmetric.
+            for j in 1..n {
+                for i in 0..j {
+                    k[(i, j)] = k[(j, i)];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ArdKernel;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_inputs(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect()).collect()
+    }
+
+    #[test]
+    fn fill_matches_entry_by_entry_kernel() {
+        let xs = random_inputs(9, 4, 1);
+        let ws = DistanceWorkspace::new(&xs);
+        let mut r2 = Vec::new();
+        let mut k = Mat::zeros(0, 0);
+        for family in KernelFamily::ALL {
+            let kernel = ArdKernel::new(family, 1.7, vec![0.4, 1.1, 0.09, 3.0]);
+            ws.fill_kernel(family, 1.7, kernel.lengthscales(), &mut r2, &mut k);
+            for i in 0..9 {
+                for j in 0..9 {
+                    let want = kernel.eval(&xs[i], &xs[j]);
+                    let got = k[(i, j)];
+                    assert!(
+                        (got - want).abs() <= 1e-14 * want.abs().max(1.0),
+                        "{family:?} K[{i}][{j}]: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filled_kernel_is_exactly_symmetric_with_exact_diagonal() {
+        let xs = random_inputs(7, 3, 2);
+        let ws = DistanceWorkspace::new(&xs);
+        let mut r2 = Vec::new();
+        let mut k = Mat::zeros(0, 0);
+        ws.fill_kernel(KernelFamily::Matern52, 2.5, &[0.3, 0.7, 2.0], &mut r2, &mut k);
+        assert_eq!(k.asymmetry(), 0.0);
+        for i in 0..7 {
+            assert_eq!(k[(i, i)], 2.5);
+        }
+    }
+
+    #[test]
+    fn buffers_are_reused_across_calls() {
+        let xs = random_inputs(6, 2, 3);
+        let ws = DistanceWorkspace::new(&xs);
+        let mut r2 = Vec::new();
+        let mut k = Mat::zeros(0, 0);
+        ws.fill_kernel(KernelFamily::SquaredExp, 1.0, &[0.5, 0.5], &mut r2, &mut k);
+        let first = k.as_slice().to_vec();
+        // Different hyperparameters, same buffers; then back again.
+        ws.fill_kernel(KernelFamily::SquaredExp, 3.0, &[0.1, 2.0], &mut r2, &mut k);
+        assert_ne!(k.as_slice(), &first[..]);
+        ws.fill_kernel(KernelFamily::SquaredExp, 1.0, &[0.5, 0.5], &mut r2, &mut k);
+        assert_eq!(k.as_slice(), &first[..]);
+    }
+
+    #[test]
+    fn single_observation_and_empty() {
+        let ws = DistanceWorkspace::new(&[vec![0.5, 0.5]]);
+        let mut r2 = Vec::new();
+        let mut k = Mat::zeros(0, 0);
+        ws.fill_kernel(KernelFamily::Matern32, 4.0, &[1.0, 1.0], &mut r2, &mut k);
+        assert_eq!((k.rows(), k.cols()), (1, 1));
+        assert_eq!(k[(0, 0)], 4.0);
+
+        let empty = DistanceWorkspace::new(&[]);
+        assert_eq!(empty.n(), 0);
+    }
+}

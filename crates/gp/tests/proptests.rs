@@ -1,6 +1,7 @@
 //! Property-based tests for GP regression invariants.
 
-use mlcd_gp::{ArdKernel, GpModel, KernelFamily};
+use mlcd_gp::fit::nlml_naive;
+use mlcd_gp::{ArdKernel, CachedNlml, DistanceWorkspace, FitOptions, GpModel, KernelFamily};
 use proptest::prelude::*;
 
 /// Strategy: n distinct 1-D inputs in [0, 10] with targets in [-5, 5].
@@ -102,6 +103,45 @@ proptest! {
             prop_assert!((b.var_with_noise - s.var_with_noise).abs() <= 1e-9,
                 "var_with_noise at {:?}: {} vs {}", q, b.var_with_noise, s.var_with_noise);
         }
+    }
+
+    #[test]
+    fn cached_nlml_matches_naive(
+        (n, dim) in (2usize..20, 1usize..6),
+        seed_cells in proptest::collection::vec(0.0f64..1.0, 20 * 5),
+        z_cells in proptest::collection::vec(-3.0f64..3.0, 20),
+        (log_sf2, log_sn2) in ((0.1f64.ln())..(10.0f64.ln()), (1e-3f64.ln())..(1.0f64.ln())),
+        log_ls in proptest::collection::vec((0.1f64.ln())..(10.0f64.ln()), 5),
+        family_ix in 0usize..3,
+    ) {
+        // The workspace path accumulates r² as (a−b)²·ℓ⁻² instead of
+        // ((a−b)/ℓ)² and computes the quadratic form as ‖L⁻¹z‖², so it is
+        // not bitwise-equal to the reference — but it must agree to 1e-12
+        // relative for every kernel family on well-conditioned problems
+        // (σ_n² ≥ 1e-3 keeps the kernel matrix condition number modest;
+        // ill-conditioned fits are governed by the jitter policy, which
+        // both paths share).
+        let family = KernelFamily::ALL[family_ix];
+        let xs: Vec<Vec<f64>> =
+            (0..n).map(|i| seed_cells[i * 5..i * 5 + dim].to_vec()).collect();
+        let z = &z_cells[..n];
+        let mut theta = vec![log_sf2];
+        theta.extend_from_slice(&log_ls[..dim]);
+        theta.push(log_sn2);
+
+        let opts = FitOptions::default();
+        let want = nlml_naive(&theta, &xs, z, family, &opts);
+        let dist = DistanceWorkspace::new(&xs);
+        let mut cache = CachedNlml::new(&dist);
+        let got = cache.eval(&theta, z, family, &opts);
+        prop_assert!(want.is_finite(), "reference nlml not finite: {want}");
+        prop_assert!(
+            (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+            "{family:?} n={n} dim={dim}: cached {got} vs naive {want}"
+        );
+        // A second evaluation through the same (now-warm) buffers is
+        // identical — no state leaks between evaluations.
+        prop_assert_eq!(cache.eval(&theta, z, family, &opts), got);
     }
 
     #[test]

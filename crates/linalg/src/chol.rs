@@ -55,79 +55,177 @@ pub struct Chol {
     jitter: f64,
 }
 
+/// Factor the lower triangle of `a` (plus `jitter` on the diagonal) into
+/// `out`, which must already be `n×n`.
+///
+/// Each column of `a` is copied into `out` as the factorisation reaches
+/// it, with the jitter added to the diagonal entry *during the copy* — so
+/// a retry with a larger jitter restarts from the original matrix exactly
+/// (no accumulated bumping) without `a` ever being cloned or mutated.
+/// The strictly upper triangle of `a` is never read; `out`'s is zeroed on
+/// success. Callers are responsible for rejecting non-square or
+/// non-finite input.
+fn factor_into(a: &Mat, jitter: f64, out: &mut Mat) -> Result<(), CholError> {
+    let n = a.rows();
+    debug_assert!(a.is_square());
+    debug_assert_eq!((out.rows(), out.cols()), (n, n));
+    for j in 0..n {
+        {
+            let src = a.col(j);
+            let dst = out.col_mut(j);
+            dst[j..n].copy_from_slice(&src[j..n]);
+            dst[j] = src[j] + jitter;
+        }
+        // Left-looking update from the already-factored columns, four
+        // source columns per pass over the target. Each element still
+        // receives its subtractions one `k` at a time in ascending order,
+        // so the result is bit-identical to the classic entry-indexed
+        // loop — the blocking only cuts loop overhead and memory passes.
+        let (done, colj) = out.split_col_mut(j);
+        let target = &mut colj[j..];
+        let mut k = 0;
+        while k + 4 <= j {
+            let block = &done[k * n..(k + 4) * n];
+            let (c0, rest) = block.split_at(n);
+            let (c1, rest) = rest.split_at(n);
+            let (c2, c3) = rest.split_at(n);
+            let (l0, l1, l2, l3) = (c0[j], c1[j], c2[j], c3[j]);
+            let lanes = c0[j..].iter().zip(&c1[j..]).zip(&c2[j..]).zip(&c3[j..]);
+            for (x, (((&a0, &a1), &a2), &a3)) in target.iter_mut().zip(lanes) {
+                let mut v = *x;
+                v -= a0 * l0;
+                v -= a1 * l1;
+                v -= a2 * l2;
+                v -= a3 * l3;
+                *x = v;
+            }
+            k += 4;
+        }
+        for k in k..j {
+            let colk = &done[k * n..(k + 1) * n];
+            let ljk = colk[j];
+            if ljk == 0.0 {
+                continue;
+            }
+            for (x, &lik) in target.iter_mut().zip(&colk[j..]) {
+                *x -= lik * ljk;
+            }
+        }
+        let pivot = colj[j];
+        if pivot <= 0.0 || !pivot.is_finite() {
+            return Err(CholError::NotPositiveDefinite { pivot_index: j, pivot_value: pivot });
+        }
+        let root = pivot.sqrt();
+        for x in &mut colj[j..] {
+            *x /= root;
+        }
+    }
+    // Zero the strictly upper triangle so `out` really is lower-triangular.
+    for j in 1..n {
+        for x in &mut out.col_mut(j)[..j] {
+            *x = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Jitter-escalation driver shared by [`Chol::factor_with_jitter`] and
+/// [`CholWorkspace`]: validate once, then retry `factor_into` with
+/// `0, base, 10·base, …` on the diagonal. Resizes `out` if its order
+/// doesn't match (allocation-free otherwise) and returns the jitter that
+/// succeeded.
+///
+/// With `check_finite` off the upfront whole-matrix scan is skipped:
+/// non-finite input still fails (a NaN or ∞ anywhere in the lower
+/// triangle propagates into the pivot of its row, which the pivot check
+/// rejects) but surfaces as `NotPositiveDefinite` rather than
+/// `NotFinite`. Hot paths whose input is finite by construction use that
+/// mode.
+fn factor_with_jitter_into(
+    a: &Mat,
+    base: f64,
+    max_tries: usize,
+    out: &mut Mat,
+    check_finite: bool,
+) -> Result<f64, CholError> {
+    if !a.is_square() {
+        return Err(CholError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    if check_finite && a.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(CholError::NotFinite);
+    }
+    let n = a.rows();
+    if out.rows() != n || out.cols() != n {
+        *out = Mat::zeros(n, n);
+    }
+    let diag_scale =
+        if n == 0 { 1.0 } else { (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64 };
+    let diag_scale = if diag_scale > 0.0 { diag_scale } else { 1.0 };
+
+    let mut last_err = CholError::NotPositiveDefinite { pivot_index: 0, pivot_value: 0.0 };
+    for attempt in 0..=max_tries {
+        let jitter =
+            if attempt == 0 { 0.0 } else { base * diag_scale * 10f64.powi(attempt as i32 - 1) };
+        match factor_into(a, jitter, out) {
+            Ok(()) => return Ok(jitter),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+/// Forward substitution `L y = b`, overwriting `b` with `y`. The
+/// ascending elimination order matches the historical entry-indexed loop,
+/// so results are bit-identical to it (the slice zip just lets the update
+/// vectorise).
+fn solve_lower_in_place(l: &Mat, y: &mut [f64]) {
+    let n = l.rows();
+    for j in 0..n {
+        let col = l.col(j);
+        y[j] /= col[j];
+        let yj = y[j];
+        for (yi, &lij) in y[j + 1..].iter_mut().zip(&col[j + 1..]) {
+            *yi -= lij * yj;
+        }
+    }
+}
+
+/// Back substitution `Lᵀ x = y`, overwriting `y` with `x`. Bit-identical
+/// to the entry-indexed formulation, as above.
+fn solve_upper_in_place(l: &Mat, x: &mut [f64]) {
+    let n = l.rows();
+    for j in (0..n).rev() {
+        let col = l.col(j);
+        let mut s = x[j];
+        for (&lij, &xi) in col[j + 1..].iter().zip(&x[j + 1..]) {
+            s -= lij * xi;
+        }
+        x[j] = s / col[j];
+    }
+}
+
+/// `log |A| = 2 Σ log L_ii` for a lower-triangular factor.
+fn log_det_of(l: &Mat) -> f64 {
+    (0..l.rows()).map(|i| l[(i, i)].ln()).sum::<f64>() * 2.0
+}
+
 impl Chol {
     /// Factor an SPD matrix. Fails on the first non-positive pivot.
     pub fn factor(a: &Mat) -> Result<Self, CholError> {
-        Self::factor_impl(a.clone(), 0.0)
+        Self::factor_with_jitter(a, 0.0, 0)
     }
 
     /// Factor with escalating jitter: try `0, base, 10·base, …` added to the
     /// diagonal until the factorisation succeeds or `max_tries` is exhausted.
     ///
     /// `base` is scaled by the mean diagonal magnitude so the jitter is
-    /// relative to the matrix's own scale.
+    /// relative to the matrix's own scale. The input is never cloned: each
+    /// retry re-copies columns into the one output buffer with the new
+    /// jitter applied to the diagonal on the fly.
     pub fn factor_with_jitter(a: &Mat, base: f64, max_tries: usize) -> Result<Self, CholError> {
-        if !a.is_square() {
-            return Err(CholError::NotSquare { rows: a.rows(), cols: a.cols() });
-        }
-        let n = a.rows();
-        let diag_scale =
-            if n == 0 { 1.0 } else { (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64 };
-        let diag_scale = if diag_scale > 0.0 { diag_scale } else { 1.0 };
-
-        let mut last_err = CholError::NotPositiveDefinite { pivot_index: 0, pivot_value: 0.0 };
-        for attempt in 0..=max_tries {
-            let jitter =
-                if attempt == 0 { 0.0 } else { base * diag_scale * 10f64.powi(attempt as i32 - 1) };
-            let mut m = a.clone();
-            if jitter > 0.0 {
-                m.add_diag(jitter);
-            }
-            match Self::factor_impl(m, jitter) {
-                Ok(c) => return Ok(c),
-                Err(e @ CholError::NotFinite) => return Err(e),
-                Err(e) => last_err = e,
-            }
-        }
-        Err(last_err)
-    }
-
-    fn factor_impl(mut a: Mat, jitter: f64) -> Result<Self, CholError> {
-        if !a.is_square() {
-            return Err(CholError::NotSquare { rows: a.rows(), cols: a.cols() });
-        }
-        if a.as_slice().iter().any(|v| !v.is_finite()) {
-            return Err(CholError::NotFinite);
-        }
-        let n = a.rows();
-        // Left-looking Cholesky, writing L into the lower triangle of `a`.
-        for j in 0..n {
-            for k in 0..j {
-                let ljk = a[(j, k)];
-                if ljk == 0.0 {
-                    continue;
-                }
-                for i in j..n {
-                    let lik = a[(i, k)];
-                    a[(i, j)] -= lik * ljk;
-                }
-            }
-            let pivot = a[(j, j)];
-            if pivot <= 0.0 || !pivot.is_finite() {
-                return Err(CholError::NotPositiveDefinite { pivot_index: j, pivot_value: pivot });
-            }
-            let root = pivot.sqrt();
-            for i in j..n {
-                a[(i, j)] /= root;
-            }
-        }
-        // Zero the strictly upper triangle so `l` really is lower-triangular.
-        for j in 1..n {
-            for i in 0..j {
-                a[(i, j)] = 0.0;
-            }
-        }
-        Ok(Chol { l: a, jitter })
+        let mut l = Mat::zeros(0, 0);
+        let jitter = factor_with_jitter_into(a, base, max_tries, &mut l, true)?;
+        Ok(Chol { l, jitter })
     }
 
     /// The lower-triangular factor.
@@ -147,17 +245,9 @@ impl Chol {
 
     /// Solve `L y = b` (forward substitution).
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.order();
-        assert_eq!(b.len(), n, "solve_lower: dimension mismatch");
+        assert_eq!(b.len(), self.order(), "solve_lower: dimension mismatch");
         let mut y = b.to_vec();
-        for j in 0..n {
-            y[j] /= self.l[(j, j)];
-            let yj = y[j];
-            let col = self.l.col(j);
-            for i in (j + 1)..n {
-                y[i] -= col[i] * yj;
-            }
-        }
+        solve_lower_in_place(&self.l, &mut y);
         y
     }
 
@@ -192,17 +282,9 @@ impl Chol {
 
     /// Solve `Lᵀ x = y` (back substitution).
     pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
-        let n = self.order();
-        assert_eq!(y.len(), n, "solve_upper: dimension mismatch");
+        assert_eq!(y.len(), self.order(), "solve_upper: dimension mismatch");
         let mut x = y.to_vec();
-        for j in (0..n).rev() {
-            let col = self.l.col(j);
-            let mut s = x[j];
-            for i in (j + 1)..n {
-                s -= col[i] * x[i];
-            }
-            x[j] = s / col[j];
-        }
+        solve_upper_in_place(&self.l, &mut x);
         x
     }
 
@@ -213,7 +295,7 @@ impl Chol {
 
     /// `log |A| = 2 Σ log L_ii`.
     pub fn log_det(&self) -> f64 {
-        (0..self.order()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+        log_det_of(&self.l)
     }
 
     /// Quadratic form `bᵀ A⁻¹ b` computed stably as `‖L⁻¹ b‖²`.
@@ -250,6 +332,110 @@ impl Chol {
         }
         l[(n, n)] = lambda;
         Ok(Chol { l, jitter: self.jitter })
+    }
+}
+
+/// Reusable factorisation state for hot loops.
+///
+/// [`Chol`] allocates a fresh factor per call; a `CholWorkspace` re-factors
+/// into the same buffer, so repeated factorisations of same-order matrices
+/// (the marginal-likelihood optimiser does thousands per fit) are
+/// allocation-free. Numerically it runs the exact code path `Chol` does —
+/// factor, solves and `log_det` are bit-identical.
+///
+/// After a failed [`factor_with_jitter`](Self::factor_with_jitter) the
+/// buffer holds partial garbage; the accessors are only meaningful after
+/// the most recent factorisation succeeded.
+#[derive(Debug, Clone)]
+pub struct CholWorkspace {
+    l: Mat,
+    jitter: f64,
+}
+
+impl Default for CholWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CholWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        CholWorkspace { l: Mat::zeros(0, 0), jitter: 0.0 }
+    }
+
+    /// Factor `a` with escalating jitter into the internal buffer (see
+    /// [`Chol::factor_with_jitter`] for the retry policy). Allocation-free
+    /// whenever `a` has the same order as the previous call.
+    pub fn factor_with_jitter(
+        &mut self,
+        a: &Mat,
+        base: f64,
+        max_tries: usize,
+    ) -> Result<(), CholError> {
+        self.jitter = factor_with_jitter_into(a, base, max_tries, &mut self.l, true)?;
+        Ok(())
+    }
+
+    /// Like [`factor_with_jitter`](Self::factor_with_jitter) but without
+    /// the upfront whole-matrix finiteness scan, for callers whose input
+    /// is finite by construction (e.g. a kernel matrix assembled from
+    /// bounded hyperparameters). Only the lower triangle of `a` is read —
+    /// the strict upper triangle may hold stale values. Non-finite input
+    /// is still rejected, via the pivot checks, but reports
+    /// [`CholError::NotPositiveDefinite`] instead of
+    /// [`CholError::NotFinite`].
+    pub fn factor_with_jitter_assume_finite(
+        &mut self,
+        a: &Mat,
+        base: f64,
+        max_tries: usize,
+    ) -> Result<(), CholError> {
+        self.jitter = factor_with_jitter_into(a, base, max_tries, &mut self.l, false)?;
+        Ok(())
+    }
+
+    /// The lower-triangular factor of the last successful factorisation.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Diagonal jitter added by the last successful factorisation.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        log_det_of(&self.l)
+    }
+
+    /// Solve `A x = b` in place (forward then back substitution on `b`).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the factored order.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.order(), "solve_in_place: dimension mismatch");
+        solve_lower_in_place(&self.l, b);
+        solve_upper_in_place(&self.l, b);
+    }
+
+    /// Quadratic form `bᵀ A⁻¹ b` computed as `‖L⁻¹ b‖²`, overwriting `b`
+    /// with the forward-substitution result. Skips the back substitution
+    /// that a solve-then-dot formulation would pay for; the two agree to
+    /// rounding (the sum of squares is at least as stable).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the factored order.
+    pub fn quad_form_in_place(&self, b: &mut [f64]) -> f64 {
+        assert_eq!(b.len(), self.order(), "quad_form_in_place: dimension mismatch");
+        solve_lower_in_place(&self.l, b);
+        b.iter().map(|v| v * v).sum()
     }
 }
 
@@ -419,6 +605,85 @@ mod tests {
         let c = Chol::factor(&spd3()).unwrap();
         let y = c.solve_lower_multi(&Mat::zeros(3, 0));
         assert_eq!((y.rows(), y.cols()), (3, 0));
+    }
+
+    #[test]
+    fn workspace_matches_chol_bitwise() {
+        // Same factor, jitter, log-det and solve as the allocating path —
+        // bit for bit, including a case that needs jitter escalation.
+        let mut ws = CholWorkspace::new();
+        for a in [spd3(), Mat::from_fn(3, 3, |_, _| 1.0)] {
+            let c = Chol::factor_with_jitter(&a, 1e-10, 12).unwrap();
+            ws.factor_with_jitter(&a, 1e-10, 12).unwrap();
+            assert_eq!(ws.l().as_slice(), c.l().as_slice());
+            assert_eq!(ws.jitter(), c.jitter());
+            assert_eq!(ws.log_det(), c.log_det());
+            let b = [1.0, -2.0, 0.5];
+            let mut x = b;
+            ws.solve_in_place(&mut x);
+            assert_eq!(x.to_vec(), c.solve(&b));
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_orders() {
+        // Shrinking and growing between calls must re-size correctly and
+        // leave no stale state behind.
+        let mut ws = CholWorkspace::new();
+        for n in [4usize, 2, 6, 2] {
+            let a = Mat::from_fn(n, n, |i, j| if i == j { 3.0 } else { 0.5 });
+            ws.factor_with_jitter(&a, 1e-12, 4).unwrap();
+            let c = Chol::factor_with_jitter(&a, 1e-12, 4).unwrap();
+            assert_eq!(ws.order(), n);
+            assert_eq!(ws.l().as_slice(), c.l().as_slice());
+        }
+    }
+
+    #[test]
+    fn assume_finite_matches_checked_and_still_rejects_nan() {
+        let mut checked = CholWorkspace::new();
+        let mut fast = CholWorkspace::new();
+        checked.factor_with_jitter(&spd3(), 1e-12, 4).unwrap();
+        fast.factor_with_jitter_assume_finite(&spd3(), 1e-12, 4).unwrap();
+        assert_eq!(fast.l().as_slice(), checked.l().as_slice());
+        assert_eq!(fast.jitter(), checked.jitter());
+
+        // A NaN in the lower triangle must still fail — through the pivot
+        // check, so the error is NotPositiveDefinite rather than NotFinite.
+        let mut bad = spd3();
+        bad[(2, 1)] = f64::NAN;
+        assert!(matches!(
+            fast.factor_with_jitter_assume_finite(&bad, 0.0, 0),
+            Err(CholError::NotPositiveDefinite { .. })
+        ));
+        // And a stale upper triangle is ignored.
+        let mut stale = spd3();
+        stale[(0, 2)] = f64::INFINITY;
+        fast.factor_with_jitter_assume_finite(&stale, 1e-12, 4).unwrap();
+        assert_eq!(fast.l().as_slice(), checked.l().as_slice());
+    }
+
+    #[test]
+    fn workspace_quad_form_matches_chol() {
+        let mut ws = CholWorkspace::new();
+        ws.factor_with_jitter(&spd3(), 1e-12, 4).unwrap();
+        let c = Chol::factor(&spd3()).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let mut y = b;
+        // Same `‖L⁻¹b‖²` formulation on the same factor: bit-identical.
+        assert_eq!(ws.quad_form_in_place(&mut y), c.quad_form(&b));
+        assert_eq!(y.to_vec(), c.solve_lower(&b));
+    }
+
+    #[test]
+    fn workspace_recovers_after_failure() {
+        let mut ws = CholWorkspace::new();
+        let bad = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // indefinite
+        assert!(ws.factor_with_jitter(&bad, 0.0, 0).is_err());
+        ws.factor_with_jitter(&spd3(), 1e-12, 4).unwrap();
+        let c = Chol::factor(&spd3()).unwrap();
+        assert_eq!(ws.l().as_slice(), c.l().as_slice());
+        assert_eq!(ws.jitter(), 0.0);
     }
 
     #[test]

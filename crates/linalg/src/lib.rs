@@ -32,9 +32,12 @@ pub mod optimize;
 pub mod sampling;
 pub mod stats;
 
-pub use chol::{Chol, CholError};
+pub use chol::{Chol, CholError, CholWorkspace};
 pub use mat::Mat;
-pub use optimize::{multi_start_nelder_mead, nelder_mead, NelderMeadOptions, OptResult};
+pub use optimize::{
+    multi_start_nelder_mead, multi_start_nelder_mead_with, nelder_mead, NelderMeadOptions,
+    OptResult,
+};
 pub use sampling::{latin_hypercube, SampleRange};
 pub use stats::{norm_cdf, norm_pdf, norm_quantile, OnlineStats, Summary};
 

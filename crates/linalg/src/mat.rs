@@ -183,6 +183,18 @@ impl Mat {
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
+
+    /// Split the storage at column `j`: read access to columns `0..j`
+    /// (concatenated, column `k` at `k*rows..(k+1)*rows`) plus a mutable
+    /// borrow of column `j` itself. This is the borrow shape a
+    /// left-looking factorisation needs — update the current column from
+    /// the already-finished ones without cloning either.
+    #[inline]
+    pub fn split_col_mut(&mut self, j: usize) -> (&[f64], &mut [f64]) {
+        let n = self.rows;
+        let (left, rest) = self.data.split_at_mut(j * n);
+        (&*left, &mut rest[..n])
+    }
 }
 
 impl Index<(usize, usize)> for Mat {

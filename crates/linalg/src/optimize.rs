@@ -51,13 +51,17 @@ pub struct OptResult {
 /// Objective values that are NaN are treated as `+inf`, so the simplex
 /// retreats from invalid regions (e.g. hyperparameters that make a kernel
 /// matrix unfactorable) instead of corrupting the ordering.
-pub fn nelder_mead(f: impl Fn(&[f64]) -> f64, x0: &[f64], opts: &NelderMeadOptions) -> OptResult {
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> OptResult {
     let n = x0.len();
     assert!(n > 0, "nelder_mead: empty start point");
     let clean = |v: f64| if v.is_nan() { f64::INFINITY } else { v };
 
     let mut evals = 0usize;
-    let eval = |x: &[f64], evals: &mut usize| {
+    let mut eval = |x: &[f64], evals: &mut usize| {
         *evals += 1;
         clean(f(x))
     };
@@ -155,11 +159,41 @@ pub fn multi_start_nelder_mead(
     opts: &NelderMeadOptions,
 ) -> OptResult {
     assert!(n_starts > 0, "multi_start_nelder_mead: need at least one start");
+    multi_start_nelder_mead_with(|| |x: &[f64]| f(x), ranges, n_starts, &[], seed, opts)
+}
+
+/// Generalised multi-start: `make_f` builds a fresh (possibly stateful)
+/// objective per local search — the shape a workspace-backed evaluator
+/// with scratch buffers needs — and `extra_starts` are appended after the
+/// `n_starts` Latin-hypercube points (e.g. a warm start carried over from
+/// a previous fit).
+///
+/// The LHC draw depends only on `ranges`, `n_starts` and `seed`, so
+/// appending extra starts never perturbs it. Results are reduced in start
+/// order (ties resolved by position, independent of thread scheduling),
+/// so the outcome is deterministic for a fixed `seed`.
+pub fn multi_start_nelder_mead_with<G, F>(
+    make_f: G,
+    ranges: &[SampleRange],
+    n_starts: usize,
+    extra_starts: &[Vec<f64>],
+    seed: u64,
+    opts: &NelderMeadOptions,
+) -> OptResult
+where
+    G: Fn() -> F + Sync,
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(
+        n_starts + extra_starts.len() > 0,
+        "multi_start_nelder_mead_with: need at least one start"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
-    let starts = latin_hypercube(ranges, n_starts, &mut rng);
+    let mut starts = latin_hypercube(ranges, n_starts, &mut rng);
+    starts.extend(extra_starts.iter().cloned());
     starts
         .par_iter()
-        .map(|x0| nelder_mead(&f, x0, opts))
+        .map(|x0| nelder_mead(make_f(), x0, opts))
         .min_by(|a, b| a.fx.total_cmp(&b.fx))
         .expect("at least one start")
 }
@@ -243,6 +277,69 @@ mod tests {
         let b = multi_start_nelder_mead(f, &ranges, 4, 7, &NelderMeadOptions::default());
         assert_eq!(a.x, b.x);
         assert_eq!(a.fx, b.fx);
+    }
+
+    #[test]
+    fn stateful_objective_is_accepted() {
+        // FnMut objectives (e.g. workspace-backed evaluators) must work;
+        // the eval count seen by the closure matches the reported one.
+        let mut calls = 0usize;
+        let r = nelder_mead(
+            |x: &[f64]| {
+                calls += 1;
+                (x[0] - 2.0).powi(2)
+            },
+            &[0.0],
+            &NelderMeadOptions::default(),
+        );
+        assert_eq!(calls, r.evals);
+        assert!((r.x[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn factory_multi_start_matches_plain() {
+        // The generalised entry point with no extra starts is the same
+        // search as the original API — identical LHC draw, identical result.
+        let f = |x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] - 2.0).powi(2);
+        let ranges = [SampleRange { lo: -3.0, hi: 3.0 }, SampleRange { lo: -3.0, hi: 3.0 }];
+        let opts = NelderMeadOptions::default();
+        let a = multi_start_nelder_mead(f, &ranges, 4, 7, &opts);
+        let b = multi_start_nelder_mead_with(|| f, &ranges, 4, &[], 7, &opts);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.fx, b.fx);
+    }
+
+    #[test]
+    fn extra_start_can_win() {
+        // Narrow global well at x=-4 that LHC starts from [0, 5] cannot
+        // reach; a warm start placed inside it must be kept.
+        let f = |x: &[f64]| {
+            let wide = (x[0] - 3.0).powi(2) + 1.0;
+            let well = 50.0 * (x[0] + 4.0).powi(2);
+            wide.min(well)
+        };
+        let ranges = [SampleRange { lo: 0.0, hi: 5.0 }];
+        let opts = NelderMeadOptions::default();
+        let cold = multi_start_nelder_mead_with(|| f, &ranges, 4, &[], 11, &opts);
+        assert!((cold.x[0] - 3.0).abs() < 1e-3, "{cold:?}");
+        let warm = multi_start_nelder_mead_with(|| f, &ranges, 4, &[vec![-4.0]], 11, &opts);
+        assert!((warm.x[0] + 4.0).abs() < 1e-3, "{warm:?}");
+        assert!(warm.fx < 1e-6);
+    }
+
+    #[test]
+    fn extra_starts_alone_suffice() {
+        // n_starts = 0 with a seeded start point is a valid configuration.
+        let f = |x: &[f64]| (x[0] - 0.25).powi(2);
+        let r = multi_start_nelder_mead_with(
+            || f,
+            &[SampleRange { lo: 0.0, hi: 1.0 }],
+            0,
+            &[vec![0.9]],
+            3,
+            &NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 0.25).abs() < 1e-4);
     }
 
     #[test]

@@ -220,6 +220,49 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         sample_size,
         iters,
     );
+
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            append_json_record(&path, name, min, median, max, sample_size, iters);
+        }
+    }
+}
+
+/// Append one JSONL record per benchmark to the file named by the
+/// `CRITERION_JSON` env var. Times are nanoseconds per iteration; the
+/// format is hand-rolled (no serde in the shim) and each line is a
+/// self-contained JSON object, so partial runs still parse.
+fn append_json_record(
+    path: &str,
+    name: &str,
+    min: f64,
+    median: f64,
+    max: f64,
+    sample_size: usize,
+    iters: u64,
+) {
+    use std::io::Write;
+    let escaped: String = name
+        .chars()
+        .flat_map(|ch| match ch {
+            '"' | '\\' => vec!['\\', ch],
+            _ => vec![ch],
+        })
+        .collect();
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{sample_size},\"iters\":{iters}}}\n",
+        min * 1e9,
+        median * 1e9,
+        max * 1e9,
+    );
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion shim: failed to append to {path}: {e}");
+    }
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -282,6 +325,24 @@ mod tests {
         let t = Instant::now();
         c.bench_function("skipped", |b| b.iter(|| std::thread::sleep(Duration::from_secs(1))));
         assert!(t.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn json_record_appends_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_shim_{}.jsonl", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        append_json_record(&path, "gp_fit/32", 1.0e-3, 1.1e-3, 1.3e-3, 10, 4);
+        append_json_record(&path, "with \"quote\"", 2e-9, 3e-9, 4e-9, 2, 1);
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"gp_fit/32\""));
+        assert!(lines[0].contains("\"median_ns\":1100000.0"));
+        assert!(lines[0].contains("\"samples\":10"));
+        assert!(lines[1].contains("with \\\"quote\\\""));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
