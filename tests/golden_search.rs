@@ -1,0 +1,140 @@
+//! Golden `SearchOutcome` snapshots: every searcher × scenario × seed in
+//! the pinned set must reproduce its recorded outcome **bit for bit** —
+//! deployments, speeds, costs and stop reasons, down to the last f64 bit.
+//!
+//! These snapshots were captured before the search kernel was split into
+//! policy stages and pin the refactor: any change to probe order, scoring,
+//! pruning, feasibility gating or stopping shows up here as a diff.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! MLCD_UPDATE_GOLDEN=1 cargo test --test golden_search
+//! ```
+
+use mlcd::prelude::*;
+use mlcd::search::{CherryPick, ConvBo};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const GOLDEN_PATH: &str = "tests/golden/search_outcomes.txt";
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("unconstrained", Scenario::FastestUnlimited),
+        ("deadline-12h", Scenario::CheapestWithDeadline(SimDuration::from_hours(12.0))),
+        ("budget-150", Scenario::FastestWithBudget(Money::from_dollars(150.0))),
+    ]
+}
+
+fn searchers(seed: u64) -> Vec<(&'static str, Box<dyn Searcher>)> {
+    vec![
+        ("HeterBO", Box::new(HeterBo::seeded(seed))),
+        ("ConvBO", Box::new(ConvBo::seeded(seed))),
+        ("CherryPick", Box::new(CherryPick::seeded(seed))),
+    ]
+}
+
+/// The paper's standard 4-type space (as the end-to-end tests use), with
+/// the default (noisy) observation model — exercising the full profiling
+/// stack, not a sanitised synthetic surface.
+fn runner(seed: u64) -> ExperimentRunner {
+    ExperimentRunner::new(seed).with_types(vec![
+        InstanceType::C5Xlarge,
+        InstanceType::C54xlarge,
+        InstanceType::C5n4xlarge,
+        InstanceType::P2Xlarge,
+    ])
+}
+
+/// Exact bit pattern of an f64, so digests compare exactly — no epsilon.
+fn bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Canonical, bit-exact text digest of a search outcome.
+fn digest(outcome: &SearchOutcome) -> String {
+    let mut s = String::new();
+    match &outcome.best {
+        Some(b) => {
+            writeln!(s, "best {} speed={}", b.deployment, bits(b.speed)).unwrap();
+        }
+        None => writeln!(s, "best none").unwrap(),
+    }
+    for step in &outcome.steps {
+        writeln!(
+            s,
+            "step {:02} {} speed={} t={} c={} cum_t={} cum_c={}",
+            step.index,
+            step.observation.deployment,
+            bits(step.observation.speed),
+            bits(step.observation.profile_time.as_secs()),
+            bits(step.observation.profile_cost.dollars()),
+            bits(step.cum_profile_time.as_secs()),
+            bits(step.cum_profile_cost.dollars()),
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "totals t={} c={} stop={:?}",
+        bits(outcome.profile_time.as_secs()),
+        bits(outcome.profile_cost.dollars()),
+        outcome.stop_reason
+    )
+    .unwrap();
+    s
+}
+
+/// Render the whole pinned set as one text blob, cell by cell.
+fn render_all() -> String {
+    let mut out = String::new();
+    for (scenario_name, scenario) in scenarios() {
+        for seed in SEEDS {
+            for (searcher_name, searcher) in searchers(seed) {
+                let outcome = runner(seed).run(searcher.as_ref(), &TrainingJob::resnet_cifar10(), &scenario);
+                writeln!(out, "=== {searcher_name} / {scenario_name} / seed {seed} ===").unwrap();
+                out.push_str(&digest(&outcome.search));
+            }
+        }
+    }
+    out
+}
+
+fn golden_file() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+#[test]
+fn golden_search_outcomes_are_bit_identical() {
+    let actual = render_all();
+    let path = golden_file();
+    if std::env::var("MLCD_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("golden snapshots rewritten at {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with MLCD_UPDATE_GOLDEN=1 to capture",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // Point at the first diverging line so the failure is actionable.
+        let mismatch = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (e, a))| e != a)
+            .map(|(i, (e, a))| format!("first diff at line {}:\n  golden: {e}\n  actual: {a}", i + 1))
+            .unwrap_or_else(|| "one output is a prefix of the other".to_string());
+        panic!(
+            "search outcomes diverged from the golden snapshots \
+             (behaviour-pinned refactors must be bit-identical)\n{mismatch}"
+        );
+    }
+}
