@@ -32,26 +32,17 @@ fn make_env() -> SyntheticEnv<fn(&Deployment) -> f64> {
     SyntheticEnv::new(space, 5e6, speed as fn(&Deployment) -> f64)
 }
 
-fn heterbo_config() -> BoConfig {
-    BoConfig {
-        init: InitStrategy::TypeSweep,
-        ei_rel_threshold: 0.05,
-        ci_stop: true,
-        cost_penalty: true,
-        constraint_aware: true,
-        reserve_protection: true,
-        concave_prior: true,
-        max_steps: 16,
-        min_obs_before_stop: 6,
-        account_sunk: true,
-        parallel_init: false,
-        acquisition: mlcd::acquisition::AcquisitionKind::ExpectedImprovement,
-        gp_refit_every: 1,
-        gp_warm_start: false,
-        gp_warm_burnin: 8,
-        gp_warm_restarts: 3,
-        seed: 1,
-    }
+fn heterbo_config() -> mlcd::search::BoConfigBuilder {
+    BoConfig::builder()
+        .init(InitStrategy::TypeSweep)
+        .ei_rel_threshold(0.05)
+        .ci_stop(true)
+        .cost_penalty(true)
+        .budget_guarded()
+        .concave_prior(true)
+        .max_steps(16)
+        .min_obs_before_stop(6)
+        .seed(1)
 }
 
 fn bench_ablations(c: &mut Criterion) {
@@ -60,11 +51,11 @@ fn bench_ablations(c: &mut Criterion) {
     let scenario = Scenario::FastestWithBudget(Money::from_dollars(150.0));
 
     let variants: Vec<(&str, BoConfig)> = vec![
-        ("full", heterbo_config()),
-        ("no_concave_prior", BoConfig { concave_prior: false, ..heterbo_config() }),
-        ("no_cost_penalty", BoConfig { cost_penalty: false, ..heterbo_config() }),
-        ("random_init", BoConfig { init: InitStrategy::RandomPoints(3), ..heterbo_config() }),
-        ("no_reserve", BoConfig { reserve_protection: false, ..heterbo_config() }),
+        ("full", heterbo_config().build()),
+        ("no_concave_prior", heterbo_config().concave_prior(false).build()),
+        ("no_cost_penalty", heterbo_config().cost_penalty(false).build()),
+        ("random_init", heterbo_config().init(InitStrategy::RandomPoints(3)).build()),
+        ("no_reserve", heterbo_config().reserve_protection(false).build()),
     ];
     for (name, cfg) in variants {
         g.bench_function(name, |b| {

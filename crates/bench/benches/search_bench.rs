@@ -73,26 +73,17 @@ fn bench_warm_vs_cold_refits(c: &mut Criterion) {
     let mut g = c.benchmark_group("search_gp_refits");
     g.sample_size(10);
     let scenario = Scenario::FastestWithBudget(Money::from_dollars(150.0));
-    let base = BoConfig {
-        init: InitStrategy::RandomPoints(2),
-        ei_rel_threshold: 0.001,
-        ci_stop: false,
-        cost_penalty: false,
-        constraint_aware: false,
-        reserve_protection: false,
-        concave_prior: false,
-        max_steps: 28,
-        min_obs_before_stop: 12,
-        account_sunk: false,
-        parallel_init: false,
-        acquisition: mlcd::acquisition::AcquisitionKind::ExpectedImprovement,
-        gp_refit_every: 1,
-        gp_warm_start: true,
-        gp_warm_burnin: 8,
-        gp_warm_restarts: 3,
-        seed: 1,
+    let warm_base = || {
+        BoConfig::builder()
+            .init(InitStrategy::RandomPoints(2))
+            .ei_rel_threshold(0.001)
+            .max_steps(28)
+            .min_obs_before_stop(12)
+            .gp_warm_start(true)
+            .seed(1)
     };
-    let cold = BoConfig { gp_warm_start: false, ..base.clone() };
+    let base = warm_base().build();
+    let cold = warm_base().gp_warm_start(false).build();
     g.bench_function("warm_refits", |b| {
         b.iter(|| {
             let mut env = make_env();

@@ -18,35 +18,26 @@ use serde_json::json;
 
 const SEEDS: u64 = 4;
 
-fn heterbo_config(seed: u64) -> BoConfig {
-    BoConfig {
-        init: InitStrategy::TypeSweep,
-        ei_rel_threshold: 0.10,
-        ci_stop: true,
-        cost_penalty: true,
-        constraint_aware: true,
-        reserve_protection: true,
-        concave_prior: true,
-        max_steps: 8,
-        min_obs_before_stop: 6,
-        account_sunk: true,
-        parallel_init: false,
-        acquisition: mlcd::acquisition::AcquisitionKind::ExpectedImprovement,
-        gp_refit_every: 1,
-        gp_warm_start: false,
-        gp_warm_burnin: 8,
-        gp_warm_restarts: 3,
-        seed,
-    }
+fn heterbo_config(seed: u64) -> mlcd::search::BoConfigBuilder {
+    BoConfig::builder()
+        .init(InitStrategy::TypeSweep)
+        .ei_rel_threshold(0.10)
+        .ci_stop(true)
+        .cost_penalty(true)
+        .budget_guarded()
+        .concave_prior(true)
+        .max_steps(8)
+        .min_obs_before_stop(6)
+        .seed(seed)
 }
 
 fn variants(seed: u64) -> Vec<(&'static str, BoConfig)> {
     vec![
-        ("full", heterbo_config(seed)),
-        ("no_prior", BoConfig { concave_prior: false, ..heterbo_config(seed) }),
-        ("no_cost", BoConfig { cost_penalty: false, ..heterbo_config(seed) }),
-        ("random_init", BoConfig { init: InitStrategy::RandomPoints(4), ..heterbo_config(seed) }),
-        ("no_reserve", BoConfig { reserve_protection: false, ..heterbo_config(seed) }),
+        ("full", heterbo_config(seed).build()),
+        ("no_prior", heterbo_config(seed).concave_prior(false).build()),
+        ("no_cost", heterbo_config(seed).cost_penalty(false).build()),
+        ("random_init", heterbo_config(seed).init(InitStrategy::RandomPoints(4)).build()),
+        ("no_reserve", heterbo_config(seed).reserve_protection(false).build()),
     ]
 }
 

@@ -26,7 +26,7 @@ pub fn run(seed: u64) -> FigReport {
     let scenario = Scenario::FastestUnlimited;
     let runner = scale_out_runner(seed);
 
-    let h = runner.run(&HeterBo::seeded(seed), &job, &scenario);
+    let (h, trace) = runner.run_traced(&HeterBo::seeded(seed), &job, &scenario);
     let c = runner.run(&ConvBo::seeded(seed), &job, &scenario);
 
     r.line("(a) HeterBO search process:");
@@ -39,6 +39,19 @@ pub fn run(seed: u64) -> FigReport {
         ));
     }
     r.line(format!("  stop: {:?}", h.search.stop_reason));
+    let (mut scored, mut pruned, mut blocked) = (0usize, 0usize, 0usize);
+    for e in &trace.events {
+        match e {
+            TraceEvent::CandidateScored { .. } => scored += 1,
+            TraceEvent::CandidatePruned { .. } => pruned += 1,
+            TraceEvent::ReserveBlocked { .. } => blocked += 1,
+            _ => {}
+        }
+    }
+    r.line(format!(
+        "  kernel trace: {} candidates scored, {} pruned without probing, {} reserve-blocked",
+        scored, pruned, blocked
+    ));
 
     r.line("(b) total time breakdown:");
     r.line(BreakdownRow::header());

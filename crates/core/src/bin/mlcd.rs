@@ -6,7 +6,8 @@
 //! mlcd curves --job char-rnn --type c5.4xlarge   # ground-truth speed curve
 //! mlcd optimum --job resnet-cifar10 --budget 100 # the oracle's answer
 //! mlcd search --job resnet-cifar10 --budget 100 \
-//!      --searcher heterbo --seed 7 [--types c5.xlarge,c5.4xlarge] [--json]
+//!      --searcher heterbo --seed 7 [--types c5.xlarge,c5.4xlarge] [--json] \
+//!      [--trace trace.jsonl]
 //! ```
 
 use mlcd::prelude::*;
@@ -42,6 +43,7 @@ struct Opts {
     seed: u64,
     max_nodes: u32,
     json: bool,
+    trace: Option<String>,
 }
 
 impl Opts {
@@ -70,6 +72,7 @@ impl Opts {
                     o.max_nodes = take()?.parse().map_err(|_| "--max-nodes takes an integer")?
                 }
                 "--json" => o.json = true,
+                "--trace" => o.trace = Some(take()?.clone()),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -222,17 +225,36 @@ fn search(opts: &Opts) {
     let runner = opts.runner().unwrap_or_else(|e| usage(&e));
     let seed = opts.seed;
     let name = opts.searcher.as_deref().unwrap_or("heterbo");
-    let outcome = match name {
-        "heterbo" => runner.run(&HeterBo::seeded(seed), &job, &scenario),
-        "heterbo-parallel" => runner.run(&HeterBo::with_parallel_init(seed), &job, &scenario),
-        "convbo" => runner.run(&ConvBo::seeded(seed), &job, &scenario),
-        "cherrypick" => runner.run(&CherryPick::seeded(seed), &job, &scenario),
-        "random" => runner.run(&RandomSearch::new(9, seed), &job, &scenario),
-        "exhaustive" => runner.run(&ExhaustiveSearch::strided(10), &job, &scenario),
-        "paleo" => runner.run_paleo(&job, &scenario),
+    let searcher: Option<Box<dyn Searcher>> = match name {
+        "heterbo" => Some(Box::new(HeterBo::seeded(seed))),
+        "heterbo-parallel" => Some(Box::new(HeterBo::with_parallel_init(seed))),
+        "convbo" => Some(Box::new(ConvBo::seeded(seed))),
+        "cherrypick" => Some(Box::new(CherryPick::seeded(seed))),
+        "random" => Some(Box::new(RandomSearch::new(9, seed))),
+        "exhaustive" => Some(Box::new(ExhaustiveSearch::strided(10))),
+        "paleo" => None,
         other => usage(&format!(
             "unknown searcher `{other}` (heterbo, heterbo-parallel, convbo, cherrypick, random, exhaustive, paleo)"
         )),
+    };
+    let outcome = match searcher {
+        Some(s) => match &opts.trace {
+            Some(path) => {
+                let (outcome, trace) = runner.run_traced(s.as_ref(), &job, &scenario);
+                if let Err(e) = std::fs::write(path, trace.to_jsonl()) {
+                    eprintln!("error: cannot write trace to `{path}`: {e}");
+                    std::process::exit(2);
+                }
+                outcome
+            }
+            None => runner.run(s.as_ref(), &job, &scenario),
+        },
+        None => {
+            if opts.trace.is_some() {
+                usage("--trace is not supported with --searcher paleo (it runs no search loop)");
+            }
+            runner.run_paleo(&job, &scenario)
+        }
     };
 
     if opts.json {
@@ -293,6 +315,7 @@ fn usage(msg: &str) -> ! {
          \u{20}  mlcd optimum --job <name> [--budget $ | --deadline h] [--types a,b] [--max-nodes N]\n\
          \u{20}  mlcd search  --job <name> [--budget $ | --deadline h] [--searcher S]\n\
          \u{20}               [--seed N] [--types a,b] [--max-nodes N] [--json]\n\
+         \u{20}               [--trace FILE]   # structured search events as JSON Lines\n\
          \n\
          jobs: {}\n\
          searchers: heterbo (default), heterbo-parallel, convbo, cherrypick, random, exhaustive, paleo",
@@ -326,6 +349,8 @@ mod tests {
             "--max-nodes",
             "30",
             "--json",
+            "--trace",
+            "out.jsonl",
         ])
         .unwrap();
         assert_eq!(o.job.as_deref(), Some("char-rnn"));
@@ -334,6 +359,7 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.max_nodes, 30);
         assert!(o.json);
+        assert_eq!(o.trace.as_deref(), Some("out.jsonl"));
         assert_eq!(o.types, Some(vec!["c5.xlarge".to_string(), "c5.4xlarge".to_string()]));
     }
 

@@ -2,7 +2,7 @@
 //!
 //! The paper formulates deployment as a pair of instance type `m`
 //! (scale-up) and node count `n` (scale-out), with "62 scale-up options and
-//! a rule of thumb for scale-out [of] 50, so there are in total 3,100
+//! a rule of thumb for scale-out \[of\] 50, so there are in total 3,100
 //! deployment schemes". Our catalog has 19 types; experiments restrict the
 //! type set exactly as the paper's figures do (e.g. Fig 15 searches
 //! {c5.xlarge, c5.4xlarge, p2.xlarge} × n ≤ 50).

@@ -17,7 +17,7 @@
 
 use crate::experiment::{ExperimentOutcome, ExperimentRunner};
 use crate::scenario::Scenario;
-use crate::search::Searcher;
+use crate::search::{SearchTrace, Searcher};
 use mlcd_linalg::stats::quartiles;
 use mlcd_perfmodel::TrainingJob;
 use rayon::prelude::*;
@@ -41,6 +41,10 @@ pub struct EvalCell {
     pub seed: u64,
     /// The full experiment outcome.
     pub outcome: ExperimentOutcome,
+    /// The structured search trace, when the grid ran with
+    /// [`EvalGrid::capture_traces`]. `None` otherwise — tracing is off by
+    /// default to keep large sweeps lean.
+    pub trace: Option<SearchTrace>,
 }
 
 /// Aggregate over one (searcher, scenario) pair of the grid.
@@ -178,6 +182,7 @@ pub struct EvalGrid {
     scenarios: Vec<Scenario>,
     seeds: Vec<u64>,
     runner: RunnerFactory,
+    capture_traces: bool,
 }
 
 impl EvalGrid {
@@ -190,6 +195,7 @@ impl EvalGrid {
             scenarios: Vec::new(),
             seeds: Vec::new(),
             runner: Box::new(ExperimentRunner::new),
+            capture_traces: false,
         }
     }
 
@@ -221,6 +227,14 @@ impl EvalGrid {
         self
     }
 
+    /// Collect the structured [`SearchTrace`] of every cell. Tracing is
+    /// pure observation — cell outcomes stay bit-identical to an
+    /// untraced grid — but the streams cost memory, so this is opt-in.
+    pub fn capture_traces(mut self, on: bool) -> Self {
+        self.capture_traces = on;
+        self
+    }
+
     /// Run every cell of the grid, fanned out across threads, and collect
     /// the report in grid order (scenario-major, then seed, then
     /// searcher). Each cell is self-seeded, so the report is identical to
@@ -240,8 +254,14 @@ impl EvalGrid {
                 let (name, factory) = &self.searchers[si];
                 let runner = (self.runner)(seed);
                 let searcher = factory(seed);
-                let outcome = runner.run(searcher.as_ref(), &self.job, &scenario);
-                EvalCell { searcher: name.clone(), scenario, seed, outcome }
+                let (outcome, trace) = if self.capture_traces {
+                    let (outcome, trace) =
+                        runner.run_traced(searcher.as_ref(), &self.job, &scenario);
+                    (outcome, Some(trace))
+                } else {
+                    (runner.run(searcher.as_ref(), &self.job, &scenario), None)
+                };
+                EvalCell { searcher: name.clone(), scenario, seed, outcome, trace }
             })
             .collect();
         EvalReport { cells }
@@ -340,6 +360,26 @@ mod tests {
             assert_eq!(cell.outcome.total_time, direct.total_time);
             assert_eq!(cell.outcome.plan.map(|p| p.deployment), direct.plan.map(|p| p.deployment));
             assert_eq!(cell.outcome.search.n_probes(), direct.search.n_probes());
+        }
+    }
+
+    #[test]
+    fn traced_grid_is_bit_identical_to_untraced() {
+        let plain = small_grid().run();
+        let traced = small_grid().capture_traces(true).run();
+        assert_eq!(plain.cells.len(), traced.cells.len());
+        for (p, t) in plain.cells.iter().zip(&traced.cells) {
+            assert!(p.trace.is_none());
+            assert_eq!(p.outcome.total_cost, t.outcome.total_cost);
+            assert_eq!(p.outcome.total_time, t.outcome.total_time);
+            assert_eq!(p.outcome.search.steps, t.outcome.search.steps);
+            let trace = t.trace.as_ref().expect("traced grid collects streams");
+            // Kernel-backed searchers narrate every probe; RandomSearch
+            // has no instrumented loop and legitimately traces nothing.
+            if t.searcher == "HeterBO" {
+                assert_eq!(trace.probes().count(), t.outcome.search.n_probes());
+                assert!(trace.stop_reason().is_some());
+            }
         }
     }
 

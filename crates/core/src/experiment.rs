@@ -134,6 +134,31 @@ impl ExperimentRunner {
         job: &TrainingJob,
         scenario: &Scenario,
     ) -> ExperimentOutcome {
+        self.run_with_sink(searcher, job, scenario, &mut crate::search::NullSink)
+    }
+
+    /// Run one full experiment and collect the searcher's structured
+    /// trace alongside the outcome. Tracing never perturbs the search —
+    /// the outcome is bit-identical to [`ExperimentRunner::run`].
+    pub fn run_traced(
+        &self,
+        searcher: &dyn Searcher,
+        job: &TrainingJob,
+        scenario: &Scenario,
+    ) -> (ExperimentOutcome, crate::search::SearchTrace) {
+        let mut trace = crate::search::SearchTrace::default();
+        let outcome = self.run_with_sink(searcher, job, scenario, &mut trace);
+        (outcome, trace)
+    }
+
+    /// Run one full experiment, narrating the search into `sink`.
+    pub fn run_with_sink(
+        &self,
+        searcher: &dyn Searcher,
+        job: &TrainingJob,
+        scenario: &Scenario,
+        sink: &mut dyn crate::search::TraceSink,
+    ) -> ExperimentOutcome {
         let space = self.space(job);
         let mut cloud = SimCloud::new(self.seed);
         // Keep the provider's quotas at least as large as the space we are
@@ -145,7 +170,7 @@ impl ExperimentRunner {
         let platform = SimMlPlatform::new(job.clone(), self.truth, self.noise, self.seed ^ 0x4D4C);
         let mut profiler = Profiler::new(cloud, platform, space, self.profiler_cfg.clone());
 
-        let outcome = searcher.search(&mut profiler, scenario);
+        let outcome = searcher.search_traced(&mut profiler, scenario, sink);
         let plan = outcome
             .best
             .map(|obs| DeploymentPlan { deployment: obs.deployment, observed_speed: obs.speed });
@@ -429,6 +454,18 @@ mod tests {
             a.search.profile_time.as_mins(),
             b.search.profile_time.as_mins()
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_collects_events() {
+        let job = TrainingJob::resnet_cifar10();
+        let scenario = Scenario::FastestUnlimited;
+        let plain = runner().run(&HeterBo::seeded(5), &job, &scenario);
+        let (traced, trace) = runner().run_traced(&HeterBo::seeded(5), &job, &scenario);
+        assert_eq!(plain.total_cost, traced.total_cost);
+        assert_eq!(plain.search.steps.len(), traced.search.steps.len());
+        assert_eq!(trace.probes().count(), traced.search.steps.len());
+        assert_eq!(trace.stop_reason(), Some(traced.search.stop_reason));
     }
 
     #[test]

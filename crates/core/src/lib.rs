@@ -13,13 +13,15 @@
 //! * [`observation`] — profiling observations and search traces.
 //! * [`acquisition`] — EI / UCB / POI and the paper's constraint-aware TEI
 //!   with heterogeneous profiling-cost penalties (§III-C).
-//! * [`env`] — the [`env::ProfilingEnv`] abstraction searchers probe
+//! * [`env`](mod@crate::env) — the [`env::ProfilingEnv`] abstraction searchers probe
 //!   through; production impl is the MLCD Profiler, tests use synthetic
 //!   functions.
-//! * [`search`] — the searchers: [`search::HeterBo`] (the contribution),
+//! * [`search`] — the policy-driven [`search::SearchKernel`] and the
+//!   searchers composed from it: [`search::HeterBo`] (the contribution),
 //!   [`search::ConvBo`], [`search::CherryPick`], their budget-aware
 //!   "improved" variants from Fig 18, [`search::RandomSearch`], and
-//!   [`search::ExhaustiveSearch`].
+//!   [`search::ExhaustiveSearch`] — plus the structured
+//!   [`search::SearchTrace`] every kernel run can narrate.
 //! * [`system`] — MLCD itself (Fig 8): Profiler, Scenario Analyzer,
 //!   HeterBO Deployment Engine, Cloud Interface, ML Platform Interface.
 //! * [`experiment`] — the harness that runs a searcher end-to-end
@@ -63,7 +65,8 @@ pub mod prelude {
     pub use crate::observation::{Observation, SearchOutcome, SearchStep, StopReason};
     pub use crate::scenario::Scenario;
     pub use crate::search::{
-        CherryPick, ConvBo, ExhaustiveSearch, HeterBo, RandomSearch, Searcher,
+        BoConfig, CherryPick, ConvBo, ExhaustiveSearch, HeterBo, NullSink, RandomSearch,
+        SearchTrace, Searcher, TraceEvent, TraceSink,
     };
     pub use crate::system::{DeploymentEngine, DeploymentPlan, Profiler, ScenarioAnalyzer};
     pub use mlcd_cloudsim::{InstanceType, Money, SimDuration, SimTime};

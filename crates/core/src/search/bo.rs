@@ -1,25 +1,27 @@
-//! The Bayesian-optimisation core and the three BO searchers built on it:
-//! HeterBO (the paper's contribution), ConvBO and CherryPick (the
-//! baselines), plus the Fig 18 budget-aware "improved" baseline variants.
+//! The three BO searchers as declarative policy compositions: HeterBO
+//! (the paper's contribution), ConvBO and CherryPick (the baselines),
+//! plus the Fig 18 budget-aware "improved" baseline variants.
 //!
-//! One loop implements all of them; the paper's mechanisms are independent
-//! switches on [`BoConfig`] (see the table in [`crate::search`]). This
-//! keeps the comparison honest — the baselines differ from HeterBO by
-//! exactly the mechanisms the paper claims matter, nothing else — and
-//! gives the ablation benchmarks their knobs for free.
+//! One kernel ([`crate::search::kernel::SearchKernel`]) runs all of them;
+//! the paper's mechanisms are independent switches on [`BoConfig`] (see
+//! the table in [`crate::search`]) that [`BoCore::kernel`] translates
+//! into stage policies. This keeps the comparison honest — the baselines
+//! differ from HeterBO by exactly the mechanisms the paper claims matter,
+//! nothing else — and gives the ablation benchmarks their knobs for free.
 
-use crate::acquisition::{cost_belief, prob_improvement, AcquisitionKind};
-use crate::deployment::Deployment;
-use crate::env::{ProfileError, ProfilingEnv};
-use crate::observation::{Observation, SearchOutcome, SearchStep, StopReason};
-use crate::scenario::{projection_margin, Objective, Scenario};
-use crate::search::surrogate::{RefitPolicy, Surrogate};
-use crate::search::{pick_incumbent, Searcher};
+use crate::acquisition::AcquisitionKind;
+use crate::env::ProfilingEnv;
+use crate::observation::SearchOutcome;
+use crate::scenario::Scenario;
+use crate::search::kernel::SearchKernel;
+use crate::search::policies::{
+    ConcaveScaleOutPrior, ConvergenceStop, CostPenalisedAcquisition, InitPolicy, RandomInit,
+    SpaceTrim, TeiReserveGate, TypeSweepInit,
+};
+use crate::search::surrogate::RefitPolicy;
+use crate::search::trace::{NullSink, TraceSink};
+use crate::search::Searcher;
 use mlcd_cloudsim::InstanceType;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// How the first probes are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +37,11 @@ pub enum InitStrategy {
 }
 
 /// Switches for the paper's mechanisms.
-#[derive(Debug, Clone)]
+///
+/// Construct via [`BoConfig::builder`] — the struct is `#[non_exhaustive]`
+/// so future policy knobs are not breaking changes.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoConfig {
     /// Initialisation strategy.
     pub init: InitStrategy,
@@ -102,29 +108,160 @@ pub struct BoConfig {
     pub seed: u64,
 }
 
-/// Speed must decline by more than this fraction between neighbouring
-/// scale-outs before the concave prior prunes (guards against noise).
-const CONCAVE_MARGIN: f64 = 0.03;
-/// CI-stop significance: stop when P(improvement > threshold) < this for
-/// every candidate.
-const CI_ALPHA: f64 = 0.05;
-/// Optimism used in the TEI projection: candidate speed at +2σ.
-const TEI_SIGMAS: f64 = 2.0;
-/// A probe can cost more than its quote (stability extensions,
-/// provisioning jitter, billing round-ups); reserve arithmetic scales the
-/// quoted money by this factor…
-const PROBE_COST_OVERRUN: f64 = 1.6;
-/// …and the quoted time by this one.
-const PROBE_TIME_OVERRUN: f64 = 1.3;
-/// The cold-start exploration fallback may burn at most this fraction of
-/// the deadline/budget before conceding that the constraint is lost.
-const HATCH_FRACTION: f64 = 0.5;
-/// How much of the linear-scaling upper bound a frontier probe is credited
-/// with when competing against GP-EI scores (scaling is sublinear in
-/// reality, so the bound is discounted).
-const FRONTIER_DISCOUNT: f64 = 0.25;
+impl BoConfig {
+    /// Start from the conventional-BO baseline defaults (CherryPick's
+    /// base: 3 random init points, plain EI, 10 % stop, every paper
+    /// mechanism off) and override what differs.
+    pub fn builder() -> BoConfigBuilder {
+        BoConfigBuilder {
+            cfg: BoConfig {
+                init: InitStrategy::RandomPoints(3),
+                ei_rel_threshold: 0.10,
+                ci_stop: false,
+                cost_penalty: false,
+                constraint_aware: false,
+                reserve_protection: false,
+                concave_prior: false,
+                max_steps: 27,
+                min_obs_before_stop: 10,
+                account_sunk: false,
+                parallel_init: false,
+                acquisition: AcquisitionKind::ExpectedImprovement,
+                gp_refit_every: 1,
+                gp_warm_start: false,
+                gp_warm_burnin: 8,
+                gp_warm_restarts: 3,
+                seed: 0,
+            },
+        }
+    }
+}
 
-/// The shared BO loop.
+/// Builds a [`BoConfig`] field by field — the one place the searcher
+/// constructors (and ablation variants) derive their configs from.
+#[derive(Debug, Clone)]
+pub struct BoConfigBuilder {
+    cfg: BoConfig,
+}
+
+impl BoConfigBuilder {
+    /// Initialisation strategy.
+    pub fn init(mut self, v: InitStrategy) -> Self {
+        self.cfg.init = v;
+        self
+    }
+
+    /// Relative EI stop threshold.
+    pub fn ei_rel_threshold(mut self, v: f64) -> Self {
+        self.cfg.ei_rel_threshold = v;
+        self
+    }
+
+    /// Confidence-aware stop.
+    pub fn ci_stop(mut self, v: bool) -> Self {
+        self.cfg.ci_stop = v;
+        self
+    }
+
+    /// Probing-cost EI penalty.
+    pub fn cost_penalty(mut self, v: bool) -> Self {
+        self.cfg.cost_penalty = v;
+        self
+    }
+
+    /// Constraint-aware acquisition (TEI filter + feasibility ranking).
+    pub fn constraint_aware(mut self, v: bool) -> Self {
+        self.cfg.constraint_aware = v;
+        self
+    }
+
+    /// Protective deadline/budget reserve.
+    pub fn reserve_protection(mut self, v: bool) -> Self {
+        self.cfg.reserve_protection = v;
+        self
+    }
+
+    /// Concave scale-out prior.
+    pub fn concave_prior(mut self, v: bool) -> Self {
+        self.cfg.concave_prior = v;
+        self
+    }
+
+    /// Cap on BO-loop probes after initialisation.
+    pub fn max_steps(mut self, v: usize) -> Self {
+        self.cfg.max_steps = v;
+        self
+    }
+
+    /// Minimum observations before a convergence stop may fire.
+    pub fn min_obs_before_stop(mut self, v: usize) -> Self {
+        self.cfg.min_obs_before_stop = v;
+        self
+    }
+
+    /// Count sunk profiling spend when ranking deployments.
+    pub fn account_sunk(mut self, v: bool) -> Self {
+        self.cfg.account_sunk = v;
+        self
+    }
+
+    /// Run the init probes as one concurrent batch.
+    pub fn parallel_init(mut self, v: bool) -> Self {
+        self.cfg.parallel_init = v;
+        self
+    }
+
+    /// Acquisition function.
+    pub fn acquisition(mut self, v: AcquisitionKind) -> Self {
+        self.cfg.acquisition = v;
+        self
+    }
+
+    /// GP refit cadence.
+    pub fn gp_refit_every(mut self, v: usize) -> Self {
+        self.cfg.gp_refit_every = v;
+        self
+    }
+
+    /// Warm-start GP refits.
+    pub fn gp_warm_start(mut self, v: bool) -> Self {
+        self.cfg.gp_warm_start = v;
+        self
+    }
+
+    /// Warm-start burn-in observation count.
+    pub fn gp_warm_burnin(mut self, v: usize) -> Self {
+        self.cfg.gp_warm_burnin = v;
+        self
+    }
+
+    /// Restarts kept per warm refit past the burn-in.
+    pub fn gp_warm_restarts(mut self, v: usize) -> Self {
+        self.cfg.gp_warm_restarts = v;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+
+    /// The Fig 18 "improved baseline" bundle: protective reserve +
+    /// constraint-aware ranking + sunk-cost accounting, as one switch.
+    pub fn budget_guarded(self) -> Self {
+        self.reserve_protection(true).constraint_aware(true).account_sunk(true)
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> BoConfig {
+        self.cfg
+    }
+}
+
+/// A named [`BoConfig`] plus optional space restrictions — the bridge
+/// between the flag-style configuration and the policy-composed
+/// [`SearchKernel`] that actually runs the search.
 pub struct BoCore {
     name: &'static str,
     cfg: BoConfig,
@@ -157,742 +294,53 @@ impl BoCore {
         &self.cfg
     }
 
-    fn candidate_pool(&self, env: &dyn ProfilingEnv) -> Vec<Deployment> {
-        env.space()
-            .candidates()
-            .iter()
-            .filter(|d| {
-                self.restrict_types.as_ref().is_none_or(|ts| ts.contains(&d.itype))
-                    && self.coarse_grid.as_ref().is_none_or(|g| g.contains(&d.n))
-            })
-            .copied()
-            .collect()
-    }
-
-    /// Raw-constraint guard used before an incumbent exists: a probe may
-    /// not by itself blow the deadline/budget.
-    fn probe_fits_raw(&self, env: &dyn ProfilingEnv, scenario: &Scenario, d: &Deployment) -> bool {
-        if !self.cfg.reserve_protection {
-            return true;
-        }
-        let (qt, qc) = env.quote(d);
-        match scenario {
-            Scenario::FastestUnlimited => true,
-            Scenario::CheapestWithDeadline(tmax) => {
-                (env.elapsed() + qt * PROBE_TIME_OVERRUN).as_secs() <= tmax.as_secs()
-            }
-            Scenario::FastestWithBudget(cmax) => {
-                (env.spent() + qc.scale(PROBE_COST_OVERRUN)).dollars() <= cmax.dollars()
-            }
-        }
-    }
-
-    /// Whether the incumbent could still finish within the constraint if
-    /// training started right now (with headroom). Only such an incumbent
-    /// is worth protecting a reserve for.
-    fn incumbent_feasible(
-        env: &dyn ProfilingEnv,
-        scenario: &Scenario,
-        incumbent: &Observation,
-    ) -> bool {
-        let s = env.total_samples();
-        match scenario {
-            Scenario::FastestUnlimited => true,
-            Scenario::CheapestWithDeadline(tmax) => {
-                let m = projection_margin(incumbent.deployment.n);
-                let train = Scenario::training_time(s, incumbent.speed) * m;
-                (env.elapsed() + train).as_secs() <= tmax.as_secs()
-            }
-            Scenario::FastestWithBudget(cmax) => {
-                let m = projection_margin(incumbent.deployment.n);
-                let train =
-                    Scenario::training_cost(&incumbent.deployment, s, incumbent.speed).scale(m);
-                (env.spent() + train).dollars() <= cmax.dollars()
-            }
-        }
-    }
-
-    /// The protective reserve (§III-C "Stop condition"): starting this
-    /// probe must leave enough deadline/budget to finish training on the
-    /// incumbent. When no *feasible* incumbent exists yet, there is
-    /// nothing to protect — exploration continues under the raw guard
-    /// (a probe may never single-handedly blow the constraint).
-    fn probe_respects_reserve(
-        &self,
-        env: &dyn ProfilingEnv,
-        scenario: &Scenario,
-        d: &Deployment,
-        incumbent: &Observation,
-    ) -> bool {
-        if !self.cfg.reserve_protection {
-            return true;
-        }
-        if !Self::incumbent_feasible(env, scenario, incumbent) {
-            return self.probe_fits_raw(env, scenario, d);
-        }
-        let s = env.total_samples();
-        let (qt, qc) = env.quote(d);
-        match scenario {
-            Scenario::FastestUnlimited => true,
-            Scenario::CheapestWithDeadline(tmax) => {
-                let m = projection_margin(incumbent.deployment.n);
-                let train = Scenario::training_time(s, incumbent.speed) * m;
-                (env.elapsed() + qt * PROBE_TIME_OVERRUN + train).as_secs() <= tmax.as_secs()
-            }
-            Scenario::FastestWithBudget(cmax) => {
-                let m = projection_margin(incumbent.deployment.n);
-                let train =
-                    Scenario::training_cost(&incumbent.deployment, s, incumbent.speed).scale(m);
-                (env.spent() + qc.scale(PROBE_COST_OVERRUN) + train).dollars() <= cmax.dollars()
-            }
-        }
-    }
-
-    /// Best observed per-node speed for each type: `max over obs of
-    /// speed/n`. Parallel efficiency only falls with scale, so
-    /// `rate × n` is a true upper bound on any same-type deployment's
-    /// speed — the safe optimism TEI prunes against.
-    fn per_type_speed_rate(observations: &[Observation]) -> HashMap<InstanceType, f64> {
-        let mut rates: HashMap<InstanceType, f64> = HashMap::new();
-        for o in observations {
-            let rate = o.speed / o.deployment.n as f64;
-            let e = rates.entry(o.deployment.itype).or_insert(rate);
-            *e = e.max(rate);
-        }
-        rates
-    }
-
-    /// The rising branch of the concave prior, used for *exploration*: for
-    /// each type whose speed curve has not yet been seen to bend (no
-    /// pruning cap), the next scale-out step — a doubling of the largest
-    /// probed size — might still multiply speed. A GP fitted on the swept
-    /// single-node probes is blind to this, so these frontier candidates
-    /// get a discounted linear-scaling utility bonus and block convergence
-    /// while any of them remains promising.
-    ///
-    /// Returns `(candidate, discounted utility-improvement bonus)` pairs.
-    /// With `chase_speed` the bonus is in speed units regardless of the
-    /// scenario objective — used when the incumbent cannot meet a deadline
-    /// and raw speed is what buys feasibility (under ~linear scaling,
-    /// scale-out leaves *cost* flat, so a cost bonus would never fire).
-    #[allow(clippy::too_many_arguments)]
-    fn frontier_candidates(
-        &self,
-        unprobed: &[Deployment],
-        observations: &[Observation],
-        pruned_above: &HashMap<InstanceType, u32>,
-        rates: &HashMap<InstanceType, f64>,
-        scenario: &Scenario,
-        incumbent: &Observation,
-        chase_speed: bool,
-    ) -> Vec<(Deployment, f64)> {
-        if !self.cfg.concave_prior {
-            return Vec::new();
-        }
-        // Largest probed n per type.
-        let mut n_max: HashMap<InstanceType, u32> = HashMap::new();
-        for o in observations {
-            let e = n_max.entry(o.deployment.itype).or_insert(o.deployment.n);
-            *e = (*e).max(o.deployment.n);
-        }
-        // The frontier reasons in speed units: either the objective is
-        // speed, or a deadline incumbent is infeasible and speed buys
-        // feasibility. For a *feasible* cost objective, scale-out cannot
-        // reduce cost under (sub)linear scaling, so there is no frontier.
-        if scenario.objective() == Objective::MinCost && !chase_speed {
-            return Vec::new();
-        }
-        let mut out = Vec::new();
-        for (&t, &nm) in &n_max {
-            if pruned_above.contains_key(&t) {
-                continue; // curve already bent: exploit via the GP instead
-            }
-            let Some(&rate) = rates.get(&t) else { continue };
-            // Jump to the larger of (a) a factor-4 geometric step — three
-            // probes cover a 50-node range — and (b) the smallest scale at
-            // which this type's linear bound could beat the incumbent at
-            // all (no point probing scales that cannot win even in the
-            // best case).
-            let n_beat = (incumbent.speed / rate).ceil().max(1.0) as u32;
-            let n_target = (nm.saturating_mul(4)).max(n_beat.saturating_add(1)).max(nm + 1);
-            let step = unprobed
-                .iter()
-                .filter(|d| d.itype == t && d.n >= n_target)
-                .min_by_key(|d| d.n)
-                .or_else(|| {
-                    // Nothing at or past the target: take the largest
-                    // remaining step of this type, if it can still win.
-                    unprobed
-                        .iter()
-                        .filter(|d| d.itype == t && d.n > nm && rate * d.n as f64 > incumbent.speed)
-                        .max_by_key(|d| d.n)
-                });
-            let Some(&d) = step else { continue };
-            let bound_speed = rate * d.n as f64;
-            let bonus = (bound_speed - incumbent.speed).max(0.0) * FRONTIER_DISCOUNT;
-            if bonus > 0.0 {
-                out.push((d, bonus));
-            }
-        }
-        out
-    }
-
-    /// The TEI filter (paper eqs. 5–6): even at an optimistic speed, could
-    /// this candidate still finish within the remaining deadline/budget
-    /// after paying its own probing cost?
-    ///
-    /// "Optimistic" is the larger of the GP's +2σ belief and the
-    /// linear-scaling bound from the candidate's own type (a GP fitted on
-    /// single-node probes cannot see that scale-out multiplies speed, and
-    /// pruning on that blindness would discard the true optimum).
-    ///
-    /// Normally the filter waits until the surrogate rests on
-    /// `min_obs_before_stop` observations — budget safety is the reserve's
-    /// job and early pruning would only cost exploration. The exception is
-    /// `budget_rescue`: a budget incumbent is infeasible, so the search is
-    /// trying to buy feasibility back while every probe drains the very
-    /// dollars training needs. There the filter activates immediately — a
-    /// candidate whose own completion cannot fit even optimistically can
-    /// never restore feasibility, and probing it just digs deeper (the
-    /// failure mode of a random init landing on a deployment whose
-    /// training alone overruns the budget). Deadline infeasibility gets no
-    /// such early pruning: it is repaired by *finding speed*, which is the
-    /// chase-speed frontier's job.
-    #[allow(clippy::too_many_arguments)]
-    fn tei_feasible(
-        &self,
-        env: &dyn ProfilingEnv,
-        scenario: &Scenario,
-        d: &Deployment,
-        pred: &mlcd_gp::Prediction,
-        n_obs: usize,
-        rates: &HashMap<InstanceType, f64>,
-        budget_rescue: bool,
-    ) -> bool {
-        if !self.cfg.constraint_aware {
-            return true;
-        }
-        if n_obs < self.cfg.min_obs_before_stop && !budget_rescue {
-            return true;
-        }
-        let gp_opt = pred.mean + TEI_SIGMAS * pred.stddev();
-        let scaling_bound = rates.get(&d.itype).map_or(0.0, |r| r * d.n as f64);
-        let optimistic = gp_opt.max(scaling_bound).max(1e-9);
-        let s = env.total_samples();
-        let (qt, qc) = env.quote(d);
-        match scenario {
-            Scenario::FastestUnlimited => true,
-            Scenario::CheapestWithDeadline(tmax) => {
-                let train = s / optimistic;
-                tmax.as_secs() - (env.elapsed() + qt).as_secs() - train >= 0.0
-            }
-            Scenario::FastestWithBudget(cmax) => {
-                let train_cost = d.hourly_cost().dollars() * (s / optimistic) / 3600.0;
-                cmax.dollars() - (env.spent() + qc).dollars() - train_cost >= 0.0
-            }
-        }
-    }
-
-    /// EI of a candidate in the scenario's utility units, given the
-    /// incumbent's utility.
-    fn utility_ei(
-        &self,
-        scenario: &Scenario,
-        total_samples: f64,
-        d: &Deployment,
-        pred: &mlcd_gp::Prediction,
-        incumbent: &Observation,
-    ) -> f64 {
-        let kind = self.cfg.acquisition;
-        match scenario.objective() {
-            Objective::MaxSpeed => kind.score(pred, incumbent.speed),
-            Objective::MinCost => {
-                let inc_cost =
-                    Scenario::training_cost(&incumbent.deployment, total_samples, incumbent.speed)
-                        .dollars();
-                match cost_belief(pred, total_samples, d.hourly_cost().dollars()) {
-                    Some(cb) => {
-                        // Minimisation: negate both sides.
-                        let neg = mlcd_gp::Prediction {
-                            mean: -cb.mean,
-                            var: cb.var,
-                            var_with_noise: cb.var_with_noise,
-                        };
-                        kind.score(&neg, -inc_cost)
-                    }
-                    // Speed belief too uncertain for a cost belief: score
-                    // by the speed acquisition scaled into cost units via
-                    // the incumbent.
-                    None => {
-                        kind.score(pred, incumbent.speed) * inc_cost / incumbent.speed.max(1e-9)
-                    }
-                }
-            }
-        }
-    }
-
-    /// Probability this candidate improves utility by more than
-    /// `threshold` — HeterBO's CI-aware stop statistic.
-    fn utility_poi(
-        &self,
-        scenario: &Scenario,
-        total_samples: f64,
-        d: &Deployment,
-        pred: &mlcd_gp::Prediction,
-        incumbent: &Observation,
-        threshold: f64,
-    ) -> f64 {
-        match scenario.objective() {
-            Objective::MaxSpeed => prob_improvement(pred, incumbent.speed, threshold),
-            Objective::MinCost => {
-                let inc_cost =
-                    Scenario::training_cost(&incumbent.deployment, total_samples, incumbent.speed)
-                        .dollars();
-                match cost_belief(pred, total_samples, d.hourly_cost().dollars()) {
-                    Some(cb) => {
-                        let neg = mlcd_gp::Prediction {
-                            mean: -cb.mean,
-                            var: cb.var,
-                            var_with_noise: cb.var_with_noise,
-                        };
-                        prob_improvement(&neg, -inc_cost, threshold)
-                    }
-                    None => 1.0, // too uncertain to rule out: keep searching
-                }
-            }
-        }
-    }
-
-    /// The probing-cost penalty (paper eqs. 7–8): time for Scenario-1
-    /// (the objective is wall-clock), money when a budget or a cost
-    /// objective is in play.
-    fn penalty(&self, env: &dyn ProfilingEnv, scenario: &Scenario, d: &Deployment) -> f64 {
-        if !self.cfg.cost_penalty {
-            return 1.0;
-        }
-        let (qt, qc) = env.quote(d);
-        match scenario {
-            Scenario::FastestUnlimited => qt.as_secs(),
-            Scenario::CheapestWithDeadline(_) | Scenario::FastestWithBudget(_) => qc.dollars(),
-        }
-    }
-
-    /// Update the concave-prior pruning map after new observations: for
-    /// each type, find the smallest scale-out at which a decline between
-    /// neighbouring observed points starts, and prune everything larger.
-    fn update_pruning(observations: &[Observation], pruned_above: &mut HashMap<InstanceType, u32>) {
-        let mut by_type: HashMap<InstanceType, Vec<(u32, f64)>> = HashMap::new();
-        for o in observations {
-            by_type.entry(o.deployment.itype).or_default().push((o.deployment.n, o.speed));
-        }
-        for (t, mut pts) in by_type {
-            pts.sort_by_key(|&(n, _)| n);
-            for w in pts.windows(2) {
-                let (_, s1) = w[0];
-                let (n2, s2) = w[1];
-                if s2 < s1 * (1.0 - CONCAVE_MARGIN) {
-                    let cap = pruned_above.entry(t).or_insert(n2);
-                    *cap = (*cap).min(n2);
-                    break;
-                }
-            }
-        }
-    }
-
-    fn run(&self, env: &mut dyn ProfilingEnv, scenario: &Scenario) -> SearchOutcome {
-        let mut rng = SmallRng::seed_from_u64(self.cfg.seed);
-        let pool = self.candidate_pool(env);
-        if pool.is_empty() {
-            return SearchOutcome::empty(StopReason::NothingFeasible);
-        }
-        let total_samples = env.total_samples();
-
-        let mut observations: Vec<Observation> = Vec::new();
-        let mut steps: Vec<SearchStep> = Vec::new();
-        let mut pruned_above: HashMap<InstanceType, u32> = HashMap::new();
-        let mut probed: Vec<Deployment> = Vec::new();
-
-        let probe = |d: &Deployment,
-                     env: &mut dyn ProfilingEnv,
-                     observations: &mut Vec<Observation>,
-                     steps: &mut Vec<SearchStep>,
-                     probed: &mut Vec<Deployment>|
-         -> Result<(), ProfileError> {
-            let obs = env.profile(d)?;
-            observations.push(obs);
-            probed.push(*d);
-            steps.push(SearchStep {
-                index: steps.len() + 1,
-                observation: obs,
-                cum_profile_time: env.elapsed(),
-                cum_profile_cost: env.spent(),
-            });
-            Ok(())
-        };
-
-        // ----- Initialisation -----
-        let init_points: Vec<Deployment> = match self.cfg.init {
-            InitStrategy::TypeSweep => {
-                // One minimal-n probe per type, cheapest hourly rate first.
-                let mut types: Vec<InstanceType> = {
-                    let mut ts: Vec<InstanceType> = pool.iter().map(|d| d.itype).collect();
-                    ts.sort();
-                    ts.dedup();
-                    ts
-                };
-                types.sort_by(|a, b| a.hourly_usd().total_cmp(&b.hourly_usd()));
-                types
-                    .into_iter()
-                    .filter_map(|t| {
-                        pool.iter().filter(|d| d.itype == t).min_by_key(|d| d.n).copied()
-                    })
-                    .collect()
-            }
+    /// Translate the flag configuration into a runnable policy
+    /// composition. Each call builds a fresh kernel — pruners carry
+    /// per-search state.
+    pub fn kernel(&self) -> SearchKernel {
+        let cfg = &self.cfg;
+        let init: Box<dyn InitPolicy> = match cfg.init {
+            InitStrategy::TypeSweep => Box::new(TypeSweepInit { parallel: cfg.parallel_init }),
             InitStrategy::RandomPoints(k) => {
-                let mut shuffled = pool.clone();
-                shuffled.shuffle(&mut rng);
-                shuffled.into_iter().take(k).collect()
+                Box::new(RandomInit { k, parallel: cfg.parallel_init })
             }
         };
-        // Ranking totals: HeterBO counts profiling spend against the
-        // constraint; the oblivious baselines rank as if profiling were
-        // free (and then pay for it in the executed total).
-        let rank_totals = |env: &dyn ProfilingEnv| {
-            if self.cfg.account_sunk {
-                (env.elapsed(), env.spent())
-            } else {
-                (mlcd_cloudsim::SimDuration::ZERO, mlcd_cloudsim::Money::ZERO)
-            }
-        };
-
-        if self.cfg.parallel_init {
-            // Concurrent sweep: guard the batch as a whole. Money accrues
-            // across the batch — every cluster bills simultaneously — so
-            // the budget check runs against the accumulated sum of the
-            // quotes kept so far. Wall-clock of a concurrent batch is its
-            // *slowest member*, so each candidate is checked against the
-            // deadline on its own; admitting one never tightens the check
-            // for the next.
-            let affordable: Vec<Deployment> = {
-                let mut kept = Vec::new();
-                let mut acc_c = env.spent();
-                for d in &init_points {
-                    let (qt, qc) = env.quote(d);
-                    let fits = match scenario {
-                        Scenario::FastestUnlimited => true,
-                        Scenario::CheapestWithDeadline(tmax) => {
-                            (env.elapsed() + qt * PROBE_TIME_OVERRUN).as_secs() <= tmax.as_secs()
-                        }
-                        Scenario::FastestWithBudget(cmax) => {
-                            (acc_c + qc.scale(PROBE_COST_OVERRUN)).dollars() <= cmax.dollars()
-                        }
-                    };
-                    if fits || !self.cfg.reserve_protection {
-                        acc_c += qc.scale(PROBE_COST_OVERRUN);
-                        kept.push(*d);
-                    }
-                }
-                kept
-            };
-            for (d, result) in affordable.iter().zip(env.profile_batch(&affordable)) {
-                if let Ok(obs) = result {
-                    observations.push(obs);
-                    probed.push(*d);
-                    steps.push(SearchStep {
-                        index: steps.len() + 1,
-                        observation: obs,
-                        cum_profile_time: env.elapsed(),
-                        cum_profile_cost: env.spent(),
-                    });
-                }
-            }
-        } else {
-            for d in &init_points {
-                let (re, rs) = rank_totals(env);
-                let guard_ok = match pick_incumbent(
-                    &observations,
-                    scenario,
-                    total_samples,
-                    re,
-                    rs,
-                    self.cfg.constraint_aware,
-                ) {
-                    Some(inc) => {
-                        let inc = *inc;
-                        self.probe_respects_reserve(env, scenario, d, &inc)
-                    }
-                    None => self.probe_fits_raw(env, scenario, d),
-                };
-                if !guard_ok {
-                    continue;
-                }
-                let _ = probe(d, env, &mut observations, &mut steps, &mut probed);
-            }
+        let mut b = SearchKernel::builder(self.name)
+            .seed(cfg.seed)
+            .account_sunk(cfg.account_sunk)
+            .constraint_aware(cfg.constraint_aware)
+            .refit(RefitPolicy {
+                refit_every: cfg.gp_refit_every,
+                warm_start: cfg.gp_warm_start,
+                warm_burnin: cfg.gp_warm_burnin,
+                warm_restarts: cfg.gp_warm_restarts,
+            })
+            .init(init)
+            .gate(Box::new(TeiReserveGate {
+                reserve_protection: cfg.reserve_protection,
+                constraint_aware: cfg.constraint_aware,
+                min_obs_before_stop: cfg.min_obs_before_stop,
+            }))
+            .acquisition(Box::new(CostPenalisedAcquisition {
+                kind: cfg.acquisition,
+                cost_penalty: cfg.cost_penalty,
+            }))
+            .stop(Box::new(ConvergenceStop {
+                ei_rel_threshold: cfg.ei_rel_threshold,
+                ci_stop: cfg.ci_stop,
+                max_steps: cfg.max_steps,
+                min_obs_before_stop: cfg.min_obs_before_stop,
+            }));
+        if self.restrict_types.is_some() || self.coarse_grid.is_some() {
+            b = b.pruner(Box::new(SpaceTrim {
+                types: self.restrict_types.clone(),
+                grid: self.coarse_grid.clone(),
+            }));
         }
-        if observations.is_empty() {
-            return SearchOutcome::empty(StopReason::NothingFeasible);
+        if cfg.concave_prior {
+            b = b.pruner(Box::new(ConcaveScaleOutPrior::new()));
         }
-        if self.cfg.concave_prior {
-            Self::update_pruning(&observations, &mut pruned_above);
-        }
-
-        // ----- BO loop -----
-        let init_count = steps.len();
-        let mut surrogate_state: Option<Surrogate> = None;
-        let stop_reason = loop {
-            if steps.len() >= init_count + self.cfg.max_steps {
-                break StopReason::MaxSteps;
-            }
-            let (re, rs) = rank_totals(env);
-            let incumbent = match pick_incumbent(
-                &observations,
-                scenario,
-                total_samples,
-                re,
-                rs,
-                self.cfg.constraint_aware,
-            ) {
-                Some(i) => *i,
-                None => break StopReason::NothingFeasible,
-            };
-            let inc_utility =
-                scenario.utility(&incumbent.deployment, total_samples, incumbent.speed);
-            let threshold = self.cfg.ei_rel_threshold * inc_utility.abs().max(1e-9);
-
-            let unprobed: Vec<Deployment> = pool
-                .iter()
-                .filter(|d| !probed.contains(d))
-                .filter(|d| pruned_above.get(&d.itype).is_none_or(|&cap| d.n <= cap))
-                .copied()
-                .collect();
-            if unprobed.is_empty() {
-                break StopReason::SpaceExhausted;
-            }
-
-            surrogate_state = Surrogate::update(
-                surrogate_state.take(),
-                env.space(),
-                &observations,
-                self.cfg.seed,
-                &RefitPolicy {
-                    refit_every: self.cfg.gp_refit_every,
-                    warm_start: self.cfg.gp_warm_start,
-                    warm_burnin: self.cfg.gp_warm_burnin,
-                    warm_restarts: self.cfg.gp_warm_restarts,
-                },
-            );
-            let Some(ref surrogate) = surrogate_state else {
-                // Not enough data for a model yet: explore a random
-                // reserve-respecting candidate.
-                let mut shuffled = unprobed.clone();
-                shuffled.shuffle(&mut rng);
-                let pick = shuffled
-                    .iter()
-                    .find(|d| self.probe_respects_reserve(env, scenario, d, &incumbent));
-                match pick {
-                    Some(d) => {
-                        let d = *d;
-                        let _ = probe(&d, env, &mut observations, &mut steps, &mut probed);
-                        if self.cfg.concave_prior {
-                            Self::update_pruning(&observations, &mut pruned_above);
-                        }
-                        continue;
-                    }
-                    None => break StopReason::ReserveProtection,
-                }
-            };
-
-            // One batched GP posterior over the whole pool per step —
-            // shared by the acquisition scoring, the frontier filter and
-            // the CI-stop scan below, so each candidate costs exactly one
-            // prediction per step.
-            let preds = surrogate.predict_batch(env.space(), &unprobed);
-            let pred_of = |d: &Deployment| unprobed.iter().position(|u| u == d).map(|i| &preds[i]);
-            let incumbent_ok = Self::incumbent_feasible(env, scenario, &incumbent);
-            // Budget-rescue mode: see `tei_feasible` — an infeasible budget
-            // incumbent turns the TEI filter on regardless of how young the
-            // surrogate is.
-            let budget_rescue = !incumbent_ok && matches!(scenario, Scenario::FastestWithBudget(_));
-
-            // Score every candidate.
-            let mut any_reserve_blocked = false;
-            let mut best: Option<(
-                Deployment,
-                f64, /*score*/
-                f64, /*poi*/
-                f64, /*ei*/
-            )> = None;
-            // Candidates that pass the reserve but fail TEI — kept around
-            // for the cold-start exploration fallback below.
-            let mut tei_blocked: Vec<(Deployment, f64 /*optimistic speed*/)> = Vec::new();
-            let rates = Self::per_type_speed_rate(&observations);
-            for (d, pred) in unprobed.iter().zip(&preds) {
-                if !self.probe_respects_reserve(env, scenario, d, &incumbent) {
-                    any_reserve_blocked = true;
-                    continue;
-                }
-                if !self.tei_feasible(
-                    env,
-                    scenario,
-                    d,
-                    pred,
-                    observations.len(),
-                    &rates,
-                    budget_rescue,
-                ) {
-                    tei_blocked.push((*d, pred.mean + TEI_SIGMAS * pred.stddev()));
-                    continue;
-                }
-                let ei = self.utility_ei(scenario, total_samples, d, pred, &incumbent);
-                let poi = self.utility_poi(scenario, total_samples, d, pred, &incumbent, threshold);
-                let score = ei / self.penalty(env, scenario, d);
-                if best.as_ref().is_none_or(|b| score > b.1) {
-                    best = Some((*d, score, poi, ei));
-                }
-            }
-
-            // Frontier exploration from the concave prior's rising branch:
-            // un-bent types whose next scale-out step could still pay.
-            // When a deadline incumbent is infeasible, the frontier chases
-            // raw speed (feasibility first); its bonus then lives in speed
-            // units and must pre-empt the cost-unit EI comparison rather
-            // than join it.
-            let chase_speed = !incumbent_ok && scenario.objective() == Objective::MinCost;
-            let frontier = self.frontier_candidates(
-                &unprobed,
-                &observations,
-                &pruned_above,
-                &rates,
-                scenario,
-                &incumbent,
-                chase_speed,
-            );
-            let mut max_frontier_bonus = 0.0_f64;
-            let mut forced_frontier: Option<(Deployment, f64)> = None;
-            for (d, bonus) in &frontier {
-                if !self.probe_respects_reserve(env, scenario, d, &incumbent) {
-                    any_reserve_blocked = true;
-                    continue;
-                }
-                // While rescuing a busted budget, a frontier step whose own
-                // completion cannot fit is as useless as any other — apply
-                // the same TEI filter the scored candidates went through.
-                if budget_rescue {
-                    if let Some(pred) = pred_of(d) {
-                        if !self.tei_feasible(
-                            env,
-                            scenario,
-                            d,
-                            pred,
-                            observations.len(),
-                            &rates,
-                            budget_rescue,
-                        ) {
-                            tei_blocked.push((*d, pred.mean + TEI_SIGMAS * pred.stddev()));
-                            continue;
-                        }
-                    }
-                }
-                max_frontier_bonus = max_frontier_bonus.max(*bonus);
-                let score = bonus / self.penalty(env, scenario, d);
-                if chase_speed {
-                    if forced_frontier.as_ref().is_none_or(|f| score > f.1) {
-                        forced_frontier = Some((*d, score));
-                    }
-                } else if best.as_ref().is_none_or(|b| score > b.1) {
-                    best = Some((*d, score, 1.0, *bonus));
-                }
-            }
-            if let Some((d_force, _)) = forced_frontier {
-                let _ = probe(&d_force, env, &mut observations, &mut steps, &mut probed);
-                if self.cfg.concave_prior {
-                    Self::update_pruning(&observations, &mut pruned_above);
-                }
-                continue;
-            }
-
-            let Some((d_next, _, _, best_ei)) = best else {
-                // Cold-start escape hatch: TEI judged every candidate
-                // hopeless, but the judgment rests on a near-empty model
-                // and we hold no feasible incumbent to retreat to. The
-                // constraint may well still be reachable at scales the GP
-                // knows nothing about — explore the most optimistic
-                // blocked candidate (raw guard already vetted) instead of
-                // giving up with an infeasible answer.
-                let hatch_open = match scenario {
-                    Scenario::FastestUnlimited => true,
-                    Scenario::CheapestWithDeadline(tmax) => {
-                        env.elapsed().as_secs() < HATCH_FRACTION * tmax.as_secs()
-                    }
-                    Scenario::FastestWithBudget(cmax) => {
-                        env.spent().dollars() < HATCH_FRACTION * cmax.dollars()
-                    }
-                };
-                if hatch_open && !incumbent_ok && !tei_blocked.is_empty() {
-                    let (d_explore, _) = tei_blocked
-                        .iter()
-                        .max_by(|a, b| a.1.total_cmp(&b.1))
-                        .copied()
-                        .expect("non-empty");
-                    let _ = probe(&d_explore, env, &mut observations, &mut steps, &mut probed);
-                    if self.cfg.concave_prior {
-                        Self::update_pruning(&observations, &mut pruned_above);
-                    }
-                    continue;
-                }
-                break if any_reserve_blocked {
-                    StopReason::ReserveProtection
-                } else {
-                    StopReason::SpaceExhausted
-                };
-            };
-
-            // Stop tests — only once the surrogate rests on enough data to
-            // be trusted about "nothing left to gain", and never while a
-            // promising frontier step remains unexplored.
-            let may_converge = observations.len() >= self.cfg.min_obs_before_stop
-                && max_frontier_bonus < threshold;
-            if !may_converge {
-                // Fall through to probing without a convergence check.
-            } else if self.cfg.ci_stop {
-                // Stop when no candidate retains a real chance of a
-                // meaningful improvement.
-                // Reuse the batched posterior computed above — the pool has
-                // not changed within this step.
-                let max_poi = unprobed
-                    .iter()
-                    .zip(&preds)
-                    .map(|(d, pred)| {
-                        self.utility_poi(scenario, total_samples, d, pred, &incumbent, threshold)
-                    })
-                    .fold(0.0_f64, f64::max);
-                if max_poi < CI_ALPHA {
-                    break StopReason::Converged;
-                }
-            } else if best_ei < threshold {
-                break StopReason::Converged;
-            }
-
-            if probe(&d_next, env, &mut observations, &mut steps, &mut probed).is_err() {
-                // Cloud refused (quota etc.) — drop it from the pool by
-                // marking it probed, and continue.
-                probed.push(d_next);
-                continue;
-            }
-            if self.cfg.concave_prior {
-                Self::update_pruning(&observations, &mut pruned_above);
-            }
-        };
-
-        let (re, rs) = rank_totals(env);
-        let best = pick_incumbent(&observations, scenario, total_samples, re, rs, true).copied();
-        SearchOutcome {
-            best,
-            steps,
-            profile_time: env.elapsed(),
-            profile_cost: env.spent(),
-            stop_reason,
-        }
+        b.build()
     }
 }
 
@@ -902,7 +350,16 @@ impl Searcher for BoCore {
     }
 
     fn search(&self, env: &mut dyn ProfilingEnv, scenario: &Scenario) -> SearchOutcome {
-        self.run(env, scenario)
+        self.search_traced(env, scenario, &mut NullSink)
+    }
+
+    fn search_traced(
+        &self,
+        env: &mut dyn ProfilingEnv,
+        scenario: &Scenario,
+        sink: &mut dyn TraceSink,
+    ) -> SearchOutcome {
+        self.kernel().run(env, scenario, sink)
     }
 }
 
@@ -936,29 +393,23 @@ impl HeterBo {
     pub fn seeded(seed: u64) -> Self {
         HeterBo(BoCore::new(
             "HeterBO",
-            BoConfig {
-                init: InitStrategy::TypeSweep,
-                ei_rel_threshold: 0.10,
-                ci_stop: true,
-                cost_penalty: true,
-                constraint_aware: true,
-                reserve_protection: true,
-                concave_prior: true,
+            BoConfig::builder()
+                .init(InitStrategy::TypeSweep)
+                .ei_rel_threshold(0.10)
+                .ci_stop(true)
+                .cost_penalty(true)
+                .constraint_aware(true)
+                .reserve_protection(true)
+                .concave_prior(true)
                 // HeterBO's whole design is probe economy; the paper's
                 // trajectories finish in 7–9 probes total (type sweep +
                 // a handful of BO steps). The CI stop and the reserve end
                 // most searches before this cap.
-                max_steps: 8,
-                min_obs_before_stop: 6,
-                account_sunk: true,
-                parallel_init: false,
-                acquisition: AcquisitionKind::ExpectedImprovement,
-                gp_refit_every: 1,
-                gp_warm_start: false,
-                gp_warm_burnin: 8,
-                gp_warm_restarts: 3,
-                seed,
-            },
+                .max_steps(8)
+                .min_obs_before_stop(6)
+                .account_sunk(true)
+                .seed(seed)
+                .build(),
         ))
     }
 
@@ -990,6 +441,14 @@ impl Searcher for HeterBo {
     fn search(&self, env: &mut dyn ProfilingEnv, scenario: &Scenario) -> SearchOutcome {
         self.0.search(env, scenario)
     }
+    fn search_traced(
+        &self,
+        env: &mut dyn ProfilingEnv,
+        scenario: &Scenario,
+        sink: &mut dyn TraceSink,
+    ) -> SearchOutcome {
+        self.0.search_traced(env, scenario, sink)
+    }
 }
 
 /// Conventional BO: random init, plain EI, oblivious to cost and
@@ -999,47 +458,31 @@ pub struct ConvBo(BoCore);
 impl ConvBo {
     /// ConvBO with a seed.
     pub fn seeded(seed: u64) -> Self {
-        ConvBo(BoCore::new("ConvBO", Self::base_config(seed)))
+        ConvBo(BoCore::new("ConvBO", Self::base(seed).build()))
     }
 
-    fn base_config(seed: u64) -> BoConfig {
-        BoConfig {
-            init: InitStrategy::RandomPoints(2),
+    fn base(seed: u64) -> BoConfigBuilder {
+        BoConfig::builder()
+            .init(InitStrategy::RandomPoints(2))
             // Conventional BO keeps polishing until EI is truly exhausted —
             // this is the "over-exploration" the paper measures: its
             // profiling phase rivals the training run it is optimising.
-            ei_rel_threshold: 0.001,
-            ci_stop: false,
-            cost_penalty: false,
-            constraint_aware: false,
-            reserve_protection: false,
-            concave_prior: false,
-            max_steps: 28,
-            min_obs_before_stop: 12,
-            account_sunk: false,
-            parallel_init: false,
-            acquisition: AcquisitionKind::ExpectedImprovement,
-            gp_refit_every: 1,
-            gp_warm_start: false,
-            gp_warm_burnin: 8,
-            gp_warm_restarts: 3,
-            seed,
-        }
+            .ei_rel_threshold(0.001)
+            .max_steps(28)
+            .min_obs_before_stop(12)
+            .seed(seed)
+    }
+
+    #[cfg(test)]
+    fn base_config(seed: u64) -> BoConfig {
+        Self::base(seed).build()
     }
 
     /// The Fig 18 "BO_imprd" variant: ConvBO plus the protective budget
     /// reserve (so it stops profiling in time) — but still cost-oblivious
     /// in *where* it probes.
     pub fn budget_aware(seed: u64) -> BoCore {
-        BoCore::new(
-            "BO_imprd",
-            BoConfig {
-                reserve_protection: true,
-                constraint_aware: true,
-                account_sunk: true,
-                ..Self::base_config(seed)
-            },
-        )
+        BoCore::new("BO_imprd", Self::base(seed).budget_guarded().build())
     }
 }
 
@@ -1056,6 +499,14 @@ impl Searcher for ConvBo {
     fn search(&self, env: &mut dyn ProfilingEnv, scenario: &Scenario) -> SearchOutcome {
         self.0.search(env, scenario)
     }
+    fn search_traced(
+        &self,
+        env: &mut dyn ProfilingEnv,
+        scenario: &Scenario,
+        sink: &mut dyn TraceSink,
+    ) -> SearchOutcome {
+        self.0.search_traced(env, scenario, sink)
+    }
 }
 
 /// CherryPick (NSDI'17): ConvBO plus experience-based space trimming, a
@@ -1070,7 +521,7 @@ impl CherryPick {
     /// CherryPick with a seed, searching all types on the coarse grid.
     pub fn seeded(seed: u64) -> Self {
         CherryPick(
-            BoCore::new("CherryPick", Self::base_config(seed))
+            BoCore::new("CherryPick", Self::base(seed).build())
                 .with_node_grid(Self::DEFAULT_NODE_GRID.to_vec()),
         )
     }
@@ -1080,47 +531,23 @@ impl CherryPick {
     /// it).
     pub fn with_experience(seed: u64, types: Vec<InstanceType>) -> Self {
         CherryPick(
-            BoCore::new("CherryPick", Self::base_config(seed))
+            BoCore::new("CherryPick", Self::base(seed).build())
                 .with_node_grid(Self::DEFAULT_NODE_GRID.to_vec())
                 .with_types(types),
         )
     }
 
-    fn base_config(seed: u64) -> BoConfig {
-        BoConfig {
-            init: InitStrategy::RandomPoints(3),
-            ei_rel_threshold: 0.10,
-            ci_stop: false,
-            cost_penalty: false,
-            constraint_aware: false,
-            reserve_protection: false,
-            concave_prior: false,
-            max_steps: 27,
-            min_obs_before_stop: 10,
-            account_sunk: false,
-            parallel_init: false,
-            acquisition: AcquisitionKind::ExpectedImprovement,
-            gp_refit_every: 1,
-            gp_warm_start: false,
-            gp_warm_burnin: 8,
-            gp_warm_restarts: 3,
-            seed,
-        }
+    /// CherryPick's base config is exactly the builder's baseline
+    /// defaults.
+    fn base(seed: u64) -> BoConfigBuilder {
+        BoConfig::builder().seed(seed)
     }
 
     /// The Fig 18 "CP_imprd" variant: CherryPick plus the protective
     /// reserve, optionally with trimmed types.
     pub fn budget_aware(seed: u64, types: Option<Vec<InstanceType>>) -> BoCore {
-        let core = BoCore::new(
-            "CP_imprd",
-            BoConfig {
-                reserve_protection: true,
-                constraint_aware: true,
-                account_sunk: true,
-                ..Self::base_config(seed)
-            },
-        )
-        .with_node_grid(Self::DEFAULT_NODE_GRID.to_vec());
+        let core = BoCore::new("CP_imprd", Self::base(seed).budget_guarded().build())
+            .with_node_grid(Self::DEFAULT_NODE_GRID.to_vec());
         match types {
             Some(t) => core.with_types(t),
             None => core,
@@ -1141,311 +568,16 @@ impl Searcher for CherryPick {
     fn search(&self, env: &mut dyn ProfilingEnv, scenario: &Scenario) -> SearchOutcome {
         self.0.search(env, scenario)
     }
+    fn search_traced(
+        &self,
+        env: &mut dyn ProfilingEnv,
+        scenario: &Scenario,
+        sink: &mut dyn TraceSink,
+    ) -> SearchOutcome {
+        self.0.search_traced(env, scenario, sink)
+    }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::deployment::SearchSpace;
-    use crate::env::SyntheticEnv;
-    use mlcd_cloudsim::{Money, SimDuration};
-    use mlcd_perfmodel::{ThroughputModel, TrainingJob};
-
-    /// Concave single-type response surface peaking at n = 20.
-    fn concave_speed(d: &Deployment) -> f64 {
-        let base = match d.itype {
-            InstanceType::C54xlarge => 1.0,
-            InstanceType::C5Xlarge => 0.4,
-            InstanceType::P2Xlarge => 0.5,
-            _ => 0.3,
-        };
-        base * (500.0 - 0.9 * (d.n as f64 - 20.0).powi(2)).max(20.0)
-    }
-
-    fn make_env() -> SyntheticEnv<fn(&Deployment) -> f64> {
-        let job = TrainingJob::resnet_cifar10();
-        let space = SearchSpace::new(
-            &[InstanceType::C5Xlarge, InstanceType::C54xlarge, InstanceType::P2Xlarge],
-            50,
-            &job,
-            &ThroughputModel::default(),
-        );
-        SyntheticEnv::new(space, 5e6, concave_speed as fn(&Deployment) -> f64)
-    }
-
-    #[test]
-    fn heterbo_finds_near_optimal_deployment() {
-        let mut env = make_env();
-        let out = HeterBo::seeded(1).search(&mut env, &Scenario::FastestUnlimited);
-        let best = out.best.expect("should find something");
-        // True optimum: c5.4xlarge n=20 at 500 samples/s.
-        assert_eq!(best.deployment.itype, InstanceType::C54xlarge);
-        assert!(best.speed > 450.0, "found {} at {}, want near 500", best.speed, best.deployment);
-    }
-
-    #[test]
-    fn heterbo_initialises_with_single_nodes() {
-        let mut env = make_env();
-        let out = HeterBo::seeded(2).search(&mut env, &Scenario::FastestUnlimited);
-        // First three probes are the three types at n=1, cheapest first.
-        assert!(out.steps.len() >= 3);
-        for step in &out.steps[..3] {
-            assert_eq!(step.observation.deployment.n, 1, "init probe {:?}", step.observation);
-        }
-        assert_eq!(out.steps[0].observation.deployment.itype, InstanceType::C5Xlarge);
-    }
-
-    #[test]
-    fn heterbo_respects_budget() {
-        let mut env = make_env();
-        let budget = Money::from_dollars(60.0);
-        let out = HeterBo::seeded(3).search(&mut env, &Scenario::FastestWithBudget(budget));
-        let best = out.best.expect("should find something");
-        let train_cost = Scenario::training_cost(&best.deployment, 5e6, best.speed);
-        let total = out.profile_cost + train_cost;
-        assert!(
-            total.dollars() <= budget.dollars() + 1e-6,
-            "HeterBO blew the budget: profiling {} + training {} > {}",
-            out.profile_cost,
-            train_cost,
-            budget
-        );
-    }
-
-    #[test]
-    fn heterbo_respects_deadline() {
-        let mut env = make_env();
-        let deadline = SimDuration::from_hours(6.0);
-        let out = HeterBo::seeded(4).search(&mut env, &Scenario::CheapestWithDeadline(deadline));
-        let best = out.best.expect("should find something");
-        let train_t = Scenario::training_time(5e6, best.speed);
-        assert!(
-            (out.profile_time + train_t).as_hours() <= deadline.as_hours() + 1e-9,
-            "HeterBO blew the deadline: profiling {:.2} h + training {:.2} h",
-            out.profile_time.as_hours(),
-            train_t.as_hours()
-        );
-    }
-
-    #[test]
-    fn heterbo_cheaper_profiling_than_convbo() {
-        // The headline claim, on the synthetic surface, in the scenario
-        // where it is structural: under a budget, HeterBO's cost-penalised
-        // acquisition and protective reserve keep probing spend low while
-        // ConvBO probes wherever EI points. Averaged over seeds to avoid
-        // single-draw luck.
-        let scenario = Scenario::FastestWithBudget(Money::from_dollars(150.0));
-        let (mut h_cost, mut c_cost, mut h_speed, mut c_speed) = (0.0, 0.0, 0.0, 0.0);
-        for seed in 0..3 {
-            let mut env_h = make_env();
-            let h = HeterBo::seeded(seed).search(&mut env_h, &scenario);
-            let mut env_c = make_env();
-            let c = ConvBo::seeded(seed).search(&mut env_c, &scenario);
-            h_cost += h.profile_cost.dollars();
-            c_cost += c.profile_cost.dollars();
-            h_speed += h.best.unwrap().speed;
-            c_speed += c.best.unwrap().speed;
-        }
-        assert!(
-            h_cost < c_cost,
-            "HeterBO mean profiling ${:.2} vs ConvBO ${:.2}",
-            h_cost / 3.0,
-            c_cost / 3.0
-        );
-        // And it still finds comparable deployments on average.
-        assert!(h_speed >= c_speed * 0.8, "HeterBO {h_speed} vs ConvBO {c_speed}");
-    }
-
-    #[test]
-    fn concave_prior_prunes_scale_out() {
-        // After observing a decline, no probe of that type goes further out.
-        let mut env = make_env();
-        let out = HeterBo::seeded(6).search(&mut env, &Scenario::FastestUnlimited);
-        // Find, per type, the first adjacent-observed decline; later steps
-        // must not exceed it.
-        let mut decline_at: HashMap<InstanceType, u32> = HashMap::new();
-        let mut seen: Vec<Observation> = Vec::new();
-        for step in &out.steps {
-            let o = step.observation;
-            if let Some(&cap) = decline_at.get(&o.deployment.itype) {
-                assert!(
-                    o.deployment.n <= cap,
-                    "probed {} beyond pruned cap {} (step {})",
-                    o.deployment,
-                    cap,
-                    step.index
-                );
-            }
-            seen.push(o);
-            let mut map = HashMap::new();
-            BoCore::update_pruning(&seen, &mut map);
-            decline_at = map;
-        }
-    }
-
-    #[test]
-    fn convbo_ignores_constraints_and_can_violate() {
-        // With a tiny budget, ConvBO happily profiles expensive clusters.
-        let mut env = make_env();
-        let budget = Money::from_dollars(5.0);
-        let out = ConvBo::seeded(7).search(&mut env, &Scenario::FastestWithBudget(budget));
-        // ConvBO still returns its objective-best; its profiling spend alone
-        // may exceed the budget.
-        assert!(out.best.is_some());
-        let total = out.profile_cost;
-        // (Not asserting violation must happen for every seed — but the
-        // search must NOT have stopped due to reserve protection.)
-        assert_ne!(out.stop_reason, StopReason::ReserveProtection);
-        let _ = total;
-    }
-
-    #[test]
-    fn budget_aware_variants_stop_in_time() {
-        let budget = Money::from_dollars(40.0);
-        let scenario = Scenario::FastestWithBudget(budget);
-        for core in [ConvBo::budget_aware(8), CherryPick::budget_aware(8, None)] {
-            let mut env = make_env();
-            let out = core.search(&mut env, &scenario);
-            if let Some(best) = out.best {
-                let train = Scenario::training_cost(&best.deployment, 5e6, best.speed);
-                assert!(
-                    (out.profile_cost + train).dollars() <= budget.dollars() + 1e-6,
-                    "{}: profiling {} + training {}",
-                    core.name(),
-                    out.profile_cost,
-                    train
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn cherrypick_sticks_to_coarse_grid_and_trimmed_types() {
-        let mut env = make_env();
-        let cp = CherryPick::with_experience(9, vec![InstanceType::C54xlarge]);
-        let out = cp.search(&mut env, &Scenario::FastestUnlimited);
-        for step in &out.steps {
-            let d = step.observation.deployment;
-            assert_eq!(d.itype, InstanceType::C54xlarge);
-            assert!(CherryPick::DEFAULT_NODE_GRID.contains(&d.n), "off-grid probe {d}");
-        }
-        assert!(out.best.is_some());
-    }
-
-    #[test]
-    fn ucb_and_poi_acquisitions_also_find_the_optimum() {
-        // The acquisition choice is pluggable; on the easy synthetic
-        // surface every standard kind should land near the peak.
-        for kind in [
-            AcquisitionKind::UpperConfidenceBound { kappa: 2.0 },
-            AcquisitionKind::ProbabilityOfImprovement { margin_frac: 0.02 },
-        ] {
-            let mut cfg = HeterBo::seeded(21).core().config().clone();
-            cfg.acquisition = kind;
-            let core = BoCore::new("acq-variant", cfg);
-            let mut env = make_env();
-            let out = core.search(&mut env, &Scenario::FastestUnlimited);
-            let best = out.best.expect("found something");
-            assert!(
-                best.speed > 430.0,
-                "{kind:?} found only {} at {}",
-                best.speed,
-                best.deployment
-            );
-        }
-    }
-
-    #[test]
-    fn parallel_init_probes_the_same_points() {
-        // On the synthetic env (no concurrency support → sequential
-        // fallback) parallel-init must behave identically.
-        let mut env_a = make_env();
-        let a = HeterBo::seeded(13).search(&mut env_a, &Scenario::FastestUnlimited);
-        let mut env_b = make_env();
-        let b = HeterBo::with_parallel_init(13).search(&mut env_b, &Scenario::FastestUnlimited);
-        let firsts = |o: &SearchOutcome| {
-            o.steps.iter().take(3).map(|s| s.observation.deployment).collect::<Vec<_>>()
-        };
-        assert_eq!(firsts(&a), firsts(&b));
-        assert_eq!(a.best.unwrap().deployment, b.best.unwrap().deployment);
-    }
-
-    #[test]
-    fn searches_are_deterministic_per_seed() {
-        let run = |seed| {
-            let mut env = make_env();
-            let out = HeterBo::seeded(seed).search(&mut env, &Scenario::FastestUnlimited);
-            (out.best.map(|b| b.deployment), out.steps.len())
-        };
-        assert_eq!(run(11), run(11));
-    }
-
-    #[test]
-    fn warm_started_searches_are_deterministic_at_every_burnin_boundary() {
-        // The warm-start restart shrink kicks in when the observation count
-        // crosses `gp_warm_burnin` mid-search. Wherever that boundary
-        // lands — never (large burn-in), immediately (0), or mid-loop —
-        // two runs with the same seed must produce identical trajectories,
-        // step for step and observation for observation.
-        for burnin in [0usize, 4, 6, 100] {
-            let run = || {
-                let mut h = HeterBo::seeded(17);
-                h.0.cfg.gp_warm_start = true;
-                h.0.cfg.gp_warm_burnin = burnin;
-                let mut env = make_env();
-                h.search(&mut env, &Scenario::FastestUnlimited)
-            };
-            let (a, b) = (run(), run());
-            assert_eq!(a.steps.len(), b.steps.len(), "burnin {burnin}");
-            for (x, y) in a.steps.iter().zip(&b.steps) {
-                assert_eq!(x.observation.deployment, y.observation.deployment);
-                assert_eq!(x.observation.speed, y.observation.speed);
-                assert_eq!(x.observation.profile_cost, y.observation.profile_cost);
-            }
-            assert_eq!(
-                a.best.map(|o| o.deployment),
-                b.best.map(|o| o.deployment),
-                "burnin {burnin}"
-            );
-            assert_eq!(a.profile_cost, b.profile_cost);
-            assert_eq!(a.profile_time, b.profile_time);
-        }
-    }
-
-    #[test]
-    fn warm_start_on_is_still_deterministic_and_finds_the_optimum() {
-        let run = || {
-            let mut h = HeterBo::seeded(19);
-            h.0.cfg.gp_warm_start = true;
-            let mut env = make_env();
-            h.search(&mut env, &Scenario::FastestUnlimited)
-        };
-        let (a, b) = (run(), run());
-        assert_eq!(a.best.as_ref().unwrap().deployment, b.best.as_ref().unwrap().deployment);
-        assert_eq!(a.steps.len(), b.steps.len());
-        assert!(a.best.unwrap().speed > 430.0);
-    }
-
-    #[test]
-    fn empty_space_yields_nothing_feasible() {
-        // A pool emptied by type restriction.
-        let mut env = make_env();
-        let core =
-            BoCore::new("empty", ConvBo::base_config(0)).with_types(vec![InstanceType::C5n9xlarge]);
-        let out = core.search(&mut env, &Scenario::FastestUnlimited);
-        assert!(out.best.is_none());
-        assert_eq!(out.stop_reason, StopReason::NothingFeasible);
-    }
-
-    #[test]
-    fn max_steps_is_respected() {
-        let mut env = make_env();
-        let mut cfg = ConvBo::base_config(1);
-        cfg.ei_rel_threshold = 0.0; // never converge
-        cfg.max_steps = 5;
-        let out = BoCore::new("capped", cfg).search(&mut env, &Scenario::FastestUnlimited);
-        // max_steps caps BO-loop probes; the 2 random init probes are extra.
-        assert_eq!(out.steps.len(), 2 + 5);
-        assert_eq!(out.stop_reason, StopReason::MaxSteps);
-    }
-}
+#[path = "bo_tests.rs"]
+mod tests;

@@ -1,9 +1,12 @@
 //! Searchers.
 //!
 //! All three BO-family searchers (HeterBO, ConvBO, CherryPick) share one
-//! correct core loop ([`bo::BoCore`]) whose paper-specific mechanisms are
-//! individually switchable — which is also exactly what the ablation
-//! benchmarks toggle:
+//! correct core loop — the policy-driven [`kernel::SearchKernel`], whose
+//! five stages ([`policies::InitPolicy`], [`policies::CandidatePruner`],
+//! [`policies::FeasibilityGate`], [`policies::AcquisitionPolicy`],
+//! [`policies::StopPolicy`]) are composed per searcher by
+//! [`bo::BoCore::kernel`] from the [`bo::BoConfig`] mechanism switches —
+//! which is also exactly what the ablation benchmarks toggle:
 //!
 //! | mechanism (paper §III-C)        | HeterBO | ConvBO | CherryPick |
 //! |---------------------------------|---------|--------|------------|
@@ -20,13 +23,18 @@
 
 pub mod bo;
 pub mod exhaustive;
+pub mod kernel;
+pub mod policies;
 pub mod random;
 pub mod surrogate;
+pub mod trace;
 
-pub use bo::{BoConfig, CherryPick, ConvBo, HeterBo, InitStrategy};
+pub use bo::{BoConfig, BoConfigBuilder, CherryPick, ConvBo, HeterBo, InitStrategy};
 pub use exhaustive::ExhaustiveSearch;
+pub use kernel::SearchKernel;
 pub use random::RandomSearch;
 pub use surrogate::{RefitPolicy, Surrogate};
+pub use trace::{NullSink, PruneReason, SearchTrace, TraceEvent, TraceSink};
 
 use crate::env::ProfilingEnv;
 use crate::observation::{Observation, SearchOutcome};
@@ -41,6 +49,20 @@ pub trait Searcher {
     /// Run the search against `env`, honouring (or, for the baselines,
     /// ignoring) the scenario's constraints.
     fn search(&self, env: &mut dyn ProfilingEnv, scenario: &Scenario) -> SearchOutcome;
+
+    /// Run the search while narrating structured [`TraceEvent`]s into
+    /// `sink`. Tracing is pure observation: the outcome is bit-identical
+    /// to [`Searcher::search`]. The default ignores the sink — searchers
+    /// without an instrumented loop simply produce an empty trace.
+    fn search_traced(
+        &self,
+        env: &mut dyn ProfilingEnv,
+        scenario: &Scenario,
+        sink: &mut dyn TraceSink,
+    ) -> SearchOutcome {
+        let _ = sink;
+        self.search(env, scenario)
+    }
 }
 
 /// Pick the best observation under the scenario's objective and

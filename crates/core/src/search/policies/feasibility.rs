@@ -1,0 +1,308 @@
+//! Feasibility gating: the TEI filter, the protective reserve and the
+//! raw-constraint probe guard.
+
+use crate::deployment::Deployment;
+use crate::env::ProfilingEnv;
+use crate::observation::Observation;
+use crate::scenario::{projection_margin, Scenario};
+use mlcd_cloudsim::InstanceType;
+use std::collections::HashMap;
+
+/// Optimism used in the TEI projection: candidate speed at +2σ.
+pub const TEI_SIGMAS: f64 = 2.0;
+/// A probe can cost more than its quote (stability extensions,
+/// provisioning jitter, billing round-ups); reserve arithmetic scales the
+/// quoted money by this factor…
+pub const PROBE_COST_OVERRUN: f64 = 1.6;
+/// …and the quoted time by this one.
+pub const PROBE_TIME_OVERRUN: f64 = 1.3;
+
+/// Whether the incumbent could still finish within the constraint if
+/// training started right now (with headroom). Only such an incumbent is
+/// worth protecting a reserve for.
+pub fn incumbent_feasible(
+    env: &dyn ProfilingEnv,
+    scenario: &Scenario,
+    incumbent: &Observation,
+) -> bool {
+    let s = env.total_samples();
+    match scenario {
+        Scenario::FastestUnlimited => true,
+        Scenario::CheapestWithDeadline(tmax) => {
+            let m = projection_margin(incumbent.deployment.n);
+            let train = Scenario::training_time(s, incumbent.speed) * m;
+            (env.elapsed() + train).as_secs() <= tmax.as_secs()
+        }
+        Scenario::FastestWithBudget(cmax) => {
+            let m = projection_margin(incumbent.deployment.n);
+            let train = Scenario::training_cost(&incumbent.deployment, s, incumbent.speed).scale(m);
+            (env.spent() + train).dollars() <= cmax.dollars()
+        }
+    }
+}
+
+/// Decides which probes the constraint allows the kernel to start.
+pub trait FeasibilityGate {
+    /// Raw-constraint guard used before an incumbent exists: a probe may
+    /// not by itself blow the deadline/budget.
+    fn probe_fits_raw(&self, env: &dyn ProfilingEnv, scenario: &Scenario, d: &Deployment) -> bool;
+
+    /// The protective reserve (§III-C "Stop condition"): starting this
+    /// probe must leave enough deadline/budget to finish training on the
+    /// incumbent.
+    fn probe_respects_reserve(
+        &self,
+        env: &dyn ProfilingEnv,
+        scenario: &Scenario,
+        d: &Deployment,
+        incumbent: &Observation,
+    ) -> bool;
+
+    /// The TEI filter (paper eqs. 5–6): even at an optimistic speed,
+    /// could this candidate still finish within the remaining
+    /// deadline/budget after paying its own probing cost?
+    #[allow(clippy::too_many_arguments)]
+    fn tei_feasible(
+        &self,
+        env: &dyn ProfilingEnv,
+        scenario: &Scenario,
+        d: &Deployment,
+        pred: &mlcd_gp::Prediction,
+        n_obs: usize,
+        rates: &HashMap<InstanceType, f64>,
+        budget_rescue: bool,
+    ) -> bool;
+
+    /// Which members of a *concurrent* init batch may launch. The default
+    /// admits everything (no constraint to protect).
+    fn filter_init_batch(
+        &self,
+        _env: &dyn ProfilingEnv,
+        _scenario: &Scenario,
+        points: &[Deployment],
+    ) -> Vec<Deployment> {
+        points.to_vec()
+    }
+}
+
+/// HeterBO's gate: the TEI deadline/budget filter plus the protective
+/// reserve. With both flags off it admits everything, which is the
+/// ConvBO/CherryPick behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct TeiReserveGate {
+    /// Never start a probe that would eat the reserve needed to finish
+    /// training on the current best.
+    pub reserve_protection: bool,
+    /// Discard candidates whose TEI says they can never pay off.
+    pub constraint_aware: bool,
+    /// The TEI filter normally waits until the surrogate rests on this
+    /// many observations (budget safety is the reserve's job; early
+    /// pruning would only cost exploration).
+    pub min_obs_before_stop: usize,
+}
+
+impl FeasibilityGate for TeiReserveGate {
+    fn probe_fits_raw(&self, env: &dyn ProfilingEnv, scenario: &Scenario, d: &Deployment) -> bool {
+        if !self.reserve_protection {
+            return true;
+        }
+        let (qt, qc) = env.quote(d);
+        match scenario {
+            Scenario::FastestUnlimited => true,
+            Scenario::CheapestWithDeadline(tmax) => {
+                (env.elapsed() + qt * PROBE_TIME_OVERRUN).as_secs() <= tmax.as_secs()
+            }
+            Scenario::FastestWithBudget(cmax) => {
+                (env.spent() + qc.scale(PROBE_COST_OVERRUN)).dollars() <= cmax.dollars()
+            }
+        }
+    }
+
+    /// When no *feasible* incumbent exists yet, there is nothing to
+    /// protect — exploration continues under the raw guard (a probe may
+    /// never single-handedly blow the constraint).
+    fn probe_respects_reserve(
+        &self,
+        env: &dyn ProfilingEnv,
+        scenario: &Scenario,
+        d: &Deployment,
+        incumbent: &Observation,
+    ) -> bool {
+        if !self.reserve_protection {
+            return true;
+        }
+        if !incumbent_feasible(env, scenario, incumbent) {
+            return self.probe_fits_raw(env, scenario, d);
+        }
+        let s = env.total_samples();
+        let (qt, qc) = env.quote(d);
+        match scenario {
+            Scenario::FastestUnlimited => true,
+            Scenario::CheapestWithDeadline(tmax) => {
+                let m = projection_margin(incumbent.deployment.n);
+                let train = Scenario::training_time(s, incumbent.speed) * m;
+                (env.elapsed() + qt * PROBE_TIME_OVERRUN + train).as_secs() <= tmax.as_secs()
+            }
+            Scenario::FastestWithBudget(cmax) => {
+                let m = projection_margin(incumbent.deployment.n);
+                let train =
+                    Scenario::training_cost(&incumbent.deployment, s, incumbent.speed).scale(m);
+                (env.spent() + qc.scale(PROBE_COST_OVERRUN) + train).dollars() <= cmax.dollars()
+            }
+        }
+    }
+
+    /// "Optimistic" is the larger of the GP's +2σ belief and the
+    /// linear-scaling bound from the candidate's own type (a GP fitted on
+    /// single-node probes cannot see that scale-out multiplies speed, and
+    /// pruning on that blindness would discard the true optimum).
+    ///
+    /// Normally the filter waits until the surrogate rests on
+    /// `min_obs_before_stop` observations. The exception is
+    /// `budget_rescue`: a budget incumbent is infeasible, so the search is
+    /// trying to buy feasibility back while every probe drains the very
+    /// dollars training needs. There the filter activates immediately — a
+    /// candidate whose own completion cannot fit even optimistically can
+    /// never restore feasibility, and probing it just digs deeper (the
+    /// failure mode of a random init landing on a deployment whose
+    /// training alone overruns the budget). Deadline infeasibility gets no
+    /// such early pruning: it is repaired by *finding speed*, which is the
+    /// chase-speed frontier's job.
+    fn tei_feasible(
+        &self,
+        env: &dyn ProfilingEnv,
+        scenario: &Scenario,
+        d: &Deployment,
+        pred: &mlcd_gp::Prediction,
+        n_obs: usize,
+        rates: &HashMap<InstanceType, f64>,
+        budget_rescue: bool,
+    ) -> bool {
+        if !self.constraint_aware {
+            return true;
+        }
+        if n_obs < self.min_obs_before_stop && !budget_rescue {
+            return true;
+        }
+        let gp_opt = pred.mean + TEI_SIGMAS * pred.stddev();
+        let scaling_bound = rates.get(&d.itype).map_or(0.0, |r| r * d.n as f64);
+        let optimistic = gp_opt.max(scaling_bound).max(1e-9);
+        let s = env.total_samples();
+        let (qt, qc) = env.quote(d);
+        match scenario {
+            Scenario::FastestUnlimited => true,
+            Scenario::CheapestWithDeadline(tmax) => {
+                let train = s / optimistic;
+                tmax.as_secs() - (env.elapsed() + qt).as_secs() - train >= 0.0
+            }
+            Scenario::FastestWithBudget(cmax) => {
+                let train_cost = d.hourly_cost().dollars() * (s / optimistic) / 3600.0;
+                cmax.dollars() - (env.spent() + qc).dollars() - train_cost >= 0.0
+            }
+        }
+    }
+
+    /// Concurrent sweep: guard the batch as a whole. Money accrues across
+    /// the batch — every cluster bills simultaneously — so the budget
+    /// check runs against the accumulated sum of the quotes kept so far.
+    /// Wall-clock of a concurrent batch is its *slowest member*, so each
+    /// candidate is checked against the deadline on its own; admitting one
+    /// never tightens the check for the next.
+    fn filter_init_batch(
+        &self,
+        env: &dyn ProfilingEnv,
+        scenario: &Scenario,
+        points: &[Deployment],
+    ) -> Vec<Deployment> {
+        let mut kept = Vec::new();
+        let mut acc_c = env.spent();
+        for d in points {
+            let (qt, qc) = env.quote(d);
+            let fits = match scenario {
+                Scenario::FastestUnlimited => true,
+                Scenario::CheapestWithDeadline(tmax) => {
+                    (env.elapsed() + qt * PROBE_TIME_OVERRUN).as_secs() <= tmax.as_secs()
+                }
+                Scenario::FastestWithBudget(cmax) => {
+                    (acc_c + qc.scale(PROBE_COST_OVERRUN)).dollars() <= cmax.dollars()
+                }
+            };
+            if fits || !self.reserve_protection {
+                acc_c += qc.scale(PROBE_COST_OVERRUN);
+                kept.push(*d);
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::SearchSpace;
+    use crate::env::SyntheticEnv;
+    use mlcd_cloudsim::{Money, SimDuration};
+    use mlcd_perfmodel::{ThroughputModel, TrainingJob};
+
+    fn env() -> SyntheticEnv<fn(&Deployment) -> f64> {
+        let job = TrainingJob::resnet_cifar10();
+        let space = SearchSpace::new(
+            &[InstanceType::C5Xlarge, InstanceType::P2Xlarge],
+            50,
+            &job,
+            &ThroughputModel::default(),
+        );
+        fn f(d: &Deployment) -> f64 {
+            100.0 * d.n as f64
+        }
+        SyntheticEnv::new(space, 5e6, f as fn(&Deployment) -> f64)
+    }
+
+    fn gate(on: bool) -> TeiReserveGate {
+        TeiReserveGate { reserve_protection: on, constraint_aware: on, min_obs_before_stop: 0 }
+    }
+
+    #[test]
+    fn disabled_gate_admits_everything() {
+        let e = env();
+        let g = gate(false);
+        let d = Deployment::new(InstanceType::P2Xlarge, 50);
+        let tight = Scenario::FastestWithBudget(Money::from_dollars(0.01));
+        assert!(g.probe_fits_raw(&e, &tight, &d));
+        let inc = Observation {
+            deployment: Deployment::new(InstanceType::C5Xlarge, 1),
+            speed: 100.0,
+            profile_time: SimDuration::from_mins(10.0),
+            profile_cost: Money::from_dollars(0.1),
+        };
+        assert!(g.probe_respects_reserve(&e, &tight, &d, &inc));
+    }
+
+    #[test]
+    fn raw_guard_blocks_probe_larger_than_budget() {
+        let e = env();
+        let g = gate(true);
+        let d = Deployment::new(InstanceType::P2Xlarge, 50);
+        let (_, qc) = e.quote(&d);
+        let tight = Scenario::FastestWithBudget(Money::from_dollars(qc.dollars() * 0.5));
+        assert!(!g.probe_fits_raw(&e, &tight, &d));
+        let roomy = Scenario::FastestWithBudget(Money::from_dollars(qc.dollars() * 10.0));
+        assert!(g.probe_fits_raw(&e, &roomy, &d));
+    }
+
+    #[test]
+    fn init_batch_filter_accumulates_cost_against_the_budget() {
+        let e = env();
+        let g = gate(true);
+        let points: Vec<Deployment> =
+            (0..4).map(|_| Deployment::new(InstanceType::P2Xlarge, 1)).collect();
+        let (_, qc) = e.quote(&points[0]);
+        // Budget fits ~2 overrun-scaled probes, not 4.
+        let budget = Money::from_dollars(qc.dollars() * PROBE_COST_OVERRUN * 2.5);
+        let kept = g.filter_init_batch(&e, &Scenario::FastestWithBudget(budget), &points);
+        assert_eq!(kept.len(), 2, "batch admission must accumulate spend");
+        // Unlimited scenario keeps everything.
+        let all = g.filter_init_batch(&e, &Scenario::FastestUnlimited, &points);
+        assert_eq!(all.len(), 4);
+    }
+}

@@ -1,0 +1,114 @@
+//! Initialisation policies: which probes seed the surrogate.
+
+use crate::deployment::Deployment;
+use mlcd_cloudsim::InstanceType;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// Chooses the initial probes from the candidate pool.
+pub trait InitPolicy {
+    /// The ordered initial probes. `rng` is the kernel's seeded stream;
+    /// policies that do not draw from it must not touch it (draw order is
+    /// part of the pinned behaviour).
+    fn points(&self, pool: &[Deployment], rng: &mut SmallRng) -> Vec<Deployment>;
+
+    /// Whether the init probes run as one concurrent batch (same money,
+    /// wall-clock of the slowest member only).
+    fn parallel(&self) -> bool {
+        false
+    }
+}
+
+/// HeterBO's init (§III-C "Initial points"): one minimal-scale probe of
+/// each instance type, cheapest hourly rate first — bounded cost, full
+/// scale-up coverage.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeSweepInit {
+    /// Run the sweep as one concurrent batch.
+    pub parallel: bool,
+}
+
+impl InitPolicy for TypeSweepInit {
+    fn points(&self, pool: &[Deployment], _rng: &mut SmallRng) -> Vec<Deployment> {
+        let mut types: Vec<InstanceType> = {
+            let mut ts: Vec<InstanceType> = pool.iter().map(|d| d.itype).collect();
+            ts.sort();
+            ts.dedup();
+            ts
+        };
+        types.sort_by(|a, b| a.hourly_usd().total_cmp(&b.hourly_usd()));
+        types
+            .into_iter()
+            .filter_map(|t| pool.iter().filter(|d| d.itype == t).min_by_key(|d| d.n).copied())
+            .collect()
+    }
+
+    fn parallel(&self) -> bool {
+        self.parallel
+    }
+}
+
+/// Conventional BO: `k` uniformly random candidates — which can land on a
+/// 50-node GPU cluster and burn a large slice of the budget before the
+/// model knows anything.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomInit {
+    /// How many random points to draw.
+    pub k: usize,
+    /// Run the draws as one concurrent batch.
+    pub parallel: bool,
+}
+
+impl InitPolicy for RandomInit {
+    fn points(&self, pool: &[Deployment], rng: &mut SmallRng) -> Vec<Deployment> {
+        let mut shuffled = pool.to_vec();
+        shuffled.shuffle(rng);
+        shuffled.into_iter().take(self.k).collect()
+    }
+
+    fn parallel(&self) -> bool {
+        self.parallel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pool() -> Vec<Deployment> {
+        let mut out = Vec::new();
+        for t in [InstanceType::P2Xlarge, InstanceType::C5Xlarge, InstanceType::C54xlarge] {
+            for n in 1..=4 {
+                out.push(Deployment::new(t, n));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn type_sweep_probes_each_type_once_at_minimal_scale_cheapest_first() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let pts = TypeSweepInit { parallel: false }.points(&pool(), &mut rng);
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|d| d.n == 1));
+        // Cheapest hourly rate first.
+        for w in pts.windows(2) {
+            assert!(w[0].itype.hourly_usd() <= w[1].itype.hourly_usd());
+        }
+    }
+
+    #[test]
+    fn random_init_draws_k_distinct_points_deterministically() {
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            RandomInit { k: 3, parallel: false }.points(&pool(), &mut rng)
+        };
+        let a = draw(7);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a, draw(7), "same seed, same draw");
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "a shuffle never repeats a point");
+    }
+}

@@ -1,0 +1,27 @@
+//! The five stage policies the [`crate::search::kernel::SearchKernel`]
+//! composes into a searcher.
+//!
+//! Each stage of the BO loop is one swappable trait; HeterBO, ConvBO and
+//! CherryPick differ only in which implementations they plug in (see the
+//! table in [`crate::search`] and the "Search kernel & policies" section
+//! of DESIGN.md):
+//!
+//! | stage                  | trait                                  | implementations                                     |
+//! |------------------------|----------------------------------------|-----------------------------------------------------|
+//! | initialisation         | [`init::InitPolicy`]                   | [`init::TypeSweepInit`], [`init::RandomInit`]       |
+//! | candidate pruning      | [`pruning::CandidatePruner`]           | [`pruning::ConcaveScaleOutPrior`], [`pruning::SpaceTrim`], [`pruning::NoPruning`] |
+//! | feasibility gating     | [`feasibility::FeasibilityGate`]       | [`feasibility::TeiReserveGate`]                     |
+//! | acquisition scoring    | [`acquisition::AcquisitionPolicy`]     | [`acquisition::CostPenalisedAcquisition`]           |
+//! | stopping               | [`stop::StopPolicy`]                   | [`stop::ConvergenceStop`]                           |
+
+pub mod acquisition;
+pub mod feasibility;
+pub mod init;
+pub mod pruning;
+pub mod stop;
+
+pub use acquisition::{AcquisitionPolicy, CostPenalisedAcquisition};
+pub use feasibility::{incumbent_feasible, FeasibilityGate, TeiReserveGate};
+pub use init::{InitPolicy, RandomInit, TypeSweepInit};
+pub use pruning::{CandidatePruner, ConcaveScaleOutPrior, FrontierContext, NoPruning, SpaceTrim};
+pub use stop::{ConvergenceStop, StopContext, StopPolicy};

@@ -1,0 +1,381 @@
+//! Candidate-pruning policies: which deployments the loop may still probe.
+
+use crate::deployment::Deployment;
+use crate::observation::Observation;
+use crate::scenario::{Objective, Scenario};
+use crate::search::trace::{TraceEvent, TraceSink};
+use mlcd_cloudsim::InstanceType;
+use std::collections::HashMap;
+
+/// Speed must decline by more than this fraction between neighbouring
+/// scale-outs before the concave prior prunes (guards against noise).
+pub const CONCAVE_MARGIN: f64 = 0.03;
+
+/// How much of the linear-scaling upper bound a frontier probe is credited
+/// with when competing against GP-EI scores (scaling is sublinear in
+/// reality, so the bound is discounted).
+pub const FRONTIER_DISCOUNT: f64 = 0.25;
+
+/// What the rising-branch frontier walk needs to know about the current
+/// loop iteration.
+pub struct FrontierContext<'a> {
+    /// Candidates not yet probed and not pruned.
+    pub unprobed: &'a [Deployment],
+    /// Everything observed so far.
+    pub observations: &'a [Observation],
+    /// Best observed per-node speed per type (see [`per_type_speed_rate`]).
+    pub rates: &'a HashMap<InstanceType, f64>,
+    /// The scenario being searched.
+    pub scenario: &'a Scenario,
+    /// The current incumbent.
+    pub incumbent: &'a Observation,
+    /// Whether the frontier must chase raw speed regardless of the
+    /// scenario objective (a deadline incumbent is infeasible and speed
+    /// is what buys feasibility back).
+    pub chase_speed: bool,
+}
+
+/// Trims the candidate pool — statically before the search and/or
+/// dynamically as observations arrive.
+pub trait CandidatePruner {
+    /// Statically trim the pool before the search starts (CherryPick's
+    /// experience-based type trimming and coarse scale-out grid).
+    fn trim_pool(&self, _pool: &mut Vec<Deployment>) {}
+
+    /// Ingest the observation set after new probes landed; may update
+    /// internal pruning state and narrate it to `sink`.
+    fn observe(&mut self, _observations: &[Observation], _sink: &mut dyn TraceSink) {}
+
+    /// Whether a candidate is currently admissible for probing.
+    fn admits(&self, _d: &Deployment) -> bool {
+        true
+    }
+
+    /// Rising-branch frontier candidates with their discounted
+    /// utility-improvement bonuses (see [`ConcaveScaleOutPrior`]); empty
+    /// for pruners with no exploration side.
+    fn frontier(&self, _ctx: &FrontierContext<'_>) -> Vec<(Deployment, f64)> {
+        Vec::new()
+    }
+}
+
+/// The identity pruner: every candidate stays admissible forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPruning;
+
+impl CandidatePruner for NoPruning {}
+
+/// CherryPick's static space trimming: restrict the pool to the given
+/// instance types and/or the coarse scale-out grid.
+#[derive(Debug, Clone, Default)]
+pub struct SpaceTrim {
+    /// Keep only these types (`None` keeps all).
+    pub types: Option<Vec<InstanceType>>,
+    /// Keep only these node counts (`None` keeps all).
+    pub grid: Option<Vec<u32>>,
+}
+
+impl CandidatePruner for SpaceTrim {
+    fn trim_pool(&self, pool: &mut Vec<Deployment>) {
+        pool.retain(|d| {
+            self.types.as_ref().is_none_or(|ts| ts.contains(&d.itype))
+                && self.grid.as_ref().is_none_or(|g| g.contains(&d.n))
+        });
+    }
+}
+
+/// Best observed per-node speed for each type: `max over obs of speed/n`.
+/// Parallel efficiency only falls with scale, so `rate × n` is a true
+/// upper bound on any same-type deployment's speed — the safe optimism the
+/// TEI filter prunes against.
+pub fn per_type_speed_rate(observations: &[Observation]) -> HashMap<InstanceType, f64> {
+    let mut rates: HashMap<InstanceType, f64> = HashMap::new();
+    for o in observations {
+        let rate = o.speed / o.deployment.n as f64;
+        let e = rates.entry(o.deployment.itype).or_insert(rate);
+        *e = e.max(rate);
+    }
+    rates
+}
+
+/// Update the concave-prior pruning map after new observations: for each
+/// type, find the smallest scale-out at which a decline between
+/// neighbouring observed points starts, and prune everything larger.
+pub fn update_pruning(observations: &[Observation], pruned_above: &mut HashMap<InstanceType, u32>) {
+    let mut by_type: HashMap<InstanceType, Vec<(u32, f64)>> = HashMap::new();
+    for o in observations {
+        by_type.entry(o.deployment.itype).or_default().push((o.deployment.n, o.speed));
+    }
+    for (t, mut pts) in by_type {
+        pts.sort_by_key(|&(n, _)| n);
+        for w in pts.windows(2) {
+            let (_, s1) = w[0];
+            let (n2, s2) = w[1];
+            if s2 < s1 * (1.0 - CONCAVE_MARGIN) {
+                let cap = pruned_above.entry(t).or_insert(n2);
+                *cap = (*cap).min(n2);
+                break;
+            }
+        }
+    }
+}
+
+/// HeterBO's concave scale-out prior (§III-C): once two neighbouring
+/// probes of a type show declining speed, prune all larger scale-outs of
+/// that type — and, on the rising branch, push exploration outward via
+/// discounted linear-scaling frontier bonuses.
+#[derive(Debug, Clone, Default)]
+pub struct ConcaveScaleOutPrior {
+    pruned_above: HashMap<InstanceType, u32>,
+}
+
+impl ConcaveScaleOutPrior {
+    /// A fresh prior with no caps yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current per-type scale-out caps (for inspection/tests).
+    pub fn caps(&self) -> &HashMap<InstanceType, u32> {
+        &self.pruned_above
+    }
+}
+
+impl CandidatePruner for ConcaveScaleOutPrior {
+    fn observe(&mut self, observations: &[Observation], sink: &mut dyn TraceSink) {
+        let before = self.pruned_above.clone();
+        update_pruning(observations, &mut self.pruned_above);
+        for (&t, &cap) in &self.pruned_above {
+            if before.get(&t) != Some(&cap) {
+                sink.record(TraceEvent::ScaleOutCapped { itype: t, cap });
+            }
+        }
+    }
+
+    fn admits(&self, d: &Deployment) -> bool {
+        self.pruned_above.get(&d.itype).is_none_or(|&cap| d.n <= cap)
+    }
+
+    /// The rising branch of the concave prior, used for *exploration*: for
+    /// each type whose speed curve has not yet been seen to bend (no
+    /// pruning cap), the next scale-out step — a doubling of the largest
+    /// probed size — might still multiply speed. A GP fitted on the swept
+    /// single-node probes is blind to this, so these frontier candidates
+    /// get a discounted linear-scaling utility bonus and block convergence
+    /// while any of them remains promising.
+    ///
+    /// Returns `(candidate, discounted utility-improvement bonus)` pairs.
+    /// With `chase_speed` the bonus is in speed units regardless of the
+    /// scenario objective — used when the incumbent cannot meet a deadline
+    /// and raw speed is what buys feasibility (under ~linear scaling,
+    /// scale-out leaves *cost* flat, so a cost bonus would never fire).
+    fn frontier(&self, ctx: &FrontierContext<'_>) -> Vec<(Deployment, f64)> {
+        // Largest probed n per type.
+        let mut n_max: HashMap<InstanceType, u32> = HashMap::new();
+        for o in ctx.observations {
+            let e = n_max.entry(o.deployment.itype).or_insert(o.deployment.n);
+            *e = (*e).max(o.deployment.n);
+        }
+        // The frontier reasons in speed units: either the objective is
+        // speed, or a deadline incumbent is infeasible and speed buys
+        // feasibility. For a *feasible* cost objective, scale-out cannot
+        // reduce cost under (sub)linear scaling, so there is no frontier.
+        if ctx.scenario.objective() == Objective::MinCost && !ctx.chase_speed {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (&t, &nm) in &n_max {
+            if self.pruned_above.contains_key(&t) {
+                continue; // curve already bent: exploit via the GP instead
+            }
+            let Some(&rate) = ctx.rates.get(&t) else { continue };
+            // Jump to the larger of (a) a factor-4 geometric step — three
+            // probes cover a 50-node range — and (b) the smallest scale at
+            // which this type's linear bound could beat the incumbent at
+            // all (no point probing scales that cannot win even in the
+            // best case).
+            let n_beat = (ctx.incumbent.speed / rate).ceil().max(1.0) as u32;
+            let n_target = (nm.saturating_mul(4)).max(n_beat.saturating_add(1)).max(nm + 1);
+            let step = ctx
+                .unprobed
+                .iter()
+                .filter(|d| d.itype == t && d.n >= n_target)
+                .min_by_key(|d| d.n)
+                .or_else(|| {
+                    // Nothing at or past the target: take the largest
+                    // remaining step of this type, if it can still win.
+                    ctx.unprobed
+                        .iter()
+                        .filter(|d| {
+                            d.itype == t && d.n > nm && rate * d.n as f64 > ctx.incumbent.speed
+                        })
+                        .max_by_key(|d| d.n)
+                });
+            let Some(&d) = step else { continue };
+            let bound_speed = rate * d.n as f64;
+            let bonus = (bound_speed - ctx.incumbent.speed).max(0.0) * FRONTIER_DISCOUNT;
+            if bonus > 0.0 {
+                out.push((d, bonus));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::trace::{NullSink, SearchTrace};
+    use mlcd_cloudsim::{Money, SimDuration};
+
+    fn obs(itype: InstanceType, n: u32, speed: f64) -> Observation {
+        Observation {
+            deployment: Deployment::new(itype, n),
+            speed,
+            profile_time: SimDuration::from_mins(10.0),
+            profile_cost: Money::from_dollars(0.1),
+        }
+    }
+
+    #[test]
+    fn per_type_speed_rate_takes_the_best_per_node_rate() {
+        let rates = per_type_speed_rate(&[
+            obs(InstanceType::C5Xlarge, 1, 100.0),  // rate 100
+            obs(InstanceType::C5Xlarge, 2, 150.0),  // rate 75
+            obs(InstanceType::C54xlarge, 4, 480.0), // rate 120
+        ]);
+        assert_eq!(rates[&InstanceType::C5Xlarge], 100.0);
+        assert_eq!(rates[&InstanceType::C54xlarge], 120.0);
+    }
+
+    #[test]
+    fn update_pruning_caps_at_first_adjacent_decline() {
+        let mut caps = HashMap::new();
+        update_pruning(
+            &[
+                obs(InstanceType::C5Xlarge, 1, 100.0),
+                obs(InstanceType::C5Xlarge, 2, 180.0),
+                obs(InstanceType::C5Xlarge, 4, 120.0), // > 3 % below 180: bend at n=4
+                obs(InstanceType::C5Xlarge, 8, 130.0),
+            ],
+            &mut caps,
+        );
+        assert_eq!(caps[&InstanceType::C5Xlarge], 4);
+    }
+
+    #[test]
+    fn update_pruning_tolerates_noise_within_the_margin() {
+        let mut caps = HashMap::new();
+        update_pruning(
+            &[
+                obs(InstanceType::C5Xlarge, 1, 100.0),
+                // 2 % below the previous point: inside CONCAVE_MARGIN.
+                obs(InstanceType::C5Xlarge, 2, 98.0),
+            ],
+            &mut caps,
+        );
+        assert!(caps.is_empty(), "a within-margin dip must not prune");
+    }
+
+    #[test]
+    fn update_pruning_only_tightens_existing_caps() {
+        let mut caps = HashMap::from([(InstanceType::C5Xlarge, 3u32)]);
+        update_pruning(
+            &[obs(InstanceType::C5Xlarge, 4, 200.0), obs(InstanceType::C5Xlarge, 8, 100.0)],
+            &mut caps,
+        );
+        assert_eq!(caps[&InstanceType::C5Xlarge], 3, "caps are monotone decreasing");
+    }
+
+    #[test]
+    fn concave_prior_admits_below_cap_and_narrates_new_caps() {
+        let mut prior = ConcaveScaleOutPrior::new();
+        let mut trace = SearchTrace::default();
+        prior.observe(
+            &[obs(InstanceType::C5Xlarge, 2, 200.0), obs(InstanceType::C5Xlarge, 4, 100.0)],
+            &mut trace,
+        );
+        assert!(prior.admits(&Deployment::new(InstanceType::C5Xlarge, 4)));
+        assert!(!prior.admits(&Deployment::new(InstanceType::C5Xlarge, 5)));
+        assert!(prior.admits(&Deployment::new(InstanceType::P2Xlarge, 50)), "other types free");
+        assert!(
+            trace.events.iter().any(|e| matches!(
+                e,
+                TraceEvent::ScaleOutCapped { itype: InstanceType::C5Xlarge, cap: 4 }
+            )),
+            "cap change must be narrated"
+        );
+        // Re-observing the same data changes nothing and emits nothing new.
+        let before = trace.len();
+        prior.observe(
+            &[obs(InstanceType::C5Xlarge, 2, 200.0), obs(InstanceType::C5Xlarge, 4, 100.0)],
+            &mut trace,
+        );
+        assert_eq!(trace.len(), before);
+    }
+
+    #[test]
+    fn space_trim_filters_types_and_grid() {
+        let mut pool = vec![
+            Deployment::new(InstanceType::C5Xlarge, 1),
+            Deployment::new(InstanceType::C5Xlarge, 5),
+            Deployment::new(InstanceType::P2Xlarge, 1),
+        ];
+        SpaceTrim { types: Some(vec![InstanceType::C5Xlarge]), grid: Some(vec![1, 2, 4]) }
+            .trim_pool(&mut pool);
+        assert_eq!(pool, vec![Deployment::new(InstanceType::C5Xlarge, 1)]);
+    }
+
+    #[test]
+    fn frontier_proposes_geometric_step_on_unbent_types() {
+        let prior = ConcaveScaleOutPrior::new();
+        let observations = vec![obs(InstanceType::C5Xlarge, 1, 100.0)];
+        let rates = per_type_speed_rate(&observations);
+        let unprobed: Vec<Deployment> =
+            (2..=16).map(|n| Deployment::new(InstanceType::C5Xlarge, n)).collect();
+        let incumbent = observations[0];
+        let ctx = FrontierContext {
+            unprobed: &unprobed,
+            observations: &observations,
+            rates: &rates,
+            scenario: &Scenario::FastestUnlimited,
+            incumbent: &incumbent,
+            chase_speed: false,
+        };
+        let f = prior.frontier(&ctx);
+        assert_eq!(f.len(), 1);
+        let (d, bonus) = f[0];
+        // Factor-4 geometric step from n_max = 1.
+        assert_eq!(d.n, 4);
+        // Discounted linear-scaling improvement: (100*4 - 100) * 0.25.
+        assert!((bonus - 300.0 * FRONTIER_DISCOUNT).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontier_is_empty_for_feasible_cost_objective_and_bent_types() {
+        let mut prior = ConcaveScaleOutPrior::new();
+        let observations = vec![
+            obs(InstanceType::C5Xlarge, 1, 100.0),
+            obs(InstanceType::C5Xlarge, 2, 50.0), // bend: cap at 2
+        ];
+        prior.observe(&observations, &mut NullSink);
+        let rates = per_type_speed_rate(&observations);
+        let unprobed: Vec<Deployment> =
+            (3..=16).map(|n| Deployment::new(InstanceType::C5Xlarge, n)).collect();
+        let incumbent = observations[0];
+        let mk = |scenario, chase_speed| FrontierContext {
+            unprobed: &unprobed,
+            observations: &observations,
+            rates: &rates,
+            scenario,
+            incumbent: &incumbent,
+            chase_speed,
+        };
+        // Bent type: no frontier even under a speed objective.
+        assert!(prior.frontier(&mk(&Scenario::FastestUnlimited, false)).is_empty());
+        // Cost objective without chase-speed: no frontier by construction.
+        let fresh = ConcaveScaleOutPrior::new();
+        let deadline = Scenario::CheapestWithDeadline(SimDuration::from_hours(10.0));
+        assert!(fresh.frontier(&mk(&deadline, false)).is_empty());
+    }
+}

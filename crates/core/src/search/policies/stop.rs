@@ -1,0 +1,148 @@
+//! Stopping policies: when the BO loop declares convergence.
+
+use crate::observation::StopReason;
+
+/// CI-stop significance: stop when P(improvement > threshold) < this for
+/// every candidate.
+pub const CI_ALPHA: f64 = 0.05;
+
+/// What the stop decision may look at, computed by the kernel each step.
+/// `max_poi` is lazy — scanning every candidate's improvement probability
+/// is only paid when a CI-aware policy actually asks for it.
+pub struct StopContext<'a> {
+    /// Observations collected so far (init + loop).
+    pub n_obs: usize,
+    /// This step's absolute EI stop threshold (relative threshold × the
+    /// incumbent's utility magnitude).
+    pub threshold: f64,
+    /// The best candidate's EI this step.
+    pub best_ei: f64,
+    /// The largest frontier bonus still on the table — convergence must
+    /// not fire while a promising scale-out step remains unexplored.
+    pub max_frontier_bonus: f64,
+    /// Maximum over candidates of P(utility improvement > threshold).
+    pub max_poi: &'a dyn Fn() -> f64,
+}
+
+/// Decides when the loop stops probing.
+pub trait StopPolicy {
+    /// Cap on BO-loop probes *after* initialisation (the init sweep is
+    /// budgeted separately — a 19-type sweep must not starve the loop).
+    fn max_steps(&self) -> usize;
+
+    /// Minimum observations before a convergence-based stop may fire —
+    /// guards against declaring victory off a 2-point surrogate.
+    fn min_obs_before_stop(&self) -> usize;
+
+    /// This step's absolute EI stop threshold, from the incumbent's
+    /// utility.
+    fn ei_threshold(&self, incumbent_utility: f64) -> f64;
+
+    /// Whether to stop now, and why. `None` keeps probing.
+    fn should_stop(&self, ctx: &StopContext<'_>) -> Option<StopReason>;
+}
+
+/// The EI-threshold stop used by all three searchers, with HeterBO's
+/// confidence-aware variant behind `ci_stop`: stop only when *no*
+/// candidate has ≥5 % probability of improving by more than the threshold
+/// (the paper's "95 % confidence interval of the expected improvement").
+#[derive(Debug, Clone, Copy)]
+pub struct ConvergenceStop {
+    /// Relative expected-improvement stop threshold (fraction of the
+    /// incumbent's utility).
+    pub ei_rel_threshold: f64,
+    /// Use the CI-aware probability test instead of the plain EI test.
+    pub ci_stop: bool,
+    /// Cap on BO-loop probes after initialisation.
+    pub max_steps: usize,
+    /// Minimum observations before convergence may fire.
+    pub min_obs_before_stop: usize,
+}
+
+impl StopPolicy for ConvergenceStop {
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn min_obs_before_stop(&self) -> usize {
+        self.min_obs_before_stop
+    }
+
+    fn ei_threshold(&self, incumbent_utility: f64) -> f64 {
+        self.ei_rel_threshold * incumbent_utility.abs().max(1e-9)
+    }
+
+    fn should_stop(&self, ctx: &StopContext<'_>) -> Option<StopReason> {
+        // Only once the surrogate rests on enough data to be trusted about
+        // "nothing left to gain", and never while a promising frontier
+        // step remains unexplored.
+        let may_converge =
+            ctx.n_obs >= self.min_obs_before_stop && ctx.max_frontier_bonus < ctx.threshold;
+        if !may_converge {
+            return None;
+        }
+        if self.ci_stop {
+            // Stop when no candidate retains a real chance of a
+            // meaningful improvement.
+            if (ctx.max_poi)() < CI_ALPHA {
+                return Some(StopReason::Converged);
+            }
+        } else if ctx.best_ei < ctx.threshold {
+            return Some(StopReason::Converged);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stop(ci: bool) -> ConvergenceStop {
+        ConvergenceStop {
+            ei_rel_threshold: 0.10,
+            ci_stop: ci,
+            max_steps: 8,
+            min_obs_before_stop: 4,
+        }
+    }
+
+    fn ctx<'a>(
+        n_obs: usize,
+        best_ei: f64,
+        max_frontier_bonus: f64,
+        max_poi: &'a dyn Fn() -> f64,
+    ) -> StopContext<'a> {
+        StopContext { n_obs, threshold: 10.0, best_ei, max_frontier_bonus, max_poi }
+    }
+
+    #[test]
+    fn plain_ei_stop_fires_below_threshold_after_min_obs() {
+        let s = stop(false);
+        let poi = || panic!("plain EI stop must not evaluate POI");
+        assert_eq!(s.should_stop(&ctx(6, 5.0, 0.0, &poi)), Some(StopReason::Converged));
+        assert_eq!(s.should_stop(&ctx(6, 50.0, 0.0, &poi)), None);
+        // Too few observations: never converge.
+        assert_eq!(s.should_stop(&ctx(2, 5.0, 0.0, &poi)), None);
+        // A live frontier bonus blocks convergence.
+        assert_eq!(s.should_stop(&ctx(6, 5.0, 99.0, &poi)), None);
+    }
+
+    #[test]
+    fn ci_stop_uses_the_lazy_poi_scan() {
+        let s = stop(true);
+        let low = || 0.01;
+        assert_eq!(s.should_stop(&ctx(6, 5.0, 0.0, &low)), Some(StopReason::Converged));
+        let high = || 0.5;
+        assert_eq!(s.should_stop(&ctx(6, 5.0, 0.0, &high)), None);
+    }
+
+    #[test]
+    fn threshold_is_relative_to_utility_magnitude() {
+        let s = stop(false);
+        assert_eq!(s.ei_threshold(100.0), 10.0);
+        assert_eq!(s.ei_threshold(-100.0), 10.0);
+        // Degenerate zero utility keeps a tiny positive floor.
+        assert!(s.ei_threshold(0.0) > 0.0);
+    }
+}

@@ -59,7 +59,19 @@ impl<S: Searcher> DeploymentEngine<S> {
         profiler: &mut Profiler<C, P>,
         scenario: &Scenario,
     ) -> (SearchOutcome, Option<DeploymentPlan>) {
-        let outcome = self.searcher.search(profiler, scenario);
+        self.plan_traced(profiler, scenario, &mut crate::search::NullSink)
+    }
+
+    /// Run the search phase while narrating the searcher's structured
+    /// trace into `sink`. Tracing never perturbs the search — the outcome
+    /// is bit-identical to [`DeploymentEngine::plan`].
+    pub fn plan_traced<C: CloudInterface, P: MlPlatformInterface>(
+        &self,
+        profiler: &mut Profiler<C, P>,
+        scenario: &Scenario,
+        sink: &mut dyn crate::search::TraceSink,
+    ) -> (SearchOutcome, Option<DeploymentPlan>) {
+        let outcome = self.searcher.search_traced(profiler, scenario, sink);
         let plan = outcome
             .best
             .map(|obs| DeploymentPlan { deployment: obs.deployment, observed_speed: obs.speed });

@@ -64,11 +64,12 @@ pub trait CloudInterface {
 
     /// The instant at or before `t` when the spot market revokes this
     /// cluster, if it does. Concurrent probing settles clusters
-    /// retroactively (it never occupies them with [`run_for`]
-    /// (Self::run_for), which is where sequential probing learns about
-    /// revocations), so it asks for the market's verdict through this.
-    /// The default — matching the default [`launch_spot`]
-    /// (Self::launch_spot) on-demand fallback — is "never revoked".
+    /// retroactively (it never occupies them with
+    /// [`run_for`](Self::run_for), which is where sequential probing
+    /// learns about revocations), so it asks for the market's verdict
+    /// through this. The default — matching the default
+    /// [`launch_spot`](Self::launch_spot) on-demand fallback — is
+    /// "never revoked".
     fn revocation_before(&self, _cluster: &Cluster, _t: SimTime) -> Option<SimTime> {
         None
     }

@@ -1,0 +1,93 @@
+//! `mlcd search --trace` end-to-end: the bin must write a JSON-Lines
+//! event stream for a full search, one JSON object per line, ending in a
+//! `Stopped` event, with one probe event per probe the outcome reports.
+
+use std::process::Command;
+
+fn mlcd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mlcd"))
+}
+
+#[test]
+fn search_trace_flag_writes_jsonl_stream() {
+    let dir = std::env::temp_dir().join("mlcd-cli-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.jsonl");
+
+    let out = mlcd()
+        .args([
+            "search",
+            "--job",
+            "resnet-cifar10",
+            "--searcher",
+            "heterbo",
+            "--seed",
+            "3",
+            "--types",
+            "c5.xlarge,c5.4xlarge",
+            "--json",
+            "--trace",
+        ])
+        .arg(&trace_path)
+        .output()
+        .expect("mlcd runs");
+    assert!(
+        out.status.success(),
+        "mlcd failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The normal outcome report is unaffected by tracing.
+    let outcome: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("outcome is JSON");
+    let n_steps = outcome["search"]["steps"]
+        .as_array()
+        .unwrap_or_else(|| panic!("steps missing from outcome"))
+        .len();
+    assert!(n_steps >= 2, "expected a multi-probe search, got {n_steps}");
+
+    // The trace file: one JSON object per line.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > n_steps, "trace must narrate more than just the probes");
+    let mut probes = 0;
+    let mut stopped = 0;
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("each line is JSON");
+        assert!(matches!(v, serde_json::Value::Object(_)), "line is not an object: {line}");
+        if v.get("InitProbe").is_some() || v.get("Probe").is_some() {
+            probes += 1;
+        }
+        if v.get("Stopped").is_some() {
+            stopped += 1;
+        }
+    }
+    assert_eq!(probes, n_steps, "one traced probe event per recorded search step");
+    assert_eq!(stopped, 1, "exactly one Stopped event, and it must be present");
+    assert!(
+        lines.last().unwrap().contains("Stopped"),
+        "the stream ends with the stop: {:?}",
+        lines.last()
+    );
+
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn trace_is_rejected_for_paleo() {
+    let out = mlcd()
+        .args([
+            "search",
+            "--job",
+            "resnet-cifar10",
+            "--searcher",
+            "paleo",
+            "--trace",
+            "/tmp/should-not-exist.jsonl",
+        ])
+        .output()
+        .expect("mlcd runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace is not supported"));
+}

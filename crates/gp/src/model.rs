@@ -273,7 +273,7 @@ impl GpModel {
     ///
     /// Fails (`Numerical`) when the new point makes the kernel matrix
     /// numerically non-SPD, e.g. an exact duplicate input with zero noise;
-    /// callers fall back to [`with_observation`].
+    /// callers fall back to [`with_observation`](Self::with_observation).
     pub fn extend(&self, x: Vec<f64>, y: f64) -> Result<Self, GpError> {
         if x.len() != self.dim() {
             return Err(GpError::BadTrainingData(format!(

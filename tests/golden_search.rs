@@ -94,7 +94,8 @@ fn render_all() -> String {
     for (scenario_name, scenario) in scenarios() {
         for seed in SEEDS {
             for (searcher_name, searcher) in searchers(seed) {
-                let outcome = runner(seed).run(searcher.as_ref(), &TrainingJob::resnet_cifar10(), &scenario);
+                let outcome =
+                    runner(seed).run(searcher.as_ref(), &TrainingJob::resnet_cifar10(), &scenario);
                 writeln!(out, "=== {searcher_name} / {scenario_name} / seed {seed} ===").unwrap();
                 out.push_str(&digest(&outcome.search));
             }
@@ -130,7 +131,9 @@ fn golden_search_outcomes_are_bit_identical() {
             .zip(actual.lines())
             .enumerate()
             .find(|(_, (e, a))| e != a)
-            .map(|(i, (e, a))| format!("first diff at line {}:\n  golden: {e}\n  actual: {a}", i + 1))
+            .map(|(i, (e, a))| {
+                format!("first diff at line {}:\n  golden: {e}\n  actual: {a}", i + 1)
+            })
             .unwrap_or_else(|| "one output is a prefix of the other".to_string());
         panic!(
             "search outcomes diverged from the golden snapshots \

@@ -1,0 +1,117 @@
+//! `SearchTrace` invariants, checked against full kernel-backed searches:
+//!
+//! * **spend accounting** — the cumulative profiling spend carried by the
+//!   last traced probe equals the outcome's `profile_cost` exactly, and
+//!   the per-probe `profile_cost`s sum to the same figure;
+//! * **incumbent monotonicity** — `IncumbentChanged` events form a
+//!   strictly increasing utility sequence;
+//! * **purity** — tracing never perturbs the search: traced and untraced
+//!   runs produce bit-identical outcomes.
+
+use mlcd::prelude::*;
+use mlcd::search::{CherryPick, ConvBo};
+
+fn runner(seed: u64) -> ExperimentRunner {
+    ExperimentRunner::new(seed).with_types(vec![
+        InstanceType::C5Xlarge,
+        InstanceType::C54xlarge,
+        InstanceType::C5n4xlarge,
+        InstanceType::P2Xlarge,
+    ])
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::FastestUnlimited,
+        Scenario::CheapestWithDeadline(SimDuration::from_hours(12.0)),
+        Scenario::FastestWithBudget(Money::from_dollars(150.0)),
+    ]
+}
+
+fn searchers(seed: u64) -> Vec<Box<dyn Searcher>> {
+    vec![
+        Box::new(HeterBo::seeded(seed)),
+        Box::new(ConvBo::seeded(seed)),
+        Box::new(CherryPick::seeded(seed)),
+    ]
+}
+
+#[test]
+fn traced_probe_spend_matches_outcome_spend() {
+    let job = TrainingJob::resnet_cifar10();
+    for scenario in scenarios() {
+        for seed in [1, 2] {
+            for searcher in searchers(seed) {
+                let (outcome, trace) = runner(seed).run_traced(searcher.as_ref(), &job, &scenario);
+                let ctx = format!("{} / {scenario} / seed {seed}", outcome.searcher);
+
+                // The running total on the last probe event is the
+                // outcome's spend, bit for bit.
+                let last = trace.final_probe_spend().expect("at least one probe traced");
+                assert_eq!(
+                    last.dollars().to_bits(),
+                    outcome.search.profile_cost.dollars().to_bits(),
+                    "{ctx}: cumulative traced spend != outcome spend"
+                );
+
+                // And the per-probe costs sum to it (floating-point sum,
+                // so compare with a tolerance).
+                let sum: f64 = trace.probes().map(|o| o.profile_cost.dollars()).sum();
+                assert!(
+                    (sum - outcome.search.profile_cost.dollars()).abs() < 1e-6,
+                    "{ctx}: Σ probe costs {sum} != spend {}",
+                    outcome.search.profile_cost.dollars()
+                );
+
+                // One traced probe per recorded search step.
+                assert_eq!(trace.probes().count(), outcome.search.n_probes(), "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn incumbent_changes_are_strict_improvements() {
+    let job = TrainingJob::resnet_cifar10();
+    for scenario in scenarios() {
+        for seed in [1, 2, 3] {
+            for searcher in searchers(seed) {
+                let (outcome, trace) = runner(seed).run_traced(searcher.as_ref(), &job, &scenario);
+                let utilities = trace.incumbent_utilities();
+                assert!(
+                    !utilities.is_empty(),
+                    "{}: a successful search must improve its incumbent at least once",
+                    outcome.searcher
+                );
+                for w in utilities.windows(2) {
+                    assert!(
+                        w[1] > w[0],
+                        "{} / {scenario} / seed {seed}: incumbent utilities not strictly \
+                         increasing: {utilities:?}",
+                        outcome.searcher
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_is_pure_observation() {
+    let job = TrainingJob::resnet_cifar10();
+    let scenario = Scenario::FastestWithBudget(Money::from_dollars(120.0));
+    for seed in [5, 9] {
+        for (plain, traced) in searchers(seed).into_iter().zip(searchers(seed)) {
+            let untraced = runner(seed).run(plain.as_ref(), &job, &scenario);
+            let (outcome, trace) = runner(seed).run_traced(traced.as_ref(), &job, &scenario);
+            assert_eq!(untraced.search.steps, outcome.search.steps, "{}", outcome.searcher);
+            assert_eq!(
+                untraced.total_cost.dollars().to_bits(),
+                outcome.total_cost.dollars().to_bits(),
+                "{}",
+                outcome.searcher
+            );
+            assert!(trace.stop_reason().is_some(), "{}", outcome.searcher);
+        }
+    }
+}

@@ -244,7 +244,7 @@ tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E, 5: F);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Anything usable as the `size` argument of [`vec`]: an exact
+    /// Anything usable as the `size` argument of [`vec`](fn@vec): an exact
     /// length or a (half-open / inclusive) range of lengths.
     pub trait SizeRange {
         /// Sample a concrete length.
