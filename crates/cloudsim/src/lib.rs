@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! EC2-style cloud substrate simulator for the MLCD / HeterBO reproduction.

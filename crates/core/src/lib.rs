@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! **MLCD** — the fully automated MLaaS training Cloud Deployment system,

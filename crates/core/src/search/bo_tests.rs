@@ -9,7 +9,7 @@ use crate::search::policies::pruning::update_pruning;
 use crate::search::trace::SearchTrace;
 use mlcd_cloudsim::{Money, SimDuration};
 use mlcd_perfmodel::{ThroughputModel, TrainingJob};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Concave single-type response surface peaking at n = 20.
 fn concave_speed(d: &Deployment) -> f64 {
@@ -192,7 +192,7 @@ fn concave_prior_prunes_scale_out() {
     let out = HeterBo::seeded(6).search(&mut env, &Scenario::FastestUnlimited);
     // Find, per type, the first adjacent-observed decline; later steps
     // must not exceed it.
-    let mut decline_at: HashMap<InstanceType, u32> = HashMap::new();
+    let mut decline_at: BTreeMap<InstanceType, u32> = BTreeMap::new();
     let mut seen: Vec<Observation> = Vec::new();
     for step in &out.steps {
         let o = step.observation;
@@ -206,7 +206,7 @@ fn concave_prior_prunes_scale_out() {
             );
         }
         seen.push(o);
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         update_pruning(&seen, &mut map);
         decline_at = map;
     }

@@ -307,7 +307,8 @@ impl SearchKernel {
             // the CI-stop scan below, so each candidate costs exactly one
             // prediction per step.
             let preds = surrogate.predict_batch(env.space(), &unprobed);
-            let pred_of = |d: &Deployment| unprobed.iter().position(|u| u == d).map(|i| &preds[i]);
+            let pred_of =
+                |d: &Deployment| unprobed.iter().position(|u| u == d).and_then(|i| preds.get(i));
             let incumbent_ok = incumbent_feasible(env, scenario, &incumbent);
             // Budget-rescue mode: see `TeiReserveGate::tei_feasible` — an
             // infeasible budget incumbent turns the TEI filter on
@@ -466,6 +467,7 @@ impl SearchKernel {
                         .iter()
                         .max_by(|a, b| a.1.total_cmp(&b.1))
                         .copied()
+                        // lint: allow(hot-panic) — guarded by !tei_blocked.is_empty() above
                         .expect("non-empty");
                     let _ = probe_once(
                         &d_explore,

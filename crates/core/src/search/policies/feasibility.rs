@@ -6,7 +6,7 @@ use crate::env::ProfilingEnv;
 use crate::observation::Observation;
 use crate::scenario::{projection_margin, Scenario};
 use mlcd_cloudsim::InstanceType;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Optimism used in the TEI projection: candidate speed at +2σ.
 pub const TEI_SIGMAS: f64 = 2.0;
@@ -69,7 +69,7 @@ pub trait FeasibilityGate {
         d: &Deployment,
         pred: &mlcd_gp::Prediction,
         n_obs: usize,
-        rates: &HashMap<InstanceType, f64>,
+        rates: &BTreeMap<InstanceType, f64>,
         budget_rescue: bool,
     ) -> bool;
 
@@ -175,7 +175,7 @@ impl FeasibilityGate for TeiReserveGate {
         d: &Deployment,
         pred: &mlcd_gp::Prediction,
         n_obs: usize,
-        rates: &HashMap<InstanceType, f64>,
+        rates: &BTreeMap<InstanceType, f64>,
         budget_rescue: bool,
     ) -> bool {
         if !self.constraint_aware {

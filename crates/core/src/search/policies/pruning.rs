@@ -5,7 +5,7 @@ use crate::observation::Observation;
 use crate::scenario::{Objective, Scenario};
 use crate::search::trace::{TraceEvent, TraceSink};
 use mlcd_cloudsim::InstanceType;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Speed must decline by more than this fraction between neighbouring
 /// scale-outs before the concave prior prunes (guards against noise).
@@ -24,7 +24,7 @@ pub struct FrontierContext<'a> {
     /// Everything observed so far.
     pub observations: &'a [Observation],
     /// Best observed per-node speed per type (see [`per_type_speed_rate`]).
-    pub rates: &'a HashMap<InstanceType, f64>,
+    pub rates: &'a BTreeMap<InstanceType, f64>,
     /// The scenario being searched.
     pub scenario: &'a Scenario,
     /// The current incumbent.
@@ -88,8 +88,8 @@ impl CandidatePruner for SpaceTrim {
 /// Parallel efficiency only falls with scale, so `rate × n` is a true
 /// upper bound on any same-type deployment's speed — the safe optimism the
 /// TEI filter prunes against.
-pub fn per_type_speed_rate(observations: &[Observation]) -> HashMap<InstanceType, f64> {
-    let mut rates: HashMap<InstanceType, f64> = HashMap::new();
+pub fn per_type_speed_rate(observations: &[Observation]) -> BTreeMap<InstanceType, f64> {
+    let mut rates: BTreeMap<InstanceType, f64> = BTreeMap::new();
     for o in observations {
         let rate = o.speed / o.deployment.n as f64;
         let e = rates.entry(o.deployment.itype).or_insert(rate);
@@ -101,8 +101,11 @@ pub fn per_type_speed_rate(observations: &[Observation]) -> HashMap<InstanceType
 /// Update the concave-prior pruning map after new observations: for each
 /// type, find the smallest scale-out at which a decline between
 /// neighbouring observed points starts, and prune everything larger.
-pub fn update_pruning(observations: &[Observation], pruned_above: &mut HashMap<InstanceType, u32>) {
-    let mut by_type: HashMap<InstanceType, Vec<(u32, f64)>> = HashMap::new();
+pub fn update_pruning(
+    observations: &[Observation],
+    pruned_above: &mut BTreeMap<InstanceType, u32>,
+) {
+    let mut by_type: BTreeMap<InstanceType, Vec<(u32, f64)>> = BTreeMap::new();
     for o in observations {
         by_type.entry(o.deployment.itype).or_default().push((o.deployment.n, o.speed));
     }
@@ -126,7 +129,7 @@ pub fn update_pruning(observations: &[Observation], pruned_above: &mut HashMap<I
 /// discounted linear-scaling frontier bonuses.
 #[derive(Debug, Clone, Default)]
 pub struct ConcaveScaleOutPrior {
-    pruned_above: HashMap<InstanceType, u32>,
+    pruned_above: BTreeMap<InstanceType, u32>,
 }
 
 impl ConcaveScaleOutPrior {
@@ -136,7 +139,7 @@ impl ConcaveScaleOutPrior {
     }
 
     /// The current per-type scale-out caps (for inspection/tests).
-    pub fn caps(&self) -> &HashMap<InstanceType, u32> {
+    pub fn caps(&self) -> &BTreeMap<InstanceType, u32> {
         &self.pruned_above
     }
 }
@@ -171,7 +174,7 @@ impl CandidatePruner for ConcaveScaleOutPrior {
     /// scale-out leaves *cost* flat, so a cost bonus would never fire).
     fn frontier(&self, ctx: &FrontierContext<'_>) -> Vec<(Deployment, f64)> {
         // Largest probed n per type.
-        let mut n_max: HashMap<InstanceType, u32> = HashMap::new();
+        let mut n_max: BTreeMap<InstanceType, u32> = BTreeMap::new();
         for o in ctx.observations {
             let e = n_max.entry(o.deployment.itype).or_insert(o.deployment.n);
             *e = (*e).max(o.deployment.n);
@@ -250,7 +253,7 @@ mod tests {
 
     #[test]
     fn update_pruning_caps_at_first_adjacent_decline() {
-        let mut caps = HashMap::new();
+        let mut caps = BTreeMap::new();
         update_pruning(
             &[
                 obs(InstanceType::C5Xlarge, 1, 100.0),
@@ -265,7 +268,7 @@ mod tests {
 
     #[test]
     fn update_pruning_tolerates_noise_within_the_margin() {
-        let mut caps = HashMap::new();
+        let mut caps = BTreeMap::new();
         update_pruning(
             &[
                 obs(InstanceType::C5Xlarge, 1, 100.0),
@@ -279,7 +282,7 @@ mod tests {
 
     #[test]
     fn update_pruning_only_tightens_existing_caps() {
-        let mut caps = HashMap::from([(InstanceType::C5Xlarge, 3u32)]);
+        let mut caps = BTreeMap::from([(InstanceType::C5Xlarge, 3u32)]);
         update_pruning(
             &[obs(InstanceType::C5Xlarge, 4, 200.0), obs(InstanceType::C5Xlarge, 8, 100.0)],
             &mut caps,

@@ -9,6 +9,10 @@
 //! optimisation; the search ranges below assume inputs roughly in the unit
 //! cube and standardised targets, which [`crate::scale`] provides.
 
+// lint: allow(hot-index, file) — the θ vector layout [log σ_f², log ℓ₁…ℓ_d, log σ_n²] has
+// fixed length d+2, established by the SampleRange construction and debug-asserted at every
+// evaluator entry; indexing follows that contract on the likelihood hot path.
+
 use crate::kernel::{ArdKernel, KernelFamily};
 use crate::model::GpError;
 use crate::scale::OutputScaler;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! From-scratch Gaussian-process regression for the MLCD / HeterBO

@@ -59,7 +59,7 @@ impl InputScaler {
         assert_eq!(x.len(), self.dim(), "InputScaler::scale: dim mismatch");
         x.iter()
             .zip(self.lo.iter().zip(&self.width))
-            .map(|(&v, (&l, &w))| if w == 0.0 { 0.5 } else { (v - l) / w })
+            .map(|(&v, (&l, &w))| if mlcd_linalg::is_exact_zero(w) { 0.5 } else { (v - l) / w })
             .collect()
     }
 
@@ -69,7 +69,7 @@ impl InputScaler {
         assert_eq!(u.len(), self.dim(), "InputScaler::unscale: dim mismatch");
         u.iter()
             .zip(self.lo.iter().zip(&self.width))
-            .map(|(&v, (&l, &w))| if w == 0.0 { l } else { l + v * w })
+            .map(|(&v, (&l, &w))| if mlcd_linalg::is_exact_zero(w) { l } else { l + v * w })
             .collect()
     }
 }

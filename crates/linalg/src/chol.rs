@@ -6,6 +6,10 @@
 //! semi-definite. [`Chol::factor_with_jitter`] retries with exponentially
 //! growing diagonal jitter, which is the standard GP-library remedy.
 
+// lint: allow(hot-index, file) — factorisation kernels index columns by loop variables bounded
+// by the matrix order (i, j, k ≤ n checked on entry); replacing slice indexing with checked
+// `get` would defeat bounds-check elision and the blocked update's vectorisation.
+
 use crate::mat::Mat;
 
 /// Why a factorisation failed.
@@ -104,7 +108,7 @@ fn factor_into(a: &Mat, jitter: f64, out: &mut Mat) -> Result<(), CholError> {
         for k in k..j {
             let colk = &done[k * n..(k + 1) * n];
             let ljk = colk[j];
-            if ljk == 0.0 {
+            if crate::is_exact_zero(ljk) {
                 continue;
             }
             for (x, &lik) in target.iter_mut().zip(&colk[j..]) {

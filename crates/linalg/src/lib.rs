@@ -39,7 +39,7 @@ pub use optimize::{
     OptResult,
 };
 pub use sampling::{latin_hypercube, SampleRange};
-pub use stats::{norm_cdf, norm_pdf, norm_quantile, OnlineStats, Summary};
+pub use stats::{bits_eq, is_exact_zero, norm_cdf, norm_pdf, norm_quantile, OnlineStats, Summary};
 
 /// Numerical tolerance used across the crate for "this should be zero"
 /// comparisons in tests and assertions.

@@ -108,7 +108,7 @@ impl Mat {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
         let mut y = vec![0.0; self.rows];
         for (j, &xj) in x.iter().enumerate() {
-            if xj == 0.0 {
+            if crate::is_exact_zero(xj) {
                 continue;
             }
             let col = self.col(j);

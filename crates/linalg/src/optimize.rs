@@ -72,7 +72,11 @@ pub fn nelder_mead(
     simplex.push((x0.to_vec(), f0));
     for i in 0..n {
         let mut xi = x0.to_vec();
-        let step = if xi[i] != 0.0 { opts.initial_step * xi[i].abs() } else { opts.initial_step };
+        let step = if crate::is_exact_zero(xi[i]) {
+            opts.initial_step
+        } else {
+            opts.initial_step * xi[i].abs()
+        };
         xi[i] += step;
         let fi = eval(&xi, &mut evals);
         simplex.push((xi, fi));

@@ -8,6 +8,30 @@
 //! Lentz algorithm) for large ones; both converge to machine precision and
 //! need no tabulated minimax constants.
 
+/// Exact bit-level zero test: `true` iff `x` is `+0.0` or `-0.0`.
+///
+/// Semantically identical to `x == 0.0` (NaN is not zero, both signed
+/// zeros are), but states the intent explicitly: this is a *guard against
+/// a degenerate exact value* (division by a zero width, skipping a zero
+/// multiplier), not a tolerance comparison. The determinism lint bans raw
+/// float `==`/`!=` (`mlcd-lint` rule `float-cmp`) because most such
+/// comparisons are representation-sensitive bugs; exact-zero guards go
+/// through this helper instead.
+#[inline]
+pub fn is_exact_zero(x: f64) -> bool {
+    x.abs().to_bits() == 0
+}
+
+/// Exact bit-pattern float equality: `true` iff `a` and `b` are the same
+/// bits. Distinguishes `+0.0` from `-0.0` and treats identical NaN
+/// payloads as equal — the same notion of equality the golden
+/// `SearchOutcome` digests use, and the lint-sanctioned way to compare
+/// floats for identity (e.g. cache keys, change detection).
+#[inline]
+pub fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
 /// Standard normal probability density function φ(x).
 #[inline]
 pub fn norm_pdf(x: f64) -> f64 {
@@ -55,11 +79,11 @@ pub fn erfc(x: f64) -> f64 {
         let a = if k == 0 { 1.0 } else { k as f64 / 2.0 };
         let b = x;
         d = b + a * d;
-        if d == 0.0 {
+        if is_exact_zero(d) {
             d = TINY;
         }
         c = b + a / c;
-        if c == 0.0 {
+        if is_exact_zero(c) {
             c = TINY;
         }
         d = 1.0 / d;
@@ -218,7 +242,7 @@ impl OnlineStats {
 
     /// Coefficient of variation σ/μ; 0 when the mean is 0.
     pub fn cv(&self) -> f64 {
-        if self.mean == 0.0 {
+        if is_exact_zero(self.mean) {
             0.0
         } else {
             self.stddev() / self.mean.abs()

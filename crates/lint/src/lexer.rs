@@ -1,0 +1,524 @@
+//! A small hand-rolled Rust lexer — just enough structure for the lint
+//! rules in [`crate::rules`].
+//!
+//! The lexer splits a source file into a token stream (identifiers,
+//! literals, punctuation) and a parallel comment list. Comments, string
+//! literals and char literals are *stripped* from the token stream, so a
+//! rule matching the identifier `thread_rng` can never fire on a doc
+//! comment or an error-message string that merely mentions it. Comment
+//! *text* is preserved separately because two rule families read it: the
+//! `// SAFETY:` requirement on `unsafe` blocks and the
+//! `// lint: allow(..)` escape-hatch annotations.
+//!
+//! This is not a full Rust lexer — no weird-raw-identifier corners, no
+//! floating suffix validation — but it handles everything that decides
+//! whether a rule match is real: nested block comments, raw strings with
+//! `#` fences, byte/char literals, lifetimes vs. char literals, and float
+//! vs. range punctuation (`1.0` vs `1..2`).
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// What the token is.
+    pub kind: Tok,
+}
+
+/// Token kinds the rules distinguish.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `HashMap`, `unsafe`, …).
+    Ident(String),
+    /// A lifetime such as `'a` (name dropped — no rule reads it).
+    Lifetime,
+    /// Integer literal (any base), including suffixed forms.
+    Int,
+    /// Floating-point literal (`1.0`, `1e-9`, `2f64`, …).
+    Float,
+    /// String / char / byte-string literal. Contents are dropped.
+    Str,
+    /// Punctuation; multi-character operators arrive joined (`==`, `::`).
+    Punct(&'static str),
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(q) if *q == p)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == name)
+    }
+}
+
+/// A comment with its position and whether code precedes it on its line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Text after the `//` / inside the `/* */`, untrimmed.
+    pub text: String,
+    /// `true` when a token appeared earlier on the same line (a trailing
+    /// comment annotates *its own* line; a free-standing one annotates the
+    /// next code line).
+    pub trailing: bool,
+}
+
+/// The lexer output: tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    /// All non-comment, non-whitespace tokens.
+    pub tokens: Vec<Token>,
+    /// All comments (line and block, doc or not).
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lex `src` into tokens + comments. Never fails: unrecognised bytes are
+/// skipped (the lint runs on code that already compiles, so anything the
+/// lexer cannot classify cannot matter to the rules either).
+pub fn lex(src: &str) -> LexOut {
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = LexOut::default();
+    // Line of the most recently emitted token, to classify trailing
+    // comments.
+    let mut last_tok_line = 0u32;
+
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos + 2;
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                out.comments.push(Comment { line, text, trailing: last_tok_line == line });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let start = cur.pos;
+                let mut depth = 1usize;
+                let mut end = cur.pos;
+                while depth > 0 {
+                    if cur.starts_with("/*") {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    } else if cur.starts_with("*/") {
+                        depth -= 1;
+                        end = cur.pos;
+                        cur.bump();
+                        cur.bump();
+                    } else if cur.bump().is_none() {
+                        end = cur.pos;
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..end]).into_owned();
+                out.comments.push(Comment { line, text, trailing: last_tok_line == line });
+            }
+            b'"' => {
+                cur.bump();
+                scan_string_body(&mut cur);
+                out.tokens.push(Token { line, kind: Tok::Str });
+                last_tok_line = line;
+            }
+            b'\'' => {
+                if scan_char_or_lifetime(&mut cur, &mut out, line) {
+                    last_tok_line = line;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let kind = scan_number(&mut cur);
+                out.tokens.push(Token { line, kind });
+                last_tok_line = line;
+            }
+            c if is_ident_start(c) => {
+                if let Some(kind) = scan_raw_or_byte_string(&mut cur) {
+                    out.tokens.push(Token { line, kind });
+                } else {
+                    let start = cur.pos;
+                    while cur.peek().is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                    out.tokens.push(Token { line, kind: Tok::Ident(text) });
+                }
+                last_tok_line = line;
+            }
+            _ => {
+                let mut matched = false;
+                for op in OPS {
+                    if cur.starts_with(op) {
+                        for _ in 0..op.len() {
+                            cur.bump();
+                        }
+                        out.tokens.push(Token { line, kind: Tok::Punct(op) });
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    cur.bump();
+                    out.tokens.push(Token { line, kind: Tok::Punct(single_punct(c)) });
+                }
+                last_tok_line = line;
+            }
+        }
+    }
+    out
+}
+
+/// Map a single punctuation byte to a static string (interned table keeps
+/// `Tok::Punct` allocation-free).
+fn single_punct(c: u8) -> &'static str {
+    match c {
+        b'#' => "#",
+        b'!' => "!",
+        b'(' => "(",
+        b')' => ")",
+        b'[' => "[",
+        b']' => "]",
+        b'{' => "{",
+        b'}' => "}",
+        b'<' => "<",
+        b'>' => ">",
+        b',' => ",",
+        b';' => ";",
+        b':' => ":",
+        b'.' => ".",
+        b'=' => "=",
+        b'&' => "&",
+        b'|' => "|",
+        b'+' => "+",
+        b'-' => "-",
+        b'*' => "*",
+        b'/' => "/",
+        b'%' => "%",
+        b'^' => "^",
+        b'?' => "?",
+        b'@' => "@",
+        b'$' => "$",
+        b'~' => "~",
+        _ => "<?>",
+    }
+}
+
+/// Consume a (non-raw) string body after the opening `"`, honouring `\`
+/// escapes.
+fn scan_string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// After a `'`: either a char literal (emitted as [`Tok::Str`]) or a
+/// lifetime. Returns whether a token was emitted.
+fn scan_char_or_lifetime(cur: &mut Cursor<'_>, out: &mut LexOut, line: u32) -> bool {
+    cur.bump(); // the opening quote
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: consume to the closing quote.
+            cur.bump();
+            cur.bump(); // the escaped character
+            while cur.peek().is_some_and(|c| c != b'\'') {
+                cur.bump(); // \u{..} bodies
+            }
+            cur.bump();
+            out.tokens.push(Token { line, kind: Tok::Str });
+            true
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a` — lifetime unless a closing quote follows (`'a'`).
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+                out.tokens.push(Token { line, kind: Tok::Str });
+            } else {
+                out.tokens.push(Token { line, kind: Tok::Lifetime });
+            }
+            true
+        }
+        Some(_) => {
+            // `'.'`, `' '`, … — plain char literal.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            out.tokens.push(Token { line, kind: Tok::Str });
+            true
+        }
+        None => false,
+    }
+}
+
+/// Raw / byte / C strings (`r".."`, `r#".."#`, `b".."`, `br#".."#`,
+/// `c".."`) and raw identifiers (`r#name`). Returns the literal token if
+/// one was consumed, `None` if the caller should lex a plain identifier.
+fn scan_raw_or_byte_string(cur: &mut Cursor<'_>) -> Option<Tok> {
+    let rest = &cur.src[cur.pos..];
+    let prefix_len = [b"br".as_slice(), b"cr", b"rb", b"r", b"b", b"c"]
+        .iter()
+        .find(|p| rest.starts_with(p))
+        .map(|p| p.len())?;
+    let after = &rest[prefix_len..];
+    let raw = rest[..prefix_len].contains(&b'r');
+    let hashes = after.iter().take_while(|&&c| c == b'#').count();
+    let body = &after[hashes..];
+    if hashes > 0 && !raw {
+        return None; // `b#` is not a string prefix
+    }
+    if body.first() != Some(&b'"') {
+        if raw && hashes > 0 && body.first().is_some_and(|&c| is_ident_start(c)) {
+            // Raw identifier `r#name`: consume the fence and let the
+            // caller's ident path handle the name next time round.
+            for _ in 0..prefix_len + hashes {
+                cur.bump();
+            }
+        }
+        return None;
+    }
+    // Consume prefix, fence and opening quote.
+    for _ in 0..prefix_len + hashes + 1 {
+        cur.bump();
+    }
+    if raw {
+        let close: Vec<u8> =
+            std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+        loop {
+            if cur.src[cur.pos..].starts_with(&close) {
+                for _ in 0..close.len() {
+                    cur.bump();
+                }
+                break;
+            }
+            if cur.bump().is_none() {
+                break;
+            }
+        }
+    } else {
+        scan_string_body(cur);
+    }
+    Some(Tok::Str)
+}
+
+/// Consume a numeric literal, deciding int vs float.
+fn scan_number(cur: &mut Cursor<'_>) -> Tok {
+    let mut float = false;
+    // Hex/octal/binary literals cannot be floats; eat and return.
+    if cur.peek() == Some(b'0')
+        && matches!(cur.peek_at(1), Some(b'x') | Some(b'o') | Some(b'b') | Some(b'X'))
+    {
+        cur.bump();
+        cur.bump();
+        while cur.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            cur.bump();
+        }
+        return Tok::Int;
+    }
+    while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        cur.bump();
+    }
+    // A `.` makes it a float unless it starts a range (`1..n`) or a
+    // method/field access (`1.max(2)`, tuple `.0` handled by digit check).
+    if cur.peek() == Some(b'.') {
+        let next = cur.peek_at(1);
+        let is_range = next == Some(b'.');
+        let is_method = next.is_some_and(is_ident_start);
+        if !is_range && !is_method {
+            float = true;
+            cur.bump();
+            while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                cur.bump();
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some(b'e') | Some(b'E')) {
+        let (sign, digit) = (cur.peek_at(1), cur.peek_at(2));
+        let signed =
+            matches!(sign, Some(b'+') | Some(b'-')) && digit.is_some_and(|c| c.is_ascii_digit());
+        let bare = sign.is_some_and(|c| c.is_ascii_digit());
+        if signed || bare {
+            float = true;
+            cur.bump(); // e
+            if signed {
+                cur.bump();
+            }
+            while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                cur.bump();
+            }
+        }
+    }
+    // Suffix (`f64`, `u32`, …): an `f` suffix forces float.
+    if cur.peek().is_some_and(is_ident_start) {
+        if cur.peek() == Some(b'f') {
+            float = true;
+        }
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+    if float {
+        Tok::Float
+    } else {
+        Tok::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let out = lex("let x = \"thread_rng\"; // thread_rng\n/* Instant::now */ let y = 1;");
+        assert!(out.tokens.iter().all(|t| !t.kind.is_ident("thread_rng")));
+        assert!(out.tokens.iter().all(|t| !t.kind.is_ident("Instant")));
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].trailing);
+        assert!(!out.comments[1].trailing);
+    }
+
+    #[test]
+    fn float_vs_range_vs_method() {
+        assert_eq!(kinds("1.0"), vec![Tok::Float]);
+        assert_eq!(kinds("1e-9"), vec![Tok::Float]);
+        assert_eq!(kinds("2f64"), vec![Tok::Float]);
+        assert_eq!(kinds("3u32"), vec![Tok::Int]);
+        assert_eq!(
+            kinds("1..2"),
+            vec![Tok::Int, Tok::Punct(".."), Tok::Int],
+            "range is not a float"
+        );
+        assert_eq!(
+            kinds("1.max(2)"),
+            vec![
+                Tok::Int,
+                Tok::Punct("."),
+                Tok::Ident("max".into()),
+                Tok::Punct("("),
+                Tok::Int,
+                Tok::Punct(")")
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds("&'a str"),
+            vec![Tok::Punct("&"), Tok::Lifetime, Tok::Ident("str".into())]
+        );
+        assert_eq!(kinds("'a'"), vec![Tok::Str]);
+        assert_eq!(kinds("'\\n'"), vec![Tok::Str]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        assert_eq!(kinds(r###"r#"unsafe { " } "#"###), vec![Tok::Str]);
+        assert_eq!(kinds("b\"bytes\""), vec![Tok::Str]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* a /* b */ c */ fn");
+        assert_eq!(out.tokens.len(), 1);
+        assert!(out.tokens[0].kind.is_ident("fn"));
+    }
+
+    #[test]
+    fn multi_char_ops_join() {
+        assert_eq!(
+            kinds("a == b != c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("=="),
+                Tok::Ident("b".into()),
+                Tok::Punct("!="),
+                Tok::Ident("c".into())
+            ]
+        );
+        assert_eq!(
+            kinds("Instant::now"),
+            vec![Tok::Ident("Instant".into()), Tok::Punct("::"), Tok::Ident("now".into())]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let out = lex("a\nb\n\nc");
+        let lines: Vec<u32> = out.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,163 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+//! `mlcd-lint` — the workspace determinism & numeric-safety
+//! static-analysis pass.
+//!
+//! Every result this reproduction stands on (golden `SearchOutcome`
+//! digests, traced ≡ untraced purity, parallel ≡ sequential grids, the
+//! seed-pinned figure claims) depends on bit-exact determinism and
+//! NaN-free float handling. This crate *enforces* those rules lexically:
+//! it tokenizes every `.rs` file under `crates/*`, `src/`, `examples/` and
+//! `tests/` with a hand-rolled lexer (no external dependencies, consistent
+//! with the offline `vendor/` policy) and checks five rule families —
+//! see [`rules::Rule`] and DESIGN.md §"Determinism lint".
+//!
+//! Run it as `cargo run -p mlcd-lint -- --deny` (CI does); the only
+//! escape hatch is an inline `// lint: allow(<rule>) — <reason>`
+//! annotation whose reason text is mandatory.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, FileCtx, Rule, Violation};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories scanned for `.rs` files, relative to the
+/// workspace root.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "examples", "tests"];
+
+/// Directory names never descended into. `vendor/` holds offline shims of
+/// third-party crates (not our code), `fixtures/` holds the lint's own
+/// deliberately-bad test inputs.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "golden"];
+
+/// Collect every `.rs` file under the scan roots, sorted so diagnostics
+/// are emitted in a stable order.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`. Violations come back sorted
+/// by file, then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        violations.extend(lint_source(&rel, &source));
+    }
+    violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(violations)
+}
+
+/// Walk upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Render violations as a JSON document (machine-readable mode). No
+/// external JSON crate: the document is assembled by hand with proper
+/// string escaping.
+pub fn to_json(violations: &[Violation]) -> String {
+    let mut s = String::from("{\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&v.file),
+            v.line,
+            json_str(v.rule.name()),
+            json_str(&v.message)
+        ));
+    }
+    s.push_str(&format!("],\"count\":{}}}", violations.len()));
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        let v = vec![Violation {
+            file: "a\"b.rs".into(),
+            line: 3,
+            rule: Rule::FloatCmp,
+            message: "tab\there".into(),
+        }];
+        let j = to_json(&v);
+        assert!(j.contains(r#""file":"a\"b.rs""#));
+        assert!(j.contains(r#"tab\there"#));
+        assert!(j.ends_with("\"count\":1}"));
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_nested_dirs() {
+        let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates/lint").exists());
+    }
+}

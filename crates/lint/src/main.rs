@@ -1,0 +1,85 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+//! CLI for the workspace determinism & numeric-safety lint.
+//!
+//! ```text
+//! mlcd-lint [--deny] [--json] [--root <dir>]
+//! ```
+//!
+//! * `--deny` — exit 1 when any violation is found (CI mode).
+//! * `--json` — machine-readable output instead of `file:line` diagnostics.
+//! * `--root` — workspace root; defaults to walking up from the current
+//!   directory to the first `Cargo.toml` with a `[workspace]` section.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("mlcd-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: mlcd-lint [--deny] [--json] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mlcd-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match mlcd_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("mlcd-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let violations = match mlcd_lint::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("mlcd-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", mlcd_lint::to_json(&violations));
+    } else {
+        for v in &violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule.name(), v.message);
+        }
+        if violations.is_empty() {
+            println!("mlcd-lint: clean ({} mode)", if deny { "deny" } else { "warn" });
+        } else {
+            println!("mlcd-lint: {} violation(s)", violations.len());
+        }
+    }
+
+    if deny && !violations.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,771 @@
+//! The five determinism / numeric-safety rule families and the allowlist
+//! annotation machinery. See DESIGN.md §"Determinism lint" for the full
+//! rationale of each rule.
+//!
+//! Everything operates on the token stream + comment list produced by
+//! [`crate::lexer`], so string literals and comments can never trigger a
+//! rule. Detection is deliberately lexical (no type information): each
+//! rule is written so its false-negative modes are understood and its
+//! false positives can be silenced only through a reasoned
+//! `// lint: allow(..)` annotation.
+
+use crate::lexer::{lex, Comment, LexOut, Tok, Token};
+
+/// The rules `mlcd-lint` enforces. R1–R5 refer to the ISSUE/DESIGN.md
+/// numbering; the last two police the lint's own escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// R1: no `HashMap`/`HashSet` iteration in outcome-feeding crates.
+    HashIter,
+    /// R2: no wall-clock or OS-entropy sources outside the bench crate.
+    NondetSource,
+    /// R3: no float `==`/`!=`, no `partial_cmp(..).unwrap()/expect(..)`.
+    FloatCmp,
+    /// R4: `unsafe` needs `// SAFETY:`; core crates stay `forbid(unsafe_code)`.
+    UnsafeHygiene,
+    /// R5a: `unwrap()`/`expect()` in the kernel hot paths needs a reason.
+    HotPanic,
+    /// R5b: direct indexing in the kernel hot paths needs a reason.
+    HotIndex,
+    /// A malformed `lint: allow` annotation (missing reason, unknown rule).
+    BadAnnotation,
+    /// An annotation that suppressed nothing — stale allows must go.
+    UnusedAllow,
+}
+
+impl Rule {
+    /// The kebab-case name used in diagnostics and `allow(..)` annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::NondetSource => "nondet-source",
+            Rule::FloatCmp => "float-cmp",
+            Rule::UnsafeHygiene => "unsafe-hygiene",
+            Rule::HotPanic => "hot-panic",
+            Rule::HotIndex => "hot-index",
+            Rule::BadAnnotation => "bad-annotation",
+            Rule::UnusedAllow => "unused-allow",
+        }
+    }
+
+    /// Parse an `allow(<rule>)` rule name. Only R1–R5 can be allowed; the
+    /// annotation-hygiene rules cannot be annotated away.
+    pub fn from_allow_name(name: &str) -> Option<Rule> {
+        match name {
+            "hash-iter" => Some(Rule::HashIter),
+            "nondet-source" => Some(Rule::NondetSource),
+            "float-cmp" => Some(Rule::FloatCmp),
+            "unsafe-hygiene" => Some(Rule::UnsafeHygiene),
+            "hot-panic" => Some(Rule::HotPanic),
+            "hot-index" => Some(Rule::HotIndex),
+            _ => None,
+        }
+    }
+}
+
+/// One diagnostic: `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+}
+
+/// Crates whose non-test code must not iterate `HashMap`/`HashSet` (their
+/// outputs feed `SearchOutcome` digests and figure numbers).
+const ORDERED_CRATES: &[&str] = &["mlcd", "mlcd-gp", "mlcd-linalg"];
+
+/// Crates whose non-test code must not compare floats with `==`/`!=`.
+const FLOAT_CRATES: &[&str] =
+    &["mlcd", "mlcd-gp", "mlcd-linalg", "mlcd-cloudsim", "mlcd-perfmodel"];
+
+/// Crates whose `src/lib.rs` must carry `#![forbid(unsafe_code)]`.
+const FORBID_UNSAFE_LIBS: &[(&str, &str)] = &[
+    ("crates/core/src/lib.rs", "mlcd"),
+    ("crates/gp/src/lib.rs", "mlcd-gp"),
+    ("crates/perfmodel/src/lib.rs", "mlcd-perfmodel"),
+    ("crates/cloudsim/src/lib.rs", "mlcd-cloudsim"),
+];
+
+/// The kernel hot paths under the R5 panic/indexing discipline.
+const HOT_PATHS: &[&str] =
+    &["crates/core/src/search/kernel.rs", "crates/gp/src/fit.rs", "crates/linalg/src/chol.rs"];
+
+/// What a file's path says about which rules apply to it.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Cargo package the file belongs to (`mlcd`, `mlcd-gp`, …);
+    /// `mlcd-repro` for the facade's `src/`, `tests/`, `examples/`.
+    pub crate_name: String,
+    /// Whole file is test/bench/example code (integration tests, bench
+    /// targets, example binaries, `*_tests.rs` siblings).
+    pub is_test_file: bool,
+    /// File is one of the R5 kernel hot paths.
+    pub is_hot_path: bool,
+}
+
+impl FileCtx {
+    /// Classify a workspace-relative path.
+    pub fn from_path(rel: &str) -> FileCtx {
+        let path = rel.replace('\\', "/");
+        let crate_name = if let Some(rest) = path.strip_prefix("crates/") {
+            let dir = rest.split('/').next().unwrap_or("");
+            match dir {
+                "core" => "mlcd",
+                "gp" => "mlcd-gp",
+                "linalg" => "mlcd-linalg",
+                "cloudsim" => "mlcd-cloudsim",
+                "perfmodel" => "mlcd-perfmodel",
+                "bench" => "mlcd-bench",
+                "lint" => "mlcd-lint",
+                other => other,
+            }
+            .to_string()
+        } else {
+            "mlcd-repro".to_string()
+        };
+        let file_name = path.rsplit('/').next().unwrap_or("");
+        let is_test_file = path.contains("/tests/")
+            || path.starts_with("tests/")
+            || path.contains("/benches/")
+            || path.contains("/examples/")
+            || path.starts_with("examples/")
+            || file_name == "tests.rs"
+            || file_name.ends_with("_tests.rs")
+            || file_name.starts_with("test_");
+        let is_hot_path = HOT_PATHS.contains(&path.as_str());
+        FileCtx { path, crate_name, is_test_file, is_hot_path }
+    }
+}
+
+/// A parsed `// lint: allow(<rule>[, <scope>]) — <reason>` annotation.
+#[derive(Debug)]
+struct Allow {
+    rule: Rule,
+    scope: AllowScope,
+    line: u32,
+    /// Set when a finding was suppressed by this annotation.
+    used: std::cell::Cell<bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AllowScope {
+    /// One source line (the annotated line itself).
+    Line(u32),
+    /// An inclusive line range (a whole `fn` body).
+    Range(u32, u32),
+    /// The whole file.
+    File,
+}
+
+/// Lint a single file's source text under its path-derived context.
+/// `rel_path` decides which rules apply; `source` is the file body.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let ctx = FileCtx::from_path(rel_path);
+    let lexed = lex(source);
+    let test_mask = test_region_mask(&lexed.tokens);
+
+    let mut findings: Vec<Violation> = Vec::new();
+    let v = |line: u32, rule: Rule, message: String| Violation {
+        file: rel_path.to_string(),
+        line,
+        rule,
+        message,
+    };
+
+    // R1 — HashMap/HashSet iteration in ordered crates.
+    if ORDERED_CRATES.contains(&ctx.crate_name.as_str()) && !ctx.is_test_file {
+        for (line, msg) in hash_iteration_sites(&lexed.tokens, &test_mask) {
+            findings.push(v(line, Rule::HashIter, msg));
+        }
+    }
+
+    // R2 — wall-clock / OS entropy outside the bench crate.
+    if ctx.crate_name != "mlcd-bench" {
+        for (line, msg) in nondet_sources(&lexed.tokens) {
+            findings.push(v(line, Rule::NondetSource, msg));
+        }
+    }
+
+    // R3 — float equality and panicking float comparisons.
+    if FLOAT_CRATES.contains(&ctx.crate_name.as_str()) && !ctx.is_test_file {
+        for (line, msg) in float_cmp_sites(&lexed.tokens, &test_mask) {
+            findings.push(v(line, Rule::FloatCmp, msg));
+        }
+    }
+
+    // R4 — unsafe hygiene (everywhere), plus the forbid attribute pins.
+    for (line, msg) in unsafe_without_safety(&lexed.tokens, &lexed.comments) {
+        findings.push(v(line, Rule::UnsafeHygiene, msg));
+    }
+    if let Some((_, name)) = FORBID_UNSAFE_LIBS.iter().find(|(p, _)| *p == ctx.path) {
+        if !has_forbid_unsafe(&lexed.tokens) {
+            findings.push(v(
+                1,
+                Rule::UnsafeHygiene,
+                format!("`{name}` must keep `#![forbid(unsafe_code)]` in its crate root"),
+            ));
+        }
+    }
+
+    // R5 — panics and direct indexing in the kernel hot paths.
+    if ctx.is_hot_path {
+        for (line, msg) in hot_panic_sites(&lexed.tokens, &test_mask) {
+            findings.push(v(line, Rule::HotPanic, msg));
+        }
+        for (line, msg) in hot_index_sites(&lexed.tokens, &test_mask) {
+            findings.push(v(line, Rule::HotIndex, msg));
+        }
+    }
+
+    // Resolve annotations: parse them, drop suppressed findings, then
+    // report annotation hygiene problems.
+    let (allows, mut bad) = parse_allows(&lexed, rel_path);
+    findings.retain(|f| {
+        !allows.iter().any(|a| {
+            let hit = a.rule == f.rule
+                && match a.scope {
+                    AllowScope::Line(l) => f.line == l,
+                    AllowScope::Range(lo, hi) => (lo..=hi).contains(&f.line),
+                    AllowScope::File => true,
+                };
+            if hit {
+                a.used.set(true);
+            }
+            hit
+        })
+    });
+    for a in &allows {
+        if !a.used.get() {
+            bad.push(v(
+                a.line,
+                Rule::UnusedAllow,
+                format!(
+                    "allow({}) suppresses nothing — remove the stale annotation",
+                    a.rule.name()
+                ),
+            ));
+        }
+    }
+    findings.append(&mut bad);
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.name().cmp(b.rule.name())));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Mark token indices that live inside `#[cfg(test)] mod .. { .. }` or
+/// `#[test] fn .. { .. }` regions. The repo convention keeps unit tests in
+/// a trailing `#[cfg(test)] mod tests`, so brace-matching from those
+/// attributes covers in-file test code; whole-file test targets are
+/// classified by path in [`FileCtx`].
+fn test_region_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(after_attr) = match_test_attr(toks, i) {
+            if let Some((open, close)) = first_brace_block(toks, after_attr) {
+                for m in mask.iter_mut().take(close + 1).skip(open) {
+                    *m = true;
+                }
+                i = after_attr;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// If `toks[i..]` starts a `#[cfg(test)]` or `#[test]` attribute, return
+/// the index just past `]`.
+fn match_test_attr(toks: &[Token], i: usize) -> Option<usize> {
+    if !toks.get(i)?.kind.is_punct("#") || !toks.get(i + 1)?.kind.is_punct("[") {
+        return None;
+    }
+    let t2 = &toks.get(i + 2)?.kind;
+    if t2.is_ident("test") && toks.get(i + 3)?.kind.is_punct("]") {
+        return Some(i + 4);
+    }
+    if t2.is_ident("cfg")
+        && toks.get(i + 3)?.kind.is_punct("(")
+        && toks.get(i + 4)?.kind.is_ident("test")
+        && toks.get(i + 5)?.kind.is_punct(")")
+        && toks.get(i + 6)?.kind.is_punct("]")
+    {
+        return Some(i + 7);
+    }
+    None
+}
+
+/// Find the first `{ .. }` block at or after `start`, skipping further
+/// attributes, and return (open index, close index). Gives up at `;`
+/// before any `{` (an out-of-line `mod name;` — the referenced file is
+/// classified by path instead).
+fn first_brace_block(toks: &[Token], start: usize) -> Option<(usize, usize)> {
+    let mut i = start;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Punct("{") => {
+                let mut depth = 0usize;
+                let open = i;
+                while i < toks.len() {
+                    match &toks[i].kind {
+                        Tok::Punct("{") => depth += 1,
+                        Tok::Punct("}") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some((open, i));
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return Some((open, toks.len() - 1));
+            }
+            Tok::Punct(";") => return None,
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// R1: HashMap/HashSet iteration
+// ---------------------------------------------------------------------------
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+
+fn hash_iteration_sites(toks: &[Token], test_mask: &[bool]) -> Vec<(u32, String)> {
+    // Pass 1 — names bound to a hash type, by declaration-site patterns:
+    //   `name : [&|&'a|mut]* HashMap`   (let ascription, field, fn param)
+    //   `let [mut] name = HashMap::<ctor>(..)`
+    let mut names: Vec<String> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.kind.ident() else { continue };
+        if !HASH_TYPES.contains(&id) {
+            continue;
+        }
+        // Walk back over type-position noise to a `:`.
+        let mut j = i;
+        while j > 0
+            && (matches!(
+                &toks[j - 1].kind,
+                Tok::Punct("&") | Tok::Punct("<") | Tok::Punct(",") | Tok::Lifetime
+            ) || toks[j - 1].kind.is_ident("mut")
+                || toks[j - 1].kind.is_ident("dyn"))
+        {
+            j -= 1;
+        }
+        if j >= 2 && toks[j - 1].kind.is_punct(":") {
+            if let Some(name) = toks[j - 2].kind.ident() {
+                names.push(name.to_string());
+            }
+        }
+        // `let [mut] name = HashMap::ctor(..)`.
+        if i >= 2 && toks[i - 1].kind.is_punct("=") {
+            if let Some(name) = toks[i - 2].kind.ident() {
+                let let_pos = if i >= 3 && toks[i - 3].kind.is_ident("mut") { 4 } else { 3 };
+                if i >= let_pos && toks[i - let_pos].kind.is_ident("let") {
+                    names.push(name.to_string());
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+
+    // Pass 2 — iteration over a tracked name.
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(id) = t.kind.ident() else { continue };
+        // `name.iter()` / `name.keys()` / …
+        if names.iter().any(|n| n == id)
+            && toks.get(i + 1).is_some_and(|n| n.kind.is_punct("."))
+            && toks
+                .get(i + 2)
+                .is_some_and(|m| m.kind.ident().is_some_and(|m| ITER_METHODS.contains(&m)))
+        {
+            let method = toks[i + 2].kind.ident().unwrap_or("");
+            out.push((
+                t.line,
+                format!(
+                    "`{id}.{method}()` iterates a HashMap/HashSet in arbitrary order — \
+                     use BTreeMap/BTreeSet or sort an explicit view first"
+                ),
+            ));
+        }
+        // `for pat in [&|&mut] name {` / `for (..) in &name {`.
+        if id == "for" {
+            if let Some((line, name)) = for_loop_over(toks, i, &names) {
+                out.push((
+                    line,
+                    format!(
+                        "`for .. in {name}` iterates a HashMap/HashSet in arbitrary order — \
+                         use BTreeMap/BTreeSet or sort an explicit view first"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// If the `for` loop at token `i` iterates directly over one of `names`,
+/// return (line, name). Looks for `in [&] [mut] <name> {`.
+fn for_loop_over(toks: &[Token], i: usize, names: &[String]) -> Option<(u32, String)> {
+    // Find the `in` belonging to this `for` (before the body `{`, outside
+    // any pattern parens).
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match &toks[j].kind {
+            Tok::Punct("(") | Tok::Punct("[") => depth += 1,
+            Tok::Punct(")") | Tok::Punct("]") => depth -= 1,
+            Tok::Punct("{") if depth == 0 => return None,
+            Tok::Ident(s) if s == "in" && depth == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let mut k = j + 1;
+    while k < toks.len() && (toks[k].kind.is_punct("&") || toks[k].kind.is_ident("mut")) {
+        k += 1;
+    }
+    // `for .. in &self.field` — skip the `self.` prefix.
+    if toks.get(k).is_some_and(|t| t.kind.is_ident("self"))
+        && toks.get(k + 1).is_some_and(|t| t.kind.is_punct("."))
+    {
+        k += 2;
+    }
+    let name = toks.get(k)?.kind.ident()?;
+    if names.iter().any(|n| n == name) && toks.get(k + 1).is_some_and(|t| t.kind.is_punct("{")) {
+        return Some((toks[k].line, name.to_string()));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// R2: wall-clock / OS entropy
+// ---------------------------------------------------------------------------
+
+fn nondet_sources(toks: &[Token]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.kind.ident() else { continue };
+        match id {
+            "Instant" | "SystemTime"
+                if toks.get(i + 1).is_some_and(|n| n.kind.is_punct("::"))
+                    && toks.get(i + 2).is_some_and(|m| m.kind.is_ident("now")) =>
+            {
+                out.push((
+                    t.line,
+                    format!(
+                        "`{id}::now()` reads the wall clock — searches must be a pure \
+                         function of their seed; use SimClock / virtual time"
+                    ),
+                ));
+            }
+            "thread_rng" | "from_entropy" => {
+                out.push((
+                    t.line,
+                    format!(
+                        "`{id}` draws OS entropy — all randomness must flow from an \
+                         explicit u64 seed (SmallRng::seed_from_u64)"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R3: float comparisons
+// ---------------------------------------------------------------------------
+
+fn float_cmp_sites(toks: &[Token], test_mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match &t.kind {
+            Tok::Punct(op @ ("==" | "!=")) => {
+                let float_lhs = i > 0 && matches!(toks[i - 1].kind, Tok::Float);
+                let float_rhs = toks.get(i + 1).is_some_and(|n| matches!(n.kind, Tok::Float));
+                if float_lhs || float_rhs {
+                    out.push((
+                        t.line,
+                        format!(
+                            "float `{op}` comparison — exact float equality is \
+                             representation-sensitive; use `total_cmp`, an epsilon, or the \
+                             bit-pattern helpers (`mlcd_linalg::is_exact_zero`)"
+                        ),
+                    ));
+                }
+            }
+            Tok::Ident(id) if id == "partial_cmp" => {
+                // `partial_cmp( .. ).unwrap()` / `.expect(..)`: skip the
+                // balanced argument list, then look for the panic.
+                let Some(open) = toks.get(i + 1).filter(|t| t.kind.is_punct("(")) else {
+                    continue;
+                };
+                let _ = open;
+                let mut depth = 0i32;
+                let mut j = i + 1;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        Tok::Punct("(") => depth += 1,
+                        Tok::Punct(")") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if toks.get(j + 1).is_some_and(|d| d.kind.is_punct("."))
+                    && toks
+                        .get(j + 2)
+                        .is_some_and(|m| m.kind.is_ident("unwrap") || m.kind.is_ident("expect"))
+                {
+                    out.push((
+                        t.line,
+                        "`partial_cmp(..).unwrap()` panics on NaN — a NaN posterior must \
+                         order deterministically, use `f64::total_cmp`"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R4: unsafe hygiene
+// ---------------------------------------------------------------------------
+
+fn unsafe_without_safety(toks: &[Token], comments: &[Comment]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !t.kind.is_ident("unsafe") {
+            continue;
+        }
+        // A `// SAFETY:` comment must sit on the same line or within the
+        // three lines above the `unsafe` keyword.
+        let justified = comments.iter().any(|c| {
+            c.text.trim_start().starts_with("SAFETY:") && c.line <= t.line && t.line - c.line <= 3
+        });
+        if !justified {
+            out.push((
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment directly above — state the \
+                 invariant that makes this sound"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    toks.windows(7).any(|w| {
+        w[0].kind.is_punct("#")
+            && w[1].kind.is_punct("!")
+            && w[2].kind.is_punct("[")
+            && w[3].kind.is_ident("forbid")
+            && w[4].kind.is_punct("(")
+            && w[5].kind.is_ident("unsafe_code")
+            && w[6].kind.is_punct(")")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// R5: hot-path panics and indexing
+// ---------------------------------------------------------------------------
+
+fn hot_panic_sites(toks: &[Token], test_mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(id) = t.kind.ident() else { continue };
+        if (id == "unwrap" || id == "expect")
+            && i > 0
+            && toks[i - 1].kind.is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.kind.is_punct("("))
+        {
+            out.push((
+                t.line,
+                format!(
+                    "`.{id}(..)` in a kernel hot path — return the error or justify why \
+                     this cannot fail"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn hot_index_sites(toks: &[Token], test_mask: &[bool]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if !t.kind.is_punct("[") || i == 0 {
+            continue;
+        }
+        // Indexing = `[` directly after an expression tail: an identifier,
+        // `)`, or `]`. Array types/literals, slices in types, attributes
+        // (`#[..]`, `![..]`) and `vec![..]` all have other predecessors.
+        let prev = &toks[i - 1].kind;
+        let is_expr_tail = matches!(prev, Tok::Ident(_) | Tok::Punct(")") | Tok::Punct("]"));
+        if !is_expr_tail {
+            continue;
+        }
+        // `vec![`, `matches!(..)[` style macros: `ident !` precedes `[`,
+        // so `prev` is `!` there — already excluded. But `ident` directly
+        // before `[` can still be a macro name in `name![..]`; that form
+        // always has `!` between, so no further check needed.
+        out.push((
+            t.line,
+            "direct indexing in a kernel hot path can panic — use `get`/iterators or \
+             justify the bound"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist annotations
+// ---------------------------------------------------------------------------
+
+/// Parse every `lint: allow(..)` annotation in the file. Returns the
+/// usable allows plus violations for malformed ones.
+fn parse_allows(lexed: &LexOut, rel_path: &str) -> (Vec<Allow>, Vec<Violation>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("lint:") else { continue };
+        let rest = rest.trim_start();
+        let mut fail = |message: String| {
+            bad.push(Violation {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: Rule::BadAnnotation,
+                message,
+            });
+        };
+        let Some(args) = rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) else {
+            fail(
+                "malformed lint annotation — expected `lint: allow(<rule>[, <scope>]) — <reason>`"
+                    .into(),
+            );
+            continue;
+        };
+        let (inside, after) = args;
+        let mut parts = inside.split(',').map(str::trim);
+        let rule_name = parts.next().unwrap_or("");
+        let Some(rule) = Rule::from_allow_name(rule_name) else {
+            fail(format!("unknown rule `{rule_name}` in lint annotation"));
+            continue;
+        };
+        let scope_word = parts.next();
+        if parts.next().is_some() {
+            fail(
+                "too many arguments in lint annotation — expected `allow(<rule>[, fn|file])`"
+                    .into(),
+            );
+            continue;
+        }
+        // The reason is mandatory: `— <why this is sound>` after the `)`.
+        let reason = after
+            .trim_start()
+            .strip_prefix('—')
+            .or_else(|| after.trim_start().strip_prefix("--"))
+            .or_else(|| after.trim_start().strip_prefix('-'))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            fail(format!(
+                "allow({rule_name}) carries no reason — write `lint: allow({rule_name}) — <why>`"
+            ));
+            continue;
+        }
+        let scope = match scope_word {
+            None => {
+                if c.trailing {
+                    AllowScope::Line(c.line)
+                } else {
+                    // Free-standing comment: annotates the next code line.
+                    match lexed.tokens.iter().find(|t| t.line > c.line) {
+                        Some(t) => AllowScope::Line(t.line),
+                        None => {
+                            fail("lint annotation at end of file annotates nothing".into());
+                            continue;
+                        }
+                    }
+                }
+            }
+            Some("file") => AllowScope::File,
+            Some("fn") => match fn_body_range(&lexed.tokens, c.line) {
+                Some((lo, hi)) => AllowScope::Range(lo, hi),
+                None => {
+                    fail("allow(.., fn) is not followed by a function".into());
+                    continue;
+                }
+            },
+            Some(other) => {
+                fail(format!("unknown scope `{other}` in lint annotation — use `fn` or `file`"));
+                continue;
+            }
+        };
+        allows.push(Allow { rule, scope, line: c.line, used: std::cell::Cell::new(false) });
+    }
+    (allows, bad)
+}
+
+/// Line range (signature line through closing brace) of the first `fn`
+/// item starting after `line`.
+fn fn_body_range(toks: &[Token], line: u32) -> Option<(u32, u32)> {
+    let start = toks.iter().position(|t| t.line > line && t.kind.is_ident("fn"))?;
+    let (open, close) = first_brace_block(toks, start)?;
+    Some((toks[start].line, toks[close].line.max(toks[open].line)))
+}

@@ -1,0 +1,5 @@
+// Fixture: malformed annotations are themselves violations, and cannot
+// be annotated away.
+pub fn f() {} // lint: allow(hash-iter)
+pub fn g() {} // lint: allow(no-such-rule) — not a rule
+pub fn h() {} // lint: allow(hash-iter, crate) — unknown scope

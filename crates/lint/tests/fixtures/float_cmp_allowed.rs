@@ -1,0 +1,4 @@
+// Fixture: a reasoned trailing allow silences R3 on exactly that line.
+pub fn is_unset(x: f64) -> bool {
+    x == 0.0 // lint: allow(float-cmp) — 0.0 is a sentinel set verbatim, never computed
+}

@@ -1,0 +1,8 @@
+// Fixture: R3 float-cmp must fire on `== <float literal>` and on
+// `partial_cmp(..).unwrap()`.
+pub fn classify(x: f64, y: f64) -> bool {
+    if x == 0.0 {
+        return true;
+    }
+    x.partial_cmp(&y).unwrap() == std::cmp::Ordering::Less
+}

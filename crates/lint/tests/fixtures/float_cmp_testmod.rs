@@ -1,0 +1,12 @@
+// Fixture: float equality inside a `#[cfg(test)]` module is exempt.
+pub fn double(x: f64) -> f64 {
+    x * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact() {
+        assert!(super::double(1.0) == 2.0);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: a reasoned trailing allow silences R1 on exactly that line.
+use std::collections::HashMap;
+
+pub fn total(obs: &[u32]) -> u64 {
+    let mut by_type: HashMap<u32, u64> = HashMap::new();
+    for o in obs {
+        *by_type.entry(*o).or_insert(0) += 1;
+    }
+    by_type.values().sum() // lint: allow(hash-iter) — summation is order-independent
+}

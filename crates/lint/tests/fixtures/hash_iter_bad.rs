@@ -1,0 +1,15 @@
+// Fixture: R1 hash-iter must fire on both iteration forms.
+use std::collections::HashMap;
+
+pub fn rates(obs: &[u32]) -> u64 {
+    let mut by_type: HashMap<u32, u64> = HashMap::new();
+    for o in obs {
+        *by_type.entry(*o).or_insert(0) += 1;
+    }
+    let mut total = 0;
+    for (k, v) in &by_type {
+        total += u64::from(*k) + v;
+    }
+    total += by_type.values().sum::<u64>();
+    total
+}

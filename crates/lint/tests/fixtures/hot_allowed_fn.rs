@@ -1,0 +1,10 @@
+// Fixture: a free-standing `fn`-scoped allow covers the whole body.
+// lint: allow(hot-index, fn) — i is bounded by the min-length computed on entry
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += a[i] * b[i];
+    }
+    acc
+}

@@ -1,0 +1,9 @@
+// Fixture: R5 hot-index must fire on direct slice indexing when linted
+// under a kernel hot-path virtual path.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}

@@ -1,0 +1,5 @@
+// Fixture: R5 hot-panic must fire on `.unwrap()` when linted under a
+// kernel hot-path virtual path.
+pub fn best(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,11 @@
+// Fixture: R2 nondet-source must fire on wall-clock and OS entropy.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn seed() -> u64 {
+    let mut r = thread_rng();
+    r.next_u64()
+}

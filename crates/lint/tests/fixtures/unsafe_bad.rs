@@ -1,0 +1,4 @@
+// Fixture: R4 unsafe-hygiene must fire on `unsafe` without `// SAFETY:`.
+pub fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

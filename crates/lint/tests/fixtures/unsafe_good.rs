@@ -1,0 +1,6 @@
+// Fixture: a `// SAFETY:` comment directly above satisfies R4.
+pub fn read_first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees xs has at least one element.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,4 @@
+// Fixture: an allow that suppresses nothing is flagged as stale.
+pub fn f(x: f64) -> f64 {
+    x + 1.0 // lint: allow(float-cmp) — stale: there is no comparison on this line
+}

@@ -1,0 +1,136 @@
+//! Fixture-driven tests for each rule family: every rule has at least
+//! one fixture proving it fires, and one proving the allowlist (or an
+//! exemption) silences it. Fixtures live under `tests/fixtures/`, which
+//! the workspace walker deliberately skips, and are linted under
+//! *virtual* paths so crate/hot-path scoping applies.
+
+use mlcd_lint::{lint_source, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint a fixture as if it lived at `virtual_path`; return the fired
+/// rule names in order.
+fn fired(virtual_path: &str, name: &str) -> Vec<&'static str> {
+    lint_source(virtual_path, &fixture(name)).iter().map(|v| v.rule.name()).collect()
+}
+
+#[test]
+fn hash_iter_fires_on_both_iteration_forms() {
+    let v = lint_source("crates/core/src/search/policies/example.rs", &fixture("hash_iter_bad.rs"));
+    let hash: Vec<_> = v.iter().filter(|v| v.rule == Rule::HashIter).collect();
+    assert_eq!(hash.len(), 2, "for-loop + .values(): {v:?}");
+    assert!(hash.iter().any(|v| v.message.contains("for .. in by_type")));
+    assert!(hash.iter().any(|v| v.message.contains("by_type.values()")));
+}
+
+#[test]
+fn hash_iter_is_scoped_to_ordered_crates() {
+    // Same source under the bench crate (free to iterate) and under a
+    // test target of an ordered crate: both clean.
+    assert_eq!(fired("crates/bench/src/report.rs", "hash_iter_bad.rs"), Vec::<&str>::new());
+    assert_eq!(fired("crates/core/tests/golden.rs", "hash_iter_bad.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn hash_iter_allow_annotation_silences_the_line() {
+    assert_eq!(
+        fired("crates/core/src/search/policies/example.rs", "hash_iter_allowed.rs"),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
+fn nondet_source_fires_outside_bench() {
+    let rules = fired("crates/core/src/sim/clock.rs", "nondet_bad.rs");
+    assert_eq!(rules, vec!["nondet-source", "nondet-source"]);
+    let v = lint_source("crates/core/src/sim/clock.rs", &fixture("nondet_bad.rs"));
+    assert!(v[0].message.contains("Instant::now()"));
+    assert!(v[1].message.contains("thread_rng"));
+}
+
+#[test]
+fn nondet_source_is_exempt_in_bench_crate() {
+    assert_eq!(fired("crates/bench/src/timing.rs", "nondet_bad.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn float_cmp_fires_on_eq_and_partial_cmp_unwrap() {
+    let rules = fired("crates/gp/src/kernels.rs", "float_cmp_bad.rs");
+    assert_eq!(rules, vec!["float-cmp", "float-cmp"]);
+}
+
+#[test]
+fn float_cmp_allow_and_test_module_exemption() {
+    assert_eq!(fired("crates/gp/src/kernels.rs", "float_cmp_allowed.rs"), Vec::<&str>::new());
+    assert_eq!(fired("crates/gp/src/kernels.rs", "float_cmp_testmod.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn unsafe_without_safety_comment_fires_everywhere() {
+    // Even the bench crate (exempt from R2) is held to unsafe hygiene.
+    assert_eq!(fired("crates/bench/src/mem.rs", "unsafe_bad.rs"), vec!["unsafe-hygiene"]);
+    assert_eq!(fired("crates/bench/src/mem.rs", "unsafe_good.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn core_crate_roots_must_keep_forbid_unsafe() {
+    // A crate root missing `#![forbid(unsafe_code)]` is a violation …
+    let v = lint_source("crates/core/src/lib.rs", "pub fn x() {}\n");
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::UnsafeHygiene);
+    assert!(v[0].message.contains("forbid(unsafe_code)"));
+    // … and the attribute satisfies it.
+    let ok = lint_source("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\npub fn x() {}\n");
+    assert!(ok.is_empty(), "{ok:?}");
+    // Crates outside the pinned list are not required to carry it.
+    let bench = lint_source("crates/bench/src/lib.rs", "pub fn x() {}\n");
+    assert!(bench.is_empty(), "{bench:?}");
+}
+
+#[test]
+fn hot_panic_fires_only_in_hot_paths() {
+    assert_eq!(fired("crates/core/src/search/kernel.rs", "hot_panic_bad.rs"), vec!["hot-panic"]);
+    // The same code one module over is fine.
+    assert_eq!(fired("crates/core/src/search/trace.rs", "hot_panic_bad.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn hot_index_fires_in_every_pinned_hot_path() {
+    for hot in
+        ["crates/core/src/search/kernel.rs", "crates/gp/src/fit.rs", "crates/linalg/src/chol.rs"]
+    {
+        let rules = fired(hot, "hot_index_bad.rs");
+        assert_eq!(rules, vec!["hot-index", "hot-index"], "{hot}");
+    }
+    assert_eq!(fired("crates/linalg/src/mat.rs", "hot_index_bad.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn fn_scoped_allow_covers_the_whole_body() {
+    assert_eq!(fired("crates/gp/src/fit.rs", "hot_allowed_fn.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn file_scoped_allow_covers_every_site() {
+    assert_eq!(fired("crates/linalg/src/chol.rs", "hot_allowed_file.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn malformed_annotations_are_violations() {
+    let v = lint_source("crates/core/src/anywhere.rs", &fixture("bad_annotation.rs"));
+    let rules: Vec<_> = v.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, vec![Rule::BadAnnotation, Rule::BadAnnotation, Rule::BadAnnotation], "{v:?}");
+    assert!(v[0].message.contains("no reason"), "{}", v[0].message);
+    assert!(v[1].message.contains("unknown rule"), "{}", v[1].message);
+    assert!(v[2].message.contains("unknown scope"), "{}", v[2].message);
+}
+
+#[test]
+fn stale_allows_are_flagged() {
+    let v = lint_source("crates/gp/src/kernels.rs", &fixture("unused_allow.rs"));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, Rule::UnusedAllow);
+}

@@ -1,0 +1,23 @@
+//! The lint's own acceptance gate: the shipped workspace must be clean
+//! under `--deny`. This is the same check CI runs via
+//! `cargo run -p mlcd-lint -- --deny`, exercised through the library so
+//! a failure prints the diagnostics inline.
+
+use mlcd_lint::{find_workspace_root, lint_workspace};
+
+#[test]
+fn workspace_lints_clean_in_deny_mode() {
+    let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let violations = lint_workspace(&root).expect("workspace lint IO");
+    assert!(
+        violations.is_empty(),
+        "mlcd-lint found {} violation(s) in the shipped workspace:\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("{}:{}: [{}] {}", v.file, v.line, v.rule.name(), v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
