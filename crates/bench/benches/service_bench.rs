@@ -1,0 +1,88 @@
+//! Service-layer benchmarks: what the session manager adds on top of a
+//! bare search. `service_submit_throughput` drains a batch of sessions
+//! through the bounded worker pool end-to-end — submit, queue, search,
+//! complete — so it prices the whole pipeline, not just the searcher.
+//! The cache-on variant reuses one job across the batch, so every
+//! session after the first is served from the shared probe cache; the
+//! gap between the two is the paper's heterogeneous-profiling-cost
+//! point restated as a service property: exploration paid once is free
+//! for every later tenant. The journal variant adds per-record fsync —
+//! the durability tax.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcd_service::{Phase, ServiceConfig, SessionManager, SubmitSpec};
+use std::hint::black_box;
+
+fn spec(job: &str, seed: u64) -> SubmitSpec {
+    let mut s = SubmitSpec::new(job, "random", seed);
+    s.types = Some(vec!["c5.xlarge".into(), "p2.xlarge".into()]);
+    s.max_nodes = 8;
+    s
+}
+
+/// Submit `n` sessions, wait for all of them, panic on any non-Done.
+fn drain(cfg: ServiceConfig, specs: &[SubmitSpec]) -> usize {
+    let mgr = SessionManager::new(cfg).expect("manager");
+    let ids: Vec<u64> = specs.iter().map(|s| mgr.submit(s.clone()).expect("submit")).collect();
+    let mut probes = 0usize;
+    for id in ids {
+        match mgr.session(id).expect("session").wait_terminal() {
+            Phase::Done(result) => probes += result.search.n_probes(),
+            other => panic!("session {id} ended {}", other.name()),
+        }
+    }
+    probes
+}
+
+fn bench_submit_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_submit_throughput");
+    g.sample_size(10);
+
+    // Same job eight times: after the first session every probe is a
+    // cache hit, so this is the steady-state multi-tenant case.
+    let shared: Vec<SubmitSpec> = (0..8).map(|i| spec("resnet-cifar10", 100 + i)).collect();
+    g.bench_function("8_sessions_shared_cache", |b| {
+        b.iter(|| {
+            black_box(drain(
+                ServiceConfig { workers: 2, queue_cap: 16, ..ServiceConfig::default() },
+                &shared,
+            ))
+        })
+    });
+    g.bench_function("8_sessions_cache_off", |b| {
+        b.iter(|| {
+            black_box(drain(
+                ServiceConfig {
+                    workers: 2,
+                    queue_cap: 16,
+                    probe_cache: false,
+                    ..ServiceConfig::default()
+                },
+                &shared,
+            ))
+        })
+    });
+
+    // Journaling tax: same batch, every journaled event fsync'd.
+    g.bench_function("8_sessions_journaled", |b| {
+        let dir = std::env::temp_dir().join(format!("mlcd-bench-journal-{}", std::process::id()));
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            black_box(drain(
+                ServiceConfig {
+                    workers: 2,
+                    queue_cap: 16,
+                    journal_dir: Some(dir.clone()),
+                    ..ServiceConfig::default()
+                },
+                &shared,
+            ))
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_submit_throughput);
+criterion_main!(benches);

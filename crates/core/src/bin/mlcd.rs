@@ -1,5 +1,7 @@
 //! `mlcd` — command-line front end for the MLCD deployment system.
 //!
+//! Local commands:
+//!
 //! ```text
 //! mlcd catalog                                   # the instance catalog
 //! mlcd jobs                                      # preset training jobs
@@ -9,9 +11,24 @@
 //!      --searcher heterbo --seed 7 [--types c5.xlarge,c5.4xlarge] [--json] \
 //!      [--trace trace.jsonl]
 //! ```
+//!
+//! Client commands against a running `mlcd-serve` (newline-delimited JSON
+//! over TCP; `--addr` defaults to `127.0.0.1:7070`):
+//!
+//! ```text
+//! mlcd submit --job resnet-cifar10 --budget 150 [--priority 3]
+//! mlcd status [--id 1]
+//! mlcd result --id 1 [--wait] [--json]
+//! mlcd watch  --id 1
+//! mlcd cancel --id 1
+//! mlcd shutdown
+//! ```
 
 use mlcd::prelude::*;
-use mlcd::search::{CherryPick, ConvBo};
+use mlcd::search::{searcher_by_name, SEARCHER_NAMES};
+use serde_json::{json, Value};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +43,12 @@ fn main() {
         "curves" => curves(&opts),
         "optimum" => optimum(&opts),
         "search" => search(&opts),
+        "submit" => submit(&opts),
+        "status" => status(&opts),
+        "result" => result(&opts),
+        "watch" => watch(&opts),
+        "cancel" => cancel(&opts),
+        "shutdown" => shutdown(&opts),
         "help" | "--help" | "-h" => usage(""),
         other => usage(&format!("unknown command `{other}`")),
     }
@@ -44,11 +67,20 @@ struct Opts {
     max_nodes: u32,
     json: bool,
     trace: Option<String>,
+    addr: String,
+    id: Option<u64>,
+    wait: bool,
+    priority: u8,
 }
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Opts, String> {
-        let mut o = Opts { seed: 2020, max_nodes: 50, ..Default::default() };
+        let mut o = Opts {
+            seed: 2020,
+            max_nodes: 50,
+            addr: "127.0.0.1:7070".to_string(),
+            ..Default::default()
+        };
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let mut take = || -> Result<&String, String> {
@@ -73,6 +105,12 @@ impl Opts {
                 }
                 "--json" => o.json = true,
                 "--trace" => o.trace = Some(take()?.clone()),
+                "--addr" => o.addr = take()?.clone(),
+                "--id" => o.id = Some(take()?.parse().map_err(|_| "--id takes a session id")?),
+                "--wait" => o.wait = true,
+                "--priority" => {
+                    o.priority = take()?.parse().map_err(|_| "--priority takes 0–255")?
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -108,31 +146,10 @@ impl Opts {
     }
 }
 
-/// Preset jobs by CLI name.
+/// Preset jobs by CLI name (the canonical mapping lives with the models).
 fn job_by_name(name: &str) -> Option<TrainingJob> {
-    Some(match name {
-        "resnet-cifar10" => TrainingJob::resnet_cifar10(),
-        "alexnet-cifar10" => TrainingJob::alexnet_cifar10(),
-        "char-rnn" => TrainingJob::char_rnn(),
-        "inception-imagenet" => TrainingJob::inception_imagenet(),
-        "bert-tf" => TrainingJob::bert_tensorflow(),
-        "bert-mxnet" => TrainingJob::bert_mxnet(),
-        "zero-8b" => TrainingJob::zero_8b(),
-        "zero-20b" => TrainingJob::zero_20b(),
-        _ => return None,
-    })
+    TrainingJob::by_name(name)
 }
-
-const JOB_NAMES: [&str; 8] = [
-    "resnet-cifar10",
-    "alexnet-cifar10",
-    "char-rnn",
-    "inception-imagenet",
-    "bert-tf",
-    "bert-mxnet",
-    "zero-8b",
-    "zero-20b",
-];
 
 fn catalog() {
     println!(
@@ -156,7 +173,7 @@ fn catalog() {
 
 fn jobs() {
     println!("{:<20} {:>12} {:>14} {:>10} platform/topology", "name", "params", "samples", "batch");
-    for name in JOB_NAMES {
+    for name in TrainingJob::preset_names() {
         let j = job_by_name(name).expect("preset exists");
         println!(
             "{:<20} {:>12} {:>14} {:>10} {} / {}",
@@ -225,23 +242,24 @@ fn search(opts: &Opts) {
     let runner = opts.runner().unwrap_or_else(|e| usage(&e));
     let seed = opts.seed;
     let name = opts.searcher.as_deref().unwrap_or("heterbo");
-    let searcher: Option<Box<dyn Searcher>> = match name {
-        "heterbo" => Some(Box::new(HeterBo::seeded(seed))),
-        "heterbo-parallel" => Some(Box::new(HeterBo::with_parallel_init(seed))),
-        "convbo" => Some(Box::new(ConvBo::seeded(seed))),
-        "cherrypick" => Some(Box::new(CherryPick::seeded(seed))),
-        "random" => Some(Box::new(RandomSearch::new(9, seed))),
-        "exhaustive" => Some(Box::new(ExhaustiveSearch::strided(10))),
+    let searcher = match name {
         "paleo" => None,
-        other => usage(&format!(
-            "unknown searcher `{other}` (heterbo, heterbo-parallel, convbo, cherrypick, random, exhaustive, paleo)"
-        )),
+        other => match searcher_by_name(other, seed) {
+            Some(s) => Some(s),
+            None => {
+                usage(&format!("unknown searcher `{other}` ({}, paleo)", SEARCHER_NAMES.join(", ")))
+            }
+        },
     };
     let outcome = match searcher {
         Some(s) => match &opts.trace {
             Some(path) => {
                 let (outcome, trace) = runner.run_traced(s.as_ref(), &job, &scenario);
-                if let Err(e) = std::fs::write(path, trace.to_jsonl()) {
+                let jsonl = trace.to_jsonl().unwrap_or_else(|e| {
+                    eprintln!("error: cannot serialise trace: {e}");
+                    std::process::exit(2);
+                });
+                if let Err(e) = std::fs::write(path, jsonl) {
                     eprintln!("error: cannot write trace to `{path}`: {e}");
                     std::process::exit(2);
                 }
@@ -301,6 +319,199 @@ fn search(opts: &Opts) {
     }
 }
 
+// ---- service client commands (NDJSON over TCP) ----------------------
+//
+// These speak the mlcd-service wire protocol by hand — requests are
+// externally tagged JSON values, one per line — so the CLI stays free of
+// a dependency on the service crate (which depends on this one).
+
+/// One request out, one response line back.
+fn roundtrip(addr: &str, request: &Value) -> Result<(BufReader<TcpStream>, Value), String> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot reach mlcd-serve at {addr}: {e}"))?;
+    let mut reader =
+        BufReader::new(stream.try_clone().map_err(|e| format!("connection error: {e}"))?);
+    let mut out = stream;
+    let line = serde_json::to_string(request).map_err(|e| format!("bad request: {e}"))?;
+    out.write_all(line.as_bytes())
+        .and_then(|()| out.write_all(b"\n"))
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("send failed: {e}"))?;
+    let first = read_response(&mut reader)?;
+    Ok((reader, first))
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Value, String> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Err("server closed the connection".to_string()),
+        Ok(_) => serde_json::from_str(line.trim()).map_err(|e| format!("bad response: {e}")),
+        Err(e) => Err(format!("receive failed: {e}")),
+    }
+}
+
+fn client_fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+/// Print the status rows of a `StatusReport` response.
+fn print_status_rows(report: &Value) {
+    let Some(rows) = report.get("sessions").and_then(Value::as_array) else {
+        client_fail("malformed status report");
+    };
+    println!(
+        "{:>4} {:<20} {:<10} {:>6} {:>4} {:<10}",
+        "id", "job", "searcher", "seed", "pri", "state"
+    );
+    for row in rows {
+        println!(
+            "{:>4} {:<20} {:<10} {:>6} {:>4} {:<10}",
+            row["id"].as_u64().unwrap_or(0),
+            row["job"].as_str().unwrap_or("?"),
+            row["searcher"].as_str().unwrap_or("?"),
+            row["seed"].as_u64().unwrap_or(0),
+            row["priority"].as_u64().unwrap_or(0),
+            row["state"].as_str().unwrap_or("?"),
+        );
+    }
+}
+
+fn submit(opts: &Opts) {
+    let job = opts.job.as_deref().unwrap_or_else(|| usage("--job is required for submit"));
+    // Optional constraint fields ride as null — the server treats null
+    // and absent identically and fills the defaults.
+    let spec = json!({
+        "job": job,
+        "searcher": opts.searcher.as_deref().unwrap_or("heterbo"),
+        "seed": opts.seed,
+        "priority": opts.priority,
+        "max_nodes": opts.max_nodes,
+        "budget": opts.budget,
+        "deadline_hours": opts.deadline,
+        "types": opts.types.clone(),
+    });
+    let (_, resp) =
+        roundtrip(&opts.addr, &json!({"Submit": spec})).unwrap_or_else(|e| client_fail(&e));
+    if let Some(id) = resp.get("Submitted").and_then(|s| s["id"].as_u64()) {
+        println!("submitted session {id}");
+    } else if let Some(rej) = resp.get("Rejected") {
+        let reason = rej["reason"].as_str().unwrap_or("rejected");
+        if rej["queue_full"].as_bool().unwrap_or(false) {
+            client_fail(&format!("{reason} — retry later"));
+        }
+        client_fail(reason);
+    } else {
+        client_fail(&format!("unexpected response: {resp:?}"));
+    }
+}
+
+fn status(opts: &Opts) {
+    let id = match opts.id {
+        Some(id) => json!(id),
+        None => Value::Null,
+    };
+    let (_, resp) =
+        roundtrip(&opts.addr, &json!({"Status": {"id": id}})).unwrap_or_else(|e| client_fail(&e));
+    match resp.get("StatusReport") {
+        Some(report) => print_status_rows(report),
+        None => client_fail(resp["Error"]["message"].as_str().unwrap_or("unexpected response")),
+    }
+}
+
+fn result(opts: &Opts) {
+    let id = opts.id.unwrap_or_else(|| usage("--id is required for result"));
+    let (_, resp) = roundtrip(&opts.addr, &json!({"Result": {"id": id, "wait": opts.wait}}))
+        .unwrap_or_else(|e| client_fail(&e));
+    if let Some(ready) = resp.get("ResultReady") {
+        let r = &ready["result"];
+        if opts.json {
+            println!("{}", serde_json::to_string_pretty(r).expect("re-render fetched JSON"));
+            return;
+        }
+        println!("session    : {id}");
+        println!("searcher   : {}", r["searcher"].as_str().unwrap_or("?"));
+        if r["plan"].is_null() {
+            println!("deployment : none found");
+        } else {
+            println!(
+                "deployment : {}×{}",
+                r["plan"]["deployment"]["n"].as_u64().unwrap_or(0),
+                r["plan"]["deployment"]["itype"].as_str().unwrap_or("?")
+            );
+        }
+        println!(
+            "profiling  : {:>8.2} h  ${:>9.2}",
+            r["search"]["profile_time"].as_f64().unwrap_or(0.0) / 3600.0,
+            r["search"]["profile_cost"].as_f64().unwrap_or(0.0)
+        );
+        println!(
+            "training   : {:>8.2} h  ${:>9.2}",
+            r["train_time"].as_f64().unwrap_or(0.0) / 3600.0,
+            r["train_cost"].as_f64().unwrap_or(0.0)
+        );
+        println!(
+            "total      : {:>8.2} h  ${:>9.2}",
+            r["total_time"].as_f64().unwrap_or(0.0) / 3600.0,
+            r["total_cost"].as_f64().unwrap_or(0.0)
+        );
+        println!(
+            "compliant  : {}",
+            if r["satisfied"].as_bool().unwrap_or(false) { "yes" } else { "NO" }
+        );
+    } else if let Some(nr) = resp.get("NotReady") {
+        println!("session {id} is {} (use --wait to block)", nr["state"].as_str().unwrap_or("?"));
+    } else {
+        client_fail(resp["Error"]["message"].as_str().unwrap_or("unexpected response"));
+    }
+}
+
+fn watch(opts: &Opts) {
+    let id = opts.id.unwrap_or_else(|| usage("--id is required for watch"));
+    let (mut reader, resp) =
+        roundtrip(&opts.addr, &json!({"Watch": {"id": id}})).unwrap_or_else(|e| client_fail(&e));
+    if resp.get("Watching").is_none() {
+        client_fail(resp["Error"]["message"].as_str().unwrap_or("unexpected response"));
+    }
+    // Write through an explicit handle: `watch | head` closes the pipe
+    // mid-stream, and that must end the tail quietly, not panic.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    loop {
+        let value = read_response(&mut reader).unwrap_or_else(|e| client_fail(&e));
+        let done = value.get("WatchEnd").is_some();
+        let line = if let Some(end) = value.get("WatchEnd") {
+            format!("# session {id} ended: {}", end["state"].as_str().unwrap_or("?"))
+        } else {
+            // Everything between Watching and WatchEnd is a raw trace event.
+            serde_json::to_string(&value).expect("re-render fetched JSON")
+        };
+        if writeln!(out, "{line}").is_err() || done {
+            return;
+        }
+    }
+}
+
+fn cancel(opts: &Opts) {
+    let id = opts.id.unwrap_or_else(|| usage("--id is required for cancel"));
+    let (_, resp) =
+        roundtrip(&opts.addr, &json!({"Cancel": {"id": id}})).unwrap_or_else(|e| client_fail(&e));
+    if resp.get("Cancelling").is_some() {
+        println!("cancellation requested for session {id}");
+    } else {
+        client_fail(resp["Error"]["message"].as_str().unwrap_or("unexpected response"));
+    }
+}
+
+fn shutdown(opts: &Opts) {
+    let (_, resp) = roundtrip(&opts.addr, &json!("Shutdown")).unwrap_or_else(|e| client_fail(&e));
+    if resp.get("ShuttingDown").is_some() || matches!(&resp, Value::Str(s) if s == "ShuttingDown") {
+        println!("server at {} is shutting down", opts.addr);
+    } else {
+        client_fail(&format!("unexpected response: {resp:?}"));
+    }
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}\n");
@@ -317,9 +528,19 @@ fn usage(msg: &str) -> ! {
          \u{20}               [--seed N] [--types a,b] [--max-nodes N] [--json]\n\
          \u{20}               [--trace FILE]   # structured search events as JSON Lines\n\
          \n\
+         \u{20}  # against a running `mlcd-serve` (--addr HOST:PORT, default 127.0.0.1:7070):\n\
+         \u{20}  mlcd submit  --job <name> [--budget $ | --deadline h] [--searcher S]\n\
+         \u{20}               [--seed N] [--priority P] [--types a,b] [--max-nodes N]\n\
+         \u{20}  mlcd status  [--id N]\n\
+         \u{20}  mlcd result  --id N [--wait] [--json]\n\
+         \u{20}  mlcd watch   --id N\n\
+         \u{20}  mlcd cancel  --id N\n\
+         \u{20}  mlcd shutdown\n\
+         \n\
          jobs: {}\n\
-         searchers: heterbo (default), heterbo-parallel, convbo, cherrypick, random, exhaustive, paleo",
-        JOB_NAMES.join(", ")
+         searchers: {} (default heterbo; `search` also accepts paleo)",
+        TrainingJob::preset_names().join(", "),
+        SEARCHER_NAMES.join(", ")
     );
     std::process::exit(2);
 }
@@ -385,10 +606,25 @@ mod tests {
 
     #[test]
     fn every_preset_job_resolves() {
-        for name in JOB_NAMES {
+        for name in TrainingJob::preset_names() {
             assert!(job_by_name(name).is_some(), "{name}");
         }
         assert!(job_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn parses_client_flags() {
+        let o =
+            parse(&["--addr", "127.0.0.1:9999", "--id", "4", "--wait", "--priority", "7"]).unwrap();
+        assert_eq!(o.addr, "127.0.0.1:9999");
+        assert_eq!(o.id, Some(4));
+        assert!(o.wait);
+        assert_eq!(o.priority, 7);
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.addr, "127.0.0.1:7070");
+        assert_eq!(o.priority, 0);
+        assert!(parse(&["--id", "x"]).is_err());
+        assert!(parse(&["--priority", "300"]).is_err());
     }
 
     #[test]

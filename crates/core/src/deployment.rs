@@ -9,10 +9,10 @@
 
 use mlcd_cloudsim::{InstanceType, Money, SimDuration};
 use mlcd_perfmodel::{ThroughputModel, TrainingJob};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One deployment scheme: `n` nodes of instance type `itype`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Deployment {
     /// Instance type (scale-up dimension).
     pub itype: InstanceType,

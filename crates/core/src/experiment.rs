@@ -159,6 +159,19 @@ impl ExperimentRunner {
         scenario: &Scenario,
         sink: &mut dyn crate::search::TraceSink,
     ) -> ExperimentOutcome {
+        let mut profiler = self.profiler_for(job);
+        let outcome = searcher.search_traced(&mut profiler, scenario, sink);
+        self.complete(profiler, outcome, searcher.name(), scenario)
+    }
+
+    /// The profiling environment one search session runs against: a fresh
+    /// simulated cloud and ML platform, seeded from this runner — each
+    /// session owns its own ledger. Callers that need to interpose on the
+    /// environment (the service layer's shared probe cache wraps it) can
+    /// drive the search themselves and then hand the profiler back to
+    /// [`ExperimentRunner::complete`]; [`ExperimentRunner::run_with_sink`]
+    /// is exactly that sequence with no wrapper.
+    pub fn profiler_for(&self, job: &TrainingJob) -> Profiler<SimCloud, SimMlPlatform> {
         let space = self.space(job);
         let mut cloud = SimCloud::new(self.seed);
         // Keep the provider's quotas at least as large as the space we are
@@ -168,9 +181,19 @@ impl ExperimentRunner {
             cloud.set_quotas(self.max_nodes.max(100), self.max_nodes);
         }
         let platform = SimMlPlatform::new(job.clone(), self.truth, self.noise, self.seed ^ 0x4D4C);
-        let mut profiler = Profiler::new(cloud, platform, space, self.profiler_cfg.clone());
+        Profiler::new(cloud, platform, space, self.profiler_cfg.clone())
+    }
 
-        let outcome = searcher.search_traced(&mut profiler, scenario, sink);
+    /// Finish an experiment whose search already ran against a profiler
+    /// from [`ExperimentRunner::profiler_for`]: train on the pick and
+    /// assemble the time/cost breakdown.
+    pub fn complete(
+        &self,
+        profiler: Profiler<SimCloud, SimMlPlatform>,
+        outcome: SearchOutcome,
+        searcher_name: &'static str,
+        scenario: &Scenario,
+    ) -> ExperimentOutcome {
         let plan = outcome
             .best
             .map(|obs| DeploymentPlan { deployment: obs.deployment, observed_speed: obs.speed });
@@ -190,7 +213,7 @@ impl ExperimentRunner {
         let total_time = outcome.profile_time + train_time;
         let total_cost = outcome.profile_cost + train_cost;
         ExperimentOutcome {
-            searcher: searcher.name(),
+            searcher: searcher_name,
             scenario: *scenario,
             plan,
             satisfied: plan.is_some() && scenario.satisfied_by(total_time, total_cost),

@@ -2,10 +2,11 @@
 
 use crate::deployment::Deployment;
 use mlcd_cloudsim::{Money, SimDuration};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// One completed profiling probe.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Observation {
     /// The deployment that was probed.
     pub deployment: Deployment,
@@ -19,7 +20,7 @@ pub struct Observation {
 }
 
 /// Why a search stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StopReason {
     /// Expected improvement fell below the threshold.
     Converged,
@@ -35,7 +36,7 @@ pub enum StopReason {
 }
 
 /// One step of a search trace (for the paper's trajectory figures 9a, 15–17).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchStep {
     /// 1-based step index.
     pub index: usize,
@@ -48,7 +49,7 @@ pub struct SearchStep {
 }
 
 /// The result of running a searcher.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchOutcome {
     /// The deployment the searcher recommends, with its observed speed.
     /// `None` when nothing feasible was found.
@@ -79,6 +80,49 @@ impl SearchOutcome {
             stop_reason: reason,
         }
     }
+
+    /// Canonical, bit-exact text digest of this outcome: every f64 is
+    /// rendered as its raw bit pattern, so two digests compare equal iff
+    /// the outcomes are bit-identical — no epsilon, no rounding. The
+    /// golden snapshot tests and the service layer's crash-resume
+    /// verification both compare exactly this rendering.
+    pub fn digest(&self) -> String {
+        let mut s = String::new();
+        match &self.best {
+            Some(b) => {
+                writeln!(s, "best {} speed={}", b.deployment, f64_bits(b.speed)).unwrap();
+            }
+            None => writeln!(s, "best none").unwrap(),
+        }
+        for step in &self.steps {
+            writeln!(
+                s,
+                "step {:02} {} speed={} t={} c={} cum_t={} cum_c={}",
+                step.index,
+                step.observation.deployment,
+                f64_bits(step.observation.speed),
+                f64_bits(step.observation.profile_time.as_secs()),
+                f64_bits(step.observation.profile_cost.dollars()),
+                f64_bits(step.cum_profile_time.as_secs()),
+                f64_bits(step.cum_profile_cost.dollars()),
+            )
+            .unwrap();
+        }
+        writeln!(
+            s,
+            "totals t={} c={} stop={:?}",
+            f64_bits(self.profile_time.as_secs()),
+            f64_bits(self.profile_cost.dollars()),
+            self.stop_reason
+        )
+        .unwrap();
+        s
+    }
+}
+
+/// Exact bit pattern of an f64, for digests that must compare exactly.
+pub fn f64_bits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
 }
 
 #[cfg(test)]

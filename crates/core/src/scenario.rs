@@ -11,7 +11,7 @@
 
 use crate::deployment::Deployment;
 use mlcd_cloudsim::{Money, SimDuration};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Base headroom factor applied to projected training time/cost wherever a
 /// projection feeds a *hard* constraint (reserve checks, TEI, feasibility
@@ -29,7 +29,7 @@ pub fn projection_margin(n: u32) -> f64 {
 }
 
 /// A user's deployment requirement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Scenario {
     /// Scenario-1: minimise training time; money is no object.
     FastestUnlimited,

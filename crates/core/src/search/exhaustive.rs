@@ -8,6 +8,7 @@
 use crate::env::ProfilingEnv;
 use crate::observation::{SearchOutcome, SearchStep, StopReason};
 use crate::scenario::Scenario;
+use crate::search::trace::{NullSink, TraceEvent, TraceSink};
 use crate::search::{pick_incumbent, Searcher};
 
 /// Exhaustive (or strided) grid profiling.
@@ -35,18 +36,37 @@ impl Searcher for ExhaustiveSearch {
     }
 
     fn search(&self, env: &mut dyn ProfilingEnv, scenario: &Scenario) -> SearchOutcome {
+        self.search_traced(env, scenario, &mut NullSink)
+    }
+
+    fn search_traced(
+        &self,
+        env: &mut dyn ProfilingEnv,
+        scenario: &Scenario,
+        sink: &mut dyn TraceSink,
+    ) -> SearchOutcome {
         let pool = env.space().candidates().to_vec();
         let mut observations = Vec::new();
         let mut steps = Vec::new();
         for d in pool.iter().step_by(self.stride) {
-            if let Ok(obs) = env.profile(d) {
-                observations.push(obs);
-                steps.push(SearchStep {
-                    index: steps.len() + 1,
-                    observation: obs,
-                    cum_profile_time: env.elapsed(),
-                    cum_profile_cost: env.spent(),
-                });
+            match env.profile(d) {
+                Ok(obs) => {
+                    observations.push(obs);
+                    steps.push(SearchStep {
+                        index: steps.len() + 1,
+                        observation: obs,
+                        cum_profile_time: env.elapsed(),
+                        cum_profile_cost: env.spent(),
+                    });
+                    sink.record(TraceEvent::Probe {
+                        observation: obs,
+                        cum_profile_time: env.elapsed(),
+                        cum_profile_cost: env.spent(),
+                    });
+                }
+                Err(e) => {
+                    sink.record(TraceEvent::ProbeFailed { deployment: *d, error: e.to_string() })
+                }
             }
         }
         let best = pick_incumbent(
@@ -60,6 +80,7 @@ impl Searcher for ExhaustiveSearch {
         .copied();
         let stop_reason =
             if best.is_none() { StopReason::NothingFeasible } else { StopReason::SpaceExhausted };
+        sink.record(TraceEvent::Stopped { reason: stop_reason });
         SearchOutcome {
             best,
             steps,

@@ -41,6 +41,29 @@ use crate::observation::{Observation, SearchOutcome};
 use crate::scenario::Scenario;
 use mlcd_cloudsim::Money;
 
+/// The CLI/service searcher names [`searcher_by_name`] resolves, in the
+/// order help text lists them. `paleo` is absent: it is an analytical
+/// baseline with no search loop, handled by
+/// [`crate::experiment::ExperimentRunner::run_paleo`].
+pub const SEARCHER_NAMES: [&str; 6] =
+    ["heterbo", "heterbo-parallel", "convbo", "cherrypick", "random", "exhaustive"];
+
+/// Construct a searcher from its CLI/service name, seeded. Returns `None`
+/// for unknown names. The boxed searcher is `Send + Sync`: searchers are
+/// plain configuration structs, so service sessions can build and run
+/// them on worker threads.
+pub fn searcher_by_name(name: &str, seed: u64) -> Option<Box<dyn Searcher + Send + Sync>> {
+    Some(match name {
+        "heterbo" => Box::new(HeterBo::seeded(seed)),
+        "heterbo-parallel" => Box::new(HeterBo::with_parallel_init(seed)),
+        "convbo" => Box::new(ConvBo::seeded(seed)),
+        "cherrypick" => Box::new(CherryPick::seeded(seed)),
+        "random" => Box::new(RandomSearch::new(9, seed)),
+        "exhaustive" => Box::new(ExhaustiveSearch::strided(10)),
+        _ => return None,
+    })
+}
+
 /// A deployment search strategy.
 pub trait Searcher {
     /// Short identifier used in figures and reports.

@@ -8,6 +8,7 @@
 use crate::env::ProfilingEnv;
 use crate::observation::{SearchOutcome, SearchStep, StopReason};
 use crate::scenario::Scenario;
+use crate::search::trace::{NullSink, TraceEvent, TraceSink};
 use crate::search::{pick_incumbent, Searcher};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -35,20 +36,39 @@ impl Searcher for RandomSearch {
     }
 
     fn search(&self, env: &mut dyn ProfilingEnv, scenario: &Scenario) -> SearchOutcome {
+        self.search_traced(env, scenario, &mut NullSink)
+    }
+
+    fn search_traced(
+        &self,
+        env: &mut dyn ProfilingEnv,
+        scenario: &Scenario,
+        sink: &mut dyn TraceSink,
+    ) -> SearchOutcome {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut pool = env.space().candidates().to_vec();
         pool.shuffle(&mut rng);
         let mut observations = Vec::new();
         let mut steps = Vec::new();
         for d in pool.into_iter().take(self.k) {
-            if let Ok(obs) = env.profile(&d) {
-                observations.push(obs);
-                steps.push(SearchStep {
-                    index: steps.len() + 1,
-                    observation: obs,
-                    cum_profile_time: env.elapsed(),
-                    cum_profile_cost: env.spent(),
-                });
+            match env.profile(&d) {
+                Ok(obs) => {
+                    observations.push(obs);
+                    steps.push(SearchStep {
+                        index: steps.len() + 1,
+                        observation: obs,
+                        cum_profile_time: env.elapsed(),
+                        cum_profile_cost: env.spent(),
+                    });
+                    sink.record(TraceEvent::Probe {
+                        observation: obs,
+                        cum_profile_time: env.elapsed(),
+                        cum_profile_cost: env.spent(),
+                    });
+                }
+                Err(e) => {
+                    sink.record(TraceEvent::ProbeFailed { deployment: d, error: e.to_string() })
+                }
             }
         }
         let best = pick_incumbent(
@@ -62,6 +82,7 @@ impl Searcher for RandomSearch {
         .copied();
         let stop_reason =
             if best.is_none() { StopReason::NothingFeasible } else { StopReason::MaxSteps };
+        sink.record(TraceEvent::Stopped { reason: stop_reason });
         SearchOutcome {
             best,
             steps,

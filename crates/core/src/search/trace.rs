@@ -11,10 +11,10 @@
 use crate::deployment::Deployment;
 use crate::observation::{Observation, StopReason};
 use mlcd_cloudsim::{Money, SimDuration};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Why the kernel discarded a candidate before probing it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PruneReason {
     /// The TEI filter (paper eqs. 5–6): even at an optimistic speed the
     /// candidate could not finish within the remaining deadline/budget
@@ -26,7 +26,7 @@ pub enum PruneReason {
 }
 
 /// One event of the kernel's structured trace, in emission order.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// An initialisation probe completed.
     InitProbe {
@@ -180,14 +180,17 @@ impl SearchTrace {
     }
 
     /// Render the stream as JSON Lines — one event object per line, the
-    /// format `mlcd search --trace <path>` writes.
-    pub fn to_jsonl(&self) -> String {
+    /// format `mlcd search --trace <path>` writes and the service journal
+    /// extends. A serialisation failure surfaces as an error instead of a
+    /// panic so a long-running server can degrade the one session rather
+    /// than lose a worker thread.
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
         let mut out = String::new();
         for e in &self.events {
-            out.push_str(&serde_json::to_string(e).expect("trace events serialise"));
+            out.push_str(&serde_json::to_string(e)?);
             out.push('\n');
         }
-        out
+        Ok(out)
     }
 }
 
@@ -218,7 +221,7 @@ mod tests {
         assert_eq!(t.probes().count(), 1);
         assert_eq!(t.stop_reason(), Some(StopReason::Converged));
         assert_eq!(t.final_probe_spend(), Some(Money::from_dollars(0.5)));
-        let jsonl = t.to_jsonl();
+        let jsonl = t.to_jsonl().unwrap();
         assert_eq!(jsonl.lines().count(), 2);
         for line in jsonl.lines() {
             let v: serde_json::Value = serde_json::from_str(line).unwrap();

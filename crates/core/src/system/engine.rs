@@ -12,10 +12,10 @@ use crate::search::Searcher;
 use crate::system::interfaces::{CloudInterface, MlPlatformInterface};
 use crate::system::profiler::Profiler;
 use mlcd_cloudsim::{Money, SimDuration};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The engine's recommendation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DeploymentPlan {
     /// The chosen deployment.
     pub deployment: Deployment,

@@ -78,11 +78,11 @@ pub struct Violation {
 
 /// Crates whose non-test code must not iterate `HashMap`/`HashSet` (their
 /// outputs feed `SearchOutcome` digests and figure numbers).
-const ORDERED_CRATES: &[&str] = &["mlcd", "mlcd-gp", "mlcd-linalg"];
+const ORDERED_CRATES: &[&str] = &["mlcd", "mlcd-gp", "mlcd-linalg", "mlcd-service"];
 
 /// Crates whose non-test code must not compare floats with `==`/`!=`.
 const FLOAT_CRATES: &[&str] =
-    &["mlcd", "mlcd-gp", "mlcd-linalg", "mlcd-cloudsim", "mlcd-perfmodel"];
+    &["mlcd", "mlcd-gp", "mlcd-linalg", "mlcd-cloudsim", "mlcd-perfmodel", "mlcd-service"];
 
 /// Crates whose `src/lib.rs` must carry `#![forbid(unsafe_code)]`.
 const FORBID_UNSAFE_LIBS: &[(&str, &str)] = &[
@@ -90,7 +90,14 @@ const FORBID_UNSAFE_LIBS: &[(&str, &str)] = &[
     ("crates/gp/src/lib.rs", "mlcd-gp"),
     ("crates/perfmodel/src/lib.rs", "mlcd-perfmodel"),
     ("crates/cloudsim/src/lib.rs", "mlcd-cloudsim"),
+    ("crates/service/src/lib.rs", "mlcd-service"),
 ];
+
+/// The one carve-out from R2: the service's TCP connection layer may
+/// stamp its *log lines* with the wall clock. Nothing under this prefix
+/// feeds a `SearchOutcome` — the session/journal/cache path stays under
+/// the full rule, and `crates/lint/tests/rules.rs` pins both sides.
+const NONDET_EXEMPT_PREFIXES: &[&str] = &["crates/service/src/net/"];
 
 /// The kernel hot paths under the R5 panic/indexing discipline.
 const HOT_PATHS: &[&str] =
@@ -125,6 +132,7 @@ impl FileCtx {
                 "perfmodel" => "mlcd-perfmodel",
                 "bench" => "mlcd-bench",
                 "lint" => "mlcd-lint",
+                "service" => "mlcd-service",
                 other => other,
             }
             .to_string()
@@ -187,8 +195,11 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
         }
     }
 
-    // R2 — wall-clock / OS entropy outside the bench crate.
-    if ctx.crate_name != "mlcd-bench" {
+    // R2 — wall-clock / OS entropy outside the bench crate and the
+    // service's connection-logging layer.
+    if ctx.crate_name != "mlcd-bench"
+        && !NONDET_EXEMPT_PREFIXES.iter().any(|p| ctx.path.starts_with(p))
+    {
         for (line, msg) in nondet_sources(&lexed.tokens) {
             findings.push(v(line, Rule::NondetSource, msg));
         }

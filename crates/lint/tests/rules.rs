@@ -57,6 +57,30 @@ fn nondet_source_is_exempt_in_bench_crate() {
 }
 
 #[test]
+fn nondet_source_exemption_covers_only_the_service_net_layer() {
+    // The connection layer may stamp log lines with the wall clock …
+    assert_eq!(fired("crates/service/src/net/mod.rs", "net_clock.rs"), Vec::<&str>::new());
+    assert_eq!(fired("crates/service/src/net/server.rs", "nondet_bad.rs"), Vec::<&str>::new());
+    // … but the session path — everything that can feed a SearchOutcome —
+    // stays under the full rule, as does the rest of the service crate.
+    assert_eq!(
+        fired("crates/service/src/net_clock_lookalike.rs", "net_clock.rs"),
+        vec!["nondet-source"]
+    );
+    for session_path in [
+        "crates/service/src/session.rs",
+        "crates/service/src/journal.rs",
+        "crates/service/src/cache.rs",
+    ] {
+        assert_eq!(
+            fired(session_path, "nondet_bad.rs"),
+            vec!["nondet-source", "nondet-source"],
+            "{session_path} must stay under R2"
+        );
+    }
+}
+
+#[test]
 fn float_cmp_fires_on_eq_and_partial_cmp_unwrap() {
     let rules = fired("crates/gp/src/kernels.rs", "float_cmp_bad.rs");
     assert_eq!(rules, vec!["float-cmp", "float-cmp"]);

@@ -361,6 +361,36 @@ impl TrainingJob {
         self
     }
 
+    /// The preset-job names [`TrainingJob::by_name`] resolves, in display
+    /// order (shared by the `mlcd` CLI and the deployment service).
+    pub fn preset_names() -> [&'static str; 8] {
+        [
+            "resnet-cifar10",
+            "alexnet-cifar10",
+            "char-rnn",
+            "inception-imagenet",
+            "bert-tf",
+            "bert-mxnet",
+            "zero-8b",
+            "zero-20b",
+        ]
+    }
+
+    /// Resolve a preset job by its CLI/service name; `None` when unknown.
+    pub fn by_name(name: &str) -> Option<TrainingJob> {
+        Some(match name {
+            "resnet-cifar10" => TrainingJob::resnet_cifar10(),
+            "alexnet-cifar10" => TrainingJob::alexnet_cifar10(),
+            "char-rnn" => TrainingJob::char_rnn(),
+            "inception-imagenet" => TrainingJob::inception_imagenet(),
+            "bert-tf" => TrainingJob::bert_tensorflow(),
+            "bert-mxnet" => TrainingJob::bert_mxnet(),
+            "zero-8b" => TrainingJob::zero_8b(),
+            "zero-20b" => TrainingJob::zero_20b(),
+            _ => return None,
+        })
+    }
+
     /// The paper's ResNet/CIFAR-10/TensorFlow workhorse job (Figs 2, 9–12,
     /// 18).
     pub fn resnet_cifar10() -> TrainingJob {

@@ -1,0 +1,94 @@
+//! `mlcd-serve` — run the deployment-planning service.
+//!
+//! ```text
+//! mlcd-serve --listen 127.0.0.1:7070 --journal-dir /var/lib/mlcd \
+//!            [--workers N] [--queue-cap N] [--no-probe-cache]
+//! ```
+//!
+//! On start the journal directory is scanned: finished sessions are
+//! restored (their results stay queryable), in-flight ones are resumed by
+//! deterministic replay. The first stdout line is always
+//! `listening on <addr>` so scripts can bind port 0 and read the
+//! ephemeral port back.
+
+use mlcd_service::{Server, ServiceConfig, SessionManager};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: mlcd-serve [--listen ADDR] [--journal-dir DIR] \
+                     [--workers N] [--queue-cap N] [--no-probe-cache]";
+
+fn main() -> ExitCode {
+    let mut listen = "127.0.0.1:7070".to_string();
+    let mut cfg = ServiceConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"));
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--listen" => value("--listen").map(|v| listen = v),
+            "--journal-dir" => {
+                value("--journal-dir").map(|v| cfg.journal_dir = Some(PathBuf::from(v)))
+            }
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse().map(|n| cfg.workers = n).map_err(|e| format!("--workers: {e}"))
+            }),
+            "--queue-cap" => value("--queue-cap").and_then(|v| {
+                v.parse().map(|n| cfg.queue_cap = n).map_err(|e| format!("--queue-cap: {e}"))
+            }),
+            "--no-probe-cache" => {
+                cfg.probe_cache = false;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag `{other}`\n{USAGE}")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cfg.workers == 0 {
+        eprintln!("--workers must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    let manager = match SessionManager::new(cfg) {
+        Ok(m) => Arc::new(m),
+        Err(e) => {
+            eprintln!("failed to start session manager: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(&listen, manager) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Scripts parse this line to discover an ephemeral port.
+            println!("listening on {addr}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("failed to read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

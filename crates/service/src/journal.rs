@@ -1,0 +1,340 @@
+//! Write-ahead session journals.
+//!
+//! Each session appends one JSON record per line to its own
+//! `session-{id:08}.journal` file. Every append is flushed **and**
+//! fsync'd before the probe result is acted on, so after a crash the
+//! journal is a faithful prefix of the session's deterministic event
+//! stream — possibly plus one torn trailing line, which the reader
+//! detects and the writer truncates away before resuming.
+//!
+//! Grammar (one record per line, externally tagged):
+//!
+//! ```text
+//! journal   := header record*
+//! header    := {"Header": {format, session, spec, scenario}}
+//! record    := {"Event": {seq, event}}         # journaled TraceEvent
+//!            | {"Completed": {result}}          # terminal: SessionResult
+//!            | "Cancelled"                      # terminal
+//!            | {"Failed": {error}}              # terminal
+//! ```
+//!
+//! Only the deterministic spine of the trace is journaled (`InitProbe`,
+//! `Probe`, `IncumbentChanged`, `Stopped`); advisory events such as
+//! candidate scoring are derived state and would only bloat the log.
+
+use crate::proto::{SessionResult, SubmitSpec};
+use mlcd::prelude::Scenario;
+use mlcd::search::TraceEvent;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Version tag of the journal grammar above.
+pub const JOURNAL_FORMAT: u32 = 1;
+
+/// One line of a session journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// First line: identifies the session and everything needed to replay
+    /// it deterministically.
+    Header {
+        /// Grammar version ([`JOURNAL_FORMAT`]).
+        format: u32,
+        /// Session id (also in the file name).
+        session: u64,
+        /// The submitted spec — job, searcher, seed, scenario parameters.
+        spec: SubmitSpec,
+        /// The resolved scenario (redundant with `spec`, kept so a journal
+        /// is self-describing without re-deriving).
+        scenario: Scenario,
+    },
+    /// One journaled trace event.
+    Event {
+        /// 0-based position in the journaled event stream.
+        seq: u64,
+        /// The event.
+        event: TraceEvent,
+    },
+    /// Terminal record of a session that finished normally.
+    Completed {
+        /// The full result, as served by the `result` request.
+        result: SessionResult,
+    },
+    /// Terminal record of a cancelled session.
+    Cancelled,
+    /// Terminal record of a session that failed.
+    Failed {
+        /// Why.
+        error: String,
+    },
+}
+
+impl JournalRecord {
+    /// Whether this record ends a session.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JournalRecord::Completed { .. }
+                | JournalRecord::Cancelled
+                | JournalRecord::Failed { .. }
+        )
+    }
+}
+
+/// Is this `TraceEvent` part of the journaled deterministic spine?
+pub fn is_journaled(event: &TraceEvent) -> bool {
+    matches!(
+        event,
+        TraceEvent::InitProbe { .. }
+            | TraceEvent::Probe { .. }
+            | TraceEvent::IncumbentChanged { .. }
+            | TraceEvent::Stopped { .. }
+    )
+}
+
+/// Journal file name for a session id.
+pub fn journal_file(dir: &Path, session: u64) -> PathBuf {
+    dir.join(format!("session-{session:08}.journal"))
+}
+
+/// Parse a session id back out of a journal file name.
+pub fn session_of(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("session-")?.strip_suffix(".journal")?;
+    rest.parse().ok()
+}
+
+/// Append-only, fsync-per-record journal writer.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Create a fresh journal (truncating any stale file of the same id).
+    pub fn create(path: &Path) -> std::io::Result<JournalWriter> {
+        Ok(JournalWriter { file: File::create(path)? })
+    }
+
+    /// Reopen an existing journal for appending, first truncating it to
+    /// `valid_len` to drop a torn trailing line left by a crash.
+    pub fn open_append(path: &Path, valid_len: u64) -> std::io::Result<JournalWriter> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut w = JournalWriter { file };
+        w.file.seek(SeekFrom::End(0))?;
+        Ok(w)
+    }
+
+    /// Append one record as a line and fsync it to disk. On return the
+    /// record is durable — this is the write-ahead guarantee the resume
+    /// path leans on.
+    pub fn append(&mut self, record: &JournalRecord) -> std::io::Result<()> {
+        let mut line = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// A journal read back from disk.
+#[derive(Debug)]
+pub struct JournalContents {
+    /// Every complete, well-formed record, in order.
+    pub records: Vec<JournalRecord>,
+    /// Byte length of the well-formed prefix; anything past it is a torn
+    /// tail to truncate before appending.
+    pub valid_len: u64,
+}
+
+impl JournalContents {
+    /// The header, if the journal has one.
+    pub fn header(&self) -> Option<&JournalRecord> {
+        match self.records.first() {
+            Some(h @ JournalRecord::Header { .. }) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The journaled events (in order), without their envelopes.
+    pub fn events(&self) -> Vec<&TraceEvent> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                JournalRecord::Event { event, .. } => Some(event),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The terminal record, if the session reached one.
+    pub fn terminal(&self) -> Option<&JournalRecord> {
+        self.records.last().filter(|r| r.is_terminal())
+    }
+}
+
+/// Read a journal, tolerating a torn trailing line.
+///
+/// A record that fails to parse *mid-file* is corruption and errors out;
+/// only the final line may be torn (the crash window is exactly one
+/// in-flight append), and it is excluded from `valid_len`.
+///
+/// # Errors
+/// I/O failure, or a malformed record before the last line.
+pub fn read_journal(path: &Path) -> std::io::Result<JournalContents> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+
+    let mut records = Vec::new();
+    let mut valid_len = 0u64;
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+            break; // torn tail: no terminating newline
+        };
+        let line = &bytes[offset..offset + nl];
+        let parsed = std::str::from_utf8(line)
+            .ok()
+            .and_then(|s| serde_json::from_str::<JournalRecord>(s).ok());
+        match parsed {
+            Some(rec) => {
+                records.push(rec);
+                offset += nl + 1;
+                valid_len = offset as u64;
+            }
+            None if offset + nl + 1 == bytes.len() => break, // torn final line
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "corrupt journal record at byte {offset} of {} (not a torn tail)",
+                        path.display()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(JournalContents { records, valid_len })
+}
+
+/// All journal files in a directory, sorted by session id.
+///
+/// # Errors
+/// I/O failure listing the directory.
+pub fn list_journals(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if let Some(id) = session_of(&path) {
+            found.push((id, path));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcd::prelude::{Deployment, InstanceType, Money, Observation, SimDuration};
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mlcd-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn probe(seq: u64) -> JournalRecord {
+        JournalRecord::Event {
+            seq,
+            event: TraceEvent::Probe {
+                observation: Observation {
+                    deployment: Deployment::new(InstanceType::C5Xlarge, 2),
+                    speed: 123.5,
+                    profile_time: SimDuration::from_secs(60.0),
+                    profile_cost: Money::from_dollars(0.25),
+                },
+                cum_profile_time: SimDuration::from_secs(60.0),
+                cum_profile_cost: Money::from_dollars(0.25),
+            },
+        }
+    }
+
+    fn header() -> JournalRecord {
+        JournalRecord::Header {
+            format: JOURNAL_FORMAT,
+            session: 3,
+            spec: SubmitSpec::new("resnet-cifar10", "heterbo", 1),
+            scenario: Scenario::FastestUnlimited,
+        }
+    }
+
+    #[test]
+    fn round_trips_records_and_reads_them_back() {
+        let d = dir("roundtrip");
+        let path = journal_file(&d, 3);
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append(&header()).unwrap();
+        w.append(&probe(0)).unwrap();
+        w.append(&JournalRecord::Cancelled).unwrap();
+        drop(w);
+
+        let back = read_journal(&path).unwrap();
+        assert_eq!(back.records.len(), 3);
+        assert!(back.header().is_some());
+        assert_eq!(back.events().len(), 1);
+        assert!(matches!(back.terminal(), Some(JournalRecord::Cancelled)));
+        assert_eq!(back.valid_len, std::fs::metadata(&path).unwrap().len());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated_on_reopen() {
+        let d = dir("torn");
+        let path = journal_file(&d, 9);
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append(&header()).unwrap();
+        w.append(&probe(0)).unwrap();
+        drop(w);
+        let full = std::fs::metadata(&path).unwrap().len();
+
+        // Simulate a crash mid-append: write half of a record, no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"Event\":{\"seq\":1,\"ev").unwrap();
+        }
+        let back = read_journal(&path).unwrap();
+        assert_eq!(back.records.len(), 2, "torn tail must not parse");
+        assert_eq!(back.valid_len, full);
+
+        // Reopening truncates the tail; the next append lands cleanly.
+        let mut w = JournalWriter::open_append(&path, back.valid_len).unwrap();
+        w.append(&probe(1)).unwrap();
+        drop(w);
+        let back = read_journal(&path).unwrap();
+        assert_eq!(back.records.len(), 3);
+        assert_eq!(back.valid_len, std::fs::metadata(&path).unwrap().len());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn torn_complete_line_midfile_is_corruption() {
+        let d = dir("corrupt");
+        let path = journal_file(&d, 1);
+        std::fs::write(&path, "not json\n\"Cancelled\"\n").unwrap();
+        assert!(read_journal(&path).is_err());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn file_names_round_trip_session_ids() {
+        let d = PathBuf::from("/tmp/j");
+        let p = journal_file(&d, 42);
+        assert_eq!(p.file_name().unwrap().to_str().unwrap(), "session-00000042.journal");
+        assert_eq!(session_of(&p), Some(42));
+        assert_eq!(session_of(Path::new("/tmp/j/other.txt")), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! # mlcd-service — the deployment-planning service
+//!
+//! A long-running server around the MLCD search stack: clients submit
+//! *(job, scenario, searcher, seed)* specs; each runs as an independent,
+//! fully deterministic search session on a bounded worker pool. Three
+//! properties the whole crate is organised around:
+//!
+//! 1. **Determinism survives concurrency.** A session's
+//!    [`SearchOutcome`](mlcd::observation::SearchOutcome) is a pure
+//!    function of its spec — the pool only changes *when* a session runs,
+//!    never *what* it computes. Two concurrent sessions are bit-identical
+//!    to the same two searches run sequentially in-process.
+//! 2. **Determinism survives crashes.** Every session write-ahead
+//!    journals its deterministic event spine ([`journal`]); a killed
+//!    server restarted over the same journal directory resumes every
+//!    in-flight search by verified replay and finishes with the same
+//!    bit-exact outcome an uninterrupted run produces.
+//! 3. **Exploration cost is shared.** The paper's central observation is
+//!    that profiling probes are expensive and heterogeneous; the service
+//!    memoises completed probes across sessions ([`cache`]) so identical
+//!    probes of the same job are paid for once.
+//!
+//! The wire protocol ([`proto`], [`net`]) is newline-delimited JSON over
+//! TCP, served by the `mlcd-serve` binary and spoken by the `mlcd`
+//! CLI's `submit`/`status`/`result`/`watch` subcommands.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod journal;
+pub mod net;
+pub mod proto;
+pub mod session;
+
+pub use cache::{CacheKey, CachedEnv, ProbeCache};
+pub use journal::{JournalRecord, JournalWriter, JOURNAL_FORMAT};
+pub use net::Server;
+pub use proto::{Request, Response, SessionResult, StatusLine, SubmitSpec};
+pub use session::{Phase, Reject, ServiceConfig, Session, SessionManager};

@@ -1,0 +1,211 @@
+//! Newline-delimited-JSON protocol over TCP.
+//!
+//! One JSON request per line in, one JSON response per line out (plus a
+//! raw [`TraceEvent`] stream between `Watching` and `WatchEnd` for watch
+//! requests). Connections are handled on detached threads; the accept
+//! loop stops when a `Shutdown` request arrives.
+//!
+//! This module is the **only** part of the workspace (outside the
+//! benchmark harness) allowed to read the wall clock: connection log
+//! lines are stamped with [`std::time::SystemTime`]. mlcd-lint's
+//! nondet-source rule carves out exactly `crates/service/src/net/` —
+//! nothing here feeds a `SearchOutcome`, so determinism is untouched.
+//! The session path (`session.rs`, `journal.rs`, `cache.rs`) stays under
+//! the full rule.
+
+use crate::proto::{Request, Response};
+use crate::session::{Phase, SessionManager};
+use mlcd::search::TraceEvent;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The NDJSON server: an accept loop over a [`SessionManager`].
+pub struct Server {
+    listener: TcpListener,
+    manager: Arc<SessionManager>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Unix-seconds stamp for connection log lines (never enters a session).
+fn log_stamp() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+impl Server {
+    /// Bind a listener. Use port 0 for an ephemeral port and read it back
+    /// with [`Server::local_addr`].
+    ///
+    /// # Errors
+    /// Whatever [`TcpListener::bind`] reports.
+    pub fn bind(addr: &str, manager: Arc<SessionManager>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, manager, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    /// Whatever [`TcpListener::local_addr`] reports.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a `Shutdown` request arrives, then drain the session
+    /// manager (running sessions finish; journaled queued sessions stay
+    /// resumable) and return.
+    ///
+    /// # Errors
+    /// Accept-loop I/O failure.
+    pub fn run(&self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("[{}] accept error: {e}", log_stamp());
+                    continue;
+                }
+            };
+            let manager = self.manager.clone();
+            let stop = self.stop.clone();
+            let addr = self.local_addr()?;
+            // Detached: a watcher blocked on a long search must not delay
+            // other connections or the shutdown path.
+            std::thread::spawn(move || {
+                if let Err(e) = handle_conn(stream, &manager, &stop, addr) {
+                    eprintln!("[{}] connection error: {e}", log_stamp());
+                }
+            });
+        }
+        self.manager.shutdown_and_wait();
+        Ok(())
+    }
+
+    /// Ask the accept loop to stop (used by `Shutdown` handling; also
+    /// handy for tests). Wakes the loop with a self-connection.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Ok(addr) = self.local_addr() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut line = serde_json::to_string(resp)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+fn send_event(stream: &mut TcpStream, event: &TraceEvent) -> std::io::Result<()> {
+    let mut line = serde_json::to_string(event)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_conn(
+    stream: TcpStream,
+    manager: &SessionManager,
+    stop: &AtomicBool,
+    server_addr: SocketAddr,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client closed
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request: Request = match serde_json::from_str(line.trim()) {
+            Ok(r) => r,
+            Err(e) => {
+                send(&mut out, &Response::Error { message: format!("bad request: {e}") })?;
+                continue;
+            }
+        };
+        match request {
+            Request::Submit(spec) => match manager.submit(spec) {
+                Ok(id) => send(&mut out, &Response::Submitted { id })?,
+                Err(r) => send(
+                    &mut out,
+                    &Response::Rejected { queue_full: r.queue_full, reason: r.reason },
+                )?,
+            },
+            Request::Status { id } => match manager.status(id) {
+                Some(sessions) => send(&mut out, &Response::StatusReport { sessions })?,
+                None => send(
+                    &mut out,
+                    &Response::Error { message: format!("unknown session {}", id.unwrap_or(0)) },
+                )?,
+            },
+            Request::Result { id, wait } => match manager.session(id) {
+                None => {
+                    send(&mut out, &Response::Error { message: format!("unknown session {id}") })?;
+                }
+                Some(session) => {
+                    let phase = if wait { session.wait_terminal() } else { session.phase() };
+                    match phase {
+                        Phase::Done(result) => {
+                            send(&mut out, &Response::ResultReady { id, result: *result })?;
+                        }
+                        Phase::Failed(message) => send(
+                            &mut out,
+                            &Response::Error { message: format!("session {id} failed: {message}") },
+                        )?,
+                        other => send(
+                            &mut out,
+                            &Response::NotReady { id, state: other.name().to_string() },
+                        )?,
+                    }
+                }
+            },
+            Request::Watch { id } => match manager.session(id) {
+                None => {
+                    send(&mut out, &Response::Error { message: format!("unknown session {id}") })?;
+                }
+                Some(session) => {
+                    send(&mut out, &Response::Watching { id })?;
+                    let mut pos = 0usize;
+                    loop {
+                        let (events, terminal) = session.next_events(pos);
+                        pos += events.len();
+                        for event in &events {
+                            send_event(&mut out, event)?;
+                        }
+                        if let Some(state) = terminal {
+                            send(&mut out, &Response::WatchEnd { id, state })?;
+                            break;
+                        }
+                    }
+                }
+            },
+            Request::Cancel { id } => {
+                if manager.cancel(id) {
+                    send(&mut out, &Response::Cancelling { id })?;
+                } else {
+                    send(&mut out, &Response::Error { message: format!("unknown session {id}") })?;
+                }
+            }
+            Request::Shutdown => {
+                send(&mut out, &Response::ShuttingDown)?;
+                stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so `run` can drain and return.
+                let _ = TcpStream::connect(server_addr);
+                return Ok(());
+            }
+        }
+    }
+}

@@ -1,0 +1,857 @@
+//! Concurrent search sessions on a bounded worker pool.
+//!
+//! A [`SessionManager`] owns a fixed-size pool of worker threads, a
+//! bounded priority queue of submitted sessions (higher priority first,
+//! FIFO within a priority), the shared [`ProbeCache`] and, when a journal
+//! directory is configured, one write-ahead journal per session.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!            submit                    worker picks up
+//!  client ───────────▶ Queued ──────────────────────────▶ Running
+//!                        │ cancel                            │
+//!                        ▼                                   ├──▶ Done(result)
+//!                     Cancelled ◀── cancel (cooperative) ────┤
+//!                                                            ├──▶ Failed(error)
+//!                                         simulated kill ────┴──▶ Crashed
+//! ```
+//!
+//! `Done`, `Failed` and `Cancelled` are journaled terminal records;
+//! `Crashed` is *not* (that is the point — the journal holds only the
+//! durable prefix), so a restarted manager finds the unterminated journal
+//! and resumes the session.
+//!
+//! # Crash-resume = deterministic replay
+//!
+//! Every search outcome is a pure function of `(job, scenario, searcher,
+//! seed, types, max_nodes)` — nothing downstream of the seed reads a
+//! clock or an entropy source (mlcd-lint's nondet-source rule enforces
+//! this). Resuming therefore re-runs the search from scratch while a
+//! verifying sink compares each re-emitted journaled event against the
+//! journal prefix *string-for-string* (the serde shim's float rendering
+//! round-trips finite f64s bit-exactly, so string equality is bit
+//! equality). Any divergence fails the session loudly instead of
+//! appending a corrupt suffix. Resumed sessions bypass the probe cache:
+//! a cache hit that did not occur in the original run would change the
+//! platform RNG stream and diverge from the prefix.
+
+use crate::cache::{CachedEnv, ProbeCache};
+use crate::journal::{
+    is_journaled, journal_file, list_journals, read_journal, JournalRecord, JournalWriter,
+    JOURNAL_FORMAT,
+};
+use crate::proto::{SessionResult, StatusLine, SubmitSpec};
+use mlcd::prelude::{ExperimentRunner, Scenario, TraceEvent, TraceSink};
+use mlcd::search::searcher_by_name;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once};
+use std::thread::JoinHandle;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads — the concurrency of the session pool.
+    pub workers: usize,
+    /// Bound on the number of *queued* (not yet running) sessions; a
+    /// submit past it is rejected with `queue_full` (the backpressure
+    /// signal — there are no unbounded channels anywhere in the service).
+    pub queue_cap: usize,
+    /// Where to keep per-session write-ahead journals. `None` disables
+    /// journaling (and with it crash-resume).
+    pub journal_dir: Option<PathBuf>,
+    /// Consult the shared probe cache for fresh (non-resumed) sessions.
+    pub probe_cache: bool,
+    /// Test hook: simulate a `kill -9` after this many journaled records
+    /// (replayed ones included) by panicking the worker *without* writing
+    /// a terminal record.
+    pub crash_after_records: Option<u64>,
+    /// Start with the worker pool paused: sessions queue (and journal)
+    /// but nothing runs until [`SessionManager::resume_workers`]. Lets an
+    /// operator inspect a resumed queue before it drains, and makes queue
+    /// -ordering tests deterministic.
+    pub start_paused: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_cap: 16,
+            journal_dir: None,
+            probe_cache: true,
+            crash_after_records: None,
+            start_paused: false,
+        }
+    }
+}
+
+/// Lifecycle state of one session.
+#[derive(Debug, Clone)]
+pub enum Phase {
+    /// Waiting in the priority queue.
+    Queued,
+    /// A worker is searching.
+    Running,
+    /// Finished; result available.
+    Done(Box<SessionResult>),
+    /// Errored (bad spec discovered late, journal I/O failure, replay
+    /// divergence, or a searcher panic).
+    Failed(String),
+    /// Cancelled cooperatively.
+    Cancelled,
+    /// The simulated-kill test hook fired; the journal is unterminated
+    /// and the session will resume on the next manager start.
+    Crashed,
+}
+
+impl Phase {
+    /// Short lowercase name, as reported on the wire.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Running => "running",
+            Phase::Done(_) => "done",
+            Phase::Failed(_) => "failed",
+            Phase::Cancelled => "cancelled",
+            Phase::Crashed => "crashed",
+        }
+    }
+
+    /// Whether the session can never change state again (within this
+    /// manager — a `Crashed` session resumes in the *next* one).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Phase::Queued | Phase::Running)
+    }
+}
+
+struct SessionState {
+    phase: Phase,
+    events: Vec<TraceEvent>,
+}
+
+/// One submitted search session.
+pub struct Session {
+    /// Session id (unique per journal directory, monotonically assigned).
+    pub id: u64,
+    /// The spec it was submitted with.
+    pub spec: SubmitSpec,
+    /// The resolved scenario.
+    pub scenario: Scenario,
+    state: Mutex<SessionState>,
+    state_cv: Condvar,
+    cancel: AtomicBool,
+}
+
+impl Session {
+    fn new(id: u64, spec: SubmitSpec, scenario: Scenario, phase: Phase) -> Session {
+        Session {
+            id,
+            spec,
+            scenario,
+            state: Mutex::new(SessionState { phase, events: Vec::new() }),
+            state_cv: Condvar::new(),
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    /// Current lifecycle phase (cloned snapshot).
+    pub fn phase(&self) -> Phase {
+        self.state.lock().expect("session poisoned").phase.clone()
+    }
+
+    /// Block until the session reaches a terminal phase, and return it.
+    pub fn wait_terminal(&self) -> Phase {
+        let mut st = self.state.lock().expect("session poisoned");
+        while !st.phase.is_terminal() {
+            st = self.state_cv.wait(st).expect("session poisoned");
+        }
+        st.phase.clone()
+    }
+
+    /// Ask the session to stop. Queued sessions cancel before starting;
+    /// running ones cancel at their next trace event (probes are atomic —
+    /// cancellation never leaves a half-journaled record).
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+        self.state_cv.notify_all();
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// Status row for this session.
+    pub fn status_line(&self) -> StatusLine {
+        StatusLine {
+            id: self.id,
+            job: self.spec.job.clone(),
+            searcher: self.spec.searcher.clone(),
+            seed: self.spec.seed,
+            priority: self.spec.priority,
+            state: self.phase().name().to_string(),
+        }
+    }
+
+    /// Blocking event tail for watchers: events past `from`, or — once
+    /// all events are delivered and the session has ended — the terminal
+    /// state name.
+    pub fn next_events(&self, from: usize) -> (Vec<TraceEvent>, Option<String>) {
+        let mut st = self.state.lock().expect("session poisoned");
+        loop {
+            if st.events.len() > from {
+                return (st.events[from..].to_vec(), None);
+            }
+            if st.phase.is_terminal() {
+                return (Vec::new(), Some(st.phase.name().to_string()));
+            }
+            st = self.state_cv.wait(st).expect("session poisoned");
+        }
+    }
+
+    fn push_event(&self, event: TraceEvent) {
+        let mut st = self.state.lock().expect("session poisoned");
+        st.events.push(event);
+        drop(st);
+        self.state_cv.notify_all();
+    }
+
+    fn set_phase(&self, phase: Phase) {
+        let mut st = self.state.lock().expect("session poisoned");
+        st.phase = phase;
+        drop(st);
+        self.state_cv.notify_all();
+    }
+
+    fn seed_events(&self, events: Vec<TraceEvent>) {
+        self.state.lock().expect("session poisoned").events = events;
+    }
+}
+
+// ---- panic sentinels -------------------------------------------------
+
+/// Cooperative-cancel payload thrown out of the sink.
+struct CancelSignal;
+/// Simulated-kill payload thrown by the `crash_after_records` hook.
+struct CrashSignal;
+/// Resume-verification mismatch.
+struct ReplayDivergence(String);
+/// Journal append failure mid-search.
+struct JournalIo(String);
+
+/// Install (once, process-wide) a panic hook that stays silent for the
+/// service's control-flow sentinels and delegates everything else to the
+/// previous hook. Worker panics are caught and turned into session
+/// states; without this every cancel would spew a backtrace.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.is::<CancelSignal>()
+                || p.is::<CrashSignal>()
+                || p.is::<ReplayDivergence>()
+                || p.is::<JournalIo>()
+            {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+// ---- the verifying / journaling sink ---------------------------------
+
+struct SessionSink<'a> {
+    session: &'a Session,
+    writer: Option<&'a mut JournalWriter>,
+    /// Journaled prefix to verify against when resuming.
+    replay: &'a [TraceEvent],
+    replay_pos: usize,
+    /// Journaled events seen so far (replayed + appended).
+    journaled: u64,
+    crash_after: Option<u64>,
+}
+
+impl TraceSink for SessionSink<'_> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.session.cancel_requested() {
+            panic_any(CancelSignal);
+        }
+        if is_journaled(&event) {
+            if self.replay_pos < self.replay.len() {
+                // Verify the re-emitted event against the journal prefix.
+                // String equality is bit equality here: the serde shim's
+                // float rendering round-trips every finite f64 exactly.
+                let expected = serde_json::to_string(&self.replay[self.replay_pos])
+                    .unwrap_or_else(|e| format!("<unserializable: {e}>"));
+                let got = serde_json::to_string(&event)
+                    .unwrap_or_else(|e| format!("<unserializable: {e}>"));
+                if expected != got {
+                    panic_any(ReplayDivergence(format!(
+                        "resume divergence at journaled event {}: journal has {expected}, \
+                         replay produced {got}",
+                        self.replay_pos
+                    )));
+                }
+                self.replay_pos += 1;
+            } else if let Some(w) = self.writer.as_deref_mut() {
+                let record = JournalRecord::Event { seq: self.journaled, event: event.clone() };
+                if let Err(e) = w.append(&record) {
+                    panic_any(JournalIo(e.to_string()));
+                }
+            }
+            self.journaled += 1;
+        }
+        self.session.push_event(event);
+        if let Some(n) = self.crash_after {
+            if self.journaled >= n {
+                panic_any(CrashSignal);
+            }
+        }
+    }
+}
+
+// ---- manager ---------------------------------------------------------
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reject {
+    /// True when the bounded queue was full — retry later; false when the
+    /// spec itself (or the server's state) is the problem.
+    pub queue_full: bool,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+struct WorkItem {
+    session: Arc<Session>,
+    writer: Option<JournalWriter>,
+    resume_events: Vec<TraceEvent>,
+    priority: u8,
+    seq: u64,
+}
+
+struct QueueState {
+    entries: Vec<WorkItem>,
+    next_id: u64,
+    seq: u64,
+    shutdown: bool,
+    paused: bool,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    cache: ProbeCache,
+    sessions: Mutex<BTreeMap<u64, Arc<Session>>>,
+    queue: Mutex<QueueState>,
+    work_cv: Condvar,
+    started: Mutex<Vec<u64>>,
+}
+
+/// The service core: session queue, worker pool, journals, probe cache.
+pub struct SessionManager {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SessionManager {
+    /// Start a manager: scan the journal directory (if any) for sessions
+    /// to restore or resume, then spawn the worker pool.
+    ///
+    /// # Errors
+    /// Journal-directory I/O failure, or a corrupt (non-torn) journal.
+    pub fn new(cfg: ServiceConfig) -> std::io::Result<SessionManager> {
+        install_quiet_hook();
+        assert!(cfg.workers >= 1, "SessionManager: need at least one worker");
+        let mut sessions = BTreeMap::new();
+        let mut entries = Vec::new();
+        let mut next_id = 1u64;
+        let mut seq = 0u64;
+
+        if let Some(dir) = &cfg.journal_dir {
+            std::fs::create_dir_all(dir)?;
+            for (id, path) in list_journals(dir)? {
+                let contents = read_journal(&path)?;
+                let Some(JournalRecord::Header { spec, scenario, .. }) = contents.header().cloned()
+                else {
+                    // Header never made it to disk: the submit itself was
+                    // torn. Nothing to resume; drop the empty journal.
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                };
+                next_id = next_id.max(id + 1);
+                let events: Vec<TraceEvent> = contents.events().into_iter().cloned().collect();
+                match contents.terminal() {
+                    Some(JournalRecord::Completed { result }) => {
+                        let s = Arc::new(Session::new(
+                            id,
+                            spec,
+                            scenario,
+                            Phase::Done(Box::new(result.clone())),
+                        ));
+                        s.seed_events(events);
+                        sessions.insert(id, s);
+                    }
+                    Some(JournalRecord::Cancelled) => {
+                        let s = Arc::new(Session::new(id, spec, scenario, Phase::Cancelled));
+                        s.seed_events(events);
+                        sessions.insert(id, s);
+                    }
+                    Some(JournalRecord::Failed { error }) => {
+                        let s = Arc::new(Session::new(
+                            id,
+                            spec,
+                            scenario,
+                            Phase::Failed(error.clone()),
+                        ));
+                        s.seed_events(events);
+                        sessions.insert(id, s);
+                    }
+                    _ => {
+                        // In-flight at the crash: truncate the torn tail
+                        // and requeue for deterministic replay.
+                        let writer = JournalWriter::open_append(&path, contents.valid_len)?;
+                        let session =
+                            Arc::new(Session::new(id, spec.clone(), scenario, Phase::Queued));
+                        sessions.insert(id, session.clone());
+                        entries.push(WorkItem {
+                            session,
+                            writer: Some(writer),
+                            resume_events: events,
+                            priority: spec.priority,
+                            seq,
+                        });
+                        seq += 1;
+                    }
+                }
+            }
+        }
+
+        let paused = cfg.start_paused;
+        let inner = Arc::new(Inner {
+            cfg,
+            cache: ProbeCache::new(),
+            sessions: Mutex::new(sessions),
+            queue: Mutex::new(QueueState { entries, next_id, seq, shutdown: false, paused }),
+            work_cv: Condvar::new(),
+            started: Mutex::new(Vec::new()),
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Ok(SessionManager { inner, workers: Mutex::new(workers) })
+    }
+
+    /// Submit a session.
+    ///
+    /// # Errors
+    /// [`Reject`] with `queue_full: true` when the bounded queue is at
+    /// capacity, `false` for invalid specs, journal I/O failure or a
+    /// shutting-down manager.
+    pub fn submit(&self, spec: SubmitSpec) -> Result<u64, Reject> {
+        if let Err(reason) = spec.validate() {
+            return Err(Reject { queue_full: false, reason });
+        }
+        let scenario = spec.scenario().expect("spec validated");
+
+        let mut q = self.inner.queue.lock().expect("queue poisoned");
+        if q.shutdown {
+            return Err(Reject { queue_full: false, reason: "server is shutting down".into() });
+        }
+        if q.entries.len() >= self.inner.cfg.queue_cap {
+            return Err(Reject {
+                queue_full: true,
+                reason: format!(
+                    "queue full: {} sessions already queued (cap {})",
+                    q.entries.len(),
+                    self.inner.cfg.queue_cap
+                ),
+            });
+        }
+        let id = q.next_id;
+        // Write-ahead: the header must be durable before the session is
+        // visible, so a crash between submit and first probe still resumes.
+        let writer = match &self.inner.cfg.journal_dir {
+            Some(dir) => {
+                let journal = (|| {
+                    let mut w = JournalWriter::create(&journal_file(dir, id))?;
+                    w.append(&JournalRecord::Header {
+                        format: JOURNAL_FORMAT,
+                        session: id,
+                        spec: spec.clone(),
+                        scenario,
+                    })?;
+                    Ok::<_, std::io::Error>(w)
+                })();
+                match journal {
+                    Ok(w) => Some(w),
+                    Err(e) => {
+                        return Err(Reject {
+                            queue_full: false,
+                            reason: format!("journal unavailable: {e}"),
+                        });
+                    }
+                }
+            }
+            None => None,
+        };
+        q.next_id += 1;
+        let seq = q.seq;
+        q.seq += 1;
+        let session = Arc::new(Session::new(id, spec.clone(), scenario, Phase::Queued));
+        self.inner.sessions.lock().expect("sessions poisoned").insert(id, session.clone());
+        q.entries.push(WorkItem {
+            session,
+            writer,
+            resume_events: Vec::new(),
+            priority: spec.priority,
+            seq,
+        });
+        drop(q);
+        self.inner.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Look a session up by id.
+    pub fn session(&self, id: u64) -> Option<Arc<Session>> {
+        self.inner.sessions.lock().expect("sessions poisoned").get(&id).cloned()
+    }
+
+    /// Status rows: one session, or every session in id order.
+    pub fn status(&self, id: Option<u64>) -> Option<Vec<StatusLine>> {
+        let sessions = self.inner.sessions.lock().expect("sessions poisoned");
+        match id {
+            Some(id) => sessions.get(&id).map(|s| vec![s.status_line()]),
+            None => Some(sessions.values().map(|s| s.status_line()).collect()),
+        }
+    }
+
+    /// Request cancellation. Returns false for an unknown id.
+    pub fn cancel(&self, id: u64) -> bool {
+        match self.session(id) {
+            Some(s) => {
+                s.request_cancel();
+                self.inner.work_cv.notify_all();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The shared probe cache's `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.inner.cache.stats()
+    }
+
+    /// Order in which sessions were picked up by workers (test
+    /// observability for the priority queue).
+    pub fn started_order(&self) -> Vec<u64> {
+        self.inner.started.lock().expect("started poisoned").clone()
+    }
+
+    /// Unpause a manager started with
+    /// [`ServiceConfig::start_paused`]: the worker pool begins draining
+    /// the queue. A no-op when not paused.
+    pub fn resume_workers(&self) {
+        self.inner.queue.lock().expect("queue poisoned").paused = false;
+        self.inner.work_cv.notify_all();
+    }
+
+    /// Stop accepting and starting work. Running sessions finish; queued
+    /// journaled sessions stay on disk and resume on the next start.
+    pub fn shutdown(&self) {
+        self.inner.queue.lock().expect("queue poisoned").shutdown = true;
+        self.inner.work_cv.notify_all();
+    }
+
+    /// [`SessionManager::shutdown`], then join every worker.
+    pub fn shutdown_and_wait(&self) {
+        self.shutdown();
+        let handles: Vec<_> = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        self.shutdown_and_wait();
+    }
+}
+
+fn pop_best(entries: &mut Vec<WorkItem>) -> Option<WorkItem> {
+    let idx = entries
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.seq)))
+        .map(|(i, _)| i)?;
+    Some(entries.remove(idx))
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let item = {
+            let mut q = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                if !q.paused {
+                    if let Some(item) = pop_best(&mut q.entries) {
+                        break item;
+                    }
+                }
+                q = inner.work_cv.wait(q).expect("queue poisoned");
+            }
+        };
+        inner.started.lock().expect("started poisoned").push(item.session.id);
+        run_session(inner, item);
+    }
+}
+
+fn run_session(inner: &Arc<Inner>, mut item: WorkItem) {
+    let session = item.session.clone();
+    if session.cancel_requested() {
+        // Cancelled while still queued: terminal record, no search.
+        if let Some(w) = item.writer.as_mut() {
+            let _ = w.append(&JournalRecord::Cancelled);
+        }
+        session.set_phase(Phase::Cancelled);
+        return;
+    }
+    session.set_phase(Phase::Running);
+
+    let resuming = !item.resume_events.is_empty();
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<SessionResult, String> {
+        let spec = &session.spec;
+        let job = spec.training_job()?;
+        let searcher = searcher_by_name(&spec.searcher, spec.seed)
+            .ok_or_else(|| format!("unknown searcher `{}`", spec.searcher))?;
+        let mut runner = ExperimentRunner::new(spec.seed).with_max_nodes(spec.max_nodes);
+        if let Some(types) = spec.instance_types()? {
+            runner = runner.with_types(types);
+        }
+        let mut profiler = runner.profiler_for(&job);
+        let search = {
+            let cache = (inner.cfg.probe_cache && !resuming).then_some(&inner.cache);
+            let mut env = CachedEnv::new(&mut profiler, cache, &spec.job);
+            let mut sink = SessionSink {
+                session: &session,
+                writer: item.writer.as_mut(),
+                replay: &item.resume_events,
+                replay_pos: 0,
+                journaled: 0,
+                crash_after: inner.cfg.crash_after_records,
+            };
+            let search = searcher.search_traced(&mut env, &session.scenario, &mut sink);
+            if sink.replay_pos < sink.replay.len() {
+                return Err(format!(
+                    "resume divergence: replay consumed only {} of {} journaled events",
+                    sink.replay_pos,
+                    sink.replay.len()
+                ));
+            }
+            search
+        };
+        let experiment = runner.complete(profiler, search, searcher.name(), &session.scenario);
+        Ok(SessionResult::from(&experiment))
+    }));
+
+    match outcome {
+        Ok(Ok(result)) => {
+            let phase = match item.writer.as_mut() {
+                Some(w) => match w.append(&JournalRecord::Completed { result: result.clone() }) {
+                    Ok(()) => Phase::Done(Box::new(result)),
+                    Err(e) => Phase::Failed(format!("result not durable: {e}")),
+                },
+                None => Phase::Done(Box::new(result)),
+            };
+            session.set_phase(phase);
+        }
+        Ok(Err(error)) => {
+            if let Some(w) = item.writer.as_mut() {
+                let _ = w.append(&JournalRecord::Failed { error: error.clone() });
+            }
+            session.set_phase(Phase::Failed(error));
+        }
+        Err(payload) => {
+            if payload.is::<CancelSignal>() {
+                if let Some(w) = item.writer.as_mut() {
+                    let _ = w.append(&JournalRecord::Cancelled);
+                }
+                session.set_phase(Phase::Cancelled);
+            } else if payload.is::<CrashSignal>() {
+                // Simulated kill: no terminal record — exactly what a real
+                // SIGKILL leaves behind. The next manager resumes it.
+                session.set_phase(Phase::Crashed);
+            } else {
+                let error = if let Some(d) = payload.downcast_ref::<ReplayDivergence>() {
+                    d.0.clone()
+                } else if let Some(j) = payload.downcast_ref::<JournalIo>() {
+                    format!("journal append failed: {}", j.0)
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    format!("searcher panicked: {s}")
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    format!("searcher panicked: {s}")
+                } else {
+                    "searcher panicked".to_string()
+                };
+                if let Some(w) = item.writer.as_mut() {
+                    let _ = w.append(&JournalRecord::Failed { error: error.clone() });
+                }
+                session.set_phase(Phase::Failed(error));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(job: &str, seed: u64) -> SubmitSpec {
+        // Small spaces keep these unit tests fast; the integration tests
+        // exercise the paper-scale spaces.
+        let mut s = SubmitSpec::new(job, "random", seed);
+        s.types = Some(vec!["c5.xlarge".into(), "p2.xlarge".into()]);
+        s.max_nodes = 8;
+        s
+    }
+
+    fn manager(cfg: ServiceConfig) -> SessionManager {
+        SessionManager::new(cfg).expect("manager starts")
+    }
+
+    fn done_result(m: &SessionManager, id: u64) -> SessionResult {
+        match m.session(id).expect("session exists").wait_terminal() {
+            Phase::Done(r) => *r,
+            other => panic!("session {id} ended as {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn runs_a_session_to_done() {
+        let m = manager(ServiceConfig { workers: 1, ..Default::default() });
+        let id = m.submit(tiny_spec("resnet-cifar10", 3)).unwrap();
+        let result = done_result(&m, id);
+        assert_eq!(result.searcher, "Random");
+        assert!(result.search.n_probes() > 0);
+        assert_eq!(m.status(Some(id)).unwrap()[0].state, "done");
+    }
+
+    #[test]
+    fn rejects_invalid_specs_without_consuming_ids() {
+        let m = manager(ServiceConfig::default());
+        let r = m.submit(SubmitSpec::new("no-such-job", "random", 1)).unwrap_err();
+        assert!(!r.queue_full);
+        let id = m.submit(tiny_spec("resnet-cifar10", 1)).unwrap();
+        assert_eq!(id, 1, "rejected submits must not burn session ids");
+    }
+
+    #[test]
+    fn backpressure_is_typed_and_bounded() {
+        // Paused pool: nothing drains, so the single queue slot fills on
+        // the first submit and the second must be rejected with the typed
+        // queue_full signal (never blocked, never unbounded).
+        let m = manager(ServiceConfig {
+            workers: 1,
+            queue_cap: 1,
+            start_paused: true,
+            ..Default::default()
+        });
+        m.submit(tiny_spec("resnet-cifar10", 1)).unwrap();
+        let r = m.submit(tiny_spec("resnet-cifar10", 2)).unwrap_err();
+        assert!(r.queue_full, "rejection must carry the queue_full signal: {}", r.reason);
+        // Spec problems are rejections too, but never queue_full.
+        let bad = m.submit(SubmitSpec::new("no-such-job", "random", 1)).unwrap_err();
+        assert!(!bad.queue_full);
+    }
+
+    #[test]
+    fn priority_orders_the_queue_fifo_within_priority() {
+        // Queue everything while paused, then drain with one worker: the
+        // order must be strictly (priority desc, submit order).
+        let m = manager(ServiceConfig {
+            workers: 1,
+            queue_cap: 16,
+            start_paused: true,
+            ..Default::default()
+        });
+        let low_a = m.submit(tiny_spec("resnet-cifar10", 1)).unwrap();
+        let low_b = m.submit(tiny_spec("resnet-cifar10", 2)).unwrap();
+        let hi = m.submit(tiny_spec("resnet-cifar10", 3).with_priority(5)).unwrap();
+        let mid = m.submit(tiny_spec("resnet-cifar10", 4).with_priority(2)).unwrap();
+        m.resume_workers();
+        for id in [low_a, low_b, hi, mid] {
+            let _ = m.session(id).unwrap().wait_terminal();
+        }
+        assert_eq!(m.started_order(), vec![hi, mid, low_a, low_b]);
+    }
+
+    #[test]
+    fn cancel_queued_session_never_runs() {
+        let m = manager(ServiceConfig {
+            workers: 1,
+            queue_cap: 16,
+            start_paused: true,
+            ..Default::default()
+        });
+        let keep = m.submit(tiny_spec("resnet-cifar10", 1)).unwrap();
+        let dropped = m.submit(tiny_spec("resnet-cifar10", 2)).unwrap();
+        assert!(m.cancel(dropped));
+        m.resume_workers();
+        assert!(matches!(m.session(dropped).unwrap().wait_terminal(), Phase::Cancelled));
+        assert!(matches!(m.session(keep).unwrap().wait_terminal(), Phase::Done(_)));
+        let cancelled = m.session(dropped).unwrap();
+        assert_eq!(cancelled.next_events(0).0.len(), 0, "cancelled-in-queue never searched");
+        assert!(!m.cancel(999), "unknown ids are reported, not ignored");
+    }
+
+    #[test]
+    fn same_spec_twice_shares_probes_for_free() {
+        let m = manager(ServiceConfig { workers: 1, ..Default::default() });
+        let a = m.submit(tiny_spec("resnet-cifar10", 7)).unwrap();
+        let b = m.submit(tiny_spec("resnet-cifar10", 7)).unwrap();
+        let ra = done_result(&m, a);
+        let rb = done_result(&m, b);
+        // Identical specs walk the identical trajectory: same deployments
+        // probed, same observed speeds, same pick…
+        assert_eq!(ra.search.best, rb.search.best);
+        assert_eq!(ra.search.steps.len(), rb.search.steps.len());
+        for (sa, sb) in ra.search.steps.iter().zip(&rb.search.steps) {
+            assert_eq!(sa.observation, sb.observation);
+        }
+        // …but the later session pays nothing: every probe is a cache hit
+        // (that is the service's whole reason to share the cache).
+        let (hits, _) = m.cache_stats();
+        assert!(hits as usize >= rb.search.steps.len(), "second run must be all hits");
+        assert_eq!(rb.search.profile_cost.dollars(), 0.0);
+        assert!(ra.search.profile_cost.dollars() > 0.0);
+    }
+
+    #[test]
+    fn shutdown_drains_current_session_and_stops() {
+        let m = manager(ServiceConfig { workers: 1, ..Default::default() });
+        let id = m.submit(tiny_spec("resnet-cifar10", 5)).unwrap();
+        m.shutdown_and_wait();
+        assert!(
+            m.session(id).unwrap().phase().is_terminal() || {
+                // The worker may not have picked it up before shutdown; then
+                // it simply stays queued (journal-less here, so it is lost by
+                // design — journaled queues resume instead).
+                matches!(m.session(id).unwrap().phase(), Phase::Queued)
+            }
+        );
+        let r = m.submit(tiny_spec("resnet-cifar10", 6)).unwrap_err();
+        assert!(r.reason.contains("shutting down"));
+    }
+}

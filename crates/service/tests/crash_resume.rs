@@ -1,0 +1,165 @@
+//! Crash-resume determinism: a server killed mid-search and restarted
+//! over the same journal directory must finish every in-flight session
+//! with a `SearchOutcome` *bit-identical* to an uninterrupted run —
+//! verified via [`SearchOutcome::digest`], which renders every f64 as
+//! its raw bit pattern.
+//!
+//! The "kill" is the `crash_after_records` test hook: it panics the
+//! worker after N fsync'd journal records without writing a terminal
+//! record, leaving exactly what `kill -9` leaves on disk. Resume then
+//! replays the search from seed 0, verifying each re-emitted journaled
+//! event against the journal prefix string-for-string before emitting
+//! anything new.
+
+use mlcd::prelude::SearchOutcome;
+use mlcd_service::{Phase, ServiceConfig, SessionManager, SubmitSpec};
+use std::path::PathBuf;
+
+/// The paper-scale combo the golden snapshots pin: resnet on the
+/// four-type heterogeneous space. `max_nodes` is trimmed so the debug
+/// -profile test stays quick; determinism is scale-independent.
+fn spec(searcher: &str, seed: u64) -> SubmitSpec {
+    let mut s = SubmitSpec::new("resnet-cifar10", searcher, seed);
+    s.types = Some(
+        ["c5.xlarge", "c5.4xlarge", "c5n.4xlarge", "p2.xlarge"]
+            .iter()
+            .map(|t| t.to_string())
+            .collect(),
+    );
+    s.max_nodes = 12;
+    s
+}
+
+fn dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mlcd-crash-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Run one session to `Done` on a fresh manager and return its outcome.
+fn uninterrupted(spec: &SubmitSpec) -> SearchOutcome {
+    let mgr = SessionManager::new(ServiceConfig {
+        workers: 1,
+        probe_cache: false,
+        ..ServiceConfig::default()
+    })
+    .expect("manager");
+    let id = mgr.submit(spec.clone()).expect("submit");
+    let session = mgr.session(id).expect("session exists");
+    match session.wait_terminal() {
+        Phase::Done(result) => result.search,
+        other => panic!("uninterrupted run ended {}", other.name()),
+    }
+}
+
+/// Submit `spec` on a manager wired to crash after `n` journal records,
+/// confirm it crashed (journal left unterminated), then restart a clean
+/// manager over the same directory and return the resumed outcome.
+fn crash_then_resume(spec: &SubmitSpec, n: u64, tag: &str, tamper_tail: bool) -> SearchOutcome {
+    let jdir = dir(tag);
+    let doomed = SessionManager::new(ServiceConfig {
+        workers: 1,
+        journal_dir: Some(jdir.clone()),
+        probe_cache: false,
+        crash_after_records: Some(n),
+        ..ServiceConfig::default()
+    })
+    .expect("doomed manager");
+    let id = doomed.submit(spec.clone()).expect("submit");
+    let session = doomed.session(id).expect("session exists");
+    assert!(
+        matches!(session.wait_terminal(), Phase::Crashed),
+        "crash hook must fire before the search finishes (n = {n})"
+    );
+    drop(doomed);
+
+    if tamper_tail {
+        // A real kill can also tear the final line mid-write. Recovery
+        // must truncate exactly the torn tail and replay the rest.
+        use std::io::Write as _;
+        let path = mlcd_service::journal::journal_file(&jdir, id);
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"Event\":{\"seq\":9999,\"event\":{\"Probe").unwrap();
+        f.sync_data().unwrap();
+    }
+
+    let revived = SessionManager::new(ServiceConfig {
+        workers: 1,
+        journal_dir: Some(jdir),
+        probe_cache: false,
+        ..ServiceConfig::default()
+    })
+    .expect("revived manager");
+    let session = revived.session(id).expect("in-flight session restored from journal");
+    match session.wait_terminal() {
+        Phase::Done(result) => result.search,
+        other => panic!("resumed run ended {}: {:?}", other.name(), other),
+    }
+}
+
+/// The headline acceptance test: 3 searchers × 2 seeds, each killed
+/// after 3 journal records, all resuming to bit-identical outcomes.
+#[test]
+fn killed_and_restarted_server_resumes_bit_identical() {
+    for searcher in ["heterbo", "convbo", "cherrypick"] {
+        for seed in [1u64, 2] {
+            let spec = spec(searcher, seed);
+            let golden = uninterrupted(&spec).digest();
+            let tag = format!("{searcher}-{seed}");
+            let resumed = crash_then_resume(&spec, 3, &tag, false).digest();
+            assert_eq!(
+                resumed, golden,
+                "{searcher} seed {seed}: resumed digest diverged from uninterrupted run"
+            );
+        }
+    }
+}
+
+/// Crashing at a different point in the search must not matter: the
+/// replay is a pure function of the journal prefix.
+#[test]
+fn resume_is_invariant_to_where_the_crash_landed() {
+    let spec = spec("heterbo", 1);
+    let golden = uninterrupted(&spec).digest();
+    for n in [1u64, 5] {
+        let resumed = crash_then_resume(&spec, n, &format!("cut-{n}"), false).digest();
+        assert_eq!(resumed, golden, "crash after {n} records must still resume bit-identical");
+    }
+}
+
+/// A torn final line — half a record fsync'd at the kill — is truncated
+/// on recovery and the resume still lands on the golden digest.
+#[test]
+fn torn_journal_tail_is_recovered_then_resumed_bit_identical() {
+    let spec = spec("cherrypick", 2);
+    let golden = uninterrupted(&spec).digest();
+    let resumed = crash_then_resume(&spec, 2, "torn", true).digest();
+    assert_eq!(resumed, golden, "torn-tail recovery must not change the resumed outcome");
+}
+
+/// Every searcher the service accepts must feed the trace sink — the
+/// journal, the crash hook, cooperative cancel and `watch` all hang off
+/// it. (The baselines originally ignored their sink, which would leave
+/// their journals empty and their sessions uncancellable.)
+#[test]
+fn every_searcher_streams_events_through_its_session() {
+    for searcher in ["heterbo", "heterbo-parallel", "convbo", "cherrypick", "random", "exhaustive"]
+    {
+        let mgr = SessionManager::new(ServiceConfig {
+            workers: 1,
+            probe_cache: false,
+            ..ServiceConfig::default()
+        })
+        .expect("manager");
+        let mut s = SubmitSpec::new("resnet-cifar10", searcher, 7);
+        s.types = Some(vec!["c5.xlarge".into(), "p2.xlarge".into()]);
+        s.max_nodes = 8;
+        let id = mgr.submit(s).expect("submit");
+        let session = mgr.session(id).expect("session");
+        let phase = session.wait_terminal();
+        assert!(matches!(phase, Phase::Done(_)), "{searcher}: ended {}", phase.name());
+        let (events, _) = session.next_events(0);
+        assert!(!events.is_empty(), "{searcher}: session streamed no trace events");
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end smoke test: the real `mlcd-serve` binary on an ephemeral
+//! port, spoken to over TCP in the NDJSON protocol.
+//!
+//! The acceptance property: two jobs submitted *concurrently* to the
+//! server produce outcomes bit-identical to two *sequential* in-process
+//! searches — with the shared probe cache on AND off. The two jobs are
+//! different presets, so no cache key collides and the cache cannot
+//! (and must not) change either outcome.
+
+use mlcd_service::{Phase, Request, Response, ServiceConfig, SessionManager, SubmitSpec};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mlcd-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Two different presets: distinct jobs ⇒ no shared cache keys.
+fn specs() -> [SubmitSpec; 2] {
+    let mut a = SubmitSpec::new("resnet-cifar10", "random", 7);
+    a.types = Some(vec!["c5.xlarge".into(), "p2.xlarge".into()]);
+    a.max_nodes = 8;
+    let mut b = SubmitSpec::new("char-rnn", "heterbo", 7);
+    b.types = Some(vec!["c5.xlarge".into(), "p2.xlarge".into()]);
+    b.max_nodes = 8;
+    [a, b]
+}
+
+/// Spawn `mlcd-serve` on an ephemeral port; return the child and the
+/// address it reports on its first stdout line.
+fn spawn_server(tag: &str, cache: bool) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mlcd-serve"));
+    cmd.args(["--listen", "127.0.0.1:0", "--workers", "2"])
+        .arg("--journal-dir")
+        .arg(dir(tag))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if !cache {
+        cmd.arg("--no-probe-cache");
+    }
+    let mut child = cmd.spawn().expect("spawn mlcd-serve");
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().expect("stdout piped"))
+        .read_line(&mut line)
+        .expect("read banner");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// One request / one response on a fresh connection.
+fn roundtrip(addr: &str, req: &Request) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let line = serde_json::to_string(req).expect("encode request");
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("read response");
+    serde_json::from_str(&resp).unwrap_or_else(|e| panic!("decode {resp:?}: {e}"))
+}
+
+fn submit(addr: &str, spec: &SubmitSpec) -> u64 {
+    match roundtrip(addr, &Request::Submit(spec.clone())) {
+        Response::Submitted { id } => id,
+        other => panic!("submit: {other:?}"),
+    }
+}
+
+/// Block until the session is done and return its outcome digest.
+fn result_digest(addr: &str, id: u64) -> String {
+    match roundtrip(addr, &Request::Result { id, wait: true }) {
+        Response::ResultReady { id: rid, result } => {
+            assert_eq!(rid, id);
+            result.search.digest()
+        }
+        other => panic!("result {id}: {other:?}"),
+    }
+}
+
+/// The sequential ground truth: same two specs, one at a time, in
+/// process, no journaling.
+fn sequential_digests(cache: bool) -> [String; 2] {
+    let mgr = SessionManager::new(ServiceConfig {
+        workers: 1,
+        probe_cache: cache,
+        ..ServiceConfig::default()
+    })
+    .expect("manager");
+    specs().map(|spec| {
+        let id = mgr.submit(spec).expect("submit");
+        match mgr.session(id).expect("session").wait_terminal() {
+            Phase::Done(result) => result.search.digest(),
+            other => panic!("sequential run ended {}", other.name()),
+        }
+    })
+}
+
+/// Submit both jobs to the server back-to-back (they run concurrently
+/// on its two workers), collect both digests, then exercise status /
+/// watch / shutdown on the way out.
+fn concurrent_digests(tag: &str, cache: bool) -> [String; 2] {
+    let (mut child, addr) = spawn_server(tag, cache);
+    let [a, b] = specs();
+    let ida = submit(&addr, &a);
+    let idb = submit(&addr, &b);
+    assert_ne!(ida, idb);
+
+    match roundtrip(&addr, &Request::Status { id: None }) {
+        Response::StatusReport { sessions } => assert_eq!(sessions.len(), 2),
+        other => panic!("status: {other:?}"),
+    }
+
+    let da = result_digest(&addr, ida);
+    let db = result_digest(&addr, idb);
+
+    // Watch on a finished session: full event replay, then WatchEnd.
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let line = serde_json::to_string(&Request::Watch { id: ida }).unwrap();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        // The connection stays open for further requests after the
+        // stream ends, so read up to WatchEnd rather than to EOF.
+        let reader = BufReader::new(stream);
+        let mut lines = Vec::new();
+        for l in reader.lines() {
+            let l = l.expect("watch line");
+            let done = matches!(serde_json::from_str(&l), Ok(Response::WatchEnd { .. }));
+            lines.push(l);
+            if done {
+                break;
+            }
+        }
+        assert!(lines.len() >= 3, "Watching + ≥1 event + WatchEnd, got {lines:?}");
+        assert!(matches!(
+            serde_json::from_str(&lines[0]),
+            Ok(Response::Watching { id }) if id == ida
+        ));
+        let last: Response = serde_json::from_str(lines.last().unwrap()).expect("WatchEnd");
+        match last {
+            Response::WatchEnd { id, state } => {
+                assert_eq!(id, ida);
+                assert_eq!(state, "done");
+            }
+            other => panic!("watch tail: {other:?}"),
+        }
+    }
+
+    assert!(matches!(roundtrip(&addr, &Request::Shutdown), Response::ShuttingDown));
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "server exited {status}");
+    [da, db]
+}
+
+#[test]
+fn concurrent_server_matches_sequential_in_process_with_cache_on() {
+    assert_eq!(concurrent_digests("cache-on", true), sequential_digests(true));
+}
+
+#[test]
+fn concurrent_server_matches_sequential_in_process_with_cache_off() {
+    assert_eq!(concurrent_digests("cache-off", false), sequential_digests(false));
+}
+
+/// Cache on vs off must also agree with *each other* when no key
+/// collides — the config switch is behaviour-neutral here by design.
+#[test]
+fn cache_switch_is_outcome_neutral_without_collisions() {
+    assert_eq!(sequential_digests(true), sequential_digests(false));
+}

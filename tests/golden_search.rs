@@ -49,46 +49,9 @@ fn runner(seed: u64) -> ExperimentRunner {
     ])
 }
 
-/// Exact bit pattern of an f64, so digests compare exactly — no epsilon.
-fn bits(x: f64) -> String {
-    format!("{:016x}", x.to_bits())
-}
-
-/// Canonical, bit-exact text digest of a search outcome.
-fn digest(outcome: &SearchOutcome) -> String {
-    let mut s = String::new();
-    match &outcome.best {
-        Some(b) => {
-            writeln!(s, "best {} speed={}", b.deployment, bits(b.speed)).unwrap();
-        }
-        None => writeln!(s, "best none").unwrap(),
-    }
-    for step in &outcome.steps {
-        writeln!(
-            s,
-            "step {:02} {} speed={} t={} c={} cum_t={} cum_c={}",
-            step.index,
-            step.observation.deployment,
-            bits(step.observation.speed),
-            bits(step.observation.profile_time.as_secs()),
-            bits(step.observation.profile_cost.dollars()),
-            bits(step.cum_profile_time.as_secs()),
-            bits(step.cum_profile_cost.dollars()),
-        )
-        .unwrap();
-    }
-    writeln!(
-        s,
-        "totals t={} c={} stop={:?}",
-        bits(outcome.profile_time.as_secs()),
-        bits(outcome.profile_cost.dollars()),
-        outcome.stop_reason
-    )
-    .unwrap();
-    s
-}
-
-/// Render the whole pinned set as one text blob, cell by cell.
+/// Render the whole pinned set as one text blob, cell by cell. The
+/// per-cell digest is the canonical [`SearchOutcome::digest`] — the same
+/// rendering the service layer's crash-resume tests compare against.
 fn render_all() -> String {
     let mut out = String::new();
     for (scenario_name, scenario) in scenarios() {
@@ -97,7 +60,7 @@ fn render_all() -> String {
                 let outcome =
                     runner(seed).run(searcher.as_ref(), &TrainingJob::resnet_cifar10(), &scenario);
                 writeln!(out, "=== {searcher_name} / {scenario_name} / seed {seed} ===").unwrap();
-                out.push_str(&digest(&outcome.search));
+                out.push_str(&outcome.search.digest());
             }
         }
     }

@@ -1,0 +1,186 @@
+//! Serde round-trip properties for the wire-facing core types.
+//!
+//! The service layer's journal and protocol both assume that
+//! `serde_json::to_string` → `from_str` is the identity on
+//! `SearchOutcome` and `Scenario` *at the bit level*: crash-resume
+//! verifies re-emitted events against journaled lines by string
+//! equality, which is only sound if rendering a finite `f64` loses
+//! nothing. These properties pin that contract.
+//!
+//! NaN-free invariant: the vendored serde_json renders non-finite
+//! floats as `null` (they are unrepresentable in JSON), so every f64
+//! that can reach a journal or the wire must be finite. The generators
+//! below therefore draw only finite values — which is exactly the
+//! domain the simulator produces (speeds, durations and dollars are
+//! all finite by construction) — and a dedicated test documents what
+//! happens if a NaN ever *did* sneak in (it fails loudly at
+//! deserialize, rather than corrupting state silently).
+
+use mlcd::prelude::*;
+use proptest::prelude::*;
+
+/// Widen a unit-ish float into the interesting corners of the finite
+/// f64 space: integral values (exercise the `{:.1}` rendering path),
+/// huge magnitudes ≥ 1e15 (digit-string path), tiny subnormal-adjacent
+/// magnitudes, negative zero, and plain fractional values (shortest
+/// round-trip path).
+fn corner(sel: u8, x: f64) -> f64 {
+    match sel % 7 {
+        0 => x,                  // plain fractional
+        1 => x.trunc(),          // integral, rendered as "N.0"
+        2 => (x * 1e18).trunc(), // integral ≥ 1e15, rendered as digits
+        3 => x * 1e-290,         // near the subnormal boundary
+        4 => -0.0,               // sign-of-zero preservation
+        5 => x * 1e300,          // huge but finite
+        _ => x.recip(),          // 1/x, scattered exponents
+    }
+}
+
+fn instance(sel: usize) -> InstanceType {
+    let all: Vec<InstanceType> = InstanceType::all().collect();
+    all[sel % all.len()]
+}
+
+fn stop_reason(sel: u8) -> StopReason {
+    match sel % 5 {
+        0 => StopReason::Converged,
+        1 => StopReason::ReserveProtection,
+        2 => StopReason::SpaceExhausted,
+        3 => StopReason::MaxSteps,
+        _ => StopReason::NothingFeasible,
+    }
+}
+
+fn observation(sel: usize, n: u32, speed: f64, t: f64, c: f64) -> Observation {
+    Observation {
+        deployment: Deployment::new(instance(sel), n),
+        speed,
+        profile_time: SimDuration::from_secs(t.abs()),
+        profile_cost: Money::from_dollars(c.abs()),
+    }
+}
+
+/// Field-by-field bit equality for every f64 an outcome carries.
+/// `PartialEq` alone would pass `-0.0 == 0.0`; the journal's string
+/// comparison would not, so the test must hold the stronger line.
+fn assert_bits_eq(a: &SearchOutcome, b: &SearchOutcome) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.steps.len(), b.steps.len());
+    prop_assert_eq!(a.stop_reason, b.stop_reason);
+    prop_assert_eq!(a.profile_time.as_secs().to_bits(), b.profile_time.as_secs().to_bits());
+    prop_assert_eq!(a.profile_cost.dollars().to_bits(), b.profile_cost.dollars().to_bits());
+    prop_assert_eq!(a.best.is_some(), b.best.is_some());
+    if let (Some(x), Some(y)) = (&a.best, &b.best) {
+        prop_assert_eq!(x.deployment, y.deployment);
+        prop_assert_eq!(x.speed.to_bits(), y.speed.to_bits());
+        prop_assert_eq!(x.profile_time.as_secs().to_bits(), y.profile_time.as_secs().to_bits());
+        prop_assert_eq!(x.profile_cost.dollars().to_bits(), y.profile_cost.dollars().to_bits());
+    }
+    for (sa, sb) in a.steps.iter().zip(&b.steps) {
+        prop_assert_eq!(sa.index, sb.index);
+        prop_assert_eq!(sa.observation.deployment, sb.observation.deployment);
+        prop_assert_eq!(sa.observation.speed.to_bits(), sb.observation.speed.to_bits());
+        prop_assert_eq!(
+            sa.cum_profile_time.as_secs().to_bits(),
+            sb.cum_profile_time.as_secs().to_bits()
+        );
+        prop_assert_eq!(
+            sa.cum_profile_cost.dollars().to_bits(),
+            sb.cum_profile_cost.dollars().to_bits()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// `SearchOutcome` survives a JSON round-trip bit-for-bit, across
+    /// every float-rendering path the vendored serde_json has.
+    #[test]
+    fn search_outcome_roundtrips_bit_exact(
+        sels in proptest::collection::vec((0u8..7, 0usize..40, 1u32..64), 0..6),
+        floats in proptest::collection::vec(0.001f64..1.0, 24),
+        stop_sel in 0u8..5,
+        has_best in 0u8..2,
+    ) {
+        let mut f = floats.iter().cycle().copied();
+        let mut fsel = sels.iter().map(|(s, _, _)| *s).cycle();
+        let mut draw = |bias: u8| corner(fsel.next().unwrap_or(0).wrapping_add(bias),
+                                         f.next().unwrap());
+        let steps: Vec<SearchStep> = sels
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, isel, n))| SearchStep {
+                index: i + 1,
+                observation: observation(isel, n, draw(s), draw(s + 1), draw(s + 2)),
+                cum_profile_time: SimDuration::from_secs(draw(s + 3).abs()),
+                cum_profile_cost: Money::from_dollars(draw(s + 4).abs()),
+            })
+            .collect();
+        let best = (has_best == 1 && !steps.is_empty())
+            .then(|| steps[steps.len() / 2].observation);
+        let outcome = SearchOutcome {
+            best,
+            steps,
+            profile_time: SimDuration::from_secs(draw(5).abs()),
+            profile_cost: Money::from_dollars(draw(6).abs()),
+            stop_reason: stop_reason(stop_sel),
+        };
+
+        let text = serde_json::to_string(&outcome).expect("serialize");
+        let back: SearchOutcome = serde_json::from_str(&text).expect("deserialize");
+        assert_bits_eq(&outcome, &back)?;
+        // The canonical digest — the crash-resume currency — agrees too.
+        prop_assert_eq!(outcome.digest(), back.digest());
+        // And re-serializing is a fixed point (string-stable), which is
+        // what lets the journal verify by line comparison.
+        prop_assert_eq!(serde_json::to_string(&back).expect("re-serialize"), text);
+    }
+
+    /// All three `Scenario` variants round-trip with their constraint
+    /// values bit-preserved.
+    #[test]
+    fn scenario_roundtrips_bit_exact(sel in 0u8..3, csel in 0u8..7, x in 0.001f64..1.0) {
+        let v = corner(csel, x).abs();
+        let scenario = match sel {
+            0 => Scenario::FastestUnlimited,
+            1 => Scenario::CheapestWithDeadline(SimDuration::from_secs(v)),
+            _ => Scenario::FastestWithBudget(Money::from_dollars(v)),
+        };
+        let text = serde_json::to_string(&scenario).expect("serialize");
+        let back: Scenario = serde_json::from_str(&text).expect("deserialize");
+        prop_assert_eq!(scenario, back);
+        match (scenario, back) {
+            (Scenario::CheapestWithDeadline(a), Scenario::CheapestWithDeadline(b)) => {
+                prop_assert_eq!(a.as_secs().to_bits(), b.as_secs().to_bits());
+            }
+            (Scenario::FastestWithBudget(a), Scenario::FastestWithBudget(b)) => {
+                prop_assert_eq!(a.dollars().to_bits(), b.dollars().to_bits());
+            }
+            _ => {}
+        }
+        prop_assert_eq!(serde_json::to_string(&back).expect("re-serialize"), text);
+    }
+}
+
+/// The NaN-free invariant is load-bearing: a non-finite float renders
+/// as `null`, which then *fails* to deserialize as an f64 — the system
+/// rejects the value instead of silently laundering NaN into 0.0 or a
+/// journal mismatch. This is the failure mode we want: loud, at the
+/// boundary.
+#[test]
+fn non_finite_floats_fail_loudly_not_silently() {
+    let outcome = SearchOutcome {
+        best: None,
+        steps: Vec::new(),
+        profile_time: SimDuration::from_secs(0.0),
+        profile_cost: Money::ZERO,
+        stop_reason: StopReason::NothingFeasible,
+    };
+    let text = serde_json::to_string(&outcome).expect("serialize");
+    // Splice a NaN in by hand: rendering turns it into null …
+    let nan_text = text.replace("\"profile_time\":0.0", "\"profile_time\":null");
+    assert_ne!(text, nan_text, "test fixture must actually splice");
+    // … and deserialization refuses it rather than inventing a number.
+    assert!(serde_json::from_str::<SearchOutcome>(&nan_text).is_err());
+}
