@@ -10,14 +10,18 @@
 //!
 //! Correctness stance: with the cache disabled (or with no key
 //! collisions) a session is bit-identical to a standalone run — the
-//! wrapper delegates every call untouched. Resumed sessions always bypass
-//! the cache: a hit that did not happen in the original run would diverge
-//! from the journaled prefix.
+//! wrapper delegates every call untouched. Because a hit charges nothing
+//! and leaves the inner profiler's RNG/clock/billing state untouched, it
+//! is unreproducible after a crash (the cache dies with the process), so
+//! every hit's provenance is recorded via [`ProvenanceLog`] and journaled
+//! as a `CachedEvent`; resume serves those observations from the journal
+//! and bypasses the live cache for everything else.
 
 use mlcd::prelude::{
     Deployment, Money, Observation, ProfileError, ProfilingEnv, SearchSpace, SimDuration,
 };
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 
 /// Cache key: everything that determines a probe's observation
@@ -107,19 +111,59 @@ impl ProbeCache {
     }
 }
 
+/// In-order provenance of one session's successful probes: `true` when
+/// the observation was served by the shared cache (free, and invisible to
+/// the inner environment's RNG/clock/billing state), `false` when the
+/// inner environment paid for it.
+///
+/// The environment pushes one flag per `Ok` observation; the session's
+/// journaling sink pops one per probe event it journals, so each journal
+/// record can carry how its observation was obtained — the information
+/// crash-resume needs to replay cache hits it cannot re-derive. Session
+/// threads are single-threaded through the search, so a `RefCell` queue
+/// suffices.
+#[derive(Debug, Default)]
+pub struct ProvenanceLog(RefCell<VecDeque<bool>>);
+
+impl ProvenanceLog {
+    /// An empty log.
+    pub fn new() -> ProvenanceLog {
+        ProvenanceLog::default()
+    }
+
+    /// Record how the next observation was served.
+    pub fn push(&self, cached: bool) {
+        self.0.borrow_mut().push_back(cached);
+    }
+
+    /// Consume the oldest flag. `false` when the log is empty (an event
+    /// that did not come from a probe of this environment).
+    pub fn pop(&self) -> bool {
+        self.0.borrow_mut().pop_front().unwrap_or(false)
+    }
+}
+
 /// A [`ProfilingEnv`] wrapper that serves probes from a [`ProbeCache`]
 /// when possible. With `cache: None` every method is a pure delegate —
 /// the disabled configuration is bit-exactly the unwrapped environment.
+/// Either way every successful observation's provenance is pushed onto
+/// `provenance` for the journaling sink.
 pub struct CachedEnv<'a> {
     inner: &'a mut dyn ProfilingEnv,
     cache: Option<&'a ProbeCache>,
     job: String,
+    provenance: &'a ProvenanceLog,
 }
 
 impl<'a> CachedEnv<'a> {
     /// Wrap `inner`, consulting `cache` (if given) for probes of `job`.
-    pub fn new(inner: &'a mut dyn ProfilingEnv, cache: Option<&'a ProbeCache>, job: &str) -> Self {
-        CachedEnv { inner, cache, job: job.to_string() }
+    pub fn new(
+        inner: &'a mut dyn ProfilingEnv,
+        cache: Option<&'a ProbeCache>,
+        job: &str,
+        provenance: &'a ProvenanceLog,
+    ) -> Self {
+        CachedEnv { inner, cache, job: job.to_string(), provenance }
     }
 
     fn key_for(&self, d: &Deployment) -> CacheKey {
@@ -143,33 +187,45 @@ impl ProfilingEnv for CachedEnv<'_> {
 
     fn profile(&mut self, d: &Deployment) -> Result<Observation, ProfileError> {
         let Some(cache) = self.cache else {
-            return self.inner.profile(d);
+            let result = self.inner.profile(d);
+            if result.is_ok() {
+                self.provenance.push(false);
+            }
+            return result;
         };
         let key = self.key_for(d);
         if let Some(obs) = cache.get(&key) {
+            self.provenance.push(true);
             return Ok(obs); // free: elapsed()/spent() untouched
         }
         let result = self.inner.profile(d);
         if let Ok(obs) = &result {
             cache.put(key, *obs);
+            self.provenance.push(false);
         }
         result
     }
 
     fn profile_batch(&mut self, ds: &[Deployment]) -> Vec<Result<Observation, ProfileError>> {
         let Some(cache) = self.cache else {
-            return self.inner.profile_batch(ds);
+            let results = self.inner.profile_batch(ds);
+            for r in &results {
+                if r.is_ok() {
+                    self.provenance.push(false);
+                }
+            }
+            return results;
         };
         // Serve hits for free; forward the misses as ONE batch so the
         // inner environment keeps its concurrent-provisioning wall-clock
         // semantics (a batch bills the slowest probe, not the sum).
-        let mut out: Vec<Option<Result<Observation, ProfileError>>> = vec![None; ds.len()];
+        let mut out: Vec<Option<(Result<Observation, ProfileError>, bool)>> = vec![None; ds.len()];
         let mut miss_idx = Vec::new();
         let mut miss_ds = Vec::new();
         for (i, d) in ds.iter().enumerate() {
             let key = self.key_for(d);
             match cache.get(&key) {
-                Some(obs) => out[i] = Some(Ok(obs)),
+                Some(obs) => out[i] = Some((Ok(obs), true)),
                 None => {
                     miss_idx.push(i);
                     miss_ds.push(*d);
@@ -181,9 +237,19 @@ impl ProfilingEnv for CachedEnv<'_> {
             if let Ok(obs) = &result {
                 cache.put(self.key_for(d), *obs);
             }
-            out[slot] = Some(result);
+            out[slot] = Some((result, false));
         }
-        out.into_iter().map(|r| r.expect("every slot filled")).collect()
+        // Provenance flags go out in result order — the same order the
+        // kernel records the batch's probe events into the sink.
+        out.into_iter()
+            .map(|r| {
+                let (result, cached) = r.expect("every slot filled");
+                if result.is_ok() {
+                    self.provenance.push(cached);
+                }
+                result
+            })
+            .collect()
     }
 
     fn elapsed(&self) -> SimDuration {
@@ -215,20 +281,24 @@ mod tests {
     #[test]
     fn hits_are_free_and_identical() {
         let cache = ProbeCache::new();
+        let log = ProvenanceLog::new();
         let d = Deployment::new(InstanceType::C5Xlarge, 4);
 
         let mut raw = env();
-        let mut wrapped = CachedEnv::new(&mut raw, Some(&cache), "resnet-cifar10");
+        let mut wrapped = CachedEnv::new(&mut raw, Some(&cache), "resnet-cifar10", &log);
         let first = wrapped.profile(&d).unwrap();
         let spent_after_miss = wrapped.spent();
         let second = wrapped.profile(&d).unwrap();
         assert_eq!(first, second);
         assert_eq!(wrapped.spent(), spent_after_miss, "hit must cost nothing");
         assert_eq!(cache.stats(), (1, 1));
+        assert!(!log.pop(), "first probe was a paid miss");
+        assert!(log.pop(), "second probe was a free hit");
 
         // A different session (fresh env) reuses the observation for free.
         let mut raw2 = env();
-        let mut other = CachedEnv::new(&mut raw2, Some(&cache), "resnet-cifar10");
+        let log2 = ProvenanceLog::new();
+        let mut other = CachedEnv::new(&mut raw2, Some(&cache), "resnet-cifar10", &log2);
         let reused = other.profile(&d).unwrap();
         assert_eq!(reused, first);
         assert_eq!(other.spent(), Money::ZERO);
@@ -238,11 +308,12 @@ mod tests {
     #[test]
     fn different_jobs_never_collide() {
         let cache = ProbeCache::new();
+        let log = ProvenanceLog::new();
         let d = Deployment::new(InstanceType::C5Xlarge, 2);
         let mut a = env();
-        CachedEnv::new(&mut a, Some(&cache), "job-a").profile(&d).unwrap();
+        CachedEnv::new(&mut a, Some(&cache), "job-a", &log).profile(&d).unwrap();
         let mut b = env();
-        CachedEnv::new(&mut b, Some(&cache), "job-b").profile(&d).unwrap();
+        CachedEnv::new(&mut b, Some(&cache), "job-b", &log).profile(&d).unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats(), (0, 2));
     }
@@ -255,11 +326,13 @@ mod tests {
         let (base_t, base_c) = (plain.elapsed(), plain.spent());
 
         let mut raw = env();
-        let mut off = CachedEnv::new(&mut raw, None, "resnet-cifar10");
+        let log = ProvenanceLog::new();
+        let mut off = CachedEnv::new(&mut raw, None, "resnet-cifar10", &log);
         let got = off.profile(&d).unwrap();
         assert_eq!(got, baseline);
         assert_eq!(off.elapsed(), base_t);
         assert_eq!(off.spent(), base_c);
+        assert!(!log.pop(), "cache-off probes are always paid");
         // And a repeat pays again, exactly like the raw env.
         off.profile(&d).unwrap();
         assert_eq!(off.elapsed(), base_t + base_t);
@@ -272,10 +345,12 @@ mod tests {
         let d2 = Deployment::new(InstanceType::C5Xlarge, 2);
 
         let mut warm = env();
-        CachedEnv::new(&mut warm, Some(&cache), "j").profile(&d1).unwrap();
+        let warm_log = ProvenanceLog::new();
+        CachedEnv::new(&mut warm, Some(&cache), "j", &warm_log).profile(&d1).unwrap();
 
         let mut raw = env();
-        let mut wrapped = CachedEnv::new(&mut raw, Some(&cache), "j");
+        let log = ProvenanceLog::new();
+        let mut wrapped = CachedEnv::new(&mut raw, Some(&cache), "j", &log);
         let results = wrapped.profile_batch(&[d1, d2]);
         assert!(results.iter().all(Result::is_ok));
         assert_eq!(results[0].as_ref().unwrap().deployment, d1);
@@ -284,6 +359,9 @@ mod tests {
         let (t, _) = wrapped.quote(&d2);
         assert_eq!(wrapped.elapsed(), t);
         assert_eq!(cache.len(), 2);
+        // Provenance comes out in result order: hit then miss.
+        assert!(log.pop());
+        assert!(!log.pop());
     }
 
     #[test]

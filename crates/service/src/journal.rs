@@ -13,6 +13,7 @@
 //! journal   := header record*
 //! header    := {"Header": {format, session, spec, scenario}}
 //! record    := {"Event": {seq, event}}         # journaled TraceEvent
+//!            | {"CachedEvent": {seq, event}}    # probe served by the shared cache
 //!            | {"Completed": {result}}          # terminal: SessionResult
 //!            | "Cancelled"                      # terminal
 //!            | {"Failed": {error}}              # terminal
@@ -21,6 +22,15 @@
 //! Only the deterministic spine of the trace is journaled (`InitProbe`,
 //! `Probe`, `IncumbentChanged`, `Stopped`); advisory events such as
 //! candidate scoring are derived state and would only bloat the log.
+//!
+//! `CachedEvent` records probe provenance: its observation came from the
+//! shared [`crate::cache::ProbeCache`], was charged nothing, and advanced
+//! none of the session profiler's internal state. Replay cannot re-derive
+//! such an observation (the cache dies with the process and the profiler's
+//! RNG stream never saw the probe), so resume serves it straight from the
+//! journal — the journal, not the cache, is the authority on what
+//! happened. Format 2 added this variant; it is a strict superset of
+//! format 1, so readers accept both.
 
 use crate::proto::{SessionResult, SubmitSpec};
 use mlcd::prelude::Scenario;
@@ -31,7 +41,7 @@ use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Version tag of the journal grammar above.
-pub const JOURNAL_FORMAT: u32 = 1;
+pub const JOURNAL_FORMAT: u32 = 2;
 
 /// One line of a session journal.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,6 +62,17 @@ pub enum JournalRecord {
     /// One journaled trace event.
     Event {
         /// 0-based position in the journaled event stream.
+        seq: u64,
+        /// The event.
+        event: TraceEvent,
+    },
+    /// One journaled probe event whose observation was served by the
+    /// shared probe cache: free, and invisible to the session profiler's
+    /// internal state. Resume must serve it from this record rather than
+    /// re-probe.
+    CachedEvent {
+        /// 0-based position in the journaled event stream (shared
+        /// numbering with [`JournalRecord::Event`]).
         seq: u64,
         /// The event.
         event: TraceEvent,
@@ -160,10 +181,19 @@ impl JournalContents {
 
     /// The journaled events (in order), without their envelopes.
     pub fn events(&self) -> Vec<&TraceEvent> {
+        self.event_entries().into_iter().map(|(e, _)| e).collect()
+    }
+
+    /// The journaled events (in order) with their provenance: `true` when
+    /// the record is a [`JournalRecord::CachedEvent`] — an observation the
+    /// shared cache served for free, which replay must serve from the
+    /// journal rather than re-probe.
+    pub fn event_entries(&self) -> Vec<(&TraceEvent, bool)> {
         self.records
             .iter()
             .filter_map(|r| match r {
-                JournalRecord::Event { event, .. } => Some(event),
+                JournalRecord::Event { event, .. } => Some((event, false)),
+                JournalRecord::CachedEvent { event, .. } => Some((event, true)),
                 _ => None,
             })
             .collect()
@@ -177,12 +207,17 @@ impl JournalContents {
 
 /// Read a journal, tolerating a torn trailing line.
 ///
-/// A record that fails to parse *mid-file* is corruption and errors out;
-/// only the final line may be torn (the crash window is exactly one
-/// in-flight append), and it is excluded from `valid_len`.
+/// A record that fails to parse is corruption and errors out — unless it
+/// is the final line *and* lacks its terminating newline. Each append is
+/// one `write_all` of `line + '\n'`, so a crash can only tear the tail to
+/// a proper prefix that never includes the newline; a newline-terminated
+/// line that still fails to parse was written whole and indicates real
+/// corruption (bit rot, manual edit), which is surfaced exactly like
+/// mid-file corruption instead of being silently discarded.
 ///
 /// # Errors
-/// I/O failure, or a malformed record before the last line.
+/// I/O failure, or a malformed newline-terminated record anywhere in the
+/// file.
 pub fn read_journal(path: &Path) -> std::io::Result<JournalContents> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
@@ -204,12 +239,12 @@ pub fn read_journal(path: &Path) -> std::io::Result<JournalContents> {
                 offset += nl + 1;
                 valid_len = offset as u64;
             }
-            None if offset + nl + 1 == bytes.len() => break, // torn final line
             None => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     format!(
-                        "corrupt journal record at byte {offset} of {} (not a torn tail)",
+                        "corrupt journal record at byte {offset} of {} \
+                         (newline-terminated, so not a torn tail)",
                         path.display()
                     ),
                 ));
@@ -326,6 +361,44 @@ mod tests {
         let path = journal_file(&d, 1);
         std::fs::write(&path, "not json\n\"Cancelled\"\n").unwrap();
         assert!(read_journal(&path).is_err());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn newline_terminated_corrupt_final_line_is_corruption_not_torn() {
+        // A crash tears an append to a prefix WITHOUT the newline; a
+        // complete-but-unparsable last line was written whole and must be
+        // surfaced, not silently truncated away.
+        let d = dir("corrupt-tail");
+        let path = journal_file(&d, 2);
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append(&header()).unwrap();
+        drop(w);
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"Event\":{\"seq\":0,\"ev\n").unwrap();
+        }
+        let err = read_journal(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn cached_events_round_trip_with_provenance() {
+        let d = dir("cached");
+        let path = journal_file(&d, 4);
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append(&header()).unwrap();
+        w.append(&probe(0)).unwrap();
+        let JournalRecord::Event { event, .. } = probe(1) else { unreachable!() };
+        w.append(&JournalRecord::CachedEvent { seq: 1, event }).unwrap();
+        w.append(&probe(2)).unwrap();
+        drop(w);
+
+        let back = read_journal(&path).unwrap();
+        assert_eq!(back.events().len(), 3, "cached events are part of the spine");
+        let flags: Vec<bool> = back.event_entries().iter().map(|(_, c)| *c).collect();
+        assert_eq!(flags, vec![false, true, false]);
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -11,10 +11,14 @@
 //!    never *what* it computes. Two concurrent sessions are bit-identical
 //!    to the same two searches run sequentially in-process.
 //! 2. **Determinism survives crashes.** Every session write-ahead
-//!    journals its deterministic event spine ([`journal`]); a killed
+//!    journals its deterministic event spine ([`journal`]), including the
+//!    provenance of probes the shared cache served for free; a killed
 //!    server restarted over the same journal directory resumes every
-//!    in-flight search by verified replay and finishes with the same
-//!    bit-exact outcome an uninterrupted run produces.
+//!    in-flight search by verified replay — cache-served observations are
+//!    re-served from the journal itself — and completes it
+//!    deterministically, bit-identical to an uninterrupted run whenever
+//!    no post-crash probe would have been a cache hit (always, with the
+//!    cache disabled).
 //! 3. **Exploration cost is shared.** The paper's central observation is
 //!    that profiling probes are expensive and heterogeneous; the service
 //!    memoises completed probes across sessions ([`cache`]) so identical
@@ -33,7 +37,7 @@ pub mod net;
 pub mod proto;
 pub mod session;
 
-pub use cache::{CacheKey, CachedEnv, ProbeCache};
+pub use cache::{CacheKey, CachedEnv, ProbeCache, ProvenanceLog};
 pub use journal::{JournalRecord, JournalWriter, JOURNAL_FORMAT};
 pub use net::Server;
 pub use proto::{Request, Response, SessionResult, StatusLine, SubmitSpec};

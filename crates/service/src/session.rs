@@ -32,17 +32,30 @@
 //! journal prefix *string-for-string* (the serde shim's float rendering
 //! round-trips finite f64s bit-exactly, so string equality is bit
 //! equality). Any divergence fails the session loudly instead of
-//! appending a corrupt suffix. Resumed sessions bypass the probe cache:
-//! a cache hit that did not occur in the original run would change the
-//! platform RNG stream and diverge from the prefix.
+//! appending a corrupt suffix.
+//!
+//! The shared probe cache needs one extra move: a cache hit is free and
+//! leaves the session profiler's RNG/clock/billing state untouched, so a
+//! resume that re-probed it would both pay for it and shift the platform
+//! RNG stream — unreproducible, since the cache died with the process.
+//! The journal therefore records each probe's provenance (`Event` vs
+//! `CachedEvent`), and the replay environment serves journaled hits
+//! straight from the prefix while re-running journaled misses against
+//! the profiler, reproducing the exact pre-crash environment state. Past
+//! the prefix a resumed session probes cache-free: the live cache's
+//! contents after a restart are unrelated to what the dead process held,
+//! and the journal — not the cache — is the authority on this session.
 
-use crate::cache::{CachedEnv, ProbeCache};
+use crate::cache::{CachedEnv, ProbeCache, ProvenanceLog};
 use crate::journal::{
     is_journaled, journal_file, list_journals, read_journal, JournalRecord, JournalWriter,
     JOURNAL_FORMAT,
 };
 use crate::proto::{SessionResult, StatusLine, SubmitSpec};
-use mlcd::prelude::{ExperimentRunner, Scenario, TraceEvent, TraceSink};
+use mlcd::prelude::{
+    Deployment, ExperimentRunner, Money, Observation, ProfileError, ProfilingEnv, Scenario,
+    SearchSpace, SimDuration, TraceEvent, TraceSink,
+};
 use mlcd::search::searcher_by_name;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
@@ -266,14 +279,23 @@ fn install_quiet_hook() {
 
 // ---- the verifying / journaling sink ---------------------------------
 
+/// Is this journaled event a probe record (carries an observation the
+/// environment produced, and therefore a [`ProvenanceLog`] flag)?
+fn is_probe_event(event: &TraceEvent) -> bool {
+    matches!(event, TraceEvent::InitProbe { .. } | TraceEvent::Probe { .. })
+}
+
 struct SessionSink<'a> {
     session: &'a Session,
     writer: Option<&'a mut JournalWriter>,
-    /// Journaled prefix to verify against when resuming.
-    replay: &'a [TraceEvent],
+    /// Journaled prefix to verify against when resuming: each event with
+    /// its provenance (`true` = served by the cache in the original run).
+    replay: &'a [(TraceEvent, bool)],
     replay_pos: usize,
     /// Journaled events seen so far (replayed + appended).
     journaled: u64,
+    /// Probe provenance, pushed by the environment in probe order.
+    provenance: &'a ProvenanceLog,
     crash_after: Option<u64>,
 }
 
@@ -283,11 +305,16 @@ impl TraceSink for SessionSink<'_> {
             panic_any(CancelSignal);
         }
         if is_journaled(&event) {
+            // Every journaled probe event consumes its provenance flag —
+            // on the verify path too, so the queue stays aligned with the
+            // probe stream across the prefix/append boundary.
+            let cached = is_probe_event(&event) && self.provenance.pop();
             if self.replay_pos < self.replay.len() {
                 // Verify the re-emitted event against the journal prefix.
                 // String equality is bit equality here: the serde shim's
                 // float rendering round-trips every finite f64 exactly.
-                let expected = serde_json::to_string(&self.replay[self.replay_pos])
+                let (ref journaled_event, journaled_cached) = self.replay[self.replay_pos];
+                let expected = serde_json::to_string(journaled_event)
                     .unwrap_or_else(|e| format!("<unserializable: {e}>"));
                 let got = serde_json::to_string(&event)
                     .unwrap_or_else(|e| format!("<unserializable: {e}>"));
@@ -298,9 +325,21 @@ impl TraceSink for SessionSink<'_> {
                         self.replay_pos
                     )));
                 }
+                if journaled_cached != cached {
+                    panic_any(ReplayDivergence(format!(
+                        "resume divergence at journaled event {}: journal says cached={}, \
+                         replay served cached={}",
+                        self.replay_pos, journaled_cached, cached
+                    )));
+                }
                 self.replay_pos += 1;
             } else if let Some(w) = self.writer.as_deref_mut() {
-                let record = JournalRecord::Event { seq: self.journaled, event: event.clone() };
+                let seq = self.journaled;
+                let record = if cached {
+                    JournalRecord::CachedEvent { seq, event: event.clone() }
+                } else {
+                    JournalRecord::Event { seq, event: event.clone() }
+                };
                 if let Err(e) = w.append(&record) {
                     panic_any(JournalIo(e.to_string()));
                 }
@@ -313,6 +352,156 @@ impl TraceSink for SessionSink<'_> {
                 panic_any(CrashSignal);
             }
         }
+    }
+}
+
+// ---- the replaying environment ---------------------------------------
+
+/// The [`ProfilingEnv`] a *resumed* session searches against.
+///
+/// For the journaled prefix it reproduces exactly what the crashed run's
+/// [`CachedEnv`] did: probes journaled as `CachedEvent` are served from
+/// the journal (free, and without touching the inner profiler — the
+/// original hit never advanced its RNG/clock/billing either), while
+/// probes journaled as `Event` are re-run against the profiler, which
+/// deterministically re-derives them. Once the prefix is exhausted the
+/// session continues cache-free: the live cache's contents are unrelated
+/// to what the dead process held, so the deterministic completion never
+/// consults it.
+struct ReplayEnv<'a> {
+    inner: &'a mut dyn ProfilingEnv,
+    /// `(observation, cached)` of each journaled probe event, in order.
+    prefix: Vec<(Observation, bool)>,
+    cursor: usize,
+    provenance: &'a ProvenanceLog,
+}
+
+impl<'a> ReplayEnv<'a> {
+    /// Build from the journaled prefix a resumed session must reproduce.
+    fn new(
+        inner: &'a mut dyn ProfilingEnv,
+        replay: &[(TraceEvent, bool)],
+        provenance: &'a ProvenanceLog,
+    ) -> Self {
+        let prefix = replay
+            .iter()
+            .filter_map(|(event, cached)| match event {
+                TraceEvent::InitProbe { observation, .. }
+                | TraceEvent::Probe { observation, .. } => Some((*observation, *cached)),
+                _ => None,
+            })
+            .collect();
+        ReplayEnv { inner, prefix, cursor: 0, provenance }
+    }
+
+    /// The journaled probe at the cursor, when it is a cache hit replay
+    /// must serve for `d`. Panics with [`ReplayDivergence`] if the hit
+    /// was recorded for a different deployment — the search has already
+    /// forked from the journal and re-probing would fork it silently.
+    fn serve_journaled_hit(&mut self, d: &Deployment) -> Option<Observation> {
+        let (obs, cached) = *self.prefix.get(self.cursor)?;
+        if !cached {
+            return None;
+        }
+        if obs.deployment != *d {
+            panic_any(ReplayDivergence(format!(
+                "resume divergence at journaled probe {}: journal cached an observation of \
+                 {}, replay probed {d}",
+                self.cursor, obs.deployment
+            )));
+        }
+        self.cursor += 1;
+        self.provenance.push(true);
+        Some(obs)
+    }
+
+    /// Account a paid probe the inner environment just served.
+    fn note_paid(&mut self, ok: bool) {
+        if ok {
+            if self.cursor < self.prefix.len() {
+                self.cursor += 1;
+            }
+            self.provenance.push(false);
+        }
+    }
+}
+
+impl ProfilingEnv for ReplayEnv<'_> {
+    fn space(&self) -> &SearchSpace {
+        self.inner.space()
+    }
+
+    fn total_samples(&self) -> f64 {
+        self.inner.total_samples()
+    }
+
+    fn quote(&self, d: &Deployment) -> (SimDuration, Money) {
+        self.inner.quote(d)
+    }
+
+    fn profile(&mut self, d: &Deployment) -> Result<Observation, ProfileError> {
+        if let Some(obs) = self.serve_journaled_hit(d) {
+            return Ok(obs);
+        }
+        let result = self.inner.profile(d);
+        self.note_paid(result.is_ok());
+        result
+    }
+
+    fn profile_batch(&mut self, ds: &[Deployment]) -> Vec<Result<Observation, ProfileError>> {
+        // Mirror `CachedEnv::profile_batch`: serve journaled hits from
+        // the prefix and forward the rest as ONE batch so the profiler
+        // keeps its concurrent-provisioning wall-clock semantics. Slots
+        // are matched to prefix entries positionally (journal order is
+        // batch order), assuming every batch member settles — the sink's
+        // string-for-string verification catches any divergence.
+        let mut out: Vec<Option<(Result<Observation, ProfileError>, bool)>> = vec![None; ds.len()];
+        let mut miss_idx = Vec::new();
+        let mut miss_ds = Vec::new();
+        for (i, d) in ds.iter().enumerate() {
+            let slot = self.cursor + miss_idx.len();
+            let journaled_hit = match self.prefix.get(slot) {
+                Some((obs, true)) if obs.deployment == *d => Some(*obs),
+                _ => None,
+            };
+            match journaled_hit {
+                Some(obs) => {
+                    self.cursor += 1;
+                    out[i] = Some((Ok(obs), true));
+                }
+                None => {
+                    miss_idx.push(i);
+                    miss_ds.push(*d);
+                }
+            }
+        }
+        let fresh = self.inner.profile_batch(&miss_ds);
+        for (slot, result) in miss_idx.into_iter().zip(fresh) {
+            if result.is_ok() && self.cursor < self.prefix.len() {
+                self.cursor += 1;
+            }
+            out[slot] = Some((result, false));
+        }
+        // The sink pops provenance per journaled probe event, and the
+        // kernel journals batch results in result (ds) order — so the
+        // flags must be pushed in that order too, not hits-first.
+        out.into_iter()
+            .map(|slot| {
+                let (result, cached) = slot.expect("every slot filled");
+                if result.is_ok() {
+                    self.provenance.push(cached);
+                }
+                result
+            })
+            .collect()
+    }
+
+    fn elapsed(&self) -> SimDuration {
+        self.inner.elapsed()
+    }
+
+    fn spent(&self) -> Money {
+        self.inner.spent()
     }
 }
 
@@ -331,7 +520,14 @@ pub struct Reject {
 struct WorkItem {
     session: Arc<Session>,
     writer: Option<JournalWriter>,
-    resume_events: Vec<TraceEvent>,
+    /// `true` for any journal-restored entry — even one whose journal
+    /// holds a header only. Resume status must not be inferred from the
+    /// replayed-event count: a header-only resume still has to run
+    /// cache-free, or a hit in the new process could yield an outcome the
+    /// original run could not have produced.
+    resumed: bool,
+    /// Journaled prefix to replay: each event with its cache provenance.
+    resume_events: Vec<(TraceEvent, bool)>,
     priority: u8,
     seq: u64,
 }
@@ -385,7 +581,13 @@ impl SessionManager {
                     continue;
                 };
                 next_id = next_id.max(id + 1);
-                let events: Vec<TraceEvent> = contents.events().into_iter().cloned().collect();
+                let entries_with_provenance: Vec<(TraceEvent, bool)> = contents
+                    .event_entries()
+                    .into_iter()
+                    .map(|(event, cached)| (event.clone(), cached))
+                    .collect();
+                let events: Vec<TraceEvent> =
+                    entries_with_provenance.iter().map(|(e, _)| e.clone()).collect();
                 match contents.terminal() {
                     Some(JournalRecord::Completed { result }) => {
                         let s = Arc::new(Session::new(
@@ -422,7 +624,8 @@ impl SessionManager {
                         entries.push(WorkItem {
                             session,
                             writer: Some(writer),
-                            resume_events: events,
+                            resumed: true,
+                            resume_events: entries_with_provenance,
                             priority: spec.priority,
                             seq,
                         });
@@ -462,27 +665,42 @@ impl SessionManager {
         }
         let scenario = spec.scenario().expect("spec validated");
 
-        let mut q = self.inner.queue.lock().expect("queue poisoned");
-        if q.shutdown {
-            return Err(Reject { queue_full: false, reason: "server is shutting down".into() });
-        }
-        if q.entries.len() >= self.inner.cfg.queue_cap {
-            return Err(Reject {
-                queue_full: true,
-                reason: format!(
-                    "queue full: {} sessions already queued (cap {})",
-                    q.entries.len(),
-                    self.inner.cfg.queue_cap
-                ),
-            });
-        }
-        let id = q.next_id;
-        // Write-ahead: the header must be durable before the session is
-        // visible, so a crash between submit and first probe still resumes.
-        let writer = match &self.inner.cfg.journal_dir {
-            Some(dir) => {
+        // Phase 1 — reserve an id under the lock. The journal header's
+        // fsync must NOT happen while the queue mutex is held: every
+        // concurrent submit and every worker pop would serialize behind
+        // the disk, so a hung journal device would stall the whole pool.
+        let admit = |q: &QueueState| -> Result<(), Reject> {
+            if q.shutdown {
+                return Err(Reject { queue_full: false, reason: "server is shutting down".into() });
+            }
+            if q.entries.len() >= self.inner.cfg.queue_cap {
+                return Err(Reject {
+                    queue_full: true,
+                    reason: format!(
+                        "queue full: {} sessions already queued (cap {})",
+                        q.entries.len(),
+                        self.inner.cfg.queue_cap
+                    ),
+                });
+            }
+            Ok(())
+        };
+        let id = {
+            let mut q = self.inner.queue.lock().expect("queue poisoned");
+            admit(&q)?;
+            let id = q.next_id;
+            q.next_id += 1;
+            id
+        };
+
+        // Phase 2 — write-ahead, unlocked: the header must be durable
+        // before the session is visible, so a crash between submit and
+        // first probe still resumes.
+        let journal_path = self.inner.cfg.journal_dir.as_ref().map(|dir| journal_file(dir, id));
+        let writer = match &journal_path {
+            Some(path) => {
                 let journal = (|| {
-                    let mut w = JournalWriter::create(&journal_file(dir, id))?;
+                    let mut w = JournalWriter::create(path)?;
                     w.append(&JournalRecord::Header {
                         format: JOURNAL_FORMAT,
                         session: id,
@@ -494,6 +712,9 @@ impl SessionManager {
                 match journal {
                     Ok(w) => Some(w),
                     Err(e) => {
+                        if let Some(path) = &journal_path {
+                            let _ = std::fs::remove_file(path);
+                        }
                         return Err(Reject {
                             queue_full: false,
                             reason: format!("journal unavailable: {e}"),
@@ -503,14 +724,28 @@ impl SessionManager {
             }
             None => None,
         };
-        q.next_id += 1;
+
+        // Phase 3 — re-acquire and enqueue, re-checking admission (the
+        // queue may have filled or shut down while we were on disk). A
+        // late rejection must not leave a header-only journal behind: the
+        // next manager would restore it as a queued session the client
+        // was told did not get in.
+        let session = Arc::new(Session::new(id, spec.clone(), scenario, Phase::Queued));
+        let mut q = self.inner.queue.lock().expect("queue poisoned");
+        if let Err(reject) = admit(&q) {
+            drop(q);
+            if let Some(path) = &journal_path {
+                let _ = std::fs::remove_file(path);
+            }
+            return Err(reject);
+        }
         let seq = q.seq;
         q.seq += 1;
-        let session = Arc::new(Session::new(id, spec.clone(), scenario, Phase::Queued));
         self.inner.sessions.lock().expect("sessions poisoned").insert(id, session.clone());
         q.entries.push(WorkItem {
             session,
             writer,
+            resumed: false,
             resume_events: Vec::new(),
             priority: spec.priority,
             seq,
@@ -630,7 +865,7 @@ fn run_session(inner: &Arc<Inner>, mut item: WorkItem) {
     }
     session.set_phase(Phase::Running);
 
-    let resuming = !item.resume_events.is_empty();
+    let resuming = item.resumed;
     let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<SessionResult, String> {
         let spec = &session.spec;
         let job = spec.training_job()?;
@@ -642,17 +877,30 @@ fn run_session(inner: &Arc<Inner>, mut item: WorkItem) {
         }
         let mut profiler = runner.profiler_for(&job);
         let search = {
-            let cache = (inner.cfg.probe_cache && !resuming).then_some(&inner.cache);
-            let mut env = CachedEnv::new(&mut profiler, cache, &spec.job);
+            let provenance = ProvenanceLog::new();
+            // Fresh sessions search through the shared cache; resumed
+            // sessions search through the journal replayer, which serves
+            // journaled hits itself and never consults the live cache.
+            let cache = inner.cfg.probe_cache.then_some(&inner.cache);
+            let mut cached_env;
+            let mut replay_env;
+            let env: &mut dyn ProfilingEnv = if resuming {
+                replay_env = ReplayEnv::new(&mut profiler, &item.resume_events, &provenance);
+                &mut replay_env
+            } else {
+                cached_env = CachedEnv::new(&mut profiler, cache, &spec.job, &provenance);
+                &mut cached_env
+            };
             let mut sink = SessionSink {
                 session: &session,
                 writer: item.writer.as_mut(),
                 replay: &item.resume_events,
                 replay_pos: 0,
                 journaled: 0,
+                provenance: &provenance,
                 crash_after: inner.cfg.crash_after_records,
             };
-            let search = searcher.search_traced(&mut env, &session.scenario, &mut sink);
+            let search = searcher.search_traced(env, &session.scenario, &mut sink);
             if sink.replay_pos < sink.replay.len() {
                 return Err(format!(
                     "resume divergence: replay consumed only {} of {} journaled events",
@@ -717,6 +965,9 @@ fn run_session(inner: &Arc<Inner>, mut item: WorkItem) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlcd::env::SyntheticEnv;
+    use mlcd::prelude::InstanceType;
+    use mlcd_perfmodel::{ThroughputModel, TrainingJob};
 
     fn tiny_spec(job: &str, seed: u64) -> SubmitSpec {
         // Small spaces keep these unit tests fast; the integration tests
@@ -836,6 +1087,190 @@ mod tests {
         assert!(hits as usize >= rb.search.steps.len(), "second run must be all hits");
         assert_eq!(rb.search.profile_cost.dollars(), 0.0);
         assert!(ra.search.profile_cost.dollars() > 0.0);
+    }
+
+    fn synthetic_env() -> SyntheticEnv<fn(&Deployment) -> f64> {
+        let space = SearchSpace::new(
+            &[InstanceType::C5Xlarge, InstanceType::P2Xlarge],
+            10,
+            &TrainingJob::resnet_cifar10(),
+            &ThroughputModel::default(),
+        );
+        SyntheticEnv::new(space, 1e6, |d| 100.0 * d.n as f64)
+    }
+
+    fn probe_event(observation: Observation) -> TraceEvent {
+        TraceEvent::Probe {
+            observation,
+            cum_profile_time: SimDuration::ZERO,
+            cum_profile_cost: Money::ZERO,
+        }
+    }
+
+    #[test]
+    fn replay_env_serves_journaled_hits_and_reprobes_misses() {
+        let d1 = Deployment::new(InstanceType::C5Xlarge, 1);
+        let d2 = Deployment::new(InstanceType::C5Xlarge, 2);
+        let d3 = Deployment::new(InstanceType::P2Xlarge, 3);
+
+        // What the paid probes look like on the raw environment.
+        let mut baseline = synthetic_env();
+        let base1 = baseline.profile(&d1).unwrap();
+        let base3 = baseline.profile(&d3).unwrap();
+        let paid_elapsed = baseline.elapsed();
+
+        // The journaled prefix: d1 paid, d2 a cache hit whose observation
+        // (sentinel speed) could never come from this env, d3 paid.
+        let hit = Observation {
+            deployment: d2,
+            speed: 123.456,
+            profile_time: SimDuration::ZERO,
+            profile_cost: Money::ZERO,
+        };
+        let prefix = vec![
+            (probe_event(base1), false),
+            (probe_event(hit), true),
+            (probe_event(base3), false),
+        ];
+
+        let mut inner = synthetic_env();
+        let log = ProvenanceLog::new();
+        let mut replay = ReplayEnv::new(&mut inner, &prefix, &log);
+
+        assert_eq!(replay.profile(&d1).unwrap(), base1, "journaled miss is re-probed");
+        assert!(!log.pop());
+        let served = replay.profile(&d2).unwrap();
+        assert_eq!(served, hit, "journaled hit is served from the journal, not the env");
+        assert!(log.pop());
+        assert_eq!(replay.profile(&d3).unwrap(), base3);
+        assert!(!log.pop());
+        // Past the prefix the env is a plain delegate: every probe paid.
+        let again = replay.profile(&d2).unwrap();
+        assert_ne!(again, hit, "suffix probes must come from the env, not the journal");
+        assert!(!log.pop());
+        // The inner env was charged for exactly the three paid probes —
+        // the served hit never touched it.
+        let (t2, _) = inner.quote(&d2);
+        assert_eq!(inner.elapsed(), paid_elapsed + t2);
+    }
+
+    #[test]
+    fn replay_env_batches_mix_journaled_hits_and_paid_misses() {
+        let d1 = Deployment::new(InstanceType::C5Xlarge, 1);
+        let d2 = Deployment::new(InstanceType::C5Xlarge, 2);
+        let d3 = Deployment::new(InstanceType::P2Xlarge, 3);
+
+        let mut baseline = synthetic_env();
+        let batch = baseline.profile_batch(&[d1, d3]);
+        let base1 = *batch[0].as_ref().unwrap();
+        let base3 = *batch[1].as_ref().unwrap();
+
+        let hit = Observation {
+            deployment: d2,
+            speed: 777.0,
+            profile_time: SimDuration::ZERO,
+            profile_cost: Money::ZERO,
+        };
+        let prefix = vec![
+            (probe_event(base1), false),
+            (probe_event(hit), true),
+            (probe_event(base3), false),
+        ];
+
+        let mut inner = synthetic_env();
+        let log = ProvenanceLog::new();
+        let mut replay = ReplayEnv::new(&mut inner, &prefix, &log);
+        let results = replay.profile_batch(&[d1, d2, d3]);
+        assert_eq!(*results[0].as_ref().unwrap(), base1);
+        assert_eq!(*results[1].as_ref().unwrap(), hit);
+        assert_eq!(*results[2].as_ref().unwrap(), base3);
+        // Provenance in batch (ds) order: paid, hit, paid.
+        assert!(!log.pop());
+        assert!(log.pop());
+        assert!(!log.pop());
+        // Only the two misses were charged to the inner env; the served
+        // hit never touched it.
+        let (t1, _) = replay.quote(&d1);
+        let (t3, _) = replay.quote(&d3);
+        assert_eq!(inner.elapsed(), t1 + t3);
+    }
+
+    #[test]
+    fn header_only_journal_still_resumes_cache_free() {
+        // Crash before the first journaled event: the journal holds a
+        // header only. The restored session must STILL count as resumed
+        // and run cache-free — inferring resume status from the replayed
+        // -event count would let it hit the live cache and produce an
+        // outcome the original run could not have.
+        let jdir =
+            std::env::temp_dir().join(format!("mlcd-session-headeronly-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&jdir);
+        std::fs::create_dir_all(&jdir).unwrap();
+
+        let spec = tiny_spec("resnet-cifar10", 11);
+        let doomed = manager(ServiceConfig {
+            workers: 1,
+            journal_dir: Some(jdir.clone()),
+            probe_cache: true,
+            crash_after_records: Some(0),
+            ..Default::default()
+        });
+        let id = doomed.submit(spec.clone()).unwrap();
+        assert!(matches!(doomed.session(id).unwrap().wait_terminal(), Phase::Crashed));
+        drop(doomed);
+
+        // Revive paused, and let a fresh same-spec session warm the cache
+        // first; only then drain the resumed one.
+        let revived = manager(ServiceConfig {
+            workers: 1,
+            queue_cap: 8,
+            journal_dir: Some(jdir.clone()),
+            probe_cache: true,
+            start_paused: true,
+            ..Default::default()
+        });
+        let warm = revived.submit(spec.with_priority(5)).unwrap();
+        revived.resume_workers();
+        let warm_result = done_result(&revived, warm);
+        let resumed_result = done_result(&revived, id);
+        assert_eq!(revived.started_order(), vec![warm, id]);
+        assert!(warm_result.search.profile_cost.dollars() > 0.0);
+        // Same trajectory, but every probe paid: the resumed session
+        // never consulted the cache the warm session just filled.
+        assert_eq!(resumed_result.search.digest(), warm_result.search.digest());
+        assert!(
+            resumed_result.search.profile_cost.dollars() > 0.0,
+            "header-only resume must not be served by the live probe cache"
+        );
+        let _ = std::fs::remove_dir_all(&jdir);
+    }
+
+    #[test]
+    fn rejected_submit_leaves_no_journal_file() {
+        let jdir =
+            std::env::temp_dir().join(format!("mlcd-session-rejected-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&jdir);
+        std::fs::create_dir_all(&jdir).unwrap();
+
+        let m = manager(ServiceConfig {
+            workers: 1,
+            queue_cap: 1,
+            journal_dir: Some(jdir.clone()),
+            start_paused: true,
+            ..Default::default()
+        });
+        let kept = m.submit(tiny_spec("resnet-cifar10", 1)).unwrap();
+        let r = m.submit(tiny_spec("resnet-cifar10", 2)).unwrap_err();
+        assert!(r.queue_full);
+        let journals: Vec<_> = std::fs::read_dir(&jdir).unwrap().collect();
+        assert_eq!(
+            journals.len(),
+            1,
+            "a rejected submit must not leave a journal for the next manager to restore"
+        );
+        m.resume_workers();
+        let _ = m.session(kept).unwrap().wait_terminal();
+        let _ = std::fs::remove_dir_all(&jdir);
     }
 
     #[test]

@@ -138,6 +138,77 @@ fn torn_journal_tail_is_recovered_then_resumed_bit_identical() {
     assert_eq!(resumed, golden, "torn-tail recovery must not change the resumed outcome");
 }
 
+/// The cache-on crash: sessions whose journaled prefix contains probes
+/// the shared cache served for free must still resume. The journal
+/// records hit provenance (`CachedEvent`), and replay re-serves those
+/// observations from the journal itself — re-probing could never
+/// reproduce them (a hit charges nothing and may carry another seed's
+/// observation).
+#[test]
+fn sessions_with_cache_hits_in_their_prefix_resume() {
+    let spec = spec("heterbo", 1);
+    let golden = uninterrupted(&spec).digest();
+
+    let run_once = |tag: &str| {
+        let jdir = dir(tag);
+        let doomed = SessionManager::new(ServiceConfig {
+            workers: 1,
+            journal_dir: Some(jdir.clone()),
+            probe_cache: true,
+            crash_after_records: Some(3),
+            ..ServiceConfig::default()
+        })
+        .expect("doomed manager");
+        // A pays its probes into the shared cache (the whole init batch
+        // executes before the third journal record fires the crash), so
+        // B's journaled prefix is all cache hits.
+        let a = doomed.submit(spec.clone()).expect("submit a");
+        let b = doomed.submit(spec.clone()).expect("submit b");
+        for id in [a, b] {
+            let session = doomed.session(id).expect("session exists");
+            assert!(matches!(session.wait_terminal(), Phase::Crashed));
+        }
+        drop(doomed);
+
+        let b_journal =
+            std::fs::read_to_string(mlcd_service::journal::journal_file(&jdir, b)).unwrap();
+        assert!(
+            b_journal.contains("CachedEvent"),
+            "B's prefix must record cache-served probes as CachedEvent"
+        );
+
+        let revived = SessionManager::new(ServiceConfig {
+            workers: 1,
+            journal_dir: Some(jdir),
+            probe_cache: true,
+            ..ServiceConfig::default()
+        })
+        .expect("revived manager");
+        let outcome = |id: u64| match revived.session(id).expect("restored").wait_terminal() {
+            Phase::Done(result) => result.search,
+            other => panic!("resumed run ended {}: {:?}", other.name(), other),
+        };
+        (outcome(a), outcome(b))
+    };
+
+    let (a1, b1) = run_once("cache-on-1");
+    // A's prefix was all paid probes and its completion is cache-free,
+    // so its resume is bit-identical to the uninterrupted run.
+    assert_eq!(a1.digest(), golden, "all-miss prefix must resume bit-identical");
+    // B's prefix probes were free hits, re-served from the journal; only
+    // its post-crash suffix is paid.
+    assert!(
+        b1.profile_cost.dollars() < a1.profile_cost.dollars(),
+        "B's journaled hits must stay free on resume ({} vs {})",
+        b1.profile_cost.dollars(),
+        a1.profile_cost.dollars()
+    );
+    // And the whole crash-resume scenario is deterministic end to end.
+    let (a2, b2) = run_once("cache-on-2");
+    assert_eq!(a2.digest(), a1.digest());
+    assert_eq!(b2.digest(), b1.digest());
+}
+
 /// Every searcher the service accepts must feed the trace sink — the
 /// journal, the crash hook, cooperative cancel and `watch` all hang off
 /// it. (The baselines originally ignored their sink, which would leave
