@@ -12,6 +12,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlcd_service::{Phase, ServiceConfig, SessionManager, SubmitSpec};
 use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 fn spec(job: &str, seed: u64) -> SubmitSpec {
     let mut s = SubmitSpec::new(job, "random", seed);
@@ -84,5 +87,184 @@ fn bench_submit_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_submit_throughput);
+// ---- saturation: sessions/s and submit latency vs. concurrency -------
+//
+// `service_saturation` drives C concurrent submitter threads, each
+// pushing a stream of journaled sessions through the pool, with the
+// journal in group-commit mode vs. the per-append-fsync baseline. It
+// does its own timing (whole-fleet wall clock and per-submit latency
+// percentiles don't fit criterion's per-iteration model) and appends
+// records to the `CRITERION_JSON` stream in the shim's own JSONL shape,
+// so `bench_report` folds them like any other bench:
+//
+//   service_saturation/{group|fsync_each}/c{C}/ns_per_session
+//   service_saturation/{group|fsync_each}/c{C}/p99_submit_ns
+//
+// Knobs: `MLCD_SAT_QUICK=1` shrinks it to one small concurrency level
+// (the CI smoke job); `MLCD_SAT_WORKERS=N` overrides the fixed worker
+// pool; without `--bench` (i.e. under `cargo test`) it runs a minimal
+// single-shot smoke pass.
+
+/// One saturation run: C submitter threads × `per` sessions each, all
+/// journaled, drained to Done. Returns (total wall ns, per-submit
+/// latencies in ns).
+fn run_saturation(group_commit: bool, conc: usize, per: usize, jdir: &Path) -> (f64, Vec<u64>) {
+    let _ = std::fs::remove_dir_all(jdir);
+    std::fs::create_dir_all(jdir).expect("bench journal dir");
+    // A fixed worker pool, deliberately decoupled from submitter
+    // concurrency: the server's pool is sized to the host, and the
+    // question the curve answers is how throughput and submit latency
+    // respond as ever more *clients* pile onto that fixed pool.
+    // `MLCD_SAT_WORKERS` overrides for experiments.
+    let workers: usize =
+        std::env::var("MLCD_SAT_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let mgr = Arc::new(
+        SessionManager::new(ServiceConfig {
+            workers,
+            queue_cap: conc * per + 16,
+            journal_dir: Some(jdir.to_path_buf()),
+            probe_cache: false,
+            group_commit,
+            shards: 16,
+            ..ServiceConfig::default()
+        })
+        .expect("manager"),
+    );
+    let start = Instant::now();
+    let handles: Vec<std::thread::JoinHandle<(Vec<u64>, Vec<u64>)>> = (0..conc)
+        .map(|t| {
+            let mgr = mgr.clone();
+            std::thread::spawn(move || {
+                let mut ids = Vec::with_capacity(per);
+                let mut lats = Vec::with_capacity(per);
+                for k in 0..per {
+                    let s = spec("resnet-cifar10", (t * per + k) as u64);
+                    let t0 = Instant::now();
+                    let id = mgr.submit(s).expect("submit");
+                    lats.push(t0.elapsed().as_nanos() as u64);
+                    ids.push(id);
+                }
+                (ids, lats)
+            })
+        })
+        .collect();
+    let mut ids = Vec::new();
+    let mut lats = Vec::new();
+    for h in handles {
+        let (i, l) = h.join().expect("submitter");
+        ids.extend(i);
+        lats.extend(l);
+    }
+    for id in ids {
+        match mgr.session(id).expect("session").wait_terminal() {
+            Phase::Done(_) => {}
+            other => panic!("session {id} ended {}", other.name()),
+        }
+    }
+    let wall_ns = start.elapsed().as_nanos() as f64;
+    drop(mgr);
+    let _ = std::fs::remove_dir_all(jdir);
+    (wall_ns, lats)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Append one record to the `CRITERION_JSON` stream in the shim's JSONL
+/// shape, so `bench_report` folds it like a criterion-timed bench.
+fn emit_record(name: &str, min: f64, median: f64, max: f64, samples: usize, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    let line = format!(
+        "{{\"name\":\"{name}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"max_ns\":{max:.1},\"samples\":{samples},\"iters\":{iters}}}\n"
+    );
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("service_bench: failed to append to {path}: {e}");
+    }
+}
+
+fn bench_saturation(_c: &mut Criterion) {
+    // Mirror the shim's CLI handling: first non-flag arg is a substring
+    // filter, `--bench` switches from smoke to full measurement.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    if let Some(pat) = &filter {
+        if !"service_saturation".contains(pat.as_str()) {
+            return;
+        }
+    }
+    let full = std::env::args().any(|a| a == "--bench");
+    let quick = std::env::var("MLCD_SAT_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+
+    let (concs, per, repeats): (&[usize], usize, usize) = if !full {
+        (&[2], 1, 1) // `cargo test` smoke: prove the path runs.
+    } else if quick {
+        (&[8], 2, 1) // CI smoke: small but real, still emits records.
+    } else {
+        (&[8, 64], 8, 5)
+    };
+
+    let base: PathBuf =
+        std::env::temp_dir().join(format!("mlcd-bench-saturation-{}", std::process::id()));
+    for &conc in concs {
+        // Interleave the two modes repeat-by-repeat: back-to-back pairs
+        // see the same I/O weather, so drift in disk latency across the
+        // measurement shifts both modes rather than biasing their ratio.
+        let modes = [("group", true), ("fsync_each", false)];
+        let mut samples: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); modes.len()];
+        let total = (conc * per) as f64;
+        for _ in 0..repeats {
+            for (m, (_, group_commit)) in modes.iter().enumerate() {
+                let (wall_ns, mut lats) = run_saturation(*group_commit, conc, per, &base);
+                lats.sort_unstable();
+                samples[m].0.push(wall_ns / total);
+                samples[m].1.push(percentile(&lats, 0.99) as f64);
+            }
+        }
+        for (m, (mode, _)) in modes.iter().enumerate() {
+            let (ref mut per_session, ref mut p99s) = samples[m];
+            per_session.sort_by(|a, b| a.total_cmp(b));
+            p99s.sort_by(|a, b| a.total_cmp(b));
+            let med = per_session[per_session.len() / 2];
+            let name = format!("service_saturation/{mode}/c{conc}");
+            println!(
+                "{name:<40} {:>9.0} sessions/s   p99 submit {:.2} ms   ({} sessions × {} runs)",
+                1e9 / med,
+                p99s[p99s.len() / 2] / 1e6,
+                conc * per,
+                repeats,
+            );
+            emit_record(
+                &format!("{name}/ns_per_session"),
+                per_session[0],
+                med,
+                per_session[per_session.len() - 1],
+                repeats,
+                (conc * per) as u64,
+            );
+            emit_record(
+                &format!("{name}/p99_submit_ns"),
+                p99s[0],
+                p99s[p99s.len() / 2],
+                p99s[p99s.len() - 1],
+                repeats,
+                (conc * per) as u64,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_submit_throughput, bench_saturation);
 criterion_main!(benches);

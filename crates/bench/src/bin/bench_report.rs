@@ -97,26 +97,84 @@ fn main() {
         benches.iter().find(|(n, _)| n == name).and_then(|(_, v)| field_f64(v, "median_ns"))
     };
 
+    // The gp_fit baseline comparison only belongs in reports that
+    // actually fold gp_fit runs; a service-bench report must not quote
+    // an unrelated (and always-empty) speedup table.
+    let has_gp = names.iter().any(|n| n.starts_with("gp_fit/"));
     let mut baseline: Vec<(String, Value)> = Vec::new();
     let mut speedups: Vec<(String, Value)> = Vec::new();
-    for &(name, base_ns) in PRE_PR_BASELINE {
-        baseline.push((name.to_string(), json!(base_ns)));
-        if let Some(cur) = median_of(name) {
-            speedups.push((name.to_string(), json!(round2(base_ns / cur))));
+    if has_gp {
+        for &(name, base_ns) in PRE_PR_BASELINE {
+            baseline.push((name.to_string(), json!(base_ns)));
+            if let Some(cur) = median_of(name) {
+                speedups.push((name.to_string(), json!(round2(base_ns / cur))));
+            }
         }
     }
 
-    let report = json!({
-        "git_rev": git_rev(),
-        "source": input.clone(),
-        "times_are": "nanoseconds per iteration; median across runs of per-run medians",
-        "benches": Value::Object(benches),
-        "baseline_pre_pr": {
-            "rev": PRE_PR_REV,
-            "median_ns": Value::Object(baseline.clone()),
-        },
-        "speedup_vs_pre_pr": Value::Object(speedups.clone()),
-    });
+    // Derived saturation view: fold `service_saturation/<mode>/c<C>/...`
+    // records into sessions/s and p99 submit latency per (mode, conc),
+    // plus group-commit speedup (fsync_each ns / group ns) per conc.
+    let mut saturation: Vec<(String, Value)> = Vec::new();
+    let mut sat_speedups: Vec<(String, Value)> = Vec::new();
+    let sat_points: Vec<String> = names
+        .iter()
+        .filter_map(|n| {
+            n.strip_prefix("service_saturation/")?.strip_suffix("/ns_per_session").map(String::from)
+        })
+        .collect();
+    for point in &sat_points {
+        let ns = median_of(&format!("service_saturation/{point}/ns_per_session"));
+        let p99 = median_of(&format!("service_saturation/{point}/p99_submit_ns"));
+        if let Some(ns) = ns {
+            saturation.push((
+                point.clone(),
+                json!({
+                    "sessions_per_sec": round2(1e9 / ns),
+                    "p99_submit_ms": p99.map_or(Value::Null, |p| json!(round2(p / 1e6))),
+                }),
+            ));
+        }
+    }
+    let concs: Vec<String> = {
+        let mut c: Vec<String> =
+            sat_points.iter().filter_map(|p| p.strip_prefix("group/c").map(String::from)).collect();
+        c.sort();
+        c.dedup();
+        c
+    };
+    for conc in &concs {
+        let group = median_of(&format!("service_saturation/group/c{conc}/ns_per_session"));
+        let fsync = median_of(&format!("service_saturation/fsync_each/c{conc}/ns_per_session"));
+        if let (Some(g), Some(f)) = (group, fsync) {
+            sat_speedups.push((format!("c{conc}"), json!(round2(f / g))));
+        }
+    }
+
+    let mut report: Vec<(String, Value)> = vec![
+        ("git_rev".into(), json!(git_rev())),
+        ("source".into(), json!(input.clone())),
+        (
+            "times_are".into(),
+            json!("nanoseconds per iteration; median across runs of per-run medians"),
+        ),
+        ("benches".into(), Value::Object(benches)),
+    ];
+    if has_gp {
+        report.push((
+            "baseline_pre_pr".into(),
+            json!({
+                "rev": PRE_PR_REV,
+                "median_ns": Value::Object(baseline.clone()),
+            }),
+        ));
+        report.push(("speedup_vs_pre_pr".into(), Value::Object(speedups.clone())));
+    }
+    if !saturation.is_empty() {
+        report.push(("saturation".into(), Value::Object(saturation)));
+        report.push(("group_commit_speedup".into(), Value::Object(sat_speedups.clone())));
+    }
+    let report = Value::Object(report);
 
     let pretty = serde_json::to_string_pretty(&report).expect("report serialises");
     if let Err(e) = std::fs::write(&output, pretty + "\n") {
@@ -127,6 +185,11 @@ fn main() {
     for (name, s) in &speedups {
         if let Some(x) = s.as_f64() {
             println!("  {name}: {x}x vs pre-PR baseline");
+        }
+    }
+    for (conc, s) in &sat_speedups {
+        if let Some(x) = s.as_f64() {
+            println!("  saturation {conc}: group commit {x}x vs per-append fsync");
         }
     }
 }

@@ -21,6 +21,7 @@
 //! mlcd result --id 1 [--wait] [--json]
 //! mlcd watch  --id 1
 //! mlcd cancel --id 1
+//! mlcd stats
 //! mlcd shutdown
 //! ```
 
@@ -48,6 +49,7 @@ fn main() {
         "result" => result(&opts),
         "watch" => watch(&opts),
         "cancel" => cancel(&opts),
+        "stats" => stats(&opts),
         "shutdown" => shutdown(&opts),
         "help" | "--help" | "-h" => usage(""),
         other => usage(&format!("unknown command `{other}`")),
@@ -503,6 +505,30 @@ fn cancel(opts: &Opts) {
     }
 }
 
+fn stats(opts: &Opts) {
+    let (_, resp) = roundtrip(&opts.addr, &json!("Stats")).unwrap_or_else(|e| client_fail(&e));
+    let Some(s) = resp.get("Stats").map(|v| &v["stats"]) else {
+        client_fail(resp["Error"]["message"].as_str().unwrap_or("unexpected response"));
+    };
+    if opts.json {
+        println!("{}", serde_json::to_string(s).expect("re-render fetched JSON"));
+        return;
+    }
+    let n = |key: &str| s[key].as_u64().unwrap_or(0);
+    println!("live sessions   {}", n("live_sessions"));
+    println!("queued          {}", n("queued"));
+    println!("evicted         {}", n("evicted"));
+    println!("cache hits      {}", n("cache_hits"));
+    println!("cache misses    {}", n("cache_misses"));
+    let gc = s["group_commit"].as_bool().unwrap_or(false);
+    println!("group commit    {}", if gc { "on" } else { "off" });
+    if gc {
+        println!("journal groups  {}", n("journal_groups"));
+        println!("journal records {}", n("journal_records"));
+        println!("checkpoints     {}", n("journal_checkpoints"));
+    }
+}
+
 fn shutdown(opts: &Opts) {
     let (_, resp) = roundtrip(&opts.addr, &json!("Shutdown")).unwrap_or_else(|e| client_fail(&e));
     if resp.get("ShuttingDown").is_some() || matches!(&resp, Value::Str(s) if s == "ShuttingDown") {
@@ -535,6 +561,7 @@ fn usage(msg: &str) -> ! {
          \u{20}  mlcd result  --id N [--wait] [--json]\n\
          \u{20}  mlcd watch   --id N\n\
          \u{20}  mlcd cancel  --id N\n\
+         \u{20}  mlcd stats   [--json]\n\
          \u{20}  mlcd shutdown\n\
          \n\
          jobs: {}\n\

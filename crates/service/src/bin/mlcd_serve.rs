@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mlcd-serve --listen 127.0.0.1:7070 --journal-dir /var/lib/mlcd \
-//!            [--workers N] [--queue-cap N] [--no-probe-cache]
+//!            [--workers N] [--queue-cap N] [--no-probe-cache] \
+//!            [--shards N] [--retain-cap N] [--no-group-commit]
 //! ```
 //!
 //! On start the journal directory is scanned: finished sessions are
@@ -18,7 +19,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: mlcd-serve [--listen ADDR] [--journal-dir DIR] \
-                     [--workers N] [--queue-cap N] [--no-probe-cache]";
+                     [--workers N] [--queue-cap N] [--no-probe-cache] \
+                     [--shards N] [--retain-cap N] [--no-group-commit]";
 
 fn main() -> ExitCode {
     let mut listen = "127.0.0.1:7070".to_string();
@@ -41,6 +43,16 @@ fn main() -> ExitCode {
             }),
             "--no-probe-cache" => {
                 cfg.probe_cache = false;
+                Ok(())
+            }
+            "--shards" => value("--shards").and_then(|v| {
+                v.parse().map(|n| cfg.shards = n).map_err(|e| format!("--shards: {e}"))
+            }),
+            "--retain-cap" => value("--retain-cap").and_then(|v| {
+                v.parse().map(|n| cfg.retain_terminal = n).map_err(|e| format!("--retain-cap: {e}"))
+            }),
+            "--no-group-commit" => {
+                cfg.group_commit = false;
                 Ok(())
             }
             "--help" | "-h" => {

@@ -52,10 +52,46 @@ impl CacheKey {
     }
 }
 
+/// Default shard count for [`ProbeCache::new`].
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
+
+/// Deterministic FNV-1a over the key's fields. `std`'s `RandomState`
+/// would randomise shard placement per process — harmless for
+/// correctness but banned by mlcd-lint's nondet-source stance, and a
+/// fixed hash keeps shard behaviour reproducible in tests.
+fn shard_hash(key: &CacheKey) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(key.job.as_bytes());
+    eat(&[0]);
+    eat(key.itype.as_bytes());
+    eat(&key.n.to_le_bytes());
+    eat(&key.probe_len_bits.to_le_bytes());
+    h
+}
+
 /// Process-wide memo of probe observations, shared by every session.
-#[derive(Debug, Default)]
+///
+/// Internally sharded: keys are spread over independent mutexes by a
+/// deterministic hash, so thousands of concurrent sessions probing
+/// disjoint keys never serialise on one lock. Hit/miss counters are
+/// per-shard and summed on read.
+#[derive(Debug)]
 pub struct ProbeCache {
-    inner: Mutex<CacheState>,
+    shards: Vec<Mutex<CacheState>>,
+}
+
+impl Default for ProbeCache {
+    fn default() -> Self {
+        ProbeCache::with_shards(DEFAULT_CACHE_SHARDS)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -66,14 +102,23 @@ struct CacheState {
 }
 
 impl ProbeCache {
-    /// An empty cache.
+    /// An empty cache with the default shard count.
     pub fn new() -> ProbeCache {
         ProbeCache::default()
     }
 
+    /// An empty cache with `n` shards (at least 1).
+    pub fn with_shards(n: usize) -> ProbeCache {
+        ProbeCache { shards: (0..n.max(1)).map(|_| Mutex::new(CacheState::default())).collect() }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<CacheState> {
+        &self.shards[(shard_hash(key) % self.shards.len() as u64) as usize]
+    }
+
     /// Look up a completed observation.
     pub fn get(&self, key: &CacheKey) -> Option<Observation> {
-        let mut st = self.inner.lock().expect("probe cache poisoned");
+        let mut st = self.shard(key).lock().expect("probe cache poisoned");
         match st.map.get(key).copied() {
             Some(obs) => {
                 st.hits += 1;
@@ -90,19 +135,21 @@ impl ProbeCache {
     /// duplicate probe of the same key keeps the earlier entry so later
     /// readers all see one stable value.
     pub fn put(&self, key: CacheKey, obs: Observation) {
-        let mut st = self.inner.lock().expect("probe cache poisoned");
+        let mut st = self.shard(&key).lock().expect("probe cache poisoned");
         st.map.entry(key).or_insert(obs);
     }
 
-    /// `(hits, misses)` so far.
+    /// `(hits, misses)` so far, summed across shards.
     pub fn stats(&self) -> (u64, u64) {
-        let st = self.inner.lock().expect("probe cache poisoned");
-        (st.hits, st.misses)
+        self.shards.iter().fold((0, 0), |(h, m), shard| {
+            let st = shard.lock().expect("probe cache poisoned");
+            (h + st.hits, m + st.misses)
+        })
     }
 
-    /// Number of distinct keys held.
+    /// Number of distinct keys held, summed across shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("probe cache poisoned").map.len()
+        self.shards.iter().map(|shard| shard.lock().expect("probe cache poisoned").map.len()).sum()
     }
 
     /// Whether the cache holds nothing.
@@ -362,6 +409,45 @@ mod tests {
         // Provenance comes out in result order: hit then miss.
         assert!(log.pop());
         assert!(!log.pop());
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_stats_aggregate() {
+        // The same key must land in the same shard every process run —
+        // shard_hash is a fixed FNV-1a, not RandomState.
+        let d = Deployment::new(InstanceType::C5Xlarge, 4);
+        let key = CacheKey::new("job", &d, SimDuration::from_mins(10.0));
+        assert_eq!(shard_hash(&key), shard_hash(&key.clone()));
+
+        // Keys spread across shards; counters sum correctly regardless
+        // of which shard served them.
+        let cache = ProbeCache::with_shards(4);
+        for n in 1..=8u32 {
+            let dep = Deployment::new(InstanceType::C5Xlarge, n);
+            let k = CacheKey::new("job", &dep, SimDuration::from_mins(10.0));
+            assert!(cache.get(&k).is_none());
+            cache.put(
+                k,
+                Observation {
+                    deployment: dep,
+                    speed: f64::from(n),
+                    profile_time: SimDuration::from_mins(10.0),
+                    profile_cost: Money::from_dollars(0.03),
+                },
+            );
+        }
+        for n in 1..=8u32 {
+            let dep = Deployment::new(InstanceType::C5Xlarge, n);
+            let k = CacheKey::new("job", &dep, SimDuration::from_mins(10.0));
+            assert_eq!(cache.get(&k).unwrap().speed, f64::from(n));
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.stats(), (8, 8));
+        // A single-shard cache behaves identically.
+        let one = ProbeCache::with_shards(1);
+        let k = CacheKey::new("job", &d, SimDuration::from_mins(10.0));
+        assert!(one.get(&k).is_none());
+        assert_eq!(one.stats(), (0, 1));
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub mod proto;
 pub mod session;
 
 pub use cache::{CacheKey, CachedEnv, ProbeCache, ProvenanceLog};
-pub use journal::{JournalRecord, JournalWriter, JOURNAL_FORMAT};
+pub use journal::{
+    commit_log_file, reconcile_commit_log, AppendError, CommitCrashPoint, CommitHandle,
+    CommitLogEntry, CommitStats, GroupCommitter, JournalRecord, JournalWriter, SessionJournal,
+    COMMIT_LOG_FILE, JOURNAL_FORMAT,
+};
 pub use net::Server;
-pub use proto::{Request, Response, SessionResult, StatusLine, SubmitSpec};
+pub use proto::{Request, Response, ServiceStats, SessionResult, StatusLine, SubmitSpec};
 pub use session::{Phase, Reject, ServiceConfig, Session, SessionManager};

@@ -19,14 +19,57 @@ use mlcd::search::TraceEvent;
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// How long shutdown waits for in-flight connection threads to flush
+/// their final frames (`WatchEnd`, `ShuttingDown`) before the process
+/// is allowed to exit anyway.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(3);
+
+/// Count of live connection threads, so shutdown can wait for their
+/// final frames instead of racing process exit against detached threads.
+struct ConnGauge {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ConnGauge {
+    fn new() -> ConnGauge {
+        ConnGauge { count: Mutex::new(0), cv: Condvar::new() }
+    }
+
+    fn enter(&self) {
+        *self.count.lock().expect("conn gauge poisoned") += 1;
+    }
+
+    fn exit(&self) {
+        *self.count.lock().expect("conn gauge poisoned") -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Wait (bounded) until every connection thread has exited.
+    fn drain(&self, timeout: Duration) {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut count = self.count.lock().expect("conn gauge poisoned");
+        while *count > 0 {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                eprintln!("[{}] shutdown: {} connection(s) still draining", log_stamp(), *count);
+                return;
+            }
+            let (guard, _) = self.cv.wait_timeout(count, left).expect("conn gauge poisoned");
+            count = guard;
+        }
+    }
+}
 
 /// The NDJSON server: an accept loop over a [`SessionManager`].
 pub struct Server {
     listener: TcpListener,
     manager: Arc<SessionManager>,
     stop: Arc<AtomicBool>,
+    conns: Arc<ConnGauge>,
 }
 
 /// Unix-seconds stamp for connection log lines (never enters a session).
@@ -42,7 +85,12 @@ impl Server {
     /// Whatever [`TcpListener::bind`] reports.
     pub fn bind(addr: &str, manager: Arc<SessionManager>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Server { listener, manager, stop: Arc::new(AtomicBool::new(false)) })
+        Ok(Server {
+            listener,
+            manager,
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(ConnGauge::new()),
+        })
     }
 
     /// The bound address.
@@ -74,15 +122,23 @@ impl Server {
             let manager = self.manager.clone();
             let stop = self.stop.clone();
             let addr = self.local_addr()?;
+            let conns = self.conns.clone();
+            conns.enter();
             // Detached: a watcher blocked on a long search must not delay
             // other connections or the shutdown path.
             std::thread::spawn(move || {
                 if let Err(e) = handle_conn(stream, &manager, &stop, addr) {
                     eprintln!("[{}] connection error: {e}", log_stamp());
                 }
+                conns.exit();
             });
         }
+        // Draining the manager detaches every session: watchers blocked
+        // in `next_events`/`wait_terminal` wake with the current state
+        // and their connection threads send `WatchEnd` before exiting.
+        // Wait (bounded) for those final frames to flush.
         self.manager.shutdown_and_wait();
+        self.conns.drain(SHUTDOWN_DRAIN);
         Ok(())
     }
 
@@ -198,6 +254,9 @@ fn handle_conn(
                 } else {
                     send(&mut out, &Response::Error { message: format!("unknown session {id}") })?;
                 }
+            }
+            Request::Stats => {
+                send(&mut out, &Response::Stats { stats: manager.stats() })?;
             }
             Request::Shutdown => {
                 send(&mut out, &Response::ShuttingDown)?;

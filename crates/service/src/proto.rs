@@ -255,8 +255,35 @@ pub enum Request {
         /// Session to cancel.
         id: u64,
     },
+    /// Service-wide counters (sessions, cache, group commit).
+    Stats,
     /// Stop accepting work and shut the server down.
     Shutdown,
+}
+
+/// Service-wide counters, served for [`Request::Stats`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Sessions currently held in memory (queued, running or retained
+    /// terminal) — evicted ones are not counted.
+    pub live_sessions: u64,
+    /// Sessions sitting in the work queue.
+    pub queued: u64,
+    /// Terminal sessions evicted from memory under the retention cap
+    /// since the manager started.
+    pub evicted: u64,
+    /// Probe-cache hits.
+    pub cache_hits: u64,
+    /// Probe-cache misses.
+    pub cache_misses: u64,
+    /// Whether journal appends go through the group committer.
+    pub group_commit: bool,
+    /// Groups the committer has made durable.
+    pub journal_groups: u64,
+    /// Records across all durable groups.
+    pub journal_records: u64,
+    /// Commit-log checkpoints (fsync session files + truncate log).
+    pub journal_checkpoints: u64,
 }
 
 /// One session row of a `status` report.
@@ -325,6 +352,11 @@ pub enum Response {
         id: u64,
         /// Terminal (or current, if the watcher was dropped) state.
         state: String,
+    },
+    /// Service-wide counters.
+    Stats {
+        /// The counters.
+        stats: ServiceStats,
     },
     /// Cancellation was requested.
     Cancelling {

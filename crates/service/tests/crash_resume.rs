@@ -12,7 +12,10 @@
 //! anything new.
 
 use mlcd::prelude::SearchOutcome;
-use mlcd_service::{Phase, ServiceConfig, SessionManager, SubmitSpec};
+use mlcd_service::{
+    commit_log_file, CommitCrashPoint, CommitLogEntry, Phase, ServiceConfig, SessionManager,
+    SubmitSpec,
+};
 use std::path::PathBuf;
 
 /// The paper-scale combo the golden snapshots pin: resnet on the
@@ -207,6 +210,142 @@ fn sessions_with_cache_hits_in_their_prefix_resume() {
     let (a2, b2) = run_once("cache-on-2");
     assert_eq!(a2.digest(), a1.digest());
     assert_eq!(b2.digest(), b1.digest());
+}
+
+/// Kill the whole process while the *commit thread* is mid-group:
+/// submit two sessions (landing on different shards), let their appends
+/// batch through the group committer, and crash at the given point of
+/// the given group. Returns the journal dir and the two session ids,
+/// with both sessions observed `Crashed` (no terminal record).
+fn crash_mid_group(point: CommitCrashPoint, tag: &str) -> (PathBuf, u64, u64) {
+    let jdir = dir(tag);
+    let doomed = SessionManager::new(ServiceConfig {
+        workers: 2,
+        shards: 4,
+        journal_dir: Some(jdir.clone()),
+        probe_cache: false,
+        // Start paused so the two submit headers commit alone as groups
+        // 0 and 1; group 2 is then the first batch of pipelined search
+        // records — crashing there guarantees no terminal record was
+        // ever acked (events pipeline, so a single later group could
+        // already hold a whole session including its terminal).
+        start_paused: true,
+        crash_commit_at: Some((2, point)),
+        ..ServiceConfig::default()
+    })
+    .expect("doomed manager");
+    let a = doomed.submit(spec("heterbo", 1)).expect("submit a");
+    let b = doomed.submit(spec("cherrypick", 2)).expect("submit b");
+    assert_ne!(a % 4, b % 4, "the two sessions must land on different shards");
+    doomed.resume_workers();
+    for id in [a, b] {
+        let session = doomed.session(id).expect("session exists");
+        assert!(
+            matches!(session.wait_terminal(), Phase::Crashed),
+            "a mid-group kill must leave the session Crashed, not terminal"
+        );
+    }
+    drop(doomed);
+    (jdir, a, b)
+}
+
+/// Resume both sessions over the same directory and return their outcomes.
+fn resume_pair(jdir: PathBuf, a: u64, b: u64) -> (SearchOutcome, SearchOutcome) {
+    let revived = SessionManager::new(ServiceConfig {
+        workers: 2,
+        shards: 4,
+        journal_dir: Some(jdir),
+        probe_cache: false,
+        ..ServiceConfig::default()
+    })
+    .expect("revived manager");
+    let outcome = |id: u64| match revived.session(id).expect("restored").wait_terminal() {
+        Phase::Done(result) => result.search,
+        other => panic!("resumed run ended {}: {:?}", other.name(), other),
+    };
+    (outcome(a), outcome(b))
+}
+
+/// Parse the shared commit log into `(session, index)` pairs of durable
+/// Append entries.
+fn durable_appends(jdir: &std::path::Path) -> Vec<(u64, u64)> {
+    let log = std::fs::read_to_string(commit_log_file(jdir)).expect("commit log readable");
+    log.lines()
+        .filter_map(|l| match serde_json::from_str(l) {
+            Ok(CommitLogEntry::Append { session, index, .. }) => Some((session, index)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Records actually present in a session's journal file (one per line).
+fn file_records(jdir: &std::path::Path, id: u64) -> u64 {
+    std::fs::read_to_string(mlcd_service::journal::journal_file(jdir, id))
+        .map(|s| s.lines().count() as u64)
+        .unwrap_or(0)
+}
+
+/// Kill between the group's log write and its fsync: simulated power
+/// loss — nothing of the crashed group survives anywhere, every *acked*
+/// record does, and both sessions resume bit-identical.
+#[test]
+fn kill_between_group_write_and_fsync_resumes_bit_identical() {
+    let golden_a = uninterrupted(&spec("heterbo", 1)).digest();
+    let golden_b = uninterrupted(&spec("cherrypick", 2)).digest();
+    let (jdir, a, b) = crash_mid_group(CommitCrashPoint::BeforeFsync, "group-before");
+
+    // Durable-prefix contract, rollback side: the crashed group was
+    // rolled out of the log, so every surviving log entry was already
+    // materialised into its session file before any ack.
+    for (session, index) in durable_appends(&jdir) {
+        assert!(
+            file_records(&jdir, session) > index,
+            "acked record {index} of session {session} must be in its file"
+        );
+    }
+
+    let (ra, rb) = resume_pair(jdir, a, b);
+    assert_eq!(ra.digest(), golden_a, "session a diverged after a before-fsync kill");
+    assert_eq!(rb.digest(), golden_b, "session b diverged after a before-fsync kill");
+}
+
+/// Kill between the fsync and the record being acted on: the group is
+/// durable in the shared log but missing from the session files. The
+/// next start reconciles the log into the files, and both sessions
+/// resume bit-identical.
+#[test]
+fn kill_between_fsync_and_acted_on_is_reconciled_and_resumes() {
+    let golden_a = uninterrupted(&spec("heterbo", 1)).digest();
+    let golden_b = uninterrupted(&spec("cherrypick", 2)).digest();
+    let (jdir, a, b) = crash_mid_group(CommitCrashPoint::AfterFsync, "group-after");
+
+    // Durable-prefix contract, repair side: the final fsync'd group
+    // never reached the session files — the log must know records the
+    // files lack.
+    let appends = durable_appends(&jdir);
+    let (last_session, last_index) = *appends.last().expect("the crashed group is in the log");
+    assert!(
+        file_records(&jdir, last_session) <= last_index,
+        "the fsync'd-but-unacked record must be missing from its session file"
+    );
+
+    // Reconcile repairs the files from the log and then truncates the
+    // log (the restart path runs this too; calling it here makes the
+    // repair observable before any new appends land).
+    mlcd_service::reconcile_commit_log(&jdir).expect("reconcile");
+    assert!(
+        file_records(&jdir, last_session) > last_index,
+        "reconcile must replay the durable record into the session file"
+    );
+    assert_eq!(
+        std::fs::metadata(commit_log_file(&jdir)).expect("log still exists").len(),
+        0,
+        "reconcile must truncate the commit log after repairing the files"
+    );
+
+    let (ra, rb) = resume_pair(jdir, a, b);
+    assert_eq!(ra.digest(), golden_a, "session a diverged after an after-fsync kill");
+    assert_eq!(rb.digest(), golden_b, "session b diverged after an after-fsync kill");
 }
 
 /// Every searcher the service accepts must feed the trace sink — the

@@ -1,0 +1,91 @@
+//! Shutdown vs. live watchers: a `Watch` stream open when the server
+//! shuts down must receive a terminal `WatchEnd` frame — not hang in
+//! `next_events` forever and not see the connection reset mid-stream.
+//!
+//! The manager is started paused so the watched session can never make
+//! progress: the only way the watcher unblocks is the shutdown path
+//! detaching it.
+
+use mlcd_service::{Request, Response, Server, ServiceConfig, SessionManager, SubmitSpec};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn send_line(stream: &mut TcpStream, req: &Request) {
+    let line = serde_json::to_string(req).expect("encode request");
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+}
+
+#[test]
+fn watcher_open_during_shutdown_gets_a_terminal_frame() {
+    let manager = Arc::new(
+        SessionManager::new(ServiceConfig {
+            workers: 1,
+            queue_cap: 4,
+            start_paused: true,
+            ..ServiceConfig::default()
+        })
+        .expect("manager"),
+    );
+    let server = Server::bind("127.0.0.1:0", manager).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Submit a session that will never run (the pool is paused).
+    let mut spec = SubmitSpec::new("resnet-cifar10", "random", 1);
+    spec.types = Some(vec!["c5.xlarge".into(), "p2.xlarge".into()]);
+    spec.max_nodes = 8;
+    let mut submit_conn = TcpStream::connect(addr).expect("connect submit");
+    send_line(&mut submit_conn, &Request::Submit(spec));
+    let mut reader = BufReader::new(submit_conn.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("submit response");
+    let id = match serde_json::from_str(&line) {
+        Ok(Response::Submitted { id }) => id,
+        other => panic!("submit: {other:?} ({line:?})"),
+    };
+
+    // Open a watch on it; the stream acks and then blocks (no events
+    // will ever arrive — the session is stuck in the paused queue).
+    let watch_conn = TcpStream::connect(addr).expect("connect watch");
+    watch_conn.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut watch_out = watch_conn.try_clone().unwrap();
+    send_line(&mut watch_out, &Request::Watch { id });
+    let mut watch_reader = BufReader::new(watch_conn);
+    let mut line = String::new();
+    watch_reader.read_line(&mut line).expect("watching ack");
+    assert!(
+        matches!(serde_json::from_str(&line), Ok(Response::Watching { id: wid }) if wid == id),
+        "watch ack: {line:?}"
+    );
+
+    // Shut the server down from another connection. The blocked watcher
+    // must be woken and closed out with a WatchEnd carrying the
+    // session's current (non-terminal) state.
+    let mut shutdown_conn = TcpStream::connect(addr).expect("connect shutdown");
+    send_line(&mut shutdown_conn, &Request::Shutdown);
+    let mut ack = String::new();
+    BufReader::new(shutdown_conn).read_line(&mut ack).expect("shutdown ack");
+    assert!(matches!(serde_json::from_str(&ack), Ok(Response::ShuttingDown)), "ack: {ack:?}");
+
+    let mut end = String::new();
+    watch_reader.read_line(&mut end).expect("watcher must get a frame, not a hang or reset");
+    match serde_json::from_str(&end) {
+        Ok(Response::WatchEnd { id: wid, state }) => {
+            assert_eq!(wid, id);
+            assert_eq!(state, "queued", "the paused session never left the queue");
+        }
+        other => panic!("watch tail: {other:?} ({end:?})"),
+    }
+
+    // Close our ends so the server's bounded connection drain returns
+    // immediately instead of timing out on idle clients.
+    drop(submit_conn);
+    drop(reader);
+    drop(watch_out);
+    drop(watch_reader);
+    server_thread.join().expect("server thread").expect("server run");
+}
