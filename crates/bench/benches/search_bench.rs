@@ -64,6 +64,32 @@ fn bench_searchers(c: &mut Criterion) {
     g.finish();
 }
 
+/// The Fig 9 scale-out workload as one `EvalGrid`: HeterBO on
+/// ResNet/CIFAR-10 over the C5.4xlarge scale-out space, FastestUnlimited,
+/// four seeds — the same simulated end-to-end path `figures fig9` runs.
+fn fig9_grid(seed: u64) -> mlcd::prelude::EvalReport {
+    EvalGrid::new(TrainingJob::resnet_cifar10())
+        .searcher("heterbo", |s| Box::new(HeterBo::seeded(s)))
+        .scenario(Scenario::FastestUnlimited)
+        .seeds((0..4).map(|i| seed + i * 97))
+        .with_runner(|s| ExperimentRunner::new(s).with_types(vec![InstanceType::C54xlarge]))
+        .run()
+}
+
+fn bench_fig9_scenario(c: &mut Criterion) {
+    // The paper-figure workload, at grid width 1 (every cell on the bench
+    // thread) and width 4 (one thread per seed). Cells self-seed, so both
+    // widths produce bit-identical reports; the n=4 point shows how much
+    // of the single-cell win survives memory-bandwidth sharing.
+    let mut g = c.benchmark_group("search_end_to_end");
+    g.sample_size(10);
+    let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().expect("pool n=1");
+    let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool n=4");
+    g.bench_function("fig9_heterbo_n1", |b| b.iter(|| pool1.install(|| black_box(fig9_grid(11)))));
+    g.bench_function("fig9_heterbo_n4", |b| b.iter(|| pool4.install(|| black_box(fig9_grid(11)))));
+    g.finish();
+}
+
 fn bench_warm_vs_cold_refits(c: &mut Criterion) {
     // Whole-search effect of the warm-started refit policy: the same
     // ConvBO-style long search (28 steps, refit every observation) with
@@ -163,5 +189,11 @@ fn bench_candidate_scoring(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_searchers, bench_warm_vs_cold_refits, bench_candidate_scoring);
+criterion_group!(
+    benches,
+    bench_searchers,
+    bench_fig9_scenario,
+    bench_warm_vs_cold_refits,
+    bench_candidate_scoring
+);
 criterion_main!(benches);

@@ -27,6 +27,22 @@ const PRE_PR_BASELINE: &[(&str, f64)] =
     &[("gp_fit/8", 3.00e6), ("gp_fit/16", 9.76e6), ("gp_fit/32", 38.41e6), ("gp_fit/64", 150.18e6)];
 const PRE_PR_REV: &str = "a83e1c9";
 
+/// Pre-PR `search_bench` medians (nanoseconds), measured at rev
+/// `6969871` before the blocked kernels / allocation-free scoring
+/// workspace landed (median of 3 release runs). The fig9 grid benches
+/// did not exist then, so the end-to-end speedup is quoted on the
+/// searcher benches that did.
+const PRE_PR_SEARCH: &[(&str, f64)] = &[
+    ("search_end_to_end/heterbo", 14.98e6),
+    ("search_end_to_end/convbo", 26.43e6),
+    ("search_end_to_end/cherrypick", 14.91e6),
+    ("search_gp_refits/warm_refits", 17.73e6),
+    ("search_gp_refits/cold_refits", 26.33e6),
+    ("candidate_scoring/per_point_two_passes", 124.40e3),
+    ("candidate_scoring/batched_single_pass", 55.37e3),
+];
+const PRE_PR_SEARCH_REV: &str = "6969871";
+
 fn field_f64(v: &Value, key: &str) -> Option<f64> {
     v.get(key).and_then(Value::as_f64)
 }
@@ -82,15 +98,25 @@ fn main() {
             of_name.iter().filter_map(|v| field_f64(v, "min_ns")).fold(f64::INFINITY, f64::min);
         let max_ns =
             of_name.iter().filter_map(|v| field_f64(v, "max_ns")).fold(f64::NEG_INFINITY, f64::max);
-        benches.push((
-            name.clone(),
-            json!({
-                "median_ns": median_ns,
-                "min_ns": min_ns,
-                "max_ns": max_ns,
-                "runs": medians.len(),
-            }),
-        ));
+        let mut fields: Vec<(String, Value)> = vec![
+            ("median_ns".into(), json!(median_ns)),
+            ("min_ns".into(), json!(min_ns)),
+            ("max_ns".into(), json!(max_ns)),
+            ("runs".into(), json!(medians.len() as u64)),
+        ];
+        // Per-run sample spread ((max−min)/median) and warm-up run count,
+        // recorded by newer shim builds; the worst run's spread flags a
+        // bench whose fold hides an unstable sample set. Old JSONL
+        // streams lack the fields, so they stay absent rather than zero.
+        let spread =
+            of_name.iter().filter_map(|v| field_f64(v, "spread")).fold(f64::NEG_INFINITY, f64::max);
+        if spread.is_finite() {
+            fields.push(("spread_max".into(), json!(round2(spread))));
+            if let Some(w) = of_name.iter().filter_map(|v| field_f64(v, "warmup_runs")).next() {
+                fields.push(("warmup_runs".into(), json!(w as u64)));
+            }
+        }
+        benches.push((name.clone(), Value::Object(fields)));
     }
 
     let median_of = |name: &str| -> Option<f64> {
@@ -108,6 +134,20 @@ fn main() {
             baseline.push((name.to_string(), json!(base_ns)));
             if let Some(cur) = median_of(name) {
                 speedups.push((name.to_string(), json!(round2(base_ns / cur))));
+            }
+        }
+    }
+
+    // Same idea for the search hot path: only a report folding
+    // `search_end_to_end` runs quotes the searcher baseline.
+    let has_search = names.iter().any(|n| n.starts_with("search_end_to_end/"));
+    let mut search_baseline: Vec<(String, Value)> = Vec::new();
+    let mut search_speedups: Vec<(String, Value)> = Vec::new();
+    if has_search {
+        for &(name, base_ns) in PRE_PR_SEARCH {
+            search_baseline.push((name.to_string(), json!(base_ns)));
+            if let Some(cur) = median_of(name) {
+                search_speedups.push((name.to_string(), json!(round2(base_ns / cur))));
             }
         }
     }
@@ -170,6 +210,23 @@ fn main() {
         ));
         report.push(("speedup_vs_pre_pr".into(), Value::Object(speedups.clone())));
     }
+    if has_search {
+        // A stream folding both gp_fit and search runs gets the search
+        // section under prefixed keys so no JSON key is duplicated.
+        let (bkey, skey) = if has_gp {
+            ("search_baseline_pre_pr", "search_speedup_vs_pre_pr")
+        } else {
+            ("baseline_pre_pr", "speedup_vs_pre_pr")
+        };
+        report.push((
+            bkey.into(),
+            json!({
+                "rev": PRE_PR_SEARCH_REV,
+                "median_ns": Value::Object(search_baseline.clone()),
+            }),
+        ));
+        report.push((skey.into(), Value::Object(search_speedups.clone())));
+    }
     if !saturation.is_empty() {
         report.push(("saturation".into(), Value::Object(saturation)));
         report.push(("group_commit_speedup".into(), Value::Object(sat_speedups.clone())));
@@ -182,7 +239,7 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {output} ({} benches)", names.len());
-    for (name, s) in &speedups {
+    for (name, s) in speedups.iter().chain(&search_speedups) {
         if let Some(x) = s.as_f64() {
             println!("  {name}: {x}x vs pre-PR baseline");
         }

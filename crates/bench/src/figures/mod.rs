@@ -16,12 +16,13 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod refit_cadence;
 
 use crate::report::FigReport;
 use rayon::prelude::*;
 
-/// All figure ids, in paper order, plus the ablation study.
-pub const ALL_IDS: [&str; 17] = [
+/// All figure ids, in paper order, plus the ablation studies.
+pub const ALL_IDS: [&str; 18] = [
     "fig1a",
     "fig1b",
     "fig2",
@@ -39,6 +40,7 @@ pub const ALL_IDS: [&str; 17] = [
     "fig18",
     "fig19",
     "ablations",
+    "refit_cadence",
 ];
 
 /// Run one figure by id. `None` for an unknown id.
@@ -61,6 +63,7 @@ pub fn run(id: &str, seed: u64) -> Option<FigReport> {
         "fig18" => fig18::run(seed),
         "fig19" => fig19::run(seed),
         "ablations" => ablations::run(seed),
+        "refit_cadence" => refit_cadence::run(seed),
         _ => return None,
     })
 }

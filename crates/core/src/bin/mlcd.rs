@@ -520,6 +520,8 @@ fn stats(opts: &Opts) {
     println!("evicted         {}", n("evicted"));
     println!("cache hits      {}", n("cache_hits"));
     println!("cache misses    {}", n("cache_misses"));
+    println!("grid hits       {}", n("grid_hits"));
+    println!("grid misses     {}", n("grid_misses"));
     let gc = s["group_commit"].as_bool().unwrap_or(false);
     println!("group commit    {}", if gc { "on" } else { "off" });
     if gc {

@@ -111,20 +111,33 @@ impl SearchSpace {
     /// information across instance types instead of treating them as
     /// unrelated categories.
     pub fn features(&self, d: &Deployment) -> Vec<f64> {
+        let mut out = vec![0.0; Self::FEATURE_DIM];
+        self.features_into(d, &mut out);
+        out
+    }
+
+    /// Dimensionality of [`features`](Self::features) vectors.
+    pub const FEATURE_DIM: usize = 5;
+
+    /// [`features`](Self::features) into a caller-owned slice — same values,
+    /// no allocation, for hot loops that stage candidate features into a
+    /// reusable buffer.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != FEATURE_DIM`.
+    pub fn features_into(&self, d: &Deployment, out: &mut [f64]) {
+        assert_eq!(out.len(), Self::FEATURE_DIM, "features_into: dim mismatch");
         let s = d.itype.spec();
-        vec![
-            s.hourly_usd.log10(),
-            s.cpu_peak_gflops.log10(),
-            (s.gpu_peak_gflops() + 1.0).log10(),
-            s.network_gbps.log10(),
-            d.n as f64,
-        ]
+        out[0] = s.hourly_usd.log10();
+        out[1] = s.cpu_peak_gflops.log10();
+        out[2] = (s.gpu_peak_gflops() + 1.0).log10();
+        out[3] = s.network_gbps.log10();
+        out[4] = d.n as f64;
     }
 
     /// Feature-space bounds for input scaling, derived from the candidates.
     pub fn feature_bounds(&self) -> Vec<(f64, f64)> {
-        let dim = 5;
-        let mut bounds = vec![(f64::INFINITY, f64::NEG_INFINITY); dim];
+        let mut bounds = vec![(f64::INFINITY, f64::NEG_INFINITY); Self::FEATURE_DIM];
         for d in &self.candidates {
             for (b, v) in bounds.iter_mut().zip(self.features(d)) {
                 b.0 = b.0.min(v);

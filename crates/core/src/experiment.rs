@@ -172,7 +172,19 @@ impl ExperimentRunner {
     /// [`ExperimentRunner::complete`]; [`ExperimentRunner::run_with_sink`]
     /// is exactly that sequence with no wrapper.
     pub fn profiler_for(&self, job: &TrainingJob) -> Profiler<SimCloud, SimMlPlatform> {
-        let space = self.space(job);
+        self.profiler_with_space(job, self.space(job))
+    }
+
+    /// [`profiler_for`](Self::profiler_for) with a caller-supplied search
+    /// space. The space must equal what [`space`](Self::space) would build
+    /// for `job` — the point is to let callers that already hold such a
+    /// space (the service layer's shared grid cache) skip re-enumerating
+    /// the candidate grid per session.
+    pub fn profiler_with_space(
+        &self,
+        job: &TrainingJob,
+        space: SearchSpace,
+    ) -> Profiler<SimCloud, SimMlPlatform> {
         let mut cloud = SimCloud::new(self.seed);
         // Keep the provider's quotas at least as large as the space we are
         // searching (the paper's Fig 19 simulates beyond the default 50-GPU

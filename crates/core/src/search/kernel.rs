@@ -223,6 +223,16 @@ impl SearchKernel {
         // ----- BO loop -----
         let init_count = steps.len();
         let mut surrogate_state: Option<Surrogate> = None;
+        // One scoring workspace for the whole search, sized up front so
+        // the per-step batched posterior below never reallocates: the
+        // model can grow to at most init_count + max_steps observations
+        // and a scoring batch is at most the whole pool.
+        let mut score_ws = mlcd_gp::ScoreWorkspace::new();
+        score_ws.reserve(
+            crate::deployment::SearchSpace::FEATURE_DIM,
+            init_count + self.stop.max_steps() + 1,
+            pool.len(),
+        );
         let mut best_traced_utility = f64::NEG_INFINITY;
         let stop_reason = loop {
             if steps.len() >= init_count + self.stop.max_steps() {
@@ -306,7 +316,8 @@ impl SearchKernel {
             // shared by the acquisition scoring, the frontier filter and
             // the CI-stop scan below, so each candidate costs exactly one
             // prediction per step.
-            let preds = surrogate.predict_batch(env.space(), &unprobed);
+            surrogate.predict_batch_into(env.space(), &unprobed, &mut score_ws);
+            let preds = score_ws.predictions();
             let pred_of =
                 |d: &Deployment| unprobed.iter().position(|u| u == d).and_then(|i| preds.get(i));
             let incumbent_ok = incumbent_feasible(env, scenario, &incumbent);
@@ -327,7 +338,7 @@ impl SearchKernel {
             // for the cold-start exploration fallback below.
             let mut tei_blocked: Vec<(Deployment, f64 /*optimistic speed*/)> = Vec::new();
             let rates = crate::search::policies::pruning::per_type_speed_rate(&observations);
-            for (d, pred) in unprobed.iter().zip(&preds) {
+            for (d, pred) in unprobed.iter().zip(preds) {
                 if !self.gate.probe_respects_reserve(env, scenario, d, &incumbent) {
                     any_reserve_blocked = true;
                     sink.record(TraceEvent::ReserveBlocked { deployment: *d });
@@ -496,7 +507,7 @@ impl SearchKernel {
             let max_poi = || {
                 unprobed
                     .iter()
-                    .zip(&preds)
+                    .zip(preds)
                     .map(|(d, pred)| {
                         self.acquisition.utility_poi(
                             scenario,

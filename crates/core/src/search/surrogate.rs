@@ -7,8 +7,10 @@
 
 use crate::deployment::{Deployment, SearchSpace};
 use crate::observation::Observation;
-use mlcd_gp::fit::fit_hyperparams;
-use mlcd_gp::{FitOptions, GpModel, InputScaler, KernelFamily, Prediction};
+use mlcd_gp::fit::fit_hyperparams_with_scratch;
+use mlcd_gp::{
+    FitOptions, FitScratch, GpModel, InputScaler, KernelFamily, Prediction, ScoreWorkspace,
+};
 
 /// How [`Surrogate::update`] refreshes hyperparameters across BO steps.
 #[derive(Debug, Clone)]
@@ -49,6 +51,10 @@ pub struct Surrogate {
     /// Log-space optimum of the last full hyperparameter fit; carried
     /// through incremental extensions so the next refit can warm-start.
     theta: Vec<f64>,
+    /// Distance-plane buffers carried across refits so a warm-started
+    /// refit reuses the previous allocation instead of growing a fresh
+    /// [`mlcd_gp::DistanceWorkspace`] each step.
+    scratch: FitScratch,
 }
 
 impl Surrogate {
@@ -56,7 +62,7 @@ impl Surrogate {
     /// `None` with fewer than two observations or if the GP fit fails
     /// (both are handled by the caller falling back to pure exploration).
     pub fn fit(space: &SearchSpace, observations: &[Observation], seed: u64) -> Option<Surrogate> {
-        Self::fit_warm(space, observations, seed, None, &RefitPolicy::default())
+        Self::fit_warm(space, observations, seed, None, &RefitPolicy::default(), FitScratch::new())
     }
 
     /// Refresh an existing surrogate with the observation list grown by
@@ -76,6 +82,7 @@ impl Surrogate {
     ) -> Option<Surrogate> {
         let refit_every = policy.refit_every.max(1);
         let mut warm = None;
+        let mut scratch = FitScratch::new();
         if let Some(prev) = prev {
             let is_increment = observations.len() == prev.gp.n_obs() + 1;
             let due_refit = observations.len().is_multiple_of(refit_every);
@@ -83,14 +90,20 @@ impl Surrogate {
                 let newest = observations.last().expect("non-empty");
                 let x = prev.scaler.scale(&space.features(&newest.deployment));
                 if let Ok(gp) = prev.gp.extend(x, newest.speed) {
-                    return Some(Surrogate { gp, scaler: prev.scaler, theta: prev.theta });
+                    return Some(Surrogate {
+                        gp,
+                        scaler: prev.scaler,
+                        theta: prev.theta,
+                        scratch: prev.scratch,
+                    });
                 }
             }
             if policy.warm_start {
                 warm = Some(prev.theta);
             }
+            scratch = prev.scratch;
         }
-        Self::fit_warm(space, observations, seed, warm, policy)
+        Self::fit_warm(space, observations, seed, warm, policy, scratch)
     }
 
     fn fit_warm(
@@ -99,6 +112,7 @@ impl Surrogate {
         seed: u64,
         warm: Option<Vec<f64>>,
         policy: &RefitPolicy,
+        mut scratch: FitScratch,
     ) -> Option<Surrogate> {
         if observations.len() < 2 {
             return None;
@@ -124,9 +138,11 @@ impl Surrogate {
             warm_restarts: policy.warm_restarts,
             ..FitOptions::default()
         };
-        let hp = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &opts).ok()?;
+        let hp =
+            fit_hyperparams_with_scratch(&xs, &ys, KernelFamily::Matern52, &opts, &mut scratch)
+                .ok()?;
         let gp = GpModel::with_hyperparams(&xs, &ys, hp.kernel, hp.noise_var).ok()?;
-        Some(Surrogate { gp, scaler, theta: hp.theta })
+        Some(Surrogate { gp, scaler, theta: hp.theta, scratch })
     }
 
     /// Posterior belief about the speed of a deployment.
@@ -142,6 +158,27 @@ impl Surrogate {
     pub fn predict_batch(&self, space: &SearchSpace, ds: &[Deployment]) -> Vec<Prediction> {
         let xs: Vec<Vec<f64>> = ds.iter().map(|d| self.scaler.scale(&space.features(d))).collect();
         self.gp.predict_batch(&xs)
+    }
+
+    /// [`predict_batch`](Self::predict_batch) into a caller-owned
+    /// [`ScoreWorkspace`]: features are staged and scaled in the
+    /// workspace's query buffer and the posterior lands in
+    /// `ws.predictions()`, so a warm workspace makes the whole scoring
+    /// pass allocation-free. Bit-identical to `predict_batch` (pinned by
+    /// tests here and at the GP layer).
+    pub fn predict_batch_into(
+        &self,
+        space: &SearchSpace,
+        ds: &[Deployment],
+        ws: &mut ScoreWorkspace,
+    ) {
+        ws.begin_queries(self.scaler.dim());
+        for d in ds {
+            let slot = ws.push_query();
+            space.features_into(d, slot);
+            self.scaler.scale_in_place(slot);
+        }
+        self.gp.predict_batch_into(ws);
     }
 
     /// Number of observations the surrogate was fitted on.
@@ -254,6 +291,27 @@ mod tests {
         // And the incremental posterior interpolates the newest point.
         let p = sur.predict(&s, &Deployment::new(InstanceType::C54xlarge, 45));
         assert!((p.mean - (100.0 + 3.0 * 45.0)).abs() < 10.0, "got {}", p.mean);
+    }
+
+    #[test]
+    fn predict_batch_into_reused_workspace_matches_fresh_across_steps() {
+        let s = space();
+        let mut observations: Vec<Observation> =
+            [1u32, 9, 22, 37].iter().map(|&n| obs(n, 60.0 + 5.0 * n as f64)).collect();
+        let ds: Vec<Deployment> =
+            (1..=50).map(|n| Deployment::new(InstanceType::C54xlarge, n)).collect();
+        let mut sur = Surrogate::update(None, &s, &observations, 13, &RefitPolicy::default());
+        let mut ws = ScoreWorkspace::new();
+        // Three consecutive BO steps: extend the model between scoring
+        // passes and keep reusing the same workspace throughout.
+        for &n in &[42u32, 6, 31] {
+            let sur_ref = sur.as_ref().unwrap();
+            sur_ref.predict_batch_into(&s, &ds, &mut ws);
+            let fresh = sur_ref.predict_batch(&s, &ds);
+            assert_eq!(ws.predictions(), &fresh[..]);
+            observations.push(obs(n, 60.0 + 5.0 * n as f64));
+            sur = Surrogate::update(sur, &s, &observations, 13, &RefitPolicy::default());
+        }
     }
 
     #[test]

@@ -233,12 +233,50 @@ impl<'w> CachedNlml<'w> {
     }
 }
 
+/// Buffers that persist *across* fits.
+///
+/// [`fit_hyperparams`] builds a fresh [`DistanceWorkspace`] per call; a
+/// warm-started BO refit loop calls it once per step over an input set
+/// that grows by one row each time, so carrying the workspace across
+/// calls (and rebuilding it in place) makes the per-refit distance-plane
+/// setup allocation-free once the buffer has reached the search's
+/// maximum footprint. Results are bit-identical to the scratch-free path
+/// — [`DistanceWorkspace::rebuild`] produces the exact planes
+/// [`DistanceWorkspace::new`] would.
+#[derive(Debug, Clone, Default)]
+pub struct FitScratch {
+    dist: DistanceWorkspace,
+}
+
+impl FitScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Fit kernel hyperparameters and the noise variance for the given data.
 pub fn fit_hyperparams(
     xs: &[Vec<f64>],
     ys: &[f64],
     family: KernelFamily,
     opts: &FitOptions,
+) -> Result<FittedHyperparams, GpError> {
+    let mut scratch = FitScratch::new();
+    fit_hyperparams_with_scratch(xs, ys, family, opts, &mut scratch)
+}
+
+/// [`fit_hyperparams`] with caller-retained buffers: the cached-NLML
+/// distance planes are rebuilt in place inside `scratch` instead of
+/// freshly allocated, so consecutive refits over a growing input set stop
+/// allocating once the planes reach their maximum size. Bit-identical to
+/// [`fit_hyperparams`] for the same inputs and options.
+pub fn fit_hyperparams_with_scratch(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    family: KernelFamily,
+    opts: &FitOptions,
+    scratch: &mut FitScratch,
 ) -> Result<FittedHyperparams, GpError> {
     if xs.is_empty() {
         return Err(GpError::BadTrainingData("no observations".into()));
@@ -284,11 +322,12 @@ pub fn fit_hyperparams(
     let extra: Vec<Vec<f64>> = warm.map(|w| w.to_vec()).into_iter().collect();
 
     let best = if opts.use_cached_nlml {
-        let dist = DistanceWorkspace::new(xs);
+        scratch.dist.rebuild(xs);
+        let dist = &scratch.dist;
         let z = &z;
         multi_start_nelder_mead_with(
             || {
-                let mut cache = CachedNlml::new(&dist);
+                let mut cache = CachedNlml::new(dist);
                 move |theta: &[f64]| cache.eval(theta, z, family, opts)
             },
             &ranges,
@@ -463,6 +502,27 @@ mod tests {
         // At the shared optimum the surface is flat, so the nlml values
         // agree far more tightly than the coordinates do.
         assert!((c.nlml - n.nlml).abs() <= 1e-9 * c.nlml.abs().max(1.0));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_fits_bitwise() {
+        // Three consecutive "refits" over a growing input set through one
+        // scratch — exactly the warm-started BO cadence — must agree bit
+        // for bit with scratch-free fits.
+        let mut scratch = FitScratch::new();
+        let mut warm: Option<Vec<f64>> = None;
+        for n in [6usize, 7, 8] {
+            let (xs, ys) = smooth_data(n, 0.05, 11);
+            let opts = FitOptions { warm_start: warm.clone(), ..FitOptions::default() };
+            let with =
+                fit_hyperparams_with_scratch(&xs, &ys, KernelFamily::Matern52, &opts, &mut scratch)
+                    .unwrap();
+            let fresh = fit_hyperparams(&xs, &ys, KernelFamily::Matern52, &opts).unwrap();
+            assert_eq!(with.theta, fresh.theta, "n = {n}");
+            assert_eq!(with.nlml.to_bits(), fresh.nlml.to_bits());
+            assert_eq!(with.kernel, fresh.kernel);
+            warm = Some(with.theta);
+        }
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod model;
 pub mod scale;
 pub mod workspace;
 
-pub use fit::{CachedNlml, FitOptions, FittedHyperparams};
+pub use fit::{CachedNlml, FitOptions, FitScratch, FittedHyperparams};
 pub use kernel::{ArdKernel, KernelFamily};
-pub use model::{GpError, GpModel, Prediction};
+pub use model::{GpError, GpModel, Prediction, ScoreWorkspace};
 pub use scale::{InputScaler, OutputScaler};
 pub use workspace::DistanceWorkspace;

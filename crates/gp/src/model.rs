@@ -67,6 +67,92 @@ impl Prediction {
     }
 }
 
+/// Reusable buffers for repeated batch scoring.
+///
+/// [`GpModel::predict_batch`] allocates a fresh query matrix, solve block
+/// and prediction vector per call; a `ScoreWorkspace` retains all of them
+/// across calls, so a BO loop that scores its candidate pool every step
+/// performs no heap allocation after the buffers have grown to the
+/// search's maximum footprint (or after one [`reserve`](Self::reserve)
+/// call up front). The caller writes scaled query features directly into
+/// the workspace ([`begin_queries`](Self::begin_queries) +
+/// [`push_query`](Self::push_query)), runs
+/// [`GpModel::predict_batch_into`], and reads
+/// [`predictions`](Self::predictions).
+#[derive(Debug, Clone)]
+pub struct ScoreWorkspace {
+    /// Scaled query features, query `c` at `c*dim..(c+1)*dim`.
+    q: Vec<f64>,
+    dim: usize,
+    m: usize,
+    /// `n × m` cross-covariance block `K*`.
+    kstar: Mat,
+    /// `V = L⁻¹ K*` solve buffer.
+    v: Mat,
+    preds: Vec<Prediction>,
+}
+
+impl Default for ScoreWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoreWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        ScoreWorkspace {
+            q: Vec::new(),
+            dim: 0,
+            m: 0,
+            kstar: Mat::zeros(0, 0),
+            v: Mat::zeros(0, 0),
+            preds: Vec::new(),
+        }
+    }
+
+    /// Grow every buffer to the footprint of scoring up to `m_max`
+    /// queries against up to `n_max` observations in `dim` dimensions, so
+    /// all later calls within those bounds are allocation-free.
+    pub fn reserve(&mut self, dim: usize, n_max: usize, m_max: usize) {
+        self.q.reserve(dim.saturating_mul(m_max));
+        self.preds.reserve(m_max);
+        self.kstar.reshape_zeroed(n_max, m_max);
+        self.kstar.reshape_zeroed(0, 0);
+        self.v.reshape_zeroed(n_max, m_max);
+        self.v.reshape_zeroed(0, 0);
+    }
+
+    /// Start a new batch of `dim`-dimensional queries, clearing any
+    /// previous batch (buffers are retained).
+    pub fn begin_queries(&mut self, dim: usize) {
+        assert!(dim > 0, "begin_queries: zero-dimensional queries");
+        self.dim = dim;
+        self.m = 0;
+        self.q.clear();
+    }
+
+    /// Append one query slot and return it for the caller to fill with
+    /// (already scaled) features.
+    pub fn push_query(&mut self) -> &mut [f64] {
+        let start = self.q.len();
+        self.q.resize(start + self.dim, 0.0);
+        self.m += 1;
+        &mut self.q[start..]
+    }
+
+    /// Number of queries in the current batch.
+    pub fn n_queries(&self) -> usize {
+        self.m
+    }
+
+    /// Predictions from the most recent [`GpModel::predict_batch_into`],
+    /// in query order.
+    pub fn predictions(&self) -> &[Prediction] {
+        &self.preds
+    }
+}
+
 /// A trained Gaussian-process regressor.
 #[derive(Debug, Clone)]
 pub struct GpModel {
@@ -251,6 +337,47 @@ impl GpModel {
                 }
             })
             .collect()
+    }
+
+    /// [`predict_batch`](Self::predict_batch) against caller-retained
+    /// buffers: scores the queries staged in `ws` (via
+    /// [`ScoreWorkspace::begin_queries`] / [`ScoreWorkspace::push_query`])
+    /// and leaves the results in [`ScoreWorkspace::predictions`].
+    /// Allocation-free once the workspace buffers have grown to the
+    /// largest (n, m) seen. The assembly order and per-column arithmetic
+    /// match `predict_batch` exactly, so predictions are bit-identical to
+    /// the allocating path.
+    ///
+    /// # Panics
+    /// Panics when the staged queries' dimensionality differs from the
+    /// kernel's.
+    pub fn predict_batch_into(&self, ws: &mut ScoreWorkspace) {
+        let ScoreWorkspace { ref q, dim, m, ref mut kstar, ref mut v, ref mut preds } = *ws;
+        preds.clear();
+        if m == 0 {
+            return;
+        }
+        assert_eq!(dim, self.dim(), "predict_batch_into: dim mismatch");
+        let n = self.n_obs();
+        kstar.reshape_zeroed(n, m);
+        for c in 0..m {
+            let x = &q[c * dim..(c + 1) * dim];
+            for (kic, xi) in kstar.col_mut(c).iter_mut().zip(&self.xs) {
+                *kic = self.kernel.eval(xi, x);
+            }
+        }
+        self.chol.solve_lower_multi_into(kstar, v);
+        let k_diag = self.kernel.diag();
+        for c in 0..m {
+            let mean_z = mlcd_linalg::dot(kstar.col(c), &self.alpha);
+            let vc = v.col(c);
+            let var_z = (k_diag - mlcd_linalg::dot(vc, vc)).max(0.0);
+            preds.push(Prediction {
+                mean: self.out_scaler.inverse(mean_z),
+                var: self.out_scaler.inverse_var(var_z),
+                var_with_noise: self.out_scaler.inverse_var(var_z + self.noise_var),
+            });
+        }
     }
 
     /// Retrain with one extra observation, keeping the same hyperparameters.
@@ -497,6 +624,33 @@ mod tests {
             assert_eq!(p.var_with_noise, single.var_with_noise, "noisy var at {q:?}");
         }
         assert!(gp.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn predict_batch_into_matches_allocating_path_bitwise() {
+        let gp = toy_model(0.05);
+        let mut ws = ScoreWorkspace::new();
+        // Three rounds against models of growing order through the same
+        // workspace (reserve first so reuse is allocation-free).
+        ws.reserve(1, gp.n_obs() + 2, 8);
+        let mut model = gp;
+        for round in 0..3 {
+            let queries: Vec<Vec<f64>> =
+                [-2.0, 0.3, 3.7, 7.9, 25.0].iter().map(|&x| vec![x + round as f64]).collect();
+            ws.begin_queries(1);
+            for q in &queries {
+                ws.push_query().copy_from_slice(q);
+            }
+            model.predict_batch_into(&mut ws);
+            let fresh = model.predict_batch(&queries);
+            assert_eq!(ws.n_queries(), queries.len());
+            assert_eq!(ws.predictions(), &fresh[..], "round {round}");
+            model = model.extend(vec![30.0 + round as f64], 12.0).unwrap();
+        }
+        // Empty batch clears stale predictions.
+        ws.begin_queries(1);
+        model.predict_batch_into(&mut ws);
+        assert!(ws.predictions().is_empty());
     }
 
     #[test]

@@ -63,6 +63,20 @@ impl InputScaler {
             .collect()
     }
 
+    /// [`scale`](Self::scale) in place on a caller-owned slice — the same
+    /// elementwise map with no allocation, for hot loops that stage
+    /// features into a reusable buffer. Results are bit-identical to
+    /// `scale`.
+    ///
+    /// # Panics
+    /// Panics on a dimensionality mismatch.
+    pub fn scale_in_place(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "InputScaler::scale_in_place: dim mismatch");
+        for (v, (&l, &w)) in x.iter_mut().zip(self.lo.iter().zip(&self.width)) {
+            *v = if mlcd_linalg::is_exact_zero(w) { 0.5 } else { (*v - l) / w };
+        }
+    }
+
     /// Inverse of [`scale`](Self::scale) (zero-width dimensions return the
     /// stored constant).
     pub fn unscale(&self, u: &[f64]) -> Vec<f64> {
@@ -149,6 +163,16 @@ mod tests {
         let s = InputScaler::from_data(&xs);
         assert_eq!(s.scale(&[1.0, 10.0]), vec![0.0, 0.0]);
         assert_eq!(s.scale(&[3.0, 20.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn scale_in_place_matches_scale() {
+        let s = InputScaler::from_bounds(&[(0.0, 10.0), (-5.0, 5.0), (3.0, 3.0)]);
+        for x in [[2.5, 0.0, 3.0], [-4.0, 17.0, 99.0]] {
+            let mut buf = x;
+            s.scale_in_place(&mut buf);
+            assert_eq!(buf.to_vec(), s.scale(&x));
+        }
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! plus one correlation evaluation per pair, instead of O(n²·d) full
 //! `kernel.eval` calls over both triangles.
 
+// lint: allow(hot-index, file) — plane assembly and kernel fill index by loop variables
+// bounded by the workspace's (n, dim, np) which are validated on rebuild; the blocked
+// accumulation loops rely on slice indexing for bounds-check elision.
+
 use crate::kernel::KernelFamily;
 use mlcd_linalg::Mat;
 
@@ -21,7 +25,7 @@ use mlcd_linalg::Mat;
 /// the pairs `(i, j)` with `j = 0..n`, `i = j+1..n`. That pair order makes
 /// [`fill_kernel`](Self::fill_kernel)'s writes into each column of K
 /// contiguous.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DistanceWorkspace {
     n: usize,
     dim: usize,
@@ -35,22 +39,40 @@ impl DistanceWorkspace {
     /// # Panics
     /// Panics on ragged or zero-dimensional input.
     pub fn new(xs: &[Vec<f64>]) -> Self {
+        let mut ws = DistanceWorkspace { n: 0, dim: 0, sq: Vec::new() };
+        ws.rebuild(xs);
+        ws
+    }
+
+    /// Recompute the pairwise squared differences for a new input set in
+    /// place, reusing the plane buffer whenever the new `dim · n(n−1)/2`
+    /// footprint fits its capacity. A warm-started refit loop grows `xs`
+    /// by one observation per BO step; rebuilding in place keeps the
+    /// per-refit workspace setup allocation-free once the buffer has
+    /// reached the search's maximum size. Entry values are identical to a
+    /// fresh [`new`](Self::new) (same subtraction, same order).
+    ///
+    /// # Panics
+    /// Panics on ragged or zero-dimensional input.
+    pub fn rebuild(&mut self, xs: &[Vec<f64>]) {
         let n = xs.len();
         let dim = xs.first().map_or(0, |r| r.len());
         assert!(n == 0 || dim > 0, "DistanceWorkspace: zero-dimensional inputs");
         assert!(xs.iter().all(|r| r.len() == dim), "DistanceWorkspace: ragged input rows");
         let np = if n < 2 { 0 } else { n * (n - 1) / 2 };
-        let mut sq = Vec::with_capacity(dim * np);
+        self.sq.clear();
+        self.sq.reserve(dim * np);
         for d in 0..dim {
             for j in 0..n {
                 let xj = xs[j][d];
                 for row in &xs[j + 1..] {
                     let diff = row[d] - xj;
-                    sq.push(diff * diff);
+                    self.sq.push(diff * diff);
                 }
             }
         }
-        DistanceWorkspace { n, dim, sq }
+        self.n = n;
+        self.dim = dim;
     }
 
     /// Number of observations.
@@ -113,7 +135,34 @@ impl DistanceWorkspace {
         let np = self.sq.len() / dim.max(1);
         r2.clear();
         r2.resize(np, 0.0);
-        for (d, &l) in lengthscales.iter().enumerate() {
+        // Accumulate the scaled distances four dimension planes per pass
+        // over `r2`. Each element still receives its contributions one
+        // `d` at a time in ascending order, so the result is bit-identical
+        // to the one-plane-at-a-time loop — the blocking only cuts memory
+        // passes over the accumulator.
+        let mut d = 0;
+        while d + 4 <= dim {
+            let inv = |dd: usize| {
+                let l = lengthscales[dd];
+                1.0 / (l * l)
+            };
+            let (i0, i1, i2, i3) = (inv(d), inv(d + 1), inv(d + 2), inv(d + 3));
+            let block = &self.sq[d * np..(d + 4) * np];
+            let (s0, rest) = block.split_at(np);
+            let (s1, rest) = rest.split_at(np);
+            let (s2, s3) = rest.split_at(np);
+            let lanes = s0.iter().zip(s1).zip(s2).zip(s3);
+            for (acc, (((&a0, &a1), &a2), &a3)) in r2.iter_mut().zip(lanes) {
+                let mut v = *acc;
+                v += a0 * i0;
+                v += a1 * i1;
+                v += a2 * i2;
+                v += a3 * i3;
+                *acc = v;
+            }
+            d += 4;
+        }
+        for (d, &l) in lengthscales.iter().enumerate().skip(d) {
             let inv_l2 = 1.0 / (l * l);
             let sq_d = &self.sq[d * np..(d + 1) * np];
             for (acc, &s) in r2.iter_mut().zip(sq_d) {
@@ -218,6 +267,60 @@ mod tests {
         assert_ne!(k.as_slice(), &first[..]);
         ws.fill_kernel(KernelFamily::SquaredExp, 1.0, &[0.5, 0.5], &mut r2, &mut k);
         assert_eq!(k.as_slice(), &first[..]);
+    }
+
+    #[test]
+    fn blocked_accumulation_matches_scalar_reference_bitwise() {
+        // Dimensions straddling the 4-plane block boundary. The reference
+        // accumulates one plane at a time in ascending `d` — exactly the
+        // historical loop — and feeds the same correlation formula, so
+        // the assembled K must agree bit for bit.
+        for dim in [1usize, 4, 5, 8, 11] {
+            let xs = random_inputs(8, dim, dim as u64);
+            let ws = DistanceWorkspace::new(&xs);
+            let ls: Vec<f64> = (0..dim).map(|d| 0.07 + 0.31 * d as f64).collect();
+            let sf2 = 1.9;
+            let mut r2 = Vec::new();
+            let mut k = Mat::zeros(0, 0);
+            ws.fill_kernel(KernelFamily::Matern52, sf2, &ls, &mut r2, &mut k);
+
+            let n = xs.len();
+            let np = n * (n - 1) / 2;
+            let mut r2_ref = vec![0.0; np];
+            for (d, &l) in ls.iter().enumerate() {
+                let inv_l2 = 1.0 / (l * l);
+                let mut p = 0;
+                for j in 0..n {
+                    for i in j + 1..n {
+                        let diff = xs[i][d] - xs[j][d];
+                        r2_ref[p] += (diff * diff) * inv_l2;
+                        p += 1;
+                    }
+                }
+            }
+            let mut p = 0;
+            for j in 0..n {
+                assert_eq!(k[(j, j)].to_bits(), sf2.to_bits());
+                for i in j + 1..n {
+                    let want = sf2 * KernelFamily::Matern52.correlation(r2_ref[p].sqrt());
+                    assert_eq!(k[(i, j)].to_bits(), want.to_bits(), "dim {dim} K[{i}][{j}]");
+                    p += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_construction() {
+        let mut ws = DistanceWorkspace::new(&random_inputs(4, 3, 7));
+        for n in [6usize, 2, 9, 0, 5] {
+            let xs = random_inputs(n, 3, n as u64 + 40);
+            ws.rebuild(&xs);
+            let fresh = DistanceWorkspace::new(&xs);
+            assert_eq!(ws.n(), fresh.n());
+            assert_eq!(ws.dim(), fresh.dim());
+            assert_eq!(ws.sq, fresh.sq);
+        }
     }
 
     #[test]

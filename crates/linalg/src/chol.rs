@@ -194,6 +194,51 @@ fn solve_lower_in_place(l: &Mat, y: &mut [f64]) {
     }
 }
 
+/// Blocked forward substitution `L Y = B` in place on `y`, four
+/// right-hand sides per pass over the factor. Within a pass the four
+/// columns are eliminated in an interleaved inner loop, but each column's
+/// own operation sequence (divide pivot, subtract updates in ascending
+/// row order) is exactly [`solve_lower_in_place`]'s, so every column is
+/// bit-identical to a one-at-a-time solve. The remainder (`cols % 4`)
+/// runs the scalar path.
+fn solve_lower_multi_in_place(l: &Mat, y: &mut Mat) {
+    let n = l.rows();
+    debug_assert_eq!(y.rows(), n);
+    let cols = y.cols();
+    let mut c = 0;
+    while c + 4 <= cols {
+        let block = y.col_block_mut(c, 4);
+        let (y0, rest) = block.split_at_mut(n);
+        let (y1, rest) = rest.split_at_mut(n);
+        let (y2, y3) = rest.split_at_mut(n);
+        for j in 0..n {
+            let lcol = l.col(j);
+            let ljj = lcol[j];
+            y0[j] /= ljj;
+            y1[j] /= ljj;
+            y2[j] /= ljj;
+            y3[j] /= ljj;
+            let (v0, v1, v2, v3) = (y0[j], y1[j], y2[j], y3[j]);
+            let ltail = &lcol[j + 1..];
+            let tails = y0[j + 1..]
+                .iter_mut()
+                .zip(&mut y1[j + 1..])
+                .zip(&mut y2[j + 1..])
+                .zip(&mut y3[j + 1..]);
+            for ((((t0, t1), t2), t3), &lij) in tails.zip(ltail) {
+                *t0 -= lij * v0;
+                *t1 -= lij * v1;
+                *t2 -= lij * v2;
+                *t3 -= lij * v3;
+            }
+        }
+        c += 4;
+    }
+    for c in c..cols {
+        solve_lower_in_place(l, y.col_mut(c));
+    }
+}
+
 /// Back substitution `Lᵀ x = y`, overwriting `y` with `x`. Bit-identical
 /// to the entry-indexed formulation, as above.
 fn solve_upper_in_place(l: &Mat, x: &mut [f64]) {
@@ -266,22 +311,20 @@ impl Chol {
     /// `solve_lower`, so results are bit-for-bit equal to the one-at-a-time
     /// path.
     pub fn solve_lower_multi(&self, b: &Mat) -> Mat {
-        let n = self.order();
-        assert_eq!(b.rows(), n, "solve_lower_multi: dimension mismatch");
+        assert_eq!(b.rows(), self.order(), "solve_lower_multi: dimension mismatch");
         let mut y = b.clone();
-        for j in 0..n {
-            let lcol = self.l.col(j);
-            let ljj = lcol[j];
-            for c in 0..y.cols() {
-                let ycol = y.col_mut(c);
-                ycol[j] /= ljj;
-                let yj = ycol[j];
-                for (yi, &lij) in ycol[j + 1..].iter_mut().zip(&lcol[j + 1..]) {
-                    *yi -= lij * yj;
-                }
-            }
-        }
+        solve_lower_multi_in_place(&self.l, &mut y);
         y
+    }
+
+    /// [`solve_lower_multi`](Self::solve_lower_multi) into a caller-owned
+    /// buffer: `out` becomes `Y` with `L Y = B`, reusing its allocation
+    /// whenever `B`'s elements fit its capacity. Bit-identical to the
+    /// allocating path (same blocked elimination on a copy of `b`).
+    pub fn solve_lower_multi_into(&self, b: &Mat, out: &mut Mat) {
+        assert_eq!(b.rows(), self.order(), "solve_lower_multi_into: dimension mismatch");
+        out.copy_from(b);
+        solve_lower_multi_in_place(&self.l, out);
     }
 
     /// Solve `Lᵀ x = y` (back substitution).
@@ -601,6 +644,36 @@ mod tests {
         for col in 0..3 {
             let single = c.solve_lower(b.col(col));
             assert_eq!(y.col(col), &single[..], "column {col} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn solve_lower_multi_blocked_matches_single_columns() {
+        // Widths straddling the 4-RHS block boundary: the blocked path
+        // must stay bit-identical to one-at-a-time forward substitution.
+        let a = spd3();
+        let c = Chol::factor(&a).unwrap();
+        for cols in [1usize, 4, 5, 8, 11] {
+            let b = Mat::from_fn(3, cols, |i, j| ((i * 7 + j * 13) as f64 - 9.0) * 0.83);
+            let y = c.solve_lower_multi(&b);
+            for col in 0..cols {
+                let single = c.solve_lower(b.col(col));
+                for (yv, sv) in y.col(col).iter().zip(&single) {
+                    assert_eq!(yv.to_bits(), sv.to_bits(), "col {col} of width {cols}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_lower_multi_into_matches_allocating_path() {
+        let c = Chol::factor(&spd3()).unwrap();
+        let mut out = Mat::zeros(0, 0);
+        for cols in [6usize, 2, 9] {
+            let b = Mat::from_fn(3, cols, |i, j| (i as f64 + 1.0) * 0.4 - j as f64 * 1.3);
+            let y = c.solve_lower_multi(&b);
+            c.solve_lower_multi_into(&b, &mut out);
+            assert_eq!(out.as_slice(), y.as_slice());
         }
     }
 

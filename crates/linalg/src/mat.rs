@@ -5,6 +5,11 @@
 //! SIMD. Column-major storage matches the access pattern of the Cholesky
 //! factorisation in [`crate::chol`].
 
+// lint: allow(hot-index, file) — the matrix type's own accessors (Index impls, column
+// views, blocked matvec lanes) index `data[j * rows + i]` with i, j bounded by the
+// asserted (rows, cols) shape; checked `get` here would put a branch inside every
+// kernel-matrix access the GP hot loops make.
+
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -102,17 +107,58 @@ impl Mat {
 
     /// Matrix–vector product `self * x`.
     ///
+    /// Four columns are applied per pass over `y`, but each element of `y`
+    /// still receives its contributions one `j` at a time in ascending
+    /// order, so the result is bit-identical to the classic one-column
+    /// loop. The exact-zero skip is preserved as a true skip (adding
+    /// `0.0 * c` could flip `-0.0` to `+0.0` or turn `∞` into NaN), so a
+    /// block containing any zero coefficient falls back to the scalar
+    /// path for those four columns.
+    ///
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
-        let mut y = vec![0.0; self.rows];
-        for (j, &xj) in x.iter().enumerate() {
+        let n = self.rows;
+        let mut y = vec![0.0; n];
+        let mut j = 0;
+        while j + 4 <= self.cols {
+            let (x0, x1, x2, x3) = (x[j], x[j + 1], x[j + 2], x[j + 3]);
+            let any_zero = crate::is_exact_zero(x0)
+                || crate::is_exact_zero(x1)
+                || crate::is_exact_zero(x2)
+                || crate::is_exact_zero(x3);
+            if any_zero {
+                for (dj, &xj) in [x0, x1, x2, x3].iter().enumerate() {
+                    if crate::is_exact_zero(xj) {
+                        continue;
+                    }
+                    for (yi, &cij) in y.iter_mut().zip(self.col(j + dj)) {
+                        *yi += cij * xj;
+                    }
+                }
+            } else {
+                let block = &self.data[j * n..(j + 4) * n];
+                let (c0, rest) = block.split_at(n);
+                let (c1, rest) = rest.split_at(n);
+                let (c2, c3) = rest.split_at(n);
+                let lanes = c0.iter().zip(c1).zip(c2).zip(c3);
+                for (yi, (((&a0, &a1), &a2), &a3)) in y.iter_mut().zip(lanes) {
+                    let mut v = *yi;
+                    v += a0 * x0;
+                    v += a1 * x1;
+                    v += a2 * x2;
+                    v += a3 * x3;
+                    *yi = v;
+                }
+            }
+            j += 4;
+        }
+        for (j, &xj) in x.iter().enumerate().skip(j) {
             if crate::is_exact_zero(xj) {
                 continue;
             }
-            let col = self.col(j);
-            for (yi, &cij) in y.iter_mut().zip(col) {
+            for (yi, &cij) in y.iter_mut().zip(self.col(j)) {
                 *yi += cij * xj;
             }
         }
@@ -182,6 +228,35 @@ impl Mat {
     /// Flat data access (column-major), mostly for tests.
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Reshape to `rows × cols` with every element zeroed, reusing the
+    /// existing allocation whenever the new shape fits its capacity. The
+    /// workspace types build on this to stay allocation-free across
+    /// repeated uses at (bounded) varying shapes.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become a copy of `src`, reusing the existing allocation whenever
+    /// `src`'s elements fit its capacity.
+    pub fn copy_from(&mut self, src: &Mat) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Mutably borrow the contiguous storage of columns `c..c + w`
+    /// (column `c + k` occupies `k*rows..(k+1)*rows` of the returned
+    /// slice). Blocked multi-RHS solves split this further to update
+    /// several right-hand sides per pass over the factor.
+    #[inline]
+    pub fn col_block_mut(&mut self, c: usize, w: usize) -> &mut [f64] {
+        &mut self.data[c * self.rows..(c + w) * self.rows]
     }
 
     /// Split the storage at column `j`: read access to columns `0..j`
@@ -317,5 +392,89 @@ mod tests {
     fn matvec_zero_shortcut_is_correct() {
         let m = Mat::from_rows(&[&[1.0, 5.0], &[2.0, 6.0]]);
         assert_eq!(m.matvec(&[0.0, 1.0]), vec![5.0, 6.0]);
+    }
+
+    /// Scalar reference for the blocked `matvec`: one column at a time,
+    /// ascending `j`, exact-zero coefficients skipped.
+    fn matvec_scalar(m: &Mat, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; m.rows()];
+        for (j, &xj) in x.iter().enumerate() {
+            if crate::is_exact_zero(xj) {
+                continue;
+            }
+            for (yi, &cij) in y.iter_mut().zip(m.col(j)) {
+                *yi += cij * xj;
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn matvec_blocked_matches_scalar_bitwise() {
+        // Shapes straddling the 4-column block boundary, awkward values
+        // (negative zero, subnormals, huge magnitudes) and zero
+        // coefficients inside an otherwise full block.
+        for (rows, cols) in [(1usize, 1usize), (3, 4), (5, 7), (2, 8), (4, 9), (6, 13)] {
+            let m = Mat::from_fn(rows, cols, |i, j| {
+                ((i * 31 + j * 17) as f64 - 20.0) * 1.7e3
+                    + if (i + j) % 5 == 0 { 1e-310 } else { 0.0 }
+            });
+            let x: Vec<f64> = (0..cols)
+                .map(|j| match j % 4 {
+                    0 => (j as f64 + 1.0) * 0.37,
+                    1 => -(j as f64) * 1.9e7,
+                    2 => {
+                        if j % 8 == 2 {
+                            0.0
+                        } else {
+                            -0.0
+                        }
+                    }
+                    _ => 1.0 / (j as f64 + 2.0),
+                })
+                .collect();
+            let blocked = m.matvec(&x);
+            let scalar = matvec_scalar(&m, &x);
+            for (b, s) in blocked.iter().zip(&scalar) {
+                assert_eq!(b.to_bits(), s.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_blocked_preserves_zero_skip_semantics() {
+        // A -0.0 row accumulator must stay -0.0 when the only coefficient
+        // that could touch it is an exact zero; an ∞ entry must not
+        // produce NaN through a skipped 0·∞.
+        let m = Mat::from_rows(&[&[f64::INFINITY, 1.0, 2.0, 3.0, 4.0]]);
+        let y = m.matvec(&[0.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![10.0]);
+    }
+
+    #[test]
+    fn reshape_zeroed_reuses_and_clears() {
+        let mut m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.reshape_zeroed(1, 3);
+        assert_eq!((m.rows(), m.cols()), (1, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        m.reshape_zeroed(2, 2);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let mut dst = Mat::zeros(5, 5);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn col_block_mut_is_contiguous_columns() {
+        let mut m = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let block = m.col_block_mut(1, 2);
+        assert_eq!(block, &[2.0, 5.0, 3.0, 6.0]);
+        block[0] = 9.0;
+        assert_eq!(m[(0, 1)], 9.0);
     }
 }

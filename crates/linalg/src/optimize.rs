@@ -82,6 +82,18 @@ pub fn nelder_mead(
         simplex.push((xi, fi));
     }
 
+    // The iteration loop is allocation-free: every trial point is built
+    // into one of these reusable buffers with the exact element-wise
+    // arithmetic the old `axpy(.., sub(..))` chain performed
+    // (`c[i] + s·(a[i] − b[i])`, ascending i), so trajectories are
+    // bit-identical to the allocating implementation. The GP fit calls
+    // this tens of thousands of times per search; the per-iteration
+    // `Vec` churn was measurable against the microsecond objective.
+    let mut centroid = vec![0.0; n];
+    let mut reflect = vec![0.0; n];
+    let mut trial = vec![0.0; n];
+    let mut pivot = vec![0.0; n];
+
     let mut converged = false;
     while evals < opts.max_evals {
         simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
@@ -89,7 +101,9 @@ pub fn nelder_mead(
         let spread = (worst_f - best_f).abs();
         let max_dist = simplex[1..]
             .iter()
-            .map(|(x, _)| crate::norm2(&crate::sub(x, &simplex[0].0)))
+            .map(|(x, _)| {
+                x.iter().zip(&simplex[0].0).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+            })
             .fold(0.0_f64, f64::max);
         // Both criteria must hold: a symmetric simplex (two vertices
         // straddling the optimum with equal values) has zero f-spread but
@@ -100,7 +114,7 @@ pub fn nelder_mead(
         }
 
         // Centroid of all but the worst vertex.
-        let mut centroid = vec![0.0; n];
+        centroid.fill(0.0);
         for (x, _) in &simplex[..n] {
             for (c, &v) in centroid.iter_mut().zip(x) {
                 *c += v;
@@ -110,37 +124,51 @@ pub fn nelder_mead(
             *c /= n as f64;
         }
 
-        let worst = simplex[n].0.clone();
-        let reflect = crate::axpy(&centroid, 1.0, &crate::sub(&centroid, &worst));
+        pivot.copy_from_slice(&simplex[n].0);
+        for i in 0..n {
+            reflect[i] = centroid[i] + 1.0 * (centroid[i] - pivot[i]);
+        }
         let f_r = eval(&reflect, &mut evals);
 
         if f_r < simplex[0].1 {
             // Try expanding further along the reflection direction.
-            let expand = crate::axpy(&centroid, 2.0, &crate::sub(&centroid, &worst));
-            let f_e = eval(&expand, &mut evals);
-            simplex[n] = if f_e < f_r { (expand, f_e) } else { (reflect, f_r) };
+            for i in 0..n {
+                trial[i] = centroid[i] + 2.0 * (centroid[i] - pivot[i]);
+            }
+            let f_e = eval(&trial, &mut evals);
+            if f_e < f_r {
+                simplex[n].0.copy_from_slice(&trial);
+                simplex[n].1 = f_e;
+            } else {
+                simplex[n].0.copy_from_slice(&reflect);
+                simplex[n].1 = f_r;
+            }
         } else if f_r < simplex[n - 1].1 {
-            simplex[n] = (reflect, f_r);
+            simplex[n].0.copy_from_slice(&reflect);
+            simplex[n].1 = f_r;
         } else {
             // Contract toward the centroid, outside or inside.
-            let (contract, f_c) = if f_r < simplex[n].1 {
-                let c = crate::axpy(&centroid, 0.5, &crate::sub(&reflect, &centroid));
-                let fc = eval(&c, &mut evals);
-                (c, fc)
+            if f_r < simplex[n].1 {
+                for i in 0..n {
+                    trial[i] = centroid[i] + 0.5 * (reflect[i] - centroid[i]);
+                }
             } else {
-                let c = crate::axpy(&centroid, 0.5, &crate::sub(&worst, &centroid));
-                let fc = eval(&c, &mut evals);
-                (c, fc)
-            };
+                for i in 0..n {
+                    trial[i] = centroid[i] + 0.5 * (pivot[i] - centroid[i]);
+                }
+            }
+            let f_c = eval(&trial, &mut evals);
             if f_c < simplex[n].1.min(f_r) {
-                simplex[n] = (contract, f_c);
+                simplex[n].0.copy_from_slice(&trial);
+                simplex[n].1 = f_c;
             } else {
                 // Shrink everything toward the best vertex.
-                let best = simplex[0].0.clone();
+                pivot.copy_from_slice(&simplex[0].0);
                 for v in simplex.iter_mut().skip(1) {
-                    let shrunk = crate::axpy(&best, 0.5, &crate::sub(&v.0, &best));
-                    let fs = eval(&shrunk, &mut evals);
-                    *v = (shrunk, fs);
+                    for (s, &b) in v.0.iter_mut().zip(&pivot) {
+                        *s = b + 0.5 * (*s - b);
+                    }
+                    v.1 = eval(&v.0, &mut evals);
                 }
             }
         }

@@ -100,8 +100,13 @@ const FORBID_UNSAFE_LIBS: &[(&str, &str)] = &[
 const NONDET_EXEMPT_PREFIXES: &[&str] = &["crates/service/src/net/"];
 
 /// The kernel hot paths under the R5 panic/indexing discipline.
-const HOT_PATHS: &[&str] =
-    &["crates/core/src/search/kernel.rs", "crates/gp/src/fit.rs", "crates/linalg/src/chol.rs"];
+const HOT_PATHS: &[&str] = &[
+    "crates/core/src/search/kernel.rs",
+    "crates/gp/src/fit.rs",
+    "crates/gp/src/workspace.rs",
+    "crates/linalg/src/chol.rs",
+    "crates/linalg/src/mat.rs",
+];
 
 /// What a file's path says about which rules apply to it.
 #[derive(Debug, Clone)]

@@ -3,7 +3,8 @@
 //! ```text
 //! mlcd-serve --listen 127.0.0.1:7070 --journal-dir /var/lib/mlcd \
 //!            [--workers N] [--queue-cap N] [--no-probe-cache] \
-//!            [--shards N] [--retain-cap N] [--no-group-commit]
+//!            [--no-grid-cache] [--shards N] [--retain-cap N] \
+//!            [--no-group-commit]
 //! ```
 //!
 //! On start the journal directory is scanned: finished sessions are
@@ -20,7 +21,8 @@ use std::sync::Arc;
 
 const USAGE: &str = "usage: mlcd-serve [--listen ADDR] [--journal-dir DIR] \
                      [--workers N] [--queue-cap N] [--no-probe-cache] \
-                     [--shards N] [--retain-cap N] [--no-group-commit]";
+                     [--no-grid-cache] [--shards N] [--retain-cap N] \
+                     [--no-group-commit]";
 
 fn main() -> ExitCode {
     let mut listen = "127.0.0.1:7070".to_string();
@@ -43,6 +45,10 @@ fn main() -> ExitCode {
             }),
             "--no-probe-cache" => {
                 cfg.probe_cache = false;
+                Ok(())
+            }
+            "--no-grid-cache" => {
+                cfg.grid_cache = false;
                 Ok(())
             }
             "--shards" => value("--shards").and_then(|v| {

@@ -158,6 +158,142 @@ impl ProbeCache {
     }
 }
 
+/// Grid-cache key: everything that determines a session's candidate
+/// grid. The service always searches under the default ground-truth
+/// physics, so `(job preset, ordered instance-type list, max scale-out)`
+/// pins the enumeration exactly; the type list is order-sensitive
+/// because [`SearchSpace::new`] enumerates candidates in type order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GridKey {
+    /// Preset job name.
+    pub job: String,
+    /// Instance-type names in spec order; `None` means "all types".
+    pub types: Option<Vec<&'static str>>,
+    /// Maximum scale-out.
+    pub max_nodes: u32,
+}
+
+impl GridKey {
+    /// Key for the grid a session with these spec fields enumerates.
+    pub fn new(
+        job: &str,
+        types: Option<&[mlcd::prelude::InstanceType]>,
+        max_nodes: u32,
+    ) -> GridKey {
+        GridKey {
+            job: job.to_string(),
+            types: types.map(|ts| ts.iter().map(|t| t.name()).collect()),
+            max_nodes,
+        }
+    }
+}
+
+fn grid_shard_hash(key: &GridKey) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(key.job.as_bytes());
+    eat(&[0]);
+    match &key.types {
+        None => eat(&[0]),
+        Some(ts) => {
+            for t in ts {
+                eat(&[1]);
+                eat(t.as_bytes());
+            }
+        }
+    }
+    eat(&key.max_nodes.to_le_bytes());
+    h
+}
+
+/// Process-wide memo of enumerated candidate grids, shared by every
+/// session: concurrent sessions of the same job preset share one grid
+/// enumeration (the feasibility filter walks the whole scale-up ×
+/// scale-out product per build) instead of re-deriving it each. Sharded
+/// like [`ProbeCache`], first write wins, deterministic FNV-1a shard
+/// placement. Entries are `Arc`'d so a hit is one map lookup plus a
+/// refcount bump.
+#[derive(Debug)]
+pub struct GridCache {
+    shards: Vec<Mutex<GridState>>,
+}
+
+#[derive(Debug, Default)]
+struct GridState {
+    map: BTreeMap<GridKey, std::sync::Arc<SearchSpace>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for GridCache {
+    fn default() -> Self {
+        GridCache::with_shards(DEFAULT_CACHE_SHARDS)
+    }
+}
+
+impl GridCache {
+    /// An empty cache with the default shard count.
+    pub fn new() -> GridCache {
+        GridCache::default()
+    }
+
+    /// An empty cache with `n` shards (at least 1).
+    pub fn with_shards(n: usize) -> GridCache {
+        GridCache { shards: (0..n.max(1)).map(|_| Mutex::new(GridState::default())).collect() }
+    }
+
+    fn shard(&self, key: &GridKey) -> &Mutex<GridState> {
+        &self.shards[(grid_shard_hash(key) % self.shards.len() as u64) as usize]
+    }
+
+    /// The grid for `key`, built by `build` on a miss. The build runs
+    /// outside the shard lock (it walks the whole candidate product), so
+    /// two sessions racing on a cold key may both build; the first
+    /// insert wins and both return the same stored grid.
+    pub fn get_or_build(
+        &self,
+        key: GridKey,
+        build: impl FnOnce() -> SearchSpace,
+    ) -> std::sync::Arc<SearchSpace> {
+        {
+            let mut st = self.shard(&key).lock().expect("grid cache poisoned");
+            if let Some(space) = st.map.get(&key).cloned() {
+                st.hits += 1;
+                return space;
+            }
+            st.misses += 1;
+        }
+        let built = std::sync::Arc::new(build());
+        let mut st = self.shard(&key).lock().expect("grid cache poisoned");
+        st.map.entry(key).or_insert(built).clone()
+    }
+
+    /// `(hits, misses)` so far, summed across shards.
+    pub fn stats(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), shard| {
+            let st = shard.lock().expect("grid cache poisoned");
+            (h + st.hits, m + st.misses)
+        })
+    }
+
+    /// Number of distinct grids held, summed across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.lock().expect("grid cache poisoned").map.len()).sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// In-order provenance of one session's successful probes: `true` when
 /// the observation was served by the shared cache (free, and invisible to
 /// the inner environment's RNG/clock/billing state), `false` when the
@@ -448,6 +584,47 @@ mod tests {
         let k = CacheKey::new("job", &d, SimDuration::from_mins(10.0));
         assert!(one.get(&k).is_none());
         assert_eq!(one.stats(), (0, 1));
+    }
+
+    #[test]
+    fn grid_cache_shares_one_enumeration() {
+        let grids = GridCache::with_shards(4);
+        let job = TrainingJob::resnet_cifar10();
+        let types = [InstanceType::C5Xlarge, InstanceType::P2Xlarge];
+        let build = || SearchSpace::new(&types, 10, &job, &ThroughputModel::default());
+        let key = || GridKey::new("resnet-cifar10", Some(&types), 10);
+
+        let first = grids.get_or_build(key(), build);
+        let second = grids.get_or_build(key(), build);
+        assert!(std::sync::Arc::ptr_eq(&first, &second), "hit must reuse the stored grid");
+        assert_eq!(grids.stats(), (1, 1));
+        assert_eq!(grids.len(), 1);
+        assert_eq!(first.candidates(), build().candidates());
+    }
+
+    #[test]
+    fn grid_keys_are_order_sensitive_and_scope_all_fields() {
+        let grids = GridCache::new();
+        let job = TrainingJob::resnet_cifar10();
+        let fwd = [InstanceType::C5Xlarge, InstanceType::P2Xlarge];
+        let rev = [InstanceType::P2Xlarge, InstanceType::C5Xlarge];
+        grids.get_or_build(GridKey::new("j", Some(&fwd), 10), || {
+            SearchSpace::new(&fwd, 10, &job, &ThroughputModel::default())
+        });
+        grids.get_or_build(GridKey::new("j", Some(&rev), 10), || {
+            SearchSpace::new(&rev, 10, &job, &ThroughputModel::default())
+        });
+        grids.get_or_build(GridKey::new("j", Some(&fwd), 9), || {
+            SearchSpace::new(&fwd, 9, &job, &ThroughputModel::default())
+        });
+        grids.get_or_build(GridKey::new("k", Some(&fwd), 10), || {
+            SearchSpace::new(&fwd, 10, &job, &ThroughputModel::default())
+        });
+        grids.get_or_build(GridKey::new("j", None, 10), || {
+            SearchSpace::new(&fwd, 10, &job, &ThroughputModel::default())
+        });
+        assert_eq!(grids.len(), 5, "every field of the key must scope the entry");
+        assert_eq!(grids.stats(), (0, 5));
     }
 
     #[test]

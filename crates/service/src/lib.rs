@@ -37,7 +37,7 @@ pub mod net;
 pub mod proto;
 pub mod session;
 
-pub use cache::{CacheKey, CachedEnv, ProbeCache, ProvenanceLog};
+pub use cache::{CacheKey, CachedEnv, GridCache, GridKey, ProbeCache, ProvenanceLog};
 pub use journal::{
     commit_log_file, reconcile_commit_log, AppendError, CommitCrashPoint, CommitHandle,
     CommitLogEntry, CommitStats, GroupCommitter, JournalRecord, JournalWriter, SessionJournal,

@@ -276,6 +276,10 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Probe-cache misses.
     pub cache_misses: u64,
+    /// Grid-cache hits (sessions that reused a shared grid enumeration).
+    pub grid_hits: u64,
+    /// Grid-cache misses (sessions that enumerated a fresh grid).
+    pub grid_misses: u64,
     /// Whether journal appends go through the group committer.
     pub group_commit: bool,
     /// Groups the committer has made durable.

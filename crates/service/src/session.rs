@@ -71,7 +71,7 @@
 //!   journal an evicted result is gone — the cap trades that for a
 //!   bounded footprint.
 
-use crate::cache::{CachedEnv, ProbeCache, ProvenanceLog};
+use crate::cache::{CachedEnv, GridCache, GridKey, ProbeCache, ProvenanceLog};
 use crate::journal::{
     is_journaled, journal_file, list_journals, read_journal, reconcile_commit_log, AppendError,
     CommitCrashPoint, CommitStats, GroupCommitter, JournalRecord, SessionJournal, JOURNAL_FORMAT,
@@ -103,6 +103,11 @@ pub struct ServiceConfig {
     pub journal_dir: Option<PathBuf>,
     /// Consult the shared probe cache for fresh (non-resumed) sessions.
     pub probe_cache: bool,
+    /// Share one candidate-grid enumeration across sessions of the same
+    /// `(job, instance types, max_nodes)` via the grid cache. Off, every
+    /// session re-enumerates its own grid (bit-identical results either
+    /// way — the grid is a pure function of the key).
+    pub grid_cache: bool,
     /// Test hook: simulate a `kill -9` after this many journaled records
     /// (replayed ones included) by panicking the worker *without* writing
     /// a terminal record.
@@ -141,6 +146,7 @@ impl Default for ServiceConfig {
             queue_cap: 16,
             journal_dir: None,
             probe_cache: true,
+            grid_cache: true,
             crash_after_records: None,
             start_paused: false,
             group_commit: true,
@@ -636,6 +642,8 @@ struct TerminalLog {
 struct Inner {
     cfg: ServiceConfig,
     cache: ProbeCache,
+    /// Shared candidate-grid enumerations, keyed per scenario spec.
+    grids: GridCache,
     /// Session map shards, keyed by `id % shards`.
     session_shards: Vec<Mutex<BTreeMap<u64, Arc<Session>>>>,
     /// Work queue shards, same keying. Priority order is global: pops
@@ -824,6 +832,7 @@ impl SessionManager {
         let inner = Arc::new(Inner {
             cfg,
             cache: ProbeCache::with_shards(cache_shards),
+            grids: GridCache::with_shards(cache_shards),
             session_shards: session_shards.into_iter().map(Mutex::new).collect(),
             queue_shards: queue_shards.into_iter().map(Mutex::new).collect(),
             control: Mutex::new(Control { shutdown: false, paused }),
@@ -1028,6 +1037,11 @@ impl SessionManager {
         self.inner.cache.stats()
     }
 
+    /// The shared grid cache's `(hits, misses)`.
+    pub fn grid_stats(&self) -> (u64, u64) {
+        self.inner.grids.stats()
+    }
+
     /// Service-wide counters for the `Stats` request.
     pub fn stats(&self) -> ServiceStats {
         let live = self
@@ -1037,6 +1051,7 @@ impl SessionManager {
             .map(|s| s.lock().expect("sessions poisoned").len() as u64)
             .sum();
         let (cache_hits, cache_misses) = self.inner.cache.stats();
+        let (grid_hits, grid_misses) = self.inner.grids.stats();
         let evicted = self.inner.terminal.lock().expect("terminal poisoned").evicted;
         let commit: CommitStats =
             self.inner.committer.as_ref().map(GroupCommitter::stats).unwrap_or_default();
@@ -1046,6 +1061,8 @@ impl SessionManager {
             evicted,
             cache_hits,
             cache_misses,
+            grid_hits,
+            grid_misses,
             group_commit: self.inner.committer.is_some(),
             journal_groups: commit.groups,
             journal_records: commit.records,
@@ -1231,7 +1248,16 @@ fn run_session(inner: &Arc<Inner>, mut item: WorkItem) {
         if let Some(types) = spec.instance_types()? {
             runner = runner.with_types(types);
         }
-        let mut profiler = runner.profiler_for(&job);
+        // One grid enumeration per (job, types, max_nodes) across every
+        // concurrent session; the grid is a pure function of the key, so
+        // the cached copy is bit-identical to a private enumeration.
+        let mut profiler = if inner.cfg.grid_cache {
+            let key = GridKey::new(&spec.job, spec.instance_types()?.as_deref(), spec.max_nodes);
+            let space = inner.grids.get_or_build(key, || runner.space(&job));
+            runner.profiler_with_space(&job, (*space).clone())
+        } else {
+            runner.profiler_for(&job)
+        };
         let search = {
             let provenance = ProvenanceLog::new();
             // Fresh sessions search through the shared cache; resumed

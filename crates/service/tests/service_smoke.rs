@@ -179,3 +179,35 @@ fn concurrent_server_matches_sequential_in_process_with_cache_off() {
 fn cache_switch_is_outcome_neutral_without_collisions() {
     assert_eq!(sequential_digests(true), sequential_digests(false));
 }
+
+/// The shared grid cache hands the second same-spec session the first
+/// one's enumeration (one miss, then hits) and never changes outcomes:
+/// the grid is a pure function of `(job, types, max_nodes)`, so digests
+/// with the cache on and off are identical.
+#[test]
+fn grid_cache_shares_enumeration_and_is_outcome_neutral() {
+    let run = |grid_cache: bool| {
+        let mgr = SessionManager::new(ServiceConfig {
+            workers: 1,
+            grid_cache,
+            ..ServiceConfig::default()
+        })
+        .expect("manager");
+        let [spec, _] = specs();
+        let digests: [String; 2] = [(), ()].map(|()| {
+            let id = mgr.submit(spec.clone()).expect("submit");
+            match mgr.session(id).expect("session").wait_terminal() {
+                Phase::Done(result) => result.search.digest(),
+                other => panic!("run ended {}", other.name()),
+            }
+        });
+        (digests, mgr.grid_stats())
+    };
+    let (with_cache, stats_on) = run(true);
+    assert_eq!(stats_on, (1, 1), "second session must reuse the first grid");
+    let (without_cache, stats_off) = run(false);
+    assert_eq!(stats_off, (0, 0), "disabled grid cache is never consulted");
+    // Grid reuse is invisible in the outcomes (the probe cache, on in
+    // both runs, is what makes the second session's probes free).
+    assert_eq!(with_cache, without_cache);
+}

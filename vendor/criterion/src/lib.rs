@@ -181,19 +181,25 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         return;
     }
 
-    // Warm-up: run single iterations until the warm-up window elapses,
-    // tracking per-iteration cost.
-    let mut per_iter = Duration::from_nanos(1);
+    // Warm-up: run single iterations until the warm-up window elapses.
+    // Per-iteration cost is estimated from the *fastest* warm-up run —
+    // the last run used to decide it, so one slow outlier (page faults,
+    // a scheduler hiccup) at the end of the window skewed the iteration
+    // count and with it every sample of the measurement phase.
+    let mut per_iter = Duration::MAX;
     let warm_start = Instant::now();
     let mut warm_iters = 0u64;
     while warm_start.elapsed() < WARMUP {
         let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
         f(&mut b);
-        per_iter = b.elapsed.max(Duration::from_nanos(1));
+        per_iter = per_iter.min(b.elapsed.max(Duration::from_nanos(1)));
         warm_iters += 1;
         if warm_iters >= 1000 {
             break;
         }
+    }
+    if per_iter == Duration::MAX {
+        per_iter = Duration::from_nanos(1);
     }
 
     // Pick iterations per sample so all samples fit the measure window.
@@ -212,18 +218,25 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let max = samples[samples.len() - 1];
     let median = samples[samples.len() / 2];
 
+    // Relative sample spread — (max − min) / median — so downstream
+    // reports can flag unstable benchmarks instead of silently folding
+    // an outlier-ridden run into a clean-looking median.
+    let spread = if median > 0.0 { (max - min) / median } else { 0.0 };
+
     println!(
-        "{name:<40} time: [{} {} {}]  ({} samples × {} iters)",
+        "{name:<40} time: [{} {} {}]  ({} samples × {} iters, {} warm-up runs, spread {:.0}%)",
         fmt_time(min),
         fmt_time(median),
         fmt_time(max),
         sample_size,
         iters,
+        warm_iters,
+        spread * 100.0,
     );
 
     if let Ok(path) = std::env::var("CRITERION_JSON") {
         if !path.is_empty() {
-            append_json_record(&path, name, min, median, max, sample_size, iters);
+            append_json_record(&path, name, min, median, max, sample_size, iters, warm_iters);
         }
     }
 }
@@ -232,6 +245,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(
 /// `CRITERION_JSON` env var. Times are nanoseconds per iteration; the
 /// format is hand-rolled (no serde in the shim) and each line is a
 /// self-contained JSON object, so partial runs still parse.
+#[allow(clippy::too_many_arguments)]
 fn append_json_record(
     path: &str,
     name: &str,
@@ -240,6 +254,7 @@ fn append_json_record(
     max: f64,
     sample_size: usize,
     iters: u64,
+    warmup_runs: u64,
 ) {
     use std::io::Write;
     let escaped: String = name
@@ -249,8 +264,9 @@ fn append_json_record(
             _ => vec![ch],
         })
         .collect();
+    let spread = if median > 0.0 { (max - min) / median } else { 0.0 };
     let line = format!(
-        "{{\"name\":\"{escaped}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{sample_size},\"iters\":{iters}}}\n",
+        "{{\"name\":\"{escaped}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{sample_size},\"iters\":{iters},\"warmup_runs\":{warmup_runs},\"spread\":{spread:.4}}}\n",
         min * 1e9,
         median * 1e9,
         max * 1e9,
@@ -333,14 +349,17 @@ mod tests {
             std::env::temp_dir().join(format!("criterion_shim_{}.jsonl", std::process::id()));
         let path = path.to_str().unwrap().to_string();
         let _ = std::fs::remove_file(&path);
-        append_json_record(&path, "gp_fit/32", 1.0e-3, 1.1e-3, 1.3e-3, 10, 4);
-        append_json_record(&path, "with \"quote\"", 2e-9, 3e-9, 4e-9, 2, 1);
+        append_json_record(&path, "gp_fit/32", 1.0e-3, 1.1e-3, 1.3e-3, 10, 4, 25);
+        append_json_record(&path, "with \"quote\"", 2e-9, 3e-9, 4e-9, 2, 1, 3);
         let body = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = body.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"name\":\"gp_fit/32\""));
         assert!(lines[0].contains("\"median_ns\":1100000.0"));
         assert!(lines[0].contains("\"samples\":10"));
+        assert!(lines[0].contains("\"warmup_runs\":25"));
+        // spread = (1.3ms − 1.0ms) / 1.1ms ≈ 0.2727
+        assert!(lines[0].contains("\"spread\":0.2727"));
         assert!(lines[1].contains("with \\\"quote\\\""));
         std::fs::remove_file(&path).unwrap();
     }

@@ -11,10 +11,22 @@
 //! Set `RAYON_NUM_THREADS=1` to force sequential execution (useful when
 //! bisecting a parallelism-dependent result).
 
+use std::cell::Cell;
 use std::sync::OnceLock;
+
+thread_local! {
+    /// Per-thread worker-count override installed by [`ThreadPool::install`]
+    /// (0 = no override). Thread-local so concurrent benches sweeping
+    /// different widths cannot race each other.
+    static POOL_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
 
 /// Number of worker threads used for fan-out.
 pub fn current_num_threads() -> usize {
+    let width = POOL_WIDTH.with(Cell::get);
+    if width >= 1 {
+        return width;
+    }
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
         if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
@@ -139,6 +151,77 @@ impl<'a, T: Sync, R: Send + std::iter::Sum, F: Fn(&'a T) -> R + Sync> ParMap<'a,
     }
 }
 
+/// Builder for a fixed-width [`ThreadPool`], mirroring the real rayon
+/// API surface the benches use.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]. The shim's build cannot
+/// fail, but callers written against real rayon expect a `Result`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rayon shim thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with the default (global) width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the pool to `n` workers; 0 keeps the global default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A fixed-width pool. The shim has no persistent workers; `install`
+/// simply pins the fan-out width seen by `par_iter` calls made while
+/// the closure runs on this thread. Nested scoped workers spawned by
+/// those calls use the default width, matching the shim's one-level
+/// parallelism.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's width; restores the previous width on
+    /// exit (also on panic, via the guard's `Drop`).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_WIDTH.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_WIDTH.with(|c| c.replace(self.num_threads)));
+        f()
+    }
+
+    /// The width `par_iter` will use inside [`ThreadPool::install`].
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads >= 1 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
 /// What `use rayon::prelude::*` is expected to bring in.
 pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
@@ -167,6 +250,20 @@ mod tests {
         let xs = vec![3.0, -1.0, 2.5, -0.5];
         let m = xs.par_iter().map(|x| x * 2.0_f64).min_by(|a, b| a.total_cmp(b));
         assert_eq!(m, Some(-2.0));
+    }
+
+    #[test]
+    fn pool_install_pins_width_and_restores() {
+        let outside = crate::current_num_threads();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let (inside, mapped) = pool.install(|| {
+            let xs: Vec<u64> = (0..64).collect();
+            let ys: Vec<u64> = xs.par_iter().map(|x| x + 1).collect();
+            (crate::current_num_threads(), ys)
+        });
+        assert_eq!(inside, 1);
+        assert_eq!(mapped, (1..=64).collect::<Vec<u64>>());
+        assert_eq!(crate::current_num_threads(), outside);
     }
 
     #[test]
