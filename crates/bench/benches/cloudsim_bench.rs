@@ -1,0 +1,94 @@
+//! Cloudsim engine benchmarks.
+//!
+//! `cloudsim_step` prices the raw discrete-event core — scheduling,
+//! tie-broken heap churn, lazy cancellation — in events per second.
+//! `cloudsim_session` prices the full provider façade on a
+//! revocation-heavy spot workload (launch → wait → long hold with
+//! revocations delivered as queued events → settle), which is the shape
+//! the profiler's batch waves and the service's concurrent sessions put
+//! through the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcd_cloudsim::catalog::InstanceType;
+use mlcd_cloudsim::provider::SimCloud;
+use mlcd_cloudsim::sim::{SimEngine, SimEvent};
+use mlcd_cloudsim::time::{SimDuration, SimTime};
+use std::hint::black_box;
+
+/// Schedule `n` events across a small set of colliding timestamps, then
+/// drain the engine dry. Returns the number dispatched.
+fn schedule_and_drain(n: u64) -> u64 {
+    let mut engine = SimEngine::new();
+    for i in 0..n {
+        // 97 buckets → heavy same-instant collisions, exercising the
+        // (time, seq) tie-break rather than pure heap depth.
+        let at = SimTime::from_secs((i % 97) as f64);
+        engine.schedule(at, SimEvent::MetricTick { period: SimDuration::from_secs(60.0) });
+    }
+    let mut dispatched = 0;
+    while engine.pop_next().is_some() {
+        dispatched += 1;
+    }
+    dispatched
+}
+
+/// Like [`schedule_and_drain`] but cancelling every other event first, so
+/// half the heap is dead weight the lazy purge has to skip over.
+fn schedule_cancel_drain(n: u64) -> u64 {
+    let mut engine = SimEngine::new();
+    let mut ids = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let at = SimTime::from_secs((i % 97) as f64);
+        ids.push(
+            engine.schedule(at, SimEvent::MetricTick { period: SimDuration::from_secs(60.0) }),
+        );
+    }
+    for id in ids.iter().step_by(2) {
+        engine.cancel(*id);
+    }
+    let mut dispatched = 0;
+    while engine.pop_next().is_some() {
+        dispatched += 1;
+    }
+    dispatched
+}
+
+/// One revocation-heavy façade session: four big spot clusters held for a
+/// 20-hour horizon each (most get revoked mid-hold), then settled.
+fn spot_session(seed: u64) -> f64 {
+    let cloud = SimCloud::new(seed);
+    for _ in 0..4 {
+        let c = cloud.launch_spot(InstanceType::C5Xlarge, 16).expect("within quota");
+        cloud.wait_until_running(&c);
+        // A revocation error is the expected common case here.
+        let _ = cloud.run_for(&c, SimDuration::from_hours(20.0));
+        cloud.terminate(&c);
+    }
+    cloud.billing().total_cost().dollars()
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cloudsim_step");
+    g.bench_function("drain_10k", |b| b.iter(|| black_box(schedule_and_drain(black_box(10_000)))));
+    g.bench_function("drain_10k_half_cancelled", |b| {
+        b.iter(|| black_box(schedule_cancel_drain(black_box(10_000))))
+    });
+    g.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cloudsim_session");
+    g.bench_function("spot_churn_8_seeds", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for seed in 0..8 {
+                acc += spot_session(black_box(seed));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_step, bench_session);
+criterion_main!(benches);

@@ -43,6 +43,17 @@ const PRE_PR_SEARCH: &[(&str, f64)] = &[
 ];
 const PRE_PR_SEARCH_REV: &str = "6969871";
 
+/// Pre-PR `cloudsim_session` median (nanoseconds), measured at rev
+/// `2963fdf` before the provider was rebuilt on the discrete-event
+/// engine (median of 3 release runs of a hand-rolled timer over the same
+/// spot-churn workload). The engine-level `cloudsim_step` benches have no
+/// pre-PR counterpart (there was no steppable engine), so only the façade
+/// workload carries a baseline. Note the ratio here is a *cost*, not a
+/// speedup: the event queue buys observability and multi-tenant semantics
+/// for roughly 2× on this façade-bound microworkload.
+const PRE_PR_CLOUDSIM: &[(&str, f64)] = &[("cloudsim_session/spot_churn_8_seeds", 13.47e3)];
+const PRE_PR_CLOUDSIM_REV: &str = "2963fdf";
+
 fn field_f64(v: &Value, key: &str) -> Option<f64> {
     v.get(key).and_then(Value::as_f64)
 }
@@ -152,6 +163,20 @@ fn main() {
         }
     }
 
+    // And for the cloudsim façade: only a report folding
+    // `cloudsim_session` runs quotes the pre-event-engine baseline.
+    let has_cloudsim = names.iter().any(|n| n.starts_with("cloudsim_session/"));
+    let mut cloudsim_baseline: Vec<(String, Value)> = Vec::new();
+    let mut cloudsim_ratios: Vec<(String, Value)> = Vec::new();
+    if has_cloudsim {
+        for &(name, base_ns) in PRE_PR_CLOUDSIM {
+            cloudsim_baseline.push((name.to_string(), json!(base_ns)));
+            if let Some(cur) = median_of(name) {
+                cloudsim_ratios.push((name.to_string(), json!(round2(base_ns / cur))));
+            }
+        }
+    }
+
     // Derived saturation view: fold `service_saturation/<mode>/c<C>/...`
     // records into sessions/s and p99 submit latency per (mode, conc),
     // plus group-commit speedup (fsync_each ns / group ns) per conc.
@@ -227,6 +252,21 @@ fn main() {
         ));
         report.push((skey.into(), Value::Object(search_speedups.clone())));
     }
+    if has_cloudsim {
+        let (bkey, skey) = if has_gp || has_search {
+            ("cloudsim_baseline_pre_pr", "cloudsim_speedup_vs_pre_pr")
+        } else {
+            ("baseline_pre_pr", "speedup_vs_pre_pr")
+        };
+        report.push((
+            bkey.into(),
+            json!({
+                "rev": PRE_PR_CLOUDSIM_REV,
+                "median_ns": Value::Object(cloudsim_baseline.clone()),
+            }),
+        ));
+        report.push((skey.into(), Value::Object(cloudsim_ratios.clone())));
+    }
     if !saturation.is_empty() {
         report.push(("saturation".into(), Value::Object(saturation)));
         report.push(("group_commit_speedup".into(), Value::Object(sat_speedups.clone())));
@@ -239,7 +279,7 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {output} ({} benches)", names.len());
-    for (name, s) in speedups.iter().chain(&search_speedups) {
+    for (name, s) in speedups.iter().chain(&search_speedups).chain(&cloudsim_ratios) {
         if let Some(x) = s.as_f64() {
             println!("  {name}: {x}x vs pre-PR baseline");
         }

@@ -7,6 +7,7 @@
 //! accidentally mixing dollars with hours.
 
 use crate::catalog::InstanceType;
+use crate::cluster::ClusterId;
 use crate::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -84,6 +85,9 @@ pub fn billed_duration(actual: SimDuration) -> SimDuration {
 /// One contiguous usage of `n` instances of a type.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct UsageRecord {
+    /// The cluster that accrued the usage. Multi-tenant drivers sharing
+    /// one `SimCloud` attribute spend per job through this.
+    pub cluster: ClusterId,
     /// Instance type used.
     pub itype: InstanceType,
     /// Number of instances.
@@ -99,9 +103,10 @@ pub struct UsageRecord {
 }
 
 impl UsageRecord {
-    /// An on-demand usage record.
+    /// An on-demand usage record (attributed to the null cluster id; the
+    /// provider fills real ids when it settles `ClusterTerminated` events).
     pub fn on_demand(itype: InstanceType, n: u32, start: SimTime, end: SimTime) -> Self {
-        UsageRecord { itype, n, start, end, hourly_usd: None }
+        UsageRecord { cluster: ClusterId::default(), itype, n, start, end, hourly_usd: None }
     }
 
     /// Wall-clock duration of the usage.
@@ -156,6 +161,12 @@ impl Billing {
     /// Total instance-hours (Σ n × duration), a common cloud-cost metric.
     pub fn instance_hours(&self) -> f64 {
         self.records.lock().iter().map(|r| r.n as f64 * r.duration().as_hours()).sum()
+    }
+
+    /// Billed cost attributed to one cluster (ledger order preserved) —
+    /// how a multi-tenant driver splits a shared bill per job.
+    pub fn cost_for_cluster(&self, cluster: ClusterId) -> Money {
+        self.records.lock().iter().filter(|r| r.cluster == cluster).map(|r| r.cost()).sum()
     }
 }
 

@@ -12,7 +12,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Opaque cluster identifier, unique within one `SimCloud`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct ClusterId(pub u64);
 
 impl std::fmt::Display for ClusterId {
@@ -26,9 +28,14 @@ impl std::fmt::Display for ClusterId {
 pub enum ClusterState {
     /// Request accepted, not yet provisioning.
     Pending,
-    /// Instances booting / stack warming up; becomes Running at the stored
-    /// ready time.
+    /// Instances booting; becomes Warming when the `ProvisioningDone`
+    /// event fires.
     Provisioning,
+    /// Instances up, framework warm-up in progress; becomes Running when
+    /// the `WarmupDone` event fires. With the default provisioning model
+    /// (`warmup_frac == 0`) both events fire at the same instant, so this
+    /// state is never observed between drains.
+    Warming,
     /// Ready to run work.
     Running,
     /// Terminated; a terminal state.
@@ -47,6 +54,13 @@ pub struct ProvisioningModel {
     /// Max multiplicative jitter: the sampled delay is
     /// `deterministic × U[1, 1 + jitter]`.
     pub jitter: f64,
+    /// Fraction of the sampled delay spent on framework warm-up *after*
+    /// the instances boot: the `ProvisioningDone` event fires at
+    /// `requested_at + delay × (1 − warmup_frac)` and `WarmupDone` at
+    /// `requested_at + delay`. The default `0.0` collapses both onto the
+    /// ready time (the pre-event-engine behaviour, which the golden
+    /// digests pin).
+    pub warmup_frac: f64,
 }
 
 impl Default for ProvisioningModel {
@@ -56,6 +70,7 @@ impl Default for ProvisioningModel {
             per_three_nodes: SimDuration::from_mins(1.0),
             gpu_extra: SimDuration::from_mins(1.0),
             jitter: 0.15,
+            warmup_frac: 0.0,
         }
     }
 }
@@ -96,6 +111,10 @@ pub struct ClusterInner {
     pub state: ClusterState,
     /// When the launch request was made.
     pub requested_at: SimTime,
+    /// When instance boot finishes and framework warm-up starts (the
+    /// `ProvisioningDone` event time). Equal to `ready_at` unless the
+    /// provisioning model splits off a warm-up fraction.
+    pub boot_done_at: SimTime,
     /// When the cluster becomes/became Running.
     pub ready_at: SimTime,
     /// When it was terminated (meaningful only in Terminated).
@@ -105,6 +124,12 @@ pub struct ClusterInner {
     pub spot_hourly_usd: Option<f64>,
     /// When the spot market will revoke this cluster, if ever.
     pub revoke_at: Option<SimTime>,
+    /// Whether the spot market's revocation event actually fired (the
+    /// cluster was killed rather than terminated on request).
+    pub revoked: bool,
+    /// Whether a `ClusterTerminated` settlement event has been emitted for
+    /// this cluster (exactly one usage record per cluster).
+    pub billed: bool,
 }
 
 impl ClusterInner {
@@ -122,16 +147,33 @@ impl ClusterInner {
             n,
             state: ClusterState::Provisioning,
             requested_at: now,
+            boot_done_at: now + delay,
             ready_at: now + delay,
             terminated_at: None,
             spot_hourly_usd: None,
             revoke_at: None,
+            revoked: false,
+            billed: false,
+        }
+    }
+
+    /// Split the tail `warmup_frac` of the provisioning delay into a
+    /// separate warm-up phase: `boot_done_at` moves earlier, `ready_at`
+    /// stays put. A fraction of `0` is a no-op (keeping `boot_done_at`
+    /// bit-identical to `ready_at`).
+    pub fn split_warmup(&mut self, warmup_frac: f64) {
+        assert!((0.0..1.0).contains(&warmup_frac), "bad warmup fraction {warmup_frac}");
+        if warmup_frac > 0.0 {
+            let delay = self.ready_at.since(self.requested_at);
+            self.boot_done_at = self.requested_at + delay * (1.0 - warmup_frac);
         }
     }
 
     /// Advance the state machine to time `now`.
     pub fn poll(&mut self, now: SimTime) {
-        if self.state == ClusterState::Provisioning && now >= self.ready_at {
+        if matches!(self.state, ClusterState::Provisioning | ClusterState::Warming)
+            && now >= self.ready_at
+        {
             self.state = ClusterState::Running;
         }
     }

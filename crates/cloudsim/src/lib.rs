@@ -14,8 +14,9 @@
 //!   construction because the prices are the real ones.
 //! * [`time`] — virtual time: [`time::SimTime`], [`time::SimDuration`] and
 //!   the shared [`time::SimClock`].
-//! * [`events`] — a small discrete-event queue used by the provider for
-//!   provisioning latencies.
+//! * [`sim`] — the deterministic discrete-event core: a seq-tie-broken
+//!   event queue, typed [`sim::SimEvent`]s and the [`sim::Component`]
+//!   dispatch the provider is built on.
 //! * [`cluster`] — cluster lifecycle (Pending → Provisioning → Running →
 //!   Terminated) with setup/warm-up latency growing in cluster size.
 //! * [`billing`] — per-second metering with AWS's 60-second minimum.
@@ -40,9 +41,9 @@
 pub mod billing;
 pub mod catalog;
 pub mod cluster;
-pub mod events;
 pub mod metrics;
 pub mod provider;
+pub mod sim;
 pub mod spot;
 pub mod time;
 
@@ -51,5 +52,9 @@ pub use catalog::{Accelerator, InstanceFamily, InstanceSpec, InstanceType};
 pub use cluster::{Cluster, ClusterId, ClusterState, ProvisioningModel};
 pub use metrics::{MetricStat, MetricStore};
 pub use provider::{CloudError, SimCloud};
+pub use sim::{
+    global_event_counters, EventCounters, EventId, EventKind, EventRecord, SimEngine, SimEvent,
+    SimEventCounter, TerminationCause,
+};
 pub use spot::SpotMarket;
 pub use time::{SimClock, SimDuration, SimTime};

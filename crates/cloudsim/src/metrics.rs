@@ -7,7 +7,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Statistics over a metric window.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,10 +25,11 @@ pub struct MetricStat {
 }
 
 /// Named time-series store. Series are append-only and timestamped with
-/// virtual time.
+/// virtual time. Backed by an ordered map so iteration order (and thus
+/// anything derived from it) is deterministic by construction.
 #[derive(Debug, Default)]
 pub struct MetricStore {
-    series: RwLock<HashMap<String, Vec<(SimTime, f64)>>>,
+    series: RwLock<BTreeMap<String, Vec<(SimTime, f64)>>>,
 }
 
 impl MetricStore {
@@ -42,11 +43,10 @@ impl MetricStore {
         self.series.write().entry(metric.to_owned()).or_default().push((at, value));
     }
 
-    /// Names of all metrics with at least one datapoint.
+    /// Names of all metrics with at least one datapoint, in sorted order
+    /// (the map is ordered, so no explicit sort is needed).
     pub fn metric_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.series.read().keys().cloned().collect();
-        names.sort();
-        names
+        self.series.read().keys().cloned().collect()
     }
 
     /// Full series for a metric (empty when unknown).

@@ -2,21 +2,35 @@
 //!
 //! [`SimCloud`] is the façade the MLCD Cloud Interface drives: launch a
 //! cluster, wait for it to come up (advancing virtual time), run work on
-//! it, terminate it, and read the bill. It owns the clock, the billing
-//! ledger, the metric store, the event queue and a seeded RNG, so an
-//! entire experiment is reproducible from one seed.
+//! it, terminate it, and read the bill. Since the discrete-event rewrite
+//! it is a thin shell over [`crate::sim::SimEngine`]: every lifecycle
+//! change — boot finishing, warm-up finishing, spot revocation, spot
+//! repricing, capacity movement, billing settlement — is a typed
+//! [`SimEvent`] on one shared queue, and the domain logic lives in
+//! private components (`Fleet`, `MarketAgent`, `CapacityLedger`,
+//! `BillingAgent`, `MetricAgent`) dispatched in registration order.
+//!
+//! Clones share all state, so many concurrent jobs can drive one provider:
+//! they observe one virtual clock, compete for one capacity ledger, and
+//! settle into one billing ledger (attributed per cluster). The façade
+//! additionally exposes the raw engine controls — [`SimCloud::step`],
+//! [`SimCloud::run_until`], event counters and an event log — for drivers
+//! and tests that want to watch the simulation happen event by event.
 
 use crate::billing::{Billing, UsageRecord};
 use crate::catalog::InstanceType;
 use crate::cluster::{Cluster, ClusterId, ClusterInner, ClusterState, ProvisioningModel};
-use crate::events::EventQueue;
 use crate::metrics::MetricStore;
+use crate::sim::{
+    Component, ComponentId, EngineCtx, EventCounters, EventId, EventKind, EventRecord, SimEngine,
+    SimEvent, TerminationCause,
+};
 use crate::spot::SpotMarket;
 use crate::time::{SimClock, SimDuration, SimTime};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Errors surfaced by the provider.
@@ -34,6 +48,17 @@ pub enum CloudError {
         requested: u32,
         /// Configured quota.
         quota: u32,
+    },
+    /// The shared capacity pool cannot satisfy the request right now
+    /// (another tenant holds the instances). Unlike a quota breach this is
+    /// transient: capacity returns when clusters terminate.
+    CapacityExhausted {
+        /// Requested type.
+        itype: InstanceType,
+        /// Requested node count.
+        requested: u32,
+        /// Instances currently available.
+        available: u32,
     },
     /// Zero-node launch requested.
     EmptyCluster,
@@ -54,6 +79,12 @@ impl std::fmt::Display for CloudError {
             CloudError::QuotaExceeded { itype, requested, quota } => {
                 write!(f, "quota exceeded: requested {requested} × {itype}, quota {quota}")
             }
+            CloudError::CapacityExhausted { itype, requested, available } => {
+                write!(
+                    f,
+                    "capacity exhausted: requested {requested} × {itype}, {available} available"
+                )
+            }
             CloudError::EmptyCluster => write!(f, "cannot launch a zero-node cluster"),
             CloudError::SpotRevoked { cluster, at } => {
                 write!(f, "spot market revoked {cluster} at {:.0} s", at.as_secs())
@@ -64,20 +95,247 @@ impl std::fmt::Display for CloudError {
 
 impl std::error::Error for CloudError {}
 
-/// Internal scheduled happenings.
-#[derive(Debug, Clone, Copy)]
-enum CloudEvent {
-    ClusterReady(ClusterId),
-}
-
-struct State {
-    clusters: HashMap<ClusterId, ClusterInner>,
+/// Cluster lifecycle component: owns the cluster table and the launch RNG,
+/// and reacts to `ProvisioningDone` / `WarmupDone` / `SpotRevoked`.
+struct Fleet {
+    /// Ordered cluster table (determinism lint: no hash iteration).
+    clusters: BTreeMap<ClusterId, ClusterInner>,
+    /// Pending lifecycle events per cluster, cancelled on termination.
+    pending: BTreeMap<ClusterId, Vec<EventId>>,
     next_id: u64,
-    events: EventQueue<CloudEvent>,
     rng: SmallRng,
 }
 
-/// The simulated cloud. Clone freely — clones share all state.
+impl Fleet {
+    fn new(seed: u64) -> Self {
+        Fleet {
+            clusters: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            next_id: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Emit the settlement event for a cluster (exactly once), cancelling
+    /// whatever lifecycle events it still had queued.
+    fn settle(
+        &mut self,
+        id: ClusterId,
+        end: SimTime,
+        cause: TerminationCause,
+        engine: &mut SimEngine,
+    ) {
+        let Some(c) = self.clusters.get_mut(&id) else { return };
+        if c.billed {
+            return;
+        }
+        c.terminate(end);
+        c.billed = true;
+        let ev = SimEvent::ClusterTerminated {
+            cluster: id,
+            itype: c.itype,
+            n: c.n,
+            start: c.requested_at,
+            end,
+            hourly_usd: c.spot_hourly_usd,
+            cause,
+        };
+        for pending in self.pending.remove(&id).unwrap_or_default() {
+            engine.cancel(pending);
+        }
+        engine.schedule(end, ev);
+    }
+}
+
+impl Component for Fleet {
+    fn id(&self) -> ComponentId {
+        ComponentId::Fleet
+    }
+
+    fn on_event(&mut self, rec: &EventRecord, ctx: &mut EngineCtx<'_>) {
+        match rec.event {
+            SimEvent::ProvisioningDone { cluster } => {
+                if let Some(c) = self.clusters.get_mut(&cluster) {
+                    if c.state == ClusterState::Provisioning {
+                        c.state = ClusterState::Warming;
+                        let ready_at = c.ready_at;
+                        let ev = ctx.engine.schedule(ready_at, SimEvent::WarmupDone { cluster });
+                        self.pending.entry(cluster).or_default().push(ev);
+                    }
+                }
+            }
+            SimEvent::WarmupDone { cluster } => {
+                if let Some(c) = self.clusters.get_mut(&cluster) {
+                    if c.state == ClusterState::Warming {
+                        c.state = ClusterState::Running;
+                    }
+                }
+            }
+            SimEvent::SpotRevoked { cluster } => {
+                let alive = self
+                    .clusters
+                    .get_mut(&cluster)
+                    .filter(|c| c.state != ClusterState::Terminated)
+                    .map(|c| c.revoked = true)
+                    .is_some();
+                if alive {
+                    self.settle(cluster, rec.at, TerminationCause::Revoked, ctx.engine);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Spot market component: keeps watched types' price ticks flowing by
+/// rescheduling the next `SpotPriceChanged` when one fires.
+struct MarketAgent {
+    market: SpotMarket,
+    tick: Option<SimDuration>,
+}
+
+impl Component for MarketAgent {
+    fn id(&self) -> ComponentId {
+        ComponentId::Market
+    }
+
+    fn on_event(&mut self, rec: &EventRecord, ctx: &mut EngineCtx<'_>) {
+        if let SimEvent::SpotPriceChanged { itype, .. } = rec.event {
+            if let Some(period) = self.tick {
+                let next = rec.at + period;
+                let hourly_usd = self.market.hourly_usd(itype, next);
+                ctx.engine.schedule(next, SimEvent::SpotPriceChanged { itype, hourly_usd });
+            }
+        }
+    }
+}
+
+/// Shared capacity ledger: every launch reserves instances, every
+/// settlement releases them. Types without a configured cap are treated as
+/// infinite (the quota check still applies per launch).
+struct CapacityLedger {
+    caps: BTreeMap<InstanceType, u32>,
+    in_use: BTreeMap<InstanceType, u32>,
+}
+
+impl CapacityLedger {
+    fn new() -> Self {
+        CapacityLedger { caps: BTreeMap::new(), in_use: BTreeMap::new() }
+    }
+
+    fn set_cap(&mut self, itype: InstanceType, cap: u32) {
+        self.caps.insert(itype, cap);
+    }
+
+    /// Instances currently available, `None` when the type is uncapped.
+    fn available(&self, itype: InstanceType) -> Option<u32> {
+        let cap = *self.caps.get(&itype)?;
+        let used = *self.in_use.get(&itype).unwrap_or(&0);
+        Some(cap.saturating_sub(used))
+    }
+
+    /// Reserve `n` instances. `Ok(Some(left))` for capped types,
+    /// `Ok(None)` for uncapped ones, `Err(available)` when the pool is
+    /// short.
+    fn try_reserve(&mut self, itype: InstanceType, n: u32) -> Result<Option<u32>, u32> {
+        match self.available(itype) {
+            Some(avail) if avail < n => Err(avail),
+            avail => {
+                *self.in_use.entry(itype).or_insert(0) += n;
+                Ok(avail.map(|a| a - n))
+            }
+        }
+    }
+
+    /// Release `n` instances, returning the new availability for capped
+    /// types.
+    fn release(&mut self, itype: InstanceType, n: u32) -> Option<u32> {
+        if let Some(used) = self.in_use.get_mut(&itype) {
+            *used = used.saturating_sub(n);
+        }
+        self.available(itype)
+    }
+}
+
+impl Component for CapacityLedger {
+    fn id(&self) -> ComponentId {
+        ComponentId::Capacity
+    }
+
+    fn on_event(&mut self, rec: &EventRecord, ctx: &mut EngineCtx<'_>) {
+        if let SimEvent::ClusterTerminated { itype, n, .. } = rec.event {
+            if let Some(available) = self.release(itype, n) {
+                ctx.engine.schedule(rec.at, SimEvent::CapacityChanged { itype, available });
+            }
+        }
+    }
+}
+
+/// Billing component: turns `ClusterTerminated` settlement events into
+/// usage records. The event payload carries the whole span, so this is the
+/// only writer of the ledger and needs no access to the fleet.
+struct BillingAgent;
+
+impl Component for BillingAgent {
+    fn id(&self) -> ComponentId {
+        ComponentId::Billing
+    }
+
+    fn on_event(&mut self, rec: &EventRecord, ctx: &mut EngineCtx<'_>) {
+        if let SimEvent::ClusterTerminated { cluster, itype, n, start, end, hourly_usd, .. } =
+            rec.event
+        {
+            ctx.billing.record(UsageRecord { cluster, itype, n, start, end, hourly_usd });
+        }
+    }
+}
+
+/// Observability component: gauges for spot prices, capacity and queue
+/// depth. All of its metrics are opt-in by construction — the events it
+/// reacts to only exist once a driver enables price watching, capacity
+/// caps or metric ticks.
+struct MetricAgent;
+
+impl Component for MetricAgent {
+    fn id(&self) -> ComponentId {
+        ComponentId::Metrics
+    }
+
+    fn on_event(&mut self, rec: &EventRecord, ctx: &mut EngineCtx<'_>) {
+        match rec.event {
+            SimEvent::SpotPriceChanged { itype, hourly_usd } => {
+                ctx.metrics.put(&format!("spot/price/{itype}"), rec.at, hourly_usd);
+            }
+            SimEvent::CapacityChanged { itype, available } => {
+                ctx.metrics.put(
+                    &format!("capacity/available/{itype}"),
+                    rec.at,
+                    f64::from(available),
+                );
+            }
+            SimEvent::MetricTick { period } => {
+                ctx.metrics.put("sim/pending_events", rec.at, ctx.engine.pending_len() as f64);
+                ctx.engine.schedule(rec.at + period, SimEvent::MetricTick { period });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// All engine-guarded state behind one lock: the event queue plus every
+/// component. Dispatch destructures this into disjoint mutable borrows.
+struct State {
+    engine: SimEngine,
+    fleet: Fleet,
+    market: MarketAgent,
+    capacity: CapacityLedger,
+    billing_agent: BillingAgent,
+    metrics_agent: MetricAgent,
+}
+
+/// The simulated cloud. Clone freely — clones share all state, which is
+/// how multiple concurrent jobs share one clock, one capacity ledger and
+/// one bill.
 #[derive(Clone)]
 pub struct SimCloud {
     clock: SimClock,
@@ -102,6 +360,20 @@ impl SimCloud {
 
     /// New provider with a custom provisioning model.
     pub fn with_provisioning(seed: u64, provisioning: ProvisioningModel) -> Self {
+        let mut engine = SimEngine::new();
+        // Wiring: who reacts to what, in dispatch order. The capacity
+        // ledger releases instances before billing records the span, and
+        // metrics observe everything last.
+        engine.subscribe(EventKind::ProvisioningDone, ComponentId::Fleet);
+        engine.subscribe(EventKind::WarmupDone, ComponentId::Fleet);
+        engine.subscribe(EventKind::SpotRevoked, ComponentId::Fleet);
+        engine.subscribe(EventKind::ClusterTerminated, ComponentId::Capacity);
+        engine.subscribe(EventKind::ClusterTerminated, ComponentId::Billing);
+        engine.subscribe(EventKind::SpotPriceChanged, ComponentId::Market);
+        engine.subscribe(EventKind::SpotPriceChanged, ComponentId::Metrics);
+        engine.subscribe(EventKind::CapacityChanged, ComponentId::Metrics);
+        engine.subscribe(EventKind::MetricTick, ComponentId::Metrics);
+        let spot = SpotMarket::default();
         SimCloud {
             clock: SimClock::new(),
             billing: Arc::new(Billing::new()),
@@ -109,12 +381,14 @@ impl SimCloud {
             provisioning,
             cpu_quota: 100,
             gpu_quota: 50,
-            spot: SpotMarket::default(),
+            spot,
             state: Arc::new(Mutex::new(State {
-                clusters: HashMap::new(),
-                next_id: 0,
-                events: EventQueue::new(),
-                rng: SmallRng::seed_from_u64(seed),
+                engine,
+                fleet: Fleet::new(seed),
+                market: MarketAgent { market: spot, tick: None },
+                capacity: CapacityLedger::new(),
+                billing_agent: BillingAgent,
+                metrics_agent: MetricAgent,
             })),
         }
     }
@@ -149,8 +423,146 @@ impl SimCloud {
         &self.metrics
     }
 
+    /// The spot market (for price queries).
+    pub fn spot_market(&self) -> &SpotMarket {
+        &self.spot
+    }
+
+    // --- engine driving ----------------------------------------------
+
+    /// Dispatch one event record to every subscribed component, in
+    /// registration order.
+    fn dispatch(&self, st: &mut State, rec: &EventRecord) {
+        let State { engine, fleet, market, capacity, billing_agent, metrics_agent } = st;
+        let subs = engine.subscribers(rec.event.kind());
+        for component in subs.iter() {
+            let mut ctx = EngineCtx {
+                engine: &mut *engine,
+                clock: &self.clock,
+                billing: &self.billing,
+                metrics: &self.metrics,
+            };
+            match component {
+                ComponentId::Fleet => fleet.on_event(rec, &mut ctx),
+                ComponentId::Market => market.on_event(rec, &mut ctx),
+                ComponentId::Capacity => capacity.on_event(rec, &mut ctx),
+                ComponentId::Billing => billing_agent.on_event(rec, &mut ctx),
+                ComponentId::Metrics => metrics_agent.on_event(rec, &mut ctx),
+            }
+        }
+    }
+
+    /// Pop and dispatch every event due at or before `upto`, advancing the
+    /// clock to each event's firing time. Returns the number dispatched.
+    fn drain_due(&self, st: &mut State, upto: SimTime) -> usize {
+        let mut n = 0;
+        while let Some(rec) = st.engine.pop_due(upto) {
+            self.clock.advance_to(rec.at);
+            self.dispatch(st, &rec);
+            n += 1;
+        }
+        n
+    }
+
+    /// Run the simulation until virtual time `t`: every event due at or
+    /// before `t` fires in `(time, seq)` order, then the clock lands
+    /// exactly on `t`. Returns the number of events dispatched.
+    pub fn run_until(&self, t: SimTime) -> usize {
+        let mut st = self.state.lock();
+        let n = self.drain_due(&mut st, t);
+        self.clock.advance_to(t);
+        n
+    }
+
+    /// Dispatch the single next pending event (wherever in the future it
+    /// is), advancing the clock to its firing time. Returns the dispatched
+    /// record, or `None` when the queue is empty. Stepping through the
+    /// whole horizon one event at a time is bit-identical to one
+    /// [`run_until`](Self::run_until) call.
+    pub fn step(&self) -> Option<EventRecord> {
+        let mut st = self.state.lock();
+        let rec = st.engine.pop_next()?;
+        self.clock.advance_to(rec.at);
+        self.dispatch(&mut st, &rec);
+        Some(rec)
+    }
+
+    /// Firing time of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.state.lock().engine.next_time()
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.state.lock().engine.pending_len()
+    }
+
+    /// Snapshot of this provider's event counters (scheduled / dispatched
+    /// / cancelled, by kind).
+    pub fn event_counters(&self) -> EventCounters {
+        self.state.lock().engine.counters()
+    }
+
+    /// Turn event-log recording on or off (off by default).
+    pub fn record_events(&self, on: bool) {
+        self.state.lock().engine.set_recording(on);
+    }
+
+    /// Take the recorded event log (dispatch order). Empty when recording
+    /// is off.
+    pub fn take_event_log(&self) -> Vec<EventRecord> {
+        self.state.lock().engine.take_log()
+    }
+
+    // --- capacity & observability opt-ins ----------------------------
+
+    /// Cap the shared pool for a type: launches reserve from the pool and
+    /// fail with [`CloudError::CapacityExhausted`] when it runs dry;
+    /// terminations release back and emit `CapacityChanged` events.
+    pub fn set_capacity(&self, itype: InstanceType, cap: u32) {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        st.capacity.set_cap(itype, cap);
+        if let Some(available) = st.capacity.available(itype) {
+            st.engine.schedule(now, SimEvent::CapacityChanged { itype, available });
+        }
+    }
+
+    /// Instances currently available in the shared pool, `None` for
+    /// uncapped types.
+    pub fn capacity_available(&self, itype: InstanceType) -> Option<u32> {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        self.drain_due(&mut st, now);
+        st.capacity.available(itype)
+    }
+
+    /// Start periodic `SpotPriceChanged` ticks for the given types (one
+    /// immediate tick each, then every `period`). Prices land in the
+    /// metric store under `spot/price/<type>`.
+    pub fn watch_spot_prices(&self, types: &[InstanceType], period: SimDuration) {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        st.market.tick = Some(period);
+        for &itype in types {
+            let hourly_usd = self.spot.hourly_usd(itype, now);
+            st.engine.schedule(now, SimEvent::SpotPriceChanged { itype, hourly_usd });
+        }
+    }
+
+    /// Start a periodic `MetricTick` (first fires one `period` from now)
+    /// that samples engine gauges into the metric store.
+    pub fn enable_metric_ticks(&self, period: SimDuration) {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        st.engine.schedule(now + period, SimEvent::MetricTick { period });
+    }
+
+    // --- cluster lifecycle -------------------------------------------
+
     /// Request a cluster of `n` × `itype`. Returns immediately with the
-    /// handle; the cluster is Provisioning until its ready event fires.
+    /// handle; the cluster is Provisioning until its `ProvisioningDone` /
+    /// `WarmupDone` events fire.
     pub fn launch(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
         if n == 0 {
             return Err(CloudError::EmptyCluster);
@@ -161,19 +573,34 @@ impl SimCloud {
         }
         let now = self.clock.now();
         let mut st = self.state.lock();
-        let id = ClusterId(st.next_id);
-        st.next_id += 1;
-        let delay = self.provisioning.sample_delay(itype, n, &mut st.rng);
-        let inner = ClusterInner::new(id, itype, n, now, delay);
-        let ready_at = inner.ready_at;
-        st.clusters.insert(id, inner);
-        st.events.schedule(ready_at, CloudEvent::ClusterReady(id));
+        // Deliver anything already due so releases from other tenants'
+        // terminations are visible to the reservation below.
+        self.drain_due(&mut st, now);
+        match st.capacity.try_reserve(itype, n) {
+            Err(available) => {
+                return Err(CloudError::CapacityExhausted { itype, requested: n, available })
+            }
+            Ok(Some(available)) => {
+                st.engine.schedule(now, SimEvent::CapacityChanged { itype, available });
+            }
+            Ok(None) => {}
+        }
+        let id = ClusterId(st.fleet.next_id);
+        st.fleet.next_id += 1;
+        let delay = self.provisioning.sample_delay(itype, n, &mut st.fleet.rng);
+        let mut inner = ClusterInner::new(id, itype, n, now, delay);
+        inner.split_warmup(self.provisioning.warmup_frac);
+        let boot_done_at = inner.boot_done_at;
+        st.fleet.clusters.insert(id, inner);
+        let ev = st.engine.schedule(boot_done_at, SimEvent::ProvisioningDone { cluster: id });
+        st.fleet.pending.insert(id, vec![ev]);
         Ok(Cluster { id, itype, n })
     }
 
     /// Request a cluster on the spot market: the same lifecycle as
     /// [`launch`](Self::launch) but billed at the (deeply discounted)
-    /// current spot rate, and subject to revocation mid-run.
+    /// current spot rate, and subject to revocation mid-run — the market's
+    /// verdict is scheduled up front as a `SpotRevoked` event.
     pub fn launch_spot(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
         let handle = self.launch(itype, n)?;
         let now = self.clock.now();
@@ -182,78 +609,90 @@ impl SimCloud {
         let revoke_at =
             self.spot.revocation_within(itype, n, now, SimDuration::from_hours(72.0), handle.id.0);
         let mut st = self.state.lock();
-        let c = st.clusters.get_mut(&handle.id).expect("just launched");
-        c.spot_hourly_usd = Some(rate);
-        c.revoke_at = revoke_at;
-        Ok(handle)
-    }
-
-    /// The spot market (for price queries).
-    pub fn spot_market(&self) -> &SpotMarket {
-        &self.spot
-    }
-
-    /// Drain events due up to the current time.
-    fn drain_events(&self, st: &mut State) {
-        let now = self.clock.now();
-        while let Some((at, ev)) = st.events.pop_due(now) {
-            match ev {
-                CloudEvent::ClusterReady(id) => {
-                    if let Some(c) = st.clusters.get_mut(&id) {
-                        c.poll(at);
-                    }
-                }
-            }
+        {
+            let c = st.fleet.clusters.get_mut(&handle.id).expect("just launched");
+            c.spot_hourly_usd = Some(rate);
+            c.revoke_at = revoke_at;
         }
+        if let Some(at) = revoke_at {
+            let ev = st.engine.schedule(at, SimEvent::SpotRevoked { cluster: handle.id });
+            st.fleet.pending.entry(handle.id).or_default().push(ev);
+        }
+        Ok(handle)
     }
 
     /// Current state of a cluster.
     pub fn cluster_state(&self, cluster: &Cluster) -> Result<ClusterState, CloudError> {
+        let now = self.clock.now();
         let mut st = self.state.lock();
-        self.drain_events(&mut st);
-        st.clusters.get(&cluster.id).map(|c| c.state).ok_or(CloudError::UnknownCluster(cluster.id))
+        self.drain_due(&mut st, now);
+        st.fleet
+            .clusters
+            .get(&cluster.id)
+            .map(|c| c.state)
+            .ok_or(CloudError::UnknownCluster(cluster.id))
     }
 
     /// Block (in virtual time) until the cluster is Running, advancing the
-    /// clock to its ready time. Returns the provisioning delay experienced.
+    /// clock to its ready time (and firing everything due on the way).
+    /// Returns the provisioning delay experienced.
     pub fn wait_until_running(&self, cluster: &Cluster) -> SimDuration {
-        let st = self.state.lock();
-        let ready_at = st
-            .clusters
-            .get(&cluster.id)
-            .map(|c| c.ready_at)
-            .expect("wait_until_running: unknown cluster");
-        drop(st);
-        self.clock.advance_to(ready_at);
+        let ready_at = {
+            let st = self.state.lock();
+            st.fleet
+                .clusters
+                .get(&cluster.id)
+                .map(|c| c.ready_at)
+                .expect("wait_until_running: unknown cluster")
+        };
+        self.run_until(ready_at);
+        let now = self.clock.now();
         let mut st = self.state.lock();
-        self.drain_events(&mut st);
-        let c = st.clusters.get(&cluster.id).expect("cluster vanished");
+        self.drain_due(&mut st, now);
+        let c = st.fleet.clusters.get(&cluster.id).expect("cluster vanished");
         c.provisioning_delay()
     }
 
-    /// Run work on a Running cluster for `d` of virtual time, advancing the
-    /// clock. A spot cluster whose revocation falls inside the window is
-    /// terminated (and billed) at the revocation instant, the clock stops
-    /// there, and `SpotRevoked` is returned.
+    /// Run work on a Running cluster for `d` of virtual time, advancing
+    /// the clock and firing every event inside the window. If the spot
+    /// market revokes *this* cluster mid-window, the revocation event
+    /// terminates and bills it, the clock stops at the revocation instant,
+    /// and `SpotRevoked` is returned.
     pub fn run_for(&self, cluster: &Cluster, d: SimDuration) -> Result<(), CloudError> {
-        let revoke_at = {
-            let mut st = self.state.lock();
-            self.drain_events(&mut st);
-            let c = st.clusters.get(&cluster.id).ok_or(CloudError::UnknownCluster(cluster.id))?;
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        self.drain_due(&mut st, now);
+        {
+            let c =
+                st.fleet.clusters.get(&cluster.id).ok_or(CloudError::UnknownCluster(cluster.id))?;
             if c.state != ClusterState::Running {
+                // A cluster the market already killed reports the
+                // revocation rather than a generic state error, so retry
+                // logic keeps working however the caller learns of it.
+                if c.revoked {
+                    let at = c.revoke_at.unwrap_or(now);
+                    return Err(CloudError::SpotRevoked { cluster: cluster.id, at });
+                }
                 return Err(CloudError::NotRunning(cluster.id, c.state));
             }
-            c.revoke_at
-        };
+        }
         let end = self.clock.now() + d;
-        if let Some(at) = revoke_at {
-            if at <= end {
-                self.clock.advance_to(at);
-                self.terminate(cluster);
+        while let Some(rec) = st.engine.pop_due(end) {
+            self.clock.advance_to(rec.at);
+            let revokes_us = matches!(
+                rec.event,
+                SimEvent::SpotRevoked { cluster: hit } if hit == cluster.id
+            );
+            self.dispatch(&mut st, &rec);
+            if revokes_us {
+                // Let the same-instant settlement (billing, capacity
+                // release) land before handing control back.
+                let at = rec.at;
+                self.drain_due(&mut st, at);
                 return Err(CloudError::SpotRevoked { cluster: cluster.id, at });
             }
         }
-        self.clock.advance(d);
+        self.clock.advance_to(end);
         Ok(())
     }
 
@@ -265,7 +704,10 @@ impl SimCloud {
     /// Terminate a cluster retroactively at `end` (which must not precede
     /// its launch or exceed the current time). This is how concurrent
     /// clusters are settled: the caller advances the shared clock to the
-    /// *latest* finisher and bills each cluster only for its own span.
+    /// *latest* finisher and bills each cluster only for its own span. The
+    /// settlement itself is a `ClusterTerminated` event, so billing and
+    /// capacity release flow through the same pipeline as event-driven
+    /// terminations.
     ///
     /// # Panics
     /// Panics if `end` is before the cluster's launch or after `now`.
@@ -273,27 +715,28 @@ impl SimCloud {
         let now = self.clock.now();
         assert!(end <= now, "terminate_at: end {end:?} is in the future (now {now:?})");
         let mut st = self.state.lock();
-        self.drain_events(&mut st);
-        if let Some(c) = st.clusters.get_mut(&cluster.id) {
-            if c.state != ClusterState::Terminated {
-                assert!(end >= c.requested_at, "terminate_at: end precedes the cluster's launch");
-                c.terminate(end);
-                self.billing.record(UsageRecord {
-                    itype: c.itype,
-                    n: c.n,
-                    start: c.requested_at,
-                    end,
-                    hourly_usd: c.spot_hourly_usd,
-                });
+        self.drain_due(&mut st, now);
+        {
+            let Some(c) = st.fleet.clusters.get(&cluster.id) else { return };
+            if c.state == ClusterState::Terminated {
+                return;
             }
+            assert!(end >= c.requested_at, "terminate_at: end precedes the cluster's launch");
         }
+        {
+            let State { engine, fleet, .. } = &mut *st;
+            fleet.settle(cluster.id, end, TerminationCause::Requested, engine);
+        }
+        // The settlement event is due (end ≤ now): deliver it immediately
+        // so the bill is visible when this call returns.
+        self.drain_due(&mut st, now);
     }
 
     /// Provisioning delay a cluster experiences (the simulator knows it at
     /// launch time). `None` for unknown clusters.
     pub fn provisioning_delay(&self, cluster: &Cluster) -> Option<SimDuration> {
         let st = self.state.lock();
-        st.clusters.get(&cluster.id).map(|c| c.provisioning_delay())
+        st.fleet.clusters.get(&cluster.id).map(|c| c.provisioning_delay())
     }
 
     /// The instant at or before `t` when the spot market revokes this
@@ -305,7 +748,7 @@ impl SimCloud {
     /// it has to ask for the market's verdict instead.
     pub fn revocation_before(&self, cluster: &Cluster, t: SimTime) -> Option<SimTime> {
         let st = self.state.lock();
-        st.clusters.get(&cluster.id).and_then(|c| c.revoke_at).filter(|&at| at <= t)
+        st.fleet.clusters.get(&cluster.id).and_then(|c| c.revoke_at).filter(|&at| at <= t)
     }
 
     /// Time of the simulation, convenience passthrough.
@@ -315,7 +758,7 @@ impl SimCloud {
 
     /// Number of clusters ever launched.
     pub fn n_clusters(&self) -> usize {
-        self.state.lock().clusters.len()
+        self.state.lock().fleet.clusters.len()
     }
 }
 
@@ -418,6 +861,11 @@ mod tests {
         assert!((cloud.billing().instance_hours() - 3.0).abs() < 1e-9);
         let want = 0.17 * 3.0;
         assert!((cloud.billing().total_cost().dollars() - want).abs() < 1e-9);
+        // Attribution: the ledger knows which cluster accrued what.
+        assert!(
+            (cloud.billing().cost_for_cluster(a.id).dollars() - 0.17).abs() < 1e-9,
+            "cluster a billed its own hour"
+        );
     }
 
     #[test]
@@ -506,5 +954,118 @@ mod tests {
         let a = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
         let b = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
         assert_ne!(a.id, b.id);
+    }
+
+    // --- event-engine behaviour --------------------------------------
+
+    #[test]
+    fn lifecycle_flows_through_events() {
+        let cloud = SimCloud::with_provisioning(
+            11,
+            ProvisioningModel { jitter: 0.0, ..Default::default() },
+        );
+        cloud.record_events(true);
+        let c = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
+        cloud.wait_until_running(&c);
+        cloud.run_for(&c, SimDuration::from_mins(10.0)).unwrap();
+        cloud.terminate(&c);
+        let kinds: Vec<EventKind> = cloud.take_event_log().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::ProvisioningDone, EventKind::WarmupDone, EventKind::ClusterTerminated]
+        );
+        let counters = cloud.event_counters();
+        assert_eq!(counters.dispatched(EventKind::ProvisioningDone), 1);
+        assert_eq!(counters.dispatched(EventKind::ClusterTerminated), 1);
+        assert_eq!(counters.total_cancelled(), 0);
+    }
+
+    #[test]
+    fn step_walks_one_event_at_a_time() {
+        let cloud = SimCloud::with_provisioning(
+            12,
+            ProvisioningModel { jitter: 0.0, ..Default::default() },
+        );
+        let c = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
+        assert_eq!(cloud.pending_events(), 1);
+        let first = cloud.step().expect("provisioning event pending");
+        assert_eq!(first.event.kind(), EventKind::ProvisioningDone);
+        assert_eq!(cloud.now(), first.at);
+        let second = cloud.step().expect("warmup event pending");
+        assert_eq!(second.event.kind(), EventKind::WarmupDone);
+        assert_eq!(cloud.cluster_state(&c).unwrap(), ClusterState::Running);
+        assert!(cloud.step().is_none());
+    }
+
+    #[test]
+    fn terminating_early_cancels_pending_lifecycle_events() {
+        let cloud = SimCloud::new(13);
+        let c = cloud.launch(InstanceType::C5Xlarge, 4).unwrap();
+        cloud.clock().advance(SimDuration::from_secs(30.0));
+        cloud.terminate(&c);
+        let counters = cloud.event_counters();
+        // The boot-finished event never fires: termination cancelled it.
+        assert_eq!(counters.cancelled(EventKind::ProvisioningDone), 1);
+        assert_eq!(counters.dispatched(EventKind::ProvisioningDone), 0);
+        assert_eq!(cloud.pending_events(), 0);
+    }
+
+    #[test]
+    fn warmup_split_inserts_warming_state() {
+        let model = ProvisioningModel { jitter: 0.0, warmup_frac: 0.5, ..Default::default() };
+        let cloud = SimCloud::with_provisioning(14, model);
+        let c = cloud.launch(InstanceType::C5Xlarge, 1).unwrap();
+        // Boot finishes halfway through the 2-minute delay.
+        cloud.run_until(SimTime::from_secs(90.0));
+        assert_eq!(cloud.cluster_state(&c).unwrap(), ClusterState::Warming);
+        cloud.run_until(SimTime::from_secs(120.0));
+        assert_eq!(cloud.cluster_state(&c).unwrap(), ClusterState::Running);
+    }
+
+    #[test]
+    fn capacity_ledger_shared_between_tenants() {
+        let cloud = SimCloud::with_provisioning(
+            15,
+            ProvisioningModel { jitter: 0.0, ..Default::default() },
+        );
+        cloud.set_capacity(InstanceType::C5Xlarge, 10);
+        let job_a = cloud.clone();
+        let job_b = cloud.clone();
+        let a = job_a.launch(InstanceType::C5Xlarge, 8).unwrap();
+        assert_eq!(cloud.capacity_available(InstanceType::C5Xlarge), Some(2));
+        let err = job_b.launch(InstanceType::C5Xlarge, 8).unwrap_err();
+        assert!(matches!(err, CloudError::CapacityExhausted { requested: 8, available: 2, .. }));
+        // Small ask still fits; the big one fits after A terminates.
+        let b_small = job_b.launch(InstanceType::C5Xlarge, 2).unwrap();
+        job_a.wait_until_running(&a);
+        job_a.terminate(&a);
+        assert_eq!(cloud.capacity_available(InstanceType::C5Xlarge), Some(8));
+        let b_big = job_b.launch(InstanceType::C5Xlarge, 8).unwrap();
+        job_b.terminate(&b_small);
+        job_b.terminate(&b_big);
+        assert_eq!(cloud.capacity_available(InstanceType::C5Xlarge), Some(10));
+    }
+
+    #[test]
+    fn spot_price_ticks_land_in_metrics() {
+        let cloud = SimCloud::new(16);
+        cloud.watch_spot_prices(&[InstanceType::C5Xlarge], SimDuration::from_mins(5.0));
+        cloud.run_until(SimTime::from_secs(3600.0));
+        let series = cloud.metrics().series("spot/price/c5.xlarge");
+        // One immediate tick plus one every 5 minutes.
+        assert_eq!(series.len(), 13);
+        let market = cloud.spot_market();
+        for (at, price) in series {
+            assert_eq!(price, market.hourly_usd(InstanceType::C5Xlarge, at));
+        }
+    }
+
+    #[test]
+    fn metric_ticks_sample_queue_depth() {
+        let cloud = SimCloud::new(17);
+        cloud.enable_metric_ticks(SimDuration::from_mins(10.0));
+        cloud.run_until(SimTime::from_secs(3600.0));
+        let series = cloud.metrics().series("sim/pending_events");
+        assert_eq!(series.len(), 6);
     }
 }

@@ -1,0 +1,699 @@
+//! Deterministic discrete-event core.
+//!
+//! Everything that *happens* in the simulated cloud — a cluster finishing
+//! its boot, the framework finishing warm-up, the spot market revoking
+//! capacity or repricing, a capacity gauge moving, a termination being
+//! billed — is a typed [`SimEvent`] scheduled on one binary-heap queue
+//! ordered by `(SimTime, seq)`. The `seq` counter is assigned at schedule
+//! time, so events that fire at the same instant drain in the order they
+//! were scheduled: the whole simulation is a pure function of its inputs,
+//! which is what lets golden digests pin it bit-for-bit.
+//!
+//! The engine itself ([`SimEngine`]) knows nothing about clouds. Domain
+//! logic lives in components (see [`crate::provider`]) that subscribe to
+//! event kinds; the provider façade pops due events and dispatches each to
+//! its subscribers in registration order. Components react by mutating
+//! their own state and scheduling further events through [`EngineCtx`].
+//!
+//! Modelled after dslab-style simulation cores (see SNIPPETS.md): a
+//! min-ordered event heap, integer tie-break, handler registry, explicit
+//! `step()` / drain-to-horizon driving.
+
+use crate::billing::Billing;
+use crate::catalog::InstanceType;
+use crate::cluster::ClusterId;
+use crate::metrics::MetricStore;
+use crate::time::{SimClock, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
+
+/// Number of distinct [`EventKind`]s (array-table size).
+pub const N_EVENT_KINDS: usize = 7;
+
+/// Discriminant of a [`SimEvent`], used for subscriptions and counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum EventKind {
+    /// Instances finished booting; the cluster starts framework warm-up.
+    ProvisioningDone,
+    /// Framework warm-up finished; the cluster is Running.
+    WarmupDone,
+    /// The spot market reclaimed a cluster's capacity.
+    SpotRevoked,
+    /// A watched instance type's spot price moved to a new value.
+    SpotPriceChanged,
+    /// The shared capacity ledger's availability for a type changed.
+    CapacityChanged,
+    /// A cluster's usage span is settled (drives billing + capacity release).
+    ClusterTerminated,
+    /// Periodic observability tick (gauge sampling).
+    MetricTick,
+}
+
+impl EventKind {
+    /// Every kind, in stable declaration order.
+    pub const ALL: [EventKind; N_EVENT_KINDS] = [
+        EventKind::ProvisioningDone,
+        EventKind::WarmupDone,
+        EventKind::SpotRevoked,
+        EventKind::SpotPriceChanged,
+        EventKind::CapacityChanged,
+        EventKind::ClusterTerminated,
+        EventKind::MetricTick,
+    ];
+
+    /// Stable display name (used by `mlcd stats` and the event goldens).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::ProvisioningDone => "provisioning_done",
+            EventKind::WarmupDone => "warmup_done",
+            EventKind::SpotRevoked => "spot_revoked",
+            EventKind::SpotPriceChanged => "spot_price_changed",
+            EventKind::CapacityChanged => "capacity_changed",
+            EventKind::ClusterTerminated => "cluster_terminated",
+            EventKind::MetricTick => "metric_tick",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            EventKind::ProvisioningDone => 0,
+            EventKind::WarmupDone => 1,
+            EventKind::SpotRevoked => 2,
+            EventKind::SpotPriceChanged => 3,
+            EventKind::CapacityChanged => 4,
+            EventKind::ClusterTerminated => 5,
+            EventKind::MetricTick => 6,
+        }
+    }
+}
+
+/// Why a cluster's usage span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TerminationCause {
+    /// The owner asked for termination (`terminate` / `terminate_at`).
+    Requested,
+    /// The spot market revoked the capacity.
+    Revoked,
+}
+
+/// A typed simulation event.
+///
+/// Payloads carry everything a handler needs, so components stay decoupled:
+/// e.g. [`SimEvent::ClusterTerminated`] carries the full usage span and
+/// rate, letting the billing component record it without reaching into the
+/// fleet's cluster table.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum SimEvent {
+    /// Instance boot finished for a cluster.
+    ProvisioningDone {
+        /// The cluster that finished booting.
+        cluster: ClusterId,
+    },
+    /// Framework warm-up finished; the cluster becomes Running.
+    WarmupDone {
+        /// The cluster that finished warming up.
+        cluster: ClusterId,
+    },
+    /// The spot market revoked a cluster.
+    SpotRevoked {
+        /// The revoked cluster.
+        cluster: ClusterId,
+    },
+    /// A watched type's spot price was re-sampled.
+    SpotPriceChanged {
+        /// The repriced instance type.
+        itype: InstanceType,
+        /// New spot hourly price per instance, USD.
+        hourly_usd: f64,
+    },
+    /// The capacity ledger's availability for a type changed.
+    CapacityChanged {
+        /// The affected instance type.
+        itype: InstanceType,
+        /// Instances still available after the change.
+        available: u32,
+    },
+    /// A cluster's usage span is settled.
+    ClusterTerminated {
+        /// The terminated cluster.
+        cluster: ClusterId,
+        /// Instance type of the span.
+        itype: InstanceType,
+        /// Node count of the span.
+        n: u32,
+        /// Span start (the launch request time — provisioning is billed).
+        start: SimTime,
+        /// Span end.
+        end: SimTime,
+        /// Locked-in spot rate, or `None` for the on-demand list price.
+        hourly_usd: Option<f64>,
+        /// Why the span ended.
+        cause: TerminationCause,
+    },
+    /// Periodic observability tick; reschedules itself every `period`.
+    MetricTick {
+        /// Tick period.
+        period: SimDuration,
+    },
+}
+
+impl SimEvent {
+    /// The event's kind discriminant.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            SimEvent::ProvisioningDone { .. } => EventKind::ProvisioningDone,
+            SimEvent::WarmupDone { .. } => EventKind::WarmupDone,
+            SimEvent::SpotRevoked { .. } => EventKind::SpotRevoked,
+            SimEvent::SpotPriceChanged { .. } => EventKind::SpotPriceChanged,
+            SimEvent::CapacityChanged { .. } => EventKind::CapacityChanged,
+            SimEvent::ClusterTerminated { .. } => EventKind::ClusterTerminated,
+            SimEvent::MetricTick { .. } => EventKind::MetricTick,
+        }
+    }
+}
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId(u64);
+
+/// An event together with its firing time and schedule-order sequence
+/// number — the unit the queue stores, the dispatcher delivers and the
+/// event log records.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EventRecord {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Schedule-order sequence number (the deterministic tie-break).
+    pub seq: u64,
+    /// The payload.
+    pub event: SimEvent,
+}
+
+/// Heap entry. `BinaryHeap` is a max-heap, so the ordering is inverted:
+/// the earliest `(at, seq)` pops first.
+#[derive(Debug)]
+struct Queued(EventRecord);
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl Eq for Queued {}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .at
+            .as_secs()
+            .total_cmp(&self.0.at.as_secs())
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Identity of a component registered with the engine. The provider owns
+/// one component per id and routes dispatches to it; an enum (rather than
+/// trait objects in a map) keeps dispatch allocation-free and the borrow
+/// checker able to split the provider's state into disjoint handlers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentId {
+    /// Cluster lifecycle state machine.
+    Fleet,
+    /// Spot market price process.
+    Market,
+    /// Shared capacity ledger.
+    Capacity,
+    /// Billing ledger writer.
+    Billing,
+    /// Metric gauge writer.
+    Metrics,
+}
+
+/// Mutable context handed to a component while it handles one event.
+pub struct EngineCtx<'a> {
+    /// The engine, for scheduling or cancelling further events.
+    pub engine: &'a mut SimEngine,
+    /// The shared virtual clock (already advanced to the event's time).
+    pub clock: &'a SimClock,
+    /// The billing ledger.
+    pub billing: &'a Billing,
+    /// The metric store.
+    pub metrics: &'a MetricStore,
+}
+
+/// An event handler registered with the engine.
+///
+/// Handlers run with the clock already advanced to the event's firing time
+/// and may schedule follow-up events (at the same instant or later) through
+/// the context.
+pub trait Component {
+    /// This component's registry identity.
+    fn id(&self) -> ComponentId;
+    /// Handle one dispatched event.
+    fn on_event(&mut self, rec: &EventRecord, ctx: &mut EngineCtx<'_>);
+}
+
+/// Maximum subscribers per event kind (registration asserts this bound).
+const MAX_SUBSCRIBERS: usize = 4;
+
+/// Fixed-capacity, copyable set of subscribers for one event kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubscriberSet {
+    ids: [Option<ComponentId>; MAX_SUBSCRIBERS],
+    len: usize,
+}
+
+impl SubscriberSet {
+    fn push(&mut self, id: ComponentId) {
+        match self.ids.get_mut(self.len) {
+            Some(slot) => {
+                *slot = Some(id);
+                self.len += 1;
+            }
+            None => unreachable!("subscribe() bounds registrations per kind"),
+        }
+    }
+
+    /// Subscribers in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.ids.iter().take(self.len).filter_map(|c| *c)
+    }
+
+    /// Number of subscribers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no component subscribed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Scheduled / dispatched / cancelled counts, broken down by event kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    scheduled: [u64; N_EVENT_KINDS],
+    dispatched: [u64; N_EVENT_KINDS],
+    cancelled: [u64; N_EVENT_KINDS],
+}
+
+/// One `u64` counter per event kind, in declaration order.
+type KindCounts = [u64; N_EVENT_KINDS];
+
+/// Read the per-kind slot of a counter array. `kind.index()` is in bounds
+/// by construction; `get` keeps the hot path free of panicking indexing.
+fn slot(arr: &KindCounts, kind: EventKind) -> u64 {
+    arr.get(kind.index()).copied().unwrap_or(0)
+}
+
+/// Increment the per-kind slot of a counter array.
+fn bump(arr: &mut KindCounts, kind: EventKind) {
+    if let Some(c) = arr.get_mut(kind.index()) {
+        *c += 1;
+    }
+}
+
+/// Increment the per-kind slot of a process-wide atomic counter array.
+fn bump_global(arr: &[AtomicU64; N_EVENT_KINDS], kind: EventKind) {
+    if let Some(c) = arr.get(kind.index()) {
+        c.fetch_add(1, AtomicOrd::Relaxed);
+    }
+}
+
+/// Read the per-kind slot of a process-wide atomic counter array.
+fn load_global(arr: &[AtomicU64; N_EVENT_KINDS], kind: EventKind) -> u64 {
+    arr.get(kind.index()).map(|c| c.load(AtomicOrd::Relaxed)).unwrap_or(0)
+}
+
+impl EventCounters {
+    /// Events scheduled of a kind.
+    pub fn scheduled(&self, kind: EventKind) -> u64 {
+        slot(&self.scheduled, kind)
+    }
+
+    /// Events dispatched of a kind.
+    pub fn dispatched(&self, kind: EventKind) -> u64 {
+        slot(&self.dispatched, kind)
+    }
+
+    /// Events cancelled of a kind.
+    pub fn cancelled(&self, kind: EventKind) -> u64 {
+        slot(&self.cancelled, kind)
+    }
+
+    /// Total events scheduled.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled.iter().sum()
+    }
+
+    /// Total events dispatched.
+    pub fn total_dispatched(&self) -> u64 {
+        self.dispatched.iter().sum()
+    }
+
+    /// Total events cancelled.
+    pub fn total_cancelled(&self) -> u64 {
+        self.cancelled.iter().sum()
+    }
+
+    /// `(kind, scheduled, dispatched, cancelled)` rows in declaration order.
+    pub fn rows(&self) -> impl Iterator<Item = (EventKind, u64, u64, u64)> + '_ {
+        EventKind::ALL.iter().map(|&k| {
+            (k, slot(&self.scheduled, k), slot(&self.dispatched, k), slot(&self.cancelled, k))
+        })
+    }
+}
+
+/// One event kind's process-wide counter totals, as surfaced by
+/// [`global_event_counters`] (and, through `mlcd-service`, by
+/// `mlcd stats`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimEventCounter {
+    /// Event kind name (see [`EventKind::name`]).
+    pub kind: String,
+    /// Events scheduled across all engines in this process.
+    pub scheduled: u64,
+    /// Events dispatched across all engines in this process.
+    pub dispatched: u64,
+    /// Events cancelled across all engines in this process.
+    pub cancelled: u64,
+}
+
+static GLOBAL_SCHEDULED: [AtomicU64; N_EVENT_KINDS] = [const { AtomicU64::new(0) }; N_EVENT_KINDS];
+static GLOBAL_DISPATCHED: [AtomicU64; N_EVENT_KINDS] = [const { AtomicU64::new(0) }; N_EVENT_KINDS];
+static GLOBAL_CANCELLED: [AtomicU64; N_EVENT_KINDS] = [const { AtomicU64::new(0) }; N_EVENT_KINDS];
+
+/// Process-wide event counter totals, aggregated across every [`SimEngine`]
+/// ever driven in this process (one row per [`EventKind`], in declaration
+/// order). This is observability plumbing for `mlcd stats` — per-engine
+/// numbers come from [`SimEngine::counters`].
+pub fn global_event_counters() -> Vec<SimEventCounter> {
+    EventKind::ALL
+        .iter()
+        .map(|&k| SimEventCounter {
+            kind: k.name().to_owned(),
+            scheduled: load_global(&GLOBAL_SCHEDULED, k),
+            dispatched: load_global(&GLOBAL_DISPATCHED, k),
+            cancelled: load_global(&GLOBAL_CANCELLED, k),
+        })
+        .collect()
+}
+
+/// The deterministic discrete-event engine: a future-event heap ordered by
+/// `(SimTime, seq)`, a subscription registry, per-kind counters and an
+/// optional event log.
+///
+/// The engine does not own a clock or any domain state — the driver (the
+/// provider façade) pops due events, advances the shared clock to each
+/// event's time and dispatches it to the subscribed components.
+#[derive(Debug, Default)]
+pub struct SimEngine {
+    heap: BinaryHeap<Queued>,
+    next_seq: u64,
+    /// Kinds of events still pending, by seq. Doubles as the liveness set
+    /// for cancellation: a cancelled seq is removed here and the heap entry
+    /// is dropped lazily when it reaches the top.
+    pending: BTreeMap<u64, EventKind>,
+    counters: EventCounters,
+    /// `(kind, component)` registrations in subscription order — an ordered
+    /// Vec, not a hash map, so dispatch order is deterministic.
+    registry: Vec<(EventKind, ComponentId)>,
+    log: Option<Vec<EventRecord>>,
+}
+
+impl SimEngine {
+    /// An empty engine with no subscriptions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `component` as a handler for `kind`. Dispatch order among
+    /// subscribers of one kind follows registration order.
+    ///
+    /// # Panics
+    /// Panics if a kind accumulates more than `MAX_SUBSCRIBERS`
+    /// subscribers (a wiring bug, caught at construction time).
+    pub fn subscribe(&mut self, kind: EventKind, component: ComponentId) {
+        let already = self.registry.iter().filter(|(k, _)| *k == kind).count();
+        assert!(already < MAX_SUBSCRIBERS, "too many subscribers for {kind:?}");
+        self.registry.push((kind, component));
+    }
+
+    /// Subscribers for a kind, in registration order.
+    pub fn subscribers(&self, kind: EventKind) -> SubscriberSet {
+        let mut set = SubscriberSet::default();
+        for (k, c) in &self.registry {
+            if *k == kind {
+                set.push(*c);
+            }
+        }
+        set
+    }
+
+    /// Schedule `event` to fire at `at`. Events scheduled for the same
+    /// instant fire in schedule order.
+    pub fn schedule(&mut self, at: SimTime, event: SimEvent) -> EventId {
+        let kind = event.kind();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        bump(&mut self.counters.scheduled, kind);
+        bump_global(&GLOBAL_SCHEDULED, kind);
+        self.pending.insert(seq, kind);
+        self.heap.push(Queued(EventRecord { at, seq, event }));
+        EventId(seq)
+    }
+
+    /// Cancel a pending event. Returns `false` when the event already fired
+    /// or was already cancelled. The heap entry is dropped lazily.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self.pending.remove(&id.0) {
+            Some(kind) => {
+                bump(&mut self.counters.cancelled, kind);
+                bump_global(&GLOBAL_CANCELLED, kind);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Firing time of the next live event, if any.
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.purge_cancelled_top();
+        self.heap.peek().map(|q| q.0.at)
+    }
+
+    /// Pop the next live event if it fires at or before `upto`, counting it
+    /// dispatched and logging it when recording is on.
+    pub fn pop_due(&mut self, upto: SimTime) -> Option<EventRecord> {
+        self.purge_cancelled_top();
+        if self.heap.peek().is_some_and(|q| q.0.at <= upto) {
+            self.pop_live()
+        } else {
+            None
+        }
+    }
+
+    /// Pop the next live event regardless of its firing time (the `step()`
+    /// primitive), counting it dispatched and logging it when recording is
+    /// on.
+    pub fn pop_next(&mut self) -> Option<EventRecord> {
+        self.purge_cancelled_top();
+        if self.heap.peek().is_some() {
+            self.pop_live()
+        } else {
+            None
+        }
+    }
+
+    fn pop_live(&mut self) -> Option<EventRecord> {
+        let rec = self.heap.pop()?.0;
+        self.pending.remove(&rec.seq);
+        let kind = rec.event.kind();
+        bump(&mut self.counters.dispatched, kind);
+        bump_global(&GLOBAL_DISPATCHED, kind);
+        if let Some(log) = &mut self.log {
+            log.push(rec.clone());
+        }
+        Some(rec)
+    }
+
+    /// Drop cancelled entries off the top of the heap so `peek` sees a live
+    /// event.
+    fn purge_cancelled_top(&mut self) {
+        while let Some(q) = self.heap.peek() {
+            if self.pending.contains_key(&q.0.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Number of live pending events.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Snapshot of this engine's counters.
+    pub fn counters(&self) -> EventCounters {
+        self.counters
+    }
+
+    /// Turn event-log recording on or off. Turning it on starts an empty
+    /// log; dispatched events are appended in dispatch order.
+    pub fn set_recording(&mut self, on: bool) {
+        self.log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Take the recorded event log, leaving recording on with a fresh log
+    /// (no-op empty result when recording is off).
+    pub fn take_log(&mut self) -> Vec<EventRecord> {
+        match &mut self.log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn tick() -> SimEvent {
+        SimEvent::MetricTick { period: SimDuration::from_secs(1.0) }
+    }
+
+    fn ready(id: u64) -> SimEvent {
+        SimEvent::ProvisioningDone { cluster: ClusterId(id) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e = SimEngine::new();
+        e.schedule(t(30.0), ready(3));
+        e.schedule(t(10.0), ready(1));
+        e.schedule(t(20.0), ready(2));
+        assert_eq!(e.next_time(), Some(t(10.0)));
+        let order: Vec<u64> = std::iter::from_fn(|| e.pop_due(t(100.0)))
+            .map(|r| match r.event {
+                SimEvent::ProvisioningDone { cluster } => cluster.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_a_tick() {
+        let mut e = SimEngine::new();
+        e.schedule(t(5.0), ready(1));
+        e.schedule(t(5.0), ready(2));
+        e.schedule(t(5.0), ready(3));
+        let seqs: Vec<u64> = std::iter::from_fn(|| e.pop_due(t(5.0))).map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pop_due_respects_horizon() {
+        let mut e = SimEngine::new();
+        e.schedule(t(50.0), tick());
+        assert!(e.pop_due(t(49.9)).is_none());
+        assert_eq!(e.pending_len(), 1);
+        assert!(e.pop_due(t(50.0)).is_some());
+        assert_eq!(e.pending_len(), 0);
+    }
+
+    #[test]
+    fn empty_engine_behaviour() {
+        let mut e = SimEngine::new();
+        assert!(e.next_time().is_none());
+        assert!(e.pop_due(t(1e9)).is_none());
+        assert!(e.pop_next().is_none());
+        assert_eq!(e.pending_len(), 0);
+    }
+
+    #[test]
+    fn cancellation_skips_events_and_counts() {
+        let mut e = SimEngine::new();
+        let a = e.schedule(t(10.0), ready(1));
+        e.schedule(t(20.0), ready(2));
+        assert!(e.cancel(a));
+        assert!(!e.cancel(a), "double cancel is a no-op");
+        assert_eq!(e.next_time(), Some(t(20.0)));
+        let rec = e.pop_due(t(100.0)).unwrap();
+        assert!(matches!(rec.event, SimEvent::ProvisioningDone { cluster: ClusterId(2) }));
+        let c = e.counters();
+        assert_eq!(c.scheduled(EventKind::ProvisioningDone), 2);
+        assert_eq!(c.dispatched(EventKind::ProvisioningDone), 1);
+        assert_eq!(c.cancelled(EventKind::ProvisioningDone), 1);
+        assert_eq!(c.total_scheduled(), 2);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_rejected() {
+        let mut e = SimEngine::new();
+        let a = e.schedule(t(1.0), tick());
+        assert!(e.pop_due(t(1.0)).is_some());
+        assert!(!e.cancel(a));
+        assert_eq!(e.counters().total_cancelled(), 0);
+    }
+
+    #[test]
+    fn subscribers_preserve_registration_order() {
+        let mut e = SimEngine::new();
+        e.subscribe(EventKind::ClusterTerminated, ComponentId::Capacity);
+        e.subscribe(EventKind::ClusterTerminated, ComponentId::Billing);
+        e.subscribe(EventKind::MetricTick, ComponentId::Metrics);
+        let subs: Vec<ComponentId> = e.subscribers(EventKind::ClusterTerminated).iter().collect();
+        assert_eq!(subs, vec![ComponentId::Capacity, ComponentId::Billing]);
+        assert_eq!(e.subscribers(EventKind::MetricTick).len(), 1);
+        assert!(e.subscribers(EventKind::SpotRevoked).is_empty());
+    }
+
+    #[test]
+    fn event_log_records_dispatch_order() {
+        let mut e = SimEngine::new();
+        e.set_recording(true);
+        e.schedule(t(2.0), ready(2));
+        e.schedule(t(1.0), ready(1));
+        while e.pop_due(t(10.0)).is_some() {}
+        let log = e.take_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].at, t(1.0));
+        assert_eq!(log[1].at, t(2.0));
+        assert!(e.take_log().is_empty(), "take_log drains");
+    }
+
+    #[test]
+    fn global_counters_accumulate() {
+        let before = global_event_counters();
+        let mut e = SimEngine::new();
+        e.schedule(t(1.0), tick());
+        e.pop_next();
+        let after = global_event_counters();
+        let idx = EventKind::MetricTick.index();
+        assert_eq!(after[idx].kind, "metric_tick");
+        assert!(after[idx].scheduled > before[idx].scheduled);
+        assert!(after[idx].dispatched > before[idx].dispatched);
+    }
+
+    #[test]
+    fn kind_names_and_indices_are_stable() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(EventKind::ALL.len(), N_EVENT_KINDS);
+    }
+}

@@ -1,0 +1,134 @@
+//! Multi-tenant integration: several concurrent jobs driving one
+//! `SimCloud` — one virtual clock, one capacity ledger, one bill.
+//!
+//! This is the engine-level capability the deployment-planning service
+//! leans on: many sessions share a provider, so provisioning, revocation
+//! and settlement must all flow through the shared event queue rather
+//! than per-job bookkeeping.
+
+use mlcd_cloudsim::catalog::InstanceType;
+use mlcd_cloudsim::cluster::{ClusterState, ProvisioningModel};
+use mlcd_cloudsim::provider::{CloudError, SimCloud};
+use mlcd_cloudsim::sim::EventKind;
+use mlcd_cloudsim::time::{SimDuration, SimTime};
+
+#[test]
+fn two_jobs_share_clock_capacity_and_bill() {
+    let cloud =
+        SimCloud::with_provisioning(99, ProvisioningModel { jitter: 0.0, ..Default::default() });
+    cloud.set_capacity(InstanceType::C5Xlarge, 10);
+    let job_a = cloud.clone();
+    let job_b = cloud.clone();
+
+    // Job A grabs most of the pool; job B's equal ask must bounce with the
+    // true availability in the error.
+    let a = job_a.launch(InstanceType::C5Xlarge, 7).unwrap();
+    match job_b.launch(InstanceType::C5Xlarge, 7) {
+        Err(CloudError::CapacityExhausted { requested: 7, available: 3, .. }) => {}
+        other => panic!("expected CapacityExhausted, got {other:?}"),
+    }
+    let b = job_b.launch(InstanceType::C5Xlarge, 3).unwrap();
+
+    // One clock: waiting on A's cluster moves B's view of time too.
+    job_a.wait_until_running(&a);
+    assert_eq!(job_a.now().as_secs().to_bits(), job_b.now().as_secs().to_bits());
+    job_b.wait_until_running(&b);
+    assert_eq!(job_b.cluster_state(&b).unwrap(), ClusterState::Running);
+
+    // Both run concurrently over the same span; each settles its own end.
+    let t0 = cloud.now();
+    cloud.run_until(t0 + SimDuration::from_hours(2.0));
+    job_a.terminate_at(&a, t0 + SimDuration::from_hours(1.0));
+    job_b.terminate_at(&b, t0 + SimDuration::from_hours(2.0));
+
+    // Termination released capacity back to the shared pool (via events).
+    assert_eq!(cloud.capacity_available(InstanceType::C5Xlarge), Some(10));
+
+    // The shared bill splits per job through cluster attribution, and the
+    // per-job costs sum to the total.
+    let bill = cloud.billing();
+    let (ca, cb) = (bill.cost_for_cluster(a.id), bill.cost_for_cluster(b.id));
+    let rate = InstanceType::C5Xlarge.hourly_usd();
+    let setup_h = job_a.provisioning_delay(&a).unwrap().as_hours();
+    assert!((ca.dollars() - rate * 7.0 * (1.0 + setup_h)).abs() < 1e-9);
+    assert!((cb.dollars() - rate * 3.0 * (2.0 + setup_h)).abs() < 1e-9);
+    assert_eq!((ca + cb).dollars().to_bits(), bill.total_cost().dollars().to_bits());
+}
+
+#[test]
+fn spot_revocation_arrives_as_a_queued_event_other_tenants_observe() {
+    // Find a seed where the big spot cluster is revoked within the window.
+    for seed in 0..50u64 {
+        let cloud = SimCloud::new(seed);
+        let job_a = cloud.clone();
+        let job_b = cloud.clone();
+        let spot = job_a.launch_spot(InstanceType::C5Xlarge, 32).unwrap();
+        let horizon = SimTime::from_secs(0.0) + SimDuration::from_hours(20.0);
+        let Some(revoke_at) = job_a.revocation_before(&spot, horizon) else { continue };
+
+        // Job B never touches the spot cluster: it just advances the
+        // shared clock past the revocation instant. The revocation is a
+        // queued event, so B's run delivers it.
+        let od = job_b.launch(InstanceType::C5Xlarge, 1).unwrap();
+        job_b.wait_until_running(&od);
+        cloud.record_events(true);
+        job_b.run_for(&od, SimDuration::from_hours(20.0)).unwrap();
+
+        let log = cloud.take_event_log();
+        let revocation = log
+            .iter()
+            .find(|r| r.event.kind() == EventKind::SpotRevoked)
+            .expect("revocation dispatched during another tenant's run");
+        assert_eq!(revocation.at.as_secs().to_bits(), revoke_at.as_secs().to_bits());
+        // Settlement followed at the same instant, through the queue.
+        assert!(log.iter().any(|r| {
+            r.event.kind() == EventKind::ClusterTerminated
+                && r.at.as_secs().to_bits() == revoke_at.as_secs().to_bits()
+        }));
+
+        // The revoked cluster is terminated and billed exactly to the
+        // revocation instant, even though job A never polled it.
+        assert_eq!(job_a.cluster_state(&spot).unwrap(), ClusterState::Terminated);
+        let spot_cost = cloud.billing().cost_for_cluster(spot.id);
+        assert!(spot_cost.dollars() > 0.0);
+        // And job A's next interaction reports the revocation.
+        match job_a.run_for(&spot, SimDuration::from_mins(1.0)) {
+            Err(CloudError::SpotRevoked { at, .. }) => {
+                assert_eq!(at.as_secs().to_bits(), revoke_at.as_secs().to_bits());
+            }
+            other => panic!("expected SpotRevoked, got {other:?}"),
+        }
+        return;
+    }
+    panic!("no revocation in 50 seeds for a 32-node 20-hour spot hold");
+}
+
+#[test]
+fn three_jobs_interleaved_stepping_is_deterministic() {
+    let run = || {
+        let cloud = SimCloud::with_provisioning(
+            5,
+            ProvisioningModel { jitter: 0.05, ..Default::default() },
+        );
+        cloud.set_capacity(InstanceType::P2Xlarge, 6);
+        let jobs: Vec<SimCloud> = (0..3).map(|_| cloud.clone()).collect();
+        let mut handles = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            handles.push(job.launch(InstanceType::P2Xlarge, i as u32 + 1).unwrap());
+        }
+        // Drain everything one event at a time from alternating tenants.
+        let mut i = 0;
+        while jobs[i % 3].step().is_some() {
+            i += 1;
+        }
+        for (job, h) in jobs.iter().zip(&handles) {
+            job.terminate(h);
+        }
+        (
+            cloud.now().as_secs().to_bits(),
+            cloud.billing().total_cost().dollars().to_bits(),
+            cloud.event_counters(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -529,6 +529,19 @@ fn stats(opts: &Opts) {
         println!("journal records {}", n("journal_records"));
         println!("checkpoints     {}", n("journal_checkpoints"));
     }
+    if let Some(rows) = s["sim_events"].as_array() {
+        println!("sim events      kind                 sched    disp  cancel");
+        for row in rows {
+            let c = |key: &str| row[key].as_u64().unwrap_or(0);
+            println!(
+                "                {:<18} {:>7} {:>7} {:>7}",
+                row["kind"].as_str().unwrap_or("?"),
+                c("scheduled"),
+                c("dispatched"),
+                c("cancelled")
+            );
+        }
+    }
 }
 
 fn shutdown(opts: &Opts) {

@@ -104,7 +104,9 @@ impl CloudInterface for SimCloud {
         SimCloud::terminate_at(self, cluster, end)
     }
     fn skip_to(&self, t: SimTime) {
-        self.clock().advance_to(t);
+        // Run the event engine forward rather than just moving the clock,
+        // so due lifecycle events (e.g. spot revocations) are delivered.
+        self.run_until(t);
     }
     fn launch_spot(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
         SimCloud::launch_spot(self, itype, n)

@@ -288,6 +288,10 @@ pub struct ServiceStats {
     pub journal_records: u64,
     /// Commit-log checkpoints (fsync session files + truncate log).
     pub journal_checkpoints: u64,
+    /// Simulator event counters — one row per event kind with the
+    /// process-wide scheduled/dispatched/cancelled totals, aggregated
+    /// across every `SimEngine` the server has driven.
+    pub sim_events: Vec<mlcd_cloudsim::SimEventCounter>,
 }
 
 /// One session row of a `status` report.
@@ -398,6 +402,24 @@ mod tests {
         assert_eq!(spec.max_nodes, 50);
         assert!(spec.budget.is_none() && spec.deadline_hours.is_none() && spec.types.is_none());
         assert!(matches!(spec.scenario(), Ok(Scenario::FastestUnlimited)));
+    }
+
+    #[test]
+    fn service_stats_round_trip_with_sim_events() {
+        let stats = ServiceStats {
+            live_sessions: 2,
+            sim_events: vec![mlcd_cloudsim::SimEventCounter {
+                kind: "provisioning_done".into(),
+                scheduled: 5,
+                dispatched: 4,
+                cancelled: 1,
+            }],
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"sim_events\""), "{json}");
+        let back: ServiceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
     }
 
     #[test]

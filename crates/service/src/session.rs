@@ -1067,6 +1067,7 @@ impl SessionManager {
             journal_groups: commit.groups,
             journal_records: commit.records,
             journal_checkpoints: commit.checkpoints,
+            sim_events: mlcd_cloudsim::global_event_counters(),
         }
     }
 
@@ -1772,6 +1773,16 @@ mod tests {
         assert!(stats.journal_groups >= 1, "appends must have flowed through the committer");
         // Header + events + terminal all went through the shared log.
         assert!(stats.journal_records >= 3);
+        // One simulator-counter row per event kind, in declaration order,
+        // and the session's search must have dispatched lifecycle events.
+        let kinds: Vec<&str> = stats.sim_events.iter().map(|r| r.kind.as_str()).collect();
+        let expected: Vec<&str> = mlcd_cloudsim::EventKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(kinds, expected);
+        assert!(
+            stats.sim_events.iter().any(|r| r.dispatched > 0),
+            "running a search must dispatch simulator events: {:?}",
+            stats.sim_events
+        );
         let _ = std::fs::remove_dir_all(&jdir);
     }
 

@@ -1,0 +1,195 @@
+//! Golden event-stream snapshots for the cloudsim discrete-event engine.
+//!
+//! Each pinned scenario drives `SimCloud` with event recording on and
+//! renders the dispatched event stream — every timestamp and payload f64
+//! as its IEEE-754 bit pattern in hex — plus the final billing ledger.
+//! Any change to event ordering, tie-breaking, payloads or settlement
+//! arithmetic shows up here as a diff, down to the last ulp.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! MLCD_UPDATE_GOLDEN=1 cargo test --test golden_cloudsim
+//! ```
+
+use mlcd_cloudsim::catalog::InstanceType;
+use mlcd_cloudsim::cluster::ProvisioningModel;
+use mlcd_cloudsim::provider::{CloudError, SimCloud};
+use mlcd_cloudsim::sim::{EventRecord, SimEvent};
+use mlcd_cloudsim::time::{SimDuration, SimTime};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const GOLDEN_PATH: &str = "tests/golden/cloudsim_events.txt";
+
+const SEEDS: [u64; 2] = [7, 21];
+
+/// Hex bit pattern of an f64 — the ulp-exact rendering the digest pins.
+fn hx(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Render one dispatched event, payload floats as bit patterns.
+fn render_event(rec: &EventRecord) -> String {
+    let body = match &rec.event {
+        SimEvent::ProvisioningDone { cluster } => format!("provisioning_done {cluster}"),
+        SimEvent::WarmupDone { cluster } => format!("warmup_done {cluster}"),
+        SimEvent::SpotRevoked { cluster } => format!("spot_revoked {cluster}"),
+        SimEvent::SpotPriceChanged { itype, hourly_usd } => {
+            format!("spot_price_changed {itype} rate={}", hx(*hourly_usd))
+        }
+        SimEvent::CapacityChanged { itype, available } => {
+            format!("capacity_changed {itype} available={available}")
+        }
+        SimEvent::ClusterTerminated { cluster, itype, n, start, end, hourly_usd, cause } => {
+            format!(
+                "cluster_terminated {cluster} {n}x{itype} start={} end={} rate={} cause={cause:?}",
+                hx(start.as_secs()),
+                hx(end.as_secs()),
+                hourly_usd.map(hx).unwrap_or_else(|| "ondemand".into()),
+            )
+        }
+        SimEvent::MetricTick { period } => format!("metric_tick period={}", hx(period.as_secs())),
+    };
+    format!("t={} seq={} {body}", hx(rec.at.as_secs()), rec.seq)
+}
+
+/// Render a finished scenario: its event stream and its billing ledger.
+fn render_cloud(cloud: &SimCloud) -> String {
+    let mut out = String::new();
+    for rec in cloud.take_event_log() {
+        writeln!(out, "{}", render_event(&rec)).unwrap();
+    }
+    for r in cloud.billing().records() {
+        writeln!(
+            out,
+            "bill {} {}x{} span=[{},{}] cost={}",
+            r.cluster,
+            r.n,
+            r.itype,
+            hx(r.start.as_secs()),
+            hx(r.end.as_secs()),
+            hx(r.cost().dollars()),
+        )
+        .unwrap();
+    }
+    writeln!(out, "total={}", hx(cloud.billing().total_cost().dollars())).unwrap();
+    out
+}
+
+/// An on-demand fleet: three clusters launched together, run staggered,
+/// settled retroactively — the profiler's batch-wave shape.
+fn ondemand_fleet(seed: u64) -> SimCloud {
+    let cloud = SimCloud::new(seed);
+    cloud.record_events(true);
+    let a = cloud.launch(InstanceType::C5Xlarge, 4).unwrap();
+    let b = cloud.launch(InstanceType::C5n4xlarge, 2).unwrap();
+    let c = cloud.launch(InstanceType::P2Xlarge, 1).unwrap();
+    cloud.wait_until_running(&a);
+    cloud.wait_until_running(&b);
+    cloud.wait_until_running(&c);
+    let t0 = cloud.now();
+    cloud.run_until(t0 + SimDuration::from_mins(45.0));
+    cloud.terminate_at(&a, t0 + SimDuration::from_mins(15.0));
+    cloud.terminate_at(&b, t0 + SimDuration::from_mins(30.0));
+    cloud.terminate_at(&c, t0 + SimDuration::from_mins(45.0));
+    cloud
+}
+
+/// A revocation-heavy spot scenario: big spot clusters held for a long
+/// horizon, revocations delivered as queued events.
+fn spot_churn(seed: u64) -> SimCloud {
+    let cloud = SimCloud::new(seed);
+    cloud.record_events(true);
+    let mut handles = Vec::new();
+    for n in [32, 16, 8] {
+        handles.push(cloud.launch_spot(InstanceType::C5Xlarge, n).unwrap());
+    }
+    cloud.run_until(SimTime::from_secs(0.0) + SimDuration::from_hours(24.0));
+    for h in &handles {
+        cloud.terminate(h); // survivors settle; revoked ones are no-ops
+    }
+    cloud
+}
+
+/// Two tenants sharing one capped capacity pool and one clock: the second
+/// tenant's big ask bounces until the first terminates.
+fn multi_tenant(seed: u64) -> SimCloud {
+    let cloud =
+        SimCloud::with_provisioning(seed, ProvisioningModel { jitter: 0.1, ..Default::default() });
+    cloud.record_events(true);
+    cloud.set_capacity(InstanceType::C54xlarge, 12);
+    let job_a = cloud.clone();
+    let job_b = cloud.clone();
+    let a = job_a.launch(InstanceType::C54xlarge, 9).unwrap();
+    let denied = job_b.launch(InstanceType::C54xlarge, 6);
+    assert!(matches!(denied, Err(CloudError::CapacityExhausted { available: 3, .. })));
+    let b_small = job_b.launch(InstanceType::C54xlarge, 3).unwrap();
+    job_a.wait_until_running(&a);
+    job_b.wait_until_running(&b_small);
+    let t0 = cloud.now();
+    cloud.run_until(t0 + SimDuration::from_mins(20.0));
+    job_a.terminate(&a);
+    let b_big = job_b.launch(InstanceType::C54xlarge, 6).unwrap();
+    job_b.wait_until_running(&b_big);
+    cloud.run_until(cloud.now() + SimDuration::from_mins(10.0));
+    job_b.terminate(&b_small);
+    job_b.terminate(&b_big);
+    cloud
+}
+
+/// A named scenario builder: seed in, fully-driven cloud out.
+type ScenarioFn = fn(u64) -> SimCloud;
+
+fn render_all() -> String {
+    let scenarios: [(&str, ScenarioFn); 3] = [
+        ("ondemand_fleet", ondemand_fleet),
+        ("spot_churn", spot_churn),
+        ("multi_tenant", multi_tenant),
+    ];
+    let mut out = String::new();
+    for (name, build) in scenarios {
+        for seed in SEEDS {
+            writeln!(out, "=== {name} / seed {seed} ===").unwrap();
+            out.push_str(&render_cloud(&build(seed)));
+        }
+    }
+    out
+}
+
+fn golden_file() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+#[test]
+fn golden_cloudsim_event_streams_are_bit_identical() {
+    let actual = render_all();
+    let path = golden_file();
+    if std::env::var("MLCD_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("golden snapshots rewritten at {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with MLCD_UPDATE_GOLDEN=1 to capture",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let mismatch = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (e, a))| e != a)
+            .map(|(i, (e, a))| {
+                format!("first diff at line {}:\n  golden: {e}\n  actual: {a}", i + 1)
+            })
+            .unwrap_or_else(|| "one output is a prefix of the other".to_string());
+        panic!(
+            "cloudsim event streams diverged from the golden snapshots \
+             (the event engine must stay bit-deterministic)\n{mismatch}"
+        );
+    }
+}
