@@ -16,11 +16,14 @@
 //! `#` fences, byte/char literals, lifetimes vs. char literals, and float
 //! vs. range punctuation (`1.0` vs `1..2`).
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its 1-based source line and column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 1-based byte column the token starts on (diagnostics are
+    /// byte-column, like rustc's default).
+    pub col: u32,
     /// What the token is.
     pub kind: Tok,
 }
@@ -67,6 +70,8 @@ impl Tok {
 pub struct Comment {
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// 1-based byte column the comment starts on.
+    pub col: u32,
     /// Text after the `//` / inside the `/* */`, untrimmed.
     pub text: String,
     /// `true` when a token appeared earlier on the same line (a trailing
@@ -94,6 +99,7 @@ struct Cursor<'a> {
     src: &'a [u8],
     pos: usize,
     line: u32,
+    col: u32,
 }
 
 impl<'a> Cursor<'a> {
@@ -110,6 +116,9 @@ impl<'a> Cursor<'a> {
         self.pos += 1;
         if c == b'\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(c)
     }
@@ -131,14 +140,14 @@ fn is_ident_continue(c: u8) -> bool {
 /// skipped (the lint runs on code that already compiles, so anything the
 /// lexer cannot classify cannot matter to the rules either).
 pub fn lex(src: &str) -> LexOut {
-    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut cur = Cursor { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
     let mut out = LexOut::default();
     // Line of the most recently emitted token, to classify trailing
     // comments.
     let mut last_tok_line = 0u32;
 
     while let Some(c) = cur.peek() {
-        let line = cur.line;
+        let (line, col) = (cur.line, cur.col);
         match c {
             b' ' | b'\t' | b'\r' | b'\n' => {
                 cur.bump();
@@ -149,7 +158,7 @@ pub fn lex(src: &str) -> LexOut {
                     cur.bump();
                 }
                 let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
-                out.comments.push(Comment { line, text, trailing: last_tok_line == line });
+                out.comments.push(Comment { line, col, text, trailing: last_tok_line == line });
             }
             b'/' if cur.peek_at(1) == Some(b'*') => {
                 cur.bump();
@@ -173,34 +182,34 @@ pub fn lex(src: &str) -> LexOut {
                     }
                 }
                 let text = String::from_utf8_lossy(&cur.src[start..end]).into_owned();
-                out.comments.push(Comment { line, text, trailing: last_tok_line == line });
+                out.comments.push(Comment { line, col, text, trailing: last_tok_line == line });
             }
             b'"' => {
                 cur.bump();
                 scan_string_body(&mut cur);
-                out.tokens.push(Token { line, kind: Tok::Str });
+                out.tokens.push(Token { line, col, kind: Tok::Str });
                 last_tok_line = line;
             }
             b'\'' => {
-                if scan_char_or_lifetime(&mut cur, &mut out, line) {
+                if scan_char_or_lifetime(&mut cur, &mut out, line, col) {
                     last_tok_line = line;
                 }
             }
             c if c.is_ascii_digit() => {
                 let kind = scan_number(&mut cur);
-                out.tokens.push(Token { line, kind });
+                out.tokens.push(Token { line, col, kind });
                 last_tok_line = line;
             }
             c if is_ident_start(c) => {
                 if let Some(kind) = scan_raw_or_byte_string(&mut cur) {
-                    out.tokens.push(Token { line, kind });
+                    out.tokens.push(Token { line, col, kind });
                 } else {
                     let start = cur.pos;
                     while cur.peek().is_some_and(is_ident_continue) {
                         cur.bump();
                     }
                     let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
-                    out.tokens.push(Token { line, kind: Tok::Ident(text) });
+                    out.tokens.push(Token { line, col, kind: Tok::Ident(text) });
                 }
                 last_tok_line = line;
             }
@@ -211,14 +220,14 @@ pub fn lex(src: &str) -> LexOut {
                         for _ in 0..op.len() {
                             cur.bump();
                         }
-                        out.tokens.push(Token { line, kind: Tok::Punct(op) });
+                        out.tokens.push(Token { line, col, kind: Tok::Punct(op) });
                         matched = true;
                         break;
                     }
                 }
                 if !matched {
                     cur.bump();
-                    out.tokens.push(Token { line, kind: Tok::Punct(single_punct(c)) });
+                    out.tokens.push(Token { line, col, kind: Tok::Punct(single_punct(c)) });
                 }
                 last_tok_line = line;
             }
@@ -278,7 +287,7 @@ fn scan_string_body(cur: &mut Cursor<'_>) {
 
 /// After a `'`: either a char literal (emitted as [`Tok::Str`]) or a
 /// lifetime. Returns whether a token was emitted.
-fn scan_char_or_lifetime(cur: &mut Cursor<'_>, out: &mut LexOut, line: u32) -> bool {
+fn scan_char_or_lifetime(cur: &mut Cursor<'_>, out: &mut LexOut, line: u32, col: u32) -> bool {
     cur.bump(); // the opening quote
     match cur.peek() {
         Some(b'\\') => {
@@ -289,7 +298,7 @@ fn scan_char_or_lifetime(cur: &mut Cursor<'_>, out: &mut LexOut, line: u32) -> b
                 cur.bump(); // \u{..} bodies
             }
             cur.bump();
-            out.tokens.push(Token { line, kind: Tok::Str });
+            out.tokens.push(Token { line, col, kind: Tok::Str });
             true
         }
         Some(c) if is_ident_start(c) => {
@@ -299,9 +308,9 @@ fn scan_char_or_lifetime(cur: &mut Cursor<'_>, out: &mut LexOut, line: u32) -> b
             }
             if cur.peek() == Some(b'\'') {
                 cur.bump();
-                out.tokens.push(Token { line, kind: Tok::Str });
+                out.tokens.push(Token { line, col, kind: Tok::Str });
             } else {
-                out.tokens.push(Token { line, kind: Tok::Lifetime });
+                out.tokens.push(Token { line, col, kind: Tok::Lifetime });
             }
             true
         }
@@ -311,7 +320,7 @@ fn scan_char_or_lifetime(cur: &mut Cursor<'_>, out: &mut LexOut, line: u32) -> b
             if cur.peek() == Some(b'\'') {
                 cur.bump();
             }
-            out.tokens.push(Token { line, kind: Tok::Str });
+            out.tokens.push(Token { line, col, kind: Tok::Str });
             true
         }
         None => false,
@@ -520,5 +529,29 @@ mod tests {
         let out = lex("a\nb\n\nc");
         let lines: Vec<u32> = out.tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn columns_are_tracked() {
+        let out = lex("let x = 1;\n  foo.bar();");
+        let pos: Vec<(u32, u32)> = out.tokens.iter().map(|t| (t.line, t.col)).collect();
+        assert_eq!(
+            pos,
+            vec![
+                (1, 1),
+                (1, 5),
+                (1, 7),
+                (1, 9),
+                (1, 10),
+                (2, 3),
+                (2, 6),
+                (2, 7),
+                (2, 10),
+                (2, 11),
+                (2, 12)
+            ]
+        );
+        let c = &lex("x; // trailing").comments[0];
+        assert_eq!((c.line, c.col), (1, 4));
     }
 }

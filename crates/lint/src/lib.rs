@@ -11,8 +11,9 @@
 //! NaN-free float handling. This crate *enforces* those rules lexically:
 //! it tokenizes every `.rs` file under `crates/*`, `src/`, `examples/` and
 //! `tests/` with a hand-rolled lexer (no external dependencies, consistent
-//! with the offline `vendor/` policy) and checks five rule families —
-//! see [`rules::Rule`] and DESIGN.md §"Determinism lint".
+//! with the offline `vendor/` policy), recovers lightweight scope facts
+//! with [`syntax`], and checks nine rule families plus annotation
+//! hygiene — see [`rules::Rule`] and DESIGN.md §"Determinism lint".
 //!
 //! Run it as `cargo run -p mlcd-lint -- --deny` (CI does); the only
 //! escape hatch is an inline `// lint: allow(<rule>) — <reason>`
@@ -20,6 +21,7 @@
 
 pub mod lexer;
 pub mod rules;
+pub mod syntax;
 
 pub use rules::{lint_source, FileCtx, Rule, Violation};
 
@@ -96,19 +98,24 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
+/// The `--json` schema version. Bumped when the document shape changes:
+/// format 2 added this field and per-violation byte columns.
+pub const JSON_FORMAT: u32 = 2;
+
 /// Render violations as a JSON document (machine-readable mode). No
 /// external JSON crate: the document is assembled by hand with proper
-/// string escaping.
+/// string escaping. `tests/json_schema.rs` pins the shape.
 pub fn to_json(violations: &[Violation]) -> String {
-    let mut s = String::from("{\"violations\":[");
+    let mut s = format!("{{\"format\":{JSON_FORMAT},\"violations\":[");
     for (i, v) in violations.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
         s.push_str(&format!(
-            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
             json_str(&v.file),
             v.line,
+            v.col,
             json_str(v.rule.name()),
             json_str(&v.message)
         ));
@@ -144,11 +151,14 @@ mod tests {
         let v = vec![Violation {
             file: "a\"b.rs".into(),
             line: 3,
+            col: 7,
             rule: Rule::FloatCmp,
             message: "tab\there".into(),
         }];
         let j = to_json(&v);
+        assert!(j.starts_with("{\"format\":2,"));
         assert!(j.contains(r#""file":"a\"b.rs""#));
+        assert!(j.contains(r#""line":3,"col":7"#));
         assert!(j.contains(r#"tab\there"#));
         assert!(j.ends_with("\"count\":1}"));
     }

@@ -1,29 +1,64 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
-//! CLI for the workspace determinism & numeric-safety lint.
+//! CLI for the workspace determinism & concurrency-discipline lint.
 //!
 //! ```text
-//! mlcd-lint [--deny] [--json] [--root <dir>]
+//! mlcd-lint [--deny] [--json] [--github] [--root <dir>] [--explain <rule>]
 //! ```
 //!
 //! * `--deny` — exit 1 when any violation is found (CI mode).
-//! * `--json` — machine-readable output instead of `file:line` diagnostics.
+//! * `--json` — machine-readable output (`"format": 2` schema) instead of
+//!   `file:line:col` diagnostics.
+//! * `--github` — additionally emit GitHub Actions annotations
+//!   (`::error file=..,line=..,col=..::..`) so findings surface inline on
+//!   pull requests.
 //! * `--root` — workspace root; defaults to walking up from the current
 //!   directory to the first `Cargo.toml` with a `[workspace]` section.
+//! * `--explain <rule>` — print a rule's rationale and allow-grammar
+//!   (the same text DESIGN.md §8 summarises) and exit. `--explain all`
+//!   lists every rule.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use mlcd_lint::Rule;
+
+fn explain(arg: &str) -> ExitCode {
+    if arg == "all" {
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            println!("{}", rule.explain());
+        }
+        return ExitCode::SUCCESS;
+    }
+    match Rule::from_allow_name(arg).or_else(|| Rule::ALL.iter().copied().find(|r| r.name() == arg))
+    {
+        Some(rule) => {
+            println!("{}", rule.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            let names: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+            eprintln!("mlcd-lint: unknown rule `{arg}` — one of: {}", names.join(", "));
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
+    let mut github = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => deny = true,
             "--json" => json = true,
+            "--github" => github = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -31,8 +66,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--explain" => match args.next() {
+                Some(rule) => return explain(&rule),
+                None => {
+                    eprintln!("mlcd-lint: --explain needs a rule name (or `all`)");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: mlcd-lint [--deny] [--json] [--root <dir>]");
+                println!(
+                    "usage: mlcd-lint [--deny] [--json] [--github] [--root <dir>] \
+                     [--explain <rule>|all]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -68,12 +113,28 @@ fn main() -> ExitCode {
         println!("{}", mlcd_lint::to_json(&violations));
     } else {
         for v in &violations {
-            println!("{}:{}: [{}] {}", v.file, v.line, v.rule.name(), v.message);
+            println!("{}:{}:{}: [{}] {}", v.file, v.line, v.col, v.rule.name(), v.message);
         }
         if violations.is_empty() {
             println!("mlcd-lint: clean ({} mode)", if deny { "deny" } else { "warn" });
         } else {
             println!("mlcd-lint: {} violation(s)", violations.len());
+        }
+    }
+    if github {
+        // GitHub Actions workflow commands; `%`, `\r`, `\n` must be
+        // URL-style escaped in the message body.
+        for v in &violations {
+            let msg: String =
+                v.message.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A");
+            println!(
+                "::error file={},line={},col={},title=mlcd-lint {}::{}",
+                v.file,
+                v.line,
+                v.col,
+                v.rule.name(),
+                msg
+            );
         }
     }
 

@@ -1,0 +1,710 @@
+//! A lightweight syntax layer over the token stream — just enough
+//! structure for the scope-aware concurrency rules (R6–R9).
+//!
+//! [`crate::lexer`] gives a flat token list; this module recovers the
+//! shapes those rules need: the brace-nesting tree, `fn` item spans,
+//! statement boundaries, `let` bindings with shadowing, explicit
+//! `drop(x)` calls, lock-acquisition sites and blocking-call sites. It is
+//! still deliberately lexical — no type information, no expression
+//! parsing — so every recogniser below is written to fail *closed for
+//! noise*: when a shape is ambiguous (tuple patterns, `if let`, guards
+//! that keep being method-chained), the binding is simply not tracked and
+//! the rule stays silent rather than guessing.
+
+use crate::lexer::{Tok, Token};
+
+/// A matched `{ .. }` pair, as token indices.
+#[derive(Debug, Clone, Copy)]
+pub struct Block {
+    /// Index of the `{` token.
+    pub open: usize,
+    /// Index of the matching `}` token.
+    pub close: usize,
+}
+
+/// A `fn` item with a body: `fn <name> .. { .. }`.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Index of the `fn` keyword token.
+    pub fn_idx: usize,
+    /// Index of the body's `{`.
+    pub open: usize,
+    /// Index of the body's `}`.
+    pub close: usize,
+}
+
+/// A simple `let [mut] <name> [: ty] = <expr>;` binding. Tuple, struct
+/// and `if let`/`while let` patterns are not tracked (understood
+/// false-negative mode — see module docs).
+#[derive(Debug, Clone)]
+pub struct LetBinding {
+    /// The bound name.
+    pub name: String,
+    /// Index of the `let` keyword.
+    pub let_idx: usize,
+    /// Index of the first RHS token (just past `=`).
+    pub rhs_start: usize,
+    /// Index of the statement-terminating `;`.
+    pub stmt_end: usize,
+    /// Index where the binding's liveness ends: the earliest of the
+    /// enclosing block's `}`, an explicit `drop(<name>)`, or a shadowing
+    /// `let <name>` in the same block.
+    pub live_end: usize,
+    /// Index of the `{` of the innermost enclosing block (`usize::MAX`
+    /// when the binding is at the top level, which real code never is).
+    pub scope_open: usize,
+}
+
+/// The assembled syntax facts for one file.
+#[derive(Debug)]
+pub struct Syntax {
+    /// All matched brace pairs, in source order of their `{`.
+    pub blocks: Vec<Block>,
+    /// All `fn` items that have a body.
+    pub fns: Vec<FnItem>,
+    /// All tracked `let` bindings.
+    pub lets: Vec<LetBinding>,
+}
+
+impl Syntax {
+    /// Build the syntax facts for a token stream.
+    pub fn build(toks: &[Token]) -> Syntax {
+        let blocks = match_blocks(toks);
+        let fns = fn_items(toks, &blocks);
+        let lets = let_bindings(toks, &blocks);
+        Syntax { blocks, fns, lets }
+    }
+}
+
+/// Match every `{`/`}` pair with a simple stack. Unbalanced braces (which
+/// cannot occur in compiling code) close at end of stream.
+fn match_blocks(toks: &[Token]) -> Vec<Block> {
+    let mut stack: Vec<usize> = Vec::new();
+    let mut blocks: Vec<Block> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match &t.kind {
+            Tok::Punct("{") => stack.push(i),
+            Tok::Punct("}") => {
+                if let Some(open) = stack.pop() {
+                    blocks.push(Block { open, close: i });
+                }
+            }
+            _ => {}
+        }
+    }
+    for open in stack {
+        blocks.push(Block { open, close: toks.len().saturating_sub(1) });
+    }
+    blocks.sort_by_key(|b| b.open);
+    blocks
+}
+
+/// The innermost block containing token index `idx`, if any.
+pub fn enclosing_block(blocks: &[Block], idx: usize) -> Option<Block> {
+    blocks.iter().filter(|b| b.open < idx && idx < b.close).max_by_key(|b| b.open).copied()
+}
+
+/// Collect `fn` items that have a body (trait method *declarations* end
+/// in `;` and are skipped).
+fn fn_items(toks: &[Token], blocks: &[Block]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.kind.is_ident("fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.kind.ident()) else { continue };
+        // The body is the first `{` after the signature, unless a `;`
+        // (declaration) arrives first at bracket depth 0.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut open = None;
+        while j < toks.len() {
+            match &toks[j].kind {
+                Tok::Punct("(") | Tok::Punct("[") => depth += 1,
+                Tok::Punct(")") | Tok::Punct("]") => depth -= 1,
+                Tok::Punct(";") if depth == 0 => break,
+                Tok::Punct("{") if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = blocks
+            .iter()
+            .find(|b| b.open == open)
+            .map(|b| b.close)
+            .unwrap_or(toks.len().saturating_sub(1));
+        out.push(FnItem { name: name.to_string(), fn_idx: i, open, close });
+    }
+    out
+}
+
+/// Collect simple `let` bindings and compute their liveness ends.
+fn let_bindings(toks: &[Token], blocks: &[Block]) -> Vec<LetBinding> {
+    // Pass 1 — find the bindings and their statement extents.
+    let mut lets: Vec<LetBinding> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.kind.is_ident("let") {
+            continue;
+        }
+        // `if let` / `while let` are refutable patterns, not bindings we
+        // can scope lexically.
+        if i > 0 && (toks[i - 1].kind.is_ident("if") || toks[i - 1].kind.is_ident("while")) {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.kind.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).and_then(|t| t.kind.ident()) else { continue };
+        // Only `name =` or `name : .. =` shapes; `Some(x)`, tuples and
+        // the like show other followers and are skipped.
+        let mut k = j + 1;
+        if toks.get(k).is_some_and(|t| t.kind.is_punct(":")) {
+            // Skip the type ascription to the `=` at bracket depth 0.
+            let mut depth = 0i32;
+            k += 1;
+            while k < toks.len() {
+                match &toks[k].kind {
+                    Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("{") => depth += 1,
+                    Tok::Punct(")") | Tok::Punct("]") | Tok::Punct("}") => depth -= 1,
+                    Tok::Punct("=") if depth == 0 => break,
+                    Tok::Punct(";") if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        if !toks.get(k).is_some_and(|t| t.kind.is_punct("=")) {
+            continue;
+        }
+        let rhs_start = k + 1;
+        let Some(stmt_end) = statement_end(toks, rhs_start) else { continue };
+        let scope_open = enclosing_block(blocks, i).map(|b| b.open).unwrap_or(usize::MAX);
+        let scope_close =
+            enclosing_block(blocks, i).map(|b| b.close).unwrap_or(toks.len().saturating_sub(1));
+        lets.push(LetBinding {
+            name: name.to_string(),
+            let_idx: i,
+            rhs_start,
+            stmt_end,
+            live_end: scope_close,
+            scope_open,
+        });
+    }
+
+    // Pass 2 — tighten liveness: explicit `drop(name)` anywhere in scope,
+    // or a shadowing `let name` in the *same* block (an inner block's
+    // shadow ends at that block's `}`, so it does not end the outer
+    // binding's liveness).
+    let shadows: Vec<(usize, String, usize)> =
+        lets.iter().map(|b| (b.let_idx, b.name.clone(), b.scope_open)).collect();
+    for b in &mut lets {
+        for &(idx, ref name, scope_open) in &shadows {
+            if idx > b.stmt_end && idx < b.live_end && name == &b.name && scope_open == b.scope_open
+            {
+                b.live_end = idx;
+            }
+        }
+        let mut i = b.stmt_end;
+        while i < b.live_end {
+            if toks[i].kind.is_ident("drop")
+                && toks.get(i + 1).is_some_and(|t| t.kind.is_punct("("))
+                && toks.get(i + 2).is_some_and(|t| t.kind.is_ident(&b.name))
+                && toks.get(i + 3).is_some_and(|t| t.kind.is_punct(")"))
+            {
+                b.live_end = i;
+                break;
+            }
+            i += 1;
+        }
+    }
+    lets
+}
+
+/// Index of the `;` ending the statement whose expression starts at
+/// `start`, honouring nested `()`/`[]`/`{}`.
+fn statement_end(toks: &[Token], start: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < toks.len() {
+        match &toks[i].kind {
+            Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("{") => depth += 1,
+            Tok::Punct(")") | Tok::Punct("]") | Tok::Punct("}") => {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+            }
+            Tok::Punct(";") if depth == 0 => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Method names whose *empty-argument* call acquires a guard. The
+/// empty-args requirement is what separates `RwLock::read()` from
+/// `io::Read::read(buf)`.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Free-function helpers that acquire a guard (the service crate's
+/// audited poison boundary, `crate::sync`).
+const ACQUIRE_HELPERS: &[&str] = &["lock_or_die", "read_or_die", "write_or_die"];
+
+/// One lock acquisition site.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Token index of the method / helper name.
+    pub idx: usize,
+    /// Token index just past the call's closing `)` (where `.unwrap()` /
+    /// `.expect(..)` followers would start).
+    pub after_call: usize,
+    /// The method or helper name (`lock`, `read`, `write`, `lock_or_die`, …).
+    pub method: String,
+    /// Best-effort name of the lock being acquired: the identifier (or
+    /// callee) the method is invoked on, e.g. `control` for
+    /// `self.inner.control.lock()` and `session_shard` for
+    /// `lock_or_die(self.session_shard(id), ..)`.
+    pub lock_name: Option<String>,
+}
+
+/// Find every lock acquisition in the token stream.
+pub fn acquisitions(toks: &[Token]) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.kind.ident() else { continue };
+        // `.lock()` / `.read()` / `.write()` with an empty argument list.
+        if ACQUIRE_METHODS.contains(&id)
+            && i > 0
+            && toks[i - 1].kind.is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.kind.is_punct("("))
+            && toks.get(i + 2).is_some_and(|t| t.kind.is_punct(")"))
+        {
+            out.push(Acquisition {
+                idx: i,
+                after_call: i + 3,
+                method: id.to_string(),
+                lock_name: receiver_name(toks, i - 1),
+            });
+        }
+        // `lock_or_die(<lock expr>, ..)` helper form. Skip `.lock_or_die`
+        // method syntax (not a shape the helpers use) and `fn lock_or_die`
+        // definitions.
+        if ACQUIRE_HELPERS.contains(&id)
+            && toks.get(i + 1).is_some_and(|t| t.kind.is_punct("("))
+            && !(i > 0 && (toks[i - 1].kind.is_punct(".") || toks[i - 1].kind.is_ident("fn")))
+        {
+            let close = matching_close_paren(toks, i + 1);
+            out.push(Acquisition {
+                idx: i,
+                after_call: close.map(|c| c + 1).unwrap_or(toks.len()),
+                method: id.to_string(),
+                lock_name: first_arg_name(toks, i + 1),
+            });
+        }
+    }
+    out
+}
+
+/// Walk back from the `.` at `dot_idx` to name the receiver one step up
+/// the chain: `a.b.lock()` → `b`, `f(x).lock()` → `f`, `xs[i].lock()` →
+/// `xs`.
+fn receiver_name(toks: &[Token], dot_idx: usize) -> Option<String> {
+    if dot_idx == 0 {
+        return None;
+    }
+    match &toks[dot_idx - 1].kind {
+        Tok::Ident(s) => Some(s.clone()),
+        Tok::Punct(")") => {
+            let open = matching_open(toks, dot_idx - 1, "(", ")")?;
+            toks.get(open.checked_sub(1)?)?.kind.ident().map(str::to_string)
+        }
+        Tok::Punct("]") => {
+            let open = matching_open(toks, dot_idx - 1, "[", "]")?;
+            toks.get(open.checked_sub(1)?)?.kind.ident().map(str::to_string)
+        }
+        _ => None,
+    }
+}
+
+/// Walk back from the `.` at `dot_idx` to the *head* identifier of the
+/// whole receiver chain: `st.file.write_all(..)` → `st`.
+pub fn receiver_head(toks: &[Token], dot_idx: usize) -> Option<String> {
+    let mut j = dot_idx;
+    loop {
+        let prev = j.checked_sub(1)?;
+        let start = match &toks[prev].kind {
+            Tok::Ident(_) => prev,
+            Tok::Punct(")") => matching_open(toks, prev, "(", ")")?.checked_sub(1)?,
+            Tok::Punct("]") => matching_open(toks, prev, "[", "]")?.checked_sub(1)?,
+            _ => return None,
+        };
+        if !matches!(toks.get(start).map(|t| &t.kind), Some(Tok::Ident(_))) {
+            return None;
+        }
+        if start >= 1 && toks[start - 1].kind.is_punct(".") {
+            j = start - 1;
+            continue;
+        }
+        return toks[start].kind.ident().map(str::to_string);
+    }
+}
+
+/// Best-effort name of a call's first argument, for
+/// `lock_or_die(&self.inner.control, "control")` → `control`. Looks at
+/// the last identifier-ish token of the first argument.
+fn first_arg_name(toks: &[Token], open_idx: usize) -> Option<String> {
+    let close = matching_close_paren(toks, open_idx)?;
+    let mut depth = 0i32;
+    let mut arg_end = close;
+    for (j, t) in toks.iter().enumerate().take(close).skip(open_idx + 1) {
+        match &t.kind {
+            Tok::Punct("(") | Tok::Punct("[") => depth += 1,
+            Tok::Punct(")") | Tok::Punct("]") => depth -= 1,
+            Tok::Punct(",") if depth == 0 => {
+                arg_end = j;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let mut j = arg_end;
+    loop {
+        let prev = j.checked_sub(1)?;
+        if prev <= open_idx {
+            return None;
+        }
+        match &toks[prev].kind {
+            Tok::Ident(s) => return Some(s.clone()),
+            Tok::Punct(")") => j = matching_open(toks, prev, "(", ")")?,
+            Tok::Punct("]") => j = matching_open(toks, prev, "[", "]")?,
+            _ => return None,
+        }
+    }
+}
+
+/// Matching `)` for the call opening at `open_idx` (public for the rule
+/// layer's argument-shape checks).
+pub fn call_close_paren(toks: &[Token], open_idx: usize) -> Option<usize> {
+    matching_close_paren(toks, open_idx)
+}
+
+/// Matching `)` for the `(` at `open_idx`.
+fn matching_close_paren(toks: &[Token], open_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        match &t.kind {
+            Tok::Punct("(") => depth += 1,
+            Tok::Punct(")") => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Matching opener index for the closer at `close_idx`.
+fn matching_open(toks: &[Token], close_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close_idx;
+    loop {
+        if toks[j].kind.is_punct(close) {
+            depth += 1;
+        } else if toks[j].kind.is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// Methods that block the calling thread: filesystem syncs and writes,
+/// socket accept/reads, channel receives, thread joins.
+const BLOCKING_METHODS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "flush",
+    "accept",
+    "read_to_end",
+    "read_to_string",
+    "read_exact",
+    "read_line",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+];
+
+/// Condvar-style waits: blocking, but *consuming* a guard argument is the
+/// protocol, so the transferred guard is exempt at the rule layer.
+const WAIT_METHODS: &[&str] = &["wait", "wait_timeout", "wait_while"];
+const WAIT_HELPERS: &[&str] = &["wait_or_die", "wait_timeout_or_die"];
+
+/// One call that blocks the current thread.
+#[derive(Debug, Clone)]
+pub struct BlockingSite {
+    /// Token index of the method / function name.
+    pub idx: usize,
+    /// Display name of the call (`sync_data`, `thread::sleep`, …).
+    pub what: String,
+    /// Head identifier of the receiver chain (`st` for
+    /// `st.file.write_all(..)`), when the call is a method.
+    pub recv_head: Option<String>,
+    /// Top-level identifier arguments (for the condvar guard-transfer
+    /// exemption).
+    pub args: Vec<String>,
+    /// Whether this is a condvar-style wait.
+    pub is_wait: bool,
+}
+
+/// Find every blocking call in the token stream.
+pub fn blocking_sites(toks: &[Token]) -> Vec<BlockingSite> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.kind.ident() else { continue };
+        let method_call = i > 0
+            && toks[i - 1].kind.is_punct(".")
+            && toks.get(i + 1).is_some_and(|t| t.kind.is_punct("("));
+        if method_call {
+            let empty = toks.get(i + 2).is_some_and(|t| t.kind.is_punct(")"));
+            let blocking = BLOCKING_METHODS.contains(&id)
+                // `.read(buf)` / `.write(buf)` with arguments are IO, not
+                // lock acquisition; `.join()` only with zero args (so
+                // `path.join(x)` and `slice.join(sep)` stay silent).
+                || ((id == "read" || id == "write") && !empty)
+                || (id == "join" && empty);
+            if blocking {
+                out.push(BlockingSite {
+                    idx: i,
+                    what: format!(".{id}(..)"),
+                    recv_head: receiver_head(toks, i - 1),
+                    args: call_arg_idents(toks, i + 1),
+                    is_wait: false,
+                });
+                continue;
+            }
+            if WAIT_METHODS.contains(&id) {
+                out.push(BlockingSite {
+                    idx: i,
+                    what: format!(".{id}(..)"),
+                    recv_head: receiver_head(toks, i - 1),
+                    args: call_arg_idents(toks, i + 1),
+                    is_wait: true,
+                });
+                continue;
+            }
+        }
+        // Helper-call waits: `wait_or_die(&cv, guard, ..)`.
+        if WAIT_HELPERS.contains(&id)
+            && toks.get(i + 1).is_some_and(|t| t.kind.is_punct("("))
+            && !(i > 0 && (toks[i - 1].kind.is_punct(".") || toks[i - 1].kind.is_ident("fn")))
+        {
+            out.push(BlockingSite {
+                idx: i,
+                what: format!("{id}(..)"),
+                recv_head: None,
+                args: call_arg_idents(toks, i + 1),
+                is_wait: true,
+            });
+            continue;
+        }
+        // Path-call forms: `thread::sleep(..)`, `TcpStream::connect(..)`,
+        // `TcpListener::bind(..)`.
+        let path_call = |head: &str, name: &str| {
+            t.kind.is_ident(head)
+                && toks.get(i + 1).is_some_and(|t| t.kind.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|t| t.kind.is_ident(name))
+                && toks.get(i + 3).is_some_and(|t| t.kind.is_punct("("))
+        };
+        for (head, name) in [("thread", "sleep"), ("TcpStream", "connect"), ("TcpListener", "bind")]
+        {
+            if path_call(head, name) {
+                out.push(BlockingSite {
+                    idx: i,
+                    what: format!("{head}::{name}(..)"),
+                    recv_head: None,
+                    args: Vec::new(),
+                    is_wait: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The top-level identifier arguments of the call whose `(` is at
+/// `open_idx` (nested-call arguments are not the transferred guard).
+fn call_arg_idents(toks: &[Token], open_idx: usize) -> Vec<String> {
+    let Some(close) = matching_close_paren(toks, open_idx) else { return Vec::new() };
+    let mut depth = 0i32;
+    let mut out = Vec::new();
+    for t in toks.iter().take(close).skip(open_idx + 1) {
+        match &t.kind {
+            Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("{") => depth += 1,
+            Tok::Punct(")") | Tok::Punct("]") | Tok::Punct("}") => depth -= 1,
+            Tok::Ident(s) if depth == 0 => out.push(s.clone()),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Does the acquisition at `acq` *terminate* the statement ending at
+/// `stmt_end` — i.e. is the only thing after the call an optional
+/// `.unwrap()` / `.expect(..)` and an optional `?`? That is the shape
+/// that makes a `let` binding a guard; any further method call (`.take()`,
+/// `.len()`, `.insert(..)`) consumes the guard as a temporary instead.
+pub fn is_terminal_in_stmt(toks: &[Token], acq: &Acquisition, stmt_end: usize) -> bool {
+    let mut j = acq.after_call;
+    loop {
+        if j == stmt_end {
+            return true;
+        }
+        if toks.get(j).is_some_and(|t| t.kind.is_punct("?")) {
+            j += 1;
+            continue;
+        }
+        if toks.get(j).is_some_and(|t| t.kind.is_punct("."))
+            && toks
+                .get(j + 1)
+                .is_some_and(|t| t.kind.is_ident("unwrap") || t.kind.is_ident("expect"))
+            && toks.get(j + 2).is_some_and(|t| t.kind.is_punct("("))
+        {
+            match matching_close_paren(toks, j + 2) {
+                Some(close) => {
+                    j = close + 1;
+                    continue;
+                }
+                None => return false,
+            }
+        }
+        return false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn syn(src: &str) -> (Vec<Token>, Syntax) {
+        let toks = lex(src).tokens;
+        let s = Syntax::build(&toks);
+        (toks, s)
+    }
+
+    #[test]
+    fn fn_items_skip_trait_declarations() {
+        let (_, s) = syn("trait T { fn decl(&self); fn body(&self) { 1; } } fn free() {}");
+        let names: Vec<&str> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["body", "free"]);
+    }
+
+    #[test]
+    fn let_bindings_and_scope() {
+        let (toks, s) = syn("fn f() { let a = 1; { let b = 2; } let c = 3; }");
+        let names: Vec<&str> = s.lets.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        let a = &s.lets[0];
+        let b = &s.lets[1];
+        // `a` lives to the fn's closing brace; `b` only to its block's.
+        assert!(a.live_end > b.live_end);
+        assert!(toks[b.live_end].kind.is_punct("}"));
+    }
+
+    #[test]
+    fn tuple_and_if_let_patterns_are_skipped() {
+        let (_, s) = syn("fn f() { let (a, b) = p(); if let Some(x) = o { x; } }");
+        assert!(s.lets.is_empty());
+    }
+
+    #[test]
+    fn drop_and_shadowing_end_liveness() {
+        let (toks, s) = syn("fn f() { let g = m.lock(); use1(); drop(g); after(); }");
+        assert!(toks[s.lets[0].live_end].kind.is_ident("drop"));
+        let (toks, s) = syn("fn f() { let g = m.lock(); use1(); let g = 2; after(); }");
+        assert!(toks[s.lets[0].live_end].kind.is_ident("let"));
+        // An inner-block shadow does not end the outer binding.
+        let (toks, s) = syn("fn f() { let g = m.lock(); { let g = 2; } after(); }");
+        assert!(toks[s.lets[0].live_end].kind.is_punct("}"));
+        assert_eq!(s.lets[0].live_end, toks.len() - 1);
+    }
+
+    #[test]
+    fn acquisition_names_resolve_through_chains() {
+        let toks = lex(concat!(
+            "a.lock(); self.inner.control.lock(); self.shard(id).lock(); ",
+            "xs[i].write(); lock_or_die(&self.inner.control, \"c\"); ",
+            "lock_or_die(self.session_shard(id), \"s\"); ",
+            "lock_or_die(&inner.queue_shards[i], \"q\"); ",
+            "io.read(buf); r.read();"
+        ))
+        .tokens;
+        let acqs = acquisitions(&toks);
+        let names: Vec<Option<&str>> = acqs.iter().map(|a| a.lock_name.as_deref()).collect();
+        assert_eq!(
+            names,
+            vec![
+                Some("a"),
+                Some("control"),
+                Some("shard"),
+                Some("xs"),
+                Some("control"),
+                Some("session_shard"),
+                Some("queue_shards"),
+                Some("r"), // `io.read(buf)` is IO, not an acquisition
+            ]
+        );
+    }
+
+    #[test]
+    fn blocking_sites_distinguish_join_and_read_shapes() {
+        let toks = lex(concat!(
+            "h.join(); path.join(x); st.file.write_all(buf); f.sync_data(); ",
+            "cv.wait(guard); thread::sleep(d); sock.read(buf); rw.read();"
+        ))
+        .tokens;
+        let sites = blocking_sites(&toks);
+        let whats: Vec<&str> = sites.iter().map(|b| b.what.as_str()).collect();
+        assert_eq!(
+            whats,
+            vec![
+                ".join(..)",
+                ".write_all(..)",
+                ".sync_data(..)",
+                ".wait(..)",
+                "thread::sleep(..)",
+                ".read(..)"
+            ]
+        );
+        assert_eq!(sites[1].recv_head.as_deref(), Some("st"));
+        assert!(sites[3].is_wait);
+        assert_eq!(sites[3].args, vec!["guard".to_string()]);
+    }
+
+    #[test]
+    fn terminal_guard_shapes() {
+        let toks = lex("let g = m.lock().expect(\"p\");").tokens;
+        let s = Syntax::build(&toks);
+        let acq = &acquisitions(&toks)[0];
+        assert!(is_terminal_in_stmt(&toks, acq, s.lets[0].stmt_end));
+
+        let toks = lex("let v = m.lock().unwrap().take();").tokens;
+        let s = Syntax::build(&toks);
+        let acq = &acquisitions(&toks)[0];
+        assert!(!is_terminal_in_stmt(&toks, acq, s.lets[0].stmt_end));
+    }
+}

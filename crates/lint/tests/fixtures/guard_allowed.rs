@@ -1,0 +1,27 @@
+// Fixture: reasoned allows silence R6 at line and fn scope.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::sync::Mutex;
+
+struct Log {
+    seq: Mutex<u64>,
+    file: File,
+}
+
+impl Log {
+    fn stamp(&mut self) {
+        let mut seq = self.seq.lock().unwrap();
+        *seq += 1;
+        // lint: allow(guard-blocking) — seq must not advance until this line is on disk
+        self.file.write_all(b"tick\n").ok();
+    }
+
+    // lint: allow(guard-blocking, fn) — single-writer file; the guard IS the write token
+    fn stamp_twice(&mut self) {
+        let mut seq = self.seq.lock().unwrap();
+        *seq += 2;
+        self.file.write_all(b"tick\n").ok();
+        self.file.sync_data().ok();
+    }
+}

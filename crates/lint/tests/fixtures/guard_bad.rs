@@ -1,0 +1,51 @@
+// Fixture: every shape below holds a lock guard across a blocking call
+// and must fire R6 (guard-blocking).
+
+use std::fs::File;
+use std::io::Write as _;
+use std::sync::{Condvar, Mutex, RwLock};
+
+struct Journal {
+    queue: Mutex<Vec<String>>,
+    file: File,
+}
+
+impl Journal {
+    // The PR 5 `submit()` bug shape, deliberately re-broadened: the
+    // queue guard stays live across the journal write AND the fsync.
+    fn submit(&mut self, line: String) {
+        let mut queue = self.queue.lock().unwrap();
+        queue.push(line.clone());
+        self.file.write_all(line.as_bytes()).ok(); // fires (write_all)
+        self.file.sync_data().ok(); // fires (sync_data)
+    }
+}
+
+struct Index {
+    map: RwLock<Vec<u64>>,
+}
+
+// A read guard is still a guard: writers starve behind the snapshot.
+fn flush(idx: &Index, out: &mut File) {
+    let snapshot = idx.map.read().unwrap();
+    out.write_all(format!("{}\n", snapshot.len()).as_bytes()).ok(); // fires
+}
+
+struct Pair {
+    stats: Mutex<u64>,
+    slot: Mutex<Option<u64>>,
+    cv: Condvar,
+}
+
+// The wait consumes `slot` (fine) but `stats` sleeps with it: every
+// other stats reader now waits for this condvar to signal.
+fn take(p: &Pair) -> u64 {
+    let stats = p.stats.lock().unwrap();
+    let mut slot = p.slot.lock().unwrap();
+    loop {
+        if let Some(v) = slot.take() {
+            return v + *stats;
+        }
+        slot = p.cv.wait(slot).unwrap(); // fires for `stats`, exempt for `slot`
+    }
+}

@@ -1,0 +1,66 @@
+// Fixture: disciplined critical sections — nothing here may fire R6.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::sync::{Condvar, Mutex};
+
+struct Journal {
+    queue: Mutex<Vec<String>>,
+    file: Mutex<File>,
+    slot: Mutex<Option<u64>>,
+    cv: Condvar,
+}
+
+impl Journal {
+    // The PR 5 fix shape: stage under the lock inside a scope, then
+    // block with no guard live.
+    fn submit_scoped(&self, line: String) {
+        let staged = {
+            let mut queue = self.queue.lock().unwrap();
+            queue.push(line);
+            queue.concat()
+        };
+        let mut f = self.file.lock().unwrap();
+        f.write_all(staged.as_bytes()).ok();
+        f.sync_data().ok();
+    }
+
+    // Explicit `drop(guard)` before the write ends liveness early.
+    fn submit_drop(&self, line: String) {
+        let mut queue = self.queue.lock().unwrap();
+        queue.push(line);
+        let staged = queue.concat();
+        drop(queue);
+        let mut f = self.file.lock().unwrap();
+        f.write_all(staged.as_bytes()).ok();
+    }
+
+    // Shadowing rebinds the name to plain data: the guard is dropped at
+    // the second `let`, so the sync below holds nothing else.
+    fn depth(&self) -> usize {
+        let queue = self.queue.lock().unwrap();
+        let queue = queue.len();
+        let f = self.file.lock().unwrap();
+        f.sync_data().ok();
+        queue
+    }
+
+    // Condvar protocol: the wait consumes the one guard it is handed.
+    fn take(&self) -> u64 {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(v) = *slot {
+                return v;
+            }
+            slot = self.cv.wait(slot).unwrap();
+        }
+    }
+}
+
+// A mutex-wrapped File serializing its own IO is the sanctioned shape:
+// the lock exists exactly to order these calls.
+fn append(file: &Mutex<File>, line: &str) {
+    let mut f = file.lock().unwrap();
+    f.write_all(line.as_bytes()).ok();
+    f.sync_data().ok();
+}

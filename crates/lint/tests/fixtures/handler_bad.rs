@@ -1,0 +1,35 @@
+// Fixture: effects inside sim event handlers — each marked line must
+// fire R8 (sim-handler) when this file sits at a cloudsim handler path.
+
+use std::sync::Mutex;
+
+struct Provider {
+    inflight: u64,
+    log: Mutex<Vec<String>>,
+}
+
+enum Event {
+    Launch,
+    Done,
+}
+
+impl Provider {
+    fn on_event(&mut self, ev: &Event) {
+        match ev {
+            Event::Launch => {
+                self.inflight += 1;
+                println!("launch at {}", self.inflight); // fires: console IO
+            }
+            Event::Done => {
+                self.inflight -= 1;
+                let mut log = self.log.lock().unwrap(); // fires: lock acquisition
+                log.push(String::from("done"));
+            }
+        }
+    }
+
+    fn handle_retry(&mut self) {
+        std::thread::sleep(std::time::Duration::from_millis(1)); // fires: sleep
+        self.inflight += 1;
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture: a pure handler plus an effectful non-handler — silent under
+// R8 even at a cloudsim handler path.
+
+struct Provider {
+    inflight: u64,
+    peak: u64,
+}
+
+enum Event {
+    Launch,
+    Done,
+}
+
+impl Provider {
+    // Pure function of (state, event): mutates own fields, touches no
+    // IO, clock, thread, or lock.
+    fn on_event(&mut self, ev: &Event) {
+        match ev {
+            Event::Launch => {
+                self.inflight += 1;
+                self.peak = self.peak.max(self.inflight);
+            }
+            Event::Done => {
+                self.inflight -= 1;
+            }
+        }
+    }
+
+    // Not a handler name: the purity contract does not apply here. The
+    // driver layer is where effects belong.
+    fn report(&self) {
+        println!("peak inflight: {}", self.peak);
+    }
+}

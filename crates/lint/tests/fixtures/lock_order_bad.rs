@@ -1,0 +1,50 @@
+// Fixture: acquisitions that violate the file's declared lock order —
+// every nested acquisition below must fire R7 (lock-order).
+
+// lint: lock-order: control < registry|registry_shards < state
+
+use std::sync::Mutex;
+
+struct Svc {
+    control: Mutex<bool>,
+    registry: Mutex<Vec<u64>>,
+    registry_shards: Mutex<Vec<u64>>,
+    queue_shards: Vec<Mutex<u64>>,
+    state: Mutex<u64>,
+}
+
+impl Svc {
+    // Fires: `control` is declared before `state`, but is taken inside it.
+    fn inverted(&self) {
+        let st = self.state.lock().unwrap();
+        let c = self.control.lock().unwrap(); // fires: inversion
+        drop(c);
+        drop(st);
+    }
+
+    // Fires through the alias: `registry_shards` canonicalises to
+    // `registry`, which is declared after `control`.
+    fn alias_inverted(&self) {
+        let r = self.registry_shards.lock().unwrap();
+        let c = self.control.lock().unwrap(); // fires: control < registry
+        drop(c);
+        drop(r);
+    }
+
+    // Fires: two shards of one family held at once (no declaration
+    // needed — the family is recognised by name).
+    fn cross_shard(&self, i: usize, j: usize) {
+        let a = self.queue_shards[i].lock().unwrap();
+        let b = self.queue_shards[j].lock().unwrap(); // fires: shard family
+        drop(b);
+        drop(a);
+    }
+
+    // Fires: re-acquiring the same std Mutex self-deadlocks.
+    fn reentrant(&self) {
+        let s = self.state.lock().unwrap();
+        let t = self.state.lock().unwrap(); // fires: self-deadlock
+        drop(t);
+        drop(s);
+    }
+}

@@ -1,0 +1,46 @@
+// Fixture: nestings that respect the declared order — silent under R7.
+
+// lint: lock-order: control < registry|registry_shards < state
+
+use std::sync::Mutex;
+
+struct Svc {
+    control: Mutex<bool>,
+    registry: Mutex<Vec<u64>>,
+    registry_shards: Mutex<Vec<u64>>,
+    queue_shards: Vec<Mutex<u64>>,
+    state: Mutex<u64>,
+}
+
+impl Svc {
+    // Declared order, outermost first: control, then registry, then state.
+    fn ordered(&self) {
+        let c = self.control.lock().unwrap();
+        let r = self.registry.lock().unwrap();
+        let s = self.state.lock().unwrap();
+        drop(s);
+        drop(r);
+        drop(c);
+    }
+
+    // The alias sits at the same rank as its canonical name.
+    fn ordered_alias(&self) {
+        let c = self.control.lock().unwrap();
+        let r = self.registry_shards.lock().unwrap();
+        drop(r);
+        drop(c);
+    }
+
+    // Shards of one family are fine taken one at a time: each guard is
+    // scoped to its own block, so they are never held together.
+    fn per_shard(&self, i: usize, j: usize) {
+        {
+            let a = self.queue_shards[i].lock().unwrap();
+            drop(a);
+        }
+        {
+            let b = self.queue_shards[j].lock().unwrap();
+            drop(b);
+        }
+    }
+}

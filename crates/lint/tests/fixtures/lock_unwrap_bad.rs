@@ -1,0 +1,29 @@
+// Fixture: ad-hoc poison unwraps in the service crate — each marked
+// line must fire R9 (lock-unwrap) outside the designated boundary file.
+
+use std::sync::{Condvar, Mutex, RwLock};
+
+struct Metrics {
+    counts: Mutex<Vec<u64>>,
+    names: RwLock<Vec<String>>,
+    cv: Condvar,
+}
+
+impl Metrics {
+    fn bump(&self, i: usize) {
+        let mut counts = self.counts.lock().unwrap(); // fires
+        counts[i] += 1;
+    }
+
+    fn name(&self, i: usize) -> String {
+        self.names.read().expect("names poisoned")[i].clone() // fires
+    }
+
+    fn drain(&self) {
+        let mut counts = self.counts.lock().unwrap(); // fires
+        while counts.is_empty() {
+            counts = self.cv.wait(counts).unwrap(); // fires
+        }
+        counts.clear();
+    }
+}

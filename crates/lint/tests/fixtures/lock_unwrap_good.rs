@@ -1,0 +1,39 @@
+// Fixture: the disciplined shape — poison handling routed through the
+// crate's one audited boundary. Silent under R9.
+
+use crate::sync::{lock_or_die, wait_or_die};
+use std::sync::{Condvar, Mutex};
+
+struct Metrics {
+    counts: Mutex<Vec<u64>>,
+    cv: Condvar,
+}
+
+impl Metrics {
+    fn bump(&self, i: usize) {
+        let mut counts = lock_or_die(&self.counts, "metrics");
+        counts[i] += 1;
+    }
+
+    fn drain(&self) {
+        let mut counts = lock_or_die(&self.counts, "metrics");
+        while counts.is_empty() {
+            counts = wait_or_die(&self.cv, counts, "metrics");
+        }
+        counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Test code may unwrap freely: a poisoned lock in a test should
+    // fail the test loudly, and R9 is scoped to shipping code.
+    #[test]
+    fn bump_counts() {
+        let m = Metrics { counts: Mutex::new(vec![0]), cv: Condvar::new() };
+        m.bump(0);
+        assert_eq!(m.counts.lock().unwrap()[0], 1);
+    }
+}

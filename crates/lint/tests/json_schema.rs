@@ -1,0 +1,58 @@
+//! Pins the `--json` format-2 document shape. CI and editor tooling
+//! parse this output; any change to the schema must bump
+//! [`mlcd_lint::JSON_FORMAT`] and update this test deliberately.
+
+use mlcd_lint::{to_json, Rule, Violation, JSON_FORMAT};
+
+#[test]
+fn format_version_is_two() {
+    assert_eq!(JSON_FORMAT, 2);
+}
+
+#[test]
+fn empty_report_shape() {
+    assert_eq!(to_json(&[]), r#"{"format":2,"violations":[],"count":0}"#);
+}
+
+#[test]
+fn violation_fields_and_order_are_pinned() {
+    let v = vec![
+        Violation {
+            file: "crates/service/src/session.rs".into(),
+            line: 12,
+            col: 9,
+            rule: Rule::GuardBlocking,
+            message: "guard `q` is still live across blocking `sync_data`".into(),
+        },
+        Violation {
+            file: "crates/service/src/cache.rs".into(),
+            line: 3,
+            col: 1,
+            rule: Rule::LockUnwrap,
+            message: "say \"why\"".into(),
+        },
+    ];
+    let j = to_json(&v);
+    assert_eq!(
+        j,
+        concat!(
+            r#"{"format":2,"violations":["#,
+            r#"{"file":"crates/service/src/session.rs","line":12,"col":9,"#,
+            r#""rule":"guard-blocking","#,
+            r#""message":"guard `q` is still live across blocking `sync_data`"},"#,
+            r#"{"file":"crates/service/src/cache.rs","line":3,"col":1,"#,
+            r#""rule":"lock-unwrap","message":"say \"why\""}"#,
+            r#"],"count":2}"#
+        )
+    );
+}
+
+#[test]
+fn every_rule_name_round_trips_through_the_schema() {
+    // The `rule` field must hold exactly the names `--explain` accepts.
+    for &rule in Rule::ALL {
+        let v = vec![Violation { file: "x.rs".into(), line: 1, col: 1, rule, message: "m".into() }];
+        let j = to_json(&v);
+        assert!(j.contains(&format!("\"rule\":\"{}\"", rule.name())), "{j}");
+    }
+}

@@ -162,3 +162,102 @@ fn stale_allows_are_flagged() {
     assert_eq!(v.len(), 1, "{v:?}");
     assert_eq!(v[0].rule, Rule::UnusedAllow);
 }
+
+// --- R6: guard-across-blocking ---------------------------------------------
+
+#[test]
+fn guard_blocking_fires_on_the_rebroadened_submit_shape() {
+    let v = lint_source("crates/core/src/queue.rs", &fixture("guard_bad.rs"));
+    assert!(v.iter().all(|f| f.rule == Rule::GuardBlocking), "{v:?}");
+    assert_eq!(v.len(), 4, "{v:?}");
+    // The deliberately re-broadened PR 5 submit(): the queue guard is
+    // live across the journal write and the fsync.
+    assert!(
+        v[0].message.contains("`queue`") && v[0].message.contains("write_all"),
+        "{}",
+        v[0].message
+    );
+    assert!(
+        v[1].message.contains("`queue`") && v[1].message.contains("sync_data"),
+        "{}",
+        v[1].message
+    );
+    // A read guard held across file IO counts too.
+    assert!(v[2].message.contains("`snapshot`"), "{}", v[2].message);
+    // A second guard sleeping through a condvar wait (the wait only
+    // consumes the guard it is handed).
+    assert!(v[3].message.contains("`stats`") && v[3].message.contains("wait"), "{}", v[3].message);
+}
+
+#[test]
+fn guard_blocking_is_silent_on_disciplined_sections() {
+    // Scoped staging, drop(guard), shadowing, condvar loops, and a
+    // Mutex<File> serializing its own IO are all sanctioned shapes.
+    assert_eq!(fired("crates/core/src/queue.rs", "guard_good.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn guard_blocking_allows_cover_line_fn_and_file_scopes() {
+    assert_eq!(fired("crates/core/src/queue.rs", "guard_allowed.rs"), Vec::<&str>::new());
+    assert_eq!(fired("crates/core/src/queue.rs", "guard_allowed_file.rs"), Vec::<&str>::new());
+}
+
+// --- R7: lock-order --------------------------------------------------------
+
+#[test]
+fn lock_order_fires_on_inversion_alias_shard_family_and_reentry() {
+    let v = lint_source("crates/core/src/svc.rs", &fixture("lock_order_bad.rs"));
+    assert!(v.iter().all(|f| f.rule == Rule::LockOrder), "{v:?}");
+    assert_eq!(v.len(), 4, "{v:?}");
+    assert!(v[0].message.contains("inversion") && v[0].message.contains("`control < state`"));
+    // `registry_shards` canonicalises to `registry` via the declaration's
+    // alias group.
+    assert!(v[1].message.contains("`control < registry`"), "{}", v[1].message);
+    assert!(v[2].message.contains("shards of one family"), "{}", v[2].message);
+    assert!(v[3].message.contains("self-deadlocks"), "{}", v[3].message);
+}
+
+#[test]
+fn lock_order_respects_declared_nesting() {
+    assert_eq!(fired("crates/core/src/svc.rs", "lock_order_good.rs"), Vec::<&str>::new());
+}
+
+// --- R8: sim-handler purity ------------------------------------------------
+
+#[test]
+fn sim_handler_purity_is_scoped_to_handler_fns_in_handler_files() {
+    let v = lint_source("crates/cloudsim/src/sim.rs", &fixture("handler_bad.rs"));
+    let sim: Vec<_> = v.iter().filter(|f| f.rule == Rule::SimHandler).collect();
+    assert_eq!(sim.len(), 3, "{v:?}");
+    assert!(sim[0].message.contains("console IO"), "{}", sim[0].message);
+    assert!(sim[1].message.contains("lock acquisition"), "{}", sim[1].message);
+    assert!(sim[2].message.contains("wall-clock time"), "{}", sim[2].message);
+    // The same source outside the pinned handler files carries no purity
+    // contract.
+    let away = lint_source("crates/core/src/sim.rs", &fixture("handler_bad.rs"));
+    assert!(away.iter().all(|f| f.rule != Rule::SimHandler), "{away:?}");
+}
+
+#[test]
+fn sim_handler_ignores_pure_handlers_and_effectful_non_handlers() {
+    let v = lint_source("crates/cloudsim/src/sim.rs", &fixture("handler_good.rs"));
+    assert!(v.iter().all(|f| f.rule != Rule::SimHandler), "{v:?}");
+}
+
+// --- R9: lock-unwrap discipline --------------------------------------------
+
+#[test]
+fn lock_unwrap_fires_only_in_service_outside_the_boundary() {
+    let v = lint_source("crates/service/src/metrics.rs", &fixture("lock_unwrap_bad.rs"));
+    let rules: Vec<_> = v.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec![Rule::LockUnwrap; 4], "{v:?}");
+    // The designated boundary file may unwrap poison: that is its job.
+    assert_eq!(fired("crates/service/src/sync.rs", "lock_unwrap_bad.rs"), Vec::<&str>::new());
+    // Crates outside mlcd-service fall outside the discipline.
+    assert_eq!(fired("crates/core/src/metrics.rs", "lock_unwrap_bad.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn lock_unwrap_accepts_boundary_helpers_and_test_code() {
+    assert_eq!(fired("crates/service/src/metrics.rs", "lock_unwrap_good.rs"), Vec::<&str>::new());
+}

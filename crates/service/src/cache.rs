@@ -17,6 +17,7 @@
 //! as a `CachedEvent`; resume serves those observations from the journal
 //! and bypasses the live cache for everything else.
 
+use crate::sync::lock_or_die;
 use mlcd::prelude::{
     Deployment, Money, Observation, ProfileError, ProfilingEnv, SearchSpace, SimDuration,
 };
@@ -118,7 +119,7 @@ impl ProbeCache {
 
     /// Look up a completed observation.
     pub fn get(&self, key: &CacheKey) -> Option<Observation> {
-        let mut st = self.shard(key).lock().expect("probe cache poisoned");
+        let mut st = lock_or_die(self.shard(key), "probe cache shard");
         match st.map.get(key).copied() {
             Some(obs) => {
                 st.hits += 1;
@@ -135,21 +136,21 @@ impl ProbeCache {
     /// duplicate probe of the same key keeps the earlier entry so later
     /// readers all see one stable value.
     pub fn put(&self, key: CacheKey, obs: Observation) {
-        let mut st = self.shard(&key).lock().expect("probe cache poisoned");
+        let mut st = lock_or_die(self.shard(&key), "probe cache shard");
         st.map.entry(key).or_insert(obs);
     }
 
     /// `(hits, misses)` so far, summed across shards.
     pub fn stats(&self) -> (u64, u64) {
         self.shards.iter().fold((0, 0), |(h, m), shard| {
-            let st = shard.lock().expect("probe cache poisoned");
+            let st = lock_or_die(shard, "probe cache shard");
             (h + st.hits, m + st.misses)
         })
     }
 
     /// Number of distinct keys held, summed across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|shard| shard.lock().expect("probe cache poisoned").map.len()).sum()
+        self.shards.iter().map(|shard| lock_or_die(shard, "probe cache shard").map.len()).sum()
     }
 
     /// Whether the cache holds nothing.
@@ -263,7 +264,7 @@ impl GridCache {
         build: impl FnOnce() -> SearchSpace,
     ) -> std::sync::Arc<SearchSpace> {
         {
-            let mut st = self.shard(&key).lock().expect("grid cache poisoned");
+            let mut st = lock_or_die(self.shard(&key), "grid cache shard");
             if let Some(space) = st.map.get(&key).cloned() {
                 st.hits += 1;
                 return space;
@@ -271,21 +272,21 @@ impl GridCache {
             st.misses += 1;
         }
         let built = std::sync::Arc::new(build());
-        let mut st = self.shard(&key).lock().expect("grid cache poisoned");
+        let mut st = lock_or_die(self.shard(&key), "grid cache shard");
         st.map.entry(key).or_insert(built).clone()
     }
 
     /// `(hits, misses)` so far, summed across shards.
     pub fn stats(&self) -> (u64, u64) {
         self.shards.iter().fold((0, 0), |(h, m), shard| {
-            let st = shard.lock().expect("grid cache poisoned");
+            let st = lock_or_die(shard, "grid cache shard");
             (h + st.hits, m + st.misses)
         })
     }
 
     /// Number of distinct grids held, summed across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|shard| shard.lock().expect("grid cache poisoned").map.len()).sum()
+        self.shards.iter().map(|shard| lock_or_die(shard, "grid cache shard").map.len()).sum()
     }
 
     /// Whether the cache holds nothing.

@@ -70,6 +70,7 @@
 //! format 1, so readers accept both.
 
 use crate::proto::{SessionResult, SubmitSpec};
+use crate::sync::{lock_or_die, wait_or_die};
 use mlcd::prelude::Scenario;
 use mlcd::search::TraceEvent;
 use serde::{Deserialize, Serialize};
@@ -272,46 +273,56 @@ impl std::fmt::Display for AppendError {
 /// materialises durable records into it).
 #[derive(Debug)]
 pub struct SessionFile {
-    file: Mutex<File>,
+    inner: Mutex<FileInner>,
+}
+
+/// Handle plus sticky failure behind *one* mutex, so checking `broken`
+/// and writing are a single critical section — no second lock can be
+/// caught live across the file write (lint rule R6 flags exactly that
+/// shape; the mutex-guarded `File` serializing its own I/O is the
+/// sanctioned one).
+#[derive(Debug)]
+struct FileInner {
+    file: File,
     /// First write failure, sticky: once a record could not be
     /// materialised the file has a gap, so every later write (and the
     /// session's next blocking append) must fail rather than leave a
     /// hole in the record stream.
-    broken: Mutex<Option<String>>,
+    broken: Option<String>,
 }
 
 impl SessionFile {
     fn new(file: File) -> SessionFile {
-        SessionFile { file: Mutex::new(file), broken: Mutex::new(None) }
+        SessionFile { inner: Mutex::new(FileInner { file, broken: None }) }
     }
 
     /// The sticky failure, if any write to this file ever failed.
     fn broken(&self) -> Option<String> {
-        self.broken.lock().expect("session file poisoned").clone()
+        lock_or_die(&self.inner, "session file").broken.clone()
     }
 
     fn write_line(&self, line: &str) -> Result<(), String> {
-        let mut broken = self.broken.lock().expect("session file poisoned");
-        if let Some(e) = &*broken {
+        let mut st = lock_or_die(&self.inner, "session file");
+        if let Some(e) = &st.broken {
             return Err(e.clone());
         }
-        match self.file.lock().expect("session file poisoned").write_all(line.as_bytes()) {
+        match st.file.write_all(line.as_bytes()) {
             Ok(()) => Ok(()),
             Err(e) => {
-                *broken = Some(e.to_string());
+                st.broken = Some(e.to_string());
                 Err(e.to_string())
             }
         }
     }
 
     fn write_line_synced(&self, line: &str) -> std::io::Result<()> {
-        let mut f = self.file.lock().expect("session file poisoned");
-        f.write_all(line.as_bytes())?;
-        f.sync_data()
+        let mut st = lock_or_die(&self.inner, "session file");
+        st.file.write_all(line.as_bytes())?;
+        st.file.sync_data()
     }
 
     fn sync(&self) -> std::io::Result<()> {
-        self.file.lock().expect("session file poisoned").sync_data()
+        lock_or_die(&self.inner, "session file").file.sync_data()
     }
 }
 
@@ -366,17 +377,17 @@ impl Ticket {
     }
 
     fn complete(&self, outcome: Result<(), AppendError>) {
-        *self.done.lock().expect("ticket poisoned") = Some(outcome);
+        *lock_or_die(&self.done, "ticket") = Some(outcome);
         self.cv.notify_all();
     }
 
     fn wait(&self) -> Result<(), AppendError> {
-        let mut slot = self.done.lock().expect("ticket poisoned");
+        let mut slot = lock_or_die(&self.done, "ticket");
         loop {
             if let Some(outcome) = slot.take() {
                 return outcome;
             }
-            slot = self.cv.wait(slot).expect("ticket poisoned");
+            slot = wait_or_die(&self.cv, slot, "ticket");
         }
     }
 }
@@ -431,7 +442,7 @@ impl CommitShared {
         mut waiter: Option<Waiter>,
     ) -> Result<(), AppendError> {
         let (refused, was_idle) = {
-            let mut q = self.queue.lock().expect("commit queue poisoned");
+            let mut q = lock_or_die(&self.queue, "commit queue");
             let refused = match &q.dead {
                 Some(DeadReason::Crashed) => Some(AppendError::Crashed),
                 Some(DeadReason::Broken(e)) => {
@@ -601,11 +612,11 @@ impl GroupCommitter {
     /// Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut q = self.shared.queue.lock().expect("commit queue poisoned");
+            let mut q = lock_or_die(&self.shared.queue, "commit queue");
             q.shutdown = true;
         }
         self.shared.work_cv.notify_all();
-        let handle = self.thread.lock().expect("commit thread poisoned").take();
+        let handle = lock_or_die(&self.thread, "commit thread").take();
         if let Some(h) = handle {
             let _ = h.join();
         }
@@ -626,7 +637,7 @@ fn commit_die(shared: &CommitShared, batch: Vec<PendingAppend>, reason: DeadReas
         DeadReason::Broken(e) => AppendError::Io(format!("commit log broken: {e}")),
     };
     let drained = {
-        let mut q = shared.queue.lock().expect("commit queue poisoned");
+        let mut q = lock_or_die(&shared.queue, "commit queue");
         q.dead = Some(reason);
         std::mem::take(&mut q.pending)
     };
@@ -661,7 +672,7 @@ fn commit_loop(
     let mut crash_after_fsync = false;
     loop {
         let (batch, shutdown): (Vec<PendingAppend>, bool) = {
-            let mut q = shared.queue.lock().expect("commit queue poisoned");
+            let mut q = lock_or_die(&shared.queue, "commit queue");
             loop {
                 if !q.pending.is_empty() {
                     break (std::mem::take(&mut q.pending), false);
@@ -671,7 +682,7 @@ fn commit_loop(
                     // sleep on it (and drain before a shutdown).
                     break (Vec::new(), q.shutdown);
                 }
-                q = shared.work_cv.wait(q).expect("commit queue poisoned");
+                q = wait_or_die(&shared.work_cv, q, "commit queue");
             }
         };
         if batch.is_empty() && staged.is_empty() {

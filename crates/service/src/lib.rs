@@ -36,6 +36,7 @@ pub mod journal;
 pub mod net;
 pub mod proto;
 pub mod session;
+pub mod sync;
 
 pub use cache::{CacheKey, CachedEnv, GridCache, GridKey, ProbeCache, ProvenanceLog};
 pub use journal::{

@@ -15,6 +15,7 @@
 
 use crate::proto::{Request, Response};
 use crate::session::{Phase, SessionManager};
+use crate::sync::{lock_or_die, wait_timeout_or_die};
 use mlcd::search::TraceEvent;
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,25 +41,25 @@ impl ConnGauge {
     }
 
     fn enter(&self) {
-        *self.count.lock().expect("conn gauge poisoned") += 1;
+        *lock_or_die(&self.count, "conn gauge") += 1;
     }
 
     fn exit(&self) {
-        *self.count.lock().expect("conn gauge poisoned") -= 1;
+        *lock_or_die(&self.count, "conn gauge") -= 1;
         self.cv.notify_all();
     }
 
     /// Wait (bounded) until every connection thread has exited.
     fn drain(&self, timeout: Duration) {
         let deadline = std::time::Instant::now() + timeout;
-        let mut count = self.count.lock().expect("conn gauge poisoned");
+        let mut count = lock_or_die(&self.count, "conn gauge");
         while *count > 0 {
             let left = deadline.saturating_duration_since(std::time::Instant::now());
             if left.is_zero() {
                 eprintln!("[{}] shutdown: {} connection(s) still draining", log_stamp(), *count);
                 return;
             }
-            let (guard, _) = self.cv.wait_timeout(count, left).expect("conn gauge poisoned");
+            let (guard, _) = wait_timeout_or_die(&self.cv, count, left, "conn gauge");
             count = guard;
         }
     }

@@ -77,6 +77,7 @@ use crate::journal::{
     CommitCrashPoint, CommitStats, GroupCommitter, JournalRecord, SessionJournal, JOURNAL_FORMAT,
 };
 use crate::proto::{ServiceStats, SessionResult, StatusLine, SubmitSpec};
+use crate::sync::{lock_or_die, wait_or_die};
 use mlcd::prelude::{
     Deployment, ExperimentRunner, Money, Observation, ProfileError, ProfilingEnv, Scenario,
     SearchSpace, SimDuration, TraceEvent, TraceSink,
@@ -241,19 +242,19 @@ impl Session {
 
     /// Current lifecycle phase (cloned snapshot).
     pub fn phase(&self) -> Phase {
-        self.state.lock().expect("session poisoned").phase.clone()
+        lock_or_die(&self.state, "session state").phase.clone()
     }
 
     /// Block until the session reaches a terminal phase, and return it.
     /// After manager shutdown the phase is frozen, so a detached session
     /// returns its current phase instead of blocking forever.
     pub fn wait_terminal(&self) -> Phase {
-        let mut st = self.state.lock().expect("session poisoned");
+        let mut st = lock_or_die(&self.state, "session state");
         while !st.phase.is_terminal() {
             if self.detached.load(Ordering::SeqCst) {
                 break;
             }
-            st = self.state_cv.wait(st).expect("session poisoned");
+            st = wait_or_die(&self.state_cv, st, "session state");
         }
         st.phase.clone()
     }
@@ -296,7 +297,7 @@ impl Session {
     /// mutex; the event payloads are cloned after it is released.
     pub fn next_events(&self, from: usize) -> (Vec<TraceEvent>, Option<String>) {
         let (batch, terminal): (Vec<Arc<TraceEvent>>, Option<String>) = {
-            let mut st = self.state.lock().expect("session poisoned");
+            let mut st = lock_or_die(&self.state, "session state");
             loop {
                 if st.events.len() > from {
                     let end = st.events.len().min(from + WATCH_BATCH);
@@ -305,7 +306,7 @@ impl Session {
                 if st.phase.is_terminal() || self.detached.load(Ordering::SeqCst) {
                     break (Vec::new(), Some(st.phase.name().to_string()));
                 }
-                st = self.state_cv.wait(st).expect("session poisoned");
+                st = wait_or_die(&self.state_cv, st, "session state");
             }
         };
         (batch.iter().map(|e| (**e).clone()).collect(), terminal)
@@ -313,21 +314,21 @@ impl Session {
 
     fn push_event(&self, event: TraceEvent) {
         let event = Arc::new(event);
-        let mut st = self.state.lock().expect("session poisoned");
+        let mut st = lock_or_die(&self.state, "session state");
         st.events.push(event);
         drop(st);
         self.state_cv.notify_all();
     }
 
     fn set_phase(&self, phase: Phase) {
-        let mut st = self.state.lock().expect("session poisoned");
+        let mut st = lock_or_die(&self.state, "session state");
         st.phase = phase;
         drop(st);
         self.state_cv.notify_all();
     }
 
     fn seed_events(&self, events: Vec<TraceEvent>) {
-        self.state.lock().expect("session poisoned").events =
+        lock_or_die(&self.state, "session state").events =
             events.into_iter().map(Arc::new).collect();
     }
 }
@@ -639,6 +640,12 @@ struct TerminalLog {
     evicted: u64,
 }
 
+// The manager's acquire-before discipline, machine-checked by lint rule
+// R7 (this declaration merges with the built-in mlcd-service manifest):
+// the small control mutex is outermost, then the retention log, then
+// session/queue shards, then an individual session's state. Never hold
+// two shards of the same family at once.
+// lint: lock-order: control < terminal < session_shard|session_shards < queue_shard|queue_shards < state
 struct Inner {
     cfg: ServiceConfig,
     cache: ProbeCache,
@@ -681,11 +688,11 @@ impl Inner {
     /// oldest terminal sessions past the cap. `Crashed` sessions are
     /// not retired: they belong to the *next* manager.
     fn retire(&self, id: u64) {
-        let mut t = self.terminal.lock().expect("terminal log poisoned");
+        let mut t = lock_or_die(&self.terminal, "terminal log");
         t.order.push_back(id);
         while t.order.len() > self.cfg.retain_terminal {
             if let Some(victim) = t.order.pop_front() {
-                self.session_shard(victim).lock().expect("sessions poisoned").remove(&victim);
+                lock_or_die(self.session_shard(victim), "session shard").remove(&victim);
                 t.evicted += 1;
             }
         }
@@ -868,7 +875,7 @@ impl SessionManager {
         // Phase 1 — admission without any global lock: a single atomic
         // counter bounds the queue, and the shutdown flag is re-checked
         // under `control` in phase 3 before the session becomes visible.
-        if self.inner.control.lock().expect("control poisoned").shutdown {
+        if lock_or_die(&self.inner.control, "service control").shutdown {
             return Err(Reject { queue_full: false, reason: "server is shutting down".into() });
         }
         let cap = self.inner.cfg.queue_cap;
@@ -931,7 +938,7 @@ impl SessionManager {
         // cheap, so holding `control` across it keeps the wakeup
         // race-free without a global queue lock.
         let session = Arc::new(Session::new(id, spec.clone(), scenario, Phase::Queued));
-        let control = self.inner.control.lock().expect("control poisoned");
+        let control = lock_or_die(&self.inner.control, "service control");
         if control.shutdown {
             drop(control);
             journal.take();
@@ -940,8 +947,8 @@ impl SessionManager {
             return Err(Reject { queue_full: false, reason: "server is shutting down".into() });
         }
         let seq = self.inner.next_seq.fetch_add(1, Ordering::AcqRel);
-        self.inner.session_shard(id).lock().expect("sessions poisoned").insert(id, session.clone());
-        self.inner.queue_shard(id).lock().expect("queue poisoned").push(WorkItem {
+        lock_or_die(self.inner.session_shard(id), "session shard").insert(id, session.clone());
+        lock_or_die(self.inner.queue_shard(id), "queue shard").push(WorkItem {
             session,
             journal,
             resumed: false,
@@ -970,8 +977,7 @@ impl SessionManager {
     /// from their journal, so `Status`/`Result` keep answering past the
     /// retention cap.
     pub fn session(&self, id: u64) -> Option<Arc<Session>> {
-        let live =
-            self.inner.session_shard(id).lock().expect("sessions poisoned").get(&id).cloned();
+        let live = lock_or_die(self.inner.session_shard(id), "session shard").get(&id).cloned();
         if let Some(s) = live {
             return Some(s);
         }
@@ -1011,7 +1017,7 @@ impl SessionManager {
             None => {
                 let mut rows: Vec<StatusLine> = Vec::new();
                 for shard in &self.inner.session_shards {
-                    let shard = shard.lock().expect("sessions poisoned");
+                    let shard = lock_or_die(shard, "session shard");
                     rows.extend(shard.values().map(|s| s.status_line()));
                 }
                 rows.sort_by_key(|r| r.id);
@@ -1022,8 +1028,7 @@ impl SessionManager {
 
     /// Request cancellation. Returns false for an unknown id.
     pub fn cancel(&self, id: u64) -> bool {
-        let live =
-            self.inner.session_shard(id).lock().expect("sessions poisoned").get(&id).cloned();
+        let live = lock_or_die(self.inner.session_shard(id), "session shard").get(&id).cloned();
         let Some(s) = live else {
             return false;
         };
@@ -1048,11 +1053,11 @@ impl SessionManager {
             .inner
             .session_shards
             .iter()
-            .map(|s| s.lock().expect("sessions poisoned").len() as u64)
+            .map(|s| lock_or_die(s, "session shard").len() as u64)
             .sum();
         let (cache_hits, cache_misses) = self.inner.cache.stats();
         let (grid_hits, grid_misses) = self.inner.grids.stats();
-        let evicted = self.inner.terminal.lock().expect("terminal poisoned").evicted;
+        let evicted = lock_or_die(&self.inner.terminal, "terminal log").evicted;
         let commit: CommitStats =
             self.inner.committer.as_ref().map(GroupCommitter::stats).unwrap_or_default();
         ServiceStats {
@@ -1075,7 +1080,7 @@ impl SessionManager {
     /// for managers started paused (the test path); otherwise empty.
     pub fn started_order(&self) -> Vec<u64> {
         match &self.inner.started {
-            Some(started) => started.lock().expect("started poisoned").clone(),
+            Some(started) => lock_or_die(started, "started log").clone(),
             None => Vec::new(),
         }
     }
@@ -1084,14 +1089,14 @@ impl SessionManager {
     /// [`ServiceConfig::start_paused`]: the worker pool begins draining
     /// the queue. A no-op when not paused.
     pub fn resume_workers(&self) {
-        self.inner.control.lock().expect("control poisoned").paused = false;
+        lock_or_die(&self.inner.control, "service control").paused = false;
         self.inner.work_cv.notify_all();
     }
 
     /// Stop accepting and starting work. Running sessions finish; queued
     /// journaled sessions stay on disk and resume on the next start.
     pub fn shutdown(&self) {
-        self.inner.control.lock().expect("control poisoned").shutdown = true;
+        lock_or_die(&self.inner.control, "service control").shutdown = true;
         self.inner.work_cv.notify_all();
     }
 
@@ -1102,7 +1107,7 @@ impl SessionManager {
     /// committer so everything buffered is durable.
     pub fn shutdown_and_wait(&self) {
         self.shutdown();
-        let handles: Vec<_> = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        let handles: Vec<_> = std::mem::take(&mut *lock_or_die(&self.workers, "worker pool"));
         for h in handles {
             let _ = h.join();
         }
@@ -1115,7 +1120,7 @@ impl SessionManager {
         }
         for shard in &self.inner.session_shards {
             let sessions: Vec<Arc<Session>> =
-                shard.lock().expect("sessions poisoned").values().cloned().collect();
+                lock_or_die(shard, "session shard").values().cloned().collect();
             for s in sessions {
                 s.detach();
             }
@@ -1137,7 +1142,7 @@ impl Drop for SessionManager {
 fn pop_best(inner: &Inner) -> Option<WorkItem> {
     let mut best: Option<(u8, std::cmp::Reverse<u64>, usize)> = None;
     for (shard_idx, shard) in inner.queue_shards.iter().enumerate() {
-        let q = shard.lock().expect("queue poisoned");
+        let q = lock_or_die(shard, "queue shard");
         if let Some(e) = q.iter().max_by_key(|e| (e.priority, std::cmp::Reverse(e.seq))) {
             let better = match best {
                 None => true,
@@ -1149,7 +1154,7 @@ fn pop_best(inner: &Inner) -> Option<WorkItem> {
         }
     }
     let (priority, seq, shard_idx) = best?;
-    let mut q = inner.queue_shards[shard_idx].lock().expect("queue poisoned");
+    let mut q = lock_or_die(&inner.queue_shards[shard_idx], "queue shard");
     let idx = q.iter().position(|e| e.priority == priority && e.seq == seq.0)?;
     Some(q.remove(idx))
 }
@@ -1157,7 +1162,7 @@ fn pop_best(inner: &Inner) -> Option<WorkItem> {
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let item = {
-            let mut control = inner.control.lock().expect("control poisoned");
+            let mut control = lock_or_die(&inner.control, "service control");
             loop {
                 if control.shutdown {
                     return;
@@ -1169,12 +1174,12 @@ fn worker_loop(inner: &Arc<Inner>) {
                         break item;
                     }
                 }
-                control = inner.work_cv.wait(control).expect("control poisoned");
+                control = wait_or_die(&inner.work_cv, control, "service control");
             }
         };
         inner.queued.fetch_sub(1, Ordering::AcqRel);
         if let Some(started) = &inner.started {
-            started.lock().expect("started poisoned").push(item.session.id);
+            lock_or_die(started, "started log").push(item.session.id);
         }
         run_session(inner, item);
     }

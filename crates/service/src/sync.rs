@@ -1,0 +1,95 @@
+//! The service's single audited poison boundary (lint rule R9).
+//!
+//! Every `Mutex`/`Condvar` in `crates/service` routes its poison
+//! `Result` through the helpers below instead of scattering
+//! `.lock().expect(..)` across call sites. The policy is deliberate and
+//! uniform: a poisoned lock means some holder panicked mid-update, so
+//! the protected state can no longer be trusted — we die loudly rather
+//! than limp on with torn invariants. Worker panics that must *not* take
+//! the service down are already converted to session failures before any
+//! lock is involved (see `session::run_session`'s catch_unwind), so a
+//! poisoned lock here is always a bug, never load.
+//!
+//! Centralising the unwrap also keeps the policy changeable in one
+//! place: if a future revision wants poison *recovery* (e.g. mark the
+//! session shard degraded and keep serving others), only this file and
+//! its callers' signatures are involved — not ~50 ad-hoc `expect`s.
+
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Acquire `m`, dying loudly on poison. `what` names the lock in the
+/// panic message (`"session state"`, `"queue shard"`, …).
+pub fn lock_or_die<'a, T>(m: &'a Mutex<T>, what: &str) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(_) => panic!("{what} lock poisoned — a holder panicked mid-update"),
+    }
+}
+
+/// Block on `cv`, consuming and returning the guard, dying loudly on
+/// poison. The guard hand-off is the condvar protocol; callers keep the
+/// standard `g = wait_or_die(&cv, g, ..)` loop shape.
+pub fn wait_or_die<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>, what: &str) -> MutexGuard<'a, T> {
+    match cv.wait(g) {
+        Ok(g) => g,
+        Err(_) => panic!("{what} lock poisoned — a holder panicked mid-update"),
+    }
+}
+
+/// Timed variant of [`wait_or_die`]; returns the guard and whether the
+/// wait timed out.
+pub fn wait_timeout_or_die<'a, T>(
+    cv: &Condvar,
+    g: MutexGuard<'a, T>,
+    dur: Duration,
+    what: &str,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    match cv.wait_timeout(g, dur) {
+        Ok(pair) => pair,
+        Err(_) => panic!("{what} lock poisoned — a holder panicked mid-update"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn lock_or_die_passes_through_unpoisoned() {
+        let m = Mutex::new(7u32);
+        assert_eq!(*lock_or_die(&m, "test"), 7);
+    }
+
+    #[test]
+    fn wait_or_die_round_trips_the_guard() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *lock_or_die(m, "flag") = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = lock_or_die(m, "flag");
+        while !*g {
+            g = wait_or_die(cv, g, "flag");
+        }
+        drop(g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "test-lock lock poisoned")]
+    fn poison_panics_with_the_lock_name() {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        drop(lock_or_die(&m, "test-lock"));
+    }
+}
