@@ -1,0 +1,116 @@
+//! Fleet-planning benchmarks: speed and quality of multi-job scheduling
+//! on a shared capacity pool.
+//!
+//! `fleet_run` prices a whole contended fleet simulation end-to-end
+//! (arrivals, strict-handoff tenant threads, policy arbitration, search,
+//! training) per policy, so it is the wall-clock cost of one
+//! `mlcd-fleet run`. The quality pass is not a timing bench at all: it
+//! runs every policy once on the contended presets, compares aggregate
+//! cost against the isolated per-job greedy baseline, and appends
+//! `fleet_quality/...` records (a `metrics` object instead of timing
+//! fields) to the `CRITERION_JSON` stream for `bench_report` to fold
+//! into `BENCH_fleet.json`. Those metrics are bit-deterministic: the
+//! fleet digest contract makes two runs of the same scenario identical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlcd_fleet::{per_job_greedy_cost, policy_by_name, FleetScenario, FleetSim, POLICY_NAMES};
+use std::hint::black_box;
+
+fn run_fleet(level: u8, seed: u64, policy: &str) -> mlcd_fleet::FleetOutcome {
+    let scenario = FleetScenario::contended(level, seed);
+    let policy = policy_by_name(policy).expect("known policy");
+    FleetSim::new(scenario, policy).run()
+}
+
+fn bench_fleet_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_run");
+    g.sample_size(10);
+    for policy in POLICY_NAMES {
+        g.bench_function(format!("c1/{policy}"), |b| {
+            b.iter(|| black_box(run_fleet(black_box(1), 2020, policy).agg.total_cost.dollars()))
+        });
+    }
+    g.finish();
+}
+
+/// Append one quality record to the `CRITERION_JSON` stream. Unlike the
+/// timing records these carry a `metrics` object; `bench_report`
+/// surfaces them verbatim under its `fleet_quality` section.
+fn emit_quality(name: &str, metrics: &serde_json::Value) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    let record = serde_json::json!({ "name": name, "metrics": metrics });
+    let line = format!("{}\n", serde_json::to_string(&record).expect("record serialises"));
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("fleet_bench: failed to append to {path}: {e}");
+    }
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Quality pass: every policy on the contended presets vs. the isolated
+/// per-job greedy baseline. Deterministic, so one run per point is the
+/// whole measurement.
+fn bench_fleet_quality(_c: &mut Criterion) {
+    // Mirror the shim's CLI handling (see service_bench): a substring
+    // filter skips us, and without `--bench` run the cheapest level only
+    // as a smoke pass.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    if let Some(pat) = &filter {
+        if !"fleet_quality".contains(pat.as_str()) {
+            return;
+        }
+    }
+    let full = std::env::args().any(|a| a == "--bench");
+    let levels: &[u8] = if full { &[1, 2, 3] } else { &[1] };
+    let seed = 2020u64;
+
+    for &level in levels {
+        let scenario = FleetScenario::contended(level, seed);
+        let greedy = per_job_greedy_cost(&scenario).dollars();
+        emit_quality(
+            &format!("fleet_baseline/c{level}/per_job_greedy"),
+            &serde_json::json!({ "total_cost_usd": round2(greedy) }),
+        );
+        for policy in POLICY_NAMES {
+            let out = run_fleet(level, seed, policy);
+            let cost = out.agg.total_cost.dollars();
+            let saving_pct = round2(100.0 * (greedy - cost) / greedy);
+            println!(
+                "fleet_quality/c{level}/{policy:<9} cost ${cost:>8.2}  saving {saving_pct:>5.1}%  \
+                 missed {}/{}  util {:.2}",
+                out.agg.missed, out.agg.deadline_jobs, out.agg.utilization,
+            );
+            emit_quality(
+                &format!("fleet_quality/c{level}/{policy}"),
+                &serde_json::json!({
+                    "total_cost_usd": round2(cost),
+                    "saving_vs_greedy_pct": saving_pct,
+                    "deadline_jobs": out.agg.deadline_jobs,
+                    "missed": out.agg.missed,
+                    "miss_rate": round2(out.agg.miss_rate()),
+                    "granted": out.agg.granted,
+                    "denied": out.agg.denied,
+                    "mean_queue_hours": round2(out.agg.mean_queue_hours),
+                    "utilization": round2(out.agg.utilization),
+                    "makespan_hours": round2(out.agg.makespan_hours),
+                    "sim_jobs_per_hour":
+                        round2(f64::from(out.agg.completed) / out.agg.makespan_hours),
+                }),
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_fleet_run, bench_fleet_quality);
+criterion_main!(benches);

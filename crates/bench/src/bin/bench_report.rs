@@ -177,6 +177,50 @@ fn main() {
         }
     }
 
+    // Fleet quality records carry a `metrics` object instead of timing
+    // fields (they measure scheduling quality, not speed, and are
+    // bit-deterministic — the last record of a name wins). Surface them
+    // verbatim, split into the baseline and policy sections, and derive
+    // the headline comparison: each policy's saving and miss rate next
+    // to the fifo-greedy baseline at the same contention level.
+    let mut fleet_quality: Vec<(String, Value)> = Vec::new();
+    let mut fleet_baseline: Vec<(String, Value)> = Vec::new();
+    for name in &names {
+        let Some((_, v)) = runs.iter().rev().find(|(n, v)| n == name && v.get("metrics").is_some())
+        else {
+            continue;
+        };
+        if let Some(rest) = name.strip_prefix("fleet_quality/") {
+            fleet_quality.push((rest.to_string(), v["metrics"].clone()));
+        } else if let Some(rest) = name.strip_prefix("fleet_baseline/") {
+            fleet_baseline.push((rest.to_string(), v["metrics"].clone()));
+        }
+    }
+    let mut fleet_vs_fifo: Vec<(String, Value)> = Vec::new();
+    for (point, m) in &fleet_quality {
+        let Some((level, policy)) = point.split_once('/') else { continue };
+        if policy == "fifo" {
+            continue;
+        }
+        let fifo =
+            fleet_quality.iter().find(|(p, _)| p == &format!("{level}/fifo")).map(|(_, v)| v);
+        let Some(fifo) = fifo else { continue };
+        let f = |v: &Value, k: &str| v.get(k).and_then(Value::as_f64);
+        if let (Some(s), Some(fs)) = (f(m, "saving_vs_greedy_pct"), f(fifo, "saving_vs_greedy_pct"))
+        {
+            fleet_vs_fifo.push((
+                point.clone(),
+                json!({
+                    "saving_vs_greedy_pct": s,
+                    "fifo_saving_vs_greedy_pct": fs,
+                    "saving_delta_pct": round2(s - fs),
+                    "miss_rate": f(m, "miss_rate"),
+                    "fifo_miss_rate": f(fifo, "miss_rate"),
+                }),
+            ));
+        }
+    }
+
     // Derived saturation view: fold `service_saturation/<mode>/c<C>/...`
     // records into sessions/s and p99 submit latency per (mode, conc),
     // plus group-commit speedup (fsync_each ns / group ns) per conc.
@@ -271,6 +315,13 @@ fn main() {
         report.push(("saturation".into(), Value::Object(saturation)));
         report.push(("group_commit_speedup".into(), Value::Object(sat_speedups.clone())));
     }
+    if !fleet_quality.is_empty() {
+        report.push(("fleet_quality".into(), Value::Object(fleet_quality)));
+        if !fleet_baseline.is_empty() {
+            report.push(("fleet_baseline".into(), Value::Object(fleet_baseline)));
+        }
+        report.push(("fleet_vs_fifo".into(), Value::Object(fleet_vs_fifo.clone())));
+    }
     let report = Value::Object(report);
 
     let pretty = serde_json::to_string_pretty(&report).expect("report serialises");
@@ -288,6 +339,16 @@ fn main() {
         if let Some(x) = s.as_f64() {
             println!("  saturation {conc}: group commit {x}x vs per-append fsync");
         }
+    }
+    for (point, v) in &fleet_vs_fifo {
+        let f = |k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        println!(
+            "  fleet {point}: saving {:.1}% vs greedy (fifo {:.1}%), miss rate {:.2} (fifo {:.2})",
+            f("saving_vs_greedy_pct"),
+            f("fifo_saving_vs_greedy_pct"),
+            f("miss_rate"),
+            f("fifo_miss_rate"),
+        );
     }
 }
 

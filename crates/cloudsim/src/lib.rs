@@ -56,5 +56,5 @@ pub use sim::{
     global_event_counters, EventCounters, EventId, EventKind, EventRecord, SimEngine, SimEvent,
     SimEventCounter, TerminationCause,
 };
-pub use spot::SpotMarket;
+pub use spot::{MarketMode, SpotMarket};
 pub use time::{SimClock, SimDuration, SimTime};

@@ -69,6 +69,13 @@ pub enum CloudError {
         /// When the revocation hit.
         at: SimTime,
     },
+    /// An admission layer (the fleet scheduler) refused the launch.
+    /// Unlike [`CloudError::CapacityExhausted`] this is a policy decision,
+    /// not a resource fact — retrying the same request may never succeed.
+    Denied {
+        /// The policy's stated reason.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for CloudError {
@@ -89,6 +96,7 @@ impl std::fmt::Display for CloudError {
             CloudError::SpotRevoked { cluster, at } => {
                 write!(f, "spot market revoked {cluster} at {:.0} s", at.as_secs())
             }
+            CloudError::Denied { reason } => write!(f, "launch denied: {reason}"),
         }
     }
 }
@@ -317,6 +325,20 @@ impl Component for MetricAgent {
                 ctx.metrics.put("sim/pending_events", rec.at, ctx.engine.pending_len() as f64);
                 ctx.engine.schedule(rec.at + period, SimEvent::MetricTick { period });
             }
+            // Fleet observability: one sample per scheduler decision, so
+            // queueing delay and miss rate are recoverable as series.
+            SimEvent::JobArrived { job } => {
+                ctx.metrics.put("fleet/job_arrived", rec.at, job as f64);
+            }
+            SimEvent::ProbeGranted { waited, .. } => {
+                ctx.metrics.put("fleet/queue_wait_hours", rec.at, waited.as_hours());
+            }
+            SimEvent::ProbeDenied { job } => {
+                ctx.metrics.put("fleet/probe_denied", rec.at, job as f64);
+            }
+            SimEvent::JobCompleted { missed, .. } => {
+                ctx.metrics.put("fleet/deadline_missed", rec.at, if missed { 1.0 } else { 0.0 });
+            }
             _ => {}
         }
     }
@@ -373,6 +395,10 @@ impl SimCloud {
         engine.subscribe(EventKind::SpotPriceChanged, ComponentId::Metrics);
         engine.subscribe(EventKind::CapacityChanged, ComponentId::Metrics);
         engine.subscribe(EventKind::MetricTick, ComponentId::Metrics);
+        engine.subscribe(EventKind::JobArrived, ComponentId::Metrics);
+        engine.subscribe(EventKind::ProbeGranted, ComponentId::Metrics);
+        engine.subscribe(EventKind::ProbeDenied, ComponentId::Metrics);
+        engine.subscribe(EventKind::JobCompleted, ComponentId::Metrics);
         let spot = SpotMarket::default();
         SimCloud {
             clock: SimClock::new(),
@@ -426,6 +452,26 @@ impl SimCloud {
     /// The spot market (for price queries).
     pub fn spot_market(&self) -> &SpotMarket {
         &self.spot
+    }
+
+    /// Replace the spot market (fleet scenarios select the price process
+    /// per run). Must be called before any spot activity: the market agent
+    /// keeps a copy for price-tick rescheduling, so both are updated here.
+    pub fn set_market(&mut self, market: SpotMarket) {
+        self.spot = market;
+        self.state.lock().market.market = market;
+    }
+
+    /// Inject an externally produced event at the current instant and
+    /// dispatch everything due, so counters, the event log and metric
+    /// gauges all observe it immediately. The fleet driver narrates its
+    /// scheduler decisions (arrivals, grants, denials, completions)
+    /// through this.
+    pub fn emit_now(&self, event: SimEvent) {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        st.engine.schedule(now, event);
+        self.drain_due(&mut st, now);
     }
 
     // --- engine driving ----------------------------------------------

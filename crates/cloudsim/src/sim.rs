@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrd};
 
 /// Number of distinct [`EventKind`]s (array-table size).
-pub const N_EVENT_KINDS: usize = 7;
+pub const N_EVENT_KINDS: usize = 11;
 
 /// Discriminant of a [`SimEvent`], used for subscriptions and counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
@@ -49,6 +49,14 @@ pub enum EventKind {
     ClusterTerminated,
     /// Periodic observability tick (gauge sampling).
     MetricTick,
+    /// A fleet job arrived and was registered with the scheduler.
+    JobArrived,
+    /// The fleet scheduler granted a tenant's pending launch request.
+    ProbeGranted,
+    /// The fleet scheduler denied a tenant's launch request outright.
+    ProbeDenied,
+    /// A fleet job finished (search plus training, or gave up).
+    JobCompleted,
 }
 
 impl EventKind {
@@ -61,6 +69,10 @@ impl EventKind {
         EventKind::CapacityChanged,
         EventKind::ClusterTerminated,
         EventKind::MetricTick,
+        EventKind::JobArrived,
+        EventKind::ProbeGranted,
+        EventKind::ProbeDenied,
+        EventKind::JobCompleted,
     ];
 
     /// Stable display name (used by `mlcd stats` and the event goldens).
@@ -73,6 +85,10 @@ impl EventKind {
             EventKind::CapacityChanged => "capacity_changed",
             EventKind::ClusterTerminated => "cluster_terminated",
             EventKind::MetricTick => "metric_tick",
+            EventKind::JobArrived => "job_arrived",
+            EventKind::ProbeGranted => "probe_granted",
+            EventKind::ProbeDenied => "probe_denied",
+            EventKind::JobCompleted => "job_completed",
         }
     }
 
@@ -85,6 +101,10 @@ impl EventKind {
             EventKind::CapacityChanged => 4,
             EventKind::ClusterTerminated => 5,
             EventKind::MetricTick => 6,
+            EventKind::JobArrived => 7,
+            EventKind::ProbeGranted => 8,
+            EventKind::ProbeDenied => 9,
+            EventKind::JobCompleted => 10,
         }
     }
 }
@@ -157,6 +177,31 @@ pub enum SimEvent {
         /// Tick period.
         period: SimDuration,
     },
+    /// A fleet job arrived and was registered with the scheduler.
+    JobArrived {
+        /// Fleet-assigned job id.
+        job: u64,
+    },
+    /// The fleet scheduler granted a tenant's pending launch request.
+    ProbeGranted {
+        /// Fleet-assigned job id.
+        job: u64,
+        /// How long the request queued before the grant.
+        waited: SimDuration,
+    },
+    /// The fleet scheduler denied a tenant's launch request outright.
+    ProbeDenied {
+        /// Fleet-assigned job id.
+        job: u64,
+    },
+    /// A fleet job finished (search plus training, or gave up).
+    JobCompleted {
+        /// Fleet-assigned job id.
+        job: u64,
+        /// Whether the job's deadline (if any) was missed, wall-clock
+        /// from arrival to completion.
+        missed: bool,
+    },
 }
 
 impl SimEvent {
@@ -170,6 +215,10 @@ impl SimEvent {
             SimEvent::CapacityChanged { .. } => EventKind::CapacityChanged,
             SimEvent::ClusterTerminated { .. } => EventKind::ClusterTerminated,
             SimEvent::MetricTick { .. } => EventKind::MetricTick,
+            SimEvent::JobArrived { .. } => EventKind::JobArrived,
+            SimEvent::ProbeGranted { .. } => EventKind::ProbeGranted,
+            SimEvent::ProbeDenied { .. } => EventKind::ProbeDenied,
+            SimEvent::JobCompleted { .. } => EventKind::JobCompleted,
         }
     }
 }

@@ -35,6 +35,24 @@ pub struct SpotMarket {
     /// Base revocation rate, events per instance-hour at the mean price.
     /// Scales up when the price runs hot (capacity is scarce).
     pub revocation_rate_per_hour: f64,
+    /// Which price process generates the multiplier.
+    pub mode: MarketMode,
+}
+
+/// The shape of the spot price process. Both modes are pure functions of
+/// `(seed, instance type, time)` — no market state is carried between
+/// queries, so prices, revocation rates and revocation draws all stay
+/// consistent with each other under either mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MarketMode {
+    /// The original static process: smoothed per-bucket hash noise around
+    /// the mean (piecewise-linear, bounded, mean-reverting every bucket).
+    Sine,
+    /// A seeded bounded random walk: each 5-minute bucket takes a hash-
+    /// driven step, reflecting off `mean ± amplitude/2`. Prices drift and
+    /// stay away from the mean for long stretches, which is what makes
+    /// fleet-level probe timing decisions interesting.
+    RandomWalk,
 }
 
 impl Default for SpotMarket {
@@ -44,6 +62,7 @@ impl Default for SpotMarket {
             mean_discount: 0.32,
             amplitude: 0.18,
             revocation_rate_per_hour: 0.03,
+            mode: MarketMode::Sine,
         }
     }
 }
@@ -66,11 +85,18 @@ fn unit(h: u64) -> f64 {
 const BUCKET_SECS: f64 = 300.0;
 
 impl SpotMarket {
-    /// Spot price multiplier (fraction of on-demand) for a type at a time.
-    /// Piecewise-constant per 5-minute bucket, bounded to
-    /// `mean ± amplitude/2`, and smoothed by averaging two bucket hashes so
-    /// adjacent buckets correlate.
+    /// Spot price multiplier (fraction of on-demand) for a type at a time,
+    /// dispatched on [`MarketMode`]. Always bounded to `mean ± amplitude/2`.
     pub fn price_multiplier(&self, itype: InstanceType, at: SimTime) -> f64 {
+        match self.mode {
+            MarketMode::Sine => self.sine_multiplier(itype, at),
+            MarketMode::RandomWalk => self.walk_multiplier(itype, at),
+        }
+    }
+
+    /// The static process: piecewise-linear per 5-minute bucket, smoothed
+    /// by averaging two bucket hashes so adjacent buckets correlate.
+    fn sine_multiplier(&self, itype: InstanceType, at: SimTime) -> f64 {
         let bucket = (at.as_secs() / BUCKET_SECS) as u64;
         let key = self.seed ^ (itype as u64).wrapping_mul(0x9E3779B1);
         let a = unit(mix(key ^ bucket));
@@ -78,6 +104,32 @@ impl SpotMarket {
         let frac = (at.as_secs() / BUCKET_SECS).fract();
         let u = a * (1.0 - frac) + b * frac;
         self.mean_discount + self.amplitude * (u - 0.5)
+    }
+
+    /// The random-walk process: starting at the mean, every elapsed bucket
+    /// takes a uniform step of up to `amplitude/8` in either direction and
+    /// reflects off the `mean ± amplitude/2` bounds. Piecewise-constant per
+    /// bucket and a pure function of `(seed, type, bucket index)` — the
+    /// walk is replayed from zero on each query, so the path needs no
+    /// stored state and any two queries at the same time agree exactly.
+    fn walk_multiplier(&self, itype: InstanceType, at: SimTime) -> f64 {
+        let lo = self.mean_discount - self.amplitude / 2.0;
+        let hi = self.mean_discount + self.amplitude / 2.0;
+        let key = self.seed ^ (itype as u64).wrapping_mul(0x9E3779B1) ^ 0x57A1_4B0C_5EED_D15C;
+        let buckets = (at.as_secs() / BUCKET_SECS) as u64;
+        let step = self.amplitude / 8.0;
+        let mut x = self.mean_discount;
+        for b in 0..buckets {
+            let u = unit(mix(key ^ b));
+            x += step * (2.0 * u - 1.0);
+            if x > hi {
+                x = 2.0 * hi - x;
+            }
+            if x < lo {
+                x = 2.0 * lo - x;
+            }
+        }
+        x.clamp(lo, hi)
     }
 
     /// Spot hourly price in USD for a type at a time.
@@ -177,6 +229,61 @@ mod tests {
             let after = m.price_multiplier(InstanceType::C54xlarge, t(edge + eps));
             assert!((before - after).abs() < 1e-3, "jump at bucket {k}: {before} vs {after}");
         }
+    }
+
+    #[test]
+    fn walk_prices_bounded_and_deterministic() {
+        let m = SpotMarket { mode: MarketMode::RandomWalk, ..SpotMarket::default() };
+        for k in 0..500 {
+            let at = t(k as f64 * 137.0);
+            let p = m.price_multiplier(InstanceType::P2Xlarge, at);
+            assert!(p >= m.mean_discount - m.amplitude / 2.0 - 1e-12);
+            assert!(p <= m.mean_discount + m.amplitude / 2.0 + 1e-12);
+            assert_eq!(p, m.price_multiplier(InstanceType::P2Xlarge, at));
+        }
+    }
+
+    #[test]
+    fn walk_path_is_pinned_per_seed() {
+        // The walk is part of fleet goldens: its exact path per seed is
+        // load-bearing. Pin the first few hours bit-for-bit so any drift
+        // in the step function is caught here, not in a fleet digest.
+        let path = |seed: u64| -> String {
+            let m = SpotMarket { seed, mode: MarketMode::RandomWalk, ..SpotMarket::default() };
+            (0..8)
+                .map(|k| {
+                    let p = m.price_multiplier(InstanceType::C54xlarge, t(k as f64 * 1800.0));
+                    format!("{:016x}", p.to_bits())
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        assert_eq!(
+            path(0x5B07),
+            "3fd47ae147ae147b 3fd366494592193a 3fd3957f109afc05 3fd22a5e44f2da02 \
+             3fcfeaa086204689 3fd10bd983f06e8e 3fd1be0fb6c84756 3fd05814c6ba279e"
+        );
+        assert_eq!(
+            path(2020),
+            "3fd47ae147ae147b 3fd574be8669c19f 3fd31864ab597533 3fd520a25b0b4fda \
+             3fd53cf223642536 3fd4dbbd785aeaf6 3fd27b2cd261702f 3fcfc80604d5ca7b"
+        );
+        // Different seeds genuinely diverge.
+        assert_ne!(path(0x5B07), path(2020));
+    }
+
+    #[test]
+    fn walk_and_sine_share_bounds_but_not_paths() {
+        let sine = SpotMarket::default();
+        let walk = SpotMarket { mode: MarketMode::RandomWalk, ..SpotMarket::default() };
+        let diverged = (1..200)
+            .filter(|&k| {
+                let at = t(k as f64 * 600.0);
+                sine.price_multiplier(InstanceType::C5Xlarge, at)
+                    != walk.price_multiplier(InstanceType::C5Xlarge, at)
+            })
+            .count();
+        assert!(diverged > 150, "modes should produce different paths: {diverged}/199");
     }
 
     #[test]

@@ -542,6 +542,16 @@ fn stats(opts: &Opts) {
             );
         }
     }
+    let f = &s["fleet"];
+    if !matches!(f, Value::Null) {
+        let c = |key: &str| f[key].as_u64().unwrap_or(0);
+        println!("fleet policy    {}", f["policy"].as_str().unwrap_or("?"));
+        println!("  admitted      {}", c("admitted"));
+        println!("  deferred      {}", c("deferred"));
+        println!("  denied        {}", c("denied"));
+        println!("  preempted     {}", c("preempted"));
+        println!("  queue depth   {}", c("queue_depth"));
+    }
 }
 
 fn shutdown(opts: &Opts) {

@@ -11,7 +11,7 @@ use crate::observation::SearchOutcome;
 use crate::scenario::Scenario;
 use crate::search::Searcher;
 use crate::system::engine::{DeploymentEngine, DeploymentPlan};
-use crate::system::interfaces::SimMlPlatform;
+use crate::system::interfaces::{CloudInterface, MlPlatformInterface, SimMlPlatform};
 use crate::system::profiler::{Profiler, ProfilerConfig};
 use mlcd_cloudsim::{InstanceType, Money, SimCloud, SimDuration};
 use mlcd_perfmodel::{NoiseModel, ThroughputModel, TrainingJob};
@@ -192,16 +192,32 @@ impl ExperimentRunner {
         if self.max_nodes > 50 {
             cloud.set_quotas(self.max_nodes.max(100), self.max_nodes);
         }
+        self.profiler_on_cloud(job, space, cloud)
+    }
+
+    /// [`profiler_with_space`](Self::profiler_with_space) against a
+    /// caller-supplied cloud instead of a fresh one. This is the seam the
+    /// fleet layers use: N sessions each get their own profiler (own
+    /// platform RNG, own search space) over *one* shared provider, so they
+    /// contend for its capacity ledger and bill to its clock.
+    pub fn profiler_on_cloud<C: CloudInterface>(
+        &self,
+        job: &TrainingJob,
+        space: SearchSpace,
+        cloud: C,
+    ) -> Profiler<C, SimMlPlatform> {
         let platform = SimMlPlatform::new(job.clone(), self.truth, self.noise, self.seed ^ 0x4D4C);
         Profiler::new(cloud, platform, space, self.profiler_cfg.clone())
     }
 
     /// Finish an experiment whose search already ran against a profiler
-    /// from [`ExperimentRunner::profiler_for`]: train on the pick and
+    /// from [`ExperimentRunner::profiler_for`] (or any cloud/platform pair
+    /// wired through [`ExperimentRunner::profiler_on_cloud`] — the fleet's
+    /// tenant clouds complete through here too): train on the pick and
     /// assemble the time/cost breakdown.
-    pub fn complete(
+    pub fn complete<C: CloudInterface, P: MlPlatformInterface>(
         &self,
-        profiler: Profiler<SimCloud, SimMlPlatform>,
+        profiler: Profiler<C, P>,
         outcome: SearchOutcome,
         searcher_name: &'static str,
         scenario: &Scenario,

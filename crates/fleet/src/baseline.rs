@@ -1,0 +1,34 @@
+//! The per-job greedy baseline: what the same workload costs when every
+//! job gets its own infinite-quota cloud and never queues.
+//!
+//! Fleet policies are judged on *aggregate cost saving vs per-job
+//! greedy* — the classic "run each job as if it were alone" deployment
+//! the paper's single-job experiments model. Each job is replayed with
+//! the same per-job seed and the default (sine) market through the
+//! standard [`ExperimentRunner::run`] path.
+
+use mlcd::prelude::{ExperimentRunner, Money};
+use mlcd::search::searcher_by_name;
+
+use crate::scenario::FleetScenario;
+
+/// Total cost of running every job in `scenario` in isolation (own
+/// simulated cloud, no admission control, no contention).
+///
+/// # Panics
+/// Panics if a template names an unknown searcher (static scenario
+/// configuration, same contract as [`FleetScenario::jobs`]).
+pub fn per_job_greedy_cost(scenario: &FleetScenario) -> Money {
+    scenario
+        .jobs()
+        .iter()
+        .map(|j| {
+            let runner = ExperimentRunner::new(j.seed)
+                .with_types(scenario.types.clone())
+                .with_max_nodes(scenario.max_nodes);
+            let searcher =
+                searcher_by_name(j.searcher, j.seed).expect("scenario names a known searcher");
+            runner.run(searcher.as_ref(), &j.job, &j.scenario).total_cost
+        })
+        .sum()
+}

@@ -1,0 +1,156 @@
+//! `mlcd-fleet` — run multi-job fleets on a shared capacity pool.
+//!
+//! ```text
+//! mlcd-fleet run --level 2 --policy fairshare --seed 2020 [--jobs 6] [--json]
+//! mlcd-fleet compare --level 2 --seed 2020 [--jobs 6]   # all policies + greedy baseline
+//! mlcd-fleet policies                                    # list schedulers
+//! ```
+//!
+//! This is a standalone binary (not an `mlcd` subcommand) because the
+//! fleet crate sits *above* `mlcd` in the dependency graph; folding it
+//! into the core CLI would create a cycle.
+
+use mlcd_fleet::{per_job_greedy_cost, policy_by_name, FleetScenario, FleetSim, POLICY_NAMES};
+use serde_json::json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage("missing command");
+    };
+    match cmd.as_str() {
+        "run" => run(rest),
+        "compare" => compare(rest),
+        "policies" => policies(),
+        "help" | "--help" | "-h" => usage(""),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+#[derive(Clone)]
+struct Opts {
+    level: u8,
+    policy: String,
+    seed: u64,
+    jobs: Option<u32>,
+    json: bool,
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut o = Opts { level: 1, policy: "fifo".to_string(), seed: 2020, jobs: None, json: false };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--level" => o.level = val("--level").parse().unwrap_or_else(|_| usage("bad --level")),
+            "--policy" => o.policy = val("--policy"),
+            "--seed" => o.seed = val("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--jobs" => {
+                o.jobs = Some(val("--jobs").parse().unwrap_or_else(|_| usage("bad --jobs")))
+            }
+            "--json" => o.json = true,
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    o
+}
+
+fn scenario_for(o: &Opts) -> FleetScenario {
+    let mut s = FleetScenario::contended(o.level, o.seed);
+    if let Some(n) = o.jobs {
+        s.n_jobs = n;
+    }
+    s
+}
+
+fn run(args: &[String]) {
+    let o = parse(args);
+    let policy = policy_by_name(&o.policy)
+        .unwrap_or_else(|| usage(&format!("unknown policy `{}`", o.policy)));
+    let out = FleetSim::new(scenario_for(&o), policy).run();
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("outcome serializes"));
+        return;
+    }
+    print!("{}", out.digest());
+    println!(
+        "fleet: {} policy={} cost=${:.2} missed={}/{} wait={:.2}h util={:.1}% span={:.1}h",
+        out.agg.completed,
+        out.policy,
+        out.agg.total_cost.dollars(),
+        out.agg.missed,
+        out.agg.deadline_jobs,
+        out.agg.mean_queue_hours,
+        out.agg.utilization * 100.0,
+        out.agg.makespan_hours,
+    );
+}
+
+fn compare(args: &[String]) {
+    let o = parse(args);
+    let scenario = scenario_for(&o);
+    let greedy = per_job_greedy_cost(&scenario);
+    let mut rows = Vec::new();
+    for name in POLICY_NAMES {
+        let out = FleetSim::new(scenario.clone(), policy_by_name(name).expect("known")).run();
+        let saving = 1.0 - out.agg.total_cost.dollars() / greedy.dollars().max(1e-9);
+        rows.push((name, out, saving));
+    }
+    if o.json {
+        let v = json!({
+            "level": o.level,
+            "seed": o.seed,
+            "greedy_usd": greedy.dollars(),
+            "policies": rows.iter().map(|(name, out, saving)| json!({
+                "policy": name,
+                "total_usd": out.agg.total_cost.dollars(),
+                "saving_vs_greedy": saving,
+                "missed": out.agg.missed,
+                "deadline_jobs": out.agg.deadline_jobs,
+                "mean_queue_hours": out.agg.mean_queue_hours,
+                "utilization": out.agg.utilization,
+                "makespan_hours": out.agg.makespan_hours,
+            })).collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&v).expect("json"));
+        return;
+    }
+    println!("per-job greedy baseline: ${:.2}", greedy.dollars());
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>8} {:>7} {:>7}",
+        "policy", "cost", "saving", "missed", "wait(h)", "util%", "span(h)"
+    );
+    for (name, out, saving) in &rows {
+        println!(
+            "{:<10} {:>10.2} {:>7.1}% {:>5}/{:<2} {:>8.2} {:>7.1} {:>7.1}",
+            name,
+            out.agg.total_cost.dollars(),
+            saving * 100.0,
+            out.agg.missed,
+            out.agg.deadline_jobs,
+            out.agg.mean_queue_hours,
+            out.agg.utilization * 100.0,
+            out.agg.makespan_hours,
+        );
+    }
+}
+
+fn policies() {
+    for name in POLICY_NAMES {
+        println!("{name}");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage:\n  mlcd-fleet run --level <1..3> --policy <name> [--seed N] [--jobs N] [--json]\n  \
+         mlcd-fleet compare --level <1..3> [--seed N] [--jobs N] [--json]\n  \
+         mlcd-fleet policies"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

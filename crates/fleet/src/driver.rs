@@ -1,0 +1,548 @@
+//! The fleet driver: one thread per tenant, one runnable at a time.
+//!
+//! [`FleetSim::run`] expands the scenario, boots the shared
+//! [`SimCloud`], and plays arrivals, wake-ups and scheduler decisions in
+//! a strict handoff loop:
+//!
+//! 1. **Arrivals** due at the current instant spawn their tenant thread
+//!    and run it until it blocks (on a launch request or a time wait).
+//! 2. **Wakes**: every tenant whose wake-up instant has been reached is
+//!    resumed — exhaustively, one at a time — before any scheduling
+//!    happens, so the pending-request set at decision time does not
+//!    depend on wake order (the drain-order invariance the proptest
+//!    pins).
+//! 3. **Decisions**: the policy is consulted repeatedly; each grant is
+//!    executed by the driver itself (launches, and therefore the shared
+//!    provisioning RNG draws, happen in policy order, never in thread
+//!    order), each denial fails the tenant's launch with
+//!    [`CloudError::Denied`].
+//! 4. **Advance**: when nothing is runnable, the clock moves to the next
+//!    arrival or wake-up, dispatching every sim event in between. If the
+//!    pool is wedged (requests pending, nothing to advance to), the
+//!    oldest request is force-granted and surfaces the provider's real
+//!    capacity error to its tenant.
+//!
+//! Tenants never touch the engine directly while time moves; the only
+//! shared-state calls they make with the clock frozen are terminations,
+//! which are order-insensitive at a fixed instant (the fleet digest
+//! covers billing sums and per-job outcomes, not event sequence
+//! numbers).
+
+use mlcd::env::paper_probe_duration;
+use mlcd::prelude::{
+    Deployment, ExperimentOutcome, ExperimentRunner, Money, Observation, ProfileError,
+    ProfilingEnv, Scenario, SearchSpace, SimDuration, SimTime,
+};
+use mlcd::search::searcher_by_name;
+use mlcd_cloudsim::{CloudError, ClusterId, SimCloud, SimEvent, SpotMarket};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::outcome::{aggregate, FleetJobOutcome, FleetOutcome};
+use crate::policy::{
+    Decision, FleetEventFold, FleetScheduler, FleetView, JobCtx, JobId, PendingReq, Purpose,
+};
+use crate::scenario::{FleetJob, FleetScenario};
+use crate::tenant::{DriverReply, TenantCloud, TenantLink, TenantMsg};
+
+/// Tie-break order when several tenants are due to wake at the same
+/// instant. The fleet outcome is invariant under this choice (that is a
+/// tested property, not an aspiration); the knob exists so the proptest
+/// can actually vary it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainOrder {
+    /// Lowest job id first (the default).
+    Ascending,
+    /// Highest job id first.
+    Descending,
+    /// Seeded hash order — an arbitrary but deterministic permutation.
+    Interleaved(u64),
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DrainOrder {
+    fn pick(self, due: &[JobId]) -> JobId {
+        match self {
+            DrainOrder::Ascending => *due.iter().min().expect("due set non-empty"),
+            DrainOrder::Descending => *due.iter().max().expect("due set non-empty"),
+            DrainOrder::Interleaved(salt) => {
+                *due.iter().min_by_key(|&&j| (mix(j ^ salt), j)).expect("due set non-empty")
+            }
+        }
+    }
+}
+
+/// Serializing wrapper: forces `profile_batch` onto the default
+/// sequential path. The profiler's concurrent batch wave computes every
+/// member's settlement from one pre-launch timestamp, which is unsound
+/// when a mid-batch launch can block on admission for hours — under a
+/// fleet, batch members are probed one by one and each one queues at the
+/// scheduler individually.
+struct SerialEnv<'a, E>(&'a mut E);
+
+impl<E: ProfilingEnv> ProfilingEnv for SerialEnv<'_, E> {
+    fn space(&self) -> &SearchSpace {
+        self.0.space()
+    }
+    fn total_samples(&self) -> f64 {
+        self.0.total_samples()
+    }
+    fn quote(&self, d: &Deployment) -> (SimDuration, Money) {
+        self.0.quote(d)
+    }
+    fn profile(&mut self, d: &Deployment) -> Result<Observation, ProfileError> {
+        self.0.profile(d)
+    }
+    fn elapsed(&self) -> SimDuration {
+        self.0.elapsed()
+    }
+    fn spent(&self) -> Money {
+        self.0.spent()
+    }
+}
+
+/// What a tenant is doing right now, from the driver's perspective.
+enum TState {
+    /// Parked on a launch request, waiting for the scheduler.
+    AwaitingGrant(PendingReq),
+    /// Sleeping until the clock reaches the instant.
+    Blocked(SimTime),
+    /// Thread finished (outcome retrieved at join time).
+    Done,
+}
+
+struct Slot {
+    reply: Sender<DriverReply>,
+    state: TState,
+    phase: Purpose,
+    ctx: JobCtx,
+    queue_wait: SimDuration,
+    completed_at: Option<SimTime>,
+    missed: bool,
+    clusters: Vec<ClusterId>,
+    handle: Option<JoinHandle<Option<ExperimentOutcome>>>,
+}
+
+/// A configured fleet simulation, ready to [`run`](FleetSim::run).
+pub struct FleetSim {
+    scenario: FleetScenario,
+    policy: Box<dyn FleetScheduler>,
+    drain: DrainOrder,
+}
+
+impl FleetSim {
+    /// A fleet over `scenario`, arbitrated by `policy`.
+    pub fn new(scenario: FleetScenario, policy: Box<dyn FleetScheduler>) -> FleetSim {
+        FleetSim { scenario, policy, drain: DrainOrder::Ascending }
+    }
+
+    /// Override the same-instant wake order (outcome-invariant; see
+    /// [`DrainOrder`]).
+    pub fn with_drain_order(mut self, drain: DrainOrder) -> FleetSim {
+        self.drain = drain;
+        self
+    }
+
+    /// Run the whole fleet to completion.
+    pub fn run(mut self) -> FleetOutcome {
+        let policy_name = self.policy.name();
+        let fleet_jobs = self.scenario.jobs();
+        let mut shared = SimCloud::new(self.scenario.seed);
+        shared.set_market(SpotMarket {
+            seed: self.scenario.seed,
+            mode: self.scenario.market,
+            ..SpotMarket::default()
+        });
+        let mut caps: BTreeMap<_, u32> = BTreeMap::new();
+        for &itype in &self.scenario.types {
+            let cap = self.scenario.cap_for(itype);
+            shared.set_capacity(itype, cap);
+            caps.insert(itype, cap);
+        }
+
+        let (msg_tx, msg_rx) = channel::<TenantMsg>();
+        let mut slots: BTreeMap<JobId, Slot> = BTreeMap::new();
+        let mut queue: VecDeque<FleetJob> = fleet_jobs.iter().cloned().collect();
+        let mut fold = FleetEventFold::default();
+        let jobs_by_id: BTreeMap<JobId, FleetJob> =
+            fleet_jobs.into_iter().map(|j| (j.id, j)).collect();
+
+        loop {
+            let now = shared.now();
+
+            // 1. Arrivals due at this instant.
+            let mut progressed = false;
+            while queue.front().is_some_and(|j| j.arrival.as_secs() <= now.as_secs()) {
+                let job = queue.pop_front().expect("front checked");
+                let id = job.id;
+                let slot = spawn_tenant(
+                    job,
+                    msg_tx.clone(),
+                    shared.clone(),
+                    self.scenario.types.clone(),
+                    self.scenario.max_nodes,
+                    now,
+                );
+                slots.insert(id, slot);
+                let ev = SimEvent::JobArrived { job: id };
+                fold.on_event(&ev);
+                shared.emit_now(ev);
+                pump(&msg_rx, &mut slots, &shared, id, &mut fold, &jobs_by_id);
+                progressed = true;
+            }
+
+            // 2. Wake every tenant whose instant has come, exhaustively.
+            loop {
+                let due: Vec<JobId> = slots
+                    .iter()
+                    .filter_map(|(id, s)| match s.state {
+                        TState::Blocked(t) if t.as_secs() <= now.as_secs() => Some(*id),
+                        _ => None,
+                    })
+                    .collect();
+                if due.is_empty() {
+                    break;
+                }
+                let id = self.drain.pick(&due);
+                let slot = slots.get_mut(&id).expect("due slot");
+                slot.state = TState::Done; // placeholder; pump sets the real state
+                slot.reply.send(DriverReply::Woken).expect("tenant alive");
+                pump(&msg_rx, &mut slots, &shared, id, &mut fold, &jobs_by_id);
+                progressed = true;
+            }
+
+            // 3. Scheduler decisions at this instant.
+            loop {
+                // Requests no policy could ever admit (larger than the
+                // cap or quota) are settled immediately with the
+                // provider's real error, so no policy needs an
+                // impossibility rule.
+                let impossible = oldest_pending(&slots, |req| {
+                    let cap = caps.get(&req.itype).copied().unwrap_or(0);
+                    req.n > cap.min(shared.quota(req.itype))
+                });
+                if let Some(id) = impossible {
+                    settle_grant(&mut slots, &shared, id, &mut fold);
+                    pump(&msg_rx, &mut slots, &shared, id, &mut fold, &jobs_by_id);
+                    progressed = true;
+                    continue;
+                }
+
+                let decision = {
+                    let (pending, jobs, free) = view_parts(&slots, &caps, &shared);
+                    if pending.is_empty() {
+                        Decision::Wait
+                    } else {
+                        let view = FleetView {
+                            now: shared.now(),
+                            caps: &caps,
+                            free: &free,
+                            pending: &pending,
+                            jobs: &jobs,
+                        };
+                        self.policy.decide(&view)
+                    }
+                };
+                match decision {
+                    Decision::Grant(id) => {
+                        settle_grant(&mut slots, &shared, id, &mut fold);
+                        pump(&msg_rx, &mut slots, &shared, id, &mut fold, &jobs_by_id);
+                        progressed = true;
+                    }
+                    Decision::Deny(id) => {
+                        settle_deny(&mut slots, &shared, id, &mut fold);
+                        pump(&msg_rx, &mut slots, &shared, id, &mut fold, &jobs_by_id);
+                        progressed = true;
+                    }
+                    Decision::Wait => break,
+                }
+            }
+
+            if progressed {
+                // Grants/wakes may have produced new due wakes at this
+                // same instant; settle them before advancing time.
+                continue;
+            }
+
+            // 4. Advance the clock (or break the stall, or finish).
+            let next_arrival = queue.front().map(|j| j.arrival);
+            let next_wake = slots
+                .values()
+                .filter_map(|s| match s.state {
+                    TState::Blocked(t) => Some(t),
+                    _ => None,
+                })
+                .min_by(|a, b| a.as_secs().total_cmp(&b.as_secs()));
+            let target = match (next_arrival, next_wake) {
+                (Some(a), Some(w)) => Some(if a.as_secs() <= w.as_secs() { a } else { w }),
+                (Some(a), None) => Some(a),
+                (None, Some(w)) => Some(w),
+                (None, None) => None,
+            };
+            match target {
+                Some(t) => {
+                    shared.run_until(t);
+                }
+                None => {
+                    // Nothing to advance to. If requests are pending the
+                    // policy has wedged the pool — force the oldest
+                    // through so the provider's capacity error unwedges
+                    // its tenant.
+                    if let Some(id) = oldest_pending(&slots, |_| true) {
+                        settle_grant(&mut slots, &shared, id, &mut fold);
+                        pump(&msg_rx, &mut slots, &shared, id, &mut fold, &jobs_by_id);
+                        continue;
+                    }
+                    break; // every tenant Done, no arrivals left
+                }
+            }
+        }
+
+        // Collect tenants (all have sent Finished, so joins are instant).
+        let mut job_outcomes = Vec::new();
+        for (id, mut slot) in slots {
+            let outcome = slot.handle.take().and_then(|h| h.join().expect("tenant thread joined"));
+            let job = jobs_by_id.get(&id).expect("known job");
+            job_outcomes.push(FleetJobOutcome {
+                id,
+                priority: job.priority,
+                arrived_at: job.arrival,
+                completed_at: slot.completed_at.unwrap_or(job.arrival),
+                queue_wait: slot.queue_wait,
+                granted: slot.ctx.granted,
+                denied: slot.ctx.denied,
+                missed: slot.missed,
+                outcome,
+            });
+        }
+        aggregate(policy_name, &self.scenario, job_outcomes, &fold, &shared)
+    }
+}
+
+/// The oldest pending request satisfying `pred`, by (request age, job).
+fn oldest_pending(
+    slots: &BTreeMap<JobId, Slot>,
+    pred: impl Fn(&PendingReq) -> bool,
+) -> Option<JobId> {
+    slots
+        .iter()
+        .filter_map(|(id, s)| match &s.state {
+            TState::AwaitingGrant(req) if pred(req) => {
+                Some(((req.requested_at.as_secs().to_bits(), *id), *id))
+            }
+            _ => None,
+        })
+        .min()
+        .map(|(_, id)| id)
+}
+
+/// Snapshot the scheduler's view: pending requests, per-job context and
+/// free capacity.
+fn view_parts(
+    slots: &BTreeMap<JobId, Slot>,
+    caps: &BTreeMap<mlcd::prelude::InstanceType, u32>,
+    shared: &SimCloud,
+) -> (
+    BTreeMap<JobId, PendingReq>,
+    BTreeMap<JobId, JobCtx>,
+    BTreeMap<mlcd::prelude::InstanceType, u32>,
+) {
+    let mut pending = BTreeMap::new();
+    let mut jobs = BTreeMap::new();
+    let billing = shared.billing();
+    for (id, slot) in slots {
+        if let TState::AwaitingGrant(req) = &slot.state {
+            pending.insert(*id, *req);
+        }
+        if !matches!(slot.state, TState::Done) {
+            let mut ctx = slot.ctx;
+            ctx.spent = slot.clusters.iter().map(|c| billing.cost_for_cluster(*c)).sum();
+            jobs.insert(*id, ctx);
+        }
+    }
+    let free = caps
+        .iter()
+        .map(|(&itype, &cap)| (itype, shared.capacity_available(itype).unwrap_or(cap)))
+        .collect();
+    (pending, jobs, free)
+}
+
+/// Execute a grant: perform the launch on the shared provider (this is
+/// where cluster ids and provisioning RNG draws are consumed, in policy
+/// order) and hand the result to the tenant.
+fn settle_grant(
+    slots: &mut BTreeMap<JobId, Slot>,
+    shared: &SimCloud,
+    id: JobId,
+    fold: &mut FleetEventFold,
+) {
+    let slot = slots.get_mut(&id).expect("granted slot");
+    let TState::AwaitingGrant(req) = std::mem::replace(&mut slot.state, TState::Done) else {
+        panic!("fleet protocol: grant for a job with no pending request");
+    };
+    let res = if req.spot {
+        shared.launch_spot(req.itype, req.n)
+    } else {
+        shared.launch(req.itype, req.n)
+    };
+    let waited = shared.now().since(req.requested_at);
+    slot.queue_wait += waited;
+    slot.ctx.granted += 1;
+    if let Ok(c) = &res {
+        slot.clusters.push(c.id);
+    }
+    let ev = SimEvent::ProbeGranted { job: id, waited };
+    fold.on_event(&ev);
+    shared.emit_now(ev);
+    slot.reply.send(DriverReply::Launched(res)).expect("tenant alive");
+}
+
+/// Execute a denial: the tenant's launch fails with
+/// [`CloudError::Denied`] and its searcher drops the candidate.
+fn settle_deny(
+    slots: &mut BTreeMap<JobId, Slot>,
+    shared: &SimCloud,
+    id: JobId,
+    fold: &mut FleetEventFold,
+) {
+    let slot = slots.get_mut(&id).expect("denied slot");
+    let TState::AwaitingGrant(_) = std::mem::replace(&mut slot.state, TState::Done) else {
+        panic!("fleet protocol: denial for a job with no pending request");
+    };
+    slot.ctx.denied += 1;
+    let ev = SimEvent::ProbeDenied { job: id };
+    fold.on_event(&ev);
+    shared.emit_now(ev);
+    let denied = CloudError::Denied { reason: "fleet admission: probe throttled under contention" };
+    slot.reply.send(DriverReply::Launched(Err(denied))).expect("tenant alive");
+}
+
+/// Receive messages from the just-woken tenant until it parks again
+/// (request, sleep or exit). Strict handoff guarantees the next message
+/// can only come from that tenant.
+fn pump(
+    msg_rx: &Receiver<TenantMsg>,
+    slots: &mut BTreeMap<JobId, Slot>,
+    shared: &SimCloud,
+    expected: JobId,
+    fold: &mut FleetEventFold,
+    jobs_by_id: &BTreeMap<JobId, FleetJob>,
+) {
+    loop {
+        let msg = msg_rx.recv().expect("a runnable tenant exists");
+        match msg {
+            TenantMsg::Launch { job, itype, n, spot } => {
+                debug_assert_eq!(job, expected, "handoff violated");
+                let slot = slots.get_mut(&job).expect("known job");
+                let quoted_hours = paper_probe_duration(n.max(1)).as_hours();
+                slot.state = TState::AwaitingGrant(PendingReq {
+                    itype,
+                    n,
+                    spot,
+                    purpose: slot.phase,
+                    requested_at: shared.now(),
+                    quoted_cost: Money::from_dollars(
+                        itype.hourly_usd() * f64::from(n) * quoted_hours,
+                    ),
+                });
+                return;
+            }
+            TenantMsg::BlockUntil { job, until } => {
+                debug_assert_eq!(job, expected, "handoff violated");
+                slots.get_mut(&job).expect("known job").state = TState::Blocked(until);
+                return;
+            }
+            TenantMsg::SearchDone { job } => {
+                debug_assert_eq!(job, expected, "handoff violated");
+                let slot = slots.get_mut(&job).expect("known job");
+                slot.phase = Purpose::Train;
+                slot.reply.send(DriverReply::Woken).expect("tenant alive");
+                // The tenant continues straight into training; keep
+                // pumping until it parks.
+            }
+            TenantMsg::Finished { job } => {
+                debug_assert_eq!(job, expected, "handoff violated");
+                let now = shared.now();
+                let slot = slots.get_mut(&job).expect("known job");
+                slot.state = TState::Done;
+                slot.completed_at = Some(now);
+                let spec = jobs_by_id.get(&job).expect("known job");
+                slot.missed = match spec.scenario {
+                    Scenario::CheapestWithDeadline(d) => {
+                        now.since(spec.arrival).as_secs() > d.as_secs()
+                    }
+                    _ => false,
+                };
+                let ev = SimEvent::JobCompleted { job, missed: slot.missed };
+                fold.on_event(&ev);
+                shared.emit_now(ev);
+                return;
+            }
+        }
+    }
+}
+
+/// Boot one tenant thread running the unmodified single-job pipeline
+/// over a [`TenantCloud`].
+fn spawn_tenant(
+    job: FleetJob,
+    msg_tx: Sender<TenantMsg>,
+    shared: SimCloud,
+    types: Vec<mlcd::prelude::InstanceType>,
+    max_nodes: u32,
+    now: SimTime,
+) -> Slot {
+    let (reply_tx, reply_rx) = channel::<DriverReply>();
+    let id = job.id;
+    let finish_tx = msg_tx.clone();
+    let deadline_at = match job.scenario {
+        Scenario::CheapestWithDeadline(d) => Some(job.arrival + d),
+        _ => None,
+    };
+    let ctx = JobCtx {
+        priority: job.priority,
+        arrived_at: now,
+        deadline_at,
+        spent: Money::ZERO,
+        granted: 0,
+        denied: 0,
+    };
+    let handle = std::thread::spawn(move || {
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let link = TenantLink { job: job.id, tx: msg_tx, rx: reply_rx };
+            let cloud = TenantCloud::new(link, shared);
+            let runner =
+                ExperimentRunner::new(job.seed).with_types(types).with_max_nodes(max_nodes);
+            let space = runner.space(&job.job);
+            let mut profiler = runner.profiler_on_cloud(&job.job, space, cloud);
+            let searcher =
+                searcher_by_name(job.searcher, job.seed).expect("scenario names a known searcher");
+            let outcome = {
+                let mut env = SerialEnv(&mut profiler);
+                searcher.search(&mut env, &job.scenario)
+            };
+            profiler.cloud().mark_search_done();
+            runner.complete(profiler, outcome, searcher.name(), &job.scenario)
+        }));
+        let _ = finish_tx.send(TenantMsg::Finished { job: id });
+        body.ok()
+    });
+    Slot {
+        reply: reply_tx,
+        state: TState::Blocked(now), // immediately due: pump() reads the first message
+        phase: Purpose::Probe,
+        ctx,
+        queue_wait: SimDuration::ZERO,
+        completed_at: None,
+        missed: false,
+        clusters: Vec::new(),
+        handle: Some(handle),
+    }
+}

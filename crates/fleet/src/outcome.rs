@@ -1,0 +1,203 @@
+//! Fleet-level outcomes: per-job results, aggregates and the canonical
+//! bit-exact digest the golden tests pin.
+
+use mlcd::prelude::{ExperimentOutcome, Money, Scenario, SimDuration, SimTime};
+use mlcd_cloudsim::SimCloud;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+use crate::policy::FleetEventFold;
+use crate::scenario::FleetScenario;
+
+/// How one fleet job fared.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetJobOutcome {
+    /// Fleet job id.
+    pub id: u64,
+    /// Scheduler priority it carried.
+    pub priority: u8,
+    /// When it arrived.
+    pub arrived_at: SimTime,
+    /// When its tenant finished (training complete or given up).
+    pub completed_at: SimTime,
+    /// Total time its launch requests sat at the scheduler.
+    pub queue_wait: SimDuration,
+    /// Launches granted.
+    pub granted: u32,
+    /// Launches denied.
+    pub denied: u32,
+    /// Deadline jobs only: finished later than arrival + deadline
+    /// (wall-clock, queueing included — stricter than the per-job
+    /// profiler-elapsed notion).
+    pub missed: bool,
+    /// The single-job outcome, `None` if the tenant panicked.
+    pub outcome: Option<ExperimentOutcome>,
+}
+
+/// Fleet-wide aggregates.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetAggregate {
+    /// Σ per-job total cost (probes + training) on the shared pool.
+    pub total_cost: Money,
+    /// Jobs in the fleet.
+    pub jobs: u32,
+    /// Jobs whose tenant produced an outcome.
+    pub completed: u32,
+    /// Jobs that carried a deadline.
+    pub deadline_jobs: u32,
+    /// Deadline jobs that finished late (wall-clock from arrival).
+    pub missed: u32,
+    /// Launch requests granted.
+    pub granted: u64,
+    /// Launch requests denied.
+    pub denied: u64,
+    /// Mean scheduler queueing delay per granted launch, hours.
+    pub mean_queue_hours: f64,
+    /// Σ busy instance-hours / (Σ capacity caps × makespan).
+    pub utilization: f64,
+    /// Last completion instant, hours from fleet start.
+    pub makespan_hours: f64,
+}
+
+impl FleetAggregate {
+    /// Deadline-miss rate over deadline-carrying jobs (0 when none).
+    pub fn miss_rate(&self) -> f64 {
+        if self.deadline_jobs == 0 {
+            0.0
+        } else {
+            f64::from(self.missed) / f64::from(self.deadline_jobs)
+        }
+    }
+}
+
+/// The complete result of one fleet run.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetOutcome {
+    /// Scheduling policy that arbitrated the pool.
+    pub policy: &'static str,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Per-job outcomes, ascending by id.
+    pub jobs: Vec<FleetJobOutcome>,
+    /// Fleet-wide aggregates.
+    pub agg: FleetAggregate,
+}
+
+fn hx(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+impl FleetOutcome {
+    /// Canonical bit-exact digest: every f64 rendered as its raw bit
+    /// pattern, per-job search digests inlined. Two digests compare
+    /// equal iff the fleet outcomes are bit-identical — this is what the
+    /// golden fleet tests and the drain-order proptest compare.
+    ///
+    /// Deliberately covers per-job results and aggregates, *not* raw
+    /// event order: the fleet's contract is outcome determinism, with
+    /// same-instant event order left to the driver.
+    pub fn digest(&self) -> String {
+        let mut s = String::new();
+        writeln!(s, "policy={} seed={} jobs={}", self.policy, self.seed, self.jobs.len()).unwrap();
+        for j in &self.jobs {
+            writeln!(
+                s,
+                "job {:02} prio={} arr={} done={} wait={} granted={} denied={} missed={}",
+                j.id,
+                j.priority,
+                hx(j.arrived_at.as_secs()),
+                hx(j.completed_at.as_secs()),
+                hx(j.queue_wait.as_secs()),
+                j.granted,
+                j.denied,
+                j.missed,
+            )
+            .unwrap();
+            match &j.outcome {
+                Some(o) => {
+                    let plan = match &o.plan {
+                        Some(p) => format!("{}", p.deployment),
+                        None => "none".to_string(),
+                    };
+                    writeln!(
+                        s,
+                        "  exp cost={} time={} sat={} plan={}",
+                        hx(o.total_cost.dollars()),
+                        hx(o.total_time.as_secs()),
+                        o.satisfied,
+                        plan,
+                    )
+                    .unwrap();
+                    for line in o.search.digest().lines() {
+                        writeln!(s, "  s {line}").unwrap();
+                    }
+                }
+                None => writeln!(s, "  exp none").unwrap(),
+            }
+        }
+        writeln!(
+            s,
+            "agg cost={} completed={}/{} missed={}/{} granted={} denied={} wait={} util={} span={}",
+            hx(self.agg.total_cost.dollars()),
+            self.agg.completed,
+            self.agg.jobs,
+            self.agg.missed,
+            self.agg.deadline_jobs,
+            self.agg.granted,
+            self.agg.denied,
+            hx(self.agg.mean_queue_hours),
+            hx(self.agg.utilization),
+            hx(self.agg.makespan_hours),
+        )
+        .unwrap();
+        s
+    }
+}
+
+/// Fold per-job outcomes plus the shared provider's ledger into a
+/// [`FleetOutcome`].
+pub(crate) fn aggregate(
+    policy: &'static str,
+    scenario: &FleetScenario,
+    mut jobs: Vec<FleetJobOutcome>,
+    fold: &FleetEventFold,
+    shared: &SimCloud,
+) -> FleetOutcome {
+    jobs.sort_by_key(|j| j.id);
+    let specs = scenario.jobs();
+    let deadline_jobs =
+        specs.iter().filter(|j| matches!(j.scenario, Scenario::CheapestWithDeadline(_))).count()
+            as u32;
+    let total_cost: Money =
+        jobs.iter().filter_map(|j| j.outcome.as_ref()).map(|o| o.total_cost).sum();
+    let completed = jobs.iter().filter(|j| j.outcome.is_some()).count() as u32;
+    let missed = jobs.iter().filter(|j| j.missed).count() as u32;
+    let makespan_hours = jobs.iter().map(|j| j.completed_at.as_hours()).fold(0.0f64, f64::max);
+    let busy_hours: f64 =
+        shared.billing().records().iter().map(|r| f64::from(r.n) * r.duration().as_hours()).sum();
+    let cap_nodes: u32 = scenario.types.iter().map(|&t| scenario.cap_for(t)).sum();
+    let utilization = if makespan_hours > 0.0 && cap_nodes > 0 {
+        busy_hours / (f64::from(cap_nodes) * makespan_hours)
+    } else {
+        0.0
+    };
+    let mean_queue_hours =
+        if fold.granted > 0 { fold.queue_wait.as_hours() / fold.granted as f64 } else { 0.0 };
+    FleetOutcome {
+        policy,
+        seed: scenario.seed,
+        jobs,
+        agg: FleetAggregate {
+            total_cost,
+            jobs: scenario.n_jobs,
+            completed,
+            deadline_jobs,
+            missed,
+            granted: fold.granted,
+            denied: fold.denied,
+            mean_queue_hours,
+            utilization,
+            makespan_hours,
+        },
+    }
+}

@@ -1,0 +1,28 @@
+//! End-to-end fleet runs: every policy drains a contended fleet to
+//! completion, bit-deterministically.
+
+use mlcd_fleet::{policy_by_name, FleetScenario, FleetSim, POLICY_NAMES};
+
+#[test]
+fn every_policy_drains_a_contended_fleet() {
+    let mut scenario = FleetScenario::contended(1, 2020);
+    scenario.n_jobs = 3; // keep the smoke fast; goldens cover full fleets
+    for name in POLICY_NAMES {
+        let policy = policy_by_name(name).expect("known policy");
+        let out = FleetSim::new(scenario.clone(), policy).run();
+        assert_eq!(out.agg.completed, scenario.n_jobs, "policy {name} lost jobs");
+        assert!(out.agg.granted > 0, "policy {name} granted nothing");
+        assert!(out.agg.total_cost.dollars() > 0.0);
+        assert!(out.agg.makespan_hours > 0.0);
+        assert!(out.agg.utilization > 0.0 && out.agg.utilization <= 1.0);
+    }
+}
+
+#[test]
+fn same_seed_same_digest() {
+    let mut scenario = FleetScenario::contended(2, 7);
+    scenario.n_jobs = 3;
+    let a = FleetSim::new(scenario.clone(), policy_by_name("fairshare").unwrap()).run();
+    let b = FleetSim::new(scenario, policy_by_name("fairshare").unwrap()).run();
+    assert_eq!(a.digest(), b.digest());
+}

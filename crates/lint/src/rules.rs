@@ -220,11 +220,18 @@ pub struct Violation {
 /// Crates whose non-test code must not iterate `HashMap`/`HashSet` (their
 /// outputs feed `SearchOutcome` digests and figure numbers).
 const ORDERED_CRATES: &[&str] =
-    &["mlcd", "mlcd-cloudsim", "mlcd-gp", "mlcd-linalg", "mlcd-service"];
+    &["mlcd", "mlcd-cloudsim", "mlcd-fleet", "mlcd-gp", "mlcd-linalg", "mlcd-service"];
 
 /// Crates whose non-test code must not compare floats with `==`/`!=`.
-const FLOAT_CRATES: &[&str] =
-    &["mlcd", "mlcd-gp", "mlcd-linalg", "mlcd-cloudsim", "mlcd-perfmodel", "mlcd-service"];
+const FLOAT_CRATES: &[&str] = &[
+    "mlcd",
+    "mlcd-gp",
+    "mlcd-linalg",
+    "mlcd-cloudsim",
+    "mlcd-fleet",
+    "mlcd-perfmodel",
+    "mlcd-service",
+];
 
 /// Crates whose `src/lib.rs` must carry `#![forbid(unsafe_code)]`.
 const FORBID_UNSAFE_LIBS: &[(&str, &str)] = &[
@@ -232,6 +239,7 @@ const FORBID_UNSAFE_LIBS: &[(&str, &str)] = &[
     ("crates/gp/src/lib.rs", "mlcd-gp"),
     ("crates/perfmodel/src/lib.rs", "mlcd-perfmodel"),
     ("crates/cloudsim/src/lib.rs", "mlcd-cloudsim"),
+    ("crates/fleet/src/lib.rs", "mlcd-fleet"),
     ("crates/service/src/lib.rs", "mlcd-service"),
 ];
 
@@ -253,8 +261,11 @@ const HOT_PATHS: &[&str] = &[
 
 /// R8: files whose `on_event` / `on_*` / `handle*` fns are sim event
 /// handlers and must stay pure.
-const SIM_HANDLER_FILES: &[&str] =
-    &["crates/cloudsim/src/sim.rs", "crates/cloudsim/src/provider.rs"];
+const SIM_HANDLER_FILES: &[&str] = &[
+    "crates/cloudsim/src/sim.rs",
+    "crates/cloudsim/src/provider.rs",
+    "crates/fleet/src/policy.rs",
+];
 
 /// R9: the one designated poison boundary — the only file in
 /// `crates/service` allowed to unwrap lock/wait poison results.
@@ -301,6 +312,7 @@ impl FileCtx {
                 "gp" => "mlcd-gp",
                 "linalg" => "mlcd-linalg",
                 "cloudsim" => "mlcd-cloudsim",
+                "fleet" => "mlcd-fleet",
                 "perfmodel" => "mlcd-perfmodel",
                 "bench" => "mlcd-bench",
                 "lint" => "mlcd-lint",

@@ -5,7 +5,13 @@
 //!            [--workers N] [--queue-cap N] [--no-probe-cache] \
 //!            [--no-grid-cache] [--shards N] [--retain-cap N] \
 //!            [--no-group-commit]
+//! mlcd-serve --fleet fairshare [--fleet-seed N] [--fleet-cpu-cap N] \
+//!            [--fleet-gpu-cap N] ...
 //! ```
+//!
+//! `--fleet <policy>` runs every session against one shared finite-
+//! capacity pool arbitrated by the named scheduler (`fifo`, `deadline`
+//! or `fairshare`); it is incompatible with `--journal-dir`.
 //!
 //! On start the journal directory is scanned: finished sessions are
 //! restored (their results stay queryable), in-flight ones are resumed by
@@ -22,7 +28,8 @@ use std::sync::Arc;
 const USAGE: &str = "usage: mlcd-serve [--listen ADDR] [--journal-dir DIR] \
                      [--workers N] [--queue-cap N] [--no-probe-cache] \
                      [--no-grid-cache] [--shards N] [--retain-cap N] \
-                     [--no-group-commit]";
+                     [--no-group-commit] [--fleet POLICY] [--fleet-seed N] \
+                     [--fleet-cpu-cap N] [--fleet-gpu-cap N]";
 
 fn main() -> ExitCode {
     let mut listen = "127.0.0.1:7070".to_string();
@@ -61,6 +68,24 @@ fn main() -> ExitCode {
                 cfg.group_commit = false;
                 Ok(())
             }
+            "--fleet" => value("--fleet").map(|v| {
+                cfg.fleet.get_or_insert_with(Default::default).policy = v;
+            }),
+            "--fleet-seed" => value("--fleet-seed").and_then(|v| {
+                v.parse()
+                    .map(|n| cfg.fleet.get_or_insert_with(Default::default).seed = n)
+                    .map_err(|e| format!("--fleet-seed: {e}"))
+            }),
+            "--fleet-cpu-cap" => value("--fleet-cpu-cap").and_then(|v| {
+                v.parse()
+                    .map(|n| cfg.fleet.get_or_insert_with(Default::default).cpu_cap = n)
+                    .map_err(|e| format!("--fleet-cpu-cap: {e}"))
+            }),
+            "--fleet-gpu-cap" => value("--fleet-gpu-cap").and_then(|v| {
+                v.parse()
+                    .map(|n| cfg.fleet.get_or_insert_with(Default::default).gpu_cap = n)
+                    .map_err(|e| format!("--fleet-gpu-cap: {e}"))
+            }),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;

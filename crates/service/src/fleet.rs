@@ -1,0 +1,487 @@
+//! Fleet mode: concurrent sessions share one simulated capacity pool.
+//!
+//! Normally every session owns a private `SimCloud` — probes never
+//! contend and billing is per-session by construction. In fleet mode
+//! ([`crate::session::ServiceConfig::fleet`]) the manager instead owns
+//! one shared [`SimCloud`] with finite per-type capacity caps, and a
+//! [`mlcd_fleet::FleetScheduler`] policy arbitrates which session runs
+//! its next probe against that pool:
+//!
+//! * Each session's profiler is built over a [`FleetCloud`] — the
+//!   shared provider plus per-session cluster ownership, so
+//!   `total_spent()` (and with it every probe-cost delta) stays
+//!   tenant-local on the shared ledger.
+//! * A [`FleetGateEnv`] wraps the profiler *inside* the shared probe
+//!   cache: each `profile()` first acquires the pool turn (the policy
+//!   decides who goes next), then runs the whole probe — launch, wait,
+//!   measure, terminate — atomically in virtual time. Cache hits are
+//!   free and never touch the pool, so a popular deployment costs the
+//!   fleet one admission, total.
+//! * The final training run takes one turn the same way.
+//!
+//! Unlike `mlcd-fleet`'s strict-handoff driver, the service gate is
+//! driven by OS scheduling of the worker pool: which session reaches the
+//! gate first is wall-clock nondeterministic, so fleet mode is
+//! incompatible with journaling (crash-resume replays require
+//! bit-reproducible probe streams) — [`crate::session::SessionManager::new`]
+//! rejects the combination. Deterministic fleet experiments live in the
+//! `mlcd-fleet` crate; fleet *service* mode trades determinism for a live
+//! multi-tenant pool with real backpressure.
+
+use crate::sync::{lock_or_die, wait_or_die};
+use mlcd::env::paper_probe_duration;
+use mlcd::prelude::{
+    Deployment, InstanceType, Money, Observation, ProfileError, ProfilingEnv, SearchSpace,
+    SimDuration, SimTime,
+};
+use mlcd::system::CloudInterface;
+use mlcd_cloudsim::{CloudError, Cluster, ClusterId, MetricStore, SimCloud};
+use mlcd_fleet::{
+    policy_by_name, Decision, FleetScheduler, FleetView, JobCtx, PendingReq, Purpose,
+};
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
+
+/// Fleet-mode configuration: which policy arbitrates the pool and how
+/// much capacity the pool holds.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Scheduling policy name ([`mlcd_fleet::POLICY_NAMES`]).
+    pub policy: String,
+    /// Seed of the shared simulated cloud.
+    pub seed: u64,
+    /// Capacity cap for every CPU instance type.
+    pub cpu_cap: u32,
+    /// Capacity cap for every GPU instance type.
+    pub gpu_cap: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { policy: "fifo".to_string(), seed: 2020, cpu_cap: 64, gpu_cap: 16 }
+    }
+}
+
+/// Fleet counters, as reported in `Stats` (see
+/// [`crate::proto::FleetStatsWire`] for the wire mirror).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetCounters {
+    /// Launch turns granted (probes + training runs).
+    pub admitted: u64,
+    /// Requests that had to wait at least one decision round.
+    pub deferred: u64,
+    /// Policy denials rounds (a request may be denied several times
+    /// before capacity frees up and it is admitted).
+    pub denied: u64,
+    /// Spot revocations tenants suffered on the shared pool.
+    pub preempted: u64,
+    /// Requests currently waiting at the gate.
+    pub queue_depth: u64,
+}
+
+struct Gate {
+    policy: Box<dyn FleetScheduler>,
+    pending: BTreeMap<u64, PendingReq>,
+    jobs: BTreeMap<u64, JobCtx>,
+    clusters: BTreeMap<u64, Vec<ClusterId>>,
+    /// A granted turn is executing its probe/training on the shared
+    /// clock.
+    busy: bool,
+    admitted: u64,
+    deferred: u64,
+    denied: u64,
+    preempted: u64,
+}
+
+/// The shared capacity pool: one `SimCloud` plus the admission gate all
+/// fleet sessions go through.
+pub struct FleetPool {
+    shared: SimCloud,
+    caps: BTreeMap<InstanceType, u32>,
+    policy_name: &'static str,
+    gate: Mutex<Gate>,
+    turn_cv: Condvar,
+}
+
+impl FleetPool {
+    /// Build the pool: shared cloud, capacity caps applied, policy
+    /// resolved.
+    ///
+    /// # Errors
+    /// When the policy name is unknown.
+    pub fn new(cfg: &FleetConfig) -> Result<FleetPool, String> {
+        let policy = policy_by_name(&cfg.policy)
+            .ok_or_else(|| format!("unknown fleet policy `{}`", cfg.policy))?;
+        let policy_name = policy.name();
+        let shared = SimCloud::new(cfg.seed);
+        let mut caps = BTreeMap::new();
+        for itype in InstanceType::all() {
+            let cap = if itype.spec().has_gpu() { cfg.gpu_cap } else { cfg.cpu_cap };
+            shared.set_capacity(itype, cap);
+            caps.insert(itype, cap);
+        }
+        Ok(FleetPool {
+            shared,
+            caps,
+            policy_name,
+            gate: Mutex::new(Gate {
+                policy,
+                pending: BTreeMap::new(),
+                jobs: BTreeMap::new(),
+                clusters: BTreeMap::new(),
+                busy: false,
+                admitted: 0,
+                deferred: 0,
+                denied: 0,
+                preempted: 0,
+            }),
+            turn_cv: Condvar::new(),
+        })
+    }
+
+    /// A handle to the shared provider (for building per-session
+    /// [`FleetCloud`]s).
+    pub fn cloud(&self) -> SimCloud {
+        self.shared.clone()
+    }
+
+    /// The resolved policy name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy_name
+    }
+
+    /// Register a session with the scheduler before its first probe.
+    pub fn register(&self, id: u64, priority: u8, deadline: Option<SimDuration>) {
+        let now = self.shared.now();
+        let ctx = JobCtx {
+            priority,
+            arrived_at: now,
+            deadline_at: deadline.map(|d| now + d),
+            spent: Money::ZERO,
+            granted: 0,
+            denied: 0,
+        };
+        lock_or_die(&self.gate, "fleet gate").jobs.insert(id, ctx);
+    }
+
+    /// Drop a finished session from the scheduler's view.
+    pub fn finish(&self, id: u64) {
+        let mut g = lock_or_die(&self.gate, "fleet gate");
+        g.jobs.remove(&id);
+        g.pending.remove(&id);
+        g.clusters.remove(&id);
+        drop(g);
+        self.turn_cv.notify_all();
+    }
+
+    /// Block until the policy admits `id`'s next launch; the returned
+    /// guard holds the pool turn (one probe or training run at a time)
+    /// until dropped.
+    pub fn acquire(&self, id: u64, itype: InstanceType, n: u32, purpose: Purpose) -> Turn<'_> {
+        let mut g = lock_or_die(&self.gate, "fleet gate");
+        let req = PendingReq {
+            itype,
+            n,
+            spot: false,
+            purpose,
+            requested_at: self.shared.now(),
+            quoted_cost: Money::from_dollars(
+                itype.hourly_usd() * f64::from(n) * paper_probe_duration(n.max(1)).as_hours(),
+            ),
+        };
+        g.pending.insert(id, req);
+        let mut waited = false;
+        loop {
+            if !g.busy {
+                let decision = decide(&mut g, &self.caps, &self.shared);
+                match decision {
+                    Decision::Grant(j) if j == id => {
+                        g.pending.remove(&id);
+                        g.busy = true;
+                        g.admitted += 1;
+                        if let Some(ctx) = g.jobs.get_mut(&id) {
+                            ctx.granted += 1;
+                        }
+                        return Turn { pool: self };
+                    }
+                    Decision::Grant(_) => {
+                        // Someone else's turn; they are parked either on
+                        // the gate mutex or the condvar.
+                        self.turn_cv.notify_all();
+                    }
+                    Decision::Deny(j) => {
+                        g.denied += 1;
+                        if let Some(ctx) = g.jobs.get_mut(&j) {
+                            ctx.denied += 1;
+                        }
+                    }
+                    Decision::Wait => {}
+                }
+                // Stall-breaker: an idle pool with a single waiter must
+                // make progress no matter what the policy thinks, or a
+                // standing denial (e.g. fair-share's cost ceiling) would
+                // wedge the whole fleet.
+                if !g.busy && g.pending.len() == 1 && g.pending.contains_key(&id) {
+                    g.pending.remove(&id);
+                    g.busy = true;
+                    g.admitted += 1;
+                    if let Some(ctx) = g.jobs.get_mut(&id) {
+                        ctx.granted += 1;
+                    }
+                    return Turn { pool: self };
+                }
+            }
+            if !waited {
+                waited = true;
+                g.deferred += 1;
+            }
+            g = wait_or_die(&self.turn_cv, g, "fleet gate");
+        }
+    }
+
+    /// Record a cluster as owned by a session (tenant-local billing).
+    fn note_cluster(&self, id: u64, cluster: ClusterId) {
+        lock_or_die(&self.gate, "fleet gate").clusters.entry(id).or_default().push(cluster);
+    }
+
+    /// Count a spot revocation suffered on the shared pool.
+    fn note_preemption(&self) {
+        lock_or_die(&self.gate, "fleet gate").preempted += 1;
+    }
+
+    /// Snapshot the counters.
+    pub fn counters(&self) -> FleetCounters {
+        let g = lock_or_die(&self.gate, "fleet gate");
+        FleetCounters {
+            admitted: g.admitted,
+            deferred: g.deferred,
+            denied: g.denied,
+            preempted: g.preempted,
+            queue_depth: g.pending.len() as u64,
+        }
+    }
+}
+
+/// Run one policy decision against the current gate state. Spend is
+/// refreshed lazily from the shared ledger (per-session cluster sums) so
+/// cost-aware policies see up-to-date totals.
+fn decide(g: &mut Gate, caps: &BTreeMap<InstanceType, u32>, shared: &SimCloud) -> Decision {
+    if g.pending.is_empty() {
+        return Decision::Wait;
+    }
+    let billing = shared.billing();
+    let spent: BTreeMap<u64, Money> = g
+        .clusters
+        .iter()
+        .map(|(id, cs)| (*id, cs.iter().map(|c| billing.cost_for_cluster(*c)).sum()))
+        .collect();
+    for (id, ctx) in g.jobs.iter_mut() {
+        if let Some(s) = spent.get(id) {
+            ctx.spent = *s;
+        }
+    }
+    let free: BTreeMap<InstanceType, u32> = caps
+        .iter()
+        .map(|(&itype, &cap)| (itype, shared.capacity_available(itype).unwrap_or(cap)))
+        .collect();
+    let view =
+        FleetView { now: shared.now(), caps, free: &free, pending: &g.pending, jobs: &g.jobs };
+    g.policy.decide(&view)
+}
+
+/// An admitted pool turn; dropping it passes the pool to the next
+/// waiter.
+pub struct Turn<'a> {
+    pool: &'a FleetPool,
+}
+
+impl Drop for Turn<'_> {
+    fn drop(&mut self) {
+        lock_or_die(&self.pool.gate, "fleet gate").busy = false;
+        self.pool.turn_cv.notify_all();
+    }
+}
+
+/// Per-session [`CloudInterface`] over the shared pool: forwards
+/// lifecycle calls, tracks cluster ownership, and keeps
+/// [`total_spent`](CloudInterface::total_spent) tenant-local so probe
+/// cost deltas never include other sessions' activity.
+pub struct FleetCloud<'a> {
+    pool: &'a FleetPool,
+    shared: SimCloud,
+    id: u64,
+    owned: std::cell::RefCell<Vec<ClusterId>>,
+}
+
+impl<'a> FleetCloud<'a> {
+    /// A session-scoped handle onto the pool.
+    pub fn new(pool: &'a FleetPool, id: u64) -> FleetCloud<'a> {
+        FleetCloud { pool, shared: pool.cloud(), id, owned: std::cell::RefCell::new(Vec::new()) }
+    }
+}
+
+impl CloudInterface for FleetCloud<'_> {
+    fn launch(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
+        let res = self.shared.launch(itype, n);
+        if let Ok(c) = &res {
+            self.owned.borrow_mut().push(c.id);
+            self.pool.note_cluster(self.id, c.id);
+        }
+        res
+    }
+
+    fn launch_spot(&self, itype: InstanceType, n: u32) -> Result<Cluster, CloudError> {
+        let res = self.shared.launch_spot(itype, n);
+        if let Ok(c) = &res {
+            self.owned.borrow_mut().push(c.id);
+            self.pool.note_cluster(self.id, c.id);
+        }
+        res
+    }
+
+    fn wait_until_running(&self, cluster: &Cluster) -> SimDuration {
+        self.shared.wait_until_running(cluster)
+    }
+
+    fn run_for(&self, cluster: &Cluster, d: SimDuration) -> Result<(), CloudError> {
+        let res = self.shared.run_for(cluster, d);
+        if matches!(res, Err(CloudError::SpotRevoked { .. })) {
+            self.pool.note_preemption();
+        }
+        res
+    }
+
+    fn terminate(&self, cluster: &Cluster) {
+        self.shared.terminate(cluster);
+    }
+
+    fn terminate_at(&self, cluster: &Cluster, end: SimTime) {
+        self.shared.terminate_at(cluster, end);
+    }
+
+    fn skip_to(&self, t: SimTime) {
+        // On a shared clock another tenant may already have advanced past
+        // `t`; skipping backwards is meaningless.
+        if t.as_secs() > self.shared.now().as_secs() {
+            self.shared.skip_to(t);
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    fn total_spent(&self) -> Money {
+        let billing = self.shared.billing();
+        self.owned.borrow().iter().map(|id| billing.cost_for_cluster(*id)).sum()
+    }
+
+    fn metrics(&self) -> &MetricStore {
+        self.shared.metrics()
+    }
+
+    fn provisioning_delay(&self, cluster: &Cluster) -> Option<SimDuration> {
+        self.shared.provisioning_delay(cluster)
+    }
+
+    fn revocation_before(&self, cluster: &Cluster, t: SimTime) -> Option<SimTime> {
+        self.shared.revocation_before(cluster, t)
+    }
+}
+
+/// A [`ProfilingEnv`] wrapper that takes a pool turn around every probe.
+/// Sits *inside* the probe cache, so cache hits never pay admission.
+/// `profile_batch` is intentionally left on the trait's sequential
+/// default: the profiler's concurrent batch wave assumes launch and
+/// settlement happen with no admission wait in between, which does not
+/// hold at a contended gate.
+pub struct FleetGateEnv<'a, E> {
+    inner: &'a mut E,
+    pool: &'a FleetPool,
+    id: u64,
+}
+
+impl<'a, E: ProfilingEnv> FleetGateEnv<'a, E> {
+    /// Gate `inner`'s probes through `pool` on behalf of session `id`.
+    pub fn new(inner: &'a mut E, pool: &'a FleetPool, id: u64) -> FleetGateEnv<'a, E> {
+        FleetGateEnv { inner, pool, id }
+    }
+}
+
+impl<E: ProfilingEnv> ProfilingEnv for FleetGateEnv<'_, E> {
+    fn space(&self) -> &SearchSpace {
+        self.inner.space()
+    }
+
+    fn total_samples(&self) -> f64 {
+        self.inner.total_samples()
+    }
+
+    fn quote(&self, d: &Deployment) -> (SimDuration, Money) {
+        self.inner.quote(d)
+    }
+
+    fn profile(&mut self, d: &Deployment) -> Result<Observation, ProfileError> {
+        let turn = self.pool.acquire(self.id, d.itype, d.n, Purpose::Probe);
+        let res = self.inner.profile(d);
+        drop(turn);
+        res
+    }
+
+    fn elapsed(&self) -> SimDuration {
+        self.inner.elapsed()
+    }
+
+    fn spent(&self) -> Money {
+        self.inner.spent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_rejects_unknown_policy() {
+        let cfg = FleetConfig { policy: "nope".into(), ..Default::default() };
+        assert!(FleetPool::new(&cfg).is_err());
+    }
+
+    #[test]
+    fn single_waiter_is_always_admitted() {
+        let pool = FleetPool::new(&FleetConfig::default()).expect("pool");
+        pool.register(1, 0, None);
+        let turn = pool.acquire(1, InstanceType::C5Xlarge, 2, Purpose::Probe);
+        drop(turn);
+        let c = pool.counters();
+        assert_eq!(c.admitted, 1);
+        assert_eq!(c.queue_depth, 0);
+    }
+
+    #[test]
+    fn turns_serialize_across_threads() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let pool = Arc::new(FleetPool::new(&FleetConfig::default()).expect("pool"));
+        let in_turn = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for id in 0..4u64 {
+            pool.register(id, 0, None);
+            let pool = Arc::clone(&pool);
+            let in_turn = Arc::clone(&in_turn);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..8 {
+                    let turn = pool.acquire(id, InstanceType::C5Xlarge, 1, Purpose::Probe);
+                    assert_eq!(in_turn.fetch_add(1, Ordering::SeqCst), 0, "turn overlap");
+                    in_turn.fetch_sub(1, Ordering::SeqCst);
+                    drop(turn);
+                }
+                pool.finish(id);
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker");
+        }
+        assert_eq!(pool.counters().admitted, 32);
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod fleet;
 pub mod journal;
 pub mod net;
 pub mod proto;
@@ -39,11 +40,14 @@ pub mod session;
 pub mod sync;
 
 pub use cache::{CacheKey, CachedEnv, GridCache, GridKey, ProbeCache, ProvenanceLog};
+pub use fleet::{FleetCloud, FleetConfig, FleetCounters, FleetGateEnv, FleetPool};
 pub use journal::{
     commit_log_file, reconcile_commit_log, AppendError, CommitCrashPoint, CommitHandle,
     CommitLogEntry, CommitStats, GroupCommitter, JournalRecord, JournalWriter, SessionJournal,
     COMMIT_LOG_FILE, JOURNAL_FORMAT,
 };
 pub use net::Server;
-pub use proto::{Request, Response, ServiceStats, SessionResult, StatusLine, SubmitSpec};
+pub use proto::{
+    FleetStatsWire, Request, Response, ServiceStats, SessionResult, StatusLine, SubmitSpec,
+};
 pub use session::{Phase, Reject, ServiceConfig, Session, SessionManager};

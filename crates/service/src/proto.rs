@@ -292,6 +292,28 @@ pub struct ServiceStats {
     /// process-wide scheduled/dispatched/cancelled totals, aggregated
     /// across every `SimEngine` the server has driven.
     pub sim_events: Vec<mlcd_cloudsim::SimEventCounter>,
+    /// Fleet-mode counters; `null` when the server runs sessions on
+    /// private clouds (the default). Absent fields deserialize as `None`,
+    /// so pre-fleet stats lines still parse.
+    pub fleet: Option<FleetStatsWire>,
+}
+
+/// Fleet-mode counters on the wire, mirroring
+/// [`crate::fleet::FleetCounters`] plus the resolved policy name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetStatsWire {
+    /// Scheduling policy arbitrating the shared pool.
+    pub policy: String,
+    /// Launch turns granted (probes + training runs).
+    pub admitted: u64,
+    /// Requests that waited at least one decision round.
+    pub deferred: u64,
+    /// Policy denial rounds.
+    pub denied: u64,
+    /// Spot revocations suffered on the shared pool.
+    pub preempted: u64,
+    /// Requests currently waiting at the gate.
+    pub queue_depth: u64,
 }
 
 /// One session row of a `status` report.
@@ -420,6 +442,35 @@ mod tests {
         assert!(json.contains("\"sim_events\""), "{json}");
         let back: ServiceStats = serde_json::from_str(&json).unwrap();
         assert_eq!(stats, back);
+    }
+
+    #[test]
+    fn service_stats_round_trip_with_fleet_counters() {
+        let stats = ServiceStats {
+            fleet: Some(FleetStatsWire {
+                policy: "fairshare".into(),
+                admitted: 9,
+                deferred: 3,
+                denied: 2,
+                preempted: 1,
+                queue_depth: 4,
+            }),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"fleet\""), "{json}");
+        assert!(json.contains("\"queue_depth\":4"), "{json}");
+        let back: ServiceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+        // A pre-fleet stats line (no `fleet` field at all) still parses.
+        let legacy: ServiceStats = serde_json::from_str(
+            r#"{"live_sessions":1,"queued":0,"evicted":0,"cache_hits":0,"cache_misses":0,
+                "grid_hits":0,"grid_misses":0,"group_commit":false,"journal_groups":0,
+                "journal_records":0,"journal_checkpoints":0,"sim_events":[]}"#,
+        )
+        .unwrap();
+        assert!(legacy.fleet.is_none());
+        assert_eq!(legacy.live_sessions, 1);
     }
 
     #[test]

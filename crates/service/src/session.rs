@@ -138,6 +138,13 @@ pub struct ServiceConfig {
     /// thread is mid-group — at the given crash point of the given
     /// (0-based) group.
     pub crash_commit_at: Option<(u64, CommitCrashPoint)>,
+    /// Fleet mode: run every session against one shared finite-capacity
+    /// [`mlcd_cloudsim::SimCloud`] pool, with the named
+    /// [`mlcd_fleet::FleetScheduler`] policy arbitrating probe admission
+    /// (see [`crate::fleet`]). Incompatible with `journal_dir` — fleet
+    /// interleaving is wall-clock dependent, so crash-resume's verified
+    /// replay cannot hold.
+    pub fleet: Option<crate::fleet::FleetConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -155,6 +162,7 @@ impl Default for ServiceConfig {
             retain_terminal: 1024,
             commit_checkpoint_bytes: 4 << 20,
             crash_commit_at: None,
+            fleet: None,
         }
     }
 }
@@ -669,6 +677,9 @@ struct Inner {
     /// operator inspection) — unbounded by nature, so never on by
     /// default.
     started: Option<Mutex<Vec<u64>>>,
+    /// Fleet mode's shared capacity pool (see [`crate::fleet`]); `None`
+    /// runs every session on its own private cloud.
+    fleet: Option<crate::fleet::FleetPool>,
 }
 
 impl Inner {
@@ -714,6 +725,21 @@ impl SessionManager {
     pub fn new(cfg: ServiceConfig) -> std::io::Result<SessionManager> {
         install_quiet_hook();
         assert!(cfg.workers >= 1, "SessionManager: need at least one worker");
+        if cfg.fleet.is_some() && cfg.journal_dir.is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "fleet mode is incompatible with journaling: probe interleaving on the \
+                 shared pool is wall-clock dependent, so crash-resume's verified replay \
+                 cannot hold",
+            ));
+        }
+        let fleet = match &cfg.fleet {
+            Some(fc) => Some(
+                crate::fleet::FleetPool::new(fc)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
+            ),
+            None => None,
+        };
         let nshards = cfg.shards.max(1);
         let mut sessions = BTreeMap::new();
         let mut terminal_order = VecDeque::new();
@@ -850,6 +876,7 @@ impl SessionManager {
             committer,
             terminal: Mutex::new(TerminalLog { order: terminal_order, evicted }),
             started,
+            fleet,
         });
         let workers = (0..inner.cfg.workers)
             .map(|_| {
@@ -1073,6 +1100,17 @@ impl SessionManager {
             journal_records: commit.records,
             journal_checkpoints: commit.checkpoints,
             sim_events: mlcd_cloudsim::global_event_counters(),
+            fleet: self.inner.fleet.as_ref().map(|pool| {
+                let c = pool.counters();
+                crate::proto::FleetStatsWire {
+                    policy: pool.policy_name().to_string(),
+                    admitted: c.admitted,
+                    deferred: c.deferred,
+                    denied: c.denied,
+                    preempted: c.preempted,
+                    queue_depth: c.queue_depth,
+                }
+            }),
         }
     }
 
@@ -1246,6 +1284,11 @@ fn run_session(inner: &Arc<Inner>, mut item: WorkItem) {
 
     let resuming = item.resumed;
     let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<SessionResult, String> {
+        if inner.fleet.is_some() {
+            // Fleet mode: the shared-pool path (no journal, no resume —
+            // both rejected at construction).
+            return run_fleet_session(inner, &session);
+        }
         let spec = &session.spec;
         let job = spec.training_job()?;
         let searcher = searcher_by_name(&spec.searcher, spec.seed)
@@ -1354,6 +1397,63 @@ fn run_session(inner: &Arc<Inner>, mut item: WorkItem) {
             }
         }
     }
+}
+
+/// The fleet-mode session body: same searcher pipeline as the private-
+/// cloud path, but the profiler runs over a [`crate::fleet::FleetCloud`]
+/// on the shared pool and every probe takes a scheduler-granted turn
+/// through a [`crate::fleet::FleetGateEnv`] (inside the probe cache, so
+/// hits skip admission). The final training run takes one turn the same
+/// way.
+fn run_fleet_session(inner: &Arc<Inner>, session: &Arc<Session>) -> Result<SessionResult, String> {
+    use crate::fleet::{FleetCloud, FleetGateEnv};
+    use mlcd_fleet::Purpose;
+
+    let pool = inner.fleet.as_ref().expect("fleet mode");
+    let spec = &session.spec;
+    let job = spec.training_job()?;
+    let searcher = searcher_by_name(&spec.searcher, spec.seed)
+        .ok_or_else(|| format!("unknown searcher `{}`", spec.searcher))?;
+    let mut runner = ExperimentRunner::new(spec.seed).with_max_nodes(spec.max_nodes);
+    if let Some(types) = spec.instance_types()? {
+        runner = runner.with_types(types);
+    }
+    let space = if inner.cfg.grid_cache {
+        let key = GridKey::new(&spec.job, spec.instance_types()?.as_deref(), spec.max_nodes);
+        (*inner.grids.get_or_build(key, || runner.space(&job))).clone()
+    } else {
+        runner.space(&job)
+    };
+    let deadline = match session.scenario {
+        Scenario::CheapestWithDeadline(d) => Some(d),
+        _ => None,
+    };
+    pool.register(session.id, spec.priority, deadline);
+    let mut profiler = runner.profiler_on_cloud(&job, space, FleetCloud::new(pool, session.id));
+    let search = {
+        let provenance = ProvenanceLog::new();
+        let cache = inner.cfg.probe_cache.then_some(&inner.cache);
+        let mut gate = FleetGateEnv::new(&mut profiler, pool, session.id);
+        let mut env = CachedEnv::new(&mut gate, cache, &spec.job, &provenance);
+        let mut sink = SessionSink {
+            session,
+            writer: None,
+            replay: &[],
+            replay_pos: 0,
+            journaled: 0,
+            provenance: &provenance,
+            crash_after: None,
+        };
+        searcher.search_traced(&mut env, &session.scenario, &mut sink)
+    };
+    let train_turn = search
+        .best
+        .as_ref()
+        .map(|b| pool.acquire(session.id, b.deployment.itype, b.deployment.n, Purpose::Train));
+    let experiment = runner.complete(profiler, search, searcher.name(), &session.scenario);
+    drop(train_turn);
+    pool.finish(session.id);
+    Ok(SessionResult::from(&experiment))
 }
 
 #[cfg(test)]
@@ -1789,6 +1889,46 @@ mod tests {
             stats.sim_events
         );
         let _ = std::fs::remove_dir_all(&jdir);
+    }
+
+    #[test]
+    fn fleet_mode_rejects_journaling() {
+        let jdir = std::env::temp_dir().join(format!("mlcd-session-fleetj-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&jdir);
+        let err = match SessionManager::new(ServiceConfig {
+            journal_dir: Some(jdir.clone()),
+            fleet: Some(crate::fleet::FleetConfig::default()),
+            ..Default::default()
+        }) {
+            Ok(_) => panic!("fleet + journal must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("incompatible"), "{err}");
+        let _ = std::fs::remove_dir_all(&jdir);
+    }
+
+    #[test]
+    fn fleet_sessions_share_the_pool_and_report_counters() {
+        let m = manager(ServiceConfig {
+            workers: 2,
+            fleet: Some(crate::fleet::FleetConfig {
+                policy: "fairshare".into(),
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        let a = m.submit(tiny_spec("resnet-cifar10", 3)).unwrap();
+        let b = m.submit(tiny_spec("char-rnn", 4)).unwrap();
+        let ra = done_result(&m, a);
+        let rb = done_result(&m, b);
+        assert!(ra.search.n_probes() > 0 && rb.search.n_probes() > 0);
+        let f = m.stats().fleet.expect("fleet counters must be reported");
+        assert_eq!(f.policy, "fairshare");
+        assert!(f.admitted > 0, "sessions probed, so turns were granted: {f:?}");
+        assert_eq!(f.queue_depth, 0, "drained pool has no waiters");
+        // Private-cloud managers report no fleet block.
+        let plain = manager(ServiceConfig { workers: 1, ..Default::default() });
+        assert!(plain.stats().fleet.is_none());
     }
 
     #[test]

@@ -50,6 +50,14 @@ fn render_event(rec: &EventRecord) -> String {
             )
         }
         SimEvent::MetricTick { period } => format!("metric_tick period={}", hx(period.as_secs())),
+        SimEvent::JobArrived { job } => format!("job_arrived job={job}"),
+        SimEvent::ProbeGranted { job, waited } => {
+            format!("probe_granted job={job} waited={}", hx(waited.as_secs()))
+        }
+        SimEvent::ProbeDenied { job } => format!("probe_denied job={job}"),
+        SimEvent::JobCompleted { job, missed } => {
+            format!("job_completed job={job} missed={missed}")
+        }
     };
     format!("t={} seq={} {body}", hx(rec.at.as_secs()), rec.seq)
 }

@@ -1,0 +1,89 @@
+//! Golden fleet-outcome snapshots: pinned (policy × seed) cells of the
+//! contended preset must reproduce their recorded [`FleetOutcome`]
+//! digest **bit for bit** — per-job completion instants, queue waits,
+//! inlined search digests and fleet aggregates, every f64 as its raw
+//! IEEE-754 bit pattern.
+//!
+//! The fleet runs tenants on real threads, so this is the test that
+//! pins the strict-handoff protocol: any scheduling race, any
+//! driver-order dependence, any RNG-draw reordering on the shared
+//! provider shows up here as a diff.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! MLCD_UPDATE_GOLDEN=1 cargo test --test golden_fleet
+//! ```
+
+use mlcd_fleet::{policy_by_name, FleetScenario, FleetSim};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const GOLDEN_PATH: &str = "tests/golden/fleet_outcomes.txt";
+
+/// Pinned cells: the two interesting policies (fifo is the baseline the
+/// bench quotes; fairshare exercises denial + cost-cooling) × two seeds
+/// on the mildly contended preset. Level 1 keeps the pinned set cheap
+/// enough for tier-1 while still queueing requests at the scheduler.
+const CELLS: [(&str, u64); 4] =
+    [("fifo", 7), ("fifo", 2020), ("fairshare", 7), ("fairshare", 2020)];
+
+fn render_all() -> String {
+    let mut out = String::new();
+    for (policy, seed) in CELLS {
+        let scenario = FleetScenario::contended(1, seed);
+        let outcome = FleetSim::new(scenario, policy_by_name(policy).expect("known policy")).run();
+        writeln!(out, "=== {policy} / seed {seed} ===").unwrap();
+        out.push_str(&outcome.digest());
+    }
+    out
+}
+
+fn golden_file() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+#[test]
+fn golden_fleet_outcomes_are_bit_identical() {
+    let actual = render_all();
+    let path = golden_file();
+    if std::env::var("MLCD_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("golden snapshots rewritten at {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with MLCD_UPDATE_GOLDEN=1 to capture",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let mismatch = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .find(|(_, (e, a))| e != a)
+            .map(|(i, (e, a))| {
+                format!("first diff at line {}:\n  golden: {e}\n  actual: {a}", i + 1)
+            })
+            .unwrap_or_else(|| "one output is a prefix of the other".to_string());
+        panic!(
+            "fleet outcomes diverged from the golden snapshots \
+             (the strict-handoff fleet must be bit-deterministic)\n{mismatch}"
+        );
+    }
+}
+
+/// Two back-to-back runs of the same cell are bit-identical — the live
+/// counterpart of the pinned snapshot, catching nondeterminism that
+/// happens to differ from the recorded capture too.
+#[test]
+fn fleet_runs_are_bit_identical_across_runs() {
+    let digest = || {
+        let scenario = FleetScenario::contended(1, 2020);
+        FleetSim::new(scenario, policy_by_name("deadline").expect("known policy")).run().digest()
+    };
+    assert_eq!(digest(), digest());
+}
