@@ -84,6 +84,53 @@ fn unit(h: u64) -> f64 {
 /// Price process time bucket (spot prices reprice every ~5 minutes).
 const BUCKET_SECS: f64 = 300.0;
 
+/// Anchor stride of the memoized random walk: the per-thread cache keeps
+/// the walk value at every `WALK_ANCHOR_STRIDE`-th bucket, so a query
+/// replays at most one stride of steps (amortized) instead of the whole
+/// path from bucket zero — which made periodic price ticks quadratic in
+/// simulated time on long fleet runs.
+const WALK_ANCHOR_STRIDE: u64 = 64;
+
+/// Cache key: everything the walk's value depends on besides the bucket
+/// index — seed, instance type, and the bound/step parameters.
+type WalkKey = (u64, u64, u64, u64);
+
+thread_local! {
+    /// Per-thread anchor cache: for each market/type, `anchors[i]` is the
+    /// walk value at bucket `i × WALK_ANCHOR_STRIDE` (`anchors[0]` is the
+    /// mean). Anchors are computed by the same sequential fold as a
+    /// from-zero replay, so memoized values are bit-identical to the
+    /// unmemoized path — determinism is unaffected by cache state, and
+    /// threads that never share the cache still agree exactly.
+    static WALK_ANCHORS: std::cell::RefCell<std::collections::BTreeMap<WalkKey, Vec<f64>>> =
+        const { std::cell::RefCell::new(std::collections::BTreeMap::new()) };
+}
+
+/// Fold the walk forward over `range` bucket steps from `x`, reflecting
+/// off `[lo, hi]`. This is the single step function both the anchors and
+/// the final partial stride use — bit-exactness of the memoization rests
+/// on every path running these exact operations in the same order.
+fn walk_steps(
+    key: u64,
+    mut x: f64,
+    range: std::ops::Range<u64>,
+    lo: f64,
+    hi: f64,
+    step: f64,
+) -> f64 {
+    for b in range {
+        let u = unit(mix(key ^ b));
+        x += step * (2.0 * u - 1.0);
+        if x > hi {
+            x = 2.0 * hi - x;
+        }
+        if x < lo {
+            x = 2.0 * lo - x;
+        }
+    }
+    x
+}
+
 impl SpotMarket {
     /// Spot price multiplier (fraction of on-demand) for a type at a time,
     /// dispatched on [`MarketMode`]. Always bounded to `mean ± amplitude/2`.
@@ -109,26 +156,44 @@ impl SpotMarket {
     /// The random-walk process: starting at the mean, every elapsed bucket
     /// takes a uniform step of up to `amplitude/8` in either direction and
     /// reflects off the `mean ± amplitude/2` bounds. Piecewise-constant per
-    /// bucket and a pure function of `(seed, type, bucket index)` — the
-    /// walk is replayed from zero on each query, so the path needs no
-    /// stored state and any two queries at the same time agree exactly.
+    /// bucket and a pure function of `(seed, type, bucket index)` — any
+    /// two queries at the same time agree exactly. The sequential fold is
+    /// memoized through per-thread stride anchors (bit-identical to a
+    /// from-zero replay), so a query costs O(stride) amortized rather
+    /// than O(elapsed buckets).
     fn walk_multiplier(&self, itype: InstanceType, at: SimTime) -> f64 {
         let lo = self.mean_discount - self.amplitude / 2.0;
         let hi = self.mean_discount + self.amplitude / 2.0;
         let key = self.seed ^ (itype as u64).wrapping_mul(0x9E3779B1) ^ 0x57A1_4B0C_5EED_D15C;
         let buckets = (at.as_secs() / BUCKET_SECS) as u64;
         let step = self.amplitude / 8.0;
-        let mut x = self.mean_discount;
-        for b in 0..buckets {
-            let u = unit(mix(key ^ b));
-            x += step * (2.0 * u - 1.0);
-            if x > hi {
-                x = 2.0 * hi - x;
+        let anchor_idx = (buckets / WALK_ANCHOR_STRIDE) as usize;
+        let cache_key: WalkKey =
+            (self.seed, itype as u64, self.mean_discount.to_bits(), self.amplitude.to_bits());
+        let x = WALK_ANCHORS.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            let anchors = cache.entry(cache_key).or_insert_with(|| vec![self.mean_discount]);
+            while anchors.len() <= anchor_idx {
+                let i = anchors.len() as u64;
+                let from = *anchors.last().expect("anchors seeded with the mean");
+                anchors.push(walk_steps(
+                    key,
+                    from,
+                    (i - 1) * WALK_ANCHOR_STRIDE..i * WALK_ANCHOR_STRIDE,
+                    lo,
+                    hi,
+                    step,
+                ));
             }
-            if x < lo {
-                x = 2.0 * lo - x;
-            }
-        }
+            walk_steps(
+                key,
+                anchors[anchor_idx],
+                anchor_idx as u64 * WALK_ANCHOR_STRIDE..buckets,
+                lo,
+                hi,
+                step,
+            )
+        });
         x.clamp(lo, hi)
     }
 
@@ -270,6 +335,32 @@ mod tests {
         );
         // Different seeds genuinely diverge.
         assert_ne!(path(0x5B07), path(2020));
+    }
+
+    #[test]
+    fn walk_memoization_matches_naive_replay() {
+        // The original unmemoized process: one fold from bucket zero.
+        fn naive(m: &SpotMarket, itype: InstanceType, at: SimTime) -> f64 {
+            let lo = m.mean_discount - m.amplitude / 2.0;
+            let hi = m.mean_discount + m.amplitude / 2.0;
+            let key = m.seed ^ (itype as u64).wrapping_mul(0x9E3779B1) ^ 0x57A1_4B0C_5EED_D15C;
+            let buckets = (at.as_secs() / BUCKET_SECS) as u64;
+            walk_steps(key, m.mean_discount, 0..buckets, lo, hi, m.amplitude / 8.0).clamp(lo, hi)
+        }
+        let a = SpotMarket { mode: MarketMode::RandomWalk, ..SpotMarket::default() };
+        // Same seed, different bounds: must not share anchor entries.
+        let b =
+            SpotMarket { amplitude: 0.10, mode: MarketMode::RandomWalk, ..SpotMarket::default() };
+        // Non-monotone query times: the anchor cache must be invisible
+        // to query order, including jumps far forward and back.
+        let times = [0.0, 9.0e5, 137.0, 4.2e6, 3.1e5, 9.0e5, 50.0, 7.7e6, 1.0e3];
+        for &s in &times {
+            let at = t(s);
+            for ity in [InstanceType::C5Xlarge, InstanceType::P32xlarge] {
+                assert_eq!(a.price_multiplier(ity, at), naive(&a, ity, at));
+                assert_eq!(b.price_multiplier(ity, at), naive(&b, ity, at));
+            }
+        }
     }
 
     #[test]

@@ -376,7 +376,9 @@ fn view_parts(
 
 /// Execute a grant: perform the launch on the shared provider (this is
 /// where cluster ids and provisioning RNG draws are consumed, in policy
-/// order) and hand the result to the tenant.
+/// order) and hand the result to the tenant. Only a successful launch
+/// counts and emits as a grant; a provider failure is recorded as a
+/// denial.
 fn settle_grant(
     slots: &mut BTreeMap<JobId, Slot>,
     shared: &SimCloud,
@@ -393,14 +395,28 @@ fn settle_grant(
         shared.launch(req.itype, req.n)
     };
     let waited = shared.now().since(req.requested_at);
-    slot.queue_wait += waited;
-    slot.ctx.granted += 1;
-    if let Ok(c) = &res {
-        slot.clusters.push(c.id);
+    match &res {
+        Ok(c) => {
+            slot.queue_wait += waited;
+            slot.ctx.granted += 1;
+            slot.clusters.push(c.id);
+            let ev = SimEvent::ProbeGranted { job: id, waited };
+            fold.on_event(&ev);
+            shared.emit_now(ev);
+        }
+        Err(_) => {
+            // Forced settlements (impossible requests, the wedge-breaker)
+            // can fail at the provider. The tenant sees the real error
+            // either way; for the fleet record this is a refusal, not a
+            // grant — counting it as granted would inflate grant counts
+            // and queue-wait averages in the digest with launches that
+            // never happened.
+            slot.ctx.denied += 1;
+            let ev = SimEvent::ProbeDenied { job: id };
+            fold.on_event(&ev);
+            shared.emit_now(ev);
+        }
     }
-    let ev = SimEvent::ProbeGranted { job: id, waited };
-    fold.on_event(&ev);
-    shared.emit_now(ev);
     slot.reply.send(DriverReply::Launched(res)).expect("tenant alive");
 }
 

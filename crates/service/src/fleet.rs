@@ -14,9 +14,12 @@
 //! * A [`FleetGateEnv`] wraps the profiler *inside* the shared probe
 //!   cache: each `profile()` first acquires the pool turn (the policy
 //!   decides who goes next), then runs the whole probe — launch, wait,
-//!   measure, terminate — atomically in virtual time. Cache hits are
-//!   free and never touch the pool, so a popular deployment costs the
-//!   fleet one admission, total.
+//!   measure, terminate — atomically in virtual time. A policy *denial*
+//!   settles the request with [`CloudError::Denied`], which the gate
+//!   surfaces as a failed probe so the searcher drops the candidate —
+//!   the same contract as the fleet driver's `settle_deny`. Cache hits
+//!   are free and never touch the pool, so a popular deployment costs
+//!   the fleet one admission, total.
 //! * The final training run takes one turn the same way.
 //!
 //! Unlike `mlcd-fleet`'s strict-handoff driver, the service gate is
@@ -70,8 +73,9 @@ pub struct FleetCounters {
     pub admitted: u64,
     /// Requests that had to wait at least one decision round.
     pub deferred: u64,
-    /// Policy denials rounds (a request may be denied several times
-    /// before capacity frees up and it is admitted).
+    /// Requests the policy refused outright: the session observes
+    /// [`CloudError::Denied`] and its searcher drops the candidate
+    /// (mirroring the fleet driver's `settle_deny`).
     pub denied: u64,
     /// Spot revocations tenants suffered on the shared pool.
     pub preempted: u64,
@@ -151,7 +155,19 @@ impl FleetPool {
     }
 
     /// Register a session with the scheduler before its first probe.
-    pub fn register(&self, id: u64, priority: u8, deadline: Option<SimDuration>) {
+    ///
+    /// The returned guard deregisters the session when dropped —
+    /// including during a panic/cancel unwind — so a dead session can
+    /// never leave a pending request or job context behind in the gate
+    /// (a leaked pending entry would make the policy grant a turn nobody
+    /// can take, wedging every live waiter).
+    #[must_use = "dropping the guard deregisters the session; bind it for the session's lifetime"]
+    pub fn register(
+        &self,
+        id: u64,
+        priority: u8,
+        deadline: Option<SimDuration>,
+    ) -> Registration<'_> {
         let now = self.shared.now();
         let ctx = JobCtx {
             priority,
@@ -162,6 +178,7 @@ impl FleetPool {
             denied: 0,
         };
         lock_or_die(&self.gate, "fleet gate").jobs.insert(id, ctx);
+        Registration { pool: self, id }
     }
 
     /// Drop a finished session from the scheduler's view.
@@ -174,10 +191,30 @@ impl FleetPool {
         self.turn_cv.notify_all();
     }
 
-    /// Block until the policy admits `id`'s next launch; the returned
-    /// guard holds the pool turn (one probe or training run at a time)
-    /// until dropped.
-    pub fn acquire(&self, id: u64, itype: InstanceType, n: u32, purpose: Purpose) -> Turn<'_> {
+    /// Block until the policy settles `id`'s next launch request. A
+    /// grant returns a guard holding the pool turn (one probe or
+    /// training run at a time); a policy denial returns
+    /// [`CloudError::Denied`] so the caller can surface it exactly like
+    /// a failed launch (the fleet driver's `settle_deny` equivalent).
+    ///
+    /// Liveness: every decision round with an idle pool settles someone.
+    /// A grant or denial of another session wakes that session, which
+    /// re-derives the same verdict (the policy is a pure function of the
+    /// unchanged gate state) and settles itself; a standing `Wait`
+    /// force-grants the oldest request, because with the pool idle the
+    /// shared clock cannot move and the policy's answer would never
+    /// change — the driver's wedge-breaker, at the gate.
+    ///
+    /// # Errors
+    /// [`CloudError::Denied`] when the policy refuses the request
+    /// outright (e.g. fair-share's cost ceiling under contention).
+    pub fn acquire(
+        &self,
+        id: u64,
+        itype: InstanceType,
+        n: u32,
+        purpose: Purpose,
+    ) -> Result<Turn<'_>, CloudError> {
         let mut g = lock_or_die(&self.gate, "fleet gate");
         let req = PendingReq {
             itype,
@@ -193,42 +230,52 @@ impl FleetPool {
         let mut waited = false;
         loop {
             if !g.busy {
-                let decision = decide(&mut g, &self.caps, &self.shared);
-                match decision {
+                // A request no policy could ever admit (bigger than the
+                // cap or the quota) takes a turn straight away: the
+                // launch inside the turn surfaces the provider's real
+                // error, mirroring the driver's impossibility settlement.
+                let cap = self.caps.get(&itype).copied().unwrap_or(0);
+                if n > cap.min(self.shared.quota(itype)) {
+                    return Ok(self.grant_locked(&mut g, id));
+                }
+                match decide(&mut g, &self.caps, &self.shared) {
                     Decision::Grant(j) if j == id => {
+                        return Ok(self.grant_locked(&mut g, id));
+                    }
+                    Decision::Deny(j) if j == id => {
                         g.pending.remove(&id);
-                        g.busy = true;
-                        g.admitted += 1;
-                        if let Some(ctx) = g.jobs.get_mut(&id) {
-                            ctx.granted += 1;
-                        }
-                        return Turn { pool: self };
-                    }
-                    Decision::Grant(_) => {
-                        // Someone else's turn; they are parked either on
-                        // the gate mutex or the condvar.
-                        self.turn_cv.notify_all();
-                    }
-                    Decision::Deny(j) => {
                         g.denied += 1;
-                        if let Some(ctx) = g.jobs.get_mut(&j) {
+                        if let Some(ctx) = g.jobs.get_mut(&id) {
                             ctx.denied += 1;
                         }
+                        drop(g);
+                        // The queue shrank; let the remaining waiters
+                        // re-decide.
+                        self.turn_cv.notify_all();
+                        return Err(CloudError::Denied {
+                            reason: "fleet admission: probe throttled under contention",
+                        });
                     }
-                    Decision::Wait => {}
-                }
-                // Stall-breaker: an idle pool with a single waiter must
-                // make progress no matter what the policy thinks, or a
-                // standing denial (e.g. fair-share's cost ceiling) would
-                // wedge the whole fleet.
-                if !g.busy && g.pending.len() == 1 && g.pending.contains_key(&id) {
-                    g.pending.remove(&id);
-                    g.busy = true;
-                    g.admitted += 1;
-                    if let Some(ctx) = g.jobs.get_mut(&id) {
-                        ctx.granted += 1;
+                    Decision::Grant(_) | Decision::Deny(_) => {
+                        // Another session's settlement: wake it so it can
+                        // re-derive the verdict and settle itself. (It is
+                        // parked on the condvar or the gate mutex — every
+                        // pending request belongs to a thread blocked in
+                        // this loop; the registration guard removes the
+                        // requests of dead sessions.)
+                        self.turn_cv.notify_all();
                     }
-                    return Turn { pool: self };
+                    Decision::Wait => {
+                        let oldest = g
+                            .pending
+                            .iter()
+                            .min_by_key(|(j, r)| (r.requested_at.as_secs().to_bits(), **j))
+                            .map(|(j, _)| *j);
+                        if oldest == Some(id) {
+                            return Ok(self.grant_locked(&mut g, id));
+                        }
+                        self.turn_cv.notify_all();
+                    }
                 }
             }
             if !waited {
@@ -237,6 +284,17 @@ impl FleetPool {
             }
             g = wait_or_die(&self.turn_cv, g, "fleet gate");
         }
+    }
+
+    /// Take the pool turn for `id` (gate lock held).
+    fn grant_locked(&self, g: &mut Gate, id: u64) -> Turn<'_> {
+        g.pending.remove(&id);
+        g.busy = true;
+        g.admitted += 1;
+        if let Some(ctx) = g.jobs.get_mut(&id) {
+            ctx.granted += 1;
+        }
+        Turn { pool: self }
     }
 
     /// Record a cluster as owned by a session (tenant-local billing).
@@ -299,6 +357,22 @@ impl Drop for Turn<'_> {
     fn drop(&mut self) {
         lock_or_die(&self.pool.gate, "fleet gate").busy = false;
         self.pool.turn_cv.notify_all();
+    }
+}
+
+/// A session's membership in the gate, returned by
+/// [`FleetPool::register`]. Dropping it runs [`FleetPool::finish`], so
+/// the scheduler's view is cleaned up on every exit path — normal
+/// completion, cancellation and searcher panics alike (the session body
+/// unwinds through `catch_unwind`, dropping this guard on the way).
+pub struct Registration<'a> {
+    pool: &'a FleetPool,
+    id: u64,
+}
+
+impl Drop for Registration<'_> {
+    fn drop(&mut self) {
+        self.pool.finish(self.id);
     }
 }
 
@@ -422,7 +496,14 @@ impl<E: ProfilingEnv> ProfilingEnv for FleetGateEnv<'_, E> {
     }
 
     fn profile(&mut self, d: &Deployment) -> Result<Observation, ProfileError> {
-        let turn = self.pool.acquire(self.id, d.itype, d.n, Purpose::Probe);
+        // A policy denial surfaces like a failed launch so the searcher
+        // drops the candidate — the same thing a fleet-driver tenant
+        // sees from `settle_deny`. This is what makes fair-share's
+        // cost-cooling real in service mode rather than a silent wait.
+        let turn = self
+            .pool
+            .acquire(self.id, d.itype, d.n, Purpose::Probe)
+            .map_err(|e| ProfileError::Failed(e.to_string()))?;
         let res = self.inner.profile(d);
         drop(turn);
         res
@@ -450,8 +531,8 @@ mod tests {
     #[test]
     fn single_waiter_is_always_admitted() {
         let pool = FleetPool::new(&FleetConfig::default()).expect("pool");
-        pool.register(1, 0, None);
-        let turn = pool.acquire(1, InstanceType::C5Xlarge, 2, Purpose::Probe);
+        let _reg = pool.register(1, 0, None);
+        let turn = pool.acquire(1, InstanceType::C5Xlarge, 2, Purpose::Probe).expect("granted");
         drop(turn);
         let c = pool.counters();
         assert_eq!(c.admitted, 1);
@@ -466,22 +547,113 @@ mod tests {
         let in_turn = Arc::new(AtomicU32::new(0));
         let mut handles = Vec::new();
         for id in 0..4u64 {
-            pool.register(id, 0, None);
             let pool = Arc::clone(&pool);
             let in_turn = Arc::clone(&in_turn);
             handles.push(std::thread::spawn(move || {
+                let _reg = pool.register(id, 0, None);
                 for _ in 0..8 {
-                    let turn = pool.acquire(id, InstanceType::C5Xlarge, 1, Purpose::Probe);
+                    let turn = pool
+                        .acquire(id, InstanceType::C5Xlarge, 1, Purpose::Probe)
+                        .expect("cheap probes are granted");
                     assert_eq!(in_turn.fetch_add(1, Ordering::SeqCst), 0, "turn overlap");
                     in_turn.fetch_sub(1, Ordering::SeqCst);
                     drop(turn);
                 }
-                pool.finish(id);
             }));
         }
         for h in handles {
             h.join().expect("worker");
         }
         assert_eq!(pool.counters().admitted, 32);
+    }
+
+    #[test]
+    fn policy_denial_settles_as_an_error() {
+        // Fair-share's cost ceiling ($2 base, idle pool) is below an
+        // 8-node GPU probe's quoted cost: the request must settle with
+        // `CloudError::Denied`, not park forever.
+        let cfg = FleetConfig { policy: "fairshare".into(), ..Default::default() };
+        let pool = FleetPool::new(&cfg).expect("pool");
+        let _reg = pool.register(1, 0, None);
+        let err = pool
+            .acquire(1, InstanceType::P32xlarge, 8, Purpose::Probe)
+            .err()
+            .expect("over-ceiling probe must be denied");
+        assert!(matches!(err, CloudError::Denied { .. }), "{err}");
+        let c = pool.counters();
+        assert_eq!((c.admitted, c.denied, c.queue_depth), (0, 1, 0));
+    }
+
+    #[test]
+    fn standing_denials_do_not_wedge_multiple_waiters() {
+        // The review's deadlock scenario: 2+ waiters, idle pool, a
+        // policy that keeps denying. Every waiter must settle (grant or
+        // error) rather than park on the condvar forever.
+        use std::sync::Arc;
+        let cfg = FleetConfig { policy: "fairshare".into(), ..Default::default() };
+        let pool = Arc::new(FleetPool::new(&cfg).expect("pool"));
+        let mut handles = Vec::new();
+        for id in 0..3u64 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let _reg = pool.register(id, 0, None);
+                // Expensive GPU probes: all over the cooled ceiling.
+                pool.acquire(id, InstanceType::P32xlarge, 8, Purpose::Probe).map(|_| ())
+            }));
+        }
+        for h in handles {
+            let res = h.join().expect("worker must not deadlock");
+            assert!(matches!(res, Err(CloudError::Denied { .. })), "{res:?}");
+        }
+        assert_eq!(pool.counters().denied, 3);
+    }
+
+    #[test]
+    fn impossible_requests_take_a_turn_and_do_not_block_the_queue() {
+        // n > cap can never be admitted by any policy; the gate grants
+        // the turn so the launch surfaces the provider's real error
+        // (the driver's impossibility settlement), instead of fifo
+        // head-of-line blocking everyone behind it.
+        let pool = FleetPool::new(&FleetConfig::default()).expect("pool");
+        let _r1 = pool.register(1, 0, None);
+        let _r2 = pool.register(2, 0, None);
+        let turn =
+            pool.acquire(1, InstanceType::C5Xlarge, 65, Purpose::Probe).expect("forced through");
+        assert!(pool.cloud().launch(InstanceType::C5Xlarge, 65).is_err(), "provider error");
+        drop(turn);
+        let turn2 = pool.acquire(2, InstanceType::C5Xlarge, 1, Purpose::Probe).expect("granted");
+        drop(turn2);
+        assert_eq!(pool.counters().admitted, 2);
+    }
+
+    #[test]
+    fn standing_wait_force_grants_the_oldest() {
+        // DeadlineAware reserves 25% of each type for deadline traffic;
+        // a lone no-deadline probe asking for 60/64 nodes gets a
+        // standing Wait. With the pool idle the clock cannot move, so
+        // the gate must force the request through.
+        let cfg = FleetConfig { policy: "deadline".into(), ..Default::default() };
+        let pool = FleetPool::new(&cfg).expect("pool");
+        let _reg = pool.register(1, 0, None);
+        let turn = pool
+            .acquire(1, InstanceType::C5Xlarge, 60, Purpose::Probe)
+            .expect("wedge-breaker grants");
+        drop(turn);
+        assert_eq!(pool.counters().admitted, 1);
+    }
+
+    #[test]
+    fn dropping_registration_clears_pending_state() {
+        // A session that dies mid-wait (panic/cancel unwind drops its
+        // guard) must not leave a pending request behind.
+        let pool = FleetPool::new(&FleetConfig::default()).expect("pool");
+        {
+            let _reg = pool.register(7, 0, None);
+            let turn = pool.acquire(7, InstanceType::C5Xlarge, 1, Purpose::Probe).expect("granted");
+            drop(turn);
+        }
+        let c = pool.counters();
+        assert_eq!(c.queue_depth, 0);
+        assert!(lock_or_die(&pool.gate, "fleet gate").jobs.is_empty());
     }
 }

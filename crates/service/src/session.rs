@@ -1428,7 +1428,11 @@ fn run_fleet_session(inner: &Arc<Inner>, session: &Arc<Session>) -> Result<Sessi
         Scenario::CheapestWithDeadline(d) => Some(d),
         _ => None,
     };
-    pool.register(session.id, spec.priority, deadline);
+    // RAII registration: the guard deregisters the session on every exit
+    // path, including panic/cancel unwinds (caught by `run_session`'s
+    // catch_unwind). A leaked registration would leave a pending request
+    // in the gate that no thread can ever consume, livelocking the pool.
+    let _registration = pool.register(session.id, spec.priority, deadline);
     let mut profiler = runner.profiler_on_cloud(&job, space, FleetCloud::new(pool, session.id));
     let search = {
         let provenance = ProvenanceLog::new();
@@ -1446,13 +1450,14 @@ fn run_fleet_session(inner: &Arc<Inner>, session: &Arc<Session>) -> Result<Sessi
         };
         searcher.search_traced(&mut env, &session.scenario, &mut sink)
     };
-    let train_turn = search
-        .best
-        .as_ref()
-        .map(|b| pool.acquire(session.id, b.deployment.itype, b.deployment.n, Purpose::Train));
+    let train_turn = search.best.as_ref().and_then(|b| {
+        // Policies never deny trainings; if the gate errors anyway, run
+        // the training unserialized and let the launch surface the
+        // provider's real failure.
+        pool.acquire(session.id, b.deployment.itype, b.deployment.n, Purpose::Train).ok()
+    });
     let experiment = runner.complete(profiler, search, searcher.name(), &session.scenario);
     drop(train_turn);
-    pool.finish(session.id);
     Ok(SessionResult::from(&experiment))
 }
 
